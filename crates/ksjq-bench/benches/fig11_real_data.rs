@@ -1,0 +1,36 @@
+//! Fig. 11: the flight-network experiment (synthetic stand-in for the
+//! paper's MakeMyTrip scrape): 192 × 155 flights over 13 hubs, cost and
+//! flying time aggregated, k ∈ {6, 7, 8}.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ksjq_core::{ksjq_dominator_based, ksjq_grouping, ksjq_naive, Config};
+use ksjq_datagen::FlightNetworkSpec;
+use ksjq_join::{AggFunc, JoinContext, JoinSpec};
+
+fn bench_flights(c: &mut Criterion) {
+    let net = FlightNetworkSpec::default().generate();
+    let cx = JoinContext::new(
+        &net.outbound,
+        &net.inbound,
+        JoinSpec::Equality,
+        &[AggFunc::Sum, AggFunc::Sum],
+    )
+    .unwrap();
+    let cfg = Config::default();
+    let mut group = c.benchmark_group("fig11_flight_network");
+    for k in [6usize, 7, 8] {
+        group.bench_with_input(BenchmarkId::new("G", k), &k, |b, &k| {
+            b.iter(|| ksjq_grouping(&cx, k, &cfg).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("D", k), &k, |b, &k| {
+            b.iter(|| ksjq_dominator_based(&cx, k, &cfg).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("N", k), &k, |b, &k| {
+            b.iter(|| ksjq_naive(&cx, k, &cfg).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flights);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Fig. 1: effect of k on the three KSJQ algorithms (aggregate case).
+//!
+//! Criterion companion to `harness fig1a` / `harness fig1b`, on reduced n
+//! so statistical sampling stays affordable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ksjq_bench::{PaperParams, GDN};
+use ksjq_core::{ksjq_dominator_based, ksjq_grouping, ksjq_naive, Algorithm, Config};
+
+fn bench_effect_of_k(c: &mut Criterion) {
+    let params = PaperParams { n: 400, ..Default::default() };
+    let (r1, r2) = params.relations();
+    let cx = params.context(&r1, &r2);
+    let cfg = Config::default();
+
+    let mut group = c.benchmark_group("fig1a_effect_of_k");
+    group.sample_size(10);
+    for k in 8..=11usize {
+        for algo in GDN {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{algo}"), k),
+                &k,
+                |b, &k| {
+                    b.iter(|| match algo {
+                        Algorithm::Naive => ksjq_naive(&cx, k, &cfg).unwrap().len(),
+                        Algorithm::Grouping => ksjq_grouping(&cx, k, &cfg).unwrap().len(),
+                        Algorithm::DominatorBased => {
+                            ksjq_dominator_based(&cx, k, &cfg).unwrap().len()
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // Fig 1b: d = 6, a = 1.
+    let params = PaperParams { n: 400, d: 6, a: 1, ..Default::default() };
+    let (r1, r2) = params.relations();
+    let cx = params.context(&r1, &r2);
+    let mut group = c.benchmark_group("fig1b_effect_of_k");
+    group.sample_size(10);
+    for k in 7..=10usize {
+        for algo in GDN {
+            group.bench_with_input(BenchmarkId::new(format!("{algo}"), k), &k, |b, &k| {
+                b.iter(|| match algo {
+                    Algorithm::Naive => ksjq_naive(&cx, k, &cfg).unwrap().len(),
+                    Algorithm::Grouping => ksjq_grouping(&cx, k, &cfg).unwrap().len(),
+                    Algorithm::DominatorBased => ksjq_dominator_based(&cx, k, &cfg).unwrap().len(),
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_effect_of_k);
+criterion_main!(benches);

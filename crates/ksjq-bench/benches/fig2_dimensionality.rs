@@ -1,0 +1,49 @@
+//! Fig. 2: effect of the number of aggregate attributes `a` (2a) and the
+//! dimensionality medley (2b).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ksjq_bench::PaperParams;
+use ksjq_core::{ksjq_dominator_based, ksjq_grouping, ksjq_naive, Config};
+
+fn bench_effect_of_a(c: &mut Criterion) {
+    let cfg = Config::default();
+    let mut group = c.benchmark_group("fig2a_effect_of_a");
+    group.sample_size(10);
+    for a in 0..=3usize {
+        let params = PaperParams { n: 400, a, ..Default::default() };
+        let (r1, r2) = params.relations();
+        let cx = params.context(&r1, &r2);
+        group.bench_with_input(BenchmarkId::new("G", a), &a, |b, _| {
+            b.iter(|| ksjq_grouping(&cx, params.k, &cfg).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("D", a), &a, |b, _| {
+            b.iter(|| ksjq_dominator_based(&cx, params.k, &cfg).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("N", a), &a, |b, _| {
+            b.iter(|| ksjq_naive(&cx, params.k, &cfg).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_medley(c: &mut Criterion) {
+    let cfg = Config::default();
+    let mut group = c.benchmark_group("fig2b_medley");
+    group.sample_size(10);
+    for (d, k, a) in [(5usize, 7usize, 1usize), (5, 7, 2), (6, 7, 1), (6, 7, 2), (6, 8, 2)] {
+        let params = PaperParams { n: 400, d, k, a, ..Default::default() };
+        let (r1, r2) = params.relations();
+        let cx = params.context(&r1, &r2);
+        let id = format!("d{d}k{k}a{a}");
+        group.bench_function(BenchmarkId::new("G", &id), |b| {
+            b.iter(|| ksjq_grouping(&cx, k, &cfg).unwrap().len())
+        });
+        group.bench_function(BenchmarkId::new("N", &id), |b| {
+            b.iter(|| ksjq_naive(&cx, k, &cfg).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_effect_of_a, bench_medley);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Fig. 3: scalability in the number of join groups `g` (3a) and the
+//! base-relation size `n` (3b), aggregate case.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ksjq_bench::PaperParams;
+use ksjq_core::{ksjq_grouping, ksjq_naive, Config};
+
+fn bench_groups(c: &mut Criterion) {
+    let cfg = Config::default();
+    let mut group = c.benchmark_group("fig3a_join_groups");
+    group.sample_size(10);
+    for g in [1usize, 2, 5, 10, 25, 50] {
+        let params = PaperParams { n: 400, g, ..Default::default() };
+        let (r1, r2) = params.relations();
+        let cx = params.context(&r1, &r2);
+        group.bench_with_input(BenchmarkId::new("G", g), &g, |b, _| {
+            b.iter(|| ksjq_grouping(&cx, params.k, &cfg).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("N", g), &g, |b, _| {
+            b.iter(|| ksjq_naive(&cx, params.k, &cfg).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_dataset_size(c: &mut Criterion) {
+    let cfg = Config::default();
+    let mut group = c.benchmark_group("fig3b_dataset_size");
+    group.sample_size(10);
+    for n in [100usize, 200, 400, 800] {
+        let params = PaperParams { n, ..Default::default() };
+        let (r1, r2) = params.relations();
+        let cx = params.context(&r1, &r2);
+        group.throughput(criterion::Throughput::Elements(cx.count_pairs()));
+        group.bench_with_input(BenchmarkId::new("G", n), &n, |b, _| {
+            b.iter(|| ksjq_grouping(&cx, params.k, &cfg).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("N", n), &n, |b, _| {
+            b.iter(|| ksjq_naive(&cx, params.k, &cfg).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_groups, bench_dataset_size);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Figs. 4 & 7: effect of the data distribution (independent, correlated,
+//! anti-correlated), with (Fig 4) and without (Fig 7) aggregation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ksjq_bench::PaperParams;
+use ksjq_core::{ksjq_grouping, ksjq_naive, Config};
+use ksjq_datagen::DataType;
+
+const TYPES: [(&str, DataType); 3] = [
+    ("independent", DataType::Independent),
+    ("correlated", DataType::Correlated),
+    ("anticorrelated", DataType::AntiCorrelated),
+];
+
+fn bench_datatype_aggregate(c: &mut Criterion) {
+    let cfg = Config::default();
+    let mut group = c.benchmark_group("fig4_datatype_aggregate");
+    group.sample_size(10);
+    for (name, data_type) in TYPES {
+        let params = PaperParams { n: 330, data_type, ..Default::default() };
+        let (r1, r2) = params.relations();
+        let cx = params.context(&r1, &r2);
+        group.bench_function(BenchmarkId::new("G", name), |b| {
+            b.iter(|| ksjq_grouping(&cx, params.k, &cfg).unwrap().len())
+        });
+        group.bench_function(BenchmarkId::new("N", name), |b| {
+            b.iter(|| ksjq_naive(&cx, params.k, &cfg).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_datatype_no_aggregate(c: &mut Criterion) {
+    let cfg = Config::default();
+    let mut group = c.benchmark_group("fig7_datatype_no_aggregate");
+    group.sample_size(10);
+    for (name, data_type) in TYPES {
+        let params =
+            PaperParams { n: 330, d: 5, a: 0, k: 7, data_type, ..Default::default() };
+        let (r1, r2) = params.relations();
+        let cx = params.context(&r1, &r2);
+        group.bench_function(BenchmarkId::new("G", name), |b| {
+            b.iter(|| ksjq_grouping(&cx, params.k, &cfg).unwrap().len())
+        });
+        group.bench_function(BenchmarkId::new("N", name), |b| {
+            b.iter(|| ksjq_naive(&cx, params.k, &cfg).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_datatype_aggregate, bench_datatype_no_aggregate);
+criterion_main!(benches);

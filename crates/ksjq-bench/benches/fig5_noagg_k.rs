@@ -1,0 +1,48 @@
+//! Figs. 5a/5b: effect of k and d without aggregation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ksjq_bench::PaperParams;
+use ksjq_core::{ksjq_dominator_based, ksjq_grouping, ksjq_naive, Config};
+
+fn bench_noagg_k(c: &mut Criterion) {
+    let cfg = Config::default();
+    let params = PaperParams { n: 400, d: 5, a: 0, ..Default::default() };
+    let (r1, r2) = params.relations();
+    let cx = params.context(&r1, &r2);
+    let mut group = c.benchmark_group("fig5a_noagg_effect_of_k");
+    group.sample_size(10);
+    for k in 6..=9usize {
+        group.bench_with_input(BenchmarkId::new("G", k), &k, |b, &k| {
+            b.iter(|| ksjq_grouping(&cx, k, &cfg).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("D", k), &k, |b, &k| {
+            b.iter(|| ksjq_dominator_based(&cx, k, &cfg).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("N", k), &k, |b, &k| {
+            b.iter(|| ksjq_naive(&cx, k, &cfg).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_noagg_d(c: &mut Criterion) {
+    let cfg = Config::default();
+    let mut group = c.benchmark_group("fig5b_noagg_effect_of_d");
+    group.sample_size(10);
+    for (d, k) in [(4usize, 7usize), (5, 7), (6, 7), (6, 11), (7, 11), (10, 11)] {
+        let params = PaperParams { n: 400, d, a: 0, k, ..Default::default() };
+        let (r1, r2) = params.relations();
+        let cx = params.context(&r1, &r2);
+        let id = format!("d{d}k{k}");
+        group.bench_function(BenchmarkId::new("G", &id), |b| {
+            b.iter(|| ksjq_grouping(&cx, k, &cfg).unwrap().len())
+        });
+        group.bench_function(BenchmarkId::new("N", &id), |b| {
+            b.iter(|| ksjq_naive(&cx, k, &cfg).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_noagg_k, bench_noagg_d);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figs. 6a/6b: scalability without aggregation (g and n sweeps),
+//! plus Fig. 9's find-k counterparts are in `fig8_find_k.rs`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ksjq_bench::PaperParams;
+use ksjq_core::{ksjq_grouping, ksjq_naive, Config};
+
+fn bench_noagg_groups(c: &mut Criterion) {
+    let cfg = Config::default();
+    let mut group = c.benchmark_group("fig6a_noagg_join_groups");
+    group.sample_size(10);
+    for g in [1usize, 2, 5, 10, 25, 50] {
+        let params = PaperParams { n: 400, d: 4, a: 0, k: 7, g, ..Default::default() };
+        let (r1, r2) = params.relations();
+        let cx = params.context(&r1, &r2);
+        group.bench_with_input(BenchmarkId::new("G", g), &g, |b, _| {
+            b.iter(|| ksjq_grouping(&cx, params.k, &cfg).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("N", g), &g, |b, _| {
+            b.iter(|| ksjq_naive(&cx, params.k, &cfg).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_noagg_size(c: &mut Criterion) {
+    let cfg = Config::default();
+    let mut group = c.benchmark_group("fig6b_noagg_dataset_size");
+    group.sample_size(10);
+    for n in [100usize, 200, 400, 800] {
+        let params = PaperParams { n, d: 4, a: 0, k: 7, ..Default::default() };
+        let (r1, r2) = params.relations();
+        let cx = params.context(&r1, &r2);
+        group.throughput(criterion::Throughput::Elements(cx.count_pairs()));
+        group.bench_with_input(BenchmarkId::new("G", n), &n, |b, _| {
+            b.iter(|| ksjq_grouping(&cx, params.k, &cfg).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("N", n), &n, |b, _| {
+            b.iter(|| ksjq_naive(&cx, params.k, &cfg).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_noagg_groups, bench_noagg_size);
+criterion_main!(benches);

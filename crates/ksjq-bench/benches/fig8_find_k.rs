@@ -1,0 +1,73 @@
+//! Figs. 8–10: the find-k strategies (binary / range / naïve) under δ,
+//! d, g, n and distribution sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ksjq_bench::PaperParams;
+use ksjq_core::{find_k_at_least, Config, FindKStrategy};
+use ksjq_datagen::DataType;
+
+const STRATS: [(&str, FindKStrategy); 3] = [
+    ("B", FindKStrategy::Binary),
+    ("R", FindKStrategy::Range),
+    ("N", FindKStrategy::Naive),
+];
+
+fn bench_effect_of_delta(c: &mut Criterion) {
+    let cfg = Config::default();
+    let params = PaperParams { n: 400, d: 5, a: 0, ..Default::default() };
+    let (r1, r2) = params.relations();
+    let cx = params.context(&r1, &r2);
+    let mut group = c.benchmark_group("fig8a_find_k_delta");
+    group.sample_size(10);
+    for delta in [1usize, 15, 150, 1500] {
+        for (label, strat) in STRATS {
+            group.bench_with_input(
+                BenchmarkId::new(label, delta),
+                &delta,
+                |b, &delta| b.iter(|| find_k_at_least(&cx, delta, strat, &cfg).unwrap().k),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_effect_of_d(c: &mut Criterion) {
+    let cfg = Config::default();
+    let mut group = c.benchmark_group("fig8b_find_k_dimensionality");
+    group.sample_size(10);
+    for d in [3usize, 4, 5, 7] {
+        let params = PaperParams { n: 330, d, a: 0, ..Default::default() };
+        let (r1, r2) = params.relations();
+        let cx = params.context(&r1, &r2);
+        for (label, strat) in STRATS {
+            group.bench_with_input(BenchmarkId::new(label, d), &d, |b, _| {
+                b.iter(|| find_k_at_least(&cx, 150, strat, &cfg).unwrap().k)
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_effect_of_datatype(c: &mut Criterion) {
+    let cfg = Config::default();
+    let mut group = c.benchmark_group("fig10_find_k_datatype");
+    group.sample_size(10);
+    for (name, data_type) in [
+        ("independent", DataType::Independent),
+        ("correlated", DataType::Correlated),
+        ("anticorrelated", DataType::AntiCorrelated),
+    ] {
+        let params = PaperParams { n: 330, d: 5, a: 0, data_type, ..Default::default() };
+        let (r1, r2) = params.relations();
+        let cx = params.context(&r1, &r2);
+        for (label, strat) in STRATS {
+            group.bench_function(BenchmarkId::new(label, name), |b| {
+                b.iter(|| find_k_at_least(&cx, 150, strat, &cfg).unwrap().k)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_effect_of_delta, bench_effect_of_d, bench_effect_of_datatype);
+criterion_main!(benches);

@@ -1,0 +1,365 @@
+//! Figure-by-figure reproduction harness.
+//!
+//! One subcommand per table/figure of the paper's evaluation (Sec. 7);
+//! `all` runs everything. `--scale <f>` shrinks the dataset size `n`
+//! (default 0.33 — comparisons and shapes are preserved, wall-clock times
+//! shrink roughly quadratically); `--full` runs the paper's exact sizes.
+//!
+//! ```sh
+//! cargo run --release -p ksjq-bench --bin harness -- all --scale 0.33
+//! cargo run --release -p ksjq-bench --bin harness -- fig1a --full
+//! ```
+
+use ksjq_bench::*;
+use ksjq_core::Config;
+use ksjq_datagen::{DataType, FlightNetworkSpec};
+use ksjq_join::JoinContext;
+use std::time::Instant;
+
+struct Opts {
+    figure: String,
+    scale: f64,
+}
+
+fn parse_args() -> Opts {
+    let mut figure = String::from("all");
+    let mut scale = 0.33f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+            }
+            "--full" => scale = 1.0,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: harness [FIGURE] [--scale F | --full]\n\
+                     figures: fig1a fig1b fig2a fig2b fig3a fig3b fig4 fig5a fig5b\n\
+                     \x20        fig6a fig6b fig7 fig8a fig8b fig9a fig9b fig10 fig11 all"
+                );
+                std::process::exit(0);
+            }
+            f if !f.starts_with('-') => figure = f.to_string(),
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    Opts { figure, scale }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("harness: {msg}");
+    std::process::exit(2)
+}
+
+fn main() {
+    let opts = parse_args();
+    let t = Instant::now();
+    let all = opts.figure == "all";
+    let mut ran = false;
+    macro_rules! fig {
+        ($name:literal, $f:ident) => {
+            if all || opts.figure == $name {
+                $f(opts.scale);
+                ran = true;
+            }
+        };
+    }
+    fig!("fig1a", fig1a);
+    fig!("fig1b", fig1b);
+    fig!("fig2a", fig2a);
+    fig!("fig2b", fig2b);
+    fig!("fig3a", fig3a);
+    fig!("fig3b", fig3b);
+    fig!("fig4", fig4);
+    fig!("fig5a", fig5a);
+    fig!("fig5b", fig5b);
+    fig!("fig6a", fig6a);
+    fig!("fig6b", fig6b);
+    fig!("fig7", fig7);
+    fig!("fig8a", fig8a);
+    fig!("fig8b", fig8b);
+    fig!("fig9a", fig9a);
+    fig!("fig9b", fig9b);
+    fig!("fig10", fig10);
+    fig!("fig11", fig11);
+    if !ran {
+        die(&format!("unknown figure '{}' (try --help)", opts.figure));
+    }
+    eprintln!("\nharness finished in {:.1}s", t.elapsed().as_secs_f64());
+}
+
+fn banner(id: &str, what: &str, params: &str) {
+    println!("\n=== {id}: {what} ===");
+    println!("    {params}");
+}
+
+fn run_ksjq_sweep(configs: &[(String, PaperParams)]) {
+    let cfg = Config::default();
+    print_header("config");
+    for (label, params) in configs {
+        let (r1, r2) = params.relations();
+        let cx = params.context(&r1, &r2);
+        for run in run_algorithms(&cx, params.k, &cfg, &GDN) {
+            print_run(label, &run);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- KSJQ, aggregate
+
+fn fig1a(scale: f64) {
+    banner("Fig 1a", "effect of k (aggregate)", &format!("d=7 a=2 n=3300*{scale} g=10"));
+    let base = PaperParams::default().scaled(scale);
+    let configs: Vec<_> = (8..=11)
+        .map(|k| (format!("k={k}"), PaperParams { k, ..base }))
+        .collect();
+    run_ksjq_sweep(&configs);
+}
+
+fn fig1b(scale: f64) {
+    banner("Fig 1b", "effect of k (aggregate)", &format!("d=6 a=1 n=3300*{scale} g=10"));
+    let base = PaperParams { d: 6, a: 1, ..PaperParams::default() }.scaled(scale);
+    let configs: Vec<_> = (7..=10)
+        .map(|k| (format!("k={k}"), PaperParams { k, ..base }))
+        .collect();
+    run_ksjq_sweep(&configs);
+}
+
+fn fig2a(scale: f64) {
+    banner("Fig 2a", "effect of a", &format!("d=7 k=11 n=3300*{scale} g=10"));
+    let base = PaperParams::default().scaled(scale);
+    let configs: Vec<_> = (0..=3)
+        .map(|a| (format!("a={a}"), PaperParams { a, ..base }))
+        .collect();
+    run_ksjq_sweep(&configs);
+}
+
+fn fig2b(scale: f64) {
+    banner("Fig 2b", "dimensionality medley", &format!("n=3300*{scale} g=10"));
+    let base = PaperParams::default().scaled(scale);
+    let configs: Vec<_> = [(5, 7, 1), (5, 7, 2), (6, 7, 1), (6, 7, 2), (6, 8, 2)]
+        .into_iter()
+        .map(|(d, k, a)| (format!("d{d},k{k},a{a}"), PaperParams { d, k, a, ..base }))
+        .collect();
+    run_ksjq_sweep(&configs);
+}
+
+fn fig3a(scale: f64) {
+    banner("Fig 3a", "effect of join groups g (aggregate)", &format!("d=7 a=2 k=11 n=3300*{scale}"));
+    let base = PaperParams::default().scaled(scale);
+    let configs: Vec<_> = [1usize, 2, 5, 10, 25, 50, 100]
+        .into_iter()
+        .map(|g| (format!("g={g}"), PaperParams { g, ..base }))
+        .collect();
+    run_ksjq_sweep(&configs);
+}
+
+fn fig3b(scale: f64) {
+    banner("Fig 3b", "effect of dataset size n (aggregate)", &format!("d=7 a=2 k=11 g=10, n scaled by {scale}"));
+    let base = PaperParams::default();
+    let mut sizes = vec![100usize, 330, 1000, 3300];
+    if scale >= 1.0 {
+        sizes.extend([10_000, 33_000]);
+    }
+    let configs: Vec<_> = sizes
+        .into_iter()
+        .map(|n| {
+            let n = ((n as f64 * scale).round() as usize).max(10);
+            (format!("n={n}"), PaperParams { n, ..base })
+        })
+        .collect();
+    run_ksjq_sweep(&configs);
+}
+
+fn fig4(scale: f64) {
+    banner("Fig 4", "data distribution (aggregate)", &format!("d=7 a=2 k=11 n=3300*{scale} g=10"));
+    let base = PaperParams::default().scaled(scale);
+    let configs: Vec<_> = [
+        ("independent", DataType::Independent),
+        ("correlated", DataType::Correlated),
+        ("anti-corr", DataType::AntiCorrelated),
+    ]
+    .into_iter()
+    .map(|(name, data_type)| (name.to_string(), PaperParams { data_type, ..base }))
+    .collect();
+    run_ksjq_sweep(&configs);
+}
+
+// ---------------------------------------------------------------- KSJQ, no aggregation
+
+fn fig5a(scale: f64) {
+    banner("Fig 5a", "effect of k (no aggregation)", &format!("d=5 a=0 n=3300*{scale} g=10"));
+    let base = PaperParams { d: 5, a: 0, ..PaperParams::default() }.scaled(scale);
+    let configs: Vec<_> = (6..=9)
+        .map(|k| (format!("k={k}"), PaperParams { k, ..base }))
+        .collect();
+    run_ksjq_sweep(&configs);
+}
+
+fn fig5b(scale: f64) {
+    banner("Fig 5b", "effect of d (no aggregation)", &format!("a=0 n=3300*{scale} g=10"));
+    let base = PaperParams { a: 0, ..PaperParams::default() }.scaled(scale);
+    let configs: Vec<_> = [(4, 7), (5, 7), (6, 7), (6, 11), (7, 11), (10, 11)]
+        .into_iter()
+        .map(|(d, k)| (format!("d{d},k{k}"), PaperParams { d, k, ..base }))
+        .collect();
+    run_ksjq_sweep(&configs);
+}
+
+fn fig6a(scale: f64) {
+    banner("Fig 6a", "effect of g (no aggregation)", &format!("d=4 k=7 n=3300*{scale}"));
+    let base = PaperParams { d: 4, a: 0, k: 7, ..PaperParams::default() }.scaled(scale);
+    let configs: Vec<_> = [1usize, 2, 5, 10, 25, 50, 100]
+        .into_iter()
+        .map(|g| (format!("g={g}"), PaperParams { g, ..base }))
+        .collect();
+    run_ksjq_sweep(&configs);
+}
+
+fn fig6b(scale: f64) {
+    banner("Fig 6b", "effect of n (no aggregation)", &format!("d=4 k=7 g=10, n scaled by {scale}"));
+    let base = PaperParams { d: 4, a: 0, k: 7, ..PaperParams::default() };
+    let mut sizes = vec![100usize, 330, 1000, 3300];
+    if scale >= 1.0 {
+        sizes.extend([10_000, 33_000]);
+    }
+    let configs: Vec<_> = sizes
+        .into_iter()
+        .map(|n| {
+            let n = ((n as f64 * scale).round() as usize).max(10);
+            (format!("n={n}"), PaperParams { n, ..base })
+        })
+        .collect();
+    run_ksjq_sweep(&configs);
+}
+
+fn fig7(scale: f64) {
+    banner("Fig 7", "data distribution (no aggregation)", &format!("d=5 a=0 k=7 n=3300*{scale} g=10"));
+    let base = PaperParams { d: 5, a: 0, k: 7, ..PaperParams::default() }.scaled(scale);
+    let configs: Vec<_> = [
+        ("independent", DataType::Independent),
+        ("correlated", DataType::Correlated),
+        ("anti-corr", DataType::AntiCorrelated),
+    ]
+    .into_iter()
+    .map(|(name, data_type)| (name.to_string(), PaperParams { data_type, ..base }))
+    .collect();
+    run_ksjq_sweep(&configs);
+}
+
+// ---------------------------------------------------------------- find-k
+
+fn scaled_delta(delta: usize, scale: f64) -> usize {
+    // The joined relation shrinks quadratically with n, so δ scales with
+    // scale² to keep the same relative selectivity.
+    ((delta as f64 * scale * scale).round() as usize).max(1)
+}
+
+fn run_find_k_sweep(configs: &[(String, PaperParams, usize)]) {
+    let cfg = Config::default();
+    print_find_k_header("config");
+    for (label, params, delta) in configs {
+        let (r1, r2) = params.relations();
+        let cx = params.context(&r1, &r2);
+        for run in run_find_k(&cx, *delta, &cfg) {
+            print_find_k_run(label, &run);
+        }
+    }
+}
+
+fn fig8a(scale: f64) {
+    banner("Fig 8a", "find-k: effect of δ", &format!("d=5 a=0 n=3300*{scale} g=10, δ scaled by {:.3}", scale * scale));
+    let base = PaperParams { d: 5, a: 0, ..PaperParams::default() }.scaled(scale);
+    let configs: Vec<_> = [10usize, 100, 1_000, 10_000, 100_000]
+        .into_iter()
+        .map(|delta| {
+            let sd = scaled_delta(delta, scale);
+            (format!("δ={delta}"), base, sd)
+        })
+        .collect();
+    run_find_k_sweep(&configs);
+}
+
+fn fig8b(scale: f64) {
+    banner("Fig 8b", "find-k: effect of d", &format!("δ=10000*{:.3} a=0 n=3300*{scale} g=10", scale * scale));
+    let base = PaperParams { a: 0, ..PaperParams::default() }.scaled(scale);
+    let delta = scaled_delta(10_000, scale);
+    let configs: Vec<_> = [3usize, 4, 5, 7, 10]
+        .into_iter()
+        .map(|d| (format!("d={d}"), PaperParams { d, ..base }, delta))
+        .collect();
+    run_find_k_sweep(&configs);
+}
+
+fn fig9a(scale: f64) {
+    banner("Fig 9a", "find-k: effect of g", &format!("d=5 a=0 δ=10000*{:.3} n=3300*{scale}", scale * scale));
+    let base = PaperParams { d: 5, a: 0, ..PaperParams::default() }.scaled(scale);
+    let delta = scaled_delta(10_000, scale);
+    let configs: Vec<_> = [1usize, 2, 5, 10, 25, 50, 100]
+        .into_iter()
+        .map(|g| (format!("g={g}"), PaperParams { g, ..base }, delta))
+        .collect();
+    run_find_k_sweep(&configs);
+}
+
+fn fig9b(scale: f64) {
+    banner("Fig 9b", "find-k: effect of n", &format!("d=5 a=0 δ=1000*{:.3} g=10", scale * scale));
+    let base = PaperParams { d: 5, a: 0, ..PaperParams::default() };
+    let delta = scaled_delta(1_000, scale);
+    let mut sizes = vec![100usize, 330, 1000, 3300];
+    if scale >= 1.0 {
+        sizes.extend([10_000, 33_000]);
+    }
+    let configs: Vec<_> = sizes
+        .into_iter()
+        .map(|n| {
+            let n = ((n as f64 * scale).round() as usize).max(10);
+            (format!("n={n}"), PaperParams { n, ..base }, delta)
+        })
+        .collect();
+    run_find_k_sweep(&configs);
+}
+
+fn fig10(scale: f64) {
+    banner("Fig 10", "find-k: data distribution", &format!("d=5 a=0 δ=10000*{:.3} n=3300*{scale} g=10", scale * scale));
+    let base = PaperParams { d: 5, a: 0, ..PaperParams::default() }.scaled(scale);
+    let delta = scaled_delta(10_000, scale);
+    let configs: Vec<_> = [
+        ("independent", DataType::Independent),
+        ("correlated", DataType::Correlated),
+        ("anti-corr", DataType::AntiCorrelated),
+    ]
+    .into_iter()
+    .map(|(name, data_type)| (name.to_string(), PaperParams { data_type, ..base }, delta))
+    .collect();
+    run_find_k_sweep(&configs);
+}
+
+// ---------------------------------------------------------------- real data
+
+fn fig11(_scale: f64) {
+    banner(
+        "Fig 11",
+        "flight network (synthetic stand-in for the MakeMyTrip data)",
+        "192 x 155 flights, 13 hubs, cost+time aggregated, k in {6,7,8}",
+    );
+    let net = FlightNetworkSpec::default().generate();
+    let cx = JoinContext::new(
+        &net.outbound,
+        &net.inbound,
+        ksjq_join::JoinSpec::Equality,
+        &[ksjq_join::AggFunc::Sum, ksjq_join::AggFunc::Sum],
+    )
+    .expect("flight schema is valid");
+    println!("    joined itineraries: {}", cx.count_pairs());
+    let cfg = Config::default();
+    print_header("config");
+    for k in [6usize, 7, 8] {
+        for run in run_algorithms(&cx, k, &cfg, &GDN) {
+            print_run(&format!("k={k}"), &run);
+        }
+    }
+}

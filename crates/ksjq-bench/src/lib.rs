@@ -1,0 +1,266 @@
+//! Benchmark harness library for the KSJQ paper reproduction.
+//!
+//! [`PaperParams`] mirrors Table 7's knobs; [`run_algorithms`] /
+//! [`run_find_k`] execute the three KSJQ algorithms (G/D/N) or the three
+//! find-k strategies (B/R/N) and report the per-phase breakdown the
+//! paper's stacked bar charts show. The `harness` binary maps one
+//! subcommand to each figure; the `benches/` directory holds Criterion
+//! microbenchmarks over the same workloads.
+
+use ksjq_core::{
+    find_k_at_least, ksjq_dominator_based, ksjq_grouping, ksjq_naive, Algorithm, Config,
+    FindKReport, FindKStrategy, KsjqOutput,
+};
+use ksjq_datagen::{DataType, DatasetSpec};
+use ksjq_join::{AggFunc, JoinContext, JoinSpec};
+use ksjq_relation::Relation;
+use std::time::{Duration, Instant};
+
+/// The paper's experimental knobs (Table 7 defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperParams {
+    /// Tuples per base relation (`n`, default 3300).
+    pub n: usize,
+    /// Attributes per base relation (`d`, default 7).
+    pub d: usize,
+    /// Aggregated attributes (`a`, default 2).
+    pub a: usize,
+    /// Join groups (`g`, default 10).
+    pub g: usize,
+    /// Skyline attributes a dominator needs (`k`, default 11).
+    pub k: usize,
+    /// Data distribution (`T`, default independent).
+    pub data_type: DataType,
+    /// Base seed; the two relations use `seed` and `seed + 1000`.
+    pub seed: u64,
+}
+
+impl Default for PaperParams {
+    fn default() -> Self {
+        PaperParams {
+            n: 3300,
+            d: 7,
+            a: 2,
+            g: 10,
+            k: 11,
+            data_type: DataType::Independent,
+            seed: 42,
+        }
+    }
+}
+
+impl PaperParams {
+    /// Scale the dataset size by `scale` (keeps every other knob).
+    pub fn scaled(mut self, scale: f64) -> Self {
+        self.n = ((self.n as f64 * scale).round() as usize).max(10);
+        self
+    }
+
+    /// Generate the two base relations.
+    pub fn relations(&self) -> (Relation, Relation) {
+        let spec = DatasetSpec {
+            n: self.n,
+            agg_attrs: self.a,
+            local_attrs: self.d - self.a,
+            groups: self.g,
+            data_type: self.data_type,
+            seed: self.seed,
+        };
+        let spec2 = DatasetSpec { seed: self.seed + 1000, ..spec };
+        (spec.generate(), spec2.generate())
+    }
+
+    /// The aggregation functions (`sum`, as in the paper's experiments).
+    pub fn funcs(&self) -> Vec<AggFunc> {
+        vec![AggFunc::Sum; self.a]
+    }
+
+    /// Bind the join context over generated relations.
+    pub fn context<'a>(&self, r1: &'a Relation, r2: &'a Relation) -> JoinContext<'a> {
+        JoinContext::new(r1, r2, JoinSpec::Equality, &self.funcs())
+            .expect("paper params always produce a valid context")
+    }
+}
+
+/// One measured algorithm execution.
+#[derive(Debug, Clone)]
+pub struct AlgoRun {
+    /// "G", "D" or "N" (the paper's labels).
+    pub label: &'static str,
+    /// Wall-clock total.
+    pub total: Duration,
+    /// The execution's result (stats carry the phase breakdown).
+    pub output: KsjqOutput,
+}
+
+/// The paper's algorithm label.
+pub fn label_of(algo: Algorithm) -> &'static str {
+    match algo {
+        Algorithm::Grouping => "G",
+        Algorithm::DominatorBased => "D",
+        Algorithm::Naive => "N",
+    }
+}
+
+/// Run the given algorithms on one workload, checking they agree.
+pub fn run_algorithms(
+    cx: &JoinContext<'_>,
+    k: usize,
+    cfg: &Config,
+    algos: &[Algorithm],
+) -> Vec<AlgoRun> {
+    let mut runs = Vec::new();
+    for &algo in algos {
+        let t = Instant::now();
+        let output = match algo {
+            Algorithm::Naive => ksjq_naive(cx, k, cfg),
+            Algorithm::Grouping => ksjq_grouping(cx, k, cfg),
+            Algorithm::DominatorBased => ksjq_dominator_based(cx, k, cfg),
+        }
+        .expect("benchmark workloads are valid");
+        let total = t.elapsed();
+        runs.push(AlgoRun { label: label_of(algo), total, output });
+    }
+    // All algorithms must agree — a benchmark that measures wrong answers
+    // measures nothing.
+    for w in runs.windows(2) {
+        assert_eq!(
+            w[0].output.pairs, w[1].output.pairs,
+            "{} and {} disagree",
+            w[0].label, w[1].label
+        );
+    }
+    runs
+}
+
+/// One measured find-k strategy execution.
+#[derive(Debug, Clone)]
+pub struct FindKRun {
+    /// "B", "R" or "N" (the paper's labels).
+    pub label: &'static str,
+    /// Wall-clock total.
+    pub total: Duration,
+    /// The strategy's report.
+    pub report: FindKReport,
+}
+
+/// Run all three find-k strategies for `delta`, checking they agree.
+pub fn run_find_k(cx: &JoinContext<'_>, delta: usize, cfg: &Config) -> Vec<FindKRun> {
+    let strategies = [
+        (FindKStrategy::Binary, "B"),
+        (FindKStrategy::Range, "R"),
+        (FindKStrategy::Naive, "N"),
+    ];
+    let mut runs = Vec::new();
+    for (strategy, label) in strategies {
+        let t = Instant::now();
+        let report = find_k_at_least(cx, delta, strategy, cfg).expect("valid workload");
+        let total = t.elapsed();
+        runs.push(FindKRun { label, total, report });
+    }
+    assert_eq!(runs[0].report.k, runs[1].report.k, "B and R disagree");
+    assert_eq!(runs[0].report.k, runs[2].report.k, "B and N disagree");
+    runs
+}
+
+/// Milliseconds with two decimals, for table output.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Print the standard KSJQ result table header.
+pub fn print_header(config_col: &str) {
+    println!(
+        "{:>14} {:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>9}",
+        config_col, "alg", "group(ms)", "join(ms)", "domgen(ms)", "rest(ms)", "total(ms)", "|skyline|"
+    );
+}
+
+/// Print one KSJQ result row.
+pub fn print_run(config: &str, run: &AlgoRun) {
+    let p = run.output.stats.phases;
+    println!(
+        "{:>14} {:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>9}",
+        config,
+        run.label,
+        ms(p.grouping),
+        ms(p.join),
+        ms(p.dominator_gen),
+        ms(p.remaining),
+        ms(run.total),
+        run.output.len()
+    );
+}
+
+/// Print the find-k table header.
+pub fn print_find_k_header(config_col: &str) {
+    println!(
+        "{:>14} {:>5} {:>5} {:>5} {:>6} {:>10} {:>10} {:>10}",
+        config_col, "strat", "k", "full", "bound", "group(ms)", "rest(ms)", "total(ms)"
+    );
+}
+
+/// Print one find-k result row.
+pub fn print_find_k_run(config: &str, run: &FindKRun) {
+    let p = run.report.phases;
+    println!(
+        "{:>14} {:>5} {:>5} {:>5} {:>6} {:>10} {:>10} {:>10}",
+        config,
+        run.label,
+        run.report.k,
+        run.report.full_computations,
+        run.report.bound_computations,
+        ms(p.grouping),
+        ms(p.join + p.remaining),
+        ms(run.total)
+    );
+}
+
+/// All three algorithms, paper order.
+pub const GDN: [Algorithm; 3] =
+    [Algorithm::Grouping, Algorithm::DominatorBased, Algorithm::Naive];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let p = PaperParams::default();
+        assert_eq!((p.n, p.d, p.a, p.g, p.k), (3300, 7, 2, 10, 11));
+    }
+
+    #[test]
+    fn scaled_keeps_other_knobs() {
+        let p = PaperParams::default().scaled(0.1);
+        assert_eq!(p.n, 330);
+        assert_eq!(p.d, 7);
+        let p = PaperParams::default().scaled(0.0001);
+        assert_eq!(p.n, 10); // floor
+    }
+
+    #[test]
+    fn run_algorithms_agree_on_tiny_workload() {
+        let params = PaperParams { n: 60, d: 4, a: 1, g: 3, k: 6, ..Default::default() };
+        let (r1, r2) = params.relations();
+        let cx = params.context(&r1, &r2);
+        let runs = run_algorithms(&cx, params.k, &Config::default(), &GDN);
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[0].output.pairs, runs[2].output.pairs);
+    }
+
+    #[test]
+    fn run_find_k_agrees_on_tiny_workload() {
+        let params = PaperParams { n: 60, d: 4, a: 0, g: 3, k: 6, ..Default::default() };
+        let (r1, r2) = params.relations();
+        let cx = params.context(&r1, &r2);
+        let runs = run_find_k(&cx, 5, &Config::default());
+        assert_eq!(runs.len(), 3);
+    }
+
+    #[test]
+    fn ms_formatting() {
+        assert_eq!(ms(Duration::from_millis(1500)), "1500.00");
+        assert_eq!(ms(Duration::from_micros(1500)), "1.50");
+    }
+}

@@ -1,0 +1,50 @@
+//! Execution configuration shared by all KSJQ algorithms.
+
+use ksjq_skyline::KdomAlgo;
+
+/// Tuning knobs for query execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Which single-relation k-dominant skyline algorithm classification
+    /// and the naïve path use. Defaults to the Two-Scan Algorithm.
+    pub kdom: KdomAlgo,
+    /// The naïve algorithm materialises the join when
+    /// `|R1 ⋈ R2| · d_joined` does not exceed this many `f64` values
+    /// (default 4 × 10⁷ ≈ 320 MB); beyond it, it streams with the two-scan
+    /// skyline and cannot attribute a separate join time.
+    pub materialize_limit: usize,
+    /// Worker threads for the parallel extension (1 = serial, the paper's
+    /// setting; >1 parallelises classification and candidate verification).
+    pub threads: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { kdom: KdomAlgo::Tsa, materialize_limit: 40_000_000, threads: 1 }
+    }
+}
+
+impl Config {
+    /// A config using `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        Config { threads: threads.max(1), ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_serial_tsa() {
+        let c = Config::default();
+        assert_eq!(c.kdom, KdomAlgo::Tsa);
+        assert_eq!(c.threads, 1);
+    }
+
+    #[test]
+    fn with_threads_clamps_to_one() {
+        assert_eq!(Config::with_threads(0).threads, 1);
+        assert_eq!(Config::with_threads(8).threads, 8);
+    }
+}

@@ -1,0 +1,198 @@
+//! Algorithm 3: the dominator-based KSJQ algorithm.
+//!
+//! Same skeleton as the grouping algorithm, but *every* SS/SN tuple's
+//! dominator/target set is computed up front (the "dominator generation"
+//! phase), and candidates are verified against the **join of both legs'
+//! sets** — `dom(u′) ⋈ dom(v′)` — instead of one leg's set joined with the
+//! whole other relation. The verification is therefore cheaper per
+//! candidate, at the cost of `O(n²)` set construction and storage; the
+//! paper's experiments (and ours) show this trade rarely pays off, which
+//! is the point of comparing the two.
+//!
+//! At `a = 0` the precomputed sets are exactly the paper's
+//! `dominators(u) ∪ Augment(u)` (Algorithm 3, lines 6–13): a tuple with
+//! `≥ k′` better-or-equal positions either k′-dominates `u` or ties it on
+//! every one of them.
+
+use crate::classify::{classify, Category};
+use crate::config::Config;
+use crate::error::CoreResult;
+use crate::grouping::{collect_candidates, record_tallies, require_strict_aggs, CheckKind};
+use crate::output::{finish, KsjqOutput};
+use crate::params::validate_k;
+use crate::stats::ExecStats;
+use crate::target::target_set;
+use crate::verify::JoinedCheck;
+use ksjq_join::JoinContext;
+use ksjq_relation::Relation;
+use std::time::Instant;
+
+fn precompute_targets(
+    rel: &Relation,
+    cats: &[Category],
+    k_pp: usize,
+) -> Vec<Option<Vec<u32>>> {
+    let locals: Vec<usize> = rel.schema().local_indices().collect();
+    cats.iter()
+        .enumerate()
+        .map(|(t, c)| match c {
+            Category::NN => None,
+            _ => Some(target_set(rel, &locals, t as u32, k_pp)),
+        })
+        .collect()
+}
+
+/// Run the dominator-based KSJQ algorithm (paper Algorithm 3).
+pub fn ksjq_dominator_based(
+    cx: &JoinContext<'_>,
+    k: usize,
+    cfg: &Config,
+) -> CoreResult<KsjqOutput> {
+    let params = validate_k(cx, k)?;
+    require_strict_aggs(cx)?;
+    let mut stats = ExecStats::default();
+    stats.counts.joined_pairs = cx.count_pairs();
+
+    // Phase 1: classification ("grouping time").
+    let t = Instant::now();
+    let cls = classify(cx, &params, cfg.kdom);
+    record_tallies(&cls, &mut stats);
+    stats.phases.grouping = t.elapsed();
+
+    // Phase 2: dominator/target sets for every SS/SN tuple, both sides
+    // ("dominator generation").
+    let t = Instant::now();
+    let ltargets = precompute_targets(cx.left(), &cls.left, params.k1_pp);
+    let rtargets = precompute_targets(cx.right(), &cls.right, params.k2_pp);
+    stats.phases.dominator_gen = t.elapsed();
+
+    // Phase 3: candidate collection + joined rows ("join time").
+    // SS⋈SS pairs are emitted directly only when Theorem 3 applies (a ≤ 1).
+    let t = Instant::now();
+    let verify_yes = params.a >= 2;
+    let cands = collect_candidates(cx, &cls, verify_yes, &mut stats);
+    stats.phases.join = t.elapsed();
+
+    // Phase 4: two-sided verification ("remaining").
+    let t = Instant::now();
+    let mut chk = JoinedCheck::new(cx, k);
+    let mut out = Vec::new();
+    for (i, &(u, v)) in cands.pairs.iter().enumerate() {
+        let dominated = match cands.kinds[i] {
+            CheckKind::Emit => false,
+            _ => chk.dominated_via_both(
+                ltargets[u as usize].as_deref().expect("non-NN candidate leg"),
+                rtargets[v as usize].as_deref().expect("non-NN candidate leg"),
+                cands.row(i),
+            ),
+        };
+        if !dominated {
+            out.push((u, v));
+        }
+    }
+    stats.phases.remaining = t.elapsed();
+    Ok(finish(out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::ksjq_grouping;
+    use crate::naive::ksjq_naive;
+    use ksjq_join::{AggFunc, JoinSpec};
+    use ksjq_relation::{Relation, Schema, TupleId};
+
+    fn rel(groups: &[u64], rows: &[Vec<f64>]) -> Relation {
+        Relation::from_grouped_rows(Schema::uniform(rows[0].len()).unwrap(), groups, rows).unwrap()
+    }
+
+    #[test]
+    fn matches_other_algorithms_on_random() {
+        let mut state = 99u64;
+        let mut next = move |m: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        let n = 60;
+        let mk = |next: &mut dyn FnMut(u64) -> u64| {
+            let g: Vec<u64> = (0..n).map(|_| next(5)).collect();
+            let rows: Vec<Vec<f64>> =
+                (0..n).map(|_| (0..4).map(|_| next(9) as f64).collect()).collect();
+            rel(&g, &rows)
+        };
+        let r1 = mk(&mut next);
+        let r2 = mk(&mut next);
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
+        let cfg = Config::default();
+        for k in 5..=8 {
+            let a = ksjq_naive(&cx, k, &cfg).unwrap();
+            let b = ksjq_grouping(&cx, k, &cfg).unwrap();
+            let c = ksjq_dominator_based(&cx, k, &cfg).unwrap();
+            assert_eq!(a.pairs, b.pairs, "k={k}");
+            assert_eq!(a.pairs, c.pairs, "k={k}");
+        }
+    }
+
+    #[test]
+    fn dominator_gen_phase_is_populated() {
+        let r1 = rel(&[0, 0, 1], &[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]);
+        let r2 = rel(&[0, 1], &[vec![1.0, 1.0], vec![2.0, 2.0]]);
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
+        let out = ksjq_dominator_based(&cx, 3, &Config::default()).unwrap();
+        // The phase ran (non-zero measurable work may still round to 0 ns
+        // on coarse clocks, so only assert the algorithm's correctness
+        // accounting here).
+        let c = out.stats.counts;
+        assert_eq!(c.output, out.len());
+    }
+
+    #[test]
+    fn aggregate_join_matches_naive() {
+        let schema = || Schema::uniform_agg(1, 2).unwrap();
+        let mut state = 7u64;
+        let mut next = move |m: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        let mk = |next: &mut dyn FnMut(u64) -> u64| {
+            let mut b = Relation::builder(schema());
+            for _ in 0..50 {
+                let g = next(4);
+                let row = [next(9) as f64, next(9) as f64, next(9) as f64];
+                b.add_grouped(g, &row).unwrap();
+            }
+            b.build().unwrap()
+        };
+        let r1 = mk(&mut next);
+        let r2 = mk(&mut next);
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[AggFunc::Sum]).unwrap();
+        let cfg = Config::default();
+        for k in 4..=5 {
+            let a = ksjq_naive(&cx, k, &cfg).unwrap();
+            let c = ksjq_dominator_based(&cx, k, &cfg).unwrap();
+            assert_eq!(a.pairs, c.pairs, "k={k}");
+        }
+    }
+
+    #[test]
+    fn paper_table6_aggregate_skyline() {
+        use ksjq_datagen::paper_flights;
+        let pf = paper_flights(true);
+        let cx = JoinContext::new(
+            &pf.outbound,
+            &pf.inbound,
+            JoinSpec::Equality,
+            &[AggFunc::Sum],
+        )
+        .unwrap();
+        let out = ksjq_dominator_based(&cx, 6, &Config::default()).unwrap();
+        // Table 6 (k = 6, cost aggregated): same four winners as Table 3.
+        let expected = vec![
+            (TupleId(0), TupleId(2)),
+            (TupleId(2), TupleId(0)),
+            (TupleId(4), TupleId(4)),
+            (TupleId(5), TupleId(5)),
+        ];
+        assert_eq!(out.pairs, expected);
+    }
+}

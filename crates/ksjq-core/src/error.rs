@@ -1,0 +1,84 @@
+//! KSJQ-layer errors.
+
+use std::fmt;
+
+/// Convenience alias for KSJQ results.
+pub type CoreResult<T> = std::result::Result<T, CoreError>;
+
+/// Errors raised by the KSJQ algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// `k` outside the valid range `max{d1, d2} < k ≤ d1 + d2 − a`
+    /// (paper Problems 1 and 2).
+    InvalidK {
+        /// The requested `k`.
+        k: usize,
+        /// Smallest valid value (`max{d1,d2} + 1`).
+        min: usize,
+        /// Largest valid value (`d1 + d2 − a`, the joined arity).
+        max: usize,
+    },
+    /// The optimized algorithms require strictly monotone aggregation
+    /// functions (Theorem 4's proof constructs a strict witness through
+    /// the aggregate); `min`/`max` aggregates must use the naïve
+    /// algorithm.
+    NonStrictAggregate,
+    /// `δ` must be at least 1 for the find-k problems.
+    InvalidDelta,
+    /// The k-range for find-k is empty (e.g. `d1 = d2 = d_joined`, which
+    /// happens when one relation contributes no attributes beyond the
+    /// aggregates of the other).
+    EmptyKRange {
+        /// Smallest candidate `k`.
+        min: usize,
+        /// Largest candidate `k`.
+        max: usize,
+    },
+    /// Propagated join-layer error.
+    Join(ksjq_join::JoinError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidK { k, min, max } => {
+                write!(f, "k = {k} out of range: KSJQ requires {min} <= k <= {max}")
+            }
+            CoreError::NonStrictAggregate => write!(
+                f,
+                "optimized KSJQ algorithms require strictly monotone aggregates (sum / weighted sum); use the naive algorithm for min/max"
+            ),
+            CoreError::InvalidDelta => write!(f, "delta must be at least 1"),
+            CoreError::EmptyKRange { min, max } => {
+                write!(f, "no valid k exists: range [{min}, {max}] is empty")
+            }
+            CoreError::Join(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<ksjq_join::JoinError> for CoreError {
+    fn from(e: ksjq_join::JoinError) -> Self {
+        CoreError::Join(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CoreError::InvalidK { k: 3, min: 5, max: 8 };
+        assert!(e.to_string().contains("k = 3"));
+        assert!(CoreError::NonStrictAggregate.to_string().contains("strictly monotone"));
+    }
+
+    #[test]
+    fn from_join_error() {
+        let e: CoreError = ksjq_join::JoinError::InvalidAggregate("x".into()).into();
+        assert!(matches!(e, CoreError::Join(_)));
+    }
+}

@@ -1,0 +1,428 @@
+//! Algorithm 2: the grouping KSJQ algorithm.
+//!
+//! 1. Classify both base relations into SS/SN/NN (the "grouping time"
+//!    component).
+//! 2. Emit `SS1 ⋈ SS2` pairs immediately (Table 5's "yes"); prune every
+//!    pair with an `NN` component without joining (Theorems 2/4).
+//! 3. Verify the "likely" pairs (`SS ⋈ SN` either way) against joins of
+//!    the SS leg's target set, and the "may be" pairs (`SN1 ⋈ SN2`)
+//!    against joins of the left leg's target set — a sound strengthening
+//!    of the paper's full `R1 ⋈ R2` scan, since any dominator's left leg
+//!    must pass the target filter (see [`crate::target`]).
+//!
+//! Deviation from the paper (documented in DESIGN.md §4.5): with two or
+//! more aggregate slots Theorem 3 does not hold, so the "yes" fast path is
+//! only taken when `a ≤ 1`; otherwise SS⋈SS pairs are verified like
+//! "likely" pairs.
+
+use crate::classify::{classify, Category, Classification};
+use crate::config::Config;
+use crate::error::{CoreError, CoreResult};
+use crate::output::{finish, KsjqOutput};
+use crate::params::validate_k;
+use crate::stats::ExecStats;
+use crate::target::TargetCache;
+use crate::verify::JoinedCheck;
+use ksjq_join::JoinContext;
+use std::time::Instant;
+
+/// How a candidate pair gets verified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CheckKind {
+    /// Emit without verification ("yes", sound only when `a ≤ 1`).
+    Emit,
+    /// Verify against `τ(u′) ⋈ R2`.
+    LeftTarget,
+    /// Verify against `R1 ⋈ τ(v′)`.
+    RightTarget,
+}
+
+/// The candidate pairs of one execution, with their joined rows
+/// materialised (the "join time" component).
+pub(crate) struct Candidates {
+    pub kinds: Vec<CheckKind>,
+    pub pairs: Vec<(u32, u32)>,
+    /// Row-major joined rows, aligned with `pairs`.
+    pub rows: Vec<f64>,
+    pub d: usize,
+}
+
+impl Candidates {
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.rows[i * self.d..(i + 1) * self.d]
+    }
+}
+
+/// Collect and materialise the non-pruned pairs, recording fate classes.
+///
+/// `verify_yes` forces SS⋈SS pairs through verification instead of
+/// emitting them (needed when `a ≥ 2`, and by the dominator-based
+/// algorithm's two-sided checks).
+pub(crate) fn collect_candidates(
+    cx: &JoinContext<'_>,
+    cls: &Classification,
+    verify_yes: bool,
+    stats: &mut ExecStats,
+) -> Candidates {
+    let d = cx.d_joined();
+    let mut c = Candidates { kinds: Vec::new(), pairs: Vec::new(), rows: Vec::new(), d };
+    let mut row = vec![0.0; d];
+    for u in 0..cls.left.len() as u32 {
+        let cu = cls.left[u as usize];
+        if cu == Category::NN {
+            continue;
+        }
+        for &v in cx.right_partners(u) {
+            let kind = match (cu, cls.right[v as usize]) {
+                (Category::SS, Category::SS) => {
+                    stats.counts.yes_pairs += 1;
+                    if verify_yes {
+                        CheckKind::LeftTarget
+                    } else {
+                        CheckKind::Emit
+                    }
+                }
+                (Category::SS, Category::SN) => {
+                    stats.counts.likely_pairs += 1;
+                    CheckKind::LeftTarget
+                }
+                (Category::SN, Category::SS) => {
+                    stats.counts.likely_pairs += 1;
+                    CheckKind::RightTarget
+                }
+                (Category::SN, Category::SN) => {
+                    stats.counts.maybe_pairs += 1;
+                    CheckKind::LeftTarget
+                }
+                _ => continue,
+            };
+            cx.fill(u, v, &mut row);
+            c.kinds.push(kind);
+            c.pairs.push((u, v));
+            c.rows.extend_from_slice(&row);
+        }
+    }
+    c
+}
+
+pub(crate) fn record_tallies(cls: &Classification, stats: &mut ExecStats) {
+    let (ss1, sn1, nn1) = cls.tallies(0);
+    let (ss2, sn2, nn2) = cls.tallies(1);
+    stats.counts.ss = [ss1, ss2];
+    stats.counts.sn = [sn1, sn2];
+    stats.counts.nn = [nn1, nn2];
+}
+
+pub(crate) fn require_strict_aggs(cx: &JoinContext<'_>) -> CoreResult<()> {
+    if cx.a() > 0 && !cx.aggs_strictly_monotone() {
+        return Err(CoreError::NonStrictAggregate);
+    }
+    Ok(())
+}
+
+/// Run the grouping KSJQ algorithm (paper Algorithm 2), delivering each
+/// skyline tuple to `sink` as soon as it is confirmed.
+///
+/// This is the progressiveness the paper's Sec. 6.1 motivates: "yes"
+/// pairs (`SS1 ⋈ SS2`, when Theorem 3 applies) are delivered right after
+/// classification — long before any verification work — and verified
+/// pairs stream out as their checks complete. The returned output is
+/// identical to [`ksjq_grouping`]'s (sorted); the sink sees the same set
+/// in confirmation order.
+pub fn ksjq_grouping_progressive(
+    cx: &JoinContext<'_>,
+    k: usize,
+    cfg: &Config,
+    mut sink: impl FnMut(u32, u32),
+) -> CoreResult<KsjqOutput> {
+    let params = validate_k(cx, k)?;
+    require_strict_aggs(cx)?;
+    let mut stats = ExecStats::default();
+    stats.counts.joined_pairs = cx.count_pairs();
+
+    let t = Instant::now();
+    let cls = classify(cx, &params, cfg.kdom);
+    record_tallies(&cls, &mut stats);
+    stats.phases.grouping = t.elapsed();
+
+    let t = Instant::now();
+    let verify_yes = params.a >= 2;
+    let cands = collect_candidates(cx, &cls, verify_yes, &mut stats);
+    // Emit the unconditional winners immediately.
+    for (i, &(u, v)) in cands.pairs.iter().enumerate() {
+        if cands.kinds[i] == CheckKind::Emit {
+            sink(u, v);
+        }
+    }
+    stats.phases.join = t.elapsed();
+
+    let t = Instant::now();
+    let mut ltargets = TargetCache::new(cx.left(), params.k1_pp);
+    let mut rtargets = TargetCache::new(cx.right(), params.k2_pp);
+    let mut chk = JoinedCheck::new(cx, k);
+    let mut out = Vec::new();
+    for (i, &(u, v)) in cands.pairs.iter().enumerate() {
+        let dominated = match cands.kinds[i] {
+            CheckKind::Emit => {
+                out.push((u, v)); // already delivered
+                continue;
+            }
+            CheckKind::LeftTarget => chk.dominated_via_left(ltargets.get(u), cands.row(i)),
+            CheckKind::RightTarget => chk.dominated_via_right(rtargets.get(v), cands.row(i)),
+        };
+        if !dominated {
+            sink(u, v);
+            out.push((u, v));
+        }
+    }
+    stats.phases.remaining = t.elapsed();
+    Ok(finish(out, stats))
+}
+
+/// Run the grouping KSJQ algorithm (paper Algorithm 2).
+pub fn ksjq_grouping(cx: &JoinContext<'_>, k: usize, cfg: &Config) -> CoreResult<KsjqOutput> {
+    let params = validate_k(cx, k)?;
+    require_strict_aggs(cx)?;
+    let mut stats = ExecStats::default();
+    stats.counts.joined_pairs = cx.count_pairs();
+
+    // Phase 1: classification ("grouping time").
+    let t = Instant::now();
+    let cls = classify(cx, &params, cfg.kdom);
+    record_tallies(&cls, &mut stats);
+    stats.phases.grouping = t.elapsed();
+
+    // Phase 2: candidate collection + joined-row construction ("join time").
+    let t = Instant::now();
+    let verify_yes = params.a >= 2;
+    let cands = collect_candidates(cx, &cls, verify_yes, &mut stats);
+    stats.phases.join = t.elapsed();
+
+    // Phase 3: verification ("remaining"); target sets are built lazily.
+    // With cfg.threads > 1 the candidates are verified by parallel workers
+    // (the paper's future-work extension, see crate::parallel).
+    let t = Instant::now();
+    let out = if cfg.threads > 1 {
+        crate::parallel::verify_parallel(cx, k, &params, &cands, cfg.threads)
+    } else {
+        let mut ltargets = TargetCache::new(cx.left(), params.k1_pp);
+        let mut rtargets = TargetCache::new(cx.right(), params.k2_pp);
+        let mut chk = JoinedCheck::new(cx, k);
+        let mut out = Vec::new();
+        for (i, &(u, v)) in cands.pairs.iter().enumerate() {
+            let dominated = match cands.kinds[i] {
+                CheckKind::Emit => false,
+                CheckKind::LeftTarget => chk.dominated_via_left(ltargets.get(u), cands.row(i)),
+                CheckKind::RightTarget => chk.dominated_via_right(rtargets.get(v), cands.row(i)),
+            };
+            if !dominated {
+                out.push((u, v));
+            }
+        }
+        out
+    };
+    stats.phases.remaining = t.elapsed();
+    Ok(finish(out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::ksjq_naive;
+    use ksjq_join::{AggFunc, JoinSpec};
+    use ksjq_relation::{Relation, Schema, TupleId};
+
+    fn rel(groups: &[u64], rows: &[Vec<f64>]) -> Relation {
+        Relation::from_grouped_rows(Schema::uniform(rows[0].len()).unwrap(), groups, rows).unwrap()
+    }
+
+    #[test]
+    fn matches_naive_on_small_random() {
+        let mut state = 4242u64;
+        let mut next = move |m: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        let n = 70;
+        let mk = |next: &mut dyn FnMut(u64) -> u64| {
+            let g: Vec<u64> = (0..n).map(|_| next(4)).collect();
+            let rows: Vec<Vec<f64>> =
+                (0..n).map(|_| (0..4).map(|_| next(8) as f64).collect()).collect();
+            rel(&g, &rows)
+        };
+        let r1 = mk(&mut next);
+        let r2 = mk(&mut next);
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
+        let cfg = Config::default();
+        for k in 5..=8 {
+            let a = ksjq_naive(&cx, k, &cfg).unwrap();
+            let b = ksjq_grouping(&cx, k, &cfg).unwrap();
+            assert_eq!(a.pairs, b.pairs, "k={k}");
+        }
+    }
+
+    #[test]
+    fn stats_accounting() {
+        // One dominator pair per side in group 0; a lone pair in group 1.
+        let r1 = rel(&[0, 0, 1], &[vec![1.0, 1.0], vec![2.0, 2.0], vec![9.0, 9.0]]);
+        let r2 = rel(&[0, 1], &[vec![1.0, 1.0], vec![1.0, 1.0]]);
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
+        let out = ksjq_grouping(&cx, 3, &Config::default()).unwrap();
+        let c = out.stats.counts;
+        assert_eq!(c.joined_pairs, 3);
+        assert_eq!(c.ss[0] + c.sn[0] + c.nn[0], 3);
+        assert_eq!(c.output, out.len());
+        assert_eq!(
+            c.yes_pairs as u64 + c.likely_pairs as u64 + c.maybe_pairs as u64 + c.pruned_pairs(),
+            c.joined_pairs
+        );
+    }
+
+    #[test]
+    fn rejects_non_strict_aggregates() {
+        let schema = || Schema::uniform_agg(1, 2).unwrap();
+        let mut b1 = Relation::builder(schema());
+        b1.add_grouped(0, &[1.0, 1.0, 1.0]).unwrap();
+        let r1 = b1.build().unwrap();
+        let mut b2 = Relation::builder(schema());
+        b2.add_grouped(0, &[1.0, 1.0, 1.0]).unwrap();
+        let r2 = b2.build().unwrap();
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[AggFunc::Max]).unwrap();
+        let e = ksjq_grouping(&cx, 4, &Config::default()).unwrap_err();
+        assert_eq!(e, CoreError::NonStrictAggregate);
+        // The naive algorithm accepts it.
+        assert!(ksjq_naive(&cx, 4, &Config::default()).is_ok());
+    }
+
+    /// The concrete Theorem-3 counterexample for `a = 2` from DESIGN.md
+    /// §4.5: all four base tuples are SS, yet `u ⋈ v ≻₄ u′ ⋈ v′`. The
+    /// grouping algorithm must verify (not blindly emit) SS⋈SS here.
+    #[test]
+    fn theorem3_counterexample_with_two_aggregates() {
+        let schema = || Schema::uniform_agg(2, 1).unwrap(); // g0, g1, s0
+        let mk = |rows: &[[f64; 3]]| {
+            let mut b = Relation::builder(schema());
+            for r in rows {
+                // Schema order: agg g0, agg g1, local s0 — rows given as
+                // (local, agg1, agg2) in the DESIGN.md example.
+                b.add_grouped(0, &[r[1], r[2], r[0]]).unwrap();
+            }
+            b.build().unwrap()
+        };
+        let r1 = mk(&[[5.0, 5.0, 5.0], [5.0, 4.0, 7.0]]); // u′, u
+        let r2 = mk(&[[5.0, 5.0, 5.0], [5.0, 6.0, 2.0]]); // v′, v
+        let cx = JoinContext::new(
+            &r1,
+            &r2,
+            JoinSpec::Equality,
+            &[AggFunc::Sum, AggFunc::Sum],
+        )
+        .unwrap();
+        let k = 4;
+        // Sanity: the classification really is all-SS.
+        let p = validate_k(&cx, k).unwrap();
+        let cls = classify(&cx, &p, ksjq_skyline::KdomAlgo::Naive);
+        assert!(cls.left.iter().all(|c| *c == Category::SS), "{:?}", cls.left);
+        assert!(cls.right.iter().all(|c| *c == Category::SS), "{:?}", cls.right);
+        // And u ⋈ v really dominates u′ ⋈ v′.
+        assert!(ksjq_relation::k_dominates(
+            &cx.joined_row(1, 1),
+            &cx.joined_row(0, 0),
+            k
+        ));
+        // Both algorithms agree and exclude (u′, v′).
+        let naive = ksjq_naive(&cx, k, &Config::default()).unwrap();
+        let grouping = ksjq_grouping(&cx, k, &Config::default()).unwrap();
+        assert_eq!(naive.pairs, grouping.pairs);
+        assert!(!grouping.contains(0, 0));
+        assert!(grouping.contains(1, 1));
+    }
+
+    #[test]
+    fn cartesian_fast_path() {
+        let mk = |rows: &[Vec<f64>]| {
+            let mut b = Relation::builder(Schema::uniform(2).unwrap());
+            for r in rows {
+                b.add(r).unwrap();
+            }
+            b.build().unwrap()
+        };
+        let r1 = mk(&[vec![1.0, 2.0], vec![2.0, 1.0], vec![3.0, 3.0]]);
+        let r2 = mk(&[vec![1.0, 1.0], vec![5.0, 5.0]]);
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Cartesian, &[]).unwrap();
+        let cfg = Config::default();
+        for k in 3..=4 {
+            let a = ksjq_naive(&cx, k, &cfg).unwrap();
+            let b = ksjq_grouping(&cx, k, &cfg).unwrap();
+            assert_eq!(a.pairs, b.pairs, "k={k}");
+            // Sec. 6.5: no SN tuples ⇒ no likely/maybe work at all.
+            assert_eq!(b.stats.counts.likely_pairs, 0);
+            assert_eq!(b.stats.counts.maybe_pairs, 0);
+        }
+    }
+
+    #[test]
+    fn progressive_delivers_yes_first_and_matches_batch() {
+        let mut state = 314u64;
+        let mut next = move |m: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        let n = 80;
+        let mk = |next: &mut dyn FnMut(u64) -> u64| {
+            let g: Vec<u64> = (0..n).map(|_| next(4)).collect();
+            let rows: Vec<Vec<f64>> =
+                (0..n).map(|_| (0..4).map(|_| next(8) as f64).collect()).collect();
+            rel(&g, &rows)
+        };
+        let r1 = mk(&mut next);
+        let r2 = mk(&mut next);
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
+        let cfg = Config::default();
+        for k in 5..=7 {
+            let batch = ksjq_grouping(&cx, k, &cfg).unwrap();
+            let mut streamed = Vec::new();
+            let prog =
+                ksjq_grouping_progressive(&cx, k, &cfg, |u, v| streamed.push((u, v))).unwrap();
+            assert_eq!(prog.pairs, batch.pairs, "k={k}");
+            // Same set, delivered exactly once each.
+            let mut sorted = streamed.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), streamed.len(), "k={k}: duplicate delivery");
+            let as_pairs: Vec<_> = sorted
+                .iter()
+                .map(|&(u, v)| (TupleId(u), TupleId(v)))
+                .collect();
+            assert_eq!(as_pairs, batch.pairs, "k={k}");
+            // Every "yes" pair precedes every verified pair in the stream.
+            let cls = classify(&cx, &validate_k(&cx, k).unwrap(), cfg.kdom);
+            let is_yes = |&(u, v): &(u32, u32)| {
+                cls.left[u as usize] == Category::SS && cls.right[v as usize] == Category::SS
+            };
+            let first_nonyes = streamed.iter().position(|p| !is_yes(p));
+            if let Some(cut) = first_nonyes {
+                assert!(
+                    streamed[cut..].iter().all(|p| !is_yes(p)),
+                    "k={k}: yes pair delivered after a verified pair"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_table3_final_skyline() {
+        use ksjq_datagen::paper_flights;
+        let pf = paper_flights(false);
+        let cx = JoinContext::new(&pf.outbound, &pf.inbound, JoinSpec::Equality, &[]).unwrap();
+        let out = ksjq_grouping(&cx, 7, &Config::default()).unwrap();
+        // Table 3: (11,23), (13,21), (15,25), (16,26) — ids are fno − 11 / − 21.
+        let expected = vec![
+            (TupleId(0), TupleId(2)),
+            (TupleId(2), TupleId(0)),
+            (TupleId(4), TupleId(4)),
+            (TupleId(5), TupleId(5)),
+        ];
+        assert_eq!(out.pairs, expected);
+    }
+}

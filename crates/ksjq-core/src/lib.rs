@@ -1,0 +1,72 @@
+//! K-Dominant Skyline Join Queries (KSJQ).
+//!
+//! This crate implements the algorithms of *"K-Dominant Skyline Join
+//! Queries: Extending the Join Paradigm to K-Dominant Skylines"* (Awasthi,
+//! Bhattacharya, Gupta, Singh — ICDE 2017):
+//!
+//! * **Problem 1/2** — the k-dominant skyline of a joined relation
+//!   `R1 ⋈ R2`, with optional monotone aggregation over paired attributes:
+//!   [`ksjq_naive`] (Algorithm 1), [`ksjq_grouping`] (Algorithm 2) and
+//!   [`ksjq_dominator_based`] (Algorithm 3).
+//! * **Problem 3/4** — choosing `k` from a target skyline cardinality δ:
+//!   [`find_k_at_least`] / [`find_k_at_most`] with naïve, range-based and
+//!   binary-search strategies (Algorithms 4–6).
+//!
+//! The high-level entry point is [`KsjqQuery`]:
+//!
+//! ```
+//! use ksjq_core::{Algorithm, KsjqQuery};
+//! use ksjq_datagen::paper_flights;
+//!
+//! // The paper's running example: two-leg flights joined on the stopover.
+//! let flights = paper_flights(false);
+//! let result = KsjqQuery::builder(&flights.outbound, &flights.inbound)
+//!     .k(7)
+//!     .algorithm(Algorithm::Grouping)
+//!     .build()
+//!     .unwrap()
+//!     .execute()
+//!     .unwrap();
+//! // Table 3's final skyline: flight combinations (11,23), (13,21),
+//! // (15,25) and (16,26).
+//! assert_eq!(result.len(), 4);
+//! ```
+//!
+//! ## Soundness notes
+//!
+//! The implementation corrects three subtle issues in the paper's
+//! aggregate-case claims (details in the repository's DESIGN.md §4.5 and
+//! in [`target`]): classification thresholds use the Sec. 5.6 form
+//! `k′ = k − l_other`; target sets filter on `≤` over local attributes
+//! (the paper's equal-value `Augment` is incomplete under aggregation);
+//! and the `SS ⋈ SS` fast path is verified when `a ≥ 2` (Theorem 3 fails
+//! there). All algorithms return identical answers — that equivalence is
+//! enforced by the cross-algorithm test suites.
+
+pub mod classify;
+pub mod config;
+pub mod dominator_based;
+pub mod error;
+pub mod find_k;
+pub mod grouping;
+pub mod naive;
+pub mod output;
+pub mod parallel;
+pub mod params;
+pub mod query;
+pub mod stats;
+pub mod target;
+mod verify;
+
+pub use classify::{classify, pair_counts, Category, Classification};
+pub use config::Config;
+pub use dominator_based::ksjq_dominator_based;
+pub use error::{CoreError, CoreResult};
+pub use find_k::{find_k_at_least, find_k_at_most, FindKReport, FindKStrategy};
+pub use grouping::{ksjq_grouping, ksjq_grouping_progressive};
+pub use naive::ksjq_naive;
+pub use output::KsjqOutput;
+pub use params::{k_max, k_min, validate_k, KsjqParams};
+pub use query::{k_range, Algorithm, KsjqQuery, KsjqQueryBuilder};
+pub use stats::{Counts, ExecStats, PhaseTimes};
+pub use target::{target_set, TargetCache};

@@ -1,0 +1,69 @@
+//! Query results.
+
+use crate::stats::ExecStats;
+use ksjq_relation::TupleId;
+
+/// The result of one KSJQ execution: the k-dominant skyline of the joined
+/// relation, as `(left, right)` base-tuple pairs, plus execution stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KsjqOutput {
+    /// Skyline joined tuples, sorted by `(left, right)` tuple id — every
+    /// algorithm produces the identical, deterministic sequence.
+    pub pairs: Vec<(TupleId, TupleId)>,
+    /// Timing breakdown and cardinality counters.
+    pub stats: ExecStats,
+}
+
+impl KsjqOutput {
+    /// Number of skyline tuples.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Is the skyline empty? (Legitimately possible: k-dominance admits
+    /// mutual elimination.)
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Does the skyline contain the joined tuple `(left, right)`?
+    pub fn contains(&self, left: u32, right: u32) -> bool {
+        self.pairs.binary_search(&(TupleId(left), TupleId(right))).is_ok()
+    }
+}
+
+/// Sort-and-wrap helper used by the algorithm implementations.
+pub(crate) fn finish(mut pairs: Vec<(u32, u32)>, mut stats: ExecStats) -> KsjqOutput {
+    pairs.sort_unstable();
+    stats.counts.output = pairs.len();
+    KsjqOutput {
+        pairs: pairs.into_iter().map(|(u, v)| (TupleId(u), TupleId(v))).collect(),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_sorts_and_counts() {
+        let out = finish(vec![(2, 1), (0, 3), (2, 0)], ExecStats::default());
+        assert_eq!(
+            out.pairs,
+            vec![(TupleId(0), TupleId(3)), (TupleId(2), TupleId(0)), (TupleId(2), TupleId(1))]
+        );
+        assert_eq!(out.stats.counts.output, 3);
+        assert_eq!(out.len(), 3);
+        assert!(!out.is_empty());
+        assert!(out.contains(2, 0));
+        assert!(!out.contains(1, 1));
+    }
+
+    #[test]
+    fn empty_output() {
+        let out = finish(vec![], ExecStats::default());
+        assert!(out.is_empty());
+        assert_eq!(out.len(), 0);
+    }
+}

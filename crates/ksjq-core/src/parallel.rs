@@ -1,0 +1,120 @@
+//! Parallel candidate verification (the paper's future-work extension).
+//!
+//! The expensive phase of the grouping algorithm — verifying "likely" and
+//! "may be" candidates against target-set joins — is embarrassingly
+//! parallel: every candidate is checked independently against immutable
+//! relations. `verify_parallel` shards the candidate list over
+//! `threads` crossbeam-scoped workers, each with its own scratch state
+//! and target cache, and concatenates survivors in candidate order so the
+//! final output is identical to the serial path.
+//!
+//! Classification and candidate collection stay serial: they are a small
+//! fraction of the runtime (see the figures' phase breakdown) and
+//! parallelising them would not change any comparison the paper makes.
+
+use crate::grouping::{Candidates, CheckKind};
+use crate::params::KsjqParams;
+use crate::target::TargetCache;
+use crate::verify::JoinedCheck;
+use ksjq_join::JoinContext;
+
+/// Verify all candidates with `threads` workers; returns the surviving
+/// pairs in candidate order (identical to the serial verification).
+pub(crate) fn verify_parallel(
+    cx: &JoinContext<'_>,
+    k: usize,
+    params: &KsjqParams,
+    cands: &Candidates,
+    threads: usize,
+) -> Vec<(u32, u32)> {
+    let n = cands.pairs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.min(n).max(1);
+    let chunk = n.div_ceil(threads);
+
+    let results = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            handles.push(scope.spawn(move |_| {
+                let mut ltargets = TargetCache::new(cx.left(), params.k1_pp);
+                let mut rtargets = TargetCache::new(cx.right(), params.k2_pp);
+                let mut chk = JoinedCheck::new(cx, k);
+                let mut out = Vec::new();
+                for i in lo..hi {
+                    let (u, v) = cands.pairs[i];
+                    let dominated = match cands.kinds[i] {
+                        CheckKind::Emit => false,
+                        CheckKind::LeftTarget => {
+                            chk.dominated_via_left(ltargets.get(u), cands.row(i))
+                        }
+                        CheckKind::RightTarget => {
+                            chk.dominated_via_right(rtargets.get(v), cands.row(i))
+                        }
+                    };
+                    if !dominated {
+                        out.push((u, v));
+                    }
+                }
+                out
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("verification worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("crossbeam scope failed");
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::Config;
+    use crate::grouping::ksjq_grouping;
+    use ksjq_join::{JoinContext, JoinSpec};
+    use ksjq_relation::{Relation, Schema};
+
+    fn random_rel(seed: u64, n: usize) -> Relation {
+        let mut state = seed;
+        let mut next = move |m: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        let mut b = Relation::builder(Schema::uniform(4).unwrap());
+        for _ in 0..n {
+            let g = next(5);
+            let row = [next(10) as f64, next(10) as f64, next(10) as f64, next(10) as f64];
+            b.add_grouped(g, &row).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let r1 = random_rel(1, 150);
+        let r2 = random_rel(2, 150);
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
+        for k in 5..=8 {
+            let serial = ksjq_grouping(&cx, k, &Config::default()).unwrap();
+            for threads in [2usize, 3, 8] {
+                let parallel =
+                    ksjq_grouping(&cx, k, &Config::with_threads(threads)).unwrap();
+                assert_eq!(serial.pairs, parallel.pairs, "k={k} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_candidates() {
+        let r1 = random_rel(3, 8);
+        let r2 = random_rel(4, 8);
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
+        let serial = ksjq_grouping(&cx, 5, &Config::default()).unwrap();
+        let parallel = ksjq_grouping(&cx, 5, &Config::with_threads(64)).unwrap();
+        assert_eq!(serial.pairs, parallel.pairs);
+    }
+}

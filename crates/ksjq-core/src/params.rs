@@ -1,0 +1,141 @@
+//! Derived KSJQ parameters and validation.
+
+use crate::error::{CoreError, CoreResult};
+use ksjq_join::JoinContext;
+
+/// All derived quantities of one KSJQ instance.
+///
+/// Notation follows the paper: `d_i` attributes per base relation of which
+/// `a` are aggregated and `l_i = d_i − a` local; the joined relation has
+/// `l1 + l2 + a` skyline attributes; classification thresholds are
+/// `k′1 = k − l2` and `k′2 = k − l1` (the Sec. 5.6 form — at `a = 0` it
+/// equals Sec. 5.4's `k − d_other`); target sets filter on
+/// `k″i = k′i − a` *local* better-or-equal positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KsjqParams {
+    /// The query's `k`.
+    pub k: usize,
+    /// `d1`.
+    pub d1: usize,
+    /// `d2`.
+    pub d2: usize,
+    /// Aggregate slots `a`.
+    pub a: usize,
+    /// `l1 = d1 − a`.
+    pub l1: usize,
+    /// `l2 = d2 − a`.
+    pub l2: usize,
+    /// Joined arity `l1 + l2 + a`.
+    pub d_joined: usize,
+    /// Classification threshold of the left relation, `k′1 = k − l2`.
+    pub k1_prime: usize,
+    /// Classification threshold of the right relation, `k′2 = k − l1`.
+    pub k2_prime: usize,
+    /// Target-set threshold of the left relation, `k″1 = k − l2 − a`.
+    pub k1_pp: usize,
+    /// Target-set threshold of the right relation, `k″2 = k − l1 − a`.
+    pub k2_pp: usize,
+}
+
+/// Smallest admissible `k` for a join: `max{d1, d2} + 1`.
+pub fn k_min(cx: &JoinContext<'_>) -> usize {
+    cx.d1().max(cx.d2()) + 1
+}
+
+/// Largest admissible `k` for a join: the joined arity `d1 + d2 − a`.
+pub fn k_max(cx: &JoinContext<'_>) -> usize {
+    cx.d_joined()
+}
+
+/// Validate `k` against the paper's range `max{d1,d2} < k ≤ d1 + d2 − a`
+/// and derive all dependent parameters.
+pub fn validate_k(cx: &JoinContext<'_>, k: usize) -> CoreResult<KsjqParams> {
+    let (min, max) = (k_min(cx), k_max(cx));
+    if k < min || k > max {
+        return Err(CoreError::InvalidK { k, min, max });
+    }
+    let (d1, d2, a) = (cx.d1(), cx.d2(), cx.a());
+    let (l1, l2) = (cx.l1(), cx.l2());
+    Ok(KsjqParams {
+        k,
+        d1,
+        d2,
+        a,
+        l1,
+        l2,
+        d_joined: cx.d_joined(),
+        k1_prime: k - l2,
+        k2_prime: k - l1,
+        k1_pp: k - l2 - a,
+        k2_pp: k - l1 - a,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksjq_join::{AggFunc, JoinSpec};
+    use ksjq_relation::{Relation, Schema};
+
+    fn rel(a: usize, l: usize) -> Relation {
+        let mut b = Relation::builder(Schema::uniform_agg(a, l).unwrap());
+        b.add_grouped(0, &vec![0.0; a + l]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn plain_ksjq_range() {
+        // d1 = d2 = 4, no aggregates: 5 <= k <= 8 (k = 8 is the ordinary
+        // skyline join).
+        let (r1, r2) = (rel(0, 4), rel(0, 4));
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
+        assert!(validate_k(&cx, 4).is_err());
+        assert!(validate_k(&cx, 9).is_err());
+        let p = validate_k(&cx, 7).unwrap();
+        assert_eq!(p.k1_prime, 3); // k − d2 = k − l2 at a = 0
+        assert_eq!(p.k2_prime, 3);
+        assert_eq!(p.k1_pp, 3);
+        assert_eq!(p.d_joined, 8);
+    }
+
+    #[test]
+    fn aggregate_range_and_thresholds() {
+        // Paper's Sec. 5.6 example: d = 4, a = 1, l = 3, k = 6.
+        let (r1, r2) = (rel(1, 3), rel(1, 3));
+        let cx =
+            JoinContext::new(&r1, &r2, JoinSpec::Equality, &[AggFunc::Sum]).unwrap();
+        let p = validate_k(&cx, 6).unwrap();
+        assert_eq!(p.k1_pp, 2); // k″1 = 6 − 1 − 3
+        assert_eq!(p.k1_prime, 3); // k′1 = k″1 + a
+        assert_eq!(p.d_joined, 7);
+        assert_eq!(k_min(&cx), 5);
+        assert_eq!(k_max(&cx), 7);
+    }
+
+    #[test]
+    fn thresholds_stay_in_bounds() {
+        // For every valid k: 1 <= k″i <= li and k″i + a = k′i <= di.
+        for (a, l1, l2) in [(0usize, 4usize, 4usize), (1, 3, 3), (2, 5, 5), (2, 3, 4)] {
+            let (r1, r2) = (rel(a, l1), rel(a, l2));
+            let funcs = vec![AggFunc::Sum; a];
+            let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &funcs).unwrap();
+            for k in k_min(&cx)..=k_max(&cx) {
+                let p = validate_k(&cx, k).unwrap();
+                assert!(p.k1_pp >= 1 && p.k1_pp <= l1, "a={a} l1={l1} k={k}: {p:?}");
+                assert!(p.k2_pp >= 1 && p.k2_pp <= l2, "a={a} l2={l2} k={k}: {p:?}");
+                assert!(p.k1_prime <= p.d1);
+                assert!(p.k2_prime <= p.d2);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_locals_means_empty_range() {
+        // With l1 = 0 every admissible k exceeds the joined arity.
+        let (r1, r2) = (rel(2, 0), rel(2, 3));
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[AggFunc::Sum, AggFunc::Sum])
+            .unwrap();
+        assert!(k_min(&cx) > k_max(&cx));
+        assert!(validate_k(&cx, k_max(&cx)).is_err());
+    }
+}

@@ -1,0 +1,282 @@
+//! The high-level query API.
+//!
+//! [`KsjqQuery`] wraps a [`JoinContext`], a `k` (or a δ for automatic `k`
+//! selection) and an algorithm choice behind a builder:
+//!
+//! ```
+//! use ksjq_core::{Algorithm, KsjqQuery};
+//! use ksjq_datagen::paper_flights;
+//!
+//! let pf = paper_flights(false);
+//! let query = KsjqQuery::builder(&pf.outbound, &pf.inbound)
+//!     .k(7)
+//!     .algorithm(Algorithm::Grouping)
+//!     .build()
+//!     .unwrap();
+//! let result = query.execute().unwrap();
+//! assert_eq!(result.len(), 4); // Table 3's final skyline
+//! ```
+
+use crate::config::Config;
+use crate::dominator_based::ksjq_dominator_based;
+use crate::error::CoreResult;
+use crate::find_k::{find_k_at_least, find_k_at_most, FindKReport, FindKStrategy};
+use crate::grouping::ksjq_grouping;
+use crate::naive::ksjq_naive;
+use crate::output::KsjqOutput;
+use crate::params::{k_max, k_min};
+use ksjq_join::{AggFunc, JoinContext, JoinSpec};
+use ksjq_relation::Relation;
+use ksjq_skyline::KdomAlgo;
+
+/// Which KSJQ algorithm executes the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Algorithm {
+    /// Algorithm 1: join everything, then compute the skyline.
+    Naive,
+    /// Algorithm 2: classification + target-set verification. The paper's
+    /// consistent winner and the default.
+    #[default]
+    Grouping,
+    /// Algorithm 3: explicit dominator sets, two-sided verification.
+    DominatorBased,
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Algorithm::Naive => write!(f, "naive"),
+            Algorithm::Grouping => write!(f, "grouping"),
+            Algorithm::DominatorBased => write!(f, "dominator-based"),
+        }
+    }
+}
+
+/// A bound and validated KSJQ query.
+#[derive(Debug)]
+pub struct KsjqQuery<'a> {
+    cx: JoinContext<'a>,
+    k: usize,
+    algorithm: Algorithm,
+    config: Config,
+}
+
+impl<'a> KsjqQuery<'a> {
+    /// Start building a query over `left ⋈ right`.
+    pub fn builder(left: &'a Relation, right: &'a Relation) -> KsjqQueryBuilder<'a> {
+        KsjqQueryBuilder {
+            left,
+            right,
+            spec: JoinSpec::Equality,
+            funcs: Vec::new(),
+            k: None,
+            algorithm: Algorithm::default(),
+            config: Config::default(),
+        }
+    }
+
+    /// The bound join context.
+    pub fn context(&self) -> &JoinContext<'a> {
+        &self.cx
+    }
+
+    /// The query's `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Execute with the configured algorithm.
+    pub fn execute(&self) -> CoreResult<KsjqOutput> {
+        match self.algorithm {
+            Algorithm::Naive => ksjq_naive(&self.cx, self.k, &self.config),
+            Algorithm::Grouping => ksjq_grouping(&self.cx, self.k, &self.config),
+            Algorithm::DominatorBased => ksjq_dominator_based(&self.cx, self.k, &self.config),
+        }
+    }
+
+    /// Execute with an explicitly chosen algorithm (ignoring the built-in
+    /// choice) — convenient for comparisons.
+    pub fn execute_with(&self, algorithm: Algorithm) -> CoreResult<KsjqOutput> {
+        match algorithm {
+            Algorithm::Naive => ksjq_naive(&self.cx, self.k, &self.config),
+            Algorithm::Grouping => ksjq_grouping(&self.cx, self.k, &self.config),
+            Algorithm::DominatorBased => ksjq_dominator_based(&self.cx, self.k, &self.config),
+        }
+    }
+}
+
+/// Builder for [`KsjqQuery`].
+#[derive(Debug)]
+pub struct KsjqQueryBuilder<'a> {
+    left: &'a Relation,
+    right: &'a Relation,
+    spec: JoinSpec,
+    funcs: Vec<AggFunc>,
+    k: Option<usize>,
+    algorithm: Algorithm,
+    config: Config,
+}
+
+impl<'a> KsjqQueryBuilder<'a> {
+    /// Join kind (default: equality).
+    pub fn join(mut self, spec: JoinSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Aggregation function for the next slot (call once per slot, in slot
+    /// order), or use [`aggregates`](Self::aggregates).
+    pub fn aggregate(mut self, func: AggFunc) -> Self {
+        self.funcs.push(func);
+        self
+    }
+
+    /// Aggregation functions for all slots at once.
+    pub fn aggregates(mut self, funcs: &[AggFunc]) -> Self {
+        self.funcs = funcs.to_vec();
+        self
+    }
+
+    /// The number of attributes a dominator must be at least as good in.
+    /// Required unless the query is executed through the find-k helpers.
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = Some(k);
+        self
+    }
+
+    /// Algorithm choice (default: grouping).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Single-relation k-dominant skyline subroutine (default: TSA).
+    pub fn kdom(mut self, kdom: KdomAlgo) -> Self {
+        self.config.kdom = kdom;
+        self
+    }
+
+    /// Full execution configuration.
+    pub fn config(mut self, config: Config) -> Self {
+        self.config = config;
+        self
+    }
+
+    fn context(&self) -> CoreResult<JoinContext<'a>> {
+        Ok(JoinContext::new(self.left, self.right, self.spec, &self.funcs)?)
+    }
+
+    /// Validate and build the query. `k` defaults to the maximum
+    /// admissible value (the ordinary skyline join) if unset.
+    pub fn build(self) -> CoreResult<KsjqQuery<'a>> {
+        let cx = self.context()?;
+        let k = self.k.unwrap_or_else(|| k_max(&cx));
+        // Validate eagerly so errors surface at build time.
+        crate::params::validate_k(&cx, k)?;
+        Ok(KsjqQuery { cx, k, algorithm: self.algorithm, config: self.config })
+    }
+
+    /// Problem 3: build and pick the smallest `k` with at least `delta`
+    /// skyline tuples. Returns the query (bound to the found `k`) plus the
+    /// find-k report.
+    pub fn build_with_at_least(
+        self,
+        delta: usize,
+        strategy: FindKStrategy,
+    ) -> CoreResult<(KsjqQuery<'a>, FindKReport)> {
+        let cx = self.context()?;
+        let report = find_k_at_least(&cx, delta, strategy, &self.config)?;
+        let query =
+            KsjqQuery { cx, k: report.k, algorithm: self.algorithm, config: self.config };
+        Ok((query, report))
+    }
+
+    /// Problem 4: build and pick the largest `k` with at most `delta`
+    /// skyline tuples.
+    pub fn build_with_at_most(
+        self,
+        delta: usize,
+        strategy: FindKStrategy,
+    ) -> CoreResult<(KsjqQuery<'a>, FindKReport)> {
+        let cx = self.context()?;
+        let report = find_k_at_most(&cx, delta, strategy, &self.config)?;
+        let query =
+            KsjqQuery { cx, k: report.k, algorithm: self.algorithm, config: self.config };
+        Ok((query, report))
+    }
+}
+
+/// The valid `k` range of a prospective query, for UIs and harnesses:
+/// `(min, max)` inclusive.
+pub fn k_range(cx: &JoinContext<'_>) -> (usize, usize) {
+    (k_min(cx), k_max(cx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksjq_datagen::paper_flights;
+
+    #[test]
+    fn builder_default_k_is_max() {
+        let pf = paper_flights(false);
+        let q = KsjqQuery::builder(&pf.outbound, &pf.inbound).build().unwrap();
+        assert_eq!(q.k(), 8); // d1 + d2 = 4 + 4
+    }
+
+    #[test]
+    fn all_algorithms_same_answer() {
+        let pf = paper_flights(false);
+        let q = KsjqQuery::builder(&pf.outbound, &pf.inbound).k(7).build().unwrap();
+        let a = q.execute_with(Algorithm::Naive).unwrap();
+        let b = q.execute_with(Algorithm::Grouping).unwrap();
+        let c = q.execute_with(Algorithm::DominatorBased).unwrap();
+        assert_eq!(a.pairs, b.pairs);
+        assert_eq!(a.pairs, c.pairs);
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn invalid_k_fails_at_build() {
+        let pf = paper_flights(false);
+        assert!(KsjqQuery::builder(&pf.outbound, &pf.inbound).k(4).build().is_err());
+        assert!(KsjqQuery::builder(&pf.outbound, &pf.inbound).k(9).build().is_err());
+    }
+
+    #[test]
+    fn build_with_at_least_small_delta() {
+        let pf = paper_flights(false);
+        let (q, report) = KsjqQuery::builder(&pf.outbound, &pf.inbound)
+            .build_with_at_least(1, FindKStrategy::Binary)
+            .unwrap();
+        assert!(report.satisfied);
+        assert!(!q.execute().unwrap().is_empty());
+        // Minimality.
+        assert_eq!(
+            report.k,
+            k_range(q.context()).0.max(
+                (k_range(q.context()).0..=k_range(q.context()).1)
+                    .find(|&k| {
+                        !KsjqQuery::builder(&pf.outbound, &pf.inbound)
+                            .k(k)
+                            .build()
+                            .unwrap()
+                            .execute()
+                            .unwrap()
+                            .is_empty()
+                    })
+                    .unwrap()
+            )
+        );
+    }
+
+    #[test]
+    fn k_range_reporting() {
+        let pf = paper_flights(true);
+        let q = KsjqQuery::builder(&pf.outbound, &pf.inbound)
+            .aggregate(ksjq_join::AggFunc::Sum)
+            .build()
+            .unwrap();
+        assert_eq!(k_range(q.context()), (5, 7));
+    }
+}

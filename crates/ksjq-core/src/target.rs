@@ -1,0 +1,158 @@
+//! Target sets (paper Def. 5 + `Augment`, generalised soundly to
+//! aggregates).
+//!
+//! For a candidate joined tuple `t′ = u′ ⋈ v′`, any dominating joined
+//! tuple `t = u ⋈ v` must satisfy, by attribute counting,
+//!
+//! ```text
+//! |{local i of R1 : u_i ≤ u′_i}| ≥ k″1    (and symmetrically for v)
+//! ```
+//!
+//! because the right leg can contribute at most `l2` local positions and
+//! `a` aggregate positions to the `≥ k` better-or-equal requirement. The
+//! **target set** `τ(u′)` is the set of tuples passing this filter.
+//!
+//! At `a = 0` this is exactly the paper's machinery: for `u′ ∈ SS`, a
+//! tuple with `≥ k′1` better-or-equal positions and any strictly-better
+//! position would k′1-dominate `u′` (contradiction), so τ reduces to the
+//! paper's *equal-shares* `Augment` set; for `u′ ∈ SN` it is precisely
+//! `dominators(u′) ∪ Augment(u′)` of Algorithm 3. With aggregates the
+//! paper's equal-shares set is **incomplete** — the other leg can repair an
+//! aggregate position, so a dominator's leg may share no values at all —
+//! which is why this generalisation filters on `≤` over local attributes
+//! only (see DESIGN.md §4.5 and `tests/aggregate_semantics.rs`).
+
+use ksjq_relation::Relation;
+
+/// Number of positions (restricted to `locals`) where `x ≤ x_prime`,
+/// with early abandonment once `m` is unreachable.
+#[inline]
+fn local_le_at_least(x: &[f64], x_prime: &[f64], locals: &[usize], m: usize) -> bool {
+    let l = locals.len();
+    if m > l {
+        return false;
+    }
+    let mut le = 0usize;
+    for (i, &attr) in locals.iter().enumerate() {
+        le += (x[attr] <= x_prime[attr]) as usize;
+        if le + (l - i - 1) < m {
+            return false;
+        }
+    }
+    le >= m
+}
+
+/// Compute the target set `τ(x′) = {x : |{local i : x_i ≤ x′_i}| ≥ k_pp}`.
+///
+/// Always contains `x′` itself (`k_pp ≤ l` for every valid `k`). Returned
+/// ids are ascending.
+pub fn target_set(rel: &Relation, locals: &[usize], x_prime: u32, k_pp: usize) -> Vec<u32> {
+    let prow = rel.row_at(x_prime as usize);
+    let mut out = Vec::new();
+    for t in 0..rel.n() as u32 {
+        if local_le_at_least(rel.row_at(t as usize), prow, locals, k_pp) {
+            out.push(t);
+        }
+    }
+    out
+}
+
+/// Lazily computed, memoised target sets for one relation.
+///
+/// The grouping algorithm touches targets of only the tuples that actually
+/// appear in "likely"/"may be" candidate pairs, so computing them on
+/// demand avoids the dominator-based algorithm's up-front cost (the paper's
+/// trade-off between Algorithms 2 and 3).
+#[derive(Debug)]
+pub struct TargetCache<'a> {
+    rel: &'a Relation,
+    locals: Vec<usize>,
+    k_pp: usize,
+    sets: Vec<Option<Vec<u32>>>,
+}
+
+impl<'a> TargetCache<'a> {
+    /// A cache over `rel`'s local attributes with threshold `k_pp`.
+    pub fn new(rel: &'a Relation, k_pp: usize) -> Self {
+        TargetCache {
+            rel,
+            locals: rel.schema().local_indices().collect(),
+            k_pp,
+            sets: vec![None; rel.n()],
+        }
+    }
+
+    /// The target set of `x_prime`, computing it on first access.
+    pub fn get(&mut self, x_prime: u32) -> &[u32] {
+        let slot = &mut self.sets[x_prime as usize];
+        if slot.is_none() {
+            *slot = Some(target_set(self.rel, &self.locals, x_prime, self.k_pp));
+        }
+        slot.as_deref().expect("just filled")
+    }
+
+    /// How many target sets were actually computed (for stats/tests).
+    pub fn computed(&self) -> usize {
+        self.sets.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksjq_relation::Schema;
+
+    fn rel(rows: &[Vec<f64>]) -> Relation {
+        let mut b = Relation::builder(Schema::uniform(rows[0].len()).unwrap());
+        for r in rows {
+            b.add(r).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn contains_self_and_dominators_and_shares() {
+        let r = rel(&[
+            vec![5.0, 5.0, 5.0], // 0: the probe
+            vec![4.0, 4.0, 9.0], // 1: ≤ in two positions
+            vec![5.0, 5.0, 9.0], // 2: equal in two positions
+            vec![9.0, 9.0, 9.0], // 3: ≤ in none
+            vec![1.0, 9.0, 9.0], // 4: ≤ in one position
+        ]);
+        let locals: Vec<usize> = r.schema().local_indices().collect();
+        assert_eq!(target_set(&r, &locals, 0, 2), vec![0, 1, 2]);
+        assert_eq!(target_set(&r, &locals, 0, 1), vec![0, 1, 2, 4]);
+        assert_eq!(target_set(&r, &locals, 0, 3), vec![0]);
+    }
+
+    #[test]
+    fn respects_local_subset() {
+        // Attribute 0 is aggregated: only attributes 1, 2 count.
+        let schema = Schema::builder()
+            .agg("c", ksjq_relation::Preference::Min, 0)
+            .local("x", ksjq_relation::Preference::Min)
+            .local("y", ksjq_relation::Preference::Min)
+            .build()
+            .unwrap();
+        let mut b = Relation::builder(schema);
+        b.add_grouped(0, &[100.0, 5.0, 5.0]).unwrap(); // probe
+        b.add_grouped(0, &[0.0, 9.0, 9.0]).unwrap(); // great agg, bad locals
+        b.add_grouped(0, &[999.0, 5.0, 9.0]).unwrap(); // one local ≤
+        let r = b.build().unwrap();
+        let locals: Vec<usize> = r.schema().local_indices().collect();
+        assert_eq!(locals, vec![1, 2]);
+        assert_eq!(target_set(&r, &locals, 0, 1), vec![0, 2]);
+    }
+
+    #[test]
+    fn cache_memoises() {
+        let r = rel(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let mut cache = TargetCache::new(&r, 1);
+        assert_eq!(cache.computed(), 0);
+        assert_eq!(cache.get(1), &[0, 1]);
+        assert_eq!(cache.get(1), &[0, 1]);
+        assert_eq!(cache.computed(), 1);
+        assert_eq!(cache.get(0), &[0]);
+        assert_eq!(cache.computed(), 2);
+    }
+}

@@ -1,0 +1,25 @@
+//! Workload generators for KSJQ experiments.
+//!
+//! * [`synthetic`] — the three classic skyline data distributions
+//!   (independent, correlated, anti-correlated) of Börzsönyi et al., as
+//!   produced by the `randdataset` generator the paper uses, plus uniform
+//!   join-group assignment.
+//! * [`flights`] — a synthetic two-leg flight network standing in for the
+//!   paper's scraped MakeMyTrip dataset (Sec. 7.4): same cardinalities
+//!   (192 outbound, 155 inbound, 13 hub cities), same attribute roles
+//!   (cost and flying time aggregated; date-change fee, popularity and
+//!   amenities local), and realistic price/quality anti-correlation.
+//! * [`paper_tables`] — the exact flight tuples of the paper's Tables 1
+//!   and 2, used as oracles by tests and the `paper_tables` example.
+//!
+//! All generators are deterministic given their seed.
+
+pub mod flights;
+pub mod io;
+pub mod paper_tables;
+pub mod synthetic;
+
+pub use flights::{FlightNetwork, FlightNetworkSpec};
+pub use io::{relation_from_csv, relation_to_csv};
+pub use paper_tables::{paper_flights, PaperFlights};
+pub use synthetic::{DataType, DatasetSpec};

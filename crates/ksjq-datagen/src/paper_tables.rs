@@ -1,0 +1,149 @@
+//! The worked example of the paper: Tables 1 and 2.
+//!
+//! Nine flights out of city A (Table 1) and eight flights into city B
+//! (Table 2), joined on the stopover city, with four skyline attributes
+//! each (cost, duration, rating, amenities — all *lower preferred*, per the
+//! paper's footnote 2).
+//!
+//! Two typos in the published tables are corrected here so that the worked
+//! example is arithmetically consistent with the paper's own prose:
+//!
+//! * Flight 28's amenities value is 37 in Table 2 but 39 in Table 3 and in
+//!   the Observation-3 walk-through ("(19,25) dominates (18,28) in 3+4=7
+//!   attributes" requires 38 ≤ amn(28), hence 39). We use **39**.
+//! * Table 1 labels flight 18 as `SS1`, but flight 16 = (452, 3.6, 20, 36)
+//!   3-dominates flight 18 = (451, 3.7, 20, 37) (better-or-equal in
+//!   duration/rating/amenities, strictly better in duration), so 18 is
+//!   `SN1` by the paper's own Definition 2. The final skyline of Table 3 is
+//!   unaffected. Tests assert the arithmetically correct labels.
+
+use ksjq_relation::{Preference, Relation, Schema, StringDictionary};
+
+/// Flight numbers of Table 1, index-aligned with the tuple ids of
+/// [`PaperFlights::outbound`].
+pub const TABLE1_FNO: [u32; 9] = [11, 12, 13, 14, 15, 16, 17, 18, 19];
+
+/// Flight numbers of Table 2, index-aligned with the tuple ids of
+/// [`PaperFlights::inbound`].
+pub const TABLE2_FNO: [u32; 8] = [21, 22, 23, 24, 25, 26, 27, 28];
+
+/// `(destination, cost, duration, rating, amenities)` rows of Table 1.
+pub const TABLE1: [(&str, f64, f64, f64, f64); 9] = [
+    ("C", 448.0, 3.2, 40.0, 40.0), // 11
+    ("C", 468.0, 4.2, 50.0, 38.0), // 12
+    ("D", 456.0, 3.8, 60.0, 34.0), // 13
+    ("D", 460.0, 4.0, 70.0, 32.0), // 14
+    ("E", 450.0, 3.4, 30.0, 42.0), // 15
+    ("F", 452.0, 3.6, 20.0, 36.0), // 16
+    ("G", 472.0, 4.6, 80.0, 46.0), // 17
+    ("H", 451.0, 3.7, 20.0, 37.0), // 18
+    ("E", 451.0, 3.7, 40.0, 37.0), // 19
+];
+
+/// `(source, cost, duration, rating, amenities)` rows of Table 2
+/// (flight 28's amenities corrected to 39, see module docs).
+pub const TABLE2: [(&str, f64, f64, f64, f64); 8] = [
+    ("D", 348.0, 2.2, 40.0, 36.0), // 21
+    ("D", 368.0, 3.2, 50.0, 34.0), // 22
+    ("C", 356.0, 2.8, 60.0, 30.0), // 23
+    ("C", 360.0, 3.0, 70.0, 28.0), // 24
+    ("E", 350.0, 2.4, 30.0, 38.0), // 25
+    ("F", 352.0, 2.6, 20.0, 32.0), // 26
+    ("G", 372.0, 3.6, 80.0, 42.0), // 27
+    ("H", 350.0, 2.4, 35.0, 39.0), // 28
+];
+
+/// The paper's example relations, ready to query.
+#[derive(Debug, Clone)]
+pub struct PaperFlights {
+    /// Table 1: flights from city A (tuple id `i` ↔ flight `11 + i`).
+    pub outbound: Relation,
+    /// Table 2: flights to city B (tuple id `i` ↔ flight `21 + i`).
+    pub inbound: Relation,
+    /// City-name dictionary shared by both relations' join keys.
+    pub cities: StringDictionary,
+}
+
+fn schema(aggregate_cost: bool) -> Schema {
+    let b = Schema::builder();
+    let b = if aggregate_cost {
+        b.agg("cost", Preference::Min, 0)
+    } else {
+        b.local("cost", Preference::Min)
+    };
+    b.local("dur", Preference::Min)
+        .local("rtg", Preference::Min)
+        .local("amn", Preference::Min)
+        .build()
+        .expect("static schema is valid")
+}
+
+/// Build the paper's example relations.
+///
+/// With `aggregate_cost = false` this is the plain-KSJQ setting of
+/// Tables 1–5 (d1 = d2 = 4, k = 7 in the paper's joined example); with
+/// `aggregate_cost = true` it is the aggregate setting of Table 6
+/// (cost summed across legs, a = 1, k = 6).
+pub fn paper_flights(aggregate_cost: bool) -> PaperFlights {
+    let mut cities = StringDictionary::new();
+    let mut out = Relation::builder(schema(aggregate_cost));
+    for (city, cost, dur, rtg, amn) in TABLE1 {
+        let gid = cities.encode(city);
+        out.add_grouped(gid, &[cost, dur, rtg, amn]).expect("static row is valid");
+    }
+    let mut inb = Relation::builder(schema(aggregate_cost));
+    for (city, cost, dur, rtg, amn) in TABLE2 {
+        let gid = cities.encode(city);
+        inb.add_grouped(gid, &[cost, dur, rtg, amn]).expect("static row is valid");
+    }
+    PaperFlights {
+        outbound: out.build().expect("static relation is valid"),
+        inbound: inb.build().expect("static relation is valid"),
+        cities,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksjq_relation::TupleId;
+
+    #[test]
+    fn shapes() {
+        let pf = paper_flights(false);
+        assert_eq!(pf.outbound.n(), 9);
+        assert_eq!(pf.inbound.n(), 8);
+        assert_eq!(pf.outbound.d(), 4);
+        assert_eq!(pf.outbound.schema().agg_count(), 0);
+        let agg = paper_flights(true);
+        assert_eq!(agg.outbound.schema().agg_count(), 1);
+    }
+
+    #[test]
+    fn join_groups_match_cities() {
+        let pf = paper_flights(false);
+        // Flights 11 and 12 go to C; flights 23 and 24 leave from C.
+        let c = pf.cities.get("C").unwrap();
+        assert_eq!(pf.outbound.group_index().unwrap().members(c), &[0, 1]);
+        assert_eq!(pf.inbound.group_index().unwrap().members(c), &[2, 3]);
+        // Six distinct cities appear: C, D, E, F, G, H.
+        assert_eq!(pf.cities.len(), 6);
+    }
+
+    #[test]
+    fn values_roundtrip() {
+        let pf = paper_flights(false);
+        // Flight 15 = (450, 3.4, 30, 42).
+        assert_eq!(pf.outbound.raw_row(TupleId(4)), vec![450.0, 3.4, 30.0, 42.0]);
+        // Flight 28 with the corrected amenities value.
+        assert_eq!(pf.inbound.raw_row(TupleId(7)), vec![350.0, 2.4, 35.0, 39.0]);
+    }
+
+    #[test]
+    fn fno_tables_aligned() {
+        assert_eq!(TABLE1.len(), TABLE1_FNO.len());
+        assert_eq!(TABLE2.len(), TABLE2_FNO.len());
+        assert_eq!(TABLE1_FNO[0], 11);
+        assert_eq!(TABLE2_FNO[7], 28);
+    }
+}

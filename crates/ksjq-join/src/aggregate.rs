@@ -1,0 +1,152 @@
+//! Monotone aggregation functions (paper Sec. 5.6, Assumption 2).
+//!
+//! When a joined tuple is formed, each aggregate slot combines one
+//! attribute from each leg into a single value (total cost, total
+//! duration, …). The paper's Assumption 2 requires the function to be
+//! monotone so that base-relation dominance propagates to the joined
+//! relation. The pruning theorems additionally need **strict**
+//! monotonicity: with a non-strict function such as `max`, a strictly
+//! better base attribute can aggregate to an *equal* joined value,
+//! erasing the strict-preference witness that Theorem 4's proof
+//! constructs — see `ksjq-core`'s `max_aggregate_breaks_theorem_4` test
+//! for a concrete counterexample. The optimized KSJQ algorithms therefore
+//! reject functions where [`AggFunc::is_strictly_monotone`] is false;
+//! the naïve algorithm accepts them.
+
+use crate::error::{JoinError, JoinResult};
+use std::fmt;
+
+/// A monotone binary aggregation function.
+///
+/// Functions operate on *raw* (denormalised) attribute values; the
+/// [`crate::JoinContext`] handles normalisation around the call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AggFunc {
+    /// `x + y` — total cost, total duration. Strictly monotone.
+    Sum,
+    /// `wl·x + wr·y` with positive weights — e.g. discounting the second
+    /// leg. Strictly monotone.
+    WeightedSum {
+        /// Weight of the left leg's value (must be > 0).
+        left: f64,
+        /// Weight of the right leg's value (must be > 0).
+        right: f64,
+    },
+    /// `min(x, y)` — monotone but **not strictly**: rejected by the
+    /// optimized algorithms.
+    Min,
+    /// `max(x, y)` — monotone but **not strictly**: rejected by the
+    /// optimized algorithms.
+    Max,
+}
+
+impl AggFunc {
+    /// Validate the function's parameters.
+    pub fn validate(&self) -> JoinResult<()> {
+        if let AggFunc::WeightedSum { left, right } = self {
+            if !(left.is_finite() && right.is_finite() && *left > 0.0 && *right > 0.0) {
+                return Err(JoinError::InvalidAggregate(format!(
+                    "weighted sum needs positive finite weights, got ({left}, {right})"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Combine two raw attribute values.
+    #[inline]
+    pub fn combine(&self, x: f64, y: f64) -> f64 {
+        match self {
+            AggFunc::Sum => x + y,
+            AggFunc::WeightedSum { left, right } => left * x + right * y,
+            AggFunc::Min => x.min(y),
+            AggFunc::Max => x.max(y),
+        }
+    }
+
+    /// Is the function *strictly* monotone in each argument
+    /// (`x1 < x2 ⇒ f(x1, y) < f(x2, y)`)?
+    ///
+    /// Required by the grouping and dominator-based algorithms; see the
+    /// module docs.
+    #[inline]
+    pub fn is_strictly_monotone(&self) -> bool {
+        matches!(self, AggFunc::Sum | AggFunc::WeightedSum { .. })
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggFunc::Sum => write!(f, "sum"),
+            AggFunc::WeightedSum { left, right } => write!(f, "wsum({left},{right})"),
+            AggFunc::Min => write!(f, "min"),
+            AggFunc::Max => write!(f, "max"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combine_semantics() {
+        assert_eq!(AggFunc::Sum.combine(2.0, 3.0), 5.0);
+        assert_eq!(AggFunc::WeightedSum { left: 1.0, right: 0.5 }.combine(2.0, 4.0), 4.0);
+        assert_eq!(AggFunc::Min.combine(2.0, 3.0), 2.0);
+        assert_eq!(AggFunc::Max.combine(2.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn strictness_flags() {
+        assert!(AggFunc::Sum.is_strictly_monotone());
+        assert!(AggFunc::WeightedSum { left: 2.0, right: 1.0 }.is_strictly_monotone());
+        assert!(!AggFunc::Min.is_strictly_monotone());
+        assert!(!AggFunc::Max.is_strictly_monotone());
+    }
+
+    #[test]
+    fn weighted_sum_validation() {
+        assert!(AggFunc::WeightedSum { left: 1.0, right: 1.0 }.validate().is_ok());
+        assert!(AggFunc::WeightedSum { left: 0.0, right: 1.0 }.validate().is_err());
+        assert!(AggFunc::WeightedSum { left: 1.0, right: -2.0 }.validate().is_err());
+        assert!(AggFunc::WeightedSum { left: f64::NAN, right: 1.0 }.validate().is_err());
+        assert!(AggFunc::Sum.validate().is_ok());
+    }
+
+    #[test]
+    fn monotonicity_preserved_pointwise() {
+        // For each function: x1 <= x2 and y1 <= y2 ⇒ f(x1,y1) <= f(x2,y2)
+        // (Assumption 2 of the paper, non-strict form).
+        let funcs = [
+            AggFunc::Sum,
+            AggFunc::WeightedSum { left: 0.3, right: 2.0 },
+            AggFunc::Min,
+            AggFunc::Max,
+        ];
+        let grid = [-2.0, 0.0, 1.0, 1.5, 7.0];
+        for f in funcs {
+            for &x1 in &grid {
+                for &x2 in &grid {
+                    for &y1 in &grid {
+                        for &y2 in &grid {
+                            if x1 <= x2 && y1 <= y2 {
+                                assert!(
+                                    f.combine(x1, y1) <= f.combine(x2, y2),
+                                    "{f} not monotone at ({x1},{y1}) vs ({x2},{y2})"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_is_not_strict_witness() {
+        // The concrete failure mode: 1 < 2 but max(1, 10) == max(2, 10).
+        assert_eq!(AggFunc::Max.combine(1.0, 10.0), AggFunc::Max.combine(2.0, 10.0));
+    }
+}

@@ -1,0 +1,86 @@
+//! Join-layer errors.
+
+use std::fmt;
+
+/// Convenience alias for join-layer results.
+pub type JoinResult<T> = std::result::Result<T, JoinError>;
+
+/// Errors raised while constructing a [`crate::JoinContext`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinError {
+    /// The two schemas declare different numbers of aggregate slots, or the
+    /// number of aggregation functions does not match.
+    AggArityMismatch {
+        /// Slots in the left schema.
+        left: usize,
+        /// Slots in the right schema.
+        right: usize,
+        /// Aggregation functions supplied.
+        funcs: usize,
+    },
+    /// The paired attributes of a slot disagree on preference direction, so
+    /// the aggregated value would have no consistent orientation.
+    SlotPreferenceMismatch {
+        /// The offending slot.
+        slot: usize,
+    },
+    /// The relations' join-key kinds do not fit the requested join spec
+    /// (e.g. a theta join over group keys).
+    KeyKindMismatch {
+        /// What the spec requires.
+        required: &'static str,
+        /// Which side is wrong: "left" or "right".
+        side: &'static str,
+    },
+    /// An aggregation function parameter is invalid (e.g. non-positive
+    /// weight, which would break monotonicity).
+    InvalidAggregate(String),
+    /// Propagated relation-layer error.
+    Relation(ksjq_relation::Error),
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinError::AggArityMismatch { left, right, funcs } => write!(
+                f,
+                "aggregate arity mismatch: left schema has {left} slots, right has {right}, {funcs} functions supplied"
+            ),
+            JoinError::SlotPreferenceMismatch { slot } => {
+                write!(f, "aggregate slot {slot}: paired attributes disagree on preference")
+            }
+            JoinError::KeyKindMismatch { required, side } => {
+                write!(f, "join spec requires {required} keys but the {side} relation has none")
+            }
+            JoinError::InvalidAggregate(msg) => write!(f, "invalid aggregate: {msg}"),
+            JoinError::Relation(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+impl From<ksjq_relation::Error> for JoinError {
+    fn from(e: ksjq_relation::Error) -> Self {
+        JoinError::Relation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = JoinError::AggArityMismatch { left: 2, right: 1, funcs: 2 };
+        assert!(e.to_string().contains("mismatch"));
+        let e = JoinError::KeyKindMismatch { required: "group", side: "left" };
+        assert!(e.to_string().contains("group"));
+    }
+
+    #[test]
+    fn from_relation_error() {
+        let e: JoinError = ksjq_relation::Error::EmptySchema.into();
+        assert!(matches!(e, JoinError::Relation(_)));
+    }
+}

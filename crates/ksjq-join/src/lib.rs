@@ -1,0 +1,22 @@
+//! Join substrate for KSJQ.
+//!
+//! * [`spec`] — join kinds: equality on group keys (paper Assumption 1),
+//!   non-equality theta conditions on numeric keys (Sec. 6.6), and the
+//!   Cartesian product (Sec. 6.5).
+//! * [`aggregate`] — monotone aggregation functions applied to paired
+//!   attributes of the joined relation (Sec. 5.6).
+//! * [`context`] — [`JoinContext`]: the central object binding two base
+//!   relations, a join spec and the aggregation functions. It lays out the
+//!   joined skyline vector (`[left locals…, right locals…, aggregates…]`),
+//!   enumerates join-compatible pairs without materialising anything, and
+//!   exposes the *coverer* sets that the SS/SN/NN classification needs.
+
+pub mod aggregate;
+pub mod context;
+pub mod error;
+pub mod spec;
+
+pub use aggregate::AggFunc;
+pub use context::{JoinContext, MaterializedJoin};
+pub use error::{JoinError, JoinResult};
+pub use spec::{JoinSpec, ThetaOp};

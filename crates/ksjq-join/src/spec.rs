@@ -1,0 +1,116 @@
+//! Join specifications.
+
+use std::fmt;
+
+/// Comparison operator of a non-equality join condition
+/// `left.key OP right.key` (paper Sec. 6.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThetaOp {
+    /// `left.key < right.key` — e.g. first leg arrives before the second
+    /// departs.
+    Lt,
+    /// `left.key <= right.key`.
+    Le,
+    /// `left.key > right.key`.
+    Gt,
+    /// `left.key >= right.key`.
+    Ge,
+}
+
+impl ThetaOp {
+    /// Does the condition hold for the given key values?
+    #[inline]
+    pub fn holds(self, left: f64, right: f64) -> bool {
+        match self {
+            ThetaOp::Lt => left < right,
+            ThetaOp::Le => left <= right,
+            ThetaOp::Gt => left > right,
+            ThetaOp::Ge => left >= right,
+        }
+    }
+
+    /// The same condition seen from the right side:
+    /// `right.key OP.flip() left.key`.
+    #[inline]
+    pub fn flip(self) -> ThetaOp {
+        match self {
+            ThetaOp::Lt => ThetaOp::Gt,
+            ThetaOp::Le => ThetaOp::Ge,
+            ThetaOp::Gt => ThetaOp::Lt,
+            ThetaOp::Ge => ThetaOp::Le,
+        }
+    }
+}
+
+impl fmt::Display for ThetaOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ThetaOp::Lt => "<",
+            ThetaOp::Le => "<=",
+            ThetaOp::Gt => ">",
+            ThetaOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Which join connects the two base relations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum JoinSpec {
+    /// Equality on the group-key column (paper Assumption 1); the default
+    /// and the setting of all of the paper's experiments.
+    #[default]
+    Equality,
+    /// Non-equality condition `left.key OP right.key` on the numeric-key
+    /// columns (Sec. 6.6).
+    Theta(ThetaOp),
+    /// Every left tuple joins every right tuple (Sec. 6.5). Key columns
+    /// are ignored.
+    Cartesian,
+}
+
+impl fmt::Display for JoinSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinSpec::Equality => write!(f, "equality"),
+            JoinSpec::Theta(op) => write!(f, "theta({op})"),
+            JoinSpec::Cartesian => write!(f, "cartesian"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theta_semantics() {
+        assert!(ThetaOp::Lt.holds(1.0, 2.0));
+        assert!(!ThetaOp::Lt.holds(2.0, 2.0));
+        assert!(ThetaOp::Le.holds(2.0, 2.0));
+        assert!(ThetaOp::Gt.holds(3.0, 2.0));
+        assert!(ThetaOp::Ge.holds(2.0, 2.0));
+        assert!(!ThetaOp::Ge.holds(1.0, 2.0));
+    }
+
+    #[test]
+    fn flip_is_involutive_and_consistent() {
+        for op in [ThetaOp::Lt, ThetaOp::Le, ThetaOp::Gt, ThetaOp::Ge] {
+            assert_eq!(op.flip().flip(), op);
+            for (l, r) in [(1.0, 2.0), (2.0, 2.0), (3.0, 2.0)] {
+                assert_eq!(op.holds(l, r), op.flip().holds(r, l), "{op} {l} {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_is_equality() {
+        assert_eq!(JoinSpec::default(), JoinSpec::Equality);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(JoinSpec::Theta(ThetaOp::Lt).to_string(), "theta(<)");
+        assert_eq!(JoinSpec::Cartesian.to_string(), "cartesian");
+    }
+}

@@ -1,0 +1,98 @@
+//! Dictionary encoding for string join keys.
+
+use std::collections::HashMap;
+
+/// Maps string join keys (city names, categories, …) to dense `u64` group
+/// ids and back.
+///
+/// Group ids are assigned in first-seen order starting from 0, so encoding
+/// the same sequence of keys always yields the same ids — handy for
+/// deterministic tests and for pairing two relations that share a key
+/// domain.
+///
+/// # Example
+///
+/// ```
+/// use ksjq_relation::StringDictionary;
+///
+/// let mut dict = StringDictionary::new();
+/// let c = dict.encode("C");
+/// let d = dict.encode("D");
+/// assert_eq!(dict.encode("C"), c);
+/// assert_ne!(c, d);
+/// assert_eq!(dict.decode(c), Some("C"));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct StringDictionary {
+    ids: HashMap<String, u64>,
+    names: Vec<String>,
+}
+
+impl StringDictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encode `key`, assigning a fresh id on first sight.
+    pub fn encode(&mut self, key: &str) -> u64 {
+        if let Some(&id) = self.ids.get(key) {
+            return id;
+        }
+        let id = self.names.len() as u64;
+        self.ids.insert(key.to_owned(), id);
+        self.names.push(key.to_owned());
+        id
+    }
+
+    /// Look up an already-assigned id without inserting.
+    pub fn get(&self, key: &str) -> Option<u64> {
+        self.ids.get(key).copied()
+    }
+
+    /// Decode an id back to its string key.
+    pub fn decode(&self, id: u64) -> Option<&str> {
+        self.names.get(id as usize).map(|s| s.as_str())
+    }
+
+    /// Number of distinct keys seen so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Is the dictionary empty?
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_stable() {
+        let mut d = StringDictionary::new();
+        assert_eq!(d.encode("a"), 0);
+        assert_eq!(d.encode("b"), 1);
+        assert_eq!(d.encode("a"), 0);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        let mut d = StringDictionary::new();
+        let id = d.encode("Mumbai");
+        assert_eq!(d.decode(id), Some("Mumbai"));
+        assert_eq!(d.decode(99), None);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut d = StringDictionary::new();
+        assert_eq!(d.get("x"), None);
+        assert!(d.is_empty());
+        d.encode("x");
+        assert_eq!(d.get("x"), Some(0));
+    }
+}

@@ -1,0 +1,128 @@
+//! Minimal, dependency-free CSV support.
+//!
+//! Only what the examples and dataset tooling need: comma separation, a
+//! header row, `#` comment lines, and no quoting (none of our datasets
+//! contain commas inside fields). This is intentionally *not* a general
+//! CSV implementation.
+
+use crate::error::{Error, Result};
+
+/// A parsed CSV table: a header and string cells, row-major.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvTable {
+    /// Column names from the header row.
+    pub header: Vec<String>,
+    /// Data rows; every row has `header.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// Parse CSV text.
+    ///
+    /// * the first non-comment line is the header,
+    /// * lines starting with `#` and blank lines are skipped,
+    /// * every data row must match the header arity.
+    pub fn parse(text: &str) -> Result<CsvTable> {
+        let mut lines = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'));
+        let header: Vec<String> = match lines.next() {
+            Some(h) => h.split(',').map(|c| c.trim().to_owned()).collect(),
+            None => return Err(Error::Csv("empty input".into())),
+        };
+        let mut rows = Vec::new();
+        for (i, line) in lines.enumerate() {
+            let cells: Vec<String> = line.split(',').map(|c| c.trim().to_owned()).collect();
+            if cells.len() != header.len() {
+                return Err(Error::Csv(format!(
+                    "row {} has {} cells, header has {}",
+                    i + 1,
+                    cells.len(),
+                    header.len()
+                )));
+            }
+            rows.push(cells);
+        }
+        Ok(CsvTable { header, rows })
+    }
+
+    /// Index of a column by name.
+    pub fn column(&self, name: &str) -> Result<usize> {
+        self.header
+            .iter()
+            .position(|h| h == name)
+            .ok_or_else(|| Error::Csv(format!("no column named '{name}'")))
+    }
+
+    /// Parse the cell at `(row, col)` as `f64`.
+    pub fn number(&self, row: usize, col: usize) -> Result<f64> {
+        let cell = &self.rows[row][col];
+        cell.parse::<f64>()
+            .map_err(|_| Error::Csv(format!("row {row}, column {col}: '{cell}' is not a number")))
+    }
+
+    /// Render the table back to CSV text (header + rows, newline-terminated).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple() {
+        let t = CsvTable::parse("a,b\n1,2\n3,4\n").unwrap();
+        assert_eq!(t.header, vec!["a", "b"]);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.number(1, 0).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let t = CsvTable::parse("# generated\n\nx,y\n# mid comment\n5, 6\n").unwrap();
+        assert_eq!(t.header, vec!["x", "y"]);
+        assert_eq!(t.rows, vec![vec!["5", "6"]]);
+    }
+
+    #[test]
+    fn ragged_row_rejected() {
+        let e = CsvTable::parse("a,b\n1\n").unwrap_err();
+        assert!(matches!(e, Error::Csv(_)));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(CsvTable::parse("").is_err());
+        assert!(CsvTable::parse("# only comments\n").is_err());
+    }
+
+    #[test]
+    fn column_lookup() {
+        let t = CsvTable::parse("cost,rating\n1,2\n").unwrap();
+        assert_eq!(t.column("rating").unwrap(), 1);
+        assert!(t.column("missing").is_err());
+    }
+
+    #[test]
+    fn bad_number() {
+        let t = CsvTable::parse("a\nnope\n").unwrap();
+        assert!(t.number(0, 0).is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let src = "a,b\n1,2\n3,4\n";
+        let t = CsvTable::parse(src).unwrap();
+        assert_eq!(t.to_csv(), src);
+    }
+}

@@ -1,0 +1,248 @@
+//! The dominance comparison kernel.
+//!
+//! Everything in this module operates on *normalised* attribute slices
+//! (lower is better in every position — see [`crate::Preference`]).
+//!
+//! Definitions (paper Sec. 2):
+//!
+//! * `u` **dominates** `v` (`u ≻ v`) iff `u[i] ≤ v[i]` for all `i` and
+//!   `u[j] < v[j]` for at least one `j`.
+//! * `u` ***k*-dominates** `v` (`u ≻ₖ v`) iff `u[i] ≤ v[i]` in at least `k`
+//!   positions and `u[j] < v[j]` in at least one position.
+//!
+//! The second definition is stated in the paper as "better or equal in at
+//! least *k* attributes and strictly better in at least one"; because a
+//! strictly-better attribute is always also a better-or-equal attribute, this
+//! is equivalent to Chan et al.'s original formulation (strictly better in at
+//! least one *of the k*): whenever `|{i : u_i ≤ v_i}| ≥ k` and a strict
+//! attribute exists, a k-subset containing the strict attribute exists too.
+//!
+//! These functions are the hottest code in the workspace; they are written
+//! as simple branch-light loops over slices so LLVM can vectorise the
+//! counting and so callers can rely on early abandonment.
+
+/// The `≤` / `<` position counts between two equal-length tuples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DomCounts {
+    /// Number of positions where `u[i] <= v[i]`.
+    pub le: u32,
+    /// Number of positions where `u[i] < v[i]`.
+    pub lt: u32,
+}
+
+impl DomCounts {
+    /// Combine counts from two disjoint attribute segments (e.g. the two
+    /// halves of a joined tuple).
+    #[inline]
+    pub fn merge(self, other: DomCounts) -> DomCounts {
+        DomCounts { le: self.le + other.le, lt: self.lt + other.lt }
+    }
+
+    /// Does a tuple with these counts (out of `d` attributes total)
+    /// k-dominate the other tuple?
+    #[inline]
+    pub fn k_dominates(self, k: usize) -> bool {
+        self.le as usize >= k && self.lt >= 1
+    }
+
+    /// Does a tuple with these counts fully dominate the other (requires the
+    /// total attribute count `d`)?
+    #[inline]
+    pub fn dominates(self, d: usize) -> bool {
+        self.le as usize == d && self.lt >= 1
+    }
+}
+
+/// Count the `≤` and `<` positions of `u` versus `v`.
+///
+/// # Panics
+///
+/// Debug builds assert the slices have equal length; release builds iterate
+/// over the shorter one.
+#[inline]
+pub fn dom_counts(u: &[f64], v: &[f64]) -> DomCounts {
+    debug_assert_eq!(u.len(), v.len(), "dominance between tuples of unequal arity");
+    let mut le = 0u32;
+    let mut lt = 0u32;
+    for (a, b) in u.iter().zip(v.iter()) {
+        le += (a <= b) as u32;
+        lt += (a < b) as u32;
+    }
+    DomCounts { le, lt }
+}
+
+/// Full (Pareto) dominance: `u ≻ v`.
+///
+/// Early-exits on the first position where `u` is worse.
+#[inline]
+pub fn dominates(u: &[f64], v: &[f64]) -> bool {
+    debug_assert_eq!(u.len(), v.len());
+    let mut strict = false;
+    for (a, b) in u.iter().zip(v.iter()) {
+        if a > b {
+            return false;
+        }
+        strict |= a < b;
+    }
+    strict
+}
+
+/// *k*-dominance: `u ≻ₖ v`.
+///
+/// Early-abandons as soon as the remaining positions cannot lift the `≤`
+/// count to `k` any more, which matters in the anti-correlated workloads
+/// where most comparisons fail.
+#[inline]
+pub fn k_dominates(u: &[f64], v: &[f64], k: usize) -> bool {
+    debug_assert_eq!(u.len(), v.len());
+    let d = u.len();
+    if k > d {
+        return false;
+    }
+    let mut le = 0usize;
+    let mut lt = false;
+    for i in 0..d {
+        let (a, b) = (u[i], v[i]);
+        le += (a <= b) as usize;
+        lt |= a < b;
+        // Even if every remaining position were `<=`, we could not reach k.
+        if le + (d - i - 1) < k {
+            return false;
+        }
+    }
+    le >= k && lt
+}
+
+/// Is `u` strictly better than `v` in at least one position?
+#[inline]
+pub fn strictly_better_somewhere(u: &[f64], v: &[f64]) -> bool {
+    u.iter().zip(v.iter()).any(|(a, b)| a < b)
+}
+
+/// Count positions where `u[i] == v[i]` (used by the Unique Value Property
+/// checks and target-set augmentation, paper Sec. 5.5).
+#[inline]
+pub fn equal_count(u: &[f64], v: &[f64]) -> usize {
+    debug_assert_eq!(u.len(), v.len());
+    u.iter().zip(v.iter()).filter(|(a, b)| a == b).count()
+}
+
+/// Do `u` and `v` share at least `m` equal attribute values?
+///
+/// Early-abandons symmetrically to [`k_dominates`].
+#[inline]
+pub fn shares_at_least(u: &[f64], v: &[f64], m: usize) -> bool {
+    debug_assert_eq!(u.len(), v.len());
+    let d = u.len();
+    if m > d {
+        return false;
+    }
+    let mut eq = 0usize;
+    for i in 0..d {
+        eq += (u[i] == v[i]) as usize;
+        if eq + (d - i - 1) < m {
+            return false;
+        }
+    }
+    eq >= m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dom_counts_basic() {
+        let u = [1.0, 2.0, 3.0];
+        let v = [1.0, 3.0, 2.0];
+        let c = dom_counts(&u, &v);
+        assert_eq!(c, DomCounts { le: 2, lt: 1 });
+    }
+
+    #[test]
+    fn full_dominance() {
+        assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(!dominates(&[1.0, 3.0], &[1.0, 2.0]));
+        // Equal tuples never dominate each other.
+        assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0]));
+    }
+
+    #[test]
+    fn full_dominance_is_asymmetric() {
+        let u = [1.0, 2.0];
+        let v = [2.0, 3.0];
+        assert!(dominates(&u, &v));
+        assert!(!dominates(&v, &u));
+    }
+
+    #[test]
+    fn k_dominance_equals_full_when_k_is_d() {
+        let u = [1.0, 2.0, 5.0];
+        let v = [2.0, 3.0, 4.0];
+        assert_eq!(k_dominates(&u, &v, 3), dominates(&u, &v));
+        let w = [2.0, 3.0, 6.0];
+        assert_eq!(k_dominates(&u, &w, 3), dominates(&u, &w));
+    }
+
+    #[test]
+    fn k_dominance_relaxes_full() {
+        // u is better in 2 of 3 attributes, worse in the third.
+        let u = [1.0, 1.0, 9.0];
+        let v = [2.0, 2.0, 1.0];
+        assert!(!dominates(&u, &v));
+        assert!(k_dominates(&u, &v, 2));
+        assert!(!k_dominates(&u, &v, 3));
+    }
+
+    #[test]
+    fn k_dominance_can_be_mutual_when_k_small() {
+        // With k <= d/2 two tuples can k-dominate each other (paper Sec. 2.2).
+        let u = [1.0, 9.0];
+        let v = [9.0, 1.0];
+        assert!(k_dominates(&u, &v, 1));
+        assert!(k_dominates(&v, &u, 1));
+    }
+
+    #[test]
+    fn k_dominance_requires_strict() {
+        let u = [1.0, 2.0];
+        assert!(!k_dominates(&u, &u, 1));
+        assert!(!k_dominates(&u, &u, 2));
+    }
+
+    #[test]
+    fn k_larger_than_d_never_dominates() {
+        assert!(!k_dominates(&[1.0], &[2.0], 2));
+    }
+
+    #[test]
+    fn equal_count_and_shares() {
+        let u = [1.0, 2.0, 3.0, 4.0];
+        let v = [1.0, 9.0, 3.0, 0.0];
+        assert_eq!(equal_count(&u, &v), 2);
+        assert!(shares_at_least(&u, &v, 2));
+        assert!(!shares_at_least(&u, &v, 3));
+        assert!(!shares_at_least(&u, &v, 5));
+    }
+
+    #[test]
+    fn merge_counts() {
+        let a = DomCounts { le: 2, lt: 1 };
+        let b = DomCounts { le: 3, lt: 0 };
+        assert_eq!(a.merge(b), DomCounts { le: 5, lt: 1 });
+        assert!(a.merge(b).k_dominates(5));
+        assert!(!a.merge(b).k_dominates(6));
+        assert!(!b.k_dominates(3)); // no strict position
+    }
+
+    #[test]
+    fn monotone_in_k() {
+        // If u k-dominates v then u j-dominates v for every j <= k.
+        let u = [1.0, 1.0, 5.0, 2.0];
+        let v = [2.0, 2.0, 1.0, 2.0];
+        let max_k = (1..=4).rev().find(|&k| k_dominates(&u, &v, k)).unwrap();
+        for j in 1..=max_k {
+            assert!(k_dominates(&u, &v, j), "failed at j={j}");
+        }
+    }
+}

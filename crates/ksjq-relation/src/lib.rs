@@ -1,0 +1,36 @@
+//! Relational substrate for K-dominant Skyline Join Queries (KSJQ).
+//!
+//! This crate provides the data model every other `ksjq-*` crate builds on:
+//!
+//! * [`Preference`] — per-attribute optimisation direction (`Min`/`Max`).
+//! * [`dominance`] — the hot comparison kernel: `≤`/`<` counts, full
+//!   (Pareto) dominance and *k*-dominance between tuples.
+//! * [`Schema`] / [`AttrDef`] — attribute metadata, including which
+//!   attributes participate in aggregation when two relations are joined.
+//! * [`Relation`] — row-major `f64` tuple storage with an optional join-key
+//!   column (dictionary-encoded group ids for equality joins, or a numeric
+//!   key for theta joins) and a group index.
+//! * [`StringDictionary`] — string → group-id encoding so callers can use
+//!   human-readable join keys (city names, category labels, …).
+//! * [`csv`] — a minimal dependency-free CSV reader/writer used by the
+//!   examples and the synthetic-flight tooling.
+//!
+//! All skyline code in the workspace assumes **lower is better**. Relations
+//! normalise `Max` attributes at build time (by negating them) so that the
+//! dominance kernel never needs to consult the schema; [`Relation::raw_value`]
+//! converts back for presentation.
+
+pub mod catalog;
+pub mod csv;
+pub mod dominance;
+pub mod error;
+pub mod preference;
+pub mod relation;
+pub mod schema;
+
+pub use catalog::StringDictionary;
+pub use dominance::{dom_counts, dominates, k_dominates, strictly_better_somewhere, DomCounts};
+pub use error::{Error, Result};
+pub use preference::Preference;
+pub use relation::{GroupIndex, JoinKeys, Relation, RelationBuilder, TupleId};
+pub use schema::{AttrDef, AttrRole, Schema, SchemaBuilder};

@@ -1,0 +1,100 @@
+//! Attribute preference directions.
+
+use std::fmt;
+
+/// The optimisation direction of a skyline attribute.
+///
+/// The KSJQ paper assumes, without loss of generality, that *lower* values
+/// are preferred for every skyline attribute. This library keeps that
+/// assumption in its internal storage (a `Max` attribute is negated when a
+/// [`crate::Relation`] is built) but lets users declare the natural
+/// direction of each attribute in the [`crate::Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Preference {
+    /// Lower values are better (cost, duration, price, …). The default.
+    #[default]
+    Min,
+    /// Higher values are better (rating, amenities, popularity, …).
+    Max,
+}
+
+impl Preference {
+    /// Normalise a raw attribute value into the internal lower-is-better
+    /// orientation.
+    #[inline]
+    pub fn normalize(self, value: f64) -> f64 {
+        match self {
+            Preference::Min => value,
+            Preference::Max => -value,
+        }
+    }
+
+    /// Invert [`Preference::normalize`]: recover the raw value from the
+    /// internally stored one.
+    #[inline]
+    pub fn denormalize(self, value: f64) -> f64 {
+        // Negation is an involution, so the two directions coincide.
+        self.normalize(value)
+    }
+
+    /// Returns `true` when `a` is strictly preferred over `b` under this
+    /// preference, comparing *raw* (non-normalised) values.
+    #[inline]
+    pub fn prefers(self, a: f64, b: f64) -> bool {
+        match self {
+            Preference::Min => a < b,
+            Preference::Max => a > b,
+        }
+    }
+}
+
+impl fmt::Display for Preference {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Preference::Min => write!(f, "min"),
+            Preference::Max => write!(f, "max"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_is_identity() {
+        assert_eq!(Preference::Min.normalize(3.5), 3.5);
+        assert_eq!(Preference::Min.denormalize(3.5), 3.5);
+    }
+
+    #[test]
+    fn max_negates_and_roundtrips() {
+        assert_eq!(Preference::Max.normalize(3.5), -3.5);
+        assert_eq!(Preference::Max.denormalize(Preference::Max.normalize(2.0)), 2.0);
+    }
+
+    #[test]
+    fn prefers_follows_direction() {
+        assert!(Preference::Min.prefers(1.0, 2.0));
+        assert!(!Preference::Min.prefers(2.0, 1.0));
+        assert!(Preference::Max.prefers(5.0, 2.0));
+        assert!(!Preference::Max.prefers(2.0, 5.0));
+    }
+
+    #[test]
+    fn prefers_is_irreflexive() {
+        assert!(!Preference::Min.prefers(1.0, 1.0));
+        assert!(!Preference::Max.prefers(1.0, 1.0));
+    }
+
+    #[test]
+    fn default_is_min() {
+        assert_eq!(Preference::default(), Preference::Min);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Preference::Min.to_string(), "min");
+        assert_eq!(Preference::Max.to_string(), "max");
+    }
+}

@@ -1,0 +1,467 @@
+//! Row-major tuple storage with join keys and a group index.
+
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use std::ops::Range;
+
+/// Identifier of a tuple within one relation (its row index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TupleId(pub u32);
+
+impl TupleId {
+    /// The row index as a `usize`.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TupleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// The join-key column of a relation.
+///
+/// KSJQ joins never compare join keys with skyline semantics, so keys are
+/// kept out of the attribute matrix entirely.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinKeys {
+    /// No key: the relation can only participate in Cartesian products
+    /// (paper Sec. 6.5).
+    None,
+    /// Dictionary-encoded equality-join keys; tuples join when ids match
+    /// (paper Assumption 1). Use [`crate::StringDictionary`] to encode
+    /// strings.
+    Group(Vec<u64>),
+    /// Numeric key for non-equality (theta) join conditions such as
+    /// `f1.arrival < f2.departure` (paper Sec. 6.6).
+    Numeric(Vec<f64>),
+}
+
+impl JoinKeys {
+    fn len(&self) -> usize {
+        match self {
+            JoinKeys::None => 0,
+            JoinKeys::Group(v) => v.len(),
+            JoinKeys::Numeric(v) => v.len(),
+        }
+    }
+}
+
+/// Index over the distinct equality-join groups of a relation.
+///
+/// Tuple ids are stored sorted by group id, so each group is a contiguous
+/// slice; this avoids hashing in the hot verification loops and gives
+/// deterministic iteration order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupIndex {
+    order: Vec<u32>,
+    groups: Vec<(u64, Range<usize>)>,
+}
+
+impl GroupIndex {
+    fn build(keys: &[u64]) -> GroupIndex {
+        let mut order: Vec<u32> = (0..keys.len() as u32).collect();
+        order.sort_by_key(|&t| keys[t as usize]);
+        let mut groups = Vec::new();
+        let mut start = 0usize;
+        while start < order.len() {
+            let gid = keys[order[start] as usize];
+            let mut end = start + 1;
+            while end < order.len() && keys[order[end] as usize] == gid {
+                end += 1;
+            }
+            groups.push((gid, start..end));
+            start = end;
+        }
+        GroupIndex { order, groups }
+    }
+
+    /// Number of distinct groups (`g` in the paper).
+    #[inline]
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Iterate `(group_id, member tuple ids)` in ascending group-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[u32])> + '_ {
+        self.groups.iter().map(move |(gid, r)| (*gid, &self.order[r.clone()]))
+    }
+
+    /// The members of group `gid`, or an empty slice if the group does not
+    /// exist in this relation.
+    pub fn members(&self, gid: u64) -> &[u32] {
+        match self.groups.binary_search_by_key(&gid, |(g, _)| *g) {
+            Ok(i) => &self.order[self.groups[i].1.clone()],
+            Err(_) => &[],
+        }
+    }
+}
+
+/// A base relation: a [`Schema`], `n` tuples of `d` normalised attribute
+/// values, and an optional join-key column.
+///
+/// Attribute values are stored row-major in a flat `Vec<f64>` and are
+/// normalised to lower-is-better orientation at build time (a `Max`
+/// attribute is negated). All dominance code operates on the normalised
+/// values; use [`Relation::raw_value`] / [`Relation::raw_row`] to recover the
+/// user-facing numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    schema: Schema,
+    data: Vec<f64>,
+    keys: JoinKeys,
+    group_index: Option<GroupIndex>,
+    numeric_order: Option<Vec<u32>>,
+}
+
+impl Relation {
+    /// Start building a relation with the given schema.
+    pub fn builder(schema: Schema) -> RelationBuilder {
+        RelationBuilder { schema, data: Vec::new(), keys: JoinKeys::None, n: 0 }
+    }
+
+    /// Build a relation from equality-join keys and raw rows.
+    ///
+    /// Convenience for the common synthetic-workload shape; equivalent to a
+    /// builder loop over [`RelationBuilder::add_grouped`].
+    pub fn from_grouped_rows(schema: Schema, keys: &[u64], rows: &[Vec<f64>]) -> Result<Relation> {
+        if keys.len() != rows.len() {
+            return Err(Error::Invalid(format!(
+                "{} keys but {} rows",
+                keys.len(),
+                rows.len()
+            )));
+        }
+        let mut b = Relation::builder(schema);
+        for (k, row) in keys.iter().zip(rows) {
+            b.add_grouped(*k, row)?;
+        }
+        b.build()
+    }
+
+    /// The relation's schema.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn n(&self) -> usize {
+        if self.schema.d() == 0 {
+            0
+        } else {
+            self.data.len() / self.schema.d()
+        }
+    }
+
+    /// Number of skyline attributes (`d_i`).
+    #[inline]
+    pub fn d(&self) -> usize {
+        self.schema.d()
+    }
+
+    /// Is the relation empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The normalised attribute slice of tuple `t`.
+    #[inline]
+    pub fn row(&self, t: TupleId) -> &[f64] {
+        let d = self.schema.d();
+        let i = t.idx() * d;
+        &self.data[i..i + d]
+    }
+
+    /// The normalised attribute slice of row index `i`.
+    #[inline]
+    pub fn row_at(&self, i: usize) -> &[f64] {
+        let d = self.schema.d();
+        &self.data[i * d..(i + 1) * d]
+    }
+
+    /// Iterate all `(TupleId, row)` pairs.
+    pub fn rows(&self) -> impl Iterator<Item = (TupleId, &[f64])> + '_ {
+        let d = self.schema.d();
+        self.data.chunks_exact(d).enumerate().map(|(i, r)| (TupleId(i as u32), r))
+    }
+
+    /// The raw (denormalised) value of attribute `attr` of tuple `t`.
+    pub fn raw_value(&self, t: TupleId, attr: usize) -> f64 {
+        self.schema.attr(attr).preference.denormalize(self.row(t)[attr])
+    }
+
+    /// The full raw row of tuple `t` (allocates).
+    pub fn raw_row(&self, t: TupleId) -> Vec<f64> {
+        self.row(t)
+            .iter()
+            .enumerate()
+            .map(|(a, &v)| self.schema.attr(a).preference.denormalize(v))
+            .collect()
+    }
+
+    /// The join-key column.
+    #[inline]
+    pub fn keys(&self) -> &JoinKeys {
+        &self.keys
+    }
+
+    /// Equality-join group id of tuple `t`, if the relation has group keys.
+    #[inline]
+    pub fn group_id(&self, t: TupleId) -> Option<u64> {
+        match &self.keys {
+            JoinKeys::Group(v) => Some(v[t.idx()]),
+            _ => None,
+        }
+    }
+
+    /// Numeric join key of tuple `t`, if the relation has numeric keys.
+    #[inline]
+    pub fn numeric_key(&self, t: TupleId) -> Option<f64> {
+        match &self.keys {
+            JoinKeys::Numeric(v) => Some(v[t.idx()]),
+            _ => None,
+        }
+    }
+
+    /// The group index (present iff the relation has group keys).
+    #[inline]
+    pub fn group_index(&self) -> Option<&GroupIndex> {
+        self.group_index.as_ref()
+    }
+
+    /// Tuple ids sorted by ascending numeric join key (present iff the
+    /// relation has numeric keys). Ties keep ascending tuple-id order.
+    #[inline]
+    pub fn numeric_order(&self) -> Option<&[u32]> {
+        self.numeric_order.as_deref()
+    }
+
+    /// Checked access to a tuple id.
+    pub fn get(&self, t: TupleId) -> Result<&[f64]> {
+        if t.idx() >= self.n() {
+            return Err(Error::TupleOutOfBounds { id: t.0, n: self.n() });
+        }
+        Ok(self.row(t))
+    }
+}
+
+/// Incremental [`Relation`] construction.
+#[derive(Debug)]
+pub struct RelationBuilder {
+    schema: Schema,
+    data: Vec<f64>,
+    keys: JoinKeys,
+    n: usize,
+}
+
+impl RelationBuilder {
+    /// Reserve space for `n` tuples up front.
+    pub fn with_capacity(mut self, n: usize) -> Self {
+        self.data.reserve(n * self.schema.d());
+        match &mut self.keys {
+            JoinKeys::Group(v) => v.reserve(n),
+            JoinKeys::Numeric(v) => v.reserve(n),
+            JoinKeys::None => {}
+        }
+        self
+    }
+
+    fn push_row(&mut self, row: &[f64]) -> Result<()> {
+        let d = self.schema.d();
+        if row.len() != d {
+            return Err(Error::ArityMismatch { expected: d, got: row.len() });
+        }
+        for (a, &v) in row.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(Error::NonFiniteValue { attr: a, row: self.n });
+            }
+            self.data.push(self.schema.attr(a).preference.normalize(v));
+        }
+        self.n += 1;
+        Ok(())
+    }
+
+    /// Add a keyless tuple (Cartesian-product relations only).
+    pub fn add(&mut self, row: &[f64]) -> Result<&mut Self> {
+        if self.n > 0 && !matches!(self.keys, JoinKeys::None) {
+            return Err(Error::InconsistentJoinKeys);
+        }
+        self.push_row(row)?;
+        Ok(self)
+    }
+
+    /// Add a tuple with an equality-join group key.
+    pub fn add_grouped(&mut self, group: u64, row: &[f64]) -> Result<&mut Self> {
+        match &mut self.keys {
+            JoinKeys::None if self.n == 0 => self.keys = JoinKeys::Group(vec![]),
+            JoinKeys::Group(_) => {}
+            _ => return Err(Error::InconsistentJoinKeys),
+        }
+        self.push_row(row)?;
+        if let JoinKeys::Group(v) = &mut self.keys {
+            v.push(group);
+        }
+        Ok(self)
+    }
+
+    /// Add a tuple with a numeric theta-join key.
+    pub fn add_keyed(&mut self, key: f64, row: &[f64]) -> Result<&mut Self> {
+        if !key.is_finite() {
+            return Err(Error::Invalid(format!("non-finite join key at row {}", self.n)));
+        }
+        match &mut self.keys {
+            JoinKeys::None if self.n == 0 => self.keys = JoinKeys::Numeric(vec![]),
+            JoinKeys::Numeric(_) => {}
+            _ => return Err(Error::InconsistentJoinKeys),
+        }
+        self.push_row(row)?;
+        if let JoinKeys::Numeric(v) = &mut self.keys {
+            v.push(key);
+        }
+        Ok(self)
+    }
+
+    /// Validate and freeze the relation, building group / order indexes.
+    pub fn build(self) -> Result<Relation> {
+        debug_assert!(self.keys.len() == 0 || self.keys.len() == self.n);
+        let group_index = match &self.keys {
+            JoinKeys::Group(v) => Some(GroupIndex::build(v)),
+            _ => None,
+        };
+        let numeric_order = match &self.keys {
+            JoinKeys::Numeric(v) => {
+                let mut order: Vec<u32> = (0..v.len() as u32).collect();
+                order.sort_by(|&a, &b| {
+                    v[a as usize]
+                        .partial_cmp(&v[b as usize])
+                        .expect("join keys validated finite")
+                        .then(a.cmp(&b))
+                });
+                Some(order)
+            }
+            _ => None,
+        };
+        Ok(Relation { schema: self.schema, data: self.data, keys: self.keys, group_index, numeric_order })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preference::Preference;
+
+    fn schema2() -> Schema {
+        Schema::builder()
+            .local("cost", Preference::Min)
+            .local("rating", Preference::Max)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_and_access() {
+        let mut b = Relation::builder(schema2());
+        b.add_grouped(1, &[10.0, 4.0]).unwrap();
+        b.add_grouped(2, &[20.0, 5.0]).unwrap();
+        let r = b.build().unwrap();
+        assert_eq!(r.n(), 2);
+        assert_eq!(r.d(), 2);
+        // rating is Max, so it is negated internally…
+        assert_eq!(r.row(TupleId(0)), &[10.0, -4.0]);
+        // …but raw access recovers the original.
+        assert_eq!(r.raw_value(TupleId(0), 1), 4.0);
+        assert_eq!(r.raw_row(TupleId(1)), vec![20.0, 5.0]);
+        assert_eq!(r.group_id(TupleId(1)), Some(2));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut b = Relation::builder(schema2());
+        let e = b.add_grouped(0, &[1.0]).unwrap_err();
+        assert_eq!(e, Error::ArityMismatch { expected: 2, got: 1 });
+    }
+
+    #[test]
+    fn nan_rejected() {
+        let mut b = Relation::builder(schema2());
+        let e = b.add_grouped(0, &[1.0, f64::NAN]).unwrap_err();
+        assert!(matches!(e, Error::NonFiniteValue { attr: 1, row: 0 }));
+    }
+
+    #[test]
+    fn mixed_key_kinds_rejected() {
+        let mut b = Relation::builder(schema2());
+        b.add_grouped(0, &[1.0, 1.0]).unwrap();
+        assert_eq!(b.add_keyed(2.0, &[1.0, 1.0]).unwrap_err(), Error::InconsistentJoinKeys);
+        assert_eq!(b.add(&[1.0, 1.0]).unwrap_err(), Error::InconsistentJoinKeys);
+    }
+
+    #[test]
+    fn group_index_ranges() {
+        let mut b = Relation::builder(Schema::uniform(1).unwrap());
+        for (g, v) in [(5u64, 0.0), (1, 1.0), (5, 2.0), (1, 3.0), (7, 4.0)] {
+            b.add_grouped(g, &[v]).unwrap();
+        }
+        let r = b.build().unwrap();
+        let gi = r.group_index().unwrap();
+        assert_eq!(gi.group_count(), 3);
+        let collected: Vec<(u64, Vec<u32>)> =
+            gi.iter().map(|(g, m)| (g, m.to_vec())).collect();
+        assert_eq!(collected, vec![(1, vec![1, 3]), (5, vec![0, 2]), (7, vec![4])]);
+        assert_eq!(gi.members(5), &[0, 2]);
+        assert_eq!(gi.members(99), &[] as &[u32]);
+    }
+
+    #[test]
+    fn numeric_order_sorted() {
+        let mut b = Relation::builder(Schema::uniform(1).unwrap());
+        for (k, v) in [(3.0, 0.0), (1.0, 1.0), (2.0, 2.0), (1.0, 3.0)] {
+            b.add_keyed(k, &[v]).unwrap();
+        }
+        let r = b.build().unwrap();
+        assert_eq!(r.numeric_order().unwrap(), &[1, 3, 2, 0]);
+        assert_eq!(r.numeric_key(TupleId(0)), Some(3.0));
+        assert!(r.group_index().is_none());
+    }
+
+    #[test]
+    fn from_grouped_rows_roundtrip() {
+        let r = Relation::from_grouped_rows(
+            Schema::uniform(2).unwrap(),
+            &[1, 1, 2],
+            &[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]],
+        )
+        .unwrap();
+        assert_eq!(r.n(), 3);
+        assert_eq!(r.group_index().unwrap().group_count(), 2);
+    }
+
+    #[test]
+    fn from_grouped_rows_length_mismatch() {
+        let e = Relation::from_grouped_rows(Schema::uniform(1).unwrap(), &[1], &[]).unwrap_err();
+        assert!(matches!(e, Error::Invalid(_)));
+    }
+
+    #[test]
+    fn get_bounds_check() {
+        let mut b = Relation::builder(Schema::uniform(1).unwrap());
+        b.add(&[0.0]).unwrap();
+        let r = b.build().unwrap();
+        assert!(r.get(TupleId(0)).is_ok());
+        assert!(matches!(r.get(TupleId(1)), Err(Error::TupleOutOfBounds { id: 1, n: 1 })));
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = Relation::builder(Schema::uniform(3).unwrap()).build().unwrap();
+        assert!(r.is_empty());
+        assert_eq!(r.n(), 0);
+        assert_eq!(r.rows().count(), 0);
+    }
+}

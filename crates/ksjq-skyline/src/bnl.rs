@@ -1,0 +1,98 @@
+//! Block-nested-loops (BNL) skyline.
+//!
+//! The original skyline algorithm of Börzsönyi, Kossmann and Stocker
+//! (ICDE 2001), in its in-memory form: maintain a window of incomparable
+//! tuples; each incoming tuple is dropped if dominated by a window member,
+//! and evicts any window members it dominates. Because full dominance is
+//! transitive, the window at the end *is* the skyline — no second pass is
+//! needed (unlike the k-dominant case, see [`crate::kdominant::tsa`]).
+
+use crate::RowAccess;
+use ksjq_relation::dominates;
+
+/// Compute the (full-dominance) skyline of `members`.
+///
+/// Returns surviving ids in ascending id order.
+pub fn skyline_bnl<R: RowAccess>(rows: &R, members: &[u32]) -> Vec<u32> {
+    let mut window: Vec<u32> = Vec::new();
+    'outer: for &p in members {
+        let prow = rows.row(p);
+        let mut i = 0;
+        while i < window.len() {
+            let w = rows.row(window[i]);
+            if dominates(w, prow) {
+                continue 'outer; // p is dominated; transitivity keeps window sound
+            }
+            if dominates(prow, w) {
+                window.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        window.push(p);
+    }
+    window.sort_unstable();
+    window
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MatrixView;
+
+    fn ids(n: usize) -> Vec<u32> {
+        (0..n as u32).collect()
+    }
+
+    #[test]
+    fn empty_input() {
+        let m = MatrixView::new(2, &[]);
+        assert!(skyline_bnl(&m, &[]).is_empty());
+    }
+
+    #[test]
+    fn single_tuple_is_skyline() {
+        let data = [1.0, 2.0];
+        let m = MatrixView::new(2, &data);
+        assert_eq!(skyline_bnl(&m, &ids(1)), vec![0]);
+    }
+
+    #[test]
+    fn dominated_tuples_removed() {
+        // (1,1) dominates both others.
+        let data = [1.0, 1.0, 2.0, 2.0, 1.0, 3.0];
+        let m = MatrixView::new(2, &data);
+        assert_eq!(skyline_bnl(&m, &ids(3)), vec![0]);
+    }
+
+    #[test]
+    fn incomparable_tuples_survive() {
+        let data = [1.0, 3.0, 3.0, 1.0, 2.0, 2.0];
+        let m = MatrixView::new(2, &data);
+        assert_eq!(skyline_bnl(&m, &ids(3)), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn duplicates_both_survive() {
+        // Equal tuples do not dominate each other, so both stay.
+        let data = [1.0, 1.0, 1.0, 1.0];
+        let m = MatrixView::new(2, &data);
+        assert_eq!(skyline_bnl(&m, &ids(2)), vec![0, 1]);
+    }
+
+    #[test]
+    fn late_dominator_evicts_window() {
+        // The dominator arrives last and must evict earlier entries.
+        let data = [5.0, 5.0, 4.0, 6.0, 1.0, 1.0];
+        let m = MatrixView::new(2, &data);
+        assert_eq!(skyline_bnl(&m, &ids(3)), vec![2]);
+    }
+
+    #[test]
+    fn respects_member_subset() {
+        let data = [1.0, 1.0, 2.0, 2.0, 3.0, 3.0];
+        let m = MatrixView::new(2, &data);
+        // Without the global dominator (row 0), row 1 wins within {1, 2}.
+        assert_eq!(skyline_bnl(&m, &[1, 2]), vec![1]);
+    }
+}

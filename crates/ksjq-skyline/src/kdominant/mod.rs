@@ -1,0 +1,24 @@
+//! *k*-dominant skyline algorithms (Chan et al., SIGMOD 2006).
+//!
+//! A tuple is in the k-dominant skyline iff **no** other tuple k-dominates
+//! it. Unlike full dominance, k-dominance is not transitive and can even be
+//! cyclic (`u ≻ₖ v ≻ₖ w ≻ₖ u`, paper Sec. 2.2), which has two structural
+//! consequences every algorithm here must respect:
+//!
+//! 1. Two tuples can k-dominate *each other* — then **both** are excluded,
+//!    and the k-dominant skyline can legitimately be empty.
+//! 2. Window algorithms cannot rely on the window to be a sound summary of
+//!    eliminated tuples, because an eliminated tuple may dominate a window
+//!    member. [`tsa`] therefore verifies with a second scan, and [`osa`]
+//!    keeps eliminated-but-undominated tuples around as potential
+//!    dominators.
+
+pub mod naive;
+pub mod presort;
+pub mod osa;
+pub mod tsa;
+
+pub use naive::kdom_naive;
+pub use presort::kdom_tsa_presorted;
+pub use osa::kdom_osa;
+pub use tsa::{kdom_tsa, StreamingTsa};

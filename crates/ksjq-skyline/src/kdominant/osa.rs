@@ -1,0 +1,172 @@
+//! One-Scan Algorithm (OSA) for k-dominant skylines.
+//!
+//! Maintains two sets while scanning the input once:
+//!
+//! * `R` — current k-dominant skyline candidates;
+//! * `T` — tuples that are already known *not* to be k-dominant skylines
+//!   but are not fully dominated by anything seen, so they may still
+//!   k-dominate future arrivals (k-dominance is not transitive, so these
+//!   cannot be forgotten).
+//!
+//! A tuple that is *fully* dominated can be discarded outright: if `r ≻ q`
+//! (all attributes) and `q ≻ₖ p`, then `r ≻ₖ p` as well, so `r` subsumes
+//! `q` as a dominator. This is the invariant that makes one scan exact —
+//! every input tuple is either in `R ∪ T` or fully dominated by a tuple
+//! that is, and full dominance is transitive.
+
+use crate::RowAccess;
+use ksjq_relation::{dominates, k_dominates};
+
+/// Compute the k-dominant skyline of `members` in one scan.
+///
+/// Returns surviving ids in the order they appear in `members`.
+pub fn kdom_osa<R: RowAccess>(rows: &R, members: &[u32], k: usize) -> Vec<u32> {
+    // R: candidate k-dominant skylines; T: eliminated potential dominators.
+    let mut r_set: Vec<u32> = Vec::new();
+    let mut t_set: Vec<u32> = Vec::new();
+
+    for &p in members {
+        let prow = rows.row(p);
+        let mut p_kdominated = false;
+        let mut p_fully_dominated = false;
+
+        // Compare against candidates; evict candidates p k-dominates.
+        let mut i = 0;
+        while i < r_set.len() {
+            let c = r_set[i];
+            let crow = rows.row(c);
+            if k_dominates(crow, prow, k) {
+                p_kdominated = true;
+                if dominates(crow, prow) {
+                    p_fully_dominated = true;
+                }
+            }
+            if k_dominates(prow, crow, k) {
+                r_set.swap_remove(i);
+                // The evicted candidate may still dominate future tuples —
+                // keep it unless p subsumes it via full dominance.
+                if !dominates(prow, crow) {
+                    t_set.push(c);
+                }
+            } else {
+                i += 1;
+            }
+        }
+
+        // Compare against eliminated dominators; discard those p subsumes.
+        let mut j = 0;
+        while j < t_set.len() {
+            let t = t_set[j];
+            let trow = rows.row(t);
+            if k_dominates(trow, prow, k) {
+                p_kdominated = true;
+                if dominates(trow, prow) {
+                    p_fully_dominated = true;
+                }
+            }
+            if dominates(prow, trow) {
+                t_set.swap_remove(j);
+            } else {
+                j += 1;
+            }
+        }
+
+        if !p_kdominated {
+            r_set.push(p);
+        } else if !p_fully_dominated {
+            t_set.push(p);
+        }
+        // Fully dominated tuples vanish: their dominator k-dominates
+        // everything they would.
+    }
+
+    let pos: std::collections::HashMap<u32, usize> =
+        members.iter().enumerate().map(|(i, &m)| (m, i)).collect();
+    r_set.sort_by_key(|m| pos[m]);
+    r_set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kdominant::naive::kdom_naive;
+    use crate::MatrixView;
+
+    fn ids(n: usize) -> Vec<u32> {
+        (0..n as u32).collect()
+    }
+
+    fn pseudorandom(n: usize, d: usize, modulus: u64, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n * d)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) % modulus) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_small() {
+        let data = [
+            1.0, 2.0, 3.0, //
+            3.0, 1.0, 2.0, //
+            2.0, 3.0, 1.0, //
+            1.0, 1.0, 1.0, //
+        ];
+        let m = MatrixView::new(3, &data);
+        for k in 1..=3 {
+            assert_eq!(kdom_osa(&m, &ids(4), k), kdom_naive(&m, &ids(4), k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_pseudorandom() {
+        for seed in [3u64, 11, 1234] {
+            let data = pseudorandom(150, 5, 8, seed);
+            let m = MatrixView::new(5, &data);
+            let all = ids(150);
+            for k in 1..=5 {
+                assert_eq!(
+                    kdom_osa(&m, &all, k),
+                    kdom_naive(&m, &all, k),
+                    "seed={seed} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eliminated_tuple_still_dominates_later_arrival() {
+        // x arrives, is evicted by y, yet x (now in T) must kill z.
+        let data = [
+            5.0, 5.0, 5.0, 5.0, // x
+            4.0, 4.0, 4.0, 6.0, // y evicts x (not fully: 6 > 5)
+            6.0, 6.0, 0.0, 5.0, // z: 3-dominated only by x
+        ];
+        let m = MatrixView::new(4, &data);
+        assert_eq!(kdom_osa(&m, &ids(3), 3), vec![1]);
+    }
+
+    #[test]
+    fn fully_dominated_tuples_are_dropped_safely() {
+        // q is fully dominated by r; anything q kills, r also kills.
+        let data = [
+            1.0, 1.0, 1.0, // r
+            2.0, 2.0, 2.0, // q (fully dominated, discarded)
+            1.5, 3.0, 3.0, // z: 2-dominated by q — and by r
+        ];
+        let m = MatrixView::new(3, &data);
+        assert_eq!(kdom_osa(&m, &ids(3), 2), kdom_naive(&m, &ids(3), 2));
+        assert_eq!(kdom_osa(&m, &ids(3), 2), vec![0]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let m = MatrixView::new(2, &[]);
+        assert!(kdom_osa(&m, &[], 1).is_empty());
+        let data = [7.0, 7.0];
+        let m = MatrixView::new(2, &data);
+        assert_eq!(kdom_osa(&m, &ids(1), 1), vec![0]);
+    }
+}

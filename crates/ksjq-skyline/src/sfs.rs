@@ -1,0 +1,93 @@
+//! Sort-filter-skyline (SFS).
+//!
+//! Chomicki, Godfrey, Gryz and Liang (ICDE 2003): presort the input by a
+//! monotone scoring function (here the attribute sum), after which a tuple
+//! can only be dominated by tuples that *precede* it — so one pass against
+//! the already-confirmed skyline suffices and no window evictions happen.
+
+use crate::RowAccess;
+use ksjq_relation::dominates;
+
+/// Compute the (full-dominance) skyline of `members` with presorting.
+///
+/// Returns surviving ids in ascending id order.
+pub fn skyline_sfs<R: RowAccess>(rows: &R, members: &[u32]) -> Vec<u32> {
+    let mut order: Vec<u32> = members.to_vec();
+    // Sum of normalised attributes is monotone: u ≻ v ⇒ sum(u) < sum(v),
+    // so a dominator always sorts strictly before its victims.
+    let score = |id: u32| rows.row(id).iter().sum::<f64>();
+    order.sort_by(|&a, &b| score(a).partial_cmp(&score(b)).unwrap().then(a.cmp(&b)));
+
+    let mut skyline: Vec<u32> = Vec::new();
+    'outer: for &p in &order {
+        let prow = rows.row(p);
+        for &s in &skyline {
+            if dominates(rows.row(s), prow) {
+                continue 'outer;
+            }
+        }
+        skyline.push(p);
+    }
+    skyline.sort_unstable();
+    skyline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnl::skyline_bnl;
+    use crate::MatrixView;
+
+    fn ids(n: usize) -> Vec<u32> {
+        (0..n as u32).collect()
+    }
+
+    #[test]
+    fn empty_input() {
+        let m = MatrixView::new(3, &[]);
+        assert!(skyline_sfs(&m, &[]).is_empty());
+    }
+
+    #[test]
+    fn matches_bnl_on_fixed_data() {
+        let data = [
+            1.0, 5.0, 3.0, //
+            2.0, 2.0, 2.0, //
+            5.0, 1.0, 4.0, //
+            3.0, 3.0, 3.0, //
+            1.0, 5.0, 3.0, // duplicate of row 0
+        ];
+        let m = MatrixView::new(3, &data);
+        assert_eq!(skyline_sfs(&m, &ids(5)), skyline_bnl(&m, &ids(5)));
+    }
+
+    #[test]
+    fn matches_bnl_on_pseudorandom_data() {
+        // Deterministic LCG so the test needs no external RNG.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 1000) as f64
+        };
+        let d = 4;
+        let data: Vec<f64> = (0..200 * d).map(|_| next()).collect();
+        let m = MatrixView::new(d, &data);
+        let all = ids(200);
+        assert_eq!(skyline_sfs(&m, &all), skyline_bnl(&m, &all));
+    }
+
+    #[test]
+    fn dominator_first_after_sort() {
+        // Even when the dominator has the largest id, sorting places it first.
+        let data = [9.0, 9.0, 1.0, 1.0];
+        let m = MatrixView::new(2, &data);
+        assert_eq!(skyline_sfs(&m, &ids(2)), vec![1]);
+    }
+
+    #[test]
+    fn subset_only() {
+        let data = [1.0, 1.0, 2.0, 2.0, 0.5, 3.0];
+        let m = MatrixView::new(2, &data);
+        assert_eq!(skyline_sfs(&m, &[1, 2]), vec![1, 2]); // incomparable pair
+    }
+}

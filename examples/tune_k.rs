@@ -1,0 +1,63 @@
+//! Choosing k from a target result size (Problems 3 and 4).
+//!
+//! Users rarely know a good `k`, but they do know how many results they
+//! want to review. This example sweeps δ over a synthetic workload and
+//! shows what each find-k strategy does.
+//!
+//! ```sh
+//! cargo run --release --example tune_k
+//! ```
+
+use ksjq::prelude::*;
+
+fn main() -> CoreResult<()> {
+    // A moderate two-relation workload: d = 5 each, independent data.
+    let spec1 = DatasetSpec {
+        n: 800,
+        agg_attrs: 0,
+        local_attrs: 5,
+        groups: 8,
+        data_type: DataType::Independent,
+        seed: 7,
+    };
+    let spec2 = DatasetSpec { seed: 8, ..spec1 };
+    let (r1, r2) = (spec1.generate(), spec2.generate());
+    let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[])?;
+    let cfg = Config::default();
+    let (kmin, kmax) = k_range(&cx);
+    println!(
+        "n = {} per relation, {} joined tuples, valid k: {kmin}..={kmax}\n",
+        spec1.n,
+        cx.count_pairs()
+    );
+
+    // The skyline size at each k (Lemma 1: monotone in k).
+    println!("skyline size by k:");
+    for k in kmin..=kmax {
+        let size = ksjq_grouping(&cx, k, &cfg)?.len();
+        println!("  k = {k:>2}: {size:>7} tuples");
+    }
+
+    println!("\nfind-k (at least δ):");
+    println!(
+        "{:>8} {:>9} {:>10} {:>6} {:>6} {:>6}",
+        "δ", "k", "satisfied", "full", "bound", "strategy"
+    );
+    for delta in [10usize, 100, 1_000, 10_000, 100_000] {
+        for strategy in [FindKStrategy::Naive, FindKStrategy::Range, FindKStrategy::Binary] {
+            let rep = find_k_at_least(&cx, delta, strategy, &cfg)?;
+            println!(
+                "{:>8} {:>9} {:>10} {:>6} {:>6} {:>6}",
+                delta, rep.k, rep.satisfied, rep.full_computations, rep.bound_computations,
+                strategy.to_string()
+            );
+        }
+    }
+
+    println!("\nfind-k (at most δ = 1000):");
+    let rep = find_k_at_most(&cx, 1000, FindKStrategy::Binary, &cfg)?;
+    let size = ksjq_grouping(&cx, rep.k, &cfg)?.len();
+    println!("  largest k with ≤ 1000 skyline tuples: k = {} ({} tuples)", rep.k, size);
+
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! # ksjq — K-Dominant Skyline Join Queries
+//!
+//! A complete implementation of *"K-Dominant Skyline Join Queries:
+//! Extending the Join Paradigm to K-Dominant Skylines"* (Awasthi,
+//! Bhattacharya, Gupta, Singh — ICDE 2017), including every substrate the
+//! paper builds on: the relational core, classic skyline and k-dominant
+//! skyline algorithms, equality/theta/Cartesian join machinery, monotone
+//! aggregation, and the synthetic workload generators of its evaluation.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`relation`] | schemas, preferences, dominance kernel, tuple storage |
+//! | [`skyline`] | BNL, SFS, and k-dominant skylines (naïve, OSA, TSA) |
+//! | [`join`] | join specs, monotone aggregates, [`join::JoinContext`] |
+//! | [`datagen`] | synthetic distributions, paper tables, flight networks |
+//! | [`core`] | the KSJQ algorithms and the find-k algorithms |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ksjq::prelude::*;
+//!
+//! // Two relations of flights joined on the stop-over city (the paper's
+//! // running example, Tables 1–3).
+//! let flights = ksjq::datagen::paper_flights(false);
+//! let result = KsjqQuery::builder(&flights.outbound, &flights.inbound)
+//!     .k(7)
+//!     .algorithm(Algorithm::Grouping)
+//!     .build()?
+//!     .execute()?;
+//! for (u, v) in &result.pairs {
+//!     println!("flight {} then flight {}", 11 + u.0, 21 + v.0);
+//! }
+//! assert_eq!(result.len(), 4);
+//! # Ok::<(), ksjq::core::CoreError>(())
+//! ```
+//!
+//! See `examples/` for aggregate queries (total cost over legs), theta
+//! joins (arrival < departure), and automatic `k` selection from a target
+//! result size.
+
+pub use ksjq_core as core;
+pub use ksjq_datagen as datagen;
+pub use ksjq_join as join;
+pub use ksjq_relation as relation;
+pub use ksjq_skyline as skyline;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use ksjq_core::{
+        find_k_at_least, find_k_at_most, k_range, ksjq_dominator_based, ksjq_grouping,
+        ksjq_grouping_progressive, ksjq_naive, Algorithm, Config, CoreError, CoreResult, FindKReport, FindKStrategy,
+        KsjqOutput, KsjqQuery,
+    };
+    pub use ksjq_datagen::{DataType, DatasetSpec, FlightNetworkSpec};
+    pub use ksjq_join::{AggFunc, JoinContext, JoinSpec, ThetaOp};
+    pub use ksjq_relation::{Preference, Relation, Schema, StringDictionary, TupleId};
+    pub use ksjq_skyline::KdomAlgo;
+}

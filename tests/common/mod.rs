@@ -1,0 +1,67 @@
+//! Shared helpers for the integration tests.
+#![allow(dead_code)] // each test binary uses a different subset
+
+use ksjq::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A small random relation with equality-join groups and integer-ish
+/// values (many ties, stressing strictness handling).
+pub fn random_grouped(
+    seed: u64,
+    n: usize,
+    a: usize,
+    l: usize,
+    groups: u64,
+    value_range: u64,
+) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d = a + l;
+    let mut b = Relation::builder(Schema::uniform_agg(a, l).unwrap());
+    for _ in 0..n {
+        let g = rng.gen_range(0..groups);
+        let row: Vec<f64> = (0..d).map(|_| rng.gen_range(0..value_range) as f64).collect();
+        b.add_grouped(g, &row).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// A small random relation with numeric theta-join keys.
+pub fn random_keyed(seed: u64, n: usize, d: usize, value_range: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Relation::builder(Schema::uniform(d).unwrap());
+    for _ in 0..n {
+        let key = rng.gen_range(0..100) as f64 / 10.0;
+        let row: Vec<f64> = (0..d).map(|_| rng.gen_range(0..value_range) as f64).collect();
+        b.add_keyed(key, &row).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// A small random keyless relation (Cartesian products).
+pub fn random_keyless(seed: u64, n: usize, d: usize, value_range: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Relation::builder(Schema::uniform(d).unwrap());
+    for _ in 0..n {
+        let row: Vec<f64> = (0..d).map(|_| rng.gen_range(0..value_range) as f64).collect();
+        b.add(&row).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// Run all three KSJQ algorithms and assert they agree; returns the
+/// common answer.
+pub fn assert_all_algorithms_agree(
+    cx: &JoinContext<'_>,
+    k: usize,
+    cfg: &Config,
+    label: &str,
+) -> KsjqOutput {
+    let n = ksjq_naive(cx, k, cfg).unwrap_or_else(|e| panic!("{label}: naive failed: {e}"));
+    let g = ksjq_grouping(cx, k, cfg).unwrap_or_else(|e| panic!("{label}: grouping failed: {e}"));
+    let d = ksjq_dominator_based(cx, k, cfg)
+        .unwrap_or_else(|e| panic!("{label}: dominator failed: {e}"));
+    assert_eq!(n.pairs, g.pairs, "{label}: naive vs grouping");
+    assert_eq!(n.pairs, d.pairs, "{label}: naive vs dominator-based");
+    n
+}

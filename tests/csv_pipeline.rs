@@ -1,0 +1,66 @@
+//! End-to-end CSV pipeline: export a generated flight network, re-import
+//! it, and verify queries see the identical data — the workflow a user
+//! with real CSV data follows.
+
+use ksjq::datagen::{flights::flight_schema, relation_from_csv, relation_to_csv};
+use ksjq::prelude::*;
+
+#[test]
+fn flight_network_roundtrips_through_csv() {
+    let net = FlightNetworkSpec { outbound: 60, inbound: 50, hubs: 6, seed: 9 }.generate();
+
+    let out_csv = relation_to_csv(&net.outbound, "hub", Some(&net.hubs)).unwrap();
+    let in_csv = relation_to_csv(&net.inbound, "hub", Some(&net.hubs)).unwrap();
+    assert!(out_csv.starts_with("hub,cost,flying_time,date_change_fee,popularity,amenities\n"));
+
+    // Re-import through a *fresh* dictionary shared by both legs.
+    let mut dict = StringDictionary::new();
+    let outbound = relation_from_csv(&out_csv, flight_schema(), "hub", &mut dict).unwrap();
+    let inbound = relation_from_csv(&in_csv, flight_schema(), "hub", &mut dict).unwrap();
+    assert_eq!(outbound.n(), 60);
+    assert_eq!(inbound.n(), 50);
+
+    // Identical queries on both versions.
+    let cx_orig = JoinContext::new(
+        &net.outbound,
+        &net.inbound,
+        JoinSpec::Equality,
+        &[AggFunc::Sum, AggFunc::Sum],
+    )
+    .unwrap();
+    let cx_csv =
+        JoinContext::new(&outbound, &inbound, JoinSpec::Equality, &[AggFunc::Sum, AggFunc::Sum])
+            .unwrap();
+    assert_eq!(cx_orig.count_pairs(), cx_csv.count_pairs());
+    let cfg = Config::default();
+    for k in 6..=8 {
+        let a = ksjq_grouping(&cx_orig, k, &cfg).unwrap();
+        let b = ksjq_grouping(&cx_csv, k, &cfg).unwrap();
+        assert_eq!(a.pairs, b.pairs, "k={k}");
+    }
+}
+
+#[test]
+fn paper_tables_as_csv() {
+    // Export the paper's Table 1, re-import, and re-run the k=7 query.
+    let pf = ksjq::datagen::paper_flights(false);
+    let t1 = relation_to_csv(&pf.outbound, "city", Some(&pf.cities)).unwrap();
+    let t2 = relation_to_csv(&pf.inbound, "city", Some(&pf.cities)).unwrap();
+
+    let schema = || {
+        Schema::builder()
+            .local("cost", Preference::Min)
+            .local("dur", Preference::Min)
+            .local("rtg", Preference::Min)
+            .local("amn", Preference::Min)
+            .build()
+            .unwrap()
+    };
+    let mut dict = StringDictionary::new();
+    let r1 = relation_from_csv(&t1, schema(), "city", &mut dict).unwrap();
+    let r2 = relation_from_csv(&t2, schema(), "city", &mut dict).unwrap();
+    let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
+    let out = ksjq_grouping(&cx, 7, &Config::default()).unwrap();
+    let fnos: Vec<(u32, u32)> = out.pairs.iter().map(|(u, v)| (11 + u.0, 21 + v.0)).collect();
+    assert_eq!(fnos, vec![(11, 23), (13, 21), (15, 25), (16, 26)]);
+}

@@ -1,0 +1,131 @@
+//! Problems 3/4: the three find-k strategies must agree with each other
+//! and with exhaustive ground truth on every workload.
+
+mod common;
+
+use common::*;
+use ksjq::prelude::*;
+
+/// Exhaustive ground truth: sizes of the skyline at every admissible k.
+fn sizes_by_k(cx: &JoinContext<'_>, cfg: &Config) -> Vec<(usize, usize)> {
+    let (lo, hi) = k_range(cx);
+    (lo..=hi).map(|k| (k, ksjq_grouping(cx, k, cfg).unwrap().len())).collect()
+}
+
+#[test]
+fn lemma_1_sizes_monotone() {
+    for seed in [1u64, 5, 9] {
+        let r1 = random_grouped(seed, 80, 0, 4, 4, 12);
+        let r2 = random_grouped(seed + 40, 80, 0, 4, 4, 12);
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
+        let sizes = sizes_by_k(&cx, &Config::default());
+        for w in sizes.windows(2) {
+            assert!(w[0].1 <= w[1].1, "seed={seed}: sizes not monotone: {sizes:?}");
+        }
+    }
+}
+
+#[test]
+fn strategies_match_ground_truth() {
+    let cfg = Config::default();
+    for seed in [2u64, 3] {
+        let r1 = random_grouped(seed, 70, 0, 4, 4, 10);
+        let r2 = random_grouped(seed + 7, 70, 0, 4, 4, 10);
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
+        let sizes = sizes_by_k(&cx, &cfg);
+        let (lo, hi) = k_range(&cx);
+        for delta in [1usize, 3, 10, 40, 200, 5000] {
+            let truth = sizes.iter().find(|(_, s)| *s >= delta).map(|(k, _)| *k);
+            for strat in [FindKStrategy::Naive, FindKStrategy::Range, FindKStrategy::Binary] {
+                let rep = find_k_at_least(&cx, delta, strat, &cfg).unwrap();
+                match truth {
+                    Some(k) => {
+                        assert_eq!(rep.k, k, "seed={seed} delta={delta} strat={strat}");
+                        assert!(rep.satisfied);
+                        assert!(rep.k >= lo && rep.k <= hi);
+                    }
+                    None => {
+                        assert_eq!(rep.k, hi, "seed={seed} delta={delta} strat={strat}");
+                        assert!(!rep.satisfied);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn at_most_matches_ground_truth() {
+    let cfg = Config::default();
+    let r1 = random_grouped(13, 70, 0, 4, 4, 10);
+    let r2 = random_grouped(14, 70, 0, 4, 4, 10);
+    let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
+    let sizes = sizes_by_k(&cx, &cfg);
+    let (lo, _hi) = k_range(&cx);
+    for delta in [1usize, 5, 25, 100, 10_000] {
+        let truth = sizes.iter().rev().find(|(_, s)| *s <= delta).map(|(k, _)| *k);
+        let rep = find_k_at_most(&cx, delta, FindKStrategy::Binary, &cfg).unwrap();
+        match truth {
+            Some(k) => {
+                assert_eq!(rep.k, k, "delta={delta}");
+                assert!(rep.satisfied, "delta={delta}");
+            }
+            None => {
+                // Even the minimum k overshoots δ; the paper's convention
+                // returns the minimum, flagged unsatisfied.
+                assert_eq!(rep.k, lo, "delta={delta}");
+                assert!(!rep.satisfied, "delta={delta}");
+            }
+        }
+    }
+}
+
+#[test]
+fn binary_never_does_more_full_runs_than_range() {
+    let cfg = Config::default();
+    let r1 = random_grouped(23, 90, 0, 5, 5, 10);
+    let r2 = random_grouped(24, 90, 0, 5, 5, 10);
+    let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
+    for delta in [10usize, 100, 1000] {
+        let naive = find_k_at_least(&cx, delta, FindKStrategy::Naive, &cfg).unwrap();
+        let range = find_k_at_least(&cx, delta, FindKStrategy::Range, &cfg).unwrap();
+        let binary = find_k_at_least(&cx, delta, FindKStrategy::Binary, &cfg).unwrap();
+        // The bound-based strategies never need more full computations
+        // than the naive one, and binary probes at most ⌈log₂(range)⌉ + 1
+        // values of k.
+        assert!(range.full_computations <= naive.full_computations, "delta={delta}");
+        assert!(binary.full_computations <= naive.full_computations, "delta={delta}");
+        let (lo, hi) = k_range(&cx);
+        let log2 = usize::BITS - (hi - lo + 1).leading_zeros();
+        assert!(
+            binary.bound_computations <= log2 as usize + 1,
+            "delta={delta}: {} probes for range {lo}..={hi}",
+            binary.bound_computations
+        );
+    }
+}
+
+#[test]
+fn delta_one_finds_first_nonempty_k() {
+    let pf = ksjq::datagen::paper_flights(false);
+    let cx = JoinContext::new(&pf.outbound, &pf.inbound, JoinSpec::Equality, &[]).unwrap();
+    let cfg = Config::default();
+    let rep = find_k_at_least(&cx, 1, FindKStrategy::Binary, &cfg).unwrap();
+    assert!(rep.satisfied);
+    let size_at_k = ksjq_grouping(&cx, rep.k, &cfg).unwrap().len();
+    assert!(size_at_k >= 1);
+    if rep.k > k_range(&cx).0 {
+        assert_eq!(ksjq_grouping(&cx, rep.k - 1, &cfg).unwrap().len(), 0);
+    }
+}
+
+#[test]
+fn huge_delta_on_paper_example() {
+    let pf = ksjq::datagen::paper_flights(false);
+    let cx = JoinContext::new(&pf.outbound, &pf.inbound, JoinSpec::Equality, &[]).unwrap();
+    let rep =
+        find_k_at_least(&cx, 1_000, FindKStrategy::Binary, &Config::default()).unwrap();
+    // Only 13 joined tuples exist; δ = 1000 is unsatisfiable.
+    assert!(!rep.satisfied);
+    assert_eq!(rep.k, k_range(&cx).1);
+}

@@ -1,0 +1,172 @@
+//! The paper's worked example (Tables 1–6) as an end-to-end oracle.
+//!
+//! Two published typos are corrected in `ksjq_datagen::paper_tables` (see
+//! its module docs): flight 28's amenities value (37 in Table 2 vs 39 in
+//! Table 3 — 39 is what makes the paper's own Observation-3 walk-through
+//! arithmetically true) and flight 18's category (Table 1 says `SS1`, but
+//! flight 16 3-dominates flight 18, so Definition 2 makes it `SN1`; the
+//! final skyline is unaffected).
+
+mod common;
+
+use ksjq::prelude::*;
+use ksjq::core::{classify, validate_k, Category};
+use ksjq::datagen::paper_flights;
+
+fn cx_plain(pf: &ksjq::datagen::PaperFlights) -> JoinContext<'_> {
+    JoinContext::new(&pf.outbound, &pf.inbound, JoinSpec::Equality, &[]).unwrap()
+}
+
+/// Table 1/2 categorisations at k = 7 (k′1 = k′2 = 3), with flight 18
+/// corrected to SN1.
+#[test]
+fn table_1_and_2_categorisation() {
+    let pf = paper_flights(false);
+    let cx = cx_plain(&pf);
+    let p = validate_k(&cx, 7).unwrap();
+    assert_eq!((p.k1_prime, p.k2_prime), (3, 3));
+    let cls = classify(&cx, &p, KdomAlgo::Naive);
+
+    use Category::*;
+    // Flights 11..19 (Table 1's last column; 18 corrected from SS to SN).
+    let expected1 = [SS, NN, SN, NN, SN, SS, SN, SN, NN];
+    assert_eq!(cls.left, expected1, "Table 1 categories (flight = 11 + index)");
+    // Flights 21..28 (Table 2's last column, with 28's amn = 39).
+    let expected2 = [SS, NN, SN, NN, SN, SS, SN, SN];
+    assert_eq!(cls.right, expected2, "Table 2 categories (flight = 21 + index)");
+}
+
+/// Table 3: the full joined relation with per-pair categorisation and
+/// skyline verdicts.
+#[test]
+fn table_3_joined_relation() {
+    let pf = paper_flights(false);
+    let cx = cx_plain(&pf);
+
+    // 13 valid flight combinations.
+    assert_eq!(cx.count_pairs(), 13);
+
+    let out = ksjq_grouping(&cx, 7, &Config::default()).unwrap();
+    // Table 3's "skyline" column: yes for (11,23), (13,21), (15,25), (16,26).
+    let yes: Vec<(u32, u32)> = out.pairs.iter().map(|(u, v)| (11 + u.0, 21 + v.0)).collect();
+    assert_eq!(yes, vec![(11, 23), (13, 21), (15, 25), (16, 26)]);
+
+    // Spot-check the paper's prose: (18,28) is k-dominated by (19,25)…
+    let t_18_28 = cx.joined_row(7, 7);
+    let t_19_25 = cx.joined_row(8, 4);
+    assert!(ksjq::relation::k_dominates(&t_19_25, &t_18_28, 7));
+    // …and (17,27) by (16,26), which dominates it in all 8 attributes.
+    let t_17_27 = cx.joined_row(6, 6);
+    let t_16_26 = cx.joined_row(5, 5);
+    assert!(ksjq::relation::dominates(&t_16_26, &t_17_27));
+    // (15,25) survives because its legs' dominators (11 resp. 21) are not
+    // join-compatible: 11 lands in C, 21 departs from D.
+    assert!(out.contains(4, 4));
+}
+
+/// Tables 4/5 (the fate table): validated empirically over the example —
+/// every SS⋈SS pair is a skyline, every pair with an NN leg is not.
+#[test]
+fn table_5_fates_hold() {
+    let pf = paper_flights(false);
+    let cx = cx_plain(&pf);
+    let p = validate_k(&cx, 7).unwrap();
+    let cls = classify(&cx, &p, KdomAlgo::Naive);
+    let out = ksjq_naive(&cx, 7, &Config::default()).unwrap();
+
+    cx.for_each_pair(|u, v| {
+        let fate = (cls.left[u as usize], cls.right[v as usize]);
+        let is_skyline = out.contains(u, v);
+        match fate {
+            (Category::SS, Category::SS) => {
+                assert!(is_skyline, "Th. 3 violated for ({u},{v})");
+            }
+            (Category::NN, _) | (_, Category::NN) => {
+                assert!(!is_skyline, "Th. 4 violated for ({u},{v})");
+            }
+            _ => {} // likely / may be: either way
+        }
+    });
+}
+
+/// Table 6: the aggregate variant (cost summed over legs, k = 6) keeps
+/// the same four winners.
+#[test]
+fn table_6_aggregate_skyline() {
+    let pf = paper_flights(true);
+    let cx =
+        JoinContext::new(&pf.outbound, &pf.inbound, JoinSpec::Equality, &[AggFunc::Sum])
+            .unwrap();
+    assert_eq!(cx.d_joined(), 7); // 3 + 3 + 1
+
+    // The paper's Sec. 5.6 example: k = 6, a = 1 ⇒ k″ = 2, k′ = 3.
+    let p = validate_k(&cx, 6).unwrap();
+    assert_eq!((p.k1_pp, p.k1_prime), (2, 3));
+
+    let cfg = Config::default();
+    let out = common::assert_all_algorithms_agree(&cx, 6, &cfg, "table6");
+    let yes: Vec<(u32, u32)> = out.pairs.iter().map(|(u, v)| (11 + u.0, 21 + v.0)).collect();
+    assert_eq!(yes, vec![(11, 23), (13, 21), (15, 25), (16, 26)]);
+
+    // Spot-check the aggregated row of (11,23): total cost 804.
+    let row = cx.joined_row(0, 2);
+    let names = cx.joined_attr_names();
+    let cost_idx = names.iter().position(|n| n == "sum(cost)").unwrap();
+    assert_eq!(row[cost_idx], 804.0);
+}
+
+/// The join sizes and stats of the example match the prose.
+#[test]
+fn example_stats() {
+    let pf = paper_flights(false);
+    let cx = cx_plain(&pf);
+    let out = ksjq_grouping(&cx, 7, &Config::default()).unwrap();
+    let c = out.stats.counts;
+    assert_eq!(c.joined_pairs, 13);
+    assert_eq!(c.output, 4);
+    // (16,26) is the only SS⋈SS pair — 18 is SN after the correction.
+    assert_eq!(c.yes_pairs, 1);
+    // All classifications tally up.
+    assert_eq!(c.ss[0] + c.sn[0] + c.nn[0], 9);
+    assert_eq!(c.ss[1] + c.sn[1] + c.nn[1], 8);
+}
+
+/// With the *published* (typo) value amn(28) = 37, the paper's own
+/// walk-through fails: (19,25) would no longer 7-dominate (18,28). This
+/// test documents why the correction is the consistent reading.
+#[test]
+fn published_typo_would_break_observation_3() {
+    // Rebuild table 2 with amn(28) = 37 as printed.
+    let mut cities = StringDictionary::new();
+    let schema = || {
+        Schema::builder()
+            .local("cost", Preference::Min)
+            .local("dur", Preference::Min)
+            .local("rtg", Preference::Min)
+            .local("amn", Preference::Min)
+            .build()
+            .unwrap()
+    };
+    let mut b1 = Relation::builder(schema());
+    for (city, c, d, r, a) in ksjq::datagen::paper_tables::TABLE1 {
+        b1.add_grouped(cities.encode(city), &[c, d, r, a]).unwrap();
+    }
+    let r1 = b1.build().unwrap();
+    let mut b2 = Relation::builder(schema());
+    for (city, c, d, r, a) in ksjq::datagen::paper_tables::TABLE2 {
+        let a = if city == "H" { 37.0 } else { a }; // the printed value
+        b2.add_grouped(cities.encode(city), &[c, d, r, a]).unwrap();
+    }
+    let r2 = b2.build().unwrap();
+    let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
+    let t_18_28 = cx.joined_row(7, 7);
+    let t_19_25 = cx.joined_row(8, 4);
+    // 6 better-or-equal positions only — not 7 as the prose requires.
+    let counts = ksjq::relation::dom_counts(&t_19_25, &t_18_28);
+    assert_eq!(counts.le, 6);
+    assert!(!ksjq::relation::k_dominates(&t_19_25, &t_18_28, 7));
+    // Worse: nothing else dominates (18,28) either, so under the printed
+    // value it would *be* a skyline tuple — contradicting Table 3's "no".
+    let out = ksjq_naive(&cx, 7, &Config::default()).unwrap();
+    assert!(out.contains(7, 7));
+}

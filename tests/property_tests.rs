@@ -1,0 +1,325 @@
+//! Property-based tests (proptest) over the whole stack: dominance
+//! algebra, Lemma 1, Theorems 1–4 as runtime invariants, classification
+//! partition laws, the Unique Value Property (Theorem 5), and full
+//! cross-algorithm equivalence on arbitrary inputs.
+
+mod common;
+
+use ksjq::core::{classify, validate_k, Category};
+use ksjq::prelude::*;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+/// A small grouped relation: n in 1..=24, d in 2..=4, tight value domain
+/// (many ties).
+fn arb_relation(d: usize) -> impl Strategy<Value = Relation> {
+    prop::collection::vec((0u64..3, prop::collection::vec(0u32..6, d)), 1..=24).prop_map(
+        move |tuples| {
+            let mut b = Relation::builder(Schema::uniform(d).unwrap());
+            for (g, row) in tuples {
+                let row: Vec<f64> = row.into_iter().map(|v| v as f64).collect();
+                b.add_grouped(g, &row).unwrap();
+            }
+            b.build().unwrap()
+        },
+    )
+}
+
+fn arb_agg_relation(a: usize, l: usize) -> impl Strategy<Value = Relation> {
+    let d = a + l;
+    prop::collection::vec((0u64..3, prop::collection::vec(0u32..6, d)), 1..=20).prop_map(
+        move |tuples| {
+            let mut b = Relation::builder(Schema::uniform_agg(a, l).unwrap());
+            for (g, row) in tuples {
+                let row: Vec<f64> = row.into_iter().map(|v| v as f64).collect();
+                b.add_grouped(g, &row).unwrap();
+            }
+            b.build().unwrap()
+        },
+    )
+}
+
+fn arb_row(d: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec((0u32..8).prop_map(|v| v as f64), d)
+}
+
+// ---------------------------------------------------------------------
+// Dominance kernel algebra
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn full_dominance_is_irreflexive_and_asymmetric(u in arb_row(4), v in arb_row(4)) {
+        prop_assert!(!ksjq::relation::dominates(&u, &u));
+        if ksjq::relation::dominates(&u, &v) {
+            prop_assert!(!ksjq::relation::dominates(&v, &u));
+        }
+    }
+
+    #[test]
+    fn k_dominance_monotone_in_k(u in arb_row(5), v in arb_row(5)) {
+        for k in 2..=5usize {
+            if ksjq::relation::k_dominates(&u, &v, k) {
+                prop_assert!(ksjq::relation::k_dominates(&u, &v, k - 1),
+                    "{u:?} {v:?} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_dominance_agrees_with_counts(u in arb_row(4), v in arb_row(4)) {
+        let c = ksjq::relation::dom_counts(&u, &v);
+        for k in 1..=4usize {
+            prop_assert_eq!(
+                ksjq::relation::k_dominates(&u, &v, k),
+                c.le as usize >= k && c.lt >= 1
+            );
+        }
+        prop_assert_eq!(ksjq::relation::dominates(&u, &v), c.dominates(4));
+    }
+
+    #[test]
+    fn full_dominance_transitive(u in arb_row(3), v in arb_row(3), w in arb_row(3)) {
+        use ksjq::relation::dominates;
+        if dominates(&u, &v) && dominates(&v, &w) {
+            prop_assert!(dominates(&u, &w));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Single-relation skyline algorithms agree
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn skyline_algorithms_agree(rel in arb_relation(3)) {
+        let all: Vec<u32> = (0..rel.n() as u32).collect();
+        let bnl = ksjq::skyline::bnl::skyline_bnl(&rel, &all);
+        let sfs = ksjq::skyline::sfs::skyline_sfs(&rel, &all);
+        prop_assert_eq!(&bnl, &sfs);
+        // Full skyline == d-dominant skyline.
+        let mut kdom = ksjq::skyline::k_dominant_skyline(&rel, &all, rel.d(), KdomAlgo::Naive);
+        kdom.sort_unstable();
+        prop_assert_eq!(&bnl, &kdom);
+    }
+
+    #[test]
+    fn kdom_algorithms_agree(rel in arb_relation(4), k in 1usize..=4) {
+        let all: Vec<u32> = (0..rel.n() as u32).collect();
+        let naive = ksjq::skyline::k_dominant_skyline(&rel, &all, k, KdomAlgo::Naive);
+        let osa = ksjq::skyline::k_dominant_skyline(&rel, &all, k, KdomAlgo::Osa);
+        let tsa = ksjq::skyline::k_dominant_skyline(&rel, &all, k, KdomAlgo::Tsa);
+        prop_assert_eq!(&naive, &osa);
+        prop_assert_eq!(&naive, &tsa);
+    }
+
+    #[test]
+    fn lemma_1_skyline_grows_with_k(rel in arb_relation(4)) {
+        let all: Vec<u32> = (0..rel.n() as u32).collect();
+        let mut prev: Vec<u32> = Vec::new();
+        for k in 1..=4 {
+            let cur = ksjq::skyline::k_dominant_skyline(&rel, &all, k, KdomAlgo::Naive);
+            for p in &prev {
+                prop_assert!(cur.contains(p), "k={k} lost {p}");
+            }
+            prev = cur;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// KSJQ invariants over random joins
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The heart of the reproduction: all three KSJQ algorithms return the
+    /// identical skyline, and the skyline equals the brute-force answer on
+    /// the materialised join.
+    #[test]
+    fn ksjq_equals_brute_force(
+        r1 in arb_relation(3),
+        r2 in arb_relation(3),
+        k_off in 0usize..=2,
+    ) {
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
+        let (lo, hi) = k_range(&cx);
+        let k = (lo + k_off).min(hi);
+        let cfg = Config::default();
+
+        let naive = ksjq_naive(&cx, k, &cfg).unwrap();
+        let grouping = ksjq_grouping(&cx, k, &cfg).unwrap();
+        let dom = ksjq_dominator_based(&cx, k, &cfg).unwrap();
+        prop_assert_eq!(&naive.pairs, &grouping.pairs);
+        prop_assert_eq!(&naive.pairs, &dom.pairs);
+
+        // Brute force over the materialised join.
+        let m = cx.materialize();
+        let mut expected: Vec<(u32, u32)> = Vec::new();
+        for i in 0..m.n() {
+            let dominated = (0..m.n()).any(|j| {
+                j != i && ksjq::relation::k_dominates(m.row(j), m.row(i), k)
+            });
+            if !dominated {
+                expected.push(m.pairs[i]);
+            }
+        }
+        expected.sort_unstable();
+        let got: Vec<(u32, u32)> =
+            naive.pairs.iter().map(|(u, v)| (u.0, v.0)).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Theorems 1–4 as runtime invariants (a = 0, where Theorem 3 holds).
+    #[test]
+    fn fate_table_invariants(r1 in arb_relation(3), r2 in arb_relation(3)) {
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
+        let (lo, hi) = k_range(&cx);
+        let k = (lo + 1).min(hi);
+        let p = validate_k(&cx, k).unwrap();
+        let cls = classify(&cx, &p, KdomAlgo::Naive);
+        let out = ksjq_naive(&cx, k, &Config::default()).unwrap();
+        let mut violation = None;
+        cx.for_each_pair(|u, v| {
+            let is_sky = out.contains(u, v);
+            match (cls.left[u as usize], cls.right[v as usize]) {
+                (Category::SS, Category::SS) if !is_sky => {
+                    violation = Some(format!("Th.3: SS⋈SS ({u},{v}) not skyline"));
+                }
+                (Category::NN, _) | (_, Category::NN) if is_sky => {
+                    violation = Some(format!("Th.4: NN pair ({u},{v}) in skyline"));
+                }
+                _ => {}
+            }
+        });
+        prop_assert!(violation.is_none(), "{}", violation.unwrap());
+    }
+
+    /// Classification laws: SS tuples are exactly the global k′-dominant
+    /// skyline; every NN tuple has a covering dominator.
+    #[test]
+    fn classification_partition_laws(r1 in arb_relation(3), r2 in arb_relation(3)) {
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
+        let (lo, hi) = k_range(&cx);
+        let k = lo.min(hi);
+        let p = validate_k(&cx, k).unwrap();
+        let cls = classify(&cx, &p, KdomAlgo::Tsa);
+        let all: Vec<u32> = (0..r1.n() as u32).collect();
+        let global = ksjq::skyline::k_dominant_skyline(&r1, &all, p.k1_prime, KdomAlgo::Naive);
+        for t in 0..r1.n() as u32 {
+            let in_global = global.contains(&t);
+            prop_assert_eq!(cls.left[t as usize] == Category::SS, in_global, "tuple {}", t);
+            if cls.left[t as usize] == Category::NN {
+                let covered = cx
+                    .left_coverers(t)
+                    .iter()
+                    .any(|&w| w != t && ksjq::relation::k_dominates(
+                        r1.row_at(w as usize), r1.row_at(t as usize), p.k1_prime));
+                prop_assert!(covered, "NN tuple {} lacks covering dominator", t);
+            }
+        }
+    }
+
+    /// Execution-mode invariants: progressive delivery and parallel
+    /// verification produce exactly the batch answer on arbitrary inputs.
+    #[test]
+    fn execution_modes_agree(r1 in arb_relation(3), r2 in arb_relation(3)) {
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
+        let (lo, hi) = k_range(&cx);
+        let k = (lo + 1).min(hi);
+        let batch = ksjq_grouping(&cx, k, &Config::default()).unwrap();
+        let mut streamed: Vec<(u32, u32)> = Vec::new();
+        let progressive =
+            ksjq_grouping_progressive(&cx, k, &Config::default(), |u, v| streamed.push((u, v)))
+                .unwrap();
+        prop_assert_eq!(&progressive.pairs, &batch.pairs);
+        streamed.sort_unstable();
+        let streamed_pairs: Vec<_> =
+            streamed.iter().map(|&(u, v)| (TupleId(u), TupleId(v))).collect();
+        prop_assert_eq!(&streamed_pairs, &batch.pairs);
+        let parallel = ksjq_grouping(&cx, k, &Config::with_threads(3)).unwrap();
+        prop_assert_eq!(&parallel.pairs, &batch.pairs);
+    }
+
+    /// Aggregate joins: the three algorithms agree for a = 1 (where the
+    /// paper's Theorem 3 still holds) on arbitrary data.
+    #[test]
+    fn aggregate_equivalence(r1 in arb_agg_relation(1, 2), r2 in arb_agg_relation(1, 2)) {
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[AggFunc::Sum]).unwrap();
+        let (lo, hi) = k_range(&cx);
+        let cfg = Config::default();
+        for k in lo..=hi {
+            let naive = ksjq_naive(&cx, k, &cfg).unwrap();
+            let grouping = ksjq_grouping(&cx, k, &cfg).unwrap();
+            let dom = ksjq_dominator_based(&cx, k, &cfg).unwrap();
+            prop_assert_eq!(&naive.pairs, &grouping.pairs, "k={}", k);
+            prop_assert_eq!(&naive.pairs, &dom.pairs, "k={}", k);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Theorem 5: the Unique Value Property
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Under UVP (all values globally distinct per attribute — the
+    /// strongest form), every `SS ⋈ SN` pair is a k-dominant skyline.
+    #[test]
+    fn theorem_5_uvp(perm in prop::sample::subsequence((0u64..40).collect::<Vec<_>>(), 8..=30)) {
+        // Build relations with globally unique values by spreading the
+        // sampled integers: value(v, attr) = v * 4 + attr ensures any two
+        // tuples differ in every attribute.
+        let d = 3usize;
+        let mut b1 = Relation::builder(Schema::uniform(d).unwrap());
+        let mut b2 = Relation::builder(Schema::uniform(d).unwrap());
+        for (i, &v) in perm.iter().enumerate() {
+            let g = v % 3;
+            let row1: Vec<f64> = (0..d).map(|a| ((v * 7 + a as u64 * 3) % 97) as f64 + 0.5 / (i + 1) as f64).collect();
+            let row2: Vec<f64> = (0..d).map(|a| ((v * 11 + a as u64 * 5) % 89) as f64 + 0.25 / (i + 1) as f64).collect();
+            b1.add_grouped(g, &row1).unwrap();
+            b2.add_grouped(g, &row2).unwrap();
+        }
+        let r1 = b1.build().unwrap();
+        let r2 = b2.build().unwrap();
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
+        let (lo, hi) = k_range(&cx);
+        let k = (lo + 1).min(hi);
+        let p = validate_k(&cx, k).unwrap();
+
+        // Verify the UVP premise actually holds for the k″-sized subsets
+        // (no two tuples share k″ attribute values).
+        for rel in [&r1, &r2] {
+            for i in 0..rel.n() as u32 {
+                for j in 0..i {
+                    let shared = ksjq::relation::dominance::equal_count(
+                        rel.row_at(i as usize), rel.row_at(j as usize));
+                    prop_assert!(shared < p.k1_pp.min(p.k2_pp),
+                        "UVP premise violated: tuples share {} values", shared);
+                }
+            }
+        }
+
+        let cls = classify(&cx, &p, KdomAlgo::Naive);
+        let out = ksjq_naive(&cx, k, &Config::default()).unwrap();
+        let mut violation = None;
+        cx.for_each_pair(|u, v| {
+            let fate = (cls.left[u as usize], cls.right[v as usize]);
+            if matches!(fate, (Category::SS, Category::SN) | (Category::SN, Category::SS))
+                && !out.contains(u, v)
+            {
+                violation = Some((u, v));
+            }
+        });
+        prop_assert!(violation.is_none(), "Th.5 violated at {:?}", violation);
+    }
+}

@@ -1,0 +1,145 @@
+//! Non-equality (theta) join conditions, paper Sec. 6.6: the algorithms
+//! must agree under `<`, `<=`, `>`, `>=` key conditions, and the
+//! prefix/suffix "group" semantics must be sound.
+
+mod common;
+
+use common::*;
+use ksjq::core::{classify, validate_k, Category};
+use ksjq::prelude::*;
+
+#[test]
+fn all_theta_ops_agree_across_algorithms() {
+    let cfg = Config::default();
+    for op in [ThetaOp::Lt, ThetaOp::Le, ThetaOp::Gt, ThetaOp::Ge] {
+        for seed in [1u64, 2] {
+            let r1 = random_keyed(seed, 60, 4, 9);
+            let r2 = random_keyed(seed + 10, 60, 4, 9);
+            let cx = JoinContext::new(&r1, &r2, JoinSpec::Theta(op), &[]).unwrap();
+            for k in 5..=7 {
+                assert_all_algorithms_agree(&cx, k, &cfg, &format!("theta {op} seed={seed} k={k}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn theta_with_aggregates_agree() {
+    let cfg = Config::default();
+    let mk = |seed: u64| {
+        let mut rng_state = seed;
+        let mut next = move |m: u64| {
+            rng_state =
+                rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (rng_state >> 33) % m
+        };
+        let mut b = Relation::builder(Schema::uniform_agg(1, 3).unwrap());
+        for _ in 0..50 {
+            let key = next(100) as f64 / 10.0;
+            let row = [next(9) as f64, next(9) as f64, next(9) as f64, next(9) as f64];
+            b.add_keyed(key, &row).unwrap();
+        }
+        b.build().unwrap()
+    };
+    let r1 = mk(100);
+    let r2 = mk(200);
+    let cx =
+        JoinContext::new(&r1, &r2, JoinSpec::Theta(ThetaOp::Lt), &[AggFunc::Sum]).unwrap();
+    for k in 5..=7 {
+        assert_all_algorithms_agree(&cx, k, &cfg, &format!("theta-agg k={k}"));
+    }
+}
+
+/// The flight-connection scenario of Sec. 6.6: leg 1 must land before
+/// leg 2 departs. Hand-checked miniature.
+#[test]
+fn arrival_before_departure_semantics() {
+    let mk = |keys: &[f64], rows: &[Vec<f64>]| {
+        let mut b = Relation::builder(Schema::uniform(2).unwrap());
+        for (k, r) in keys.iter().zip(rows) {
+            b.add_keyed(*k, r).unwrap();
+        }
+        b.build().unwrap()
+    };
+    // Leg 1: (arrival, cost, quality-ish). Leg 2: (departure, …).
+    let r1 = mk(&[10.0, 12.0], &[vec![5.0, 5.0], vec![1.0, 1.0]]);
+    let r2 = mk(&[11.0, 13.0], &[vec![5.0, 5.0], vec![2.0, 2.0]]);
+    let cx = JoinContext::new(&r1, &r2, JoinSpec::Theta(ThetaOp::Lt), &[]).unwrap();
+    // Valid pairs: (0,0) 10<11, (0,1) 10<13, (1,1) 12<13 — not (1,0).
+    assert_eq!(cx.count_pairs(), 3);
+    assert!(!cx.compatible(1, 0));
+
+    let out = assert_all_algorithms_agree(&cx, 3, &Config::default(), "arr<dep");
+    // (1,1) = (1,1,2,2) dominates (0,0) = (5,5,5,5) and (0,1) = (5,5,2,2).
+    assert_eq!(out.pairs, vec![(TupleId(1), TupleId(1))]);
+}
+
+/// Classification under theta joins uses prefix/suffix coverers: a tuple
+/// with a *more permissive* key that k′-dominates makes its victim NN.
+#[test]
+fn theta_classification_uses_coverers() {
+    let mk = |keys: &[f64], rows: &[Vec<f64>]| {
+        let mut b = Relation::builder(Schema::uniform(2).unwrap());
+        for (k, r) in keys.iter().zip(rows) {
+            b.add_keyed(*k, r).unwrap();
+        }
+        b.build().unwrap()
+    };
+    // Under `<`, a smaller left key covers a larger one.
+    // t0 (key 1, great) covers and dominates t1 (key 2, poor) ⇒ t1 ∈ NN.
+    // t2 (key 0.5, poor) is dominated by t0 but t0 does NOT cover t2
+    // (t0's key is larger) ⇒ t2 ∈ SN.
+    let r1 = mk(&[1.0, 2.0, 0.5], &[vec![1.0, 1.0], vec![5.0, 5.0], vec![9.0, 9.0]]);
+    let r2 = mk(&[3.0], &[vec![1.0, 1.0]]);
+    let cx = JoinContext::new(&r1, &r2, JoinSpec::Theta(ThetaOp::Lt), &[]).unwrap();
+    let p = validate_k(&cx, 3).unwrap();
+    let cls = classify(&cx, &p, KdomAlgo::Naive);
+    assert_eq!(cls.left, vec![Category::SS, Category::NN, Category::SN]);
+
+    // And the final answers still agree.
+    assert_all_algorithms_agree(&cx, 3, &Config::default(), "theta-classify");
+}
+
+/// Keys with ties: tuples with equal keys cover each other; correctness
+/// must hold in both directions of the condition.
+#[test]
+fn theta_ties_covered_both_ways() {
+    let cfg = Config::default();
+    let mk = |seed: u64| {
+        let mut state = seed;
+        let mut next = move |m: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        let mut b = Relation::builder(Schema::uniform(3).unwrap());
+        for _ in 0..40 {
+            // Only 4 distinct key values ⇒ heavy ties.
+            let key = next(4) as f64;
+            let row = [next(6) as f64, next(6) as f64, next(6) as f64];
+            b.add_keyed(key, &row).unwrap();
+        }
+        b.build().unwrap()
+    };
+    let r1 = mk(900);
+    let r2 = mk(901);
+    for op in [ThetaOp::Le, ThetaOp::Ge] {
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Theta(op), &[]).unwrap();
+        for k in 4..=5 {
+            assert_all_algorithms_agree(&cx, k, &cfg, &format!("ties {op} k={k}"));
+        }
+    }
+}
+
+/// Find-k works over theta joins too.
+#[test]
+fn find_k_over_theta_join() {
+    let r1 = random_keyed(300, 50, 4, 10);
+    let r2 = random_keyed(301, 50, 4, 10);
+    let cx = JoinContext::new(&r1, &r2, JoinSpec::Theta(ThetaOp::Lt), &[]).unwrap();
+    let cfg = Config::default();
+    for delta in [1usize, 25, 500] {
+        let a = find_k_at_least(&cx, delta, FindKStrategy::Naive, &cfg).unwrap();
+        let b = find_k_at_least(&cx, delta, FindKStrategy::Binary, &cfg).unwrap();
+        assert_eq!(a.k, b.k, "delta={delta}");
+    }
+}
