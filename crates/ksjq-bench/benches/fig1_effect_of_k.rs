@@ -8,7 +8,10 @@ use ksjq_bench::{PaperParams, GDN};
 use ksjq_core::{ksjq_dominator_based, ksjq_grouping, ksjq_naive, Algorithm, Config};
 
 fn bench_effect_of_k(c: &mut Criterion) {
-    let params = PaperParams { n: 400, ..Default::default() };
+    let params = PaperParams {
+        n: 400,
+        ..Default::default()
+    };
     let (r1, r2) = params.relations();
     let cx = params.context(&r1, &r2);
     let cfg = Config::default();
@@ -17,25 +20,24 @@ fn bench_effect_of_k(c: &mut Criterion) {
     group.sample_size(10);
     for k in 8..=11usize {
         for algo in GDN {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{algo}"), k),
-                &k,
-                |b, &k| {
-                    b.iter(|| match algo {
-                        Algorithm::Naive => ksjq_naive(&cx, k, &cfg).unwrap().len(),
-                        Algorithm::Grouping => ksjq_grouping(&cx, k, &cfg).unwrap().len(),
-                        Algorithm::DominatorBased => {
-                            ksjq_dominator_based(&cx, k, &cfg).unwrap().len()
-                        }
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{algo}"), k), &k, |b, &k| {
+                b.iter(|| match algo {
+                    Algorithm::Naive => ksjq_naive(&cx, k, &cfg).unwrap().len(),
+                    Algorithm::Grouping => ksjq_grouping(&cx, k, &cfg).unwrap().len(),
+                    Algorithm::DominatorBased => ksjq_dominator_based(&cx, k, &cfg).unwrap().len(),
+                })
+            });
         }
     }
     group.finish();
 
     // Fig 1b: d = 6, a = 1.
-    let params = PaperParams { n: 400, d: 6, a: 1, ..Default::default() };
+    let params = PaperParams {
+        n: 400,
+        d: 6,
+        a: 1,
+        ..Default::default()
+    };
     let (r1, r2) = params.relations();
     let cx = params.context(&r1, &r2);
     let mut group = c.benchmark_group("fig1b_effect_of_k");

@@ -10,7 +10,11 @@ fn bench_effect_of_a(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig2a_effect_of_a");
     group.sample_size(10);
     for a in 0..=3usize {
-        let params = PaperParams { n: 400, a, ..Default::default() };
+        let params = PaperParams {
+            n: 400,
+            a,
+            ..Default::default()
+        };
         let (r1, r2) = params.relations();
         let cx = params.context(&r1, &r2);
         group.bench_with_input(BenchmarkId::new("G", a), &a, |b, _| {
@@ -30,8 +34,20 @@ fn bench_medley(c: &mut Criterion) {
     let cfg = Config::default();
     let mut group = c.benchmark_group("fig2b_medley");
     group.sample_size(10);
-    for (d, k, a) in [(5usize, 7usize, 1usize), (5, 7, 2), (6, 7, 1), (6, 7, 2), (6, 8, 2)] {
-        let params = PaperParams { n: 400, d, k, a, ..Default::default() };
+    for (d, k, a) in [
+        (5usize, 7usize, 1usize),
+        (5, 7, 2),
+        (6, 7, 1),
+        (6, 7, 2),
+        (6, 8, 2),
+    ] {
+        let params = PaperParams {
+            n: 400,
+            d,
+            k,
+            a,
+            ..Default::default()
+        };
         let (r1, r2) = params.relations();
         let cx = params.context(&r1, &r2);
         let id = format!("d{d}k{k}a{a}");

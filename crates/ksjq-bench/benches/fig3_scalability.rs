@@ -10,7 +10,11 @@ fn bench_groups(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3a_join_groups");
     group.sample_size(10);
     for g in [1usize, 2, 5, 10, 25, 50] {
-        let params = PaperParams { n: 400, g, ..Default::default() };
+        let params = PaperParams {
+            n: 400,
+            g,
+            ..Default::default()
+        };
         let (r1, r2) = params.relations();
         let cx = params.context(&r1, &r2);
         group.bench_with_input(BenchmarkId::new("G", g), &g, |b, _| {
@@ -28,7 +32,10 @@ fn bench_dataset_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3b_dataset_size");
     group.sample_size(10);
     for n in [100usize, 200, 400, 800] {
-        let params = PaperParams { n, ..Default::default() };
+        let params = PaperParams {
+            n,
+            ..Default::default()
+        };
         let (r1, r2) = params.relations();
         let cx = params.context(&r1, &r2);
         group.throughput(criterion::Throughput::Elements(cx.count_pairs()));

@@ -17,7 +17,11 @@ fn bench_datatype_aggregate(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_datatype_aggregate");
     group.sample_size(10);
     for (name, data_type) in TYPES {
-        let params = PaperParams { n: 330, data_type, ..Default::default() };
+        let params = PaperParams {
+            n: 330,
+            data_type,
+            ..Default::default()
+        };
         let (r1, r2) = params.relations();
         let cx = params.context(&r1, &r2);
         group.bench_function(BenchmarkId::new("G", name), |b| {
@@ -35,8 +39,14 @@ fn bench_datatype_no_aggregate(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_datatype_no_aggregate");
     group.sample_size(10);
     for (name, data_type) in TYPES {
-        let params =
-            PaperParams { n: 330, d: 5, a: 0, k: 7, data_type, ..Default::default() };
+        let params = PaperParams {
+            n: 330,
+            d: 5,
+            a: 0,
+            k: 7,
+            data_type,
+            ..Default::default()
+        };
         let (r1, r2) = params.relations();
         let cx = params.context(&r1, &r2);
         group.bench_function(BenchmarkId::new("G", name), |b| {
@@ -49,5 +59,9 @@ fn bench_datatype_no_aggregate(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_datatype_aggregate, bench_datatype_no_aggregate);
+criterion_group!(
+    benches,
+    bench_datatype_aggregate,
+    bench_datatype_no_aggregate
+);
 criterion_main!(benches);

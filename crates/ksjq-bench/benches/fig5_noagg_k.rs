@@ -6,7 +6,12 @@ use ksjq_core::{ksjq_dominator_based, ksjq_grouping, ksjq_naive, Config};
 
 fn bench_noagg_k(c: &mut Criterion) {
     let cfg = Config::default();
-    let params = PaperParams { n: 400, d: 5, a: 0, ..Default::default() };
+    let params = PaperParams {
+        n: 400,
+        d: 5,
+        a: 0,
+        ..Default::default()
+    };
     let (r1, r2) = params.relations();
     let cx = params.context(&r1, &r2);
     let mut group = c.benchmark_group("fig5a_noagg_effect_of_k");
@@ -30,7 +35,13 @@ fn bench_noagg_d(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5b_noagg_effect_of_d");
     group.sample_size(10);
     for (d, k) in [(4usize, 7usize), (5, 7), (6, 7), (6, 11), (7, 11), (10, 11)] {
-        let params = PaperParams { n: 400, d, a: 0, k, ..Default::default() };
+        let params = PaperParams {
+            n: 400,
+            d,
+            a: 0,
+            k,
+            ..Default::default()
+        };
         let (r1, r2) = params.relations();
         let cx = params.context(&r1, &r2);
         let id = format!("d{d}k{k}");

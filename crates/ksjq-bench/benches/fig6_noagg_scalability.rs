@@ -10,7 +10,14 @@ fn bench_noagg_groups(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6a_noagg_join_groups");
     group.sample_size(10);
     for g in [1usize, 2, 5, 10, 25, 50] {
-        let params = PaperParams { n: 400, d: 4, a: 0, k: 7, g, ..Default::default() };
+        let params = PaperParams {
+            n: 400,
+            d: 4,
+            a: 0,
+            k: 7,
+            g,
+            ..Default::default()
+        };
         let (r1, r2) = params.relations();
         let cx = params.context(&r1, &r2);
         group.bench_with_input(BenchmarkId::new("G", g), &g, |b, _| {
@@ -28,7 +35,13 @@ fn bench_noagg_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6b_noagg_dataset_size");
     group.sample_size(10);
     for n in [100usize, 200, 400, 800] {
-        let params = PaperParams { n, d: 4, a: 0, k: 7, ..Default::default() };
+        let params = PaperParams {
+            n,
+            d: 4,
+            a: 0,
+            k: 7,
+            ..Default::default()
+        };
         let (r1, r2) = params.relations();
         let cx = params.context(&r1, &r2);
         group.throughput(criterion::Throughput::Elements(cx.count_pairs()));

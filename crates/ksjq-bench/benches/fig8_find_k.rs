@@ -14,18 +14,21 @@ const STRATS: [(&str, FindKStrategy); 3] = [
 
 fn bench_effect_of_delta(c: &mut Criterion) {
     let cfg = Config::default();
-    let params = PaperParams { n: 400, d: 5, a: 0, ..Default::default() };
+    let params = PaperParams {
+        n: 400,
+        d: 5,
+        a: 0,
+        ..Default::default()
+    };
     let (r1, r2) = params.relations();
     let cx = params.context(&r1, &r2);
     let mut group = c.benchmark_group("fig8a_find_k_delta");
     group.sample_size(10);
     for delta in [1usize, 15, 150, 1500] {
         for (label, strat) in STRATS {
-            group.bench_with_input(
-                BenchmarkId::new(label, delta),
-                &delta,
-                |b, &delta| b.iter(|| find_k_at_least(&cx, delta, strat, &cfg).unwrap().k),
-            );
+            group.bench_with_input(BenchmarkId::new(label, delta), &delta, |b, &delta| {
+                b.iter(|| find_k_at_least(&cx, delta, strat, &cfg).unwrap().k)
+            });
         }
     }
     group.finish();
@@ -36,7 +39,12 @@ fn bench_effect_of_d(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8b_find_k_dimensionality");
     group.sample_size(10);
     for d in [3usize, 4, 5, 7] {
-        let params = PaperParams { n: 330, d, a: 0, ..Default::default() };
+        let params = PaperParams {
+            n: 330,
+            d,
+            a: 0,
+            ..Default::default()
+        };
         let (r1, r2) = params.relations();
         let cx = params.context(&r1, &r2);
         for (label, strat) in STRATS {
@@ -57,7 +65,13 @@ fn bench_effect_of_datatype(c: &mut Criterion) {
         ("correlated", DataType::Correlated),
         ("anticorrelated", DataType::AntiCorrelated),
     ] {
-        let params = PaperParams { n: 330, d: 5, a: 0, data_type, ..Default::default() };
+        let params = PaperParams {
+            n: 330,
+            d: 5,
+            a: 0,
+            data_type,
+            ..Default::default()
+        };
         let (r1, r2) = params.relations();
         let cx = params.context(&r1, &r2);
         for (label, strat) in STRATS {
@@ -69,5 +83,10 @@ fn bench_effect_of_datatype(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_effect_of_delta, bench_effect_of_d, bench_effect_of_datatype);
+criterion_group!(
+    benches,
+    bench_effect_of_delta,
+    bench_effect_of_d,
+    bench_effect_of_datatype
+);
 criterion_main!(benches);

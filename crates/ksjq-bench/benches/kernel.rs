@@ -58,8 +58,12 @@ fn bench_kdom_algorithms(c: &mut Criterion) {
     let all: Vec<u32> = (0..rel.n() as u32).collect();
     let mut group = c.benchmark_group("kernel_kdom_single_relation");
     group.sample_size(10);
-    for (name, algo) in [("naive", KdomAlgo::Naive), ("osa", KdomAlgo::Osa), ("tsa", KdomAlgo::Tsa), ("tsa_presort", KdomAlgo::TsaPresort)]
-    {
+    for (name, algo) in [
+        ("naive", KdomAlgo::Naive),
+        ("osa", KdomAlgo::Osa),
+        ("tsa", KdomAlgo::Tsa),
+        ("tsa_presort", KdomAlgo::TsaPresort),
+    ] {
         group.bench_function(BenchmarkId::new(name, 5), |b| {
             b.iter(|| k_dominant_skyline(&rel, &all, 5, algo).len())
         });
@@ -68,7 +72,10 @@ fn bench_kdom_algorithms(c: &mut Criterion) {
 }
 
 fn bench_classification(c: &mut Criterion) {
-    let params = PaperParams { n: 800, ..Default::default() };
+    let params = PaperParams {
+        n: 800,
+        ..Default::default()
+    };
     let (r1, r2) = params.relations();
     let cx = params.context(&r1, &r2);
     let p = validate_k(&cx, params.k).unwrap();
@@ -87,7 +94,13 @@ fn bench_classification(c: &mut Criterion) {
 /// refinement buys by comparing the full grouping run against the naive
 /// full-join scan it avoids.
 fn bench_ablation_target_filter(c: &mut Criterion) {
-    let params = PaperParams { n: 330, d: 5, a: 0, k: 7, ..Default::default() };
+    let params = PaperParams {
+        n: 330,
+        d: 5,
+        a: 0,
+        k: 7,
+        ..Default::default()
+    };
     let (r1, r2) = params.relations();
     let cx = params.context(&r1, &r2);
     let cfg = Config::default();

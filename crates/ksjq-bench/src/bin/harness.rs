@@ -111,7 +111,11 @@ fn run_ksjq_sweep(configs: &[(String, PaperParams)]) {
 // ---------------------------------------------------------------- KSJQ, aggregate
 
 fn fig1a(scale: f64) {
-    banner("Fig 1a", "effect of k (aggregate)", &format!("d=7 a=2 n=3300*{scale} g=10"));
+    banner(
+        "Fig 1a",
+        "effect of k (aggregate)",
+        &format!("d=7 a=2 n=3300*{scale} g=10"),
+    );
     let base = PaperParams::default().scaled(scale);
     let configs: Vec<_> = (8..=11)
         .map(|k| (format!("k={k}"), PaperParams { k, ..base }))
@@ -120,8 +124,17 @@ fn fig1a(scale: f64) {
 }
 
 fn fig1b(scale: f64) {
-    banner("Fig 1b", "effect of k (aggregate)", &format!("d=6 a=1 n=3300*{scale} g=10"));
-    let base = PaperParams { d: 6, a: 1, ..PaperParams::default() }.scaled(scale);
+    banner(
+        "Fig 1b",
+        "effect of k (aggregate)",
+        &format!("d=6 a=1 n=3300*{scale} g=10"),
+    );
+    let base = PaperParams {
+        d: 6,
+        a: 1,
+        ..PaperParams::default()
+    }
+    .scaled(scale);
     let configs: Vec<_> = (7..=10)
         .map(|k| (format!("k={k}"), PaperParams { k, ..base }))
         .collect();
@@ -129,7 +142,11 @@ fn fig1b(scale: f64) {
 }
 
 fn fig2a(scale: f64) {
-    banner("Fig 2a", "effect of a", &format!("d=7 k=11 n=3300*{scale} g=10"));
+    banner(
+        "Fig 2a",
+        "effect of a",
+        &format!("d=7 k=11 n=3300*{scale} g=10"),
+    );
     let base = PaperParams::default().scaled(scale);
     let configs: Vec<_> = (0..=3)
         .map(|a| (format!("a={a}"), PaperParams { a, ..base }))
@@ -138,7 +155,11 @@ fn fig2a(scale: f64) {
 }
 
 fn fig2b(scale: f64) {
-    banner("Fig 2b", "dimensionality medley", &format!("n=3300*{scale} g=10"));
+    banner(
+        "Fig 2b",
+        "dimensionality medley",
+        &format!("n=3300*{scale} g=10"),
+    );
     let base = PaperParams::default().scaled(scale);
     let configs: Vec<_> = [(5, 7, 1), (5, 7, 2), (6, 7, 1), (6, 7, 2), (6, 8, 2)]
         .into_iter()
@@ -148,7 +169,11 @@ fn fig2b(scale: f64) {
 }
 
 fn fig3a(scale: f64) {
-    banner("Fig 3a", "effect of join groups g (aggregate)", &format!("d=7 a=2 k=11 n=3300*{scale}"));
+    banner(
+        "Fig 3a",
+        "effect of join groups g (aggregate)",
+        &format!("d=7 a=2 k=11 n=3300*{scale}"),
+    );
     let base = PaperParams::default().scaled(scale);
     let configs: Vec<_> = [1usize, 2, 5, 10, 25, 50, 100]
         .into_iter()
@@ -158,7 +183,11 @@ fn fig3a(scale: f64) {
 }
 
 fn fig3b(scale: f64) {
-    banner("Fig 3b", "effect of dataset size n (aggregate)", &format!("d=7 a=2 k=11 g=10, n scaled by {scale}"));
+    banner(
+        "Fig 3b",
+        "effect of dataset size n (aggregate)",
+        &format!("d=7 a=2 k=11 g=10, n scaled by {scale}"),
+    );
     let base = PaperParams::default();
     let mut sizes = vec![100usize, 330, 1000, 3300];
     if scale >= 1.0 {
@@ -175,7 +204,11 @@ fn fig3b(scale: f64) {
 }
 
 fn fig4(scale: f64) {
-    banner("Fig 4", "data distribution (aggregate)", &format!("d=7 a=2 k=11 n=3300*{scale} g=10"));
+    banner(
+        "Fig 4",
+        "data distribution (aggregate)",
+        &format!("d=7 a=2 k=11 n=3300*{scale} g=10"),
+    );
     let base = PaperParams::default().scaled(scale);
     let configs: Vec<_> = [
         ("independent", DataType::Independent),
@@ -191,8 +224,17 @@ fn fig4(scale: f64) {
 // ---------------------------------------------------------------- KSJQ, no aggregation
 
 fn fig5a(scale: f64) {
-    banner("Fig 5a", "effect of k (no aggregation)", &format!("d=5 a=0 n=3300*{scale} g=10"));
-    let base = PaperParams { d: 5, a: 0, ..PaperParams::default() }.scaled(scale);
+    banner(
+        "Fig 5a",
+        "effect of k (no aggregation)",
+        &format!("d=5 a=0 n=3300*{scale} g=10"),
+    );
+    let base = PaperParams {
+        d: 5,
+        a: 0,
+        ..PaperParams::default()
+    }
+    .scaled(scale);
     let configs: Vec<_> = (6..=9)
         .map(|k| (format!("k={k}"), PaperParams { k, ..base }))
         .collect();
@@ -200,8 +242,16 @@ fn fig5a(scale: f64) {
 }
 
 fn fig5b(scale: f64) {
-    banner("Fig 5b", "effect of d (no aggregation)", &format!("a=0 n=3300*{scale} g=10"));
-    let base = PaperParams { a: 0, ..PaperParams::default() }.scaled(scale);
+    banner(
+        "Fig 5b",
+        "effect of d (no aggregation)",
+        &format!("a=0 n=3300*{scale} g=10"),
+    );
+    let base = PaperParams {
+        a: 0,
+        ..PaperParams::default()
+    }
+    .scaled(scale);
     let configs: Vec<_> = [(4, 7), (5, 7), (6, 7), (6, 11), (7, 11), (10, 11)]
         .into_iter()
         .map(|(d, k)| (format!("d{d},k{k}"), PaperParams { d, k, ..base }))
@@ -210,8 +260,18 @@ fn fig5b(scale: f64) {
 }
 
 fn fig6a(scale: f64) {
-    banner("Fig 6a", "effect of g (no aggregation)", &format!("d=4 k=7 n=3300*{scale}"));
-    let base = PaperParams { d: 4, a: 0, k: 7, ..PaperParams::default() }.scaled(scale);
+    banner(
+        "Fig 6a",
+        "effect of g (no aggregation)",
+        &format!("d=4 k=7 n=3300*{scale}"),
+    );
+    let base = PaperParams {
+        d: 4,
+        a: 0,
+        k: 7,
+        ..PaperParams::default()
+    }
+    .scaled(scale);
     let configs: Vec<_> = [1usize, 2, 5, 10, 25, 50, 100]
         .into_iter()
         .map(|g| (format!("g={g}"), PaperParams { g, ..base }))
@@ -220,8 +280,17 @@ fn fig6a(scale: f64) {
 }
 
 fn fig6b(scale: f64) {
-    banner("Fig 6b", "effect of n (no aggregation)", &format!("d=4 k=7 g=10, n scaled by {scale}"));
-    let base = PaperParams { d: 4, a: 0, k: 7, ..PaperParams::default() };
+    banner(
+        "Fig 6b",
+        "effect of n (no aggregation)",
+        &format!("d=4 k=7 g=10, n scaled by {scale}"),
+    );
+    let base = PaperParams {
+        d: 4,
+        a: 0,
+        k: 7,
+        ..PaperParams::default()
+    };
     let mut sizes = vec![100usize, 330, 1000, 3300];
     if scale >= 1.0 {
         sizes.extend([10_000, 33_000]);
@@ -237,8 +306,18 @@ fn fig6b(scale: f64) {
 }
 
 fn fig7(scale: f64) {
-    banner("Fig 7", "data distribution (no aggregation)", &format!("d=5 a=0 k=7 n=3300*{scale} g=10"));
-    let base = PaperParams { d: 5, a: 0, k: 7, ..PaperParams::default() }.scaled(scale);
+    banner(
+        "Fig 7",
+        "data distribution (no aggregation)",
+        &format!("d=5 a=0 k=7 n=3300*{scale} g=10"),
+    );
+    let base = PaperParams {
+        d: 5,
+        a: 0,
+        k: 7,
+        ..PaperParams::default()
+    }
+    .scaled(scale);
     let configs: Vec<_> = [
         ("independent", DataType::Independent),
         ("correlated", DataType::Correlated),
@@ -271,8 +350,20 @@ fn run_find_k_sweep(configs: &[(String, PaperParams, usize)]) {
 }
 
 fn fig8a(scale: f64) {
-    banner("Fig 8a", "find-k: effect of δ", &format!("d=5 a=0 n=3300*{scale} g=10, δ scaled by {:.3}", scale * scale));
-    let base = PaperParams { d: 5, a: 0, ..PaperParams::default() }.scaled(scale);
+    banner(
+        "Fig 8a",
+        "find-k: effect of δ",
+        &format!(
+            "d=5 a=0 n=3300*{scale} g=10, δ scaled by {:.3}",
+            scale * scale
+        ),
+    );
+    let base = PaperParams {
+        d: 5,
+        a: 0,
+        ..PaperParams::default()
+    }
+    .scaled(scale);
     let configs: Vec<_> = [10usize, 100, 1_000, 10_000, 100_000]
         .into_iter()
         .map(|delta| {
@@ -284,8 +375,16 @@ fn fig8a(scale: f64) {
 }
 
 fn fig8b(scale: f64) {
-    banner("Fig 8b", "find-k: effect of d", &format!("δ=10000*{:.3} a=0 n=3300*{scale} g=10", scale * scale));
-    let base = PaperParams { a: 0, ..PaperParams::default() }.scaled(scale);
+    banner(
+        "Fig 8b",
+        "find-k: effect of d",
+        &format!("δ=10000*{:.3} a=0 n=3300*{scale} g=10", scale * scale),
+    );
+    let base = PaperParams {
+        a: 0,
+        ..PaperParams::default()
+    }
+    .scaled(scale);
     let delta = scaled_delta(10_000, scale);
     let configs: Vec<_> = [3usize, 4, 5, 7, 10]
         .into_iter()
@@ -295,8 +394,17 @@ fn fig8b(scale: f64) {
 }
 
 fn fig9a(scale: f64) {
-    banner("Fig 9a", "find-k: effect of g", &format!("d=5 a=0 δ=10000*{:.3} n=3300*{scale}", scale * scale));
-    let base = PaperParams { d: 5, a: 0, ..PaperParams::default() }.scaled(scale);
+    banner(
+        "Fig 9a",
+        "find-k: effect of g",
+        &format!("d=5 a=0 δ=10000*{:.3} n=3300*{scale}", scale * scale),
+    );
+    let base = PaperParams {
+        d: 5,
+        a: 0,
+        ..PaperParams::default()
+    }
+    .scaled(scale);
     let delta = scaled_delta(10_000, scale);
     let configs: Vec<_> = [1usize, 2, 5, 10, 25, 50, 100]
         .into_iter()
@@ -306,8 +414,16 @@ fn fig9a(scale: f64) {
 }
 
 fn fig9b(scale: f64) {
-    banner("Fig 9b", "find-k: effect of n", &format!("d=5 a=0 δ=1000*{:.3} g=10", scale * scale));
-    let base = PaperParams { d: 5, a: 0, ..PaperParams::default() };
+    banner(
+        "Fig 9b",
+        "find-k: effect of n",
+        &format!("d=5 a=0 δ=1000*{:.3} g=10", scale * scale),
+    );
+    let base = PaperParams {
+        d: 5,
+        a: 0,
+        ..PaperParams::default()
+    };
     let delta = scaled_delta(1_000, scale);
     let mut sizes = vec![100usize, 330, 1000, 3300];
     if scale >= 1.0 {
@@ -324,8 +440,17 @@ fn fig9b(scale: f64) {
 }
 
 fn fig10(scale: f64) {
-    banner("Fig 10", "find-k: data distribution", &format!("d=5 a=0 δ=10000*{:.3} n=3300*{scale} g=10", scale * scale));
-    let base = PaperParams { d: 5, a: 0, ..PaperParams::default() }.scaled(scale);
+    banner(
+        "Fig 10",
+        "find-k: data distribution",
+        &format!("d=5 a=0 δ=10000*{:.3} n=3300*{scale} g=10", scale * scale),
+    );
+    let base = PaperParams {
+        d: 5,
+        a: 0,
+        ..PaperParams::default()
+    }
+    .scaled(scale);
     let delta = scaled_delta(10_000, scale);
     let configs: Vec<_> = [
         ("independent", DataType::Independent),

@@ -66,7 +66,10 @@ impl PaperParams {
             data_type: self.data_type,
             seed: self.seed,
         };
-        let spec2 = DatasetSpec { seed: self.seed + 1000, ..spec };
+        let spec2 = DatasetSpec {
+            seed: self.seed + 1000,
+            ..spec
+        };
         (spec.generate(), spec2.generate())
     }
 
@@ -119,7 +122,11 @@ pub fn run_algorithms(
         }
         .expect("benchmark workloads are valid");
         let total = t.elapsed();
-        runs.push(AlgoRun { label: label_of(algo), total, output });
+        runs.push(AlgoRun {
+            label: label_of(algo),
+            total,
+            output,
+        });
     }
     // All algorithms must agree — a benchmark that measures wrong answers
     // measures nothing.
@@ -156,7 +163,11 @@ pub fn run_find_k(cx: &JoinContext<'_>, delta: usize, cfg: &Config) -> Vec<FindK
         let t = Instant::now();
         let report = find_k_at_least(cx, delta, strategy, cfg).expect("valid workload");
         let total = t.elapsed();
-        runs.push(FindKRun { label, total, report });
+        runs.push(FindKRun {
+            label,
+            total,
+            report,
+        });
     }
     assert_eq!(runs[0].report.k, runs[1].report.k, "B and R disagree");
     assert_eq!(runs[0].report.k, runs[2].report.k, "B and N disagree");
@@ -172,7 +183,14 @@ pub fn ms(d: Duration) -> String {
 pub fn print_header(config_col: &str) {
     println!(
         "{:>14} {:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>9}",
-        config_col, "alg", "group(ms)", "join(ms)", "domgen(ms)", "rest(ms)", "total(ms)", "|skyline|"
+        config_col,
+        "alg",
+        "group(ms)",
+        "join(ms)",
+        "domgen(ms)",
+        "rest(ms)",
+        "total(ms)",
+        "|skyline|"
     );
 }
 
@@ -217,8 +235,11 @@ pub fn print_find_k_run(config: &str, run: &FindKRun) {
 }
 
 /// All three algorithms, paper order.
-pub const GDN: [Algorithm; 3] =
-    [Algorithm::Grouping, Algorithm::DominatorBased, Algorithm::Naive];
+pub const GDN: [Algorithm; 3] = [
+    Algorithm::Grouping,
+    Algorithm::DominatorBased,
+    Algorithm::Naive,
+];
 
 #[cfg(test)]
 mod tests {
@@ -241,7 +262,14 @@ mod tests {
 
     #[test]
     fn run_algorithms_agree_on_tiny_workload() {
-        let params = PaperParams { n: 60, d: 4, a: 1, g: 3, k: 6, ..Default::default() };
+        let params = PaperParams {
+            n: 60,
+            d: 4,
+            a: 1,
+            g: 3,
+            k: 6,
+            ..Default::default()
+        };
         let (r1, r2) = params.relations();
         let cx = params.context(&r1, &r2);
         let runs = run_algorithms(&cx, params.k, &Config::default(), &GDN);
@@ -251,7 +279,14 @@ mod tests {
 
     #[test]
     fn run_find_k_agrees_on_tiny_workload() {
-        let params = PaperParams { n: 60, d: 4, a: 0, g: 3, k: 6, ..Default::default() };
+        let params = PaperParams {
+            n: 60,
+            d: 4,
+            a: 0,
+            g: 3,
+            k: 6,
+            ..Default::default()
+        };
         let (r1, r2) = params.relations();
         let cx = params.context(&r1, &r2);
         let runs = run_find_k(&cx, 5, &Config::default());

@@ -117,7 +117,11 @@ pub fn classify(cx: &JoinContext<'_>, params: &KsjqParams, kdom: KdomAlgo) -> Cl
         JoinSpec::Cartesian => CovererSet::All,
         _ => CovererSet::Slice(cx.right_coverers(t)),
     });
-    Classification { left, right, params: *params }
+    Classification {
+        left,
+        right,
+        params: *params,
+    }
 }
 
 /// Count join-compatible pairs per fate class: `(yes, likely, maybe)`
@@ -197,17 +201,21 @@ mod tests {
     fn all_kdom_algorithms_agree() {
         let mut state = 77u64;
         let mut next = move |m: u64| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) % m
         };
         let n = 80;
         let groups: Vec<u64> = (0..n).map(|_| next(5)).collect();
-        let rows: Vec<Vec<f64>> =
-            (0..n).map(|_| (0..3).map(|_| next(12) as f64).collect()).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..3).map(|_| next(12) as f64).collect())
+            .collect();
         let r1 = rel(&groups, &rows);
         let groups2: Vec<u64> = (0..n).map(|_| next(5)).collect();
-        let rows2: Vec<Vec<f64>> =
-            (0..n).map(|_| (0..3).map(|_| next(12) as f64).collect()).collect();
+        let rows2: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..3).map(|_| next(12) as f64).collect())
+            .collect();
         let r2 = rel(&groups2, &rows2);
         let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
         for k in 4..=6 {
@@ -226,7 +234,10 @@ mod tests {
             &[0, 0, 1],
             &[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]],
         );
-        let r2 = rel(&[0, 1, 1], &[vec![1.0, 1.0], vec![2.0, 2.0], vec![0.0, 0.0]]);
+        let r2 = rel(
+            &[0, 1, 1],
+            &[vec![1.0, 1.0], vec![2.0, 2.0], vec![0.0, 0.0]],
+        );
         let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
         let p = validate_k(&cx, 3).unwrap();
         let cls = classify(&cx, &p, KdomAlgo::Naive);

@@ -20,14 +20,21 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Self {
-        Config { kdom: KdomAlgo::Tsa, materialize_limit: 40_000_000, threads: 1 }
+        Config {
+            kdom: KdomAlgo::Tsa,
+            materialize_limit: 40_000_000,
+            threads: 1,
+        }
     }
 }
 
 impl Config {
     /// A config using `threads` workers.
     pub fn with_threads(threads: usize) -> Self {
-        Config { threads: threads.max(1), ..Default::default() }
+        Config {
+            threads: threads.max(1),
+            ..Default::default()
+        }
     }
 }
 

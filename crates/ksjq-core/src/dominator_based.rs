@@ -27,11 +27,7 @@ use ksjq_join::JoinContext;
 use ksjq_relation::Relation;
 use std::time::Instant;
 
-fn precompute_targets(
-    rel: &Relation,
-    cats: &[Category],
-    k_pp: usize,
-) -> Vec<Option<Vec<u32>>> {
+fn precompute_targets(rel: &Relation, cats: &[Category], k_pp: usize) -> Vec<Option<Vec<u32>>> {
     let locals: Vec<usize> = rel.schema().local_indices().collect();
     cats.iter()
         .enumerate()
@@ -81,8 +77,12 @@ pub fn ksjq_dominator_based(
         let dominated = match cands.kinds[i] {
             CheckKind::Emit => false,
             _ => chk.dominated_via_both(
-                ltargets[u as usize].as_deref().expect("non-NN candidate leg"),
-                rtargets[v as usize].as_deref().expect("non-NN candidate leg"),
+                ltargets[u as usize]
+                    .as_deref()
+                    .expect("non-NN candidate leg"),
+                rtargets[v as usize]
+                    .as_deref()
+                    .expect("non-NN candidate leg"),
                 cands.row(i),
             ),
         };
@@ -110,14 +110,17 @@ mod tests {
     fn matches_other_algorithms_on_random() {
         let mut state = 99u64;
         let mut next = move |m: u64| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) % m
         };
         let n = 60;
         let mk = |next: &mut dyn FnMut(u64) -> u64| {
             let g: Vec<u64> = (0..n).map(|_| next(5)).collect();
-            let rows: Vec<Vec<f64>> =
-                (0..n).map(|_| (0..4).map(|_| next(9) as f64).collect()).collect();
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..4).map(|_| next(9) as f64).collect())
+                .collect();
             rel(&g, &rows)
         };
         let r1 = mk(&mut next);
@@ -135,7 +138,10 @@ mod tests {
 
     #[test]
     fn dominator_gen_phase_is_populated() {
-        let r1 = rel(&[0, 0, 1], &[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]);
+        let r1 = rel(
+            &[0, 0, 1],
+            &[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]],
+        );
         let r2 = rel(&[0, 1], &[vec![1.0, 1.0], vec![2.0, 2.0]]);
         let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
         let out = ksjq_dominator_based(&cx, 3, &Config::default()).unwrap();
@@ -151,7 +157,9 @@ mod tests {
         let schema = || Schema::uniform_agg(1, 2).unwrap();
         let mut state = 7u64;
         let mut next = move |m: u64| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) % m
         };
         let mk = |next: &mut dyn FnMut(u64) -> u64| {

@@ -71,9 +71,15 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = CoreError::InvalidK { k: 3, min: 5, max: 8 };
+        let e = CoreError::InvalidK {
+            k: 3,
+            min: 5,
+            max: 8,
+        };
         assert!(e.to_string().contains("k = 3"));
-        assert!(CoreError::NonStrictAggregate.to_string().contains("strictly monotone"));
+        assert!(CoreError::NonStrictAggregate
+            .to_string()
+            .contains("strictly monotone"));
     }
 
     #[test]

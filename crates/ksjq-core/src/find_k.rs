@@ -146,7 +146,14 @@ pub fn find_k_at_least(
     if lo > hi {
         return Err(CoreError::EmptyKRange { min: lo, max: hi });
     }
-    let mut p = Prober { cx, cfg, delta, report_phases: PhaseTimes::default(), full: 0, bounds: 0 };
+    let mut p = Prober {
+        cx,
+        cfg,
+        delta,
+        report_phases: PhaseTimes::default(),
+        full: 0,
+        bounds: 0,
+    };
 
     let (k, satisfied, size) = match strategy {
         FindKStrategy::Naive => linear_scan(&mut p, lo, hi, true),
@@ -171,7 +178,11 @@ fn linear_scan(
     full_only: bool,
 ) -> (usize, bool, Option<usize>) {
     for k in lo..=hi {
-        let probe = if full_only { p.probe_full(k) } else { p.probe(k) };
+        let probe = if full_only {
+            p.probe_full(k)
+        } else {
+            p.probe(k)
+        };
         if let Probe::AtLeast(size) = probe {
             return (k, true, size);
         }
@@ -261,13 +272,16 @@ mod tests {
     fn random_cx(seed: u64, n: usize, d: usize, g: u64) -> (Relation, Relation) {
         let mut state = seed;
         let mut next = move |m: u64| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) % m
         };
         let mk = |next: &mut dyn FnMut(u64) -> u64| {
             let groups: Vec<u64> = (0..n).map(|_| next(g)).collect();
-            let rows: Vec<Vec<f64>> =
-                (0..n).map(|_| (0..d).map(|_| next(50) as f64).collect()).collect();
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..d).map(|_| next(50) as f64).collect())
+                .collect();
             Relation::from_grouped_rows(Schema::uniform(d).unwrap(), &groups, &rows).unwrap()
         };
         (mk(&mut next), mk(&mut next))
@@ -327,7 +341,11 @@ mod tests {
                 assert!(size <= delta, "delta={delta} k={} size={size}", most.k);
                 if most.k < k_max(&cx) {
                     let above = ksjq_grouping(&cx, most.k + 1, &cfg).unwrap().len();
-                    assert!(above > delta, "delta={delta} k+1={} size={above}", most.k + 1);
+                    assert!(
+                        above > delta,
+                        "delta={delta} k+1={} size={above}",
+                        most.k + 1
+                    );
                 }
             }
         }

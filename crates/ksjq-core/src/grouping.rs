@@ -65,7 +65,12 @@ pub(crate) fn collect_candidates(
     stats: &mut ExecStats,
 ) -> Candidates {
     let d = cx.d_joined();
-    let mut c = Candidates { kinds: Vec::new(), pairs: Vec::new(), rows: Vec::new(), d };
+    let mut c = Candidates {
+        kinds: Vec::new(),
+        pairs: Vec::new(),
+        rows: Vec::new(),
+        d,
+    };
     let mut row = vec![0.0; d];
     for u in 0..cls.left.len() as u32 {
         let cu = cls.left[u as usize];
@@ -240,14 +245,17 @@ mod tests {
     fn matches_naive_on_small_random() {
         let mut state = 4242u64;
         let mut next = move |m: u64| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) % m
         };
         let n = 70;
         let mk = |next: &mut dyn FnMut(u64) -> u64| {
             let g: Vec<u64> = (0..n).map(|_| next(4)).collect();
-            let rows: Vec<Vec<f64>> =
-                (0..n).map(|_| (0..4).map(|_| next(8) as f64).collect()).collect();
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..4).map(|_| next(8) as f64).collect())
+                .collect();
             rel(&g, &rows)
         };
         let r1 = mk(&mut next);
@@ -264,7 +272,10 @@ mod tests {
     #[test]
     fn stats_accounting() {
         // One dominator pair per side in group 0; a lone pair in group 1.
-        let r1 = rel(&[0, 0, 1], &[vec![1.0, 1.0], vec![2.0, 2.0], vec![9.0, 9.0]]);
+        let r1 = rel(
+            &[0, 0, 1],
+            &[vec![1.0, 1.0], vec![2.0, 2.0], vec![9.0, 9.0]],
+        );
         let r2 = rel(&[0, 1], &[vec![1.0, 1.0], vec![1.0, 1.0]]);
         let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
         let out = ksjq_grouping(&cx, 3, &Config::default()).unwrap();
@@ -311,19 +322,22 @@ mod tests {
         };
         let r1 = mk(&[[5.0, 5.0, 5.0], [5.0, 4.0, 7.0]]); // u′, u
         let r2 = mk(&[[5.0, 5.0, 5.0], [5.0, 6.0, 2.0]]); // v′, v
-        let cx = JoinContext::new(
-            &r1,
-            &r2,
-            JoinSpec::Equality,
-            &[AggFunc::Sum, AggFunc::Sum],
-        )
-        .unwrap();
+        let cx =
+            JoinContext::new(&r1, &r2, JoinSpec::Equality, &[AggFunc::Sum, AggFunc::Sum]).unwrap();
         let k = 4;
         // Sanity: the classification really is all-SS.
         let p = validate_k(&cx, k).unwrap();
         let cls = classify(&cx, &p, ksjq_skyline::KdomAlgo::Naive);
-        assert!(cls.left.iter().all(|c| *c == Category::SS), "{:?}", cls.left);
-        assert!(cls.right.iter().all(|c| *c == Category::SS), "{:?}", cls.right);
+        assert!(
+            cls.left.iter().all(|c| *c == Category::SS),
+            "{:?}",
+            cls.left
+        );
+        assert!(
+            cls.right.iter().all(|c| *c == Category::SS),
+            "{:?}",
+            cls.right
+        );
         // And u ⋈ v really dominates u′ ⋈ v′.
         assert!(ksjq_relation::k_dominates(
             &cx.joined_row(1, 1),
@@ -365,14 +379,17 @@ mod tests {
     fn progressive_delivers_yes_first_and_matches_batch() {
         let mut state = 314u64;
         let mut next = move |m: u64| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) % m
         };
         let n = 80;
         let mk = |next: &mut dyn FnMut(u64) -> u64| {
             let g: Vec<u64> = (0..n).map(|_| next(4)).collect();
-            let rows: Vec<Vec<f64>> =
-                (0..n).map(|_| (0..4).map(|_| next(8) as f64).collect()).collect();
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..4).map(|_| next(8) as f64).collect())
+                .collect();
             rel(&g, &rows)
         };
         let r1 = mk(&mut next);

@@ -60,11 +60,7 @@ fn naive_materialized(
     Ok(finish(pairs, stats))
 }
 
-fn naive_streaming(
-    cx: &JoinContext<'_>,
-    k: usize,
-    mut stats: ExecStats,
-) -> CoreResult<KsjqOutput> {
+fn naive_streaming(cx: &JoinContext<'_>, k: usize, mut stats: ExecStats) -> CoreResult<KsjqOutput> {
     let t = Instant::now();
     let d = cx.d_joined();
     let mut tsa = StreamingTsa::new(d, k);
@@ -132,24 +128,34 @@ mod tests {
     fn streaming_matches_materialized() {
         let mut state = 13u64;
         let mut next = move |m: u64| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) % m
         };
         let n = 60;
         let g1: Vec<u64> = (0..n).map(|_| next(4)).collect();
-        let rows1: Vec<Vec<f64>> =
-            (0..n).map(|_| (0..3).map(|_| next(10) as f64).collect()).collect();
+        let rows1: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..3).map(|_| next(10) as f64).collect())
+            .collect();
         let g2: Vec<u64> = (0..n).map(|_| next(4)).collect();
-        let rows2: Vec<Vec<f64>> =
-            (0..n).map(|_| (0..3).map(|_| next(10) as f64).collect()).collect();
+        let rows2: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..3).map(|_| next(10) as f64).collect())
+            .collect();
         let r1 = rel(&g1, &rows1);
         let r2 = rel(&g2, &rows2);
         let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
         for k in 4..=6 {
             let mat = ksjq_naive(&cx, k, &Config::default()).unwrap();
-            let streamed =
-                ksjq_naive(&cx, k, &Config { materialize_limit: 0, ..Default::default() })
-                    .unwrap();
+            let streamed = ksjq_naive(
+                &cx,
+                k,
+                &Config {
+                    materialize_limit: 0,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
             assert_eq!(mat.pairs, streamed.pairs, "k={k}");
         }
     }

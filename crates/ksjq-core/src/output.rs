@@ -28,7 +28,9 @@ impl KsjqOutput {
 
     /// Does the skyline contain the joined tuple `(left, right)`?
     pub fn contains(&self, left: u32, right: u32) -> bool {
-        self.pairs.binary_search(&(TupleId(left), TupleId(right))).is_ok()
+        self.pairs
+            .binary_search(&(TupleId(left), TupleId(right)))
+            .is_ok()
     }
 }
 
@@ -37,7 +39,10 @@ pub(crate) fn finish(mut pairs: Vec<(u32, u32)>, mut stats: ExecStats) -> KsjqOu
     pairs.sort_unstable();
     stats.counts.output = pairs.len();
     KsjqOutput {
-        pairs: pairs.into_iter().map(|(u, v)| (TupleId(u), TupleId(v))).collect(),
+        pairs: pairs
+            .into_iter()
+            .map(|(u, v)| (TupleId(u), TupleId(v)))
+            .collect(),
         stats,
     }
 }
@@ -51,7 +56,11 @@ mod tests {
         let out = finish(vec![(2, 1), (0, 3), (2, 0)], ExecStats::default());
         assert_eq!(
             out.pairs,
-            vec![(TupleId(0), TupleId(3)), (TupleId(2), TupleId(0)), (TupleId(2), TupleId(1))]
+            vec![
+                (TupleId(0), TupleId(3)),
+                (TupleId(2), TupleId(0)),
+                (TupleId(2), TupleId(1))
+            ]
         );
         assert_eq!(out.stats.counts.output, 3);
         assert_eq!(out.len(), 3);

@@ -4,7 +4,7 @@
 //! "may be" candidates against target-set joins — is embarrassingly
 //! parallel: every candidate is checked independently against immutable
 //! relations. `verify_parallel` shards the candidate list over
-//! `threads` crossbeam-scoped workers, each with its own scratch state
+//! `threads` scoped workers, each with its own scratch state
 //! and target cache, and concatenates survivors in candidate order so the
 //! final output is identical to the serial path.
 //!
@@ -34,12 +34,12 @@ pub(crate) fn verify_parallel(
     let threads = threads.min(n).max(1);
     let chunk = n.div_ceil(threads);
 
-    let results = crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
             let lo = t * chunk;
             let hi = ((t + 1) * chunk).min(n);
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut ltargets = TargetCache::new(cx.left(), params.k1_pp);
                 let mut rtargets = TargetCache::new(cx.right(), params.k2_pp);
                 let mut chk = JoinedCheck::new(cx, k);
@@ -67,8 +67,6 @@ pub(crate) fn verify_parallel(
             .flat_map(|h| h.join().expect("verification worker panicked"))
             .collect::<Vec<_>>()
     })
-    .expect("crossbeam scope failed");
-    results
 }
 
 #[cfg(test)]
@@ -81,13 +79,20 @@ mod tests {
     fn random_rel(seed: u64, n: usize) -> Relation {
         let mut state = seed;
         let mut next = move |m: u64| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) % m
         };
         let mut b = Relation::builder(Schema::uniform(4).unwrap());
         for _ in 0..n {
             let g = next(5);
-            let row = [next(10) as f64, next(10) as f64, next(10) as f64, next(10) as f64];
+            let row = [
+                next(10) as f64,
+                next(10) as f64,
+                next(10) as f64,
+                next(10) as f64,
+            ];
             b.add_grouped(g, &row).unwrap();
         }
         b.build().unwrap()
@@ -101,8 +106,7 @@ mod tests {
         for k in 5..=8 {
             let serial = ksjq_grouping(&cx, k, &Config::default()).unwrap();
             for threads in [2usize, 3, 8] {
-                let parallel =
-                    ksjq_grouping(&cx, k, &Config::with_threads(threads)).unwrap();
+                let parallel = ksjq_grouping(&cx, k, &Config::with_threads(threads)).unwrap();
                 assert_eq!(serial.pairs, parallel.pairs, "k={k} threads={threads}");
             }
         }

@@ -102,8 +102,7 @@ mod tests {
     fn aggregate_range_and_thresholds() {
         // Paper's Sec. 5.6 example: d = 4, a = 1, l = 3, k = 6.
         let (r1, r2) = (rel(1, 3), rel(1, 3));
-        let cx =
-            JoinContext::new(&r1, &r2, JoinSpec::Equality, &[AggFunc::Sum]).unwrap();
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[AggFunc::Sum]).unwrap();
         let p = validate_k(&cx, 6).unwrap();
         assert_eq!(p.k1_pp, 2); // k″1 = 6 − 1 − 3
         assert_eq!(p.k1_prime, 3); // k′1 = k″1 + a
@@ -133,8 +132,8 @@ mod tests {
     fn zero_locals_means_empty_range() {
         // With l1 = 0 every admissible k exceeds the joined arity.
         let (r1, r2) = (rel(2, 0), rel(2, 3));
-        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[AggFunc::Sum, AggFunc::Sum])
-            .unwrap();
+        let cx =
+            JoinContext::new(&r1, &r2, JoinSpec::Equality, &[AggFunc::Sum, AggFunc::Sum]).unwrap();
         assert!(k_min(&cx) > k_max(&cx));
         assert!(validate_k(&cx, k_max(&cx)).is_err());
     }

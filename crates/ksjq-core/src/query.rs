@@ -163,7 +163,12 @@ impl<'a> KsjqQueryBuilder<'a> {
     }
 
     fn context(&self) -> CoreResult<JoinContext<'a>> {
-        Ok(JoinContext::new(self.left, self.right, self.spec, &self.funcs)?)
+        Ok(JoinContext::new(
+            self.left,
+            self.right,
+            self.spec,
+            &self.funcs,
+        )?)
     }
 
     /// Validate and build the query. `k` defaults to the maximum
@@ -173,7 +178,12 @@ impl<'a> KsjqQueryBuilder<'a> {
         let k = self.k.unwrap_or_else(|| k_max(&cx));
         // Validate eagerly so errors surface at build time.
         crate::params::validate_k(&cx, k)?;
-        Ok(KsjqQuery { cx, k, algorithm: self.algorithm, config: self.config })
+        Ok(KsjqQuery {
+            cx,
+            k,
+            algorithm: self.algorithm,
+            config: self.config,
+        })
     }
 
     /// Problem 3: build and pick the smallest `k` with at least `delta`
@@ -186,8 +196,12 @@ impl<'a> KsjqQueryBuilder<'a> {
     ) -> CoreResult<(KsjqQuery<'a>, FindKReport)> {
         let cx = self.context()?;
         let report = find_k_at_least(&cx, delta, strategy, &self.config)?;
-        let query =
-            KsjqQuery { cx, k: report.k, algorithm: self.algorithm, config: self.config };
+        let query = KsjqQuery {
+            cx,
+            k: report.k,
+            algorithm: self.algorithm,
+            config: self.config,
+        };
         Ok((query, report))
     }
 
@@ -200,8 +214,12 @@ impl<'a> KsjqQueryBuilder<'a> {
     ) -> CoreResult<(KsjqQuery<'a>, FindKReport)> {
         let cx = self.context()?;
         let report = find_k_at_most(&cx, delta, strategy, &self.config)?;
-        let query =
-            KsjqQuery { cx, k: report.k, algorithm: self.algorithm, config: self.config };
+        let query = KsjqQuery {
+            cx,
+            k: report.k,
+            algorithm: self.algorithm,
+            config: self.config,
+        };
         Ok((query, report))
     }
 }
@@ -220,14 +238,19 @@ mod tests {
     #[test]
     fn builder_default_k_is_max() {
         let pf = paper_flights(false);
-        let q = KsjqQuery::builder(&pf.outbound, &pf.inbound).build().unwrap();
+        let q = KsjqQuery::builder(&pf.outbound, &pf.inbound)
+            .build()
+            .unwrap();
         assert_eq!(q.k(), 8); // d1 + d2 = 4 + 4
     }
 
     #[test]
     fn all_algorithms_same_answer() {
         let pf = paper_flights(false);
-        let q = KsjqQuery::builder(&pf.outbound, &pf.inbound).k(7).build().unwrap();
+        let q = KsjqQuery::builder(&pf.outbound, &pf.inbound)
+            .k(7)
+            .build()
+            .unwrap();
         let a = q.execute_with(Algorithm::Naive).unwrap();
         let b = q.execute_with(Algorithm::Grouping).unwrap();
         let c = q.execute_with(Algorithm::DominatorBased).unwrap();
@@ -239,8 +262,14 @@ mod tests {
     #[test]
     fn invalid_k_fails_at_build() {
         let pf = paper_flights(false);
-        assert!(KsjqQuery::builder(&pf.outbound, &pf.inbound).k(4).build().is_err());
-        assert!(KsjqQuery::builder(&pf.outbound, &pf.inbound).k(9).build().is_err());
+        assert!(KsjqQuery::builder(&pf.outbound, &pf.inbound)
+            .k(4)
+            .build()
+            .is_err());
+        assert!(KsjqQuery::builder(&pf.outbound, &pf.inbound)
+            .k(9)
+            .build()
+            .is_err());
     }
 
     #[test]

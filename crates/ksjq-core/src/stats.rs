@@ -80,7 +80,12 @@ impl ExecStats {
              of {} joined tuples: {} emitted, {} verified ({} likely + {} may-be), \
              {} pruned pre-join; {} skyline tuples; \
              times: grouping {:.2?}, join {:.2?}, dominators {:.2?}, rest {:.2?}",
-            c.ss[0], c.sn[0], c.nn[0], c.ss[1], c.sn[1], c.nn[1],
+            c.ss[0],
+            c.sn[0],
+            c.nn[0],
+            c.ss[1],
+            c.sn[1],
+            c.nn[1],
             c.joined_pairs,
             c.yes_pairs,
             c.likely_pairs + c.maybe_pairs,
@@ -88,7 +93,10 @@ impl ExecStats {
             c.maybe_pairs,
             c.pruned_pairs(),
             c.output,
-            p.grouping, p.join, p.dominator_gen, p.remaining,
+            p.grouping,
+            p.join,
+            p.dominator_gen,
+            p.remaining,
         )
     }
 }
@@ -143,8 +151,14 @@ mod tests {
             ..Default::default()
         };
         let text = s.summary();
-        for needle in ["3 SS", "100 joined", "9 emitted", "21 verified", "70 pruned", "12 skyline"]
-        {
+        for needle in [
+            "3 SS",
+            "100 joined",
+            "9 emitted",
+            "21 verified",
+            "70 pruned",
+            "12 skyline",
+        ] {
             assert!(text.contains(needle), "missing '{needle}' in: {text}");
         }
     }

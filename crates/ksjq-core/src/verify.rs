@@ -105,7 +105,10 @@ mod tests {
 
     #[test]
     fn left_and_right_checks_agree_with_exhaustive() {
-        let r1 = rel(&[0, 0, 1], &[vec![1.0, 5.0], vec![2.0, 2.0], vec![0.0, 0.0]]);
+        let r1 = rel(
+            &[0, 0, 1],
+            &[vec![1.0, 5.0], vec![2.0, 2.0], vec![0.0, 0.0]],
+        );
         let r2 = rel(&[0, 1], &[vec![1.0, 1.0], vec![9.0, 9.0]]);
         let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
         let k = 3;

@@ -34,7 +34,12 @@ pub struct FlightNetworkSpec {
 impl Default for FlightNetworkSpec {
     /// The paper's cardinalities: 192 × 155 flights over 13 hubs.
     fn default() -> Self {
-        FlightNetworkSpec { outbound: 192, inbound: 155, hubs: 13, seed: 0x5EED }
+        FlightNetworkSpec {
+            outbound: 192,
+            inbound: 155,
+            hubs: 13,
+            seed: 0x5EED,
+        }
     }
 }
 
@@ -78,19 +83,30 @@ impl FlightNetworkSpec {
     ///
     /// Panics when `hubs` is 0 or exceeds the built-in hub-name pool (16).
     pub fn generate(&self) -> FlightNetwork {
-        assert!(self.hubs >= 1 && self.hubs <= HUB_NAMES.len(), "hubs must be 1..=16");
+        assert!(
+            self.hubs >= 1 && self.hubs <= HUB_NAMES.len(),
+            "hubs must be 1..=16"
+        );
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut hubs = StringDictionary::new();
         for name in HUB_NAMES.iter().take(self.hubs) {
             hubs.encode(name);
         }
         // Per-hub route length factor: drives both legs' base cost and time.
-        let leg1_dist: Vec<f64> = (0..self.hubs).map(|_| 0.4 + 1.2 * rng.gen::<f64>()).collect();
-        let leg2_dist: Vec<f64> = (0..self.hubs).map(|_| 0.4 + 1.2 * rng.gen::<f64>()).collect();
+        let leg1_dist: Vec<f64> = (0..self.hubs)
+            .map(|_| 0.4 + 1.2 * rng.gen::<f64>())
+            .collect();
+        let leg2_dist: Vec<f64> = (0..self.hubs)
+            .map(|_| 0.4 + 1.2 * rng.gen::<f64>())
+            .collect();
 
         let outbound = gen_leg(&mut rng, self.outbound, self.hubs, &leg1_dist);
         let inbound = gen_leg(&mut rng, self.inbound, self.hubs, &leg2_dist);
-        FlightNetwork { outbound, inbound, hubs }
+        FlightNetwork {
+            outbound,
+            inbound,
+            hubs,
+        }
     }
 }
 
@@ -145,14 +161,20 @@ mod tests {
         let net = FlightNetworkSpec::default().generate();
         let go = net.outbound.group_index().unwrap();
         let gi = net.inbound.group_index().unwrap();
-        let joined: usize =
-            go.iter().map(|(gid, m)| m.len() * gi.members(gid).len()).sum();
+        let joined: usize = go
+            .iter()
+            .map(|(gid, m)| m.len() * gi.members(gid).len())
+            .sum();
         assert!(joined > 1000 && joined < 5000, "joined size {joined}");
     }
 
     #[test]
     fn price_quality_anticorrelation() {
-        let net = FlightNetworkSpec { outbound: 2000, ..Default::default() }.generate();
+        let net = FlightNetworkSpec {
+            outbound: 2000,
+            ..Default::default()
+        }
+        .generate();
         // cost (attr 0, Min ⇒ stored as-is) vs amenities (attr 4, Max ⇒
         // stored negated). Positive correlation of the *stored* values
         // means cheap flights have few amenities.
@@ -174,7 +196,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "hubs must be")]
     fn too_many_hubs_panics() {
-        FlightNetworkSpec { hubs: 17, ..Default::default() }.generate();
+        FlightNetworkSpec {
+            hubs: 17,
+            ..Default::default()
+        }
+        .generate();
     }
 
     #[test]
@@ -183,7 +209,10 @@ mod tests {
         for rel in [&net.outbound, &net.inbound] {
             for (t, _) in rel.rows() {
                 let raw = rel.raw_row(t);
-                assert!(raw.iter().all(|&v| v > 0.0), "non-positive attribute in {raw:?}");
+                assert!(
+                    raw.iter().all(|&v| v > 0.0),
+                    "non-positive attribute in {raw:?}"
+                );
             }
         }
     }

@@ -125,24 +125,27 @@ mod tests {
     #[test]
     fn bad_number_rejected() {
         let mut dict = StringDictionary::new();
-        let e = relation_from_csv(
-            "city,cost,rating\nC,cheap,4\n",
-            schema(),
-            "city",
-            &mut dict,
-        );
+        let e = relation_from_csv("city,cost,rating\nC,cheap,4\n", schema(), "city", &mut dict);
         assert!(e.is_err());
     }
 
     #[test]
     fn shared_dictionary_aligns_keys() {
         let mut dict = StringDictionary::new();
-        let r1 =
-            relation_from_csv("city,cost,rating\nC,1,1\nD,2,2\n", schema(), "city", &mut dict)
-                .unwrap();
-        let r2 =
-            relation_from_csv("city,cost,rating\nD,3,3\nC,4,4\n", schema(), "city", &mut dict)
-                .unwrap();
+        let r1 = relation_from_csv(
+            "city,cost,rating\nC,1,1\nD,2,2\n",
+            schema(),
+            "city",
+            &mut dict,
+        )
+        .unwrap();
+        let r2 = relation_from_csv(
+            "city,cost,rating\nD,3,3\nC,4,4\n",
+            schema(),
+            "city",
+            &mut dict,
+        )
+        .unwrap();
         assert_eq!(r1.group_id(TupleId(1)), r2.group_id(TupleId(0))); // both "D"
     }
 

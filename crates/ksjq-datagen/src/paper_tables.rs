@@ -89,12 +89,14 @@ pub fn paper_flights(aggregate_cost: bool) -> PaperFlights {
     let mut out = Relation::builder(schema(aggregate_cost));
     for (city, cost, dur, rtg, amn) in TABLE1 {
         let gid = cities.encode(city);
-        out.add_grouped(gid, &[cost, dur, rtg, amn]).expect("static row is valid");
+        out.add_grouped(gid, &[cost, dur, rtg, amn])
+            .expect("static row is valid");
     }
     let mut inb = Relation::builder(schema(aggregate_cost));
     for (city, cost, dur, rtg, amn) in TABLE2 {
         let gid = cities.encode(city);
-        inb.add_grouped(gid, &[cost, dur, rtg, amn]).expect("static row is valid");
+        inb.add_grouped(gid, &[cost, dur, rtg, amn])
+            .expect("static row is valid");
     }
     PaperFlights {
         outbound: out.build().expect("static relation is valid"),
@@ -134,7 +136,10 @@ mod tests {
     fn values_roundtrip() {
         let pf = paper_flights(false);
         // Flight 15 = (450, 3.4, 30, 42).
-        assert_eq!(pf.outbound.raw_row(TupleId(4)), vec![450.0, 3.4, 30.0, 42.0]);
+        assert_eq!(
+            pf.outbound.raw_row(TupleId(4)),
+            vec![450.0, 3.4, 30.0, 42.0]
+        );
         // Flight 28 with the corrected amenities value.
         assert_eq!(pf.inbound.raw_row(TupleId(7)), vec![350.0, 2.4, 35.0, 39.0]);
     }

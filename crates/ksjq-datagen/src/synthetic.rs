@@ -104,9 +104,14 @@ impl DatasetSpec {
             }
             DataType::AntiCorrelated => {
                 // Spread the tuple along the hyperplane of constant sum
-                // `d * base`: good in one attribute ⇒ bad in another.
-                let base = peaked01(rng);
+                // `d * base`: good in one attribute ⇒ bad in another. The
+                // plane position must stay tight around 0.5 so the in-plane
+                // deviations dominate the covariance; its width shrinks
+                // with 1/sqrt(d) because the deviation covariance does too
+                // (cross-attribute covariance = Var(base) - 1/(12d), which
+                // this width keeps at -1/(16d) < 0 for every d).
                 let d = row.len();
+                let base = 0.5 + (peaked01(rng) - 0.5) / (d as f64).sqrt();
                 let mut devs = vec![0.0f64; d];
                 let mut mean = 0.0;
                 for dev in devs.iter_mut() {
@@ -128,9 +133,14 @@ impl DatasetSpec {
         let mut row = vec![0.0f64; d];
         let mut b = Relation::builder(self.schema().expect("valid spec")).with_capacity(self.n);
         for _ in 0..self.n {
-            let g = if self.groups <= 1 { 0 } else { rng.gen_range(0..self.groups) } as u64;
+            let g = if self.groups <= 1 {
+                0
+            } else {
+                rng.gen_range(0..self.groups)
+            } as u64;
             self.fill_row(&mut rng, &mut row);
-            b.add_grouped(g, &row).expect("generated row matches schema");
+            b.add_grouped(g, &row)
+                .expect("generated row matches schema");
         }
         b.build().expect("generated relation is valid")
     }
@@ -145,7 +155,8 @@ impl DatasetSpec {
         for _ in 0..self.n {
             let key = rng.gen::<f64>();
             self.fill_row(&mut rng, &mut row);
-            b.add_keyed(key, &row).expect("generated row matches schema");
+            b.add_keyed(key, &row)
+                .expect("generated row matches schema");
         }
         b.build().expect("generated relation is valid")
     }
@@ -167,7 +178,14 @@ mod tests {
     use super::*;
 
     fn spec(data_type: DataType) -> DatasetSpec {
-        DatasetSpec { n: 500, agg_attrs: 1, local_attrs: 3, groups: 5, data_type, seed: 7 }
+        DatasetSpec {
+            n: 500,
+            agg_attrs: 1,
+            local_attrs: 3,
+            groups: 5,
+            data_type,
+            seed: 7,
+        }
     }
 
     #[test]
@@ -175,13 +193,21 @@ mod tests {
         let a = spec(DataType::Independent).generate();
         let b = spec(DataType::Independent).generate();
         assert_eq!(a, b);
-        let c = DatasetSpec { seed: 8, ..spec(DataType::Independent) }.generate();
+        let c = DatasetSpec {
+            seed: 8,
+            ..spec(DataType::Independent)
+        }
+        .generate();
         assert_ne!(a, c);
     }
 
     #[test]
     fn shape_matches_spec() {
-        for t in [DataType::Independent, DataType::Correlated, DataType::AntiCorrelated] {
+        for t in [
+            DataType::Independent,
+            DataType::Correlated,
+            DataType::AntiCorrelated,
+        ] {
             let r = spec(t).generate();
             assert_eq!(r.n(), 500);
             assert_eq!(r.d(), 4);
@@ -195,7 +221,11 @@ mod tests {
 
     #[test]
     fn values_in_unit_interval() {
-        for t in [DataType::Independent, DataType::Correlated, DataType::AntiCorrelated] {
+        for t in [
+            DataType::Independent,
+            DataType::Correlated,
+            DataType::AntiCorrelated,
+        ] {
             let r = spec(t).generate();
             for (_, row) in r.rows() {
                 for &v in row {
@@ -234,6 +264,23 @@ mod tests {
     }
 
     #[test]
+    fn anti_correlation_holds_in_high_dimensions() {
+        // The base width scales with 1/sqrt(d), keeping the covariance at
+        // -1/(16d) for every d; the pairwise correlation therefore decays
+        // like -0.75/d. Assert at half the theoretical value, with n large
+        // enough that the estimate's noise (~1/sqrt(n)) stays well below.
+        for d in [12usize, 16, 24] {
+            let s = DatasetSpec {
+                n: 4000,
+                local_attrs: d - 1,
+                ..spec(DataType::AntiCorrelated)
+            };
+            let anti = corr2(&s.generate());
+            assert!(anti < -0.375 / d as f64, "d={d}: {anti}");
+        }
+    }
+
+    #[test]
     fn theta_variant_has_numeric_keys() {
         let r = spec(DataType::Independent).generate_theta();
         assert!(r.numeric_order().is_some());
@@ -243,7 +290,10 @@ mod tests {
 
     #[test]
     fn single_group_means_one_key() {
-        let s = DatasetSpec { groups: 1, ..spec(DataType::Independent) };
+        let s = DatasetSpec {
+            groups: 1,
+            ..spec(DataType::Independent)
+        };
         let r = s.generate();
         assert_eq!(r.group_index().unwrap().group_count(), 1);
     }
@@ -260,7 +310,10 @@ mod tests {
     fn data_type_parsing() {
         assert_eq!("ind".parse::<DataType>().unwrap(), DataType::Independent);
         assert_eq!("CORR".parse::<DataType>().unwrap(), DataType::Correlated);
-        assert_eq!("anti".parse::<DataType>().unwrap(), DataType::AntiCorrelated);
+        assert_eq!(
+            "anti".parse::<DataType>().unwrap(),
+            DataType::AntiCorrelated
+        );
         assert!("bogus".parse::<DataType>().is_err());
     }
 }

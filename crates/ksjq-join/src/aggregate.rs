@@ -93,7 +93,14 @@ mod tests {
     #[test]
     fn combine_semantics() {
         assert_eq!(AggFunc::Sum.combine(2.0, 3.0), 5.0);
-        assert_eq!(AggFunc::WeightedSum { left: 1.0, right: 0.5 }.combine(2.0, 4.0), 4.0);
+        assert_eq!(
+            AggFunc::WeightedSum {
+                left: 1.0,
+                right: 0.5
+            }
+            .combine(2.0, 4.0),
+            4.0
+        );
         assert_eq!(AggFunc::Min.combine(2.0, 3.0), 2.0);
         assert_eq!(AggFunc::Max.combine(2.0, 3.0), 3.0);
     }
@@ -101,17 +108,41 @@ mod tests {
     #[test]
     fn strictness_flags() {
         assert!(AggFunc::Sum.is_strictly_monotone());
-        assert!(AggFunc::WeightedSum { left: 2.0, right: 1.0 }.is_strictly_monotone());
+        assert!(AggFunc::WeightedSum {
+            left: 2.0,
+            right: 1.0
+        }
+        .is_strictly_monotone());
         assert!(!AggFunc::Min.is_strictly_monotone());
         assert!(!AggFunc::Max.is_strictly_monotone());
     }
 
     #[test]
     fn weighted_sum_validation() {
-        assert!(AggFunc::WeightedSum { left: 1.0, right: 1.0 }.validate().is_ok());
-        assert!(AggFunc::WeightedSum { left: 0.0, right: 1.0 }.validate().is_err());
-        assert!(AggFunc::WeightedSum { left: 1.0, right: -2.0 }.validate().is_err());
-        assert!(AggFunc::WeightedSum { left: f64::NAN, right: 1.0 }.validate().is_err());
+        assert!(AggFunc::WeightedSum {
+            left: 1.0,
+            right: 1.0
+        }
+        .validate()
+        .is_ok());
+        assert!(AggFunc::WeightedSum {
+            left: 0.0,
+            right: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(AggFunc::WeightedSum {
+            left: 1.0,
+            right: -2.0
+        }
+        .validate()
+        .is_err());
+        assert!(AggFunc::WeightedSum {
+            left: f64::NAN,
+            right: 1.0
+        }
+        .validate()
+        .is_err());
         assert!(AggFunc::Sum.validate().is_ok());
     }
 
@@ -121,7 +152,10 @@ mod tests {
         // (Assumption 2 of the paper, non-strict form).
         let funcs = [
             AggFunc::Sum,
-            AggFunc::WeightedSum { left: 0.3, right: 2.0 },
+            AggFunc::WeightedSum {
+                left: 0.3,
+                right: 2.0,
+            },
             AggFunc::Min,
             AggFunc::Max,
         ];
@@ -147,6 +181,9 @@ mod tests {
     #[test]
     fn max_is_not_strict_witness() {
         // The concrete failure mode: 1 < 2 but max(1, 10) == max(2, 10).
-        assert_eq!(AggFunc::Max.combine(1.0, 10.0), AggFunc::Max.combine(2.0, 10.0));
+        assert_eq!(
+            AggFunc::Max.combine(1.0, 10.0),
+            AggFunc::Max.combine(2.0, 10.0)
+        );
     }
 }

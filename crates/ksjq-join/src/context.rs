@@ -95,18 +95,30 @@ impl<'a> JoinContext<'a> {
         match spec {
             JoinSpec::Equality => {
                 if !matches!(left.keys(), JoinKeys::Group(_)) {
-                    return Err(JoinError::KeyKindMismatch { required: "group", side: "left" });
+                    return Err(JoinError::KeyKindMismatch {
+                        required: "group",
+                        side: "left",
+                    });
                 }
                 if !matches!(right.keys(), JoinKeys::Group(_)) {
-                    return Err(JoinError::KeyKindMismatch { required: "group", side: "right" });
+                    return Err(JoinError::KeyKindMismatch {
+                        required: "group",
+                        side: "right",
+                    });
                 }
             }
             JoinSpec::Theta(_) => {
                 if !matches!(left.keys(), JoinKeys::Numeric(_)) {
-                    return Err(JoinError::KeyKindMismatch { required: "numeric", side: "left" });
+                    return Err(JoinError::KeyKindMismatch {
+                        required: "numeric",
+                        side: "left",
+                    });
                 }
                 if !matches!(right.keys(), JoinKeys::Numeric(_)) {
-                    return Err(JoinError::KeyKindMismatch { required: "numeric", side: "right" });
+                    return Err(JoinError::KeyKindMismatch {
+                        required: "numeric",
+                        side: "right",
+                    });
                 }
             }
             JoinSpec::Cartesian => {}
@@ -214,8 +226,12 @@ impl<'a> JoinContext<'a> {
                     == self.right.group_id(ksjq_relation::TupleId(v))
             }
             JoinSpec::Theta(op) => op.holds(
-                self.left.numeric_key(ksjq_relation::TupleId(u)).expect("validated"),
-                self.right.numeric_key(ksjq_relation::TupleId(v)).expect("validated"),
+                self.left
+                    .numeric_key(ksjq_relation::TupleId(u))
+                    .expect("validated"),
+                self.right
+                    .numeric_key(ksjq_relation::TupleId(v))
+                    .expect("validated"),
             ),
             JoinSpec::Cartesian => true,
         }
@@ -280,11 +296,17 @@ impl<'a> JoinContext<'a> {
     pub fn right_partners(&self, u: u32) -> &[u32] {
         match self.spec {
             JoinSpec::Equality => {
-                let gid = self.left.group_id(ksjq_relation::TupleId(u)).expect("validated");
+                let gid = self
+                    .left
+                    .group_id(ksjq_relation::TupleId(u))
+                    .expect("validated");
                 self.right.group_index().expect("validated").members(gid)
             }
             JoinSpec::Theta(op) => {
-                let key = self.left.numeric_key(ksjq_relation::TupleId(u)).expect("validated");
+                let key = self
+                    .left
+                    .numeric_key(ksjq_relation::TupleId(u))
+                    .expect("validated");
                 let order = self.right.numeric_order().expect("validated");
                 let ks = &self.right_sorted_keys;
                 match op {
@@ -304,11 +326,17 @@ impl<'a> JoinContext<'a> {
     pub fn left_partners(&self, v: u32) -> &[u32] {
         match self.spec {
             JoinSpec::Equality => {
-                let gid = self.right.group_id(ksjq_relation::TupleId(v)).expect("validated");
+                let gid = self
+                    .right
+                    .group_id(ksjq_relation::TupleId(v))
+                    .expect("validated");
                 self.left.group_index().expect("validated").members(gid)
             }
             JoinSpec::Theta(op) => {
-                let key = self.right.numeric_key(ksjq_relation::TupleId(v)).expect("validated");
+                let key = self
+                    .right
+                    .numeric_key(ksjq_relation::TupleId(v))
+                    .expect("validated");
                 let order = self.left.numeric_order().expect("validated");
                 let ks = &self.left_sorted_keys;
                 match op {
@@ -332,11 +360,17 @@ impl<'a> JoinContext<'a> {
     pub fn left_coverers(&self, u: u32) -> &[u32] {
         match self.spec {
             JoinSpec::Equality => {
-                let gid = self.left.group_id(ksjq_relation::TupleId(u)).expect("validated");
+                let gid = self
+                    .left
+                    .group_id(ksjq_relation::TupleId(u))
+                    .expect("validated");
                 self.left.group_index().expect("validated").members(gid)
             }
             JoinSpec::Theta(op) => {
-                let key = self.left.numeric_key(ksjq_relation::TupleId(u)).expect("validated");
+                let key = self
+                    .left
+                    .numeric_key(ksjq_relation::TupleId(u))
+                    .expect("validated");
                 let order = self.left.numeric_order().expect("validated");
                 let ks = &self.left_sorted_keys;
                 match op {
@@ -356,11 +390,17 @@ impl<'a> JoinContext<'a> {
     pub fn right_coverers(&self, v: u32) -> &[u32] {
         match self.spec {
             JoinSpec::Equality => {
-                let gid = self.right.group_id(ksjq_relation::TupleId(v)).expect("validated");
+                let gid = self
+                    .right
+                    .group_id(ksjq_relation::TupleId(v))
+                    .expect("validated");
                 self.right.group_index().expect("validated").members(gid)
             }
             JoinSpec::Theta(op) => {
-                let key = self.right.numeric_key(ksjq_relation::TupleId(v)).expect("validated");
+                let key = self
+                    .right
+                    .numeric_key(ksjq_relation::TupleId(v))
+                    .expect("validated");
                 let order = self.right.numeric_order().expect("validated");
                 let ks = &self.right_sorted_keys;
                 match op {
@@ -380,11 +420,13 @@ impl<'a> JoinContext<'a> {
             JoinSpec::Equality => {
                 let gl = self.left.group_index().expect("validated");
                 let gr = self.right.group_index().expect("validated");
-                gl.iter().map(|(gid, m)| m.len() as u64 * gr.members(gid).len() as u64).sum()
+                gl.iter()
+                    .map(|(gid, m)| m.len() as u64 * gr.members(gid).len() as u64)
+                    .sum()
             }
-            JoinSpec::Theta(_) => {
-                (0..self.left.n() as u32).map(|u| self.right_partners(u).len() as u64).sum()
-            }
+            JoinSpec::Theta(_) => (0..self.left.n() as u32)
+                .map(|u| self.right_partners(u).len() as u64)
+                .sum(),
             JoinSpec::Cartesian => self.left.n() as u64 * self.right.n() as u64,
         }
     }
@@ -498,10 +540,10 @@ mod tests {
         let l = rel_keyed(&[1.0, 2.0, 3.0], &[vec![0.0], vec![0.0], vec![0.0]]);
         let r = rel_keyed(&[1.0, 2.0, 2.0, 4.0], &zrows(4));
         for (op, u, expected) in [
-            (ThetaOp::Lt, 1u32, vec![3u32]),        // 2 < {4}
-            (ThetaOp::Le, 1, vec![1, 2, 3]),        // 2 <= {2,2,4}
-            (ThetaOp::Gt, 1, vec![0]),              // 2 > {1}
-            (ThetaOp::Ge, 1, vec![0, 1, 2]),        // 2 >= {1,2,2}
+            (ThetaOp::Lt, 1u32, vec![3u32]), // 2 < {4}
+            (ThetaOp::Le, 1, vec![1, 2, 3]), // 2 <= {2,2,4}
+            (ThetaOp::Gt, 1, vec![0]),       // 2 > {1}
+            (ThetaOp::Ge, 1, vec![0, 1, 2]), // 2 >= {1,2,2}
         ] {
             let cx = JoinContext::new(&l, &r, JoinSpec::Theta(op), &[]).unwrap();
             let mut got = cx.right_partners(u).to_vec();
@@ -523,8 +565,7 @@ mod tests {
             for v in 0..3u32 {
                 let mut got = cx.left_partners(v).to_vec();
                 got.sort_unstable();
-                let expected: Vec<u32> =
-                    (0..3u32).filter(|&u| cx.compatible(u, v)).collect();
+                let expected: Vec<u32> = (0..3u32).filter(|&u| cx.compatible(u, v)).collect();
                 assert_eq!(got, expected, "op {op} v {v}");
             }
         }
@@ -538,7 +579,10 @@ mod tests {
             let cx = JoinContext::new(&l, &r, JoinSpec::Theta(op), &[]).unwrap();
             for u in 0..4u32 {
                 let coverers = cx.left_coverers(u);
-                assert!(coverers.contains(&u), "op {op}: coverers of {u} must include it");
+                assert!(
+                    coverers.contains(&u),
+                    "op {op}: coverers of {u} must include it"
+                );
                 for &w in coverers {
                     for v in 0..4u32 {
                         if cx.compatible(u, v) {
@@ -626,8 +670,14 @@ mod tests {
         ));
 
         // Slot preference mismatch.
-        let sl = Schema::builder().agg("c", Preference::Min, 0).build().unwrap();
-        let sr = Schema::builder().agg("c", Preference::Max, 0).build().unwrap();
+        let sl = Schema::builder()
+            .agg("c", Preference::Min, 0)
+            .build()
+            .unwrap();
+        let sr = Schema::builder()
+            .agg("c", Preference::Max, 0)
+            .build()
+            .unwrap();
         let mut bl = Relation::builder(sl);
         bl.add_grouped(1, &[0.0]).unwrap();
         let l2 = bl.build().unwrap();

@@ -72,9 +72,16 @@ mod tests {
 
     #[test]
     fn display() {
-        let e = JoinError::AggArityMismatch { left: 2, right: 1, funcs: 2 };
+        let e = JoinError::AggArityMismatch {
+            left: 2,
+            right: 1,
+            funcs: 2,
+        };
         assert!(e.to_string().contains("mismatch"));
-        let e = JoinError::KeyKindMismatch { required: "group", side: "left" };
+        let e = JoinError::KeyKindMismatch {
+            required: "group",
+            side: "left",
+        };
         assert!(e.to_string().contains("group"));
     }
 

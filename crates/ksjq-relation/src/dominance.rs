@@ -35,7 +35,10 @@ impl DomCounts {
     /// halves of a joined tuple).
     #[inline]
     pub fn merge(self, other: DomCounts) -> DomCounts {
-        DomCounts { le: self.le + other.le, lt: self.lt + other.lt }
+        DomCounts {
+            le: self.le + other.le,
+            lt: self.lt + other.lt,
+        }
     }
 
     /// Does a tuple with these counts (out of `d` attributes total)
@@ -61,7 +64,11 @@ impl DomCounts {
 /// over the shorter one.
 #[inline]
 pub fn dom_counts(u: &[f64], v: &[f64]) -> DomCounts {
-    debug_assert_eq!(u.len(), v.len(), "dominance between tuples of unequal arity");
+    debug_assert_eq!(
+        u.len(),
+        v.len(),
+        "dominance between tuples of unequal arity"
+    );
     let mut le = 0u32;
     let mut lt = 0u32;
     for (a, b) in u.iter().zip(v.iter()) {

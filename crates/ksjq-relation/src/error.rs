@@ -46,11 +46,17 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::ArityMismatch { expected, got } => {
-                write!(f, "tuple arity mismatch: schema has {expected} attributes, tuple has {got}")
+                write!(
+                    f,
+                    "tuple arity mismatch: schema has {expected} attributes, tuple has {got}"
+                )
             }
             Error::EmptySchema => write!(f, "schema declares no skyline attributes"),
             Error::NonFiniteValue { attr, row } => {
-                write!(f, "non-finite attribute value at row {row}, attribute {attr}")
+                write!(
+                    f,
+                    "non-finite attribute value at row {row}, attribute {attr}"
+                )
             }
             Error::InvalidAggSlot(msg) => write!(f, "invalid aggregate slot: {msg}"),
             Error::InconsistentJoinKeys => {
@@ -73,10 +79,15 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = Error::ArityMismatch { expected: 3, got: 2 };
+        let e = Error::ArityMismatch {
+            expected: 3,
+            got: 2,
+        };
         assert!(e.to_string().contains("arity"));
         assert!(Error::EmptySchema.to_string().contains("schema"));
-        assert!(Error::Csv("bad line".into()).to_string().contains("bad line"));
+        assert!(Error::Csv("bad line".into())
+            .to_string()
+            .contains("bad line"));
     }
 
     #[test]

@@ -70,7 +70,10 @@ mod tests {
     #[test]
     fn max_negates_and_roundtrips() {
         assert_eq!(Preference::Max.normalize(3.5), -3.5);
-        assert_eq!(Preference::Max.denormalize(Preference::Max.normalize(2.0)), 2.0);
+        assert_eq!(
+            Preference::Max.denormalize(Preference::Max.normalize(2.0)),
+            2.0
+        );
     }
 
     #[test]

@@ -87,7 +87,9 @@ impl GroupIndex {
 
     /// Iterate `(group_id, member tuple ids)` in ascending group-id order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &[u32])> + '_ {
-        self.groups.iter().map(move |(gid, r)| (*gid, &self.order[r.clone()]))
+        self.groups
+            .iter()
+            .map(move |(gid, r)| (*gid, &self.order[r.clone()]))
     }
 
     /// The members of group `gid`, or an empty slice if the group does not
@@ -120,7 +122,12 @@ pub struct Relation {
 impl Relation {
     /// Start building a relation with the given schema.
     pub fn builder(schema: Schema) -> RelationBuilder {
-        RelationBuilder { schema, data: Vec::new(), keys: JoinKeys::None, n: 0 }
+        RelationBuilder {
+            schema,
+            data: Vec::new(),
+            keys: JoinKeys::None,
+            n: 0,
+        }
     }
 
     /// Build a relation from equality-join keys and raw rows.
@@ -188,12 +195,18 @@ impl Relation {
     /// Iterate all `(TupleId, row)` pairs.
     pub fn rows(&self) -> impl Iterator<Item = (TupleId, &[f64])> + '_ {
         let d = self.schema.d();
-        self.data.chunks_exact(d).enumerate().map(|(i, r)| (TupleId(i as u32), r))
+        self.data
+            .chunks_exact(d)
+            .enumerate()
+            .map(|(i, r)| (TupleId(i as u32), r))
     }
 
     /// The raw (denormalised) value of attribute `attr` of tuple `t`.
     pub fn raw_value(&self, t: TupleId, attr: usize) -> f64 {
-        self.schema.attr(attr).preference.denormalize(self.row(t)[attr])
+        self.schema
+            .attr(attr)
+            .preference
+            .denormalize(self.row(t)[attr])
     }
 
     /// The full raw row of tuple `t` (allocates).
@@ -245,7 +258,10 @@ impl Relation {
     /// Checked access to a tuple id.
     pub fn get(&self, t: TupleId) -> Result<&[f64]> {
         if t.idx() >= self.n() {
-            return Err(Error::TupleOutOfBounds { id: t.0, n: self.n() });
+            return Err(Error::TupleOutOfBounds {
+                id: t.0,
+                n: self.n(),
+            });
         }
         Ok(self.row(t))
     }
@@ -275,11 +291,17 @@ impl RelationBuilder {
     fn push_row(&mut self, row: &[f64]) -> Result<()> {
         let d = self.schema.d();
         if row.len() != d {
-            return Err(Error::ArityMismatch { expected: d, got: row.len() });
+            return Err(Error::ArityMismatch {
+                expected: d,
+                got: row.len(),
+            });
         }
         for (a, &v) in row.iter().enumerate() {
             if !v.is_finite() {
-                return Err(Error::NonFiniteValue { attr: a, row: self.n });
+                return Err(Error::NonFiniteValue {
+                    attr: a,
+                    row: self.n,
+                });
             }
             self.data.push(self.schema.attr(a).preference.normalize(v));
         }
@@ -313,7 +335,10 @@ impl RelationBuilder {
     /// Add a tuple with a numeric theta-join key.
     pub fn add_keyed(&mut self, key: f64, row: &[f64]) -> Result<&mut Self> {
         if !key.is_finite() {
-            return Err(Error::Invalid(format!("non-finite join key at row {}", self.n)));
+            return Err(Error::Invalid(format!(
+                "non-finite join key at row {}",
+                self.n
+            )));
         }
         match &mut self.keys {
             JoinKeys::None if self.n == 0 => self.keys = JoinKeys::Numeric(vec![]),
@@ -347,7 +372,13 @@ impl RelationBuilder {
             }
             _ => None,
         };
-        Ok(Relation { schema: self.schema, data: self.data, keys: self.keys, group_index, numeric_order })
+        Ok(Relation {
+            schema: self.schema,
+            data: self.data,
+            keys: self.keys,
+            group_index,
+            numeric_order,
+        })
     }
 }
 
@@ -384,7 +415,13 @@ mod tests {
     fn arity_mismatch_rejected() {
         let mut b = Relation::builder(schema2());
         let e = b.add_grouped(0, &[1.0]).unwrap_err();
-        assert_eq!(e, Error::ArityMismatch { expected: 2, got: 1 });
+        assert_eq!(
+            e,
+            Error::ArityMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
     }
 
     #[test]
@@ -398,7 +435,10 @@ mod tests {
     fn mixed_key_kinds_rejected() {
         let mut b = Relation::builder(schema2());
         b.add_grouped(0, &[1.0, 1.0]).unwrap();
-        assert_eq!(b.add_keyed(2.0, &[1.0, 1.0]).unwrap_err(), Error::InconsistentJoinKeys);
+        assert_eq!(
+            b.add_keyed(2.0, &[1.0, 1.0]).unwrap_err(),
+            Error::InconsistentJoinKeys
+        );
         assert_eq!(b.add(&[1.0, 1.0]).unwrap_err(), Error::InconsistentJoinKeys);
     }
 
@@ -411,9 +451,11 @@ mod tests {
         let r = b.build().unwrap();
         let gi = r.group_index().unwrap();
         assert_eq!(gi.group_count(), 3);
-        let collected: Vec<(u64, Vec<u32>)> =
-            gi.iter().map(|(g, m)| (g, m.to_vec())).collect();
-        assert_eq!(collected, vec![(1, vec![1, 3]), (5, vec![0, 2]), (7, vec![4])]);
+        let collected: Vec<(u64, Vec<u32>)> = gi.iter().map(|(g, m)| (g, m.to_vec())).collect();
+        assert_eq!(
+            collected,
+            vec![(1, vec![1, 3]), (5, vec![0, 2]), (7, vec![4])]
+        );
         assert_eq!(gi.members(5), &[0, 2]);
         assert_eq!(gi.members(99), &[] as &[u32]);
     }
@@ -454,12 +496,17 @@ mod tests {
         b.add(&[0.0]).unwrap();
         let r = b.build().unwrap();
         assert!(r.get(TupleId(0)).is_ok());
-        assert!(matches!(r.get(TupleId(1)), Err(Error::TupleOutOfBounds { id: 1, n: 1 })));
+        assert!(matches!(
+            r.get(TupleId(1)),
+            Err(Error::TupleOutOfBounds { id: 1, n: 1 })
+        ));
     }
 
     #[test]
     fn empty_relation() {
-        let r = Relation::builder(Schema::uniform(3).unwrap()).build().unwrap();
+        let r = Relation::builder(Schema::uniform(3).unwrap())
+            .build()
+            .unwrap();
         assert!(r.is_empty());
         assert_eq!(r.n(), 0);
         assert_eq!(r.rows().count(), 0);

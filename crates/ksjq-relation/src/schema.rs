@@ -107,12 +107,18 @@ impl Schema {
 
     /// Indices of local attributes, in order.
     pub fn local_indices(&self) -> impl Iterator<Item = usize> + '_ {
-        self.attrs.iter().enumerate().filter(|(_, a)| !a.role.is_agg()).map(|(i, _)| i)
+        self.attrs
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| !a.role.is_agg())
+            .map(|(i, _)| i)
     }
 
     /// Index of the attribute occupying aggregate `slot`, if any.
     pub fn agg_index(&self, slot: usize) -> Option<usize> {
-        self.attrs.iter().position(|a| a.role == AttrRole::Agg(slot))
+        self.attrs
+            .iter()
+            .position(|a| a.role == AttrRole::Agg(slot))
     }
 
     /// Look up an attribute index by name.
@@ -130,13 +136,21 @@ pub struct SchemaBuilder {
 impl SchemaBuilder {
     /// Add a local skyline attribute.
     pub fn local(mut self, name: impl Into<String>, preference: Preference) -> Self {
-        self.attrs.push(AttrDef { name: name.into(), preference, role: AttrRole::Local });
+        self.attrs.push(AttrDef {
+            name: name.into(),
+            preference,
+            role: AttrRole::Local,
+        });
         self
     }
 
     /// Add an aggregated skyline attribute bound to `slot`.
     pub fn agg(mut self, name: impl Into<String>, preference: Preference, slot: usize) -> Self {
-        self.attrs.push(AttrDef { name: name.into(), preference, role: AttrRole::Agg(slot) });
+        self.attrs.push(AttrDef {
+            name: name.into(),
+            preference,
+            role: AttrRole::Agg(slot),
+        });
         self
     }
 
@@ -168,7 +182,10 @@ impl SchemaBuilder {
             }
         }
         let agg_count = slots.len();
-        Ok(Schema { attrs: self.attrs, agg_count })
+        Ok(Schema {
+            attrs: self.attrs,
+            agg_count,
+        })
     }
 }
 

@@ -34,8 +34,7 @@ mod tests {
     use ksjq_relation::{Relation, Schema};
 
     fn rel(groups: &[u64], rows: &[Vec<f64>]) -> Relation {
-        Relation::from_grouped_rows(Schema::uniform(rows[0].len()).unwrap(), groups, rows)
-            .unwrap()
+        Relation::from_grouped_rows(Schema::uniform(rows[0].len()).unwrap(), groups, rows).unwrap()
     }
 
     #[test]
@@ -52,10 +51,7 @@ mod tests {
 
     #[test]
     fn k_controls_pruning_within_group() {
-        let r = rel(
-            &[1, 1],
-            &[vec![1.0, 5.0], vec![5.0, 1.0]],
-        );
+        let r = rel(&[1, 1], &[vec![1.0, 5.0], vec![5.0, 1.0]]);
         // Full dominance: incomparable.
         let full = per_group_k_dominant(&r, 2, KdomAlgo::Tsa);
         assert_eq!(full, vec![(1, vec![0, 1])]);

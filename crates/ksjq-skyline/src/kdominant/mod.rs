@@ -14,11 +14,11 @@
 //!    dominators.
 
 pub mod naive;
-pub mod presort;
 pub mod osa;
+pub mod presort;
 pub mod tsa;
 
 pub use naive::kdom_naive;
-pub use presort::kdom_tsa_presorted;
 pub use osa::kdom_osa;
+pub use presort::kdom_tsa_presorted;
 pub use tsa::{kdom_tsa, StreamingTsa};

@@ -100,7 +100,9 @@ mod tests {
         let mut state = seed;
         (0..n * d)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) % modulus) as f64
             })
             .collect()
@@ -116,7 +118,11 @@ mod tests {
         ];
         let m = MatrixView::new(3, &data);
         for k in 1..=3 {
-            assert_eq!(kdom_osa(&m, &ids(4), k), kdom_naive(&m, &ids(4), k), "k={k}");
+            assert_eq!(
+                kdom_osa(&m, &ids(4), k),
+                kdom_naive(&m, &ids(4), k),
+                "k={k}"
+            );
         }
     }
 

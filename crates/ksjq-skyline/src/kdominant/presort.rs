@@ -39,7 +39,9 @@ mod tests {
         let mut state = seed;
         (0..n * d)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) % modulus) as f64
             })
             .collect()

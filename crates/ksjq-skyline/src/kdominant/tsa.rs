@@ -168,10 +168,7 @@ impl StreamingTsa {
         let seq = self.verified;
         self.verified += 1;
         for i in 0..self.seqs.len() {
-            if self.alive[i]
-                && self.seqs[i] != seq
-                && k_dominates(row, self.cand_row(i), self.k)
-            {
+            if self.alive[i] && self.seqs[i] != seq && k_dominates(row, self.cand_row(i), self.k) {
                 self.alive[i] = false;
             }
         }
@@ -218,7 +215,9 @@ mod tests {
         let mut state = seed;
         (0..n * d)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) % modulus) as f64
             })
             .collect()
@@ -234,7 +233,11 @@ mod tests {
         ];
         let m = MatrixView::new(3, &data);
         for k in 1..=3 {
-            assert_eq!(kdom_tsa(&m, &ids(4), k), kdom_naive(&m, &ids(4), k), "k={k}");
+            assert_eq!(
+                kdom_tsa(&m, &ids(4), k),
+                kdom_naive(&m, &ids(4), k),
+                "k={k}"
+            );
         }
     }
 

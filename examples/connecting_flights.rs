@@ -26,7 +26,8 @@ fn main() -> CoreResult<()> {
         let arrival = 6.0 + 12.0 * rng.gen::<f64>();
         let comfort = (1.0 + 4.0 * rng.gen::<f64>() * 10.0).round() / 10.0;
         let cost = (80.0 + 50.0 * comfort + 40.0 * rng.gen::<f64>()).round();
-        leg1.add_keyed(arrival, &[cost, comfort]).map_err(ksjq::join::JoinError::from)?;
+        leg1.add_keyed(arrival, &[cost, comfort])
+            .map_err(ksjq::join::JoinError::from)?;
     }
     let leg1 = leg1.build().map_err(ksjq::join::JoinError::from)?;
 
@@ -36,7 +37,8 @@ fn main() -> CoreResult<()> {
         let departure = 8.0 + 14.0 * rng.gen::<f64>();
         let comfort = (1.0 + 4.0 * rng.gen::<f64>() * 10.0).round() / 10.0;
         let cost = (70.0 + 45.0 * comfort + 35.0 * rng.gen::<f64>()).round();
-        leg2.add_keyed(departure, &[cost, comfort]).map_err(ksjq::join::JoinError::from)?;
+        leg2.add_keyed(departure, &[cost, comfort])
+            .map_err(ksjq::join::JoinError::from)?;
     }
     let leg2 = leg2.build().map_err(ksjq::join::JoinError::from)?;
 
@@ -66,8 +68,14 @@ fn main() -> CoreResult<()> {
     );
 
     let result = query.execute()?;
-    println!("\n{} connections survive the (k = 4) skyline join:", result.len());
-    println!("{:>7} {:>7} {:>8} | {:>6} {:>7} {:>8}", "arr", "cost1", "comfort1", "dep", "cost2", "comfort2");
+    println!(
+        "\n{} connections survive the (k = 4) skyline join:",
+        result.len()
+    );
+    println!(
+        "{:>7} {:>7} {:>8} | {:>6} {:>7} {:>8}",
+        "arr", "cost1", "comfort1", "dep", "cost2", "comfort2"
+    );
     for &(u, v) in result.pairs.iter().take(12) {
         let a = leg1.raw_row(u);
         let b = leg2.raw_row(v);

@@ -18,7 +18,10 @@ fn main() -> CoreResult<()> {
     let cls = classify(&cx, &params, KdomAlgo::Tsa);
 
     println!("Table 1: flights from city A (k'1 = {})", params.k1_prime);
-    println!("{:>4} {:>5} {:>6} {:>4} {:>4} {:>4}  category", "fno", "dest", "cost", "dur", "rtg", "amn");
+    println!(
+        "{:>4} {:>5} {:>6} {:>4} {:>4} {:>4}  category",
+        "fno", "dest", "cost", "dur", "rtg", "amn"
+    );
     for (i, fno) in TABLE1_FNO.iter().enumerate() {
         let t = TupleId(i as u32);
         let row = pf.outbound.raw_row(t);
@@ -30,7 +33,10 @@ fn main() -> CoreResult<()> {
     }
 
     println!("\nTable 2: flights to city B (k'2 = {})", params.k2_prime);
-    println!("{:>4} {:>5} {:>6} {:>4} {:>4} {:>4}  category", "fno", "src", "cost", "dur", "rtg", "amn");
+    println!(
+        "{:>4} {:>5} {:>6} {:>4} {:>4} {:>4}  category",
+        "fno", "src", "cost", "dur", "rtg", "amn"
+    );
     for (i, fno) in TABLE2_FNO.iter().enumerate() {
         let t = TupleId(i as u32);
         let row = pf.inbound.raw_row(t);
@@ -43,10 +49,19 @@ fn main() -> CoreResult<()> {
 
     // ----- Table 3: the joined relation at k = 7 ------------------------
     let out = ksjq_grouping(&cx, 7, &Config::default())?;
-    println!("\nTable 3: joined relation (k = 7), {} combinations", cx.count_pairs());
-    println!("{:>9} {:>5}  {:>22}  skyline", "pair", "via", "categorisation");
+    println!(
+        "\nTable 3: joined relation (k = 7), {} combinations",
+        cx.count_pairs()
+    );
+    println!(
+        "{:>9} {:>5}  {:>22}  skyline",
+        "pair", "via", "categorisation"
+    );
     cx.for_each_pair(|u, v| {
-        let city = pf.cities.decode(pf.outbound.group_id(TupleId(u)).unwrap()).unwrap();
+        let city = pf
+            .cities
+            .decode(pf.outbound.group_id(TupleId(u)).unwrap())
+            .unwrap();
         let fate = format!("{}1 x {}2", cls.left[u as usize], cls.right[v as usize]);
         let sky = if out.contains(u, v) { "yes" } else { "no" };
         println!(
@@ -60,7 +75,12 @@ fn main() -> CoreResult<()> {
 
     // ----- Table 6: aggregate variant at k = 6 ---------------------------
     let pfa = ksjq::datagen::paper_flights(true);
-    let cxa = JoinContext::new(&pfa.outbound, &pfa.inbound, JoinSpec::Equality, &[AggFunc::Sum])?;
+    let cxa = JoinContext::new(
+        &pfa.outbound,
+        &pfa.inbound,
+        JoinSpec::Equality,
+        &[AggFunc::Sum],
+    )?;
     let outa = ksjq_grouping(&cxa, 6, &Config::default())?;
     println!("\nTable 6: aggregated cost (k = 6, a = 1), skyline combinations:");
     for &(u, v) in &outa.pairs {

@@ -39,8 +39,10 @@ fn main() -> CoreResult<()> {
         let quality = rng.gen::<f64>();
         let price = (120.0 + 500.0 * quality + 80.0 * rng.gen::<f64>()).round();
         let rating = (2.0 + 3.0 * (0.7 * quality + 0.3 * rng.gen::<f64>()) * 10.0).round() / 10.0;
-        let warranty = [6.0, 12.0, 24.0, 36.0][rng.gen_range(0..4)];
-        products.add(&[price, rating, warranty]).map_err(ksjq::join::JoinError::from)?;
+        let warranty = [6.0, 12.0, 24.0, 36.0][rng.gen_range(0..4usize)];
+        products
+            .add(&[price, rating, warranty])
+            .map_err(ksjq::join::JoinError::from)?;
     }
     let products = products.build().map_err(ksjq::join::JoinError::from)?;
 
@@ -50,7 +52,9 @@ fn main() -> CoreResult<()> {
         let cost = (4.0 + 40.0 * speed + 6.0 * rng.gen::<f64>()).round();
         let days = (1.0 + 9.0 * (1.0 - speed) + rng.gen::<f64>()).round();
         let insured = (50.0 + 50.0 * rng.gen::<f64>()).round();
-        carriers.add(&[cost, days, insured]).map_err(ksjq::join::JoinError::from)?;
+        carriers
+            .add(&[cost, days, insured])
+            .map_err(ksjq::join::JoinError::from)?;
     }
     let carriers = carriers.build().map_err(ksjq::join::JoinError::from)?;
 

@@ -65,7 +65,10 @@ fn main() -> CoreResult<()> {
         .build()?;
     let result = query.execute()?;
 
-    println!("4-dominant skyline of laptops ⋈ shipping ({} tuples):\n", result.len());
+    println!(
+        "4-dominant skyline of laptops ⋈ shipping ({} tuples):\n",
+        result.len()
+    );
     println!(
         "{:>4} {:>8} {:>7} {:>8} | {:>6} {:>5} {:>5}",
         "pair", "price", "weight", "battery", "region", "ship", "days"

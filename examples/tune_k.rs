@@ -44,11 +44,19 @@ fn main() -> CoreResult<()> {
         "δ", "k", "satisfied", "full", "bound", "strategy"
     );
     for delta in [10usize, 100, 1_000, 10_000, 100_000] {
-        for strategy in [FindKStrategy::Naive, FindKStrategy::Range, FindKStrategy::Binary] {
+        for strategy in [
+            FindKStrategy::Naive,
+            FindKStrategy::Range,
+            FindKStrategy::Binary,
+        ] {
             let rep = find_k_at_least(&cx, delta, strategy, &cfg)?;
             println!(
                 "{:>8} {:>9} {:>10} {:>6} {:>6} {:>6}",
-                delta, rep.k, rep.satisfied, rep.full_computations, rep.bound_computations,
+                delta,
+                rep.k,
+                rep.satisfied,
+                rep.full_computations,
+                rep.bound_computations,
                 strategy.to_string()
             );
         }
@@ -57,7 +65,10 @@ fn main() -> CoreResult<()> {
     println!("\nfind-k (at most δ = 1000):");
     let rep = find_k_at_most(&cx, 1000, FindKStrategy::Binary, &cfg)?;
     let size = ksjq_grouping(&cx, rep.k, &cfg)?.len();
-    println!("  largest k with ≤ 1000 skyline tuples: k = {} ({} tuples)", rep.k, size);
+    println!(
+        "  largest k with ≤ 1000 skyline tuples: k = {} ({} tuples)",
+        rep.k, size
+    );
 
     Ok(())
 }

@@ -51,8 +51,8 @@ pub use ksjq_skyline as skyline;
 pub mod prelude {
     pub use ksjq_core::{
         find_k_at_least, find_k_at_most, k_range, ksjq_dominator_based, ksjq_grouping,
-        ksjq_grouping_progressive, ksjq_naive, Algorithm, Config, CoreError, CoreResult, FindKReport, FindKStrategy,
-        KsjqOutput, KsjqQuery,
+        ksjq_grouping_progressive, ksjq_naive, Algorithm, Config, CoreError, CoreResult,
+        FindKReport, FindKStrategy, KsjqOutput, KsjqQuery,
     };
     pub use ksjq_datagen::{DataType, DatasetSpec, FlightNetworkSpec};
     pub use ksjq_join::{AggFunc, JoinContext, JoinSpec, ThetaOp};

@@ -53,14 +53,25 @@ fn paper_augment_misses_aggregate_dominator() {
     assert_eq!(cls.right, vec![Category::SN, Category::SS]);
 
     // u ⋈ v = (loc 5, loc 0, sum 100) dominates u′ ⋈ v′ = (5, 9, 205)…
-    assert!(ksjq::relation::k_dominates(&cx.joined_row(1, 1), &cx.joined_row(0, 0), k));
+    assert!(ksjq::relation::k_dominates(
+        &cx.joined_row(1, 1),
+        &cx.joined_row(0, 0),
+        k
+    ));
     // …yet u = (100, 5) shares no position with u′ = (5, 5)?  It shares
     // the local 5 — but not k′ = 2 positions, which is what the paper's
     // Augment requires:
-    assert_eq!(ksjq::relation::dominance::equal_count(cx.left().row_at(1), cx.left().row_at(0)), 1);
+    assert_eq!(
+        ksjq::relation::dominance::equal_count(cx.left().row_at(1), cx.left().row_at(0)),
+        1
+    );
     // And u does not k′-dominate u′ either (so it is not in the paper's
     // dominator set):
-    assert!(!ksjq::relation::k_dominates(cx.left().row_at(1), cx.left().row_at(0), p.k1_prime));
+    assert!(!ksjq::relation::k_dominates(
+        cx.left().row_at(1),
+        cx.left().row_at(0),
+        p.k1_prime
+    ));
 
     // All three implementations must nevertheless exclude (u′, v′).
     let out = assert_all_algorithms_agree(&cx, k, &Config::default(), "augment-counterexample");
@@ -90,7 +101,10 @@ fn max_aggregate_breaks_theorem_4() {
     // …but its joined tuple is NOT dominated (identical rows):
     assert_eq!(cx.joined_row(0, 0), cx.joined_row(1, 0));
     let naive = ksjq_naive(&cx, k, &Config::default()).unwrap();
-    assert!(naive.contains(1, 0), "naive keeps the tuple Th. 4 would wrongly prune");
+    assert!(
+        naive.contains(1, 0),
+        "naive keeps the tuple Th. 4 would wrongly prune"
+    );
 
     // The optimized algorithms refuse the non-strict aggregate outright.
     assert_eq!(
@@ -161,8 +175,7 @@ fn aggregate_on_max_preference_attribute() {
 fn find_k_with_two_aggregates() {
     let r1 = random_grouped(71, 50, 2, 2, 3, 5);
     let r2 = random_grouped(72, 50, 2, 2, 3, 5);
-    let cx =
-        JoinContext::new(&r1, &r2, JoinSpec::Equality, &[AggFunc::Sum, AggFunc::Sum]).unwrap();
+    let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[AggFunc::Sum, AggFunc::Sum]).unwrap();
     let cfg = Config::default();
     for delta in [1usize, 10, 100] {
         let a = find_k_at_least(&cx, delta, FindKStrategy::Naive, &cfg).unwrap();

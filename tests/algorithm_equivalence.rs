@@ -42,8 +42,7 @@ fn equality_join_two_aggregates_exercises_theorem3_fix() {
         let r1 = random_grouped(seed, 60, 2, 2, 3, 5);
         let r2 = random_grouped(seed + 31, 60, 2, 2, 3, 5);
         let cx =
-            JoinContext::new(&r1, &r2, JoinSpec::Equality, &[AggFunc::Sum, AggFunc::Sum])
-                .unwrap();
+            JoinContext::new(&r1, &r2, JoinSpec::Equality, &[AggFunc::Sum, AggFunc::Sum]).unwrap();
         for k in 5..=6 {
             assert_all_algorithms_agree(&cx, k, &cfg, &format!("a2 seed={seed} k={k}"));
         }
@@ -55,7 +54,10 @@ fn weighted_sum_aggregate() {
     let cfg = Config::default();
     let r1 = random_grouped(21, 70, 1, 3, 4, 9);
     let r2 = random_grouped(22, 70, 1, 3, 4, 9);
-    let w = AggFunc::WeightedSum { left: 1.0, right: 0.5 };
+    let w = AggFunc::WeightedSum {
+        left: 1.0,
+        right: 0.5,
+    };
     let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[w]).unwrap();
     for k in 5..=7 {
         assert_all_algorithms_agree(&cx, k, &cfg, &format!("wsum k={k}"));
@@ -85,7 +87,10 @@ fn all_kdom_subroutines_agree() {
     let r2 = random_grouped(42, 70, 0, 4, 4, 8);
     let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
     for kdom in [KdomAlgo::Naive, KdomAlgo::Osa, KdomAlgo::Tsa] {
-        let cfg = Config { kdom, ..Default::default() };
+        let cfg = Config {
+            kdom,
+            ..Default::default()
+        };
         for k in 5..=7 {
             assert_all_algorithms_agree(&cx, k, &cfg, &format!("kdom={kdom:?} k={k}"));
         }
@@ -96,11 +101,17 @@ fn all_kdom_subroutines_agree() {
 fn paper_defaults_shape_smoke() {
     // A scaled-down version of the paper's default workload (Table 7):
     // d = 7 with a = 2 aggregates, independent data.
-    let spec1 = DatasetSpec { n: 220, agg_attrs: 2, local_attrs: 5, groups: 6, data_type: DataType::Independent, seed: 1 };
+    let spec1 = DatasetSpec {
+        n: 220,
+        agg_attrs: 2,
+        local_attrs: 5,
+        groups: 6,
+        data_type: DataType::Independent,
+        seed: 1,
+    };
     let spec2 = DatasetSpec { seed: 2, ..spec1 };
     let (r1, r2) = (spec1.generate(), spec2.generate());
-    let cx =
-        JoinContext::new(&r1, &r2, JoinSpec::Equality, &[AggFunc::Sum, AggFunc::Sum]).unwrap();
+    let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[AggFunc::Sum, AggFunc::Sum]).unwrap();
     let cfg = Config::default();
     for k in [9, 10, 11] {
         assert_all_algorithms_agree(&cx, k, &cfg, &format!("paperdefault k={k}"));
@@ -111,7 +122,14 @@ fn paper_defaults_shape_smoke() {
 fn correlated_and_anticorrelated_distributions() {
     let cfg = Config::default();
     for data_type in [DataType::Correlated, DataType::AntiCorrelated] {
-        let spec1 = DatasetSpec { n: 150, agg_attrs: 0, local_attrs: 4, groups: 4, data_type, seed: 5 };
+        let spec1 = DatasetSpec {
+            n: 150,
+            agg_attrs: 0,
+            local_attrs: 4,
+            groups: 4,
+            data_type,
+            seed: 5,
+        };
         let spec2 = DatasetSpec { seed: 6, ..spec1 };
         let (r1, r2) = (spec1.generate(), spec2.generate());
         let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
@@ -144,7 +162,9 @@ fn duplicate_heavy_input() {
 #[test]
 fn empty_and_singleton_relations() {
     let cfg = Config::default();
-    let empty = Relation::builder(Schema::uniform(3).unwrap()).build().unwrap();
+    let empty = Relation::builder(Schema::uniform(3).unwrap())
+        .build()
+        .unwrap();
     let single = {
         let mut b = Relation::builder(Schema::uniform(3).unwrap());
         b.add_grouped(0, &[1.0, 2.0, 3.0]).unwrap();

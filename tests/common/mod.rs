@@ -20,7 +20,9 @@ pub fn random_grouped(
     let mut b = Relation::builder(Schema::uniform_agg(a, l).unwrap());
     for _ in 0..n {
         let g = rng.gen_range(0..groups);
-        let row: Vec<f64> = (0..d).map(|_| rng.gen_range(0..value_range) as f64).collect();
+        let row: Vec<f64> = (0..d)
+            .map(|_| rng.gen_range(0..value_range) as f64)
+            .collect();
         b.add_grouped(g, &row).unwrap();
     }
     b.build().unwrap()
@@ -32,7 +34,9 @@ pub fn random_keyed(seed: u64, n: usize, d: usize, value_range: u64) -> Relation
     let mut b = Relation::builder(Schema::uniform(d).unwrap());
     for _ in 0..n {
         let key = rng.gen_range(0..100) as f64 / 10.0;
-        let row: Vec<f64> = (0..d).map(|_| rng.gen_range(0..value_range) as f64).collect();
+        let row: Vec<f64> = (0..d)
+            .map(|_| rng.gen_range(0..value_range) as f64)
+            .collect();
         b.add_keyed(key, &row).unwrap();
     }
     b.build().unwrap()
@@ -43,7 +47,9 @@ pub fn random_keyless(seed: u64, n: usize, d: usize, value_range: u64) -> Relati
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = Relation::builder(Schema::uniform(d).unwrap());
     for _ in 0..n {
-        let row: Vec<f64> = (0..d).map(|_| rng.gen_range(0..value_range) as f64).collect();
+        let row: Vec<f64> = (0..d)
+            .map(|_| rng.gen_range(0..value_range) as f64)
+            .collect();
         b.add(&row).unwrap();
     }
     b.build().unwrap()

@@ -7,7 +7,13 @@ use ksjq::prelude::*;
 
 #[test]
 fn flight_network_roundtrips_through_csv() {
-    let net = FlightNetworkSpec { outbound: 60, inbound: 50, hubs: 6, seed: 9 }.generate();
+    let net = FlightNetworkSpec {
+        outbound: 60,
+        inbound: 50,
+        hubs: 6,
+        seed: 9,
+    }
+    .generate();
 
     let out_csv = relation_to_csv(&net.outbound, "hub", Some(&net.hubs)).unwrap();
     let in_csv = relation_to_csv(&net.inbound, "hub", Some(&net.hubs)).unwrap();
@@ -28,9 +34,13 @@ fn flight_network_roundtrips_through_csv() {
         &[AggFunc::Sum, AggFunc::Sum],
     )
     .unwrap();
-    let cx_csv =
-        JoinContext::new(&outbound, &inbound, JoinSpec::Equality, &[AggFunc::Sum, AggFunc::Sum])
-            .unwrap();
+    let cx_csv = JoinContext::new(
+        &outbound,
+        &inbound,
+        JoinSpec::Equality,
+        &[AggFunc::Sum, AggFunc::Sum],
+    )
+    .unwrap();
     assert_eq!(cx_orig.count_pairs(), cx_csv.count_pairs());
     let cfg = Config::default();
     for k in 6..=8 {
@@ -61,6 +71,10 @@ fn paper_tables_as_csv() {
     let r2 = relation_from_csv(&t2, schema(), "city", &mut dict).unwrap();
     let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
     let out = ksjq_grouping(&cx, 7, &Config::default()).unwrap();
-    let fnos: Vec<(u32, u32)> = out.pairs.iter().map(|(u, v)| (11 + u.0, 21 + v.0)).collect();
+    let fnos: Vec<(u32, u32)> = out
+        .pairs
+        .iter()
+        .map(|(u, v)| (11 + u.0, 21 + v.0))
+        .collect();
     assert_eq!(fnos, vec![(11, 23), (13, 21), (15, 25), (16, 26)]);
 }

@@ -9,7 +9,9 @@ use ksjq::prelude::*;
 /// Exhaustive ground truth: sizes of the skyline at every admissible k.
 fn sizes_by_k(cx: &JoinContext<'_>, cfg: &Config) -> Vec<(usize, usize)> {
     let (lo, hi) = k_range(cx);
-    (lo..=hi).map(|k| (k, ksjq_grouping(cx, k, cfg).unwrap().len())).collect()
+    (lo..=hi)
+        .map(|k| (k, ksjq_grouping(cx, k, cfg).unwrap().len()))
+        .collect()
 }
 
 #[test]
@@ -20,7 +22,10 @@ fn lemma_1_sizes_monotone() {
         let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
         let sizes = sizes_by_k(&cx, &Config::default());
         for w in sizes.windows(2) {
-            assert!(w[0].1 <= w[1].1, "seed={seed}: sizes not monotone: {sizes:?}");
+            assert!(
+                w[0].1 <= w[1].1,
+                "seed={seed}: sizes not monotone: {sizes:?}"
+            );
         }
     }
 }
@@ -36,7 +41,11 @@ fn strategies_match_ground_truth() {
         let (lo, hi) = k_range(&cx);
         for delta in [1usize, 3, 10, 40, 200, 5000] {
             let truth = sizes.iter().find(|(_, s)| *s >= delta).map(|(k, _)| *k);
-            for strat in [FindKStrategy::Naive, FindKStrategy::Range, FindKStrategy::Binary] {
+            for strat in [
+                FindKStrategy::Naive,
+                FindKStrategy::Range,
+                FindKStrategy::Binary,
+            ] {
                 let rep = find_k_at_least(&cx, delta, strat, &cfg).unwrap();
                 match truth {
                     Some(k) => {
@@ -63,7 +72,11 @@ fn at_most_matches_ground_truth() {
     let sizes = sizes_by_k(&cx, &cfg);
     let (lo, _hi) = k_range(&cx);
     for delta in [1usize, 5, 25, 100, 10_000] {
-        let truth = sizes.iter().rev().find(|(_, s)| *s <= delta).map(|(k, _)| *k);
+        let truth = sizes
+            .iter()
+            .rev()
+            .find(|(_, s)| *s <= delta)
+            .map(|(k, _)| *k);
         let rep = find_k_at_most(&cx, delta, FindKStrategy::Binary, &cfg).unwrap();
         match truth {
             Some(k) => {
@@ -93,8 +106,14 @@ fn binary_never_does_more_full_runs_than_range() {
         // The bound-based strategies never need more full computations
         // than the naive one, and binary probes at most ⌈log₂(range)⌉ + 1
         // values of k.
-        assert!(range.full_computations <= naive.full_computations, "delta={delta}");
-        assert!(binary.full_computations <= naive.full_computations, "delta={delta}");
+        assert!(
+            range.full_computations <= naive.full_computations,
+            "delta={delta}"
+        );
+        assert!(
+            binary.full_computations <= naive.full_computations,
+            "delta={delta}"
+        );
         let (lo, hi) = k_range(&cx);
         let log2 = usize::BITS - (hi - lo + 1).leading_zeros();
         assert!(
@@ -123,8 +142,7 @@ fn delta_one_finds_first_nonempty_k() {
 fn huge_delta_on_paper_example() {
     let pf = ksjq::datagen::paper_flights(false);
     let cx = JoinContext::new(&pf.outbound, &pf.inbound, JoinSpec::Equality, &[]).unwrap();
-    let rep =
-        find_k_at_least(&cx, 1_000, FindKStrategy::Binary, &Config::default()).unwrap();
+    let rep = find_k_at_least(&cx, 1_000, FindKStrategy::Binary, &Config::default()).unwrap();
     // Only 13 joined tuples exist; δ = 1000 is unsatisfiable.
     assert!(!rep.satisfied);
     assert_eq!(rep.k, k_range(&cx).1);

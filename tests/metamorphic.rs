@@ -28,13 +28,16 @@ fn preference_flip_invariance() {
     let build = |rng: &mut StdRng, flip: bool, rows: &[(u64, Vec<f64>)]| {
         let mut sb = Schema::builder();
         for i in 0..d {
-            let pref = if flip { Preference::Max } else { Preference::Min };
+            let pref = if flip {
+                Preference::Max
+            } else {
+                Preference::Min
+            };
             sb = sb.local(format!("s{i}"), pref);
         }
         let mut b = Relation::builder(sb.build().unwrap());
         for (g, row) in rows {
-            let row: Vec<f64> =
-                row.iter().map(|&v| if flip { -v } else { v }).collect();
+            let row: Vec<f64> = row.iter().map(|&v| if flip { -v } else { v }).collect();
             b.add_grouped(*g, &row).unwrap();
         }
         let _ = rng;
@@ -43,14 +46,20 @@ fn preference_flip_invariance() {
     let gen_rows = |rng: &mut StdRng| -> Vec<(u64, Vec<f64>)> {
         (0..n)
             .map(|_| {
-                (rng.gen_range(0..4u64), (0..d).map(|_| rng.gen_range(0..20) as f64).collect())
+                (
+                    rng.gen_range(0..4u64),
+                    (0..d).map(|_| rng.gen_range(0..20) as f64).collect(),
+                )
             })
             .collect()
     };
     let rows1 = gen_rows(&mut rng);
     let rows2 = gen_rows(&mut rng);
 
-    let (a1, a2) = (build(&mut rng, false, &rows1), build(&mut rng, false, &rows2));
+    let (a1, a2) = (
+        build(&mut rng, false, &rows1),
+        build(&mut rng, false, &rows2),
+    );
     let (b1, b2) = (build(&mut rng, true, &rows1), build(&mut rng, true, &rows2));
     let cx_a = JoinContext::new(&a1, &a2, JoinSpec::Equality, &[]).unwrap();
     let cx_b = JoinContext::new(&b1, &b2, JoinSpec::Equality, &[]).unwrap();
@@ -153,8 +162,10 @@ fn tuple_order_invariance() {
     for k in 4..=6 {
         // Map the shuffled answer back through `order` and compare as sets.
         let mut base = run(&cx, k);
-        let mut mapped: Vec<(u32, u32)> =
-            run(&cxs, k).into_iter().map(|(u, v)| (order[u as usize], v)).collect();
+        let mut mapped: Vec<(u32, u32)> = run(&cxs, k)
+            .into_iter()
+            .map(|(u, v)| (order[u as usize], v))
+            .collect();
         base.sort_unstable();
         mapped.sort_unstable();
         assert_eq!(base, mapped, "k={k}");

@@ -9,9 +9,9 @@
 
 mod common;
 
-use ksjq::prelude::*;
 use ksjq::core::{classify, validate_k, Category};
 use ksjq::datagen::paper_flights;
+use ksjq::prelude::*;
 
 fn cx_plain(pf: &ksjq::datagen::PaperFlights) -> JoinContext<'_> {
     JoinContext::new(&pf.outbound, &pf.inbound, JoinSpec::Equality, &[]).unwrap()
@@ -30,10 +30,16 @@ fn table_1_and_2_categorisation() {
     use Category::*;
     // Flights 11..19 (Table 1's last column; 18 corrected from SS to SN).
     let expected1 = [SS, NN, SN, NN, SN, SS, SN, SN, NN];
-    assert_eq!(cls.left, expected1, "Table 1 categories (flight = 11 + index)");
+    assert_eq!(
+        cls.left, expected1,
+        "Table 1 categories (flight = 11 + index)"
+    );
     // Flights 21..28 (Table 2's last column, with 28's amn = 39).
     let expected2 = [SS, NN, SN, NN, SN, SS, SN, SN];
-    assert_eq!(cls.right, expected2, "Table 2 categories (flight = 21 + index)");
+    assert_eq!(
+        cls.right, expected2,
+        "Table 2 categories (flight = 21 + index)"
+    );
 }
 
 /// Table 3: the full joined relation with per-pair categorisation and
@@ -48,7 +54,11 @@ fn table_3_joined_relation() {
 
     let out = ksjq_grouping(&cx, 7, &Config::default()).unwrap();
     // Table 3's "skyline" column: yes for (11,23), (13,21), (15,25), (16,26).
-    let yes: Vec<(u32, u32)> = out.pairs.iter().map(|(u, v)| (11 + u.0, 21 + v.0)).collect();
+    let yes: Vec<(u32, u32)> = out
+        .pairs
+        .iter()
+        .map(|(u, v)| (11 + u.0, 21 + v.0))
+        .collect();
     assert_eq!(yes, vec![(11, 23), (13, 21), (15, 25), (16, 26)]);
 
     // Spot-check the paper's prose: (18,28) is k-dominated by (19,25)…
@@ -94,9 +104,13 @@ fn table_5_fates_hold() {
 #[test]
 fn table_6_aggregate_skyline() {
     let pf = paper_flights(true);
-    let cx =
-        JoinContext::new(&pf.outbound, &pf.inbound, JoinSpec::Equality, &[AggFunc::Sum])
-            .unwrap();
+    let cx = JoinContext::new(
+        &pf.outbound,
+        &pf.inbound,
+        JoinSpec::Equality,
+        &[AggFunc::Sum],
+    )
+    .unwrap();
     assert_eq!(cx.d_joined(), 7); // 3 + 3 + 1
 
     // The paper's Sec. 5.6 example: k = 6, a = 1 ⇒ k″ = 2, k′ = 3.
@@ -105,7 +119,11 @@ fn table_6_aggregate_skyline() {
 
     let cfg = Config::default();
     let out = common::assert_all_algorithms_agree(&cx, 6, &cfg, "table6");
-    let yes: Vec<(u32, u32)> = out.pairs.iter().map(|(u, v)| (11 + u.0, 21 + v.0)).collect();
+    let yes: Vec<(u32, u32)> = out
+        .pairs
+        .iter()
+        .map(|(u, v)| (11 + u.0, 21 + v.0))
+        .collect();
     assert_eq!(yes, vec![(11, 23), (13, 21), (15, 25), (16, 26)]);
 
     // Spot-check the aggregated row of (11,23): total cost 804.

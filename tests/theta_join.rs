@@ -29,22 +29,27 @@ fn theta_with_aggregates_agree() {
     let mk = |seed: u64| {
         let mut rng_state = seed;
         let mut next = move |m: u64| {
-            rng_state =
-                rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng_state = rng_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (rng_state >> 33) % m
         };
         let mut b = Relation::builder(Schema::uniform_agg(1, 3).unwrap());
         for _ in 0..50 {
             let key = next(100) as f64 / 10.0;
-            let row = [next(9) as f64, next(9) as f64, next(9) as f64, next(9) as f64];
+            let row = [
+                next(9) as f64,
+                next(9) as f64,
+                next(9) as f64,
+                next(9) as f64,
+            ];
             b.add_keyed(key, &row).unwrap();
         }
         b.build().unwrap()
     };
     let r1 = mk(100);
     let r2 = mk(200);
-    let cx =
-        JoinContext::new(&r1, &r2, JoinSpec::Theta(ThetaOp::Lt), &[AggFunc::Sum]).unwrap();
+    let cx = JoinContext::new(&r1, &r2, JoinSpec::Theta(ThetaOp::Lt), &[AggFunc::Sum]).unwrap();
     for k in 5..=7 {
         assert_all_algorithms_agree(&cx, k, &cfg, &format!("theta-agg k={k}"));
     }
@@ -89,7 +94,10 @@ fn theta_classification_uses_coverers() {
     // t0 (key 1, great) covers and dominates t1 (key 2, poor) ⇒ t1 ∈ NN.
     // t2 (key 0.5, poor) is dominated by t0 but t0 does NOT cover t2
     // (t0's key is larger) ⇒ t2 ∈ SN.
-    let r1 = mk(&[1.0, 2.0, 0.5], &[vec![1.0, 1.0], vec![5.0, 5.0], vec![9.0, 9.0]]);
+    let r1 = mk(
+        &[1.0, 2.0, 0.5],
+        &[vec![1.0, 1.0], vec![5.0, 5.0], vec![9.0, 9.0]],
+    );
     let r2 = mk(&[3.0], &[vec![1.0, 1.0]]);
     let cx = JoinContext::new(&r1, &r2, JoinSpec::Theta(ThetaOp::Lt), &[]).unwrap();
     let p = validate_k(&cx, 3).unwrap();
@@ -108,7 +116,9 @@ fn theta_ties_covered_both_ways() {
     let mk = |seed: u64| {
         let mut state = seed;
         let mut next = move |m: u64| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) % m
         };
         let mut b = Relation::builder(Schema::uniform(3).unwrap());
