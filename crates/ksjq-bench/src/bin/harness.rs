@@ -4,26 +4,45 @@
 //! `all` runs everything. `--scale <f>` shrinks the dataset size `n`
 //! (default 0.33 — comparisons and shapes are preserved, wall-clock times
 //! shrink roughly quadratically); `--full` runs the paper's exact sizes.
+//! `--algo` restricts which KSJQ algorithms run and `--kdom` picks the
+//! single-relation k-dominant subroutine (both accept the names their
+//! `Display` impls print). Each configuration prints the prepared plan's
+//! `explain` line before its timing rows, so the tables say exactly what
+//! they measured.
 //!
 //! ```sh
 //! cargo run --release -p ksjq-bench --bin harness -- all --scale 0.33
 //! cargo run --release -p ksjq-bench --bin harness -- fig1a --full
+//! cargo run --release -p ksjq-bench --bin harness -- fig4 --algo grouping,naive --kdom osa
 //! ```
 
 use ksjq_bench::*;
-use ksjq_core::Config;
+use ksjq_core::{Algorithm, Config, Engine, Goal, KdomAlgo, QueryPlan};
 use ksjq_datagen::{DataType, FlightNetworkSpec};
-use ksjq_join::JoinContext;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 struct Opts {
     figure: String,
     scale: f64,
+    /// Which KSJQ algorithms to run (default: G, D, N).
+    algos: Vec<Algorithm>,
+    /// Execution config (carries the `--kdom` choice).
+    cfg: Config,
+}
+
+/// Parsed options, readable from every figure function.
+static OPTS: OnceLock<Opts> = OnceLock::new();
+
+fn opts() -> &'static Opts {
+    OPTS.get().expect("set at startup")
 }
 
 fn parse_args() -> Opts {
     let mut figure = String::from("all");
     let mut scale = 0.33f64;
+    let mut algos = GDN.to_vec();
+    let mut cfg = Config::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -34,11 +53,24 @@ fn parse_args() -> Opts {
                     .unwrap_or_else(|| die("--scale needs a number"));
             }
             "--full" => scale = 1.0,
+            "--algo" => {
+                let list = args.next().unwrap_or_else(|| die("--algo needs a name"));
+                algos = list
+                    .split(',')
+                    .map(|s| s.trim().parse::<Algorithm>().unwrap_or_else(|e| die(&e)))
+                    .collect();
+            }
+            "--kdom" => {
+                let name = args.next().unwrap_or_else(|| die("--kdom needs a name"));
+                cfg.kdom = name.parse::<KdomAlgo>().unwrap_or_else(|e| die(&e));
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: harness [FIGURE] [--scale F | --full]\n\
+                    "usage: harness [FIGURE] [--scale F | --full] [--algo A[,A…]] [--kdom K]\n\
                      figures: fig1a fig1b fig2a fig2b fig3a fig3b fig4 fig5a fig5b\n\
-                     \x20        fig6a fig6b fig7 fig8a fig8b fig9a fig9b fig10 fig11 all"
+                     \x20        fig6a fig6b fig7 fig8a fig8b fig9a fig9b fig10 fig11 all\n\
+                     algos:   naive grouping dominator-based (comma-separated)\n\
+                     kdom:    naive osa tsa tsa-presort"
                 );
                 std::process::exit(0);
             }
@@ -46,7 +78,12 @@ fn parse_args() -> Opts {
             other => die(&format!("unknown flag {other}")),
         }
     }
-    Opts { figure, scale }
+    Opts {
+        figure,
+        scale,
+        algos,
+        cfg,
+    }
 }
 
 fn die(msg: &str) -> ! {
@@ -55,7 +92,7 @@ fn die(msg: &str) -> ! {
 }
 
 fn main() {
-    let opts = parse_args();
+    let opts = OPTS.get_or_init(parse_args);
     let t = Instant::now();
     let all = opts.figure == "all";
     let mut ran = false;
@@ -96,13 +133,60 @@ fn banner(id: &str, what: &str, params: &str) {
     println!("    {params}");
 }
 
+/// Register one config's relations with a fresh engine and prepare its
+/// plan — the sweep drivers below all run through this path so the tables
+/// measure exactly what a serving engine would execute.
+fn prepare_config(params: &PaperParams, goal: Goal) -> ksjq_core::PreparedQuery {
+    let (r1, r2) = params.relations();
+    let engine = Engine::with_config(opts().cfg);
+    engine.register("r1", r1).expect("fresh catalog");
+    engine.register("r2", r2).expect("fresh catalog");
+    let plan = QueryPlan::new("r1", "r2")
+        .aggregates(&params.funcs())
+        .goal(goal);
+    engine
+        .prepare(&plan)
+        .expect("paper params always produce a valid plan")
+}
+
+/// The part of a prepared plan that is invariant across the algorithms or
+/// strategies a sweep runs over it: relations, join kind, arities,
+/// k-range and kdom subroutine (a compact-explain line minus the
+/// per-row algorithm, which the table rows name themselves).
+fn shape_of(e: &ksjq_core::Explain) -> String {
+    let p = &e.params;
+    format!(
+        "{:?} ⋈ {:?} [{}] d1={} d2={} a={} k∈[{},{}] kdom={}",
+        e.left_name, e.right_name, e.join, p.d1, p.d2, p.a, e.k_min, e.k_max, e.kdom
+    )
+}
+
+fn algo_labels(algos: &[Algorithm]) -> String {
+    algos
+        .iter()
+        .map(|&a| label_of(a))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
 fn run_ksjq_sweep(configs: &[(String, PaperParams)]) {
-    let cfg = Config::default();
+    let o = opts();
     print_header("config");
     for (label, params) in configs {
-        let (r1, r2) = params.relations();
-        let cx = params.context(&r1, &r2);
-        for run in run_algorithms(&cx, params.k, &cfg, &GDN) {
+        let prepared = prepare_config(params, Goal::Exact(params.k));
+        let e = prepared.explain();
+        let p = e.params;
+        println!(
+            "    [{}] k={} k'={}/{} k''={}/{} over {}",
+            algo_labels(&o.algos),
+            p.k,
+            p.k1_prime,
+            p.k2_prime,
+            p.k1_pp,
+            p.k2_pp,
+            shape_of(&e)
+        );
+        for run in run_algorithms(prepared.context(), params.k, &o.cfg, &o.algos) {
             print_run(label, &run);
         }
     }
@@ -338,12 +422,17 @@ fn scaled_delta(delta: usize, scale: f64) -> usize {
 }
 
 fn run_find_k_sweep(configs: &[(String, PaperParams, usize)]) {
-    let cfg = Config::default();
+    let o = opts();
     print_find_k_header("config");
     for (label, params, delta) in configs {
-        let (r1, r2) = params.relations();
-        let cx = params.context(&r1, &r2);
-        for run in run_find_k(&cx, *delta, &cfg) {
+        // Prepare at the maximum k just to bind and validate the join; the
+        // find-k strategies then probe the whole k-range themselves.
+        let prepared = prepare_config(params, Goal::SkylineJoin);
+        println!(
+            "    [find-k B,R,N] δ={delta} over {}",
+            shape_of(&prepared.explain())
+        );
+        for run in run_find_k(prepared.context(), *delta, &o.cfg) {
             print_find_k_run(label, &run);
         }
     }
@@ -471,19 +560,41 @@ fn fig11(_scale: f64) {
         "flight network (synthetic stand-in for the MakeMyTrip data)",
         "192 x 155 flights, 13 hubs, cost+time aggregated, k in {6,7,8}",
     );
+    let o = opts();
     let net = FlightNetworkSpec::default().generate();
-    let cx = JoinContext::new(
-        &net.outbound,
-        &net.inbound,
-        ksjq_join::JoinSpec::Equality,
-        &[ksjq_join::AggFunc::Sum, ksjq_join::AggFunc::Sum],
-    )
-    .expect("flight schema is valid");
-    println!("    joined itineraries: {}", cx.count_pairs());
-    let cfg = Config::default();
+    let engine = Engine::with_config(o.cfg);
+    engine
+        .register("outbound", net.outbound)
+        .expect("fresh catalog");
+    engine
+        .register("inbound", net.inbound)
+        .expect("fresh catalog");
+    let plan = QueryPlan::new("outbound", "inbound")
+        .aggregates(&[ksjq_join::AggFunc::Sum, ksjq_join::AggFunc::Sum]);
     print_header("config");
     for k in [6usize, 7, 8] {
-        for run in run_algorithms(&cx, k, &cfg, &GDN) {
+        let prepared = engine
+            .prepare(&plan.clone().goal(Goal::Exact(k)))
+            .expect("k in range");
+        let e = prepared.explain();
+        let p = e.params;
+        if k == 6 {
+            println!(
+                "    joined itineraries: {}",
+                prepared.context().count_pairs()
+            );
+        }
+        println!(
+            "    [{}] k={} k'={}/{} k''={}/{} over {}",
+            algo_labels(&o.algos),
+            p.k,
+            p.k1_prime,
+            p.k2_prime,
+            p.k1_pp,
+            p.k2_pp,
+            shape_of(&e)
+        );
+        for run in run_algorithms(prepared.context(), k, &o.cfg, &o.algos) {
             print_run(&format!("k={k}"), &run);
         }
     }

@@ -1,0 +1,404 @@
+//! The serving engine: a shared catalog plus plan preparation/execution.
+//!
+//! This is the concurrent entry point to KSJQ. Register relations once,
+//! then prepare and execute owned [`QueryPlan`]s against them from as many
+//! threads as you like:
+//!
+//! ```
+//! use ksjq_core::{Algorithm, Engine, Goal, QueryPlan};
+//! use ksjq_datagen::paper_flights;
+//!
+//! let engine = Engine::new();
+//! let pf = paper_flights(false);
+//! engine.register("outbound", pf.outbound).unwrap();
+//! engine.register("inbound", pf.inbound).unwrap();
+//!
+//! let plan = QueryPlan::new("outbound", "inbound")
+//!     .goal(Goal::Exact(7))
+//!     .algorithm(Algorithm::Grouping);
+//! let prepared = engine.prepare(&plan).unwrap();
+//! println!("{}", prepared.explain());
+//! assert_eq!(prepared.execute().unwrap().len(), 4); // Table 3's skyline
+//! ```
+//!
+//! The layering mirrors a classic query stack:
+//!
+//! * [`Catalog`] (in `ksjq-relation`) — named data, held as
+//!   `Arc<Relation>`; registration is the only place data enters.
+//! * [`QueryPlan`] (in [`plan`](crate::plan)) — the owned logical query.
+//! * [`Engine::prepare`] — name resolution + *all* validation (join
+//!   compatibility, `k` range, find-k goal resolution), producing a
+//!   [`PreparedQuery`] that owns `Arc`s to its inputs.
+//! * [`PreparedQuery::execute`] — runs the chosen algorithm;
+//!   [`PreparedQuery::explain`] says what would run.
+//!
+//! `Engine` is `Clone + Send + Sync`; clones share the catalog. A
+//! `PreparedQuery` is itself `Send + Sync` and can be executed repeatedly
+//! and concurrently (execution takes `&self`).
+
+use crate::config::Config;
+use crate::error::{CoreError, CoreResult};
+use crate::explain::Explain;
+use crate::find_k::{find_k_at_least, find_k_at_most, FindKReport};
+use crate::output::KsjqOutput;
+use crate::params::{k_max, k_min, validate_k, KsjqParams};
+use crate::plan::{Goal, QueryPlan, RelationRef};
+use crate::query::{dispatch, Algorithm};
+use ksjq_join::JoinContext;
+use ksjq_relation::{Catalog, Relation, RelationHandle};
+use std::sync::Arc;
+
+/// A shareable KSJQ serving engine: catalog + default execution config.
+///
+/// Cheap to clone; clones share the same catalog. See the [module
+/// docs](self) for the full picture.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    catalog: Catalog,
+    config: Config,
+}
+
+impl Engine {
+    /// An engine with an empty catalog and default [`Config`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An engine whose prepared queries default to `config` (plans can
+    /// still override per query via [`QueryPlan::config`]).
+    pub fn with_config(config: Config) -> Self {
+        Engine {
+            catalog: Catalog::new(),
+            config,
+        }
+    }
+
+    /// An engine serving an existing (possibly shared) catalog.
+    pub fn over(catalog: Catalog) -> Self {
+        Engine {
+            catalog,
+            config: Config::default(),
+        }
+    }
+
+    /// The engine's catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The engine's default execution config.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Register `relation` under `name`. Fails on duplicate or invalid
+    /// names — naming is validated here, eagerly, not at query time.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        relation: Relation,
+    ) -> CoreResult<RelationHandle> {
+        Ok(self.catalog.register(name, relation)?)
+    }
+
+    /// Register an already-shared relation under `name` (no copy).
+    pub fn register_arc(
+        &self,
+        name: impl Into<String>,
+        relation: Arc<Relation>,
+    ) -> CoreResult<RelationHandle> {
+        Ok(self.catalog.register_arc(name, relation)?)
+    }
+
+    /// Look up a registered relation.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownRelation`] if `name` is not registered.
+    pub fn relation(&self, name: &str) -> CoreResult<RelationHandle> {
+        self.catalog
+            .get(name)
+            .ok_or_else(|| CoreError::UnknownRelation {
+                name: name.to_owned(),
+            })
+    }
+
+    fn resolve(&self, rel: &RelationRef) -> CoreResult<RelationHandle> {
+        match rel {
+            RelationRef::Name(name) => self.relation(name),
+            RelationRef::Handle(handle) => Ok(handle.clone()),
+        }
+    }
+
+    /// Resolve, validate and bind `plan`, returning an executable
+    /// [`PreparedQuery`].
+    ///
+    /// Everything that can fail, fails here — not at execute time:
+    ///
+    /// * [`CoreError::UnknownRelation`] — a name the catalog doesn't know;
+    /// * join-compatibility errors (aggregate arity/preference mismatch,
+    ///   key-kind mismatch) propagated as [`CoreError::Join`];
+    /// * [`CoreError::InvalidK`] — a [`Goal::Exact`] `k` outside
+    ///   `max{d1, d2} < k ≤ d1 + d2 − a`, or an empty range;
+    /// * find-k errors for [`Goal::AtLeast`] / [`Goal::AtMost`] (these
+    ///   goals run the paper's Algorithms 4–6 during prepare and pin the
+    ///   resulting `k` into the prepared query, with the search's
+    ///   [`FindKReport`] attached).
+    pub fn prepare(&self, plan: &QueryPlan) -> CoreResult<PreparedQuery> {
+        let left = self.resolve(&plan.left)?;
+        let right = self.resolve(&plan.right)?;
+        let mut config = plan.config.unwrap_or(self.config);
+        if let Some(kdom) = plan.kdom {
+            config.kdom = kdom;
+        }
+        let cx = JoinContext::from_arcs(
+            left.relation().clone(),
+            right.relation().clone(),
+            plan.spec,
+            &plan.funcs,
+        )?;
+        let (k, find_k) = match plan.goal {
+            Goal::Exact(k) => (k, None),
+            Goal::SkylineJoin => (k_max(&cx), None),
+            Goal::AtLeast(delta, strategy) => {
+                let report = find_k_at_least(&cx, delta, strategy, &config)?;
+                (report.k, Some(report))
+            }
+            Goal::AtMost(delta, strategy) => {
+                let report = find_k_at_most(&cx, delta, strategy, &config)?;
+                (report.k, Some(report))
+            }
+        };
+        let params = validate_k(&cx, k)?;
+        Ok(PreparedQuery {
+            left,
+            right,
+            k_min: k_min(&cx),
+            k_max: k_max(&cx),
+            cx,
+            params,
+            goal: plan.goal,
+            algorithm: plan.algorithm,
+            config,
+            find_k,
+        })
+    }
+
+    /// Convenience: [`prepare`](Self::prepare) + execute in one call.
+    pub fn execute(&self, plan: &QueryPlan) -> CoreResult<KsjqOutput> {
+        self.prepare(plan)?.execute()
+    }
+}
+
+/// A plan bound to data and fully validated, ready to execute — the
+/// product of [`Engine::prepare`].
+///
+/// Owns `Arc`s to its relations (no lifetimes), so it is `Send + Sync`,
+/// can outlive the engine and catalog that produced it, and can be
+/// executed repeatedly and from several threads at once.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    left: RelationHandle,
+    right: RelationHandle,
+    cx: JoinContext<'static>,
+    params: KsjqParams,
+    k_min: usize,
+    k_max: usize,
+    goal: Goal,
+    algorithm: Algorithm,
+    config: Config,
+    find_k: Option<FindKReport>,
+}
+
+impl PreparedQuery {
+    /// Execute with the plan's algorithm.
+    pub fn execute(&self) -> CoreResult<KsjqOutput> {
+        dispatch(&self.cx, self.params.k, self.algorithm, &self.config)
+    }
+
+    /// Execute with an explicitly chosen algorithm (ignoring the plan's
+    /// choice) — convenient for comparisons.
+    pub fn execute_with(&self, algorithm: Algorithm) -> CoreResult<KsjqOutput> {
+        dispatch(&self.cx, self.params.k, algorithm, &self.config)
+    }
+
+    /// A human-readable summary of what [`execute`](Self::execute) will
+    /// run: relations, join kind, arities, k-range, derived thresholds,
+    /// algorithm and kdom subroutine.
+    pub fn explain(&self) -> Explain {
+        Explain {
+            left_name: self.left.name().to_owned(),
+            right_name: self.right.name().to_owned(),
+            left_n: self.left.n(),
+            right_n: self.right.n(),
+            join: self.cx.spec(),
+            funcs: self.cx.funcs().iter().map(|f| f.to_string()).collect(),
+            goal: self.goal,
+            k_min: self.k_min,
+            k_max: self.k_max,
+            params: self.params,
+            algorithm: self.algorithm,
+            kdom: self.config.kdom,
+            threads: self.config.threads,
+        }
+    }
+
+    /// The bound join context.
+    pub fn context(&self) -> &JoinContext<'static> {
+        &self.cx
+    }
+
+    /// The query's `k` (for find-k goals: the `k` the search chose).
+    pub fn k(&self) -> usize {
+        self.params.k
+    }
+
+    /// Every derived parameter of the bound query.
+    pub fn params(&self) -> &KsjqParams {
+        &self.params
+    }
+
+    /// The goal the plan was prepared with.
+    pub fn goal(&self) -> Goal {
+        self.goal
+    }
+
+    /// The algorithm [`execute`](Self::execute) will run.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The effective execution config (plan override or engine default).
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The left relation handle.
+    pub fn left(&self) -> &RelationHandle {
+        &self.left
+    }
+
+    /// The right relation handle.
+    pub fn right(&self) -> &RelationHandle {
+        &self.right
+    }
+
+    /// For [`Goal::AtLeast`] / [`Goal::AtMost`] plans: the find-k search
+    /// report produced during prepare.
+    pub fn find_k_report(&self) -> Option<&FindKReport> {
+        self.find_k.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::find_k::FindKStrategy;
+    use ksjq_datagen::paper_flights;
+
+    fn flights_engine() -> Engine {
+        let engine = Engine::new();
+        let pf = paper_flights(false);
+        engine.register("outbound", pf.outbound).unwrap();
+        engine.register("inbound", pf.inbound).unwrap();
+        engine
+    }
+
+    #[test]
+    fn engine_is_clone_send_sync() {
+        fn assert_clone_send_sync<T: Clone + Send + Sync>() {}
+        assert_clone_send_sync::<Engine>();
+        assert_clone_send_sync::<PreparedQuery>();
+    }
+
+    #[test]
+    fn prepare_execute_paper_example() {
+        let engine = flights_engine();
+        let plan = QueryPlan::new("outbound", "inbound").k(7);
+        let prepared = engine.prepare(&plan).unwrap();
+        assert_eq!(prepared.k(), 7);
+        assert_eq!((prepared.k_min, prepared.k_max), (5, 8));
+        let out = prepared.execute().unwrap();
+        assert_eq!(out.len(), 4);
+        // Re-execution and engine-level convenience agree.
+        assert_eq!(prepared.execute().unwrap().pairs, out.pairs);
+        assert_eq!(engine.execute(&plan).unwrap().pairs, out.pairs);
+    }
+
+    #[test]
+    fn default_goal_is_skyline_join() {
+        let engine = flights_engine();
+        let prepared = engine
+            .prepare(&QueryPlan::new("outbound", "inbound"))
+            .unwrap();
+        assert_eq!(prepared.k(), 8); // d1 + d2 = 4 + 4
+        assert_eq!(prepared.goal(), Goal::SkylineJoin);
+    }
+
+    #[test]
+    fn unknown_relation_fails_at_prepare() {
+        let engine = flights_engine();
+        let err = engine
+            .prepare(&QueryPlan::new("outbound", "nope"))
+            .unwrap_err();
+        assert!(
+            matches!(err, CoreError::UnknownRelation { ref name } if name == "nope"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn handles_bypass_the_catalog() {
+        let engine = flights_engine();
+        let other = Engine::new(); // empty catalog
+        let out_h = engine.relation("outbound").unwrap();
+        let in_h = engine.relation("inbound").unwrap();
+        let plan = QueryPlan::new(&out_h, &in_h).k(7);
+        // Prepared against an engine that has *no* registered relations.
+        assert_eq!(other.prepare(&plan).unwrap().execute().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn find_k_goal_resolves_at_prepare() {
+        let engine = flights_engine();
+        let plan =
+            QueryPlan::new("outbound", "inbound").goal(Goal::AtLeast(1, FindKStrategy::Binary));
+        let prepared = engine.prepare(&plan).unwrap();
+        let report = prepared.find_k_report().unwrap();
+        assert!(report.satisfied);
+        assert_eq!(report.k, prepared.k());
+        assert!(!prepared.execute().unwrap().is_empty());
+    }
+
+    #[test]
+    fn kdom_override_composes_with_engine_config() {
+        let pf = paper_flights(false);
+        let engine = Engine::with_config(Config::with_threads(3));
+        engine.register("outbound", pf.outbound).unwrap();
+        engine.register("inbound", pf.inbound).unwrap();
+        let prepared = engine
+            .prepare(&QueryPlan::new("outbound", "inbound").kdom(crate::KdomAlgo::Osa))
+            .unwrap();
+        // The subroutine override must not clobber the engine's threads.
+        assert_eq!(prepared.config().kdom, crate::KdomAlgo::Osa);
+        assert_eq!(prepared.config().threads, 3);
+        // A full config override still wins wholesale.
+        let prepared = engine
+            .prepare(&QueryPlan::new("outbound", "inbound").config(Config::default()))
+            .unwrap();
+        assert_eq!(prepared.config().threads, 1);
+    }
+
+    #[test]
+    fn prepared_query_outlives_engine_and_catalog() {
+        let prepared = {
+            let engine = flights_engine();
+            engine
+                .prepare(&QueryPlan::new("outbound", "inbound").k(7))
+                .unwrap()
+            // engine (and its catalog) dropped here
+        };
+        assert_eq!(prepared.execute().unwrap().len(), 4);
+    }
+}

@@ -34,6 +34,15 @@ pub enum CoreError {
         /// Largest candidate `k`.
         max: usize,
     },
+    /// A query plan referenced a relation name the engine's catalog does
+    /// not know.
+    UnknownRelation {
+        /// The unresolved name.
+        name: String,
+    },
+    /// Propagated relation-layer error (catalog registration, schema or
+    /// data validation).
+    Relation(ksjq_relation::Error),
     /// Propagated join-layer error.
     Join(ksjq_join::JoinError),
 }
@@ -52,6 +61,10 @@ impl fmt::Display for CoreError {
             CoreError::EmptyKRange { min, max } => {
                 write!(f, "no valid k exists: range [{min}, {max}] is empty")
             }
+            CoreError::UnknownRelation { name } => {
+                write!(f, "unknown relation {name:?}: not registered in the catalog")
+            }
+            CoreError::Relation(e) => write!(f, "{e}"),
             CoreError::Join(e) => write!(f, "{e}"),
         }
     }
@@ -62,6 +75,12 @@ impl std::error::Error for CoreError {}
 impl From<ksjq_join::JoinError> for CoreError {
     fn from(e: ksjq_join::JoinError) -> Self {
         CoreError::Join(e)
+    }
+}
+
+impl From<ksjq_relation::Error> for CoreError {
+    fn from(e: ksjq_relation::Error) -> Self {
+        CoreError::Relation(e)
     }
 }
 

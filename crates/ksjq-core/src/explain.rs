@@ -1,0 +1,176 @@
+//! Plan introspection: what a prepared query will actually run.
+//!
+//! [`Explain`] is produced by
+//! [`PreparedQuery::explain`](crate::engine::PreparedQuery::explain). It is
+//! plain owned data with a multi-line [`Display`](std::fmt::Display) for
+//! humans and a [`compact`](Explain::compact) one-liner for table-style
+//! harness output.
+
+use crate::params::KsjqParams;
+use crate::plan::Goal;
+use crate::query::Algorithm;
+use ksjq_join::JoinSpec;
+use ksjq_skyline::KdomAlgo;
+use std::fmt;
+
+/// A human-readable summary of one prepared KSJQ query: the relations it
+/// binds, the join shape, the derived parameters and the algorithm that
+/// will run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explain {
+    /// Catalog name of the left relation.
+    pub left_name: String,
+    /// Catalog name of the right relation.
+    pub right_name: String,
+    /// Tuples in the left relation.
+    pub left_n: usize,
+    /// Tuples in the right relation.
+    pub right_n: usize,
+    /// The join connecting the relations.
+    pub join: JoinSpec,
+    /// Aggregation functions, slot order, rendered (`"sum"`, …).
+    pub funcs: Vec<String>,
+    /// The plan's goal (for find-k goals, the `k` below is the one the
+    /// search settled on).
+    pub goal: Goal,
+    /// Smallest admissible `k` for this join (`max{d1, d2} + 1`).
+    pub k_min: usize,
+    /// Largest admissible `k` (`d1 + d2 − a`, the ordinary skyline join).
+    pub k_max: usize,
+    /// Every derived parameter of the bound query, including the chosen
+    /// `k` and the classification/target thresholds `k′`/`k″`.
+    pub params: KsjqParams,
+    /// The KSJQ algorithm that will execute.
+    pub algorithm: Algorithm,
+    /// The single-relation k-dominant skyline subroutine in use.
+    pub kdom: KdomAlgo,
+    /// Worker threads (1 = serial).
+    pub threads: usize,
+}
+
+impl Explain {
+    /// One-line summary for harness tables and logs, e.g.
+    ///
+    /// ```text
+    /// grouping k=11 over "r1" ⋈ "r2" [equality] d1=7 d2=7 a=2 k∈[8,12] k'=9/9 k''=7/7 kdom=tsa
+    /// ```
+    pub fn compact(&self) -> String {
+        let p = &self.params;
+        format!(
+            "{} k={} over {:?} ⋈ {:?} [{}] d1={} d2={} a={} k∈[{},{}] k'={}/{} k''={}/{} kdom={}",
+            self.algorithm,
+            p.k,
+            self.left_name,
+            self.right_name,
+            self.join,
+            p.d1,
+            p.d2,
+            p.a,
+            self.k_min,
+            self.k_max,
+            p.k1_prime,
+            p.k2_prime,
+            p.k1_pp,
+            p.k2_pp,
+            self.kdom,
+        )
+    }
+}
+
+impl fmt::Display for Explain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = &self.params;
+        writeln!(
+            f,
+            "KSJQ plan: {:?} ⋈ {:?} [{} join]",
+            self.left_name, self.right_name, self.join
+        )?;
+        writeln!(f, "  goal:       {}", self.goal)?;
+        writeln!(
+            f,
+            "  left:       {:?}: {} tuples, d1 = {} ({} local + {} aggregate)",
+            self.left_name, self.left_n, p.d1, p.l1, p.a
+        )?;
+        writeln!(
+            f,
+            "  right:      {:?}: {} tuples, d2 = {} ({} local + {} aggregate)",
+            self.right_name, self.right_n, p.d2, p.l2, p.a
+        )?;
+        if !self.funcs.is_empty() {
+            writeln!(f, "  aggregates: {}", self.funcs.join(", "))?;
+        }
+        writeln!(
+            f,
+            "  joined:     {} skyline attributes (l1 + l2 + a = {} + {} + {}), valid k in [{}, {}]",
+            p.d_joined, p.l1, p.l2, p.a, self.k_min, self.k_max
+        )?;
+        writeln!(
+            f,
+            "  k:          {} (classification k'1 = {}, k'2 = {}; target k''1 = {}, k''2 = {})",
+            p.k, p.k1_prime, p.k2_prime, p.k1_pp, p.k2_pp
+        )?;
+        write!(
+            f,
+            "  algorithm:  {} (kdom subroutine: {}, threads: {})",
+            self.algorithm, self.kdom, self.threads
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Explain {
+        Explain {
+            left_name: "r1".into(),
+            right_name: "r2".into(),
+            left_n: 100,
+            right_n: 200,
+            join: JoinSpec::Equality,
+            funcs: vec!["sum".into()],
+            goal: Goal::Exact(6),
+            k_min: 5,
+            k_max: 7,
+            params: KsjqParams {
+                k: 6,
+                d1: 4,
+                d2: 4,
+                a: 1,
+                l1: 3,
+                l2: 3,
+                d_joined: 7,
+                k1_prime: 3,
+                k2_prime: 3,
+                k1_pp: 2,
+                k2_pp: 2,
+            },
+            algorithm: Algorithm::Grouping,
+            kdom: KdomAlgo::Tsa,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn display_covers_required_facts() {
+        let s = sample().to_string();
+        assert!(s.contains("equality join"), "{s}");
+        assert!(s.contains("d1 = 4"), "{s}");
+        assert!(s.contains("d2 = 4"), "{s}");
+        assert!(s.contains("valid k in [5, 7]"), "{s}");
+        assert!(s.contains("k'1 = 3"), "{s}");
+        assert!(s.contains("k''1 = 2"), "{s}");
+        assert!(s.contains("grouping"), "{s}");
+        assert!(s.contains("tsa"), "{s}");
+        assert!(s.contains("exact k = 6"), "{s}");
+    }
+
+    #[test]
+    fn compact_is_one_line() {
+        let c = sample().compact();
+        assert!(!c.contains('\n'));
+        assert!(c.contains("k=6"));
+        assert!(c.contains("k∈[5,7]"));
+        assert!(c.contains("kdom=tsa"));
+    }
+}

@@ -12,25 +12,34 @@
 //!   [`find_k_at_least`] / [`find_k_at_most`] with naïve, range-based and
 //!   binary-search strategies (Algorithms 4–6).
 //!
-//! The high-level entry point is [`KsjqQuery`]:
+//! The high-level entry point is the [`Engine`]: register relations once
+//! (held as `Arc<Relation>` in a shared [`Catalog`]), describe queries as
+//! owned [`QueryPlan`]s, and prepare/execute them — concurrently if you
+//! like, the engine is `Clone + Send + Sync`:
 //!
 //! ```
-//! use ksjq_core::{Algorithm, KsjqQuery};
+//! use ksjq_core::{Algorithm, Engine, Goal, QueryPlan};
 //! use ksjq_datagen::paper_flights;
 //!
 //! // The paper's running example: two-leg flights joined on the stopover.
+//! let engine = Engine::new();
 //! let flights = paper_flights(false);
-//! let result = KsjqQuery::builder(&flights.outbound, &flights.inbound)
-//!     .k(7)
-//!     .algorithm(Algorithm::Grouping)
-//!     .build()
-//!     .unwrap()
-//!     .execute()
-//!     .unwrap();
+//! engine.register("outbound", flights.outbound).unwrap();
+//! engine.register("inbound", flights.inbound).unwrap();
+//!
+//! let plan = QueryPlan::new("outbound", "inbound")
+//!     .goal(Goal::Exact(7))
+//!     .algorithm(Algorithm::Grouping);
+//! let prepared = engine.prepare(&plan).unwrap();
+//! println!("{}", prepared.explain()); // join kind, k-range, thresholds, …
+//! let result = prepared.execute().unwrap();
 //! // Table 3's final skyline: flight combinations (11,23), (13,21),
 //! // (15,25) and (16,26).
 //! assert_eq!(result.len(), 4);
 //! ```
+//!
+//! The borrowed-lifetime [`KsjqQuery`] builder remains as a thin shim over
+//! the same execution path for single-shot, in-scope use.
 //!
 //! ## Soundness notes
 //!
@@ -46,13 +55,16 @@
 pub mod classify;
 pub mod config;
 pub mod dominator_based;
+pub mod engine;
 pub mod error;
+pub mod explain;
 pub mod find_k;
 pub mod grouping;
 pub mod naive;
 pub mod output;
 pub mod parallel;
 pub mod params;
+pub mod plan;
 pub mod query;
 pub mod stats;
 pub mod target;
@@ -61,12 +73,21 @@ mod verify;
 pub use classify::{classify, pair_counts, Category, Classification};
 pub use config::Config;
 pub use dominator_based::ksjq_dominator_based;
+pub use engine::{Engine, PreparedQuery};
 pub use error::{CoreError, CoreResult};
+pub use explain::Explain;
 pub use find_k::{find_k_at_least, find_k_at_most, FindKReport, FindKStrategy};
 pub use grouping::{ksjq_grouping, ksjq_grouping_progressive};
 pub use naive::ksjq_naive;
 pub use output::KsjqOutput;
 pub use params::{k_max, k_min, validate_k, KsjqParams};
+pub use plan::{Goal, QueryPlan, RelationRef};
 pub use query::{k_range, Algorithm, KsjqQuery, KsjqQueryBuilder};
 pub use stats::{Counts, ExecStats, PhaseTimes};
 pub use target::{target_set, TargetCache};
+
+// Re-exported so engine users don't need direct `ksjq-relation` /
+// `ksjq-skyline` dependencies for the registry types and the kdom
+// subroutine knob in [`Config`].
+pub use ksjq_relation::{Catalog, RelationHandle};
+pub use ksjq_skyline::KdomAlgo;

@@ -1,0 +1,272 @@
+//! Owned, logical query descriptions.
+//!
+//! A [`QueryPlan`] is everything a KSJQ query *is*, with none of what it
+//! *runs on*: relation names (or handles), the join, the aggregation
+//! functions, a [`Goal`], an algorithm choice and a [`Config`] override.
+//! It owns all of its parts — no lifetimes — so it can be built once,
+//! cloned, stored, logged (it implements `Display`) and prepared against
+//! an [`Engine`](crate::engine::Engine) from any thread, any number of
+//! times.
+//!
+//! Binding a plan to data happens in
+//! [`Engine::prepare`](crate::engine::Engine::prepare), which resolves the
+//! relation references against the engine's catalog, validates the join
+//! and `k`, and returns an executable
+//! [`PreparedQuery`](crate::engine::PreparedQuery).
+
+use crate::config::Config;
+use crate::find_k::FindKStrategy;
+use crate::query::Algorithm;
+use ksjq_join::{AggFunc, JoinSpec};
+use ksjq_relation::RelationHandle;
+use ksjq_skyline::KdomAlgo;
+use std::fmt;
+
+/// How a plan refers to a base relation: by catalog name (resolved at
+/// prepare time) or by a [`RelationHandle`] (self-contained — usable even
+/// if the relation was never registered with the preparing engine).
+#[derive(Debug, Clone)]
+pub enum RelationRef {
+    /// Look the relation up in the engine's catalog at prepare time.
+    Name(String),
+    /// Use this handle directly.
+    Handle(RelationHandle),
+}
+
+impl RelationRef {
+    /// The name this reference displays as (the catalog name in both
+    /// forms).
+    pub fn name(&self) -> &str {
+        match self {
+            RelationRef::Name(n) => n,
+            RelationRef::Handle(h) => h.name(),
+        }
+    }
+}
+
+impl From<&str> for RelationRef {
+    fn from(name: &str) -> Self {
+        RelationRef::Name(name.to_owned())
+    }
+}
+
+impl From<String> for RelationRef {
+    fn from(name: String) -> Self {
+        RelationRef::Name(name)
+    }
+}
+
+impl From<&RelationHandle> for RelationRef {
+    fn from(handle: &RelationHandle) -> Self {
+        RelationRef::Handle(handle.clone())
+    }
+}
+
+impl From<RelationHandle> for RelationRef {
+    fn from(handle: RelationHandle) -> Self {
+        RelationRef::Handle(handle)
+    }
+}
+
+impl fmt::Display for RelationRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.name())
+    }
+}
+
+/// What the query asks for — the four problems of the paper as one enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Goal {
+    /// Problems 1/2: the k-dominant skyline join at exactly this `k`.
+    Exact(usize),
+    /// The ordinary skyline join: `k = d1 + d2 − a`, the largest
+    /// admissible value. The default.
+    #[default]
+    SkylineJoin,
+    /// Problem 3: the smallest `k` whose skyline has at least `delta`
+    /// tuples, found with the given strategy.
+    AtLeast(usize, FindKStrategy),
+    /// Problem 4: the largest `k` whose skyline has at most `delta`
+    /// tuples, found with the given strategy.
+    AtMost(usize, FindKStrategy),
+}
+
+impl fmt::Display for Goal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Goal::Exact(k) => write!(f, "exact k = {k}"),
+            Goal::SkylineJoin => write!(f, "skyline join (maximum k)"),
+            Goal::AtLeast(delta, s) => write!(f, "at least {delta} tuples ({s} search)"),
+            Goal::AtMost(delta, s) => write!(f, "at most {delta} tuples ({s} search)"),
+        }
+    }
+}
+
+/// A fully owned logical KSJQ query description. See the [module
+/// docs](self) for where it sits in the engine/plan/execution split.
+///
+/// All fields are public — a plan is plain data — but the chainable
+/// builder-style methods are the intended way to write one:
+///
+/// ```
+/// use ksjq_core::{Algorithm, Goal, QueryPlan};
+/// use ksjq_join::{AggFunc, JoinSpec};
+///
+/// let plan = QueryPlan::new("outbound", "inbound")
+///     .join(JoinSpec::Equality)
+///     .aggregates(&[AggFunc::Sum, AggFunc::Sum])
+///     .goal(Goal::Exact(6))
+///     .algorithm(Algorithm::Grouping);
+/// assert_eq!(plan.to_string(), r#"ksjq("outbound" ⋈ "inbound" [equality], aggs = [sum, sum], exact k = 6, grouping)"#);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// The left base relation.
+    pub left: RelationRef,
+    /// The right base relation.
+    pub right: RelationRef,
+    /// The join connecting them (default: equality).
+    pub spec: JoinSpec,
+    /// Aggregation functions, one per paired slot, slot order.
+    pub funcs: Vec<AggFunc>,
+    /// What to compute (default: the ordinary skyline join).
+    pub goal: Goal,
+    /// Which KSJQ algorithm executes the query (default: grouping).
+    pub algorithm: Algorithm,
+    /// Single-relation k-dominant skyline subroutine override; merged
+    /// onto the effective config at prepare time, so it composes with an
+    /// engine-level [`Config`] instead of replacing it.
+    pub kdom: Option<KdomAlgo>,
+    /// Execution-config override; `None` uses the engine's default.
+    pub config: Option<Config>,
+}
+
+impl QueryPlan {
+    /// A plan joining `left ⋈ right` with all defaults: equality join, no
+    /// aggregation, ordinary skyline join, grouping algorithm, engine
+    /// config.
+    pub fn new(left: impl Into<RelationRef>, right: impl Into<RelationRef>) -> Self {
+        QueryPlan {
+            left: left.into(),
+            right: right.into(),
+            spec: JoinSpec::Equality,
+            funcs: Vec::new(),
+            goal: Goal::default(),
+            algorithm: Algorithm::default(),
+            kdom: None,
+            config: None,
+        }
+    }
+
+    /// Join kind.
+    pub fn join(mut self, spec: JoinSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Append the aggregation function for the next slot (call once per
+    /// slot, in slot order), or use [`aggregates`](Self::aggregates).
+    pub fn aggregate(mut self, func: AggFunc) -> Self {
+        self.funcs.push(func);
+        self
+    }
+
+    /// Aggregation functions for all slots at once.
+    pub fn aggregates(mut self, funcs: &[AggFunc]) -> Self {
+        self.funcs = funcs.to_vec();
+        self
+    }
+
+    /// The query goal.
+    pub fn goal(mut self, goal: Goal) -> Self {
+        self.goal = goal;
+        self
+    }
+
+    /// Shorthand for [`goal(Goal::Exact(k))`](Self::goal).
+    pub fn k(self, k: usize) -> Self {
+        self.goal(Goal::Exact(k))
+    }
+
+    /// Algorithm choice.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Single-relation k-dominant skyline subroutine. Unlike
+    /// [`config`](Self::config) this overrides *only* the subroutine —
+    /// the engine's other config knobs (threads, materialisation limit)
+    /// stay in effect.
+    pub fn kdom(mut self, kdom: KdomAlgo) -> Self {
+        self.kdom = Some(kdom);
+        self
+    }
+
+    /// Full execution-config override.
+    pub fn config(mut self, config: Config) -> Self {
+        self.config = Some(config);
+        self
+    }
+}
+
+impl fmt::Display for QueryPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ksjq({} ⋈ {} [{}]", self.left, self.right, self.spec)?;
+        if !self.funcs.is_empty() {
+            write!(f, ", aggs = [")?;
+            for (i, func) in self.funcs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{func}")?;
+            }
+            write!(f, "]")?;
+        }
+        write!(f, ", {}, {})", self.goal, self.algorithm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_legacy_builder() {
+        let p = QueryPlan::new("a", "b");
+        assert_eq!(p.spec, JoinSpec::Equality);
+        assert!(p.funcs.is_empty());
+        assert_eq!(p.goal, Goal::SkylineJoin);
+        assert_eq!(p.algorithm, Algorithm::Grouping);
+        assert!(p.config.is_none());
+    }
+
+    #[test]
+    fn plan_is_owned_and_shareable() {
+        fn assert_send_sync_static<T: Send + Sync + 'static>() {}
+        assert_send_sync_static::<QueryPlan>();
+        assert_send_sync_static::<Goal>();
+        assert_send_sync_static::<RelationRef>();
+    }
+
+    #[test]
+    fn display_forms() {
+        let p = QueryPlan::new("l", "r").k(7);
+        assert_eq!(
+            p.to_string(),
+            r#"ksjq("l" ⋈ "r" [equality], exact k = 7, grouping)"#
+        );
+        assert_eq!(Goal::SkylineJoin.to_string(), "skyline join (maximum k)");
+        assert_eq!(
+            Goal::AtLeast(10, crate::FindKStrategy::Binary).to_string(),
+            "at least 10 tuples (binary search)"
+        );
+    }
+
+    #[test]
+    fn kdom_is_a_point_override_not_a_config() {
+        let p = QueryPlan::new("l", "r").kdom(KdomAlgo::Osa);
+        assert_eq!(p.kdom, Some(KdomAlgo::Osa));
+        assert!(p.config.is_none()); // engine config stays in effect
+    }
+}

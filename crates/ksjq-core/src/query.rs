@@ -52,7 +52,62 @@ impl std::fmt::Display for Algorithm {
     }
 }
 
-/// A bound and validated KSJQ query.
+impl std::str::FromStr for Algorithm {
+    type Err = String;
+
+    /// Parse an algorithm name. Round-trips with [`Display`](std::fmt::Display)
+    /// (`"naive"`, `"grouping"`, `"dominator-based"`); also accepts the
+    /// underscore spelling and the paper's one-letter labels N/G/D.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "naive" | "n" => Ok(Algorithm::Naive),
+            "grouping" | "g" => Ok(Algorithm::Grouping),
+            "dominator-based" | "dominator_based" | "d" => Ok(Algorithm::DominatorBased),
+            _ => Err(format!(
+                "unknown algorithm {s:?} (expected naive, grouping or dominator-based)"
+            )),
+        }
+    }
+}
+
+/// The single algorithm-dispatch point: every public execution path —
+/// [`KsjqQuery::execute`], [`KsjqQuery::execute_with`] and the engine's
+/// `PreparedQuery::execute` — funnels through here.
+pub(crate) fn dispatch(
+    cx: &JoinContext<'_>,
+    k: usize,
+    algorithm: Algorithm,
+    config: &Config,
+) -> CoreResult<KsjqOutput> {
+    match algorithm {
+        Algorithm::Naive => ksjq_naive(cx, k, config),
+        Algorithm::Grouping => ksjq_grouping(cx, k, config),
+        Algorithm::DominatorBased => ksjq_dominator_based(cx, k, config),
+    }
+}
+
+/// A bound and validated KSJQ query over *borrowed* relations.
+///
+/// **Deprecated in spirit**: this is the legacy single-shot entry point,
+/// kept as a thin shim over the same execution path the engine uses. It
+/// borrows its relations, so it cannot outlive them, cannot be sent to
+/// another thread while they are stack-local, and cannot name relations.
+/// New code should register relations with an
+/// [`Engine`](crate::engine::Engine) and describe the query as an owned
+/// [`QueryPlan`](crate::plan::QueryPlan):
+///
+/// ```
+/// use ksjq_core::{Engine, Goal, QueryPlan};
+/// use ksjq_datagen::paper_flights;
+///
+/// let pf = paper_flights(false);
+/// let engine = Engine::new();
+/// engine.register("outbound", pf.outbound).unwrap();
+/// engine.register("inbound", pf.inbound).unwrap();
+/// let plan = QueryPlan::new("outbound", "inbound").goal(Goal::Exact(7));
+/// let result = engine.prepare(&plan).unwrap().execute().unwrap();
+/// assert_eq!(result.len(), 4);
+/// ```
 #[derive(Debug)]
 pub struct KsjqQuery<'a> {
     cx: JoinContext<'a>,
@@ -87,21 +142,13 @@ impl<'a> KsjqQuery<'a> {
 
     /// Execute with the configured algorithm.
     pub fn execute(&self) -> CoreResult<KsjqOutput> {
-        match self.algorithm {
-            Algorithm::Naive => ksjq_naive(&self.cx, self.k, &self.config),
-            Algorithm::Grouping => ksjq_grouping(&self.cx, self.k, &self.config),
-            Algorithm::DominatorBased => ksjq_dominator_based(&self.cx, self.k, &self.config),
-        }
+        dispatch(&self.cx, self.k, self.algorithm, &self.config)
     }
 
     /// Execute with an explicitly chosen algorithm (ignoring the built-in
     /// choice) — convenient for comparisons.
     pub fn execute_with(&self, algorithm: Algorithm) -> CoreResult<KsjqOutput> {
-        match algorithm {
-            Algorithm::Naive => ksjq_naive(&self.cx, self.k, &self.config),
-            Algorithm::Grouping => ksjq_grouping(&self.cx, self.k, &self.config),
-            Algorithm::DominatorBased => ksjq_dominator_based(&self.cx, self.k, &self.config),
-        }
+        dispatch(&self.cx, self.k, algorithm, &self.config)
     }
 }
 
@@ -297,6 +344,25 @@ mod tests {
                     .unwrap()
             )
         );
+    }
+
+    #[test]
+    fn algorithm_from_str_roundtrips_display() {
+        for algo in [
+            Algorithm::Naive,
+            Algorithm::Grouping,
+            Algorithm::DominatorBased,
+        ] {
+            assert_eq!(algo.to_string().parse::<Algorithm>().unwrap(), algo);
+        }
+        // Paper labels and case-insensitivity.
+        assert_eq!("G".parse::<Algorithm>().unwrap(), Algorithm::Grouping);
+        assert_eq!("NAIVE".parse::<Algorithm>().unwrap(), Algorithm::Naive);
+        assert_eq!(
+            "dominator_based".parse::<Algorithm>().unwrap(),
+            Algorithm::DominatorBased
+        );
+        assert!("bogus".parse::<Algorithm>().is_err());
     }
 
     #[test]

@@ -18,6 +18,26 @@ use crate::aggregate::AggFunc;
 use crate::error::{JoinError, JoinResult};
 use crate::spec::{JoinSpec, ThetaOp};
 use ksjq_relation::{JoinKeys, Relation};
+use std::sync::Arc;
+
+/// How a [`JoinContext`] holds a base relation: borrowed from the caller
+/// (the classic in-scope path) or shared ownership (the engine path, where
+/// a context must outlive the stack frame that prepared it).
+#[derive(Debug, Clone)]
+enum RelSource<'a> {
+    Borrowed(&'a Relation),
+    Owned(Arc<Relation>),
+}
+
+impl RelSource<'_> {
+    #[inline]
+    fn get(&self) -> &Relation {
+        match self {
+            RelSource::Borrowed(r) => r,
+            RelSource::Owned(r) => r,
+        }
+    }
+}
 
 #[derive(Debug, Clone, Copy)]
 struct SlotInfo {
@@ -33,8 +53,8 @@ struct SlotInfo {
 /// tuple construction.
 #[derive(Debug, Clone)]
 pub struct JoinContext<'a> {
-    left: &'a Relation,
-    right: &'a Relation,
+    left: RelSource<'a>,
+    right: RelSource<'a>,
     spec: JoinSpec,
     slots: Vec<SlotInfo>,
     left_locals: Vec<usize>,
@@ -65,6 +85,38 @@ impl<'a> JoinContext<'a> {
         spec: JoinSpec,
         funcs: &[AggFunc],
     ) -> JoinResult<Self> {
+        Self::build(
+            RelSource::Borrowed(left),
+            RelSource::Borrowed(right),
+            spec,
+            funcs,
+        )
+    }
+
+    /// Bind `left ⋈ right` with shared ownership of the relations. The
+    /// resulting context has no borrowed lifetime (`'static`), so it can be
+    /// stored, sent across threads, and outlive the scope that created it —
+    /// the engine's prepared queries are built on this.
+    ///
+    /// Validation is identical to [`new`](Self::new).
+    pub fn from_arcs(
+        left: Arc<Relation>,
+        right: Arc<Relation>,
+        spec: JoinSpec,
+        funcs: &[AggFunc],
+    ) -> JoinResult<JoinContext<'static>> {
+        JoinContext::build(RelSource::Owned(left), RelSource::Owned(right), spec, funcs)
+    }
+
+    /// The single construction path behind [`new`](Self::new) and
+    /// [`from_arcs`](Self::from_arcs).
+    fn build(
+        lsrc: RelSource<'a>,
+        rsrc: RelSource<'a>,
+        spec: JoinSpec,
+        funcs: &[AggFunc],
+    ) -> JoinResult<JoinContext<'a>> {
+        let (left, right) = (lsrc.get(), rsrc.get());
         let a_left = left.schema().agg_count();
         let a_right = right.schema().agg_count();
         if a_left != a_right || funcs.len() != a_left {
@@ -143,8 +195,8 @@ impl<'a> JoinContext<'a> {
             right_locals: right.schema().local_indices().collect(),
             all_left: (0..left.n() as u32).collect(),
             all_right: (0..right.n() as u32).collect(),
-            left,
-            right,
+            left: lsrc,
+            right: rsrc,
             spec,
             slots,
             left_sorted_keys,
@@ -154,14 +206,14 @@ impl<'a> JoinContext<'a> {
 
     /// The left base relation.
     #[inline]
-    pub fn left(&self) -> &'a Relation {
-        self.left
+    pub fn left(&self) -> &Relation {
+        self.left.get()
     }
 
     /// The right base relation.
     #[inline]
-    pub fn right(&self) -> &'a Relation {
-        self.right
+    pub fn right(&self) -> &Relation {
+        self.right.get()
     }
 
     /// The join spec.
@@ -178,13 +230,13 @@ impl<'a> JoinContext<'a> {
     /// `d1`: skyline attributes of the left relation.
     #[inline]
     pub fn d1(&self) -> usize {
-        self.left.d()
+        self.left().d()
     }
 
     /// `d2`: skyline attributes of the right relation.
     #[inline]
     pub fn d2(&self) -> usize {
-        self.right.d()
+        self.right().d()
     }
 
     /// `a`: number of aggregate slots.
@@ -222,14 +274,14 @@ impl<'a> JoinContext<'a> {
     pub fn compatible(&self, u: u32, v: u32) -> bool {
         match self.spec {
             JoinSpec::Equality => {
-                self.left.group_id(ksjq_relation::TupleId(u))
-                    == self.right.group_id(ksjq_relation::TupleId(v))
+                self.left().group_id(ksjq_relation::TupleId(u))
+                    == self.right().group_id(ksjq_relation::TupleId(v))
             }
             JoinSpec::Theta(op) => op.holds(
-                self.left
+                self.left()
                     .numeric_key(ksjq_relation::TupleId(u))
                     .expect("validated"),
-                self.right
+                self.right()
                     .numeric_key(ksjq_relation::TupleId(v))
                     .expect("validated"),
             ),
@@ -242,8 +294,8 @@ impl<'a> JoinContext<'a> {
     #[inline]
     pub fn fill(&self, u: u32, v: u32, out: &mut [f64]) {
         debug_assert_eq!(out.len(), self.d_joined());
-        let lrow = self.left.row_at(u as usize);
-        let rrow = self.right.row_at(v as usize);
+        let lrow = self.left().row_at(u as usize);
+        let rrow = self.right().row_at(v as usize);
         let l1 = self.l1();
         let l2 = self.l2();
         for (i, &attr) in self.left_locals.iter().enumerate() {
@@ -275,16 +327,16 @@ impl<'a> JoinContext<'a> {
     pub fn joined_attr_names(&self) -> Vec<String> {
         let mut names = Vec::with_capacity(self.d_joined());
         for &i in &self.left_locals {
-            names.push(format!("l.{}", self.left.schema().attr(i).name));
+            names.push(format!("l.{}", self.left().schema().attr(i).name));
         }
         for &j in &self.right_locals {
-            names.push(format!("r.{}", self.right.schema().attr(j).name));
+            names.push(format!("r.{}", self.right().schema().attr(j).name));
         }
         for slot in &self.slots {
             names.push(format!(
                 "{}({})",
                 slot.func,
-                self.left.schema().attr(slot.left_attr).name
+                self.left().schema().attr(slot.left_attr).name
             ));
         }
         names
@@ -297,17 +349,17 @@ impl<'a> JoinContext<'a> {
         match self.spec {
             JoinSpec::Equality => {
                 let gid = self
-                    .left
+                    .left()
                     .group_id(ksjq_relation::TupleId(u))
                     .expect("validated");
-                self.right.group_index().expect("validated").members(gid)
+                self.right().group_index().expect("validated").members(gid)
             }
             JoinSpec::Theta(op) => {
                 let key = self
-                    .left
+                    .left()
                     .numeric_key(ksjq_relation::TupleId(u))
                     .expect("validated");
-                let order = self.right.numeric_order().expect("validated");
+                let order = self.right().numeric_order().expect("validated");
                 let ks = &self.right_sorted_keys;
                 match op {
                     // u.key < v.key ⇒ suffix of ascending right keys.
@@ -327,17 +379,17 @@ impl<'a> JoinContext<'a> {
         match self.spec {
             JoinSpec::Equality => {
                 let gid = self
-                    .right
+                    .right()
                     .group_id(ksjq_relation::TupleId(v))
                     .expect("validated");
-                self.left.group_index().expect("validated").members(gid)
+                self.left().group_index().expect("validated").members(gid)
             }
             JoinSpec::Theta(op) => {
                 let key = self
-                    .right
+                    .right()
                     .numeric_key(ksjq_relation::TupleId(v))
                     .expect("validated");
-                let order = self.left.numeric_order().expect("validated");
+                let order = self.left().numeric_order().expect("validated");
                 let ks = &self.left_sorted_keys;
                 match op {
                     // l.key < v.key ⇒ prefix of ascending left keys.
@@ -361,17 +413,17 @@ impl<'a> JoinContext<'a> {
         match self.spec {
             JoinSpec::Equality => {
                 let gid = self
-                    .left
+                    .left()
                     .group_id(ksjq_relation::TupleId(u))
                     .expect("validated");
-                self.left.group_index().expect("validated").members(gid)
+                self.left().group_index().expect("validated").members(gid)
             }
             JoinSpec::Theta(op) => {
                 let key = self
-                    .left
+                    .left()
                     .numeric_key(ksjq_relation::TupleId(u))
                     .expect("validated");
-                let order = self.left.numeric_order().expect("validated");
+                let order = self.left().numeric_order().expect("validated");
                 let ks = &self.left_sorted_keys;
                 match op {
                     // Smaller left key joins with at least as many right
@@ -391,17 +443,17 @@ impl<'a> JoinContext<'a> {
         match self.spec {
             JoinSpec::Equality => {
                 let gid = self
-                    .right
+                    .right()
                     .group_id(ksjq_relation::TupleId(v))
                     .expect("validated");
-                self.right.group_index().expect("validated").members(gid)
+                self.right().group_index().expect("validated").members(gid)
             }
             JoinSpec::Theta(op) => {
                 let key = self
-                    .right
+                    .right()
                     .numeric_key(ksjq_relation::TupleId(v))
                     .expect("validated");
-                let order = self.right.numeric_order().expect("validated");
+                let order = self.right().numeric_order().expect("validated");
                 let ks = &self.right_sorted_keys;
                 match op {
                     // Larger right key is more permissive under `<`/`<=`.
@@ -418,16 +470,16 @@ impl<'a> JoinContext<'a> {
     pub fn count_pairs(&self) -> u64 {
         match self.spec {
             JoinSpec::Equality => {
-                let gl = self.left.group_index().expect("validated");
-                let gr = self.right.group_index().expect("validated");
+                let gl = self.left().group_index().expect("validated");
+                let gr = self.right().group_index().expect("validated");
                 gl.iter()
                     .map(|(gid, m)| m.len() as u64 * gr.members(gid).len() as u64)
                     .sum()
             }
-            JoinSpec::Theta(_) => (0..self.left.n() as u32)
+            JoinSpec::Theta(_) => (0..self.left().n() as u32)
                 .map(|u| self.right_partners(u).len() as u64)
                 .sum(),
-            JoinSpec::Cartesian => self.left.n() as u64 * self.right.n() as u64,
+            JoinSpec::Cartesian => self.left().n() as u64 * self.right().n() as u64,
         }
     }
 
@@ -688,6 +740,24 @@ mod tests {
             JoinContext::new(&l2, &r2, JoinSpec::Equality, &[AggFunc::Sum]),
             Err(JoinError::SlotPreferenceMismatch { slot: 0 })
         ));
+    }
+
+    #[test]
+    fn from_arcs_matches_borrowed_and_has_no_lifetime() {
+        let l = rel_grouped(&[1, 1, 2], &[vec![1.0], vec![2.0], vec![3.0]]);
+        let r = rel_grouped(&[1, 2], &[vec![4.0], vec![5.0]]);
+        let borrowed = JoinContext::new(&l, &r, JoinSpec::Equality, &[]).unwrap();
+        let owned: JoinContext<'static> = JoinContext::from_arcs(
+            Arc::new(l.clone()),
+            Arc::new(r.clone()),
+            JoinSpec::Equality,
+            &[],
+        )
+        .unwrap();
+        fn assert_send_sync_static<T: Send + Sync + 'static>(_: &T) {}
+        assert_send_sync_static(&owned);
+        assert_eq!(owned.materialize(), borrowed.materialize());
+        assert_eq!(owned.count_pairs(), borrowed.count_pairs());
     }
 
     #[test]

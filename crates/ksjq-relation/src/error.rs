@@ -36,6 +36,10 @@ pub enum Error {
         /// Number of tuples in the relation.
         n: usize,
     },
+    /// A catalog registration reused an already-registered relation name.
+    DuplicateRelation(String),
+    /// A catalog registration used an empty (or all-whitespace) name.
+    InvalidRelationName(String),
     /// Malformed CSV input.
     Csv(String),
     /// Anything else worth reporting with context.
@@ -64,6 +68,12 @@ impl fmt::Display for Error {
             }
             Error::TupleOutOfBounds { id, n } => {
                 write!(f, "tuple id {id} out of bounds for relation of {n} tuples")
+            }
+            Error::DuplicateRelation(name) => {
+                write!(f, "relation name {name:?} is already registered")
+            }
+            Error::InvalidRelationName(name) => {
+                write!(f, "invalid relation name {name:?}: must be non-empty")
             }
             Error::Csv(msg) => write!(f, "csv: {msg}"),
             Error::Invalid(msg) => write!(f, "{msg}"),

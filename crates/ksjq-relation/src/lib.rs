@@ -12,6 +12,9 @@
 //!   key for theta joins) and a group index.
 //! * [`StringDictionary`] — string → group-id encoding so callers can use
 //!   human-readable join keys (city names, category labels, …).
+//! * [`Catalog`] / [`RelationHandle`] — a thread-safe named registry
+//!   holding relations as `Arc<Relation>`, the data layer the serving
+//!   engine in `ksjq-core` resolves query plans against.
 //! * [`csv`] — a minimal dependency-free CSV reader/writer used by the
 //!   examples and the synthetic-flight tooling.
 //!
@@ -25,6 +28,7 @@ pub mod csv;
 pub mod dominance;
 pub mod error;
 pub mod preference;
+pub mod registry;
 pub mod relation;
 pub mod schema;
 
@@ -32,5 +36,6 @@ pub use catalog::StringDictionary;
 pub use dominance::{dom_counts, dominates, k_dominates, strictly_better_somewhere, DomCounts};
 pub use error::{Error, Result};
 pub use preference::Preference;
+pub use registry::{Catalog, RelationHandle};
 pub use relation::{GroupIndex, JoinKeys, Relation, RelationBuilder, TupleId};
 pub use schema::{AttrDef, AttrRole, Schema, SchemaBuilder};

@@ -1,0 +1,254 @@
+//! Named relation registry: the data layer of the serving engine.
+//!
+//! A [`Catalog`] maps names to relations held as `Arc<Relation>`, so a
+//! relation is loaded and validated **once** and then shared — by many
+//! queries, across threads, for as long as anyone holds a handle. This is
+//! the registry half of the engine/plan split: `ksjq-core`'s `Engine`
+//! wraps a catalog and resolves plan-level relation names against it.
+//!
+//! The catalog itself is cheaply cloneable and thread-safe: clones share
+//! the same underlying map (an `Arc<RwLock<…>>`), so registering a
+//! relation through one clone makes it visible to all of them.
+
+use crate::error::{Error, Result};
+use crate::relation::Relation;
+use crate::schema::Schema;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// A registered relation: its catalog name plus shared ownership of the
+/// data. Handles are cheap to clone and keep the relation alive even if it
+/// is later deregistered from the catalog.
+#[derive(Debug, Clone)]
+pub struct RelationHandle {
+    name: Arc<str>,
+    relation: Arc<Relation>,
+}
+
+impl RelationHandle {
+    /// The name the relation was registered under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The relation itself.
+    pub fn relation(&self) -> &Arc<Relation> {
+        &self.relation
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        self.relation.schema()
+    }
+
+    /// Number of tuples.
+    pub fn n(&self) -> usize {
+        self.relation.n()
+    }
+}
+
+/// A thread-safe, name-keyed registry of relations.
+///
+/// # Example
+///
+/// ```
+/// use ksjq_relation::{Catalog, Relation, Schema};
+///
+/// let catalog = Catalog::new();
+/// let mut b = Relation::builder(Schema::uniform(2).unwrap());
+/// b.add_grouped(1, &[1.0, 2.0]).unwrap();
+/// let handle = catalog.register("offers", b.build().unwrap()).unwrap();
+/// assert_eq!(handle.name(), "offers");
+/// assert_eq!(catalog.get("offers").unwrap().n(), 1);
+/// assert!(catalog.get("missing").is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    inner: Arc<RwLock<HashMap<String, RelationHandle>>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn read(&self) -> RwLockReadGuard<'_, HashMap<String, RelationHandle>> {
+        // A poisoned lock means a panic elsewhere; the map itself is
+        // always in a consistent state (plain inserts/removes), so
+        // recover rather than propagate the poison.
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, HashMap<String, RelationHandle>> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Register `relation` under `name`, taking ownership.
+    ///
+    /// Schema and data invariants are enforced eagerly by construction
+    /// ([`Relation::builder`](Relation::builder) rejects empty schemas,
+    /// non-finite values and mixed join-key kinds), so everything a
+    /// registration still has to validate is the naming:
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidRelationName`] — empty or all-whitespace name.
+    /// * [`Error::DuplicateRelation`] — the name is already taken; pick a
+    ///   new name or [`deregister`](Self::deregister) first.
+    pub fn register(&self, name: impl Into<String>, relation: Relation) -> Result<RelationHandle> {
+        self.register_arc(name, Arc::new(relation))
+    }
+
+    /// Register an already-shared relation under `name` (no copy). Same
+    /// validation as [`register`](Self::register).
+    pub fn register_arc(
+        &self,
+        name: impl Into<String>,
+        relation: Arc<Relation>,
+    ) -> Result<RelationHandle> {
+        let name = name.into();
+        if name.trim().is_empty() {
+            return Err(Error::InvalidRelationName(name));
+        }
+        let mut map = self.write();
+        if map.contains_key(&name) {
+            return Err(Error::DuplicateRelation(name));
+        }
+        let handle = RelationHandle {
+            name: Arc::from(name.as_str()),
+            relation,
+        };
+        map.insert(name, handle.clone());
+        Ok(handle)
+    }
+
+    /// Look up a relation by name.
+    pub fn get(&self, name: &str) -> Option<RelationHandle> {
+        self.read().get(name).cloned()
+    }
+
+    /// Is `name` registered?
+    pub fn contains(&self, name: &str) -> bool {
+        self.read().contains_key(name)
+    }
+
+    /// Remove a relation from the catalog, returning its handle if it was
+    /// registered. Existing handles (and queries prepared against them)
+    /// keep working — they own the data via `Arc`.
+    pub fn deregister(&self, name: &str) -> Option<RelationHandle> {
+        self.write().remove(name)
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.read().keys().cloned().collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of registered relations.
+    pub fn len(&self) -> usize {
+        self.read().len()
+    }
+
+    /// Is the catalog empty?
+    pub fn is_empty(&self) -> bool {
+        self.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn rel(n: usize) -> Relation {
+        let mut b = Relation::builder(Schema::uniform(2).unwrap());
+        for i in 0..n {
+            b.add_grouped(1, &[i as f64, 1.0]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let c = Catalog::new();
+        let h = c.register("r1", rel(3)).unwrap();
+        assert_eq!(h.name(), "r1");
+        assert_eq!(h.n(), 3);
+        assert_eq!(h.schema().d(), 2);
+        assert_eq!(c.get("r1").unwrap().n(), 3);
+        assert!(c.contains("r1"));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_and_invalid_names_rejected() {
+        let c = Catalog::new();
+        c.register("r1", rel(1)).unwrap();
+        assert!(matches!(
+            c.register("r1", rel(2)),
+            Err(Error::DuplicateRelation(n)) if n == "r1"
+        ));
+        assert!(matches!(
+            c.register("", rel(1)),
+            Err(Error::InvalidRelationName(_))
+        ));
+        assert!(matches!(
+            c.register("   ", rel(1)),
+            Err(Error::InvalidRelationName(_))
+        ));
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let c = Catalog::new();
+        let c2 = c.clone();
+        c.register("r1", rel(1)).unwrap();
+        assert!(c2.contains("r1"));
+        c2.deregister("r1").unwrap();
+        assert!(!c.contains("r1"));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn deregister_keeps_existing_handles_alive() {
+        let c = Catalog::new();
+        let h = c.register("r1", rel(5)).unwrap();
+        c.deregister("r1");
+        assert!(c.get("r1").is_none());
+        assert_eq!(h.n(), 5); // handle still owns the data
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let c = Catalog::new();
+        for name in ["zeta", "alpha", "mid"] {
+            c.register(name, rel(1)).unwrap();
+        }
+        assert_eq!(c.names(), vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn catalog_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Catalog>();
+        assert_send_sync::<RelationHandle>();
+    }
+
+    #[test]
+    fn concurrent_registration() {
+        let c = Catalog::new();
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    c.register(format!("r{i}"), rel(i + 1)).unwrap();
+                });
+            }
+        });
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.get("r2").unwrap().n(), 3);
+    }
+}

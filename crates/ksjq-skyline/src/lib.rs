@@ -108,6 +108,36 @@ pub enum KdomAlgo {
     TsaPresort,
 }
 
+impl std::fmt::Display for KdomAlgo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KdomAlgo::Naive => write!(f, "naive"),
+            KdomAlgo::Osa => write!(f, "osa"),
+            KdomAlgo::Tsa => write!(f, "tsa"),
+            KdomAlgo::TsaPresort => write!(f, "tsa-presort"),
+        }
+    }
+}
+
+impl std::str::FromStr for KdomAlgo {
+    type Err = String;
+
+    /// Parse a subroutine name. Round-trips with
+    /// [`Display`](std::fmt::Display) (`"naive"`, `"osa"`, `"tsa"`,
+    /// `"tsa-presort"`); also accepts the underscore spelling.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "naive" => Ok(KdomAlgo::Naive),
+            "osa" => Ok(KdomAlgo::Osa),
+            "tsa" => Ok(KdomAlgo::Tsa),
+            "tsa-presort" | "tsa_presort" => Ok(KdomAlgo::TsaPresort),
+            _ => Err(format!(
+                "unknown k-dominant skyline algorithm {s:?} (expected naive, osa, tsa or tsa-presort)"
+            )),
+        }
+    }
+}
+
 /// Compute the k-dominant skyline of `members` (ids into `rows`) with the
 /// chosen algorithm. Returns surviving ids in ascending order.
 pub fn k_dominant_skyline<R: RowAccess>(
@@ -167,6 +197,24 @@ mod tests {
         let r = b.build().unwrap();
         assert_eq!(RowAccess::d(&r), 2);
         assert_eq!(RowAccess::row(&r, 0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn kdom_algo_from_str_roundtrips_display() {
+        for algo in [
+            KdomAlgo::Naive,
+            KdomAlgo::Osa,
+            KdomAlgo::Tsa,
+            KdomAlgo::TsaPresort,
+        ] {
+            assert_eq!(algo.to_string().parse::<KdomAlgo>().unwrap(), algo);
+        }
+        assert_eq!("TSA".parse::<KdomAlgo>().unwrap(), KdomAlgo::Tsa);
+        assert_eq!(
+            "tsa_presort".parse::<KdomAlgo>().unwrap(),
+            KdomAlgo::TsaPresort
+        );
+        assert!("two-scan".parse::<KdomAlgo>().is_err());
     }
 
     #[test]

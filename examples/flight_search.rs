@@ -1,6 +1,6 @@
 //! Two-leg flight search with aggregated totals — the paper's motivating
 //! application (and its Sec. 7.4 real-data experiment, on the synthetic
-//! stand-in network).
+//! stand-in network), served through the engine API.
 //!
 //! The user flies A → hub → B. Cost and flying time matter as *totals*
 //! over both legs (aggregate attributes); date-change fee, popularity and
@@ -24,20 +24,19 @@ fn main() -> CoreResult<()> {
         net.hubs.len()
     );
 
-    let query = KsjqQuery::builder(&net.outbound, &net.inbound)
-        .aggregates(&[AggFunc::Sum, AggFunc::Sum]) // total cost, total time
-        .k(6)
-        .algorithm(Algorithm::Grouping)
-        .build()?;
-    let cx = query.context();
-    println!(
-        "joined itineraries: {} ({} skyline attributes, k = {})",
-        cx.count_pairs(),
-        cx.d_joined(),
-        query.k()
-    );
+    let engine = Engine::new();
+    let outbound = engine.register("outbound", net.outbound)?;
+    let inbound = engine.register("inbound", net.inbound)?;
 
-    let result = query.execute()?;
+    let plan = QueryPlan::new("outbound", "inbound")
+        .aggregates(&[AggFunc::Sum, AggFunc::Sum]) // total cost, total time
+        .goal(Goal::Exact(6))
+        .algorithm(Algorithm::Grouping);
+    let prepared = engine.prepare(&plan)?;
+    println!("\n{}", prepared.explain());
+    println!("joined itineraries: {}", prepared.context().count_pairs());
+
+    let result = prepared.execute()?;
     println!("\n{} itineraries survive 6-dominance:", result.len());
     println!(
         "{:>5} {:>9} {:>8} {:>9} {:>9} {:>9}",
@@ -48,9 +47,12 @@ fn main() -> CoreResult<()> {
         "", "cost", "time", "(l1/l2)", "(l1/l2)", "(l1/l2)"
     );
     for &(u, v) in result.pairs.iter().take(15) {
-        let l = net.outbound.raw_row(u);
-        let r = net.inbound.raw_row(v);
-        let hub = net.hubs.decode(net.outbound.group_id(u).unwrap()).unwrap();
+        let l = outbound.relation().raw_row(u);
+        let r = inbound.relation().raw_row(v);
+        let hub = net
+            .hubs
+            .decode(outbound.relation().group_id(u).unwrap())
+            .unwrap();
         println!(
             "{:>5} {:>9.0} {:>8.1} {:>9} {:>9} {:>9}",
             hub,
@@ -74,11 +76,14 @@ fn main() -> CoreResult<()> {
         100 * c.pruned_pairs() / c.joined_pairs.max(1)
     );
 
-    // Too many results? Ask for at most 10 via Problem 4.
-    let (query10, report) = KsjqQuery::builder(&net.outbound, &net.inbound)
+    // Too many results? Ask for at most 10 via Problem 4 — same engine,
+    // just a different goal; prepare runs the find-k search and pins k.
+    let shortlist_plan = QueryPlan::new("outbound", "inbound")
         .aggregates(&[AggFunc::Sum, AggFunc::Sum])
-        .build_with_at_most(10, FindKStrategy::Binary)?;
-    let shortlist = query10.execute()?;
+        .goal(Goal::AtMost(10, FindKStrategy::Binary));
+    let prepared10 = engine.prepare(&shortlist_plan)?;
+    let report = prepared10.find_k_report().expect("find-k goal");
+    let shortlist = prepared10.execute()?;
     println!(
         "\nfor a shortlist of <= 10: k = {} gives {} itineraries \
          ({} full + {} bound evaluations)",

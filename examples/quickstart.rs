@@ -1,5 +1,5 @@
-//! Quickstart: build two relations, join them, ask for the k-dominant
-//! skyline.
+//! Quickstart: register two relations with an engine, plan a query,
+//! explain it, execute it.
 //!
 //! ```sh
 //! cargo run --example quickstart
@@ -15,13 +15,11 @@ fn main() -> CoreResult<()> {
         .local("price", Preference::Min)
         .local("weight_kg", Preference::Min)
         .local("battery_h", Preference::Max)
-        .build()
-        .map_err(ksjq::join::JoinError::from)?;
+        .build()?;
     let shipping_schema = Schema::builder()
         .local("ship_cost", Preference::Min)
         .local("days", Preference::Min)
-        .build()
-        .map_err(ksjq::join::JoinError::from)?;
+        .build()?;
 
     let mut regions = StringDictionary::new();
 
@@ -34,11 +32,8 @@ fn main() -> CoreResult<()> {
         ("US", 1299.0, 1.0, 16.0),
         ("US", 999.0, 1.4, 9.5),
     ] {
-        laptops
-            .add_grouped(regions.encode(region), &[price, weight, battery])
-            .map_err(ksjq::join::JoinError::from)?;
+        laptops.add_grouped(regions.encode(region), &[price, weight, battery])?;
     }
-    let laptops = laptops.build().map_err(ksjq::join::JoinError::from)?;
 
     // Note: two *incomparable* shippers in one region would annihilate
     // each other's combinations under k = 4 (each is better-or-equal in
@@ -51,20 +46,26 @@ fn main() -> CoreResult<()> {
         ("US", 9.0, 5.0),
         ("US", 9.0, 8.0),
     ] {
-        shipping
-            .add_grouped(regions.encode(region), &[cost, days])
-            .map_err(ksjq::join::JoinError::from)?;
+        shipping.add_grouped(regions.encode(region), &[cost, days])?;
     }
-    let shipping = shipping.build().map_err(ksjq::join::JoinError::from)?;
+
+    // Register once; the engine owns the data from here on and can serve
+    // any number of (concurrent) queries over it.
+    let engine = Engine::new();
+    engine.register("laptops", laptops.build()?)?;
+    engine.register("shipping", shipping.build()?)?;
 
     // d1 = 3, d2 = 2 ⇒ valid k ∈ {4, 5}; k = 5 is the ordinary skyline
     // join, k = 4 relaxes it.
-    let query = KsjqQuery::builder(&laptops, &shipping)
-        .k(4)
-        .algorithm(Algorithm::Grouping)
-        .build()?;
-    let result = query.execute()?;
+    let plan = QueryPlan::new("laptops", "shipping")
+        .goal(Goal::Exact(4))
+        .algorithm(Algorithm::Grouping);
+    let prepared = engine.prepare(&plan)?;
+    println!("{}\n", prepared.explain());
+    let result = prepared.execute()?;
 
+    let laptops = engine.relation("laptops")?;
+    let shipping = engine.relation("shipping")?;
     println!(
         "4-dominant skyline of laptops ⋈ shipping ({} tuples):\n",
         result.len()
@@ -74,9 +75,11 @@ fn main() -> CoreResult<()> {
         "pair", "price", "weight", "battery", "region", "ship", "days"
     );
     for &(u, v) in &result.pairs {
-        let l = laptops.raw_row(u);
-        let s = shipping.raw_row(v);
-        let region = regions.decode(laptops.group_id(u).unwrap()).unwrap();
+        let l = laptops.relation().raw_row(u);
+        let s = shipping.relation().raw_row(v);
+        let region = regions
+            .decode(laptops.relation().group_id(u).unwrap())
+            .unwrap();
         println!(
             "{:>4} {:>8.0} {:>7.1} {:>8.1} | {:>6} {:>5.0} {:>5.0}",
             format!("{u}{v}"),

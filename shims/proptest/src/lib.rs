@@ -160,7 +160,7 @@ pub mod collection {
     use super::{SizeRange, Strategy, TestRng};
     use rand::Rng;
 
-    /// The result of [`vec`].
+    /// The result of [`vec()`].
     #[derive(Debug)]
     pub struct VecStrategy<S> {
         element: S,

@@ -11,31 +11,43 @@
 //!
 //! | crate | contents |
 //! |-------|----------|
-//! | [`relation`] | schemas, preferences, dominance kernel, tuple storage |
+//! | [`relation`] | schemas, preferences, dominance kernel, tuple storage, [`relation::Catalog`] |
 //! | [`skyline`] | BNL, SFS, and k-dominant skylines (naïve, OSA, TSA) |
 //! | [`join`] | join specs, monotone aggregates, [`join::JoinContext`] |
 //! | [`datagen`] | synthetic distributions, paper tables, flight networks |
-//! | [`core`] | the KSJQ algorithms and the find-k algorithms |
+//! | [`core`] | the KSJQ algorithms, find-k, and the [`core::Engine`] / [`core::QueryPlan`] serving layer |
 //!
 //! ## Quickstart
+//!
+//! Register relations with an [`core::Engine`] once, then describe each
+//! query as an owned [`core::QueryPlan`] and prepare/execute it — from any
+//! thread, as often as you like:
 //!
 //! ```
 //! use ksjq::prelude::*;
 //!
 //! // Two relations of flights joined on the stop-over city (the paper's
 //! // running example, Tables 1–3).
+//! let engine = Engine::new();
 //! let flights = ksjq::datagen::paper_flights(false);
-//! let result = KsjqQuery::builder(&flights.outbound, &flights.inbound)
-//!     .k(7)
-//!     .algorithm(Algorithm::Grouping)
-//!     .build()?
-//!     .execute()?;
+//! engine.register("outbound", flights.outbound)?;
+//! engine.register("inbound", flights.inbound)?;
+//!
+//! let plan = QueryPlan::new("outbound", "inbound")
+//!     .goal(Goal::Exact(7))
+//!     .algorithm(Algorithm::Grouping);
+//! let prepared = engine.prepare(&plan)?;
+//! println!("{}", prepared.explain()); // what will run, human-readable
+//! let result = prepared.execute()?;
 //! for (u, v) in &result.pairs {
 //!     println!("flight {} then flight {}", 11 + u.0, 21 + v.0);
 //! }
 //! assert_eq!(result.len(), 4);
 //! # Ok::<(), ksjq::core::CoreError>(())
 //! ```
+//!
+//! The borrowed, single-shot [`core::KsjqQuery`] builder still works for
+//! quick in-scope queries over local relations.
 //!
 //! See `examples/` for aggregate queries (total cost over legs), theta
 //! joins (arrival < departure), and automatic `k` selection from a target
@@ -51,11 +63,14 @@ pub use ksjq_skyline as skyline;
 pub mod prelude {
     pub use ksjq_core::{
         find_k_at_least, find_k_at_most, k_range, ksjq_dominator_based, ksjq_grouping,
-        ksjq_grouping_progressive, ksjq_naive, Algorithm, Config, CoreError, CoreResult,
-        FindKReport, FindKStrategy, KsjqOutput, KsjqQuery,
+        ksjq_grouping_progressive, ksjq_naive, Algorithm, Config, CoreError, CoreResult, Engine,
+        Explain, FindKReport, FindKStrategy, Goal, KsjqOutput, KsjqQuery, PreparedQuery, QueryPlan,
+        RelationRef,
     };
     pub use ksjq_datagen::{DataType, DatasetSpec, FlightNetworkSpec};
     pub use ksjq_join::{AggFunc, JoinContext, JoinSpec, ThetaOp};
-    pub use ksjq_relation::{Preference, Relation, Schema, StringDictionary, TupleId};
+    pub use ksjq_relation::{
+        Catalog, Preference, Relation, RelationHandle, Schema, StringDictionary, TupleId,
+    };
     pub use ksjq_skyline::KdomAlgo;
 }

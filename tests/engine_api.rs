@@ -1,0 +1,290 @@
+//! The engine/plan serving surface: legacy-builder equivalence on the
+//! paper's running example, concurrent preparation/execution, prepare-time
+//! error reporting, and `explain` coverage.
+
+mod common;
+
+use common::*;
+use ksjq::datagen::paper_flights;
+use ksjq::prelude::*;
+
+fn flights_engine() -> Engine {
+    let engine = Engine::new();
+    let pf = paper_flights(false);
+    engine.register("outbound", pf.outbound).unwrap();
+    engine.register("inbound", pf.inbound).unwrap();
+    engine
+}
+
+/// Acceptance gate: on the paper's Tables 1–3 example at k = 7 (final
+/// skyline of 4 pairs), every algorithm returns the identical answer
+/// through `Engine::prepare(plan).execute()` as through the legacy
+/// borrowed builder.
+#[test]
+fn engine_equals_legacy_builder_on_paper_example() {
+    let engine = flights_engine();
+    let pf = paper_flights(false);
+    for algorithm in [
+        Algorithm::Naive,
+        Algorithm::Grouping,
+        Algorithm::DominatorBased,
+    ] {
+        let legacy = KsjqQuery::builder(&pf.outbound, &pf.inbound)
+            .k(7)
+            .algorithm(algorithm)
+            .build()
+            .unwrap()
+            .execute()
+            .unwrap();
+        let plan = QueryPlan::new("outbound", "inbound")
+            .goal(Goal::Exact(7))
+            .algorithm(algorithm);
+        let engine_out = engine.prepare(&plan).unwrap().execute().unwrap();
+        assert_eq!(engine_out.pairs, legacy.pairs, "{algorithm}");
+        assert_eq!(engine_out.len(), 4, "{algorithm}"); // Table 3
+    }
+}
+
+/// The new surface has zero public lifetime parameters: a prepared query
+/// is a plain `Send + Sync + 'static` value that can outlive everything
+/// that built it.
+#[test]
+fn new_surface_is_owned_send_sync() {
+    fn assert_owned<T: Send + Sync + 'static>() {}
+    assert_owned::<Engine>();
+    assert_owned::<Catalog>();
+    assert_owned::<RelationHandle>();
+    assert_owned::<QueryPlan>();
+    assert_owned::<PreparedQuery>();
+    assert_owned::<Explain>();
+
+    // And dynamically: the prepared query works after engine + catalog
+    // are gone.
+    let prepared = flights_engine()
+        .prepare(&QueryPlan::new("outbound", "inbound").k(7))
+        .unwrap();
+    assert_eq!(prepared.execute().unwrap().len(), 4);
+}
+
+/// One engine, many threads: the same and different plans prepared and
+/// executed concurrently must all equal their single-threaded baselines,
+/// for all three algorithms.
+#[test]
+fn concurrent_preparation_and_execution() {
+    let engine = Engine::new();
+    let r1 = random_grouped(11, 120, 1, 3, 6, 8);
+    let r2 = random_grouped(12, 120, 1, 3, 6, 8);
+    engine.register("r1", r1).unwrap();
+    engine.register("r2", r2).unwrap();
+
+    let algorithms = [
+        Algorithm::Naive,
+        Algorithm::Grouping,
+        Algorithm::DominatorBased,
+    ];
+    // Different plans: one per valid k (d1 = d2 = 4, a = 1 ⇒ k ∈ [5, 7]).
+    let plans: Vec<QueryPlan> = (5..=7)
+        .map(|k| {
+            QueryPlan::new("r1", "r2")
+                .aggregate(AggFunc::Sum)
+                .goal(Goal::Exact(k))
+        })
+        .collect();
+
+    // Single-threaded baselines, algorithm-independent by the equivalence
+    // suites; computed with each algorithm anyway for a strict check.
+    let baselines: Vec<Vec<_>> = plans
+        .iter()
+        .map(|plan| {
+            algorithms
+                .iter()
+                .map(|&algo| {
+                    engine
+                        .prepare(&plan.clone().algorithm(algo))
+                        .unwrap()
+                        .execute()
+                        .unwrap()
+                        .pairs
+                })
+                .collect()
+        })
+        .collect();
+
+    // 9 threads (≥ 4): every (plan, algorithm) pair concurrently, with
+    // thread 0 and thread 1 racing on the *same* plan as well.
+    std::thread::scope(|s| {
+        for (pi, plan) in plans.iter().enumerate() {
+            for (ai, &algo) in algorithms.iter().enumerate() {
+                let engine = engine.clone();
+                let expected = &baselines[pi][ai];
+                let plan = plan.clone().algorithm(algo);
+                s.spawn(move || {
+                    let prepared = engine.prepare(&plan).unwrap();
+                    for _ in 0..3 {
+                        assert_eq!(&prepared.execute().unwrap().pairs, expected, "{algo}");
+                    }
+                });
+            }
+        }
+    });
+}
+
+/// A prepared query shared by reference across threads (prepare once,
+/// execute everywhere) — the serving pattern the engine exists for.
+#[test]
+fn shared_prepared_query_across_threads() {
+    let engine = flights_engine();
+    let prepared = engine
+        .prepare(&QueryPlan::new("outbound", "inbound").k(7))
+        .unwrap();
+    let baseline = prepared.execute().unwrap().pairs;
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let prepared = &prepared;
+            let baseline = &baseline;
+            s.spawn(move || {
+                assert_eq!(&prepared.execute().unwrap().pairs, baseline);
+            });
+        }
+    });
+}
+
+#[test]
+fn unknown_relation_surfaces_at_prepare() {
+    let engine = flights_engine();
+    let err = engine
+        .prepare(&QueryPlan::new("outbound", "no-such-relation"))
+        .unwrap_err();
+    assert!(
+        matches!(err, CoreError::UnknownRelation { ref name } if name == "no-such-relation"),
+        "{err:?}"
+    );
+    assert!(err.to_string().contains("no-such-relation"));
+}
+
+#[test]
+fn invalid_k_goal_surfaces_at_prepare() {
+    let engine = flights_engine();
+    // d1 = d2 = 4 ⇒ valid k ∈ [5, 8].
+    for bad_k in [0, 4, 9] {
+        let err = engine
+            .prepare(&QueryPlan::new("outbound", "inbound").goal(Goal::Exact(bad_k)))
+            .unwrap_err();
+        assert!(
+            matches!(err, CoreError::InvalidK { k, min: 5, max: 8 } if k == bad_k),
+            "k={bad_k}: {err:?}"
+        );
+    }
+    // Invalid find-k delta too.
+    let err = engine
+        .prepare(
+            &QueryPlan::new("outbound", "inbound").goal(Goal::AtLeast(0, FindKStrategy::Binary)),
+        )
+        .unwrap_err();
+    assert!(matches!(err, CoreError::InvalidDelta), "{err:?}");
+}
+
+#[test]
+fn aggregate_arity_mismatch_surfaces_at_prepare() {
+    let engine = flights_engine();
+    // The flight relations have no aggregate slots; passing a func is an
+    // arity mismatch the *prepare* step must reject (never execute).
+    let err = engine
+        .prepare(&QueryPlan::new("outbound", "inbound").aggregate(AggFunc::Sum))
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            CoreError::Join(ksjq::join::JoinError::AggArityMismatch { .. })
+        ),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn duplicate_registration_rejected() {
+    let engine = flights_engine();
+    let pf = paper_flights(false);
+    let err = engine.register("outbound", pf.outbound).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            CoreError::Relation(ksjq::relation::Error::DuplicateRelation(ref n)) if n == "outbound"
+        ),
+        "{err:?}"
+    );
+}
+
+/// `explain()` covers the join kind, arities, k-range, derived k′/k″
+/// thresholds, algorithm and kdom subroutine.
+#[test]
+fn explain_reports_the_full_plan() {
+    let engine = flights_engine();
+    let prepared = engine
+        .prepare(
+            &QueryPlan::new("outbound", "inbound")
+                .goal(Goal::Exact(7))
+                .algorithm(Algorithm::DominatorBased)
+                .kdom(KdomAlgo::Osa),
+        )
+        .unwrap();
+    let explain = prepared.explain();
+
+    // Structured facts.
+    assert_eq!(explain.join, JoinSpec::Equality);
+    assert_eq!(
+        (explain.params.d1, explain.params.d2, explain.params.a),
+        (4, 4, 0)
+    );
+    assert_eq!((explain.k_min, explain.k_max), (5, 8));
+    assert_eq!(explain.params.k, 7);
+    assert_eq!(explain.params.k1_prime, 3); // k − l2 = 7 − 4
+    assert_eq!(explain.params.k1_pp, 3); // k′ − a
+    assert_eq!(explain.algorithm, Algorithm::DominatorBased);
+    assert_eq!(explain.kdom, KdomAlgo::Osa);
+
+    // Rendered forms.
+    let text = explain.to_string();
+    for needle in [
+        "equality join",
+        "d1 = 4",
+        "d2 = 4",
+        "valid k in [5, 8]",
+        "k'1 = 3",
+        "k''1 = 3",
+        "dominator-based",
+        "osa",
+        "\"outbound\"",
+        "\"inbound\"",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+    let compact = explain.compact();
+    assert!(!compact.contains('\n'));
+    assert!(compact.contains("k=7") && compact.contains("kdom=osa"));
+}
+
+/// Find-k goals resolve during prepare and agree with the legacy
+/// build_with_* path.
+#[test]
+fn find_k_goals_match_legacy_builder() {
+    let engine = flights_engine();
+    let pf = paper_flights(false);
+    let (legacy_q, legacy_report) = KsjqQuery::builder(&pf.outbound, &pf.inbound)
+        .build_with_at_least(2, FindKStrategy::Binary)
+        .unwrap();
+    let prepared = engine
+        .prepare(
+            &QueryPlan::new("outbound", "inbound").goal(Goal::AtLeast(2, FindKStrategy::Binary)),
+        )
+        .unwrap();
+    assert_eq!(prepared.k(), legacy_report.k);
+    assert_eq!(
+        prepared.find_k_report().unwrap().satisfied,
+        legacy_report.satisfied
+    );
+    assert_eq!(
+        prepared.execute().unwrap().pairs,
+        legacy_q.execute().unwrap().pairs
+    );
+}
