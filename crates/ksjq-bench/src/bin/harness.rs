@@ -4,21 +4,33 @@
 //! `all` runs everything. `--scale <f>` shrinks the dataset size `n`
 //! (default 0.33 — comparisons and shapes are preserved, wall-clock times
 //! shrink roughly quadratically); `--full` runs the paper's exact sizes.
-//! `--algo` restricts which KSJQ algorithms run and `--kdom` picks the
-//! single-relation k-dominant subroutine (both accept the names their
-//! `Display` impls print). Each configuration prints the prepared plan's
-//! `explain` line before its timing rows, so the tables say exactly what
-//! they measured.
+//! `--algo` restricts which KSJQ algorithms run, `--kdom` picks the
+//! single-relation k-dominant subroutine, and `--goal` overrides the
+//! per-figure exact-k goal of the synthetic sweeps (all accept the names
+//! their `Display`/`FromStr` impls round-trip, e.g. `--goal atleast:10`).
+//! Each configuration prints the prepared plan's `explain` line before
+//! its timing rows, so the tables say exactly what they measured.
+//!
+//! The sweeps can also run over the wire: `--serve ADDR` turns the
+//! harness into a `ksjq-server` daemon preloaded with the demo catalog,
+//! and `--remote ADDR` makes every sweep `LOAD` its relations into such
+//! a server and `QUERY` them through a socket instead of in-process.
 //!
 //! ```sh
 //! cargo run --release -p ksjq-bench --bin harness -- all --scale 0.33
 //! cargo run --release -p ksjq-bench --bin harness -- fig1a --full
 //! cargo run --release -p ksjq-bench --bin harness -- fig4 --algo grouping,naive --kdom osa
+//! cargo run --release -p ksjq-bench --bin harness -- --serve 127.0.0.1:7878   # terminal 1
+//! cargo run --release -p ksjq-bench --bin harness -- fig1a --remote 127.0.0.1:7878
 //! ```
 
 use ksjq_bench::*;
 use ksjq_core::{Algorithm, Config, Engine, Goal, KdomAlgo, QueryPlan};
-use ksjq_datagen::{DataType, FlightNetworkSpec};
+use ksjq_datagen::{relation_to_annotated_csv, DataType, FlightNetworkSpec};
+use ksjq_server::{
+    register_demo_catalog, KsjqClient, PlanSpec, Server, ServerConfig, SyntheticSpec,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
@@ -29,6 +41,12 @@ struct Opts {
     algos: Vec<Algorithm>,
     /// Execution config (carries the `--kdom` choice).
     cfg: Config,
+    /// Overrides the per-figure exact-k goal of the KSJQ sweeps.
+    goal: Option<Goal>,
+    /// Run the sweeps against this remote server instead of in-process.
+    remote: Option<String>,
+    /// Serve the demo catalog on this address instead of running figures.
+    serve: Option<String>,
 }
 
 /// Parsed options, readable from every figure function.
@@ -43,6 +61,9 @@ fn parse_args() -> Opts {
     let mut scale = 0.33f64;
     let mut algos = GDN.to_vec();
     let mut cfg = Config::default();
+    let mut goal = None;
+    let mut remote = None;
+    let mut serve = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -64,13 +85,34 @@ fn parse_args() -> Opts {
                 let name = args.next().unwrap_or_else(|| die("--kdom needs a name"));
                 cfg.kdom = name.parse::<KdomAlgo>().unwrap_or_else(|e| die(&e));
             }
+            "--goal" => {
+                let spec = args.next().unwrap_or_else(|| die("--goal needs a goal"));
+                goal = Some(spec.parse::<Goal>().unwrap_or_else(|e| die(&e)));
+            }
+            "--remote" => {
+                remote = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--remote needs host:port")),
+                );
+            }
+            "--serve" => {
+                serve = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--serve needs host:port")),
+                );
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: harness [FIGURE] [--scale F | --full] [--algo A[,A…]] [--kdom K]\n\
+                     \x20       [--goal G] [--remote HOST:PORT] [--serve HOST:PORT]\n\
                      figures: fig1a fig1b fig2a fig2b fig3a fig3b fig4 fig5a fig5b\n\
                      \x20        fig6a fig6b fig7 fig8a fig8b fig9a fig9b fig10 fig11 all\n\
                      algos:   naive grouping dominator-based (comma-separated)\n\
-                     kdom:    naive osa tsa tsa-presort"
+                     kdom:    naive osa tsa tsa-presort\n\
+                     goal:    exact:K | skyline | atleast:D[:S] | atmost:D[:S]\n\
+                     \x20        (overrides the synthetic sweeps' per-figure exact k)\n\
+                     --serve  run as a ksjq-server daemon with the demo catalog\n\
+                     --remote run the sweeps over the wire against such a daemon"
                 );
                 std::process::exit(0);
             }
@@ -83,6 +125,9 @@ fn parse_args() -> Opts {
         scale,
         algos,
         cfg,
+        goal,
+        remote,
+        serve,
     }
 }
 
@@ -93,6 +138,9 @@ fn die(msg: &str) -> ! {
 
 fn main() {
     let opts = OPTS.get_or_init(parse_args);
+    if let Some(addr) = &opts.serve {
+        serve_demo_catalog(addr);
+    }
     let t = Instant::now();
     let all = opts.figure == "all";
     let mut ran = false;
@@ -133,6 +181,131 @@ fn banner(id: &str, what: &str, params: &str) {
     println!("    {params}");
 }
 
+// ------------------------------------------------------------- serving
+
+/// `--serve`: become a `ksjq-server` daemon preloaded with the demo
+/// catalog (paper Tables 1–2 plus the synthetic flight network), ready
+/// for a `--remote` harness — or any protocol client — to talk to.
+fn serve_demo_catalog(addr: &str) -> ! {
+    let o = opts();
+    let engine = Engine::with_config(o.cfg);
+    register_demo_catalog(&engine).expect("fresh engine accepts the demo catalog");
+    let config = ServerConfig {
+        addr: addr.to_owned(),
+        ..ServerConfig::default()
+    };
+    let server = match Server::bind(engine, &config) {
+        Ok(server) => server,
+        Err(e) => die(&format!("cannot bind {addr}: {e}")),
+    };
+    let bound = server.local_addr().expect("bound listener");
+    println!(
+        "harness serving on {bound} ({} workers, cache {} entries); \
+         catalog: inbound, net_inbound, net_outbound, outbound",
+        config.workers, config.cache_entries
+    );
+    match server.run() {
+        Ok(()) => std::process::exit(0),
+        Err(e) => die(&format!("server failed: {e}")),
+    }
+}
+
+/// `--remote`: a connected client, or die with context.
+fn remote_client(addr: &str) -> KsjqClient {
+    KsjqClient::connect(addr)
+        .unwrap_or_else(|e| die(&format!("cannot reach remote server {addr}: {e}")))
+}
+
+/// Unique remote relation names across sweep configurations (the remote
+/// catalog rejects duplicates, and each config's data differs).
+fn remote_names() -> (String, String) {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let id = NEXT.fetch_add(1, Ordering::Relaxed);
+    let pid = std::process::id();
+    (format!("h{pid}_r1_{id}"), format!("h{pid}_r2_{id}"))
+}
+
+/// LOAD one sweep configuration's pair of relations into the remote
+/// server, returning their names there.
+fn remote_load(client: &mut KsjqClient, params: &PaperParams) -> (String, String) {
+    let (r1, r2) = remote_names();
+    let spec = |seed| SyntheticSpec {
+        data_type: params.data_type,
+        n: params.n,
+        d: params.d,
+        a: params.a,
+        g: params.g,
+        seed,
+    };
+    client
+        .load_synthetic(&r1, spec(params.seed))
+        .unwrap_or_else(|e| die(&format!("remote LOAD failed: {e}")));
+    client
+        .load_synthetic(&r2, spec(params.seed + 1000))
+        .unwrap_or_else(|e| die(&format!("remote LOAD failed: {e}")));
+    (r1, r2)
+}
+
+fn remote_ksjq_sweep(addr: &str, configs: &[(String, PaperParams)]) {
+    let o = opts();
+    let mut client = remote_client(addr);
+    println!("    over the wire via {addr}");
+    for (label, params) in configs {
+        let (r1, r2) = remote_load(&mut client, params);
+        let goal = o.goal.unwrap_or(Goal::Exact(params.k));
+        for &algo in &o.algos {
+            let plan = PlanSpec::new(&r1, &r2)
+                .aggs(&params.funcs())
+                .goal(goal)
+                .algorithm(algo)
+                .kdom(o.cfg.kdom);
+            let t = Instant::now();
+            match client.query(&plan) {
+                Ok(rows) => println!(
+                    "    {label:<14} [{}] k={} rows={} server={}µs round-trip={:.1}ms{}",
+                    label_of(algo),
+                    rows.k,
+                    rows.pairs.len(),
+                    rows.micros,
+                    t.elapsed().as_secs_f64() * 1e3,
+                    if rows.cached { " (cached)" } else { "" },
+                ),
+                Err(e) => println!("    {label:<14} [{}] ERR {e}", label_of(algo)),
+            }
+        }
+    }
+}
+
+fn remote_find_k_sweep(addr: &str, configs: &[(String, PaperParams, usize)]) {
+    let o = opts();
+    let mut client = remote_client(addr);
+    println!("    over the wire via {addr}");
+    for (label, params, delta) in configs {
+        let (r1, r2) = remote_load(&mut client, params);
+        for strategy in ["binary", "range", "naive"] {
+            let goal: Goal = format!("atleast:{delta}:{strategy}")
+                .parse()
+                .expect("valid");
+            let plan = PlanSpec::new(&r1, &r2)
+                .aggs(&params.funcs())
+                .goal(goal)
+                .kdom(o.cfg.kdom);
+            let t = Instant::now();
+            match client.query(&plan) {
+                Ok(rows) => println!(
+                    "    {label:<14} [{}] chose k={} rows={} server={}µs round-trip={:.1}ms",
+                    &strategy[..1].to_ascii_uppercase(),
+                    rows.k,
+                    rows.pairs.len(),
+                    rows.micros,
+                    t.elapsed().as_secs_f64() * 1e3,
+                ),
+                Err(e) => println!("    {label:<14} [{strategy}] ERR {e}"),
+            }
+        }
+    }
+}
+
 /// Register one config's relations with a fresh engine and prepare its
 /// plan — the sweep drivers below all run through this path so the tables
 /// measure exactly what a serving engine would execute.
@@ -171,9 +344,13 @@ fn algo_labels(algos: &[Algorithm]) -> String {
 
 fn run_ksjq_sweep(configs: &[(String, PaperParams)]) {
     let o = opts();
+    if let Some(addr) = &o.remote {
+        remote_ksjq_sweep(addr, configs);
+        return;
+    }
     print_header("config");
     for (label, params) in configs {
-        let prepared = prepare_config(params, Goal::Exact(params.k));
+        let prepared = prepare_config(params, o.goal.unwrap_or(Goal::Exact(params.k)));
         let e = prepared.explain();
         let p = e.params;
         println!(
@@ -186,7 +363,7 @@ fn run_ksjq_sweep(configs: &[(String, PaperParams)]) {
             p.k2_pp,
             shape_of(&e)
         );
-        for run in run_algorithms(prepared.context(), params.k, &o.cfg, &o.algos) {
+        for run in run_algorithms(prepared.context(), prepared.k(), &o.cfg, &o.algos) {
             print_run(label, &run);
         }
     }
@@ -423,6 +600,10 @@ fn scaled_delta(delta: usize, scale: f64) -> usize {
 
 fn run_find_k_sweep(configs: &[(String, PaperParams, usize)]) {
     let o = opts();
+    if let Some(addr) = &o.remote {
+        remote_find_k_sweep(addr, configs);
+        return;
+    }
     print_find_k_header("config");
     for (label, params, delta) in configs {
         // Prepare at the maximum k just to bind and validate the join; the
@@ -562,6 +743,45 @@ fn fig11(_scale: f64) {
     );
     let o = opts();
     let net = FlightNetworkSpec::default().generate();
+    if let Some(addr) = &o.remote {
+        // Ship the network as inline CSV — exercising the other LOAD path.
+        let mut client = remote_client(addr);
+        println!("    over the wire via {addr} (LOAD … INLINE)");
+        let (r1, r2) = remote_names();
+        let out_csv =
+            relation_to_annotated_csv(&net.outbound, "hub", Some(&net.hubs)).expect("keyed");
+        let in_csv =
+            relation_to_annotated_csv(&net.inbound, "hub", Some(&net.hubs)).expect("keyed");
+        client
+            .load_csv(&r1, &out_csv)
+            .unwrap_or_else(|e| die(&format!("remote LOAD failed: {e}")));
+        client
+            .load_csv(&r2, &in_csv)
+            .unwrap_or_else(|e| die(&format!("remote LOAD failed: {e}")));
+        let aggs = [ksjq_join::AggFunc::Sum, ksjq_join::AggFunc::Sum];
+        for k in [6usize, 7, 8] {
+            for &algo in &o.algos {
+                let plan = PlanSpec::new(&r1, &r2)
+                    .aggs(&aggs)
+                    .k(k)
+                    .algorithm(algo)
+                    .kdom(o.cfg.kdom);
+                let t = Instant::now();
+                match client.query(&plan) {
+                    Ok(rows) => println!(
+                        "    k={k} [{}] rows={} server={}µs round-trip={:.1}ms{}",
+                        label_of(algo),
+                        rows.pairs.len(),
+                        rows.micros,
+                        t.elapsed().as_secs_f64() * 1e3,
+                        if rows.cached { " (cached)" } else { "" },
+                    ),
+                    Err(e) => println!("    k={k} [{}] ERR {e}", label_of(algo)),
+                }
+            }
+        }
+        return;
+    }
     let engine = Engine::with_config(o.cfg);
     engine
         .register("outbound", net.outbound)

@@ -47,6 +47,24 @@ impl std::fmt::Display for FindKStrategy {
     }
 }
 
+impl std::str::FromStr for FindKStrategy {
+    type Err = String;
+
+    /// Parse a strategy name. Round-trips with [`Display`](std::fmt::Display)
+    /// (`"naive"`, `"range"`, `"binary"`); also accepts the paper's
+    /// one-letter labels N/R/B.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "naive" | "n" => Ok(FindKStrategy::Naive),
+            "range" | "r" => Ok(FindKStrategy::Range),
+            "binary" | "b" => Ok(FindKStrategy::Binary),
+            _ => Err(format!(
+                "unknown find-k strategy {s:?} (expected naive, range or binary)"
+            )),
+        }
+    }
+}
+
 /// Outcome of a find-k run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FindKReport {

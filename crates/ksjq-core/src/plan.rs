@@ -102,6 +102,61 @@ impl fmt::Display for Goal {
     }
 }
 
+impl std::str::FromStr for Goal {
+    type Err = String;
+
+    /// Parse a goal. Round-trips with [`Display`](fmt::Display) (`"exact
+    /// k = 7"`, `"skyline join (maximum k)"`, `"at least 10 tuples (binary
+    /// search)"`, …) and also accepts compact, whitespace-free spellings
+    /// convenient for flags and wire protocols:
+    ///
+    /// * `exact:7`, `k=7` or a bare `7` — [`Goal::Exact`];
+    /// * `skyline` or `skyline-join` — [`Goal::SkylineJoin`];
+    /// * `atleast:10` / `atleast:10:range` — [`Goal::AtLeast`] (strategy
+    ///   defaults to binary search);
+    /// * `atmost:10` / `atmost:10:naive` — [`Goal::AtMost`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.trim().to_ascii_lowercase();
+        // Tokenise on every separator either spelling uses, then drop the
+        // filler words of the Display form ("k", "tuples", "search").
+        let tokens: Vec<&str> = lower
+            .split(['\u{20}', ':', '=', ',', '(', ')', '\t'])
+            .filter(|t| !t.is_empty() && !matches!(*t, "k" | "tuples" | "tuple" | "search"))
+            .collect();
+        let err = || {
+            format!("unknown goal {s:?} (expected exact:K, skyline, atleast:D[:STRATEGY] or atmost:D[:STRATEGY])")
+        };
+        // Strict by construction: every token must be consumed by the
+        // grammar. A misspelt strategy or trailing junk is an error, not
+        // a silent fall-back to the defaults.
+        let find_k = |rest: &[&str], make: fn(usize, FindKStrategy) -> Goal| match rest {
+            [delta] => delta
+                .parse::<usize>()
+                .map(|d| make(d, FindKStrategy::default()))
+                .map_err(|_| err()),
+            [delta, strategy] => {
+                let delta = delta.parse::<usize>().map_err(|_| err())?;
+                let strategy = strategy.parse::<FindKStrategy>().map_err(|_| err())?;
+                Ok(make(delta, strategy))
+            }
+            _ => Err(err()),
+        };
+        match tokens.as_slice() {
+            ["skyline" | "skyline-join" | "skyline_join"]
+            | ["skyline", "join"]
+            | ["skyline", "join", "maximum"] => Ok(Goal::SkylineJoin),
+            ["exact", k] | [k] => k.parse::<usize>().map(Goal::Exact).map_err(|_| err()),
+            ["at", "least", rest @ ..] | ["atleast" | "at-least" | "at_least", rest @ ..] => {
+                find_k(rest, Goal::AtLeast)
+            }
+            ["at", "most", rest @ ..] | ["atmost" | "at-most" | "at_most", rest @ ..] => {
+                find_k(rest, Goal::AtMost)
+            }
+            _ => Err(err()),
+        }
+    }
+}
+
 /// A fully owned logical KSJQ query description. See the [module
 /// docs](self) for where it sits in the engine/plan/execution split.
 ///
@@ -261,6 +316,61 @@ mod tests {
             Goal::AtLeast(10, crate::FindKStrategy::Binary).to_string(),
             "at least 10 tuples (binary search)"
         );
+    }
+
+    #[test]
+    fn goal_from_str_roundtrips_display() {
+        use crate::FindKStrategy;
+        for goal in [
+            Goal::Exact(7),
+            Goal::SkylineJoin,
+            Goal::AtLeast(10, FindKStrategy::Naive),
+            Goal::AtLeast(250, FindKStrategy::Range),
+            Goal::AtMost(1, FindKStrategy::Binary),
+        ] {
+            assert_eq!(goal.to_string().parse::<Goal>().unwrap(), goal, "{goal}");
+        }
+    }
+
+    #[test]
+    fn goal_from_str_compact_forms() {
+        use crate::FindKStrategy;
+        assert_eq!("exact:7".parse::<Goal>().unwrap(), Goal::Exact(7));
+        assert_eq!("k=7".parse::<Goal>().unwrap(), Goal::Exact(7));
+        assert_eq!("7".parse::<Goal>().unwrap(), Goal::Exact(7));
+        assert_eq!("skyline".parse::<Goal>().unwrap(), Goal::SkylineJoin);
+        assert_eq!("Skyline-Join".parse::<Goal>().unwrap(), Goal::SkylineJoin);
+        assert_eq!(
+            "atleast:10".parse::<Goal>().unwrap(),
+            Goal::AtLeast(10, FindKStrategy::Binary) // binary is the default
+        );
+        assert_eq!(
+            "atleast:10:range".parse::<Goal>().unwrap(),
+            Goal::AtLeast(10, FindKStrategy::Range)
+        );
+        assert_eq!(
+            "at-most:3:naive".parse::<Goal>().unwrap(),
+            Goal::AtMost(3, FindKStrategy::Naive)
+        );
+    }
+
+    #[test]
+    fn goal_from_str_rejects_junk() {
+        for bad in [
+            "",
+            "bogus",
+            "exact",
+            "atleast",
+            "atmost:",
+            "7 8",
+            "k=",
+            "exact:7:junk",       // trailing junk
+            "atleast:10:nieve",   // misspelt strategy must not default away
+            "atmost:10:binary:x", // over-long
+            "skyline extra",
+        ] {
+            assert!(bad.parse::<Goal>().is_err(), "{bad:?} should not parse");
+        }
     }
 
     #[test]

@@ -52,11 +52,16 @@ pub struct Counts {
 impl Counts {
     /// Pairs pruned without any joined-tuple comparison (everything with an
     /// `NN` component).
+    ///
+    /// Saturates at zero: the counters come from independent code paths
+    /// (and, over a wire protocol, from an untrusted peer), so an
+    /// inconsistent set where the surviving pairs exceed `joined_pairs`
+    /// must report 0 pruned rather than underflow.
     pub fn pruned_pairs(&self) -> u64 {
-        self.joined_pairs
-            - self.yes_pairs as u64
-            - self.likely_pairs as u64
-            - self.maybe_pairs as u64
+        let surviving = (self.yes_pairs as u64)
+            .saturating_add(self.likely_pairs as u64)
+            .saturating_add(self.maybe_pairs as u64);
+        self.joined_pairs.saturating_sub(surviving)
     }
 }
 
@@ -126,6 +131,28 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(c.pruned_pairs(), 70);
+    }
+
+    #[test]
+    fn pruned_pairs_saturates_on_inconsistent_counters() {
+        // Regression: this underflowed (panicking in debug builds) when
+        // the pair counters exceeded joined_pairs.
+        let c = Counts {
+            yes_pairs: 5,
+            likely_pairs: 10,
+            maybe_pairs: 15,
+            joined_pairs: 7,
+            ..Default::default()
+        };
+        assert_eq!(c.pruned_pairs(), 0);
+        let extreme = Counts {
+            yes_pairs: usize::MAX,
+            likely_pairs: usize::MAX,
+            maybe_pairs: usize::MAX,
+            joined_pairs: 1,
+            ..Default::default()
+        };
+        assert_eq!(extreme.pruned_pairs(), 0);
     }
 
     #[test]

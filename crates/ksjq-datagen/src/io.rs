@@ -47,14 +47,60 @@ pub fn relation_from_csv(
 /// Render a relation (with group keys) back to CSV text.
 ///
 /// Group ids are decoded through `dict` when possible, otherwise printed
-/// numerically.
+/// numerically. The header carries bare attribute names, matching what
+/// [`relation_from_csv`] (which takes an explicit [`Schema`]) looks up;
+/// use [`relation_to_annotated_csv`] to target a schema-inferring
+/// consumer like `Catalog::register_csv`.
 pub fn relation_to_csv(
     rel: &Relation,
     key_column: &str,
     dict: Option<&StringDictionary>,
 ) -> Result<String> {
+    relation_to_csv_impl(rel, key_column, dict, false)
+}
+
+/// Like [`relation_to_csv`], but the header cells carry the schema
+/// annotations `Catalog::register_csv` understands (`name[:max][:aggN]`;
+/// `Min` is the default and stays implicit), so preferences and
+/// aggregate slots survive the round trip:
+///
+/// ```
+/// use ksjq_datagen::{relation_to_annotated_csv, FlightNetworkSpec};
+///
+/// let net = FlightNetworkSpec::default().generate();
+/// let csv = relation_to_annotated_csv(&net.outbound, "hub", Some(&net.hubs)).unwrap();
+/// assert!(csv.starts_with(
+///     "hub,cost:agg0,flying_time:agg1,date_change_fee,popularity:max,amenities:max\n"
+/// ));
+/// ```
+pub fn relation_to_annotated_csv(
+    rel: &Relation,
+    key_column: &str,
+    dict: Option<&StringDictionary>,
+) -> Result<String> {
+    relation_to_csv_impl(rel, key_column, dict, true)
+}
+
+fn relation_to_csv_impl(
+    rel: &Relation,
+    key_column: &str,
+    dict: Option<&StringDictionary>,
+    annotate: bool,
+) -> Result<String> {
+    use ksjq_relation::{AttrRole, Preference};
     let mut header = vec![key_column.to_owned()];
-    header.extend(rel.schema().attrs().iter().map(|a| a.name.clone()));
+    header.extend(rel.schema().attrs().iter().map(|a| {
+        let mut cell = a.name.clone();
+        if annotate {
+            if a.preference == Preference::Max {
+                cell.push_str(":max");
+            }
+            if let AttrRole::Agg(slot) = a.role {
+                cell.push_str(&format!(":agg{slot}"));
+            }
+        }
+        cell
+    }));
     let mut rows = Vec::with_capacity(rel.n());
     for (t, _) in rel.rows() {
         let gid = rel
@@ -147,6 +193,28 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r1.group_id(TupleId(1)), r2.group_id(TupleId(0))); // both "D"
+    }
+
+    #[test]
+    fn annotated_csv_preserves_schema_through_register_csv() {
+        // Max preferences and aggregate slots must survive the
+        // export → Catalog::register_csv round trip (the serving layer's
+        // demo-catalog path); the bare exporter loses them by design.
+        let net = crate::flights::FlightNetworkSpec {
+            outbound: 12,
+            inbound: 9,
+            hubs: 3,
+            seed: 5,
+        }
+        .generate();
+        let csv = relation_to_annotated_csv(&net.outbound, "hub", Some(&net.hubs)).unwrap();
+        let catalog = ksjq_relation::Catalog::new();
+        let handle = catalog.register_csv("out", &csv).unwrap();
+        assert_eq!(handle.schema(), net.outbound.schema());
+        assert_eq!(handle.n(), net.outbound.n());
+        for (t, _) in net.outbound.rows() {
+            assert_eq!(handle.relation().raw_row(t), net.outbound.raw_row(t));
+        }
     }
 
     #[test]

@@ -10,9 +10,12 @@
 //! the same underlying map (an `Arc<RwLock<…>>`), so registering a
 //! relation through one clone makes it visible to all of them.
 
+use crate::catalog::StringDictionary;
+use crate::csv::CsvTable;
 use crate::error::{Error, Result};
+use crate::preference::Preference;
 use crate::relation::Relation;
-use crate::schema::Schema;
+use crate::schema::{Schema, SchemaBuilder};
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -65,6 +68,10 @@ impl RelationHandle {
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     inner: Arc<RwLock<HashMap<String, RelationHandle>>>,
+    /// String join keys of every [`register_csv`](Self::register_csv)-loaded
+    /// relation, encoded through one shared dictionary so equal keys get
+    /// equal group ids across relations — a requirement for joining them.
+    dict: Arc<RwLock<StringDictionary>>,
 }
 
 impl Catalog {
@@ -123,6 +130,90 @@ impl Catalog {
         Ok(handle)
     }
 
+    /// Parse `text` as CSV and register the result under `name` in one
+    /// step — the ingestion path of the serving layer's `LOAD … INLINE`
+    /// command, and a convenience for examples.
+    ///
+    /// Format (via [`CsvTable`]): a header row, then data rows. The
+    /// **first column is the equality-join key**; its string values are
+    /// encoded through a catalog-wide shared dictionary, so two relations
+    /// loaded into the same catalog join correctly on equal keys. Every
+    /// other column is one skyline attribute, `Min`-preferred by default.
+    /// Header names may carry `:`-separated annotations:
+    ///
+    /// * `price:min` / `rating:max` — explicit preference;
+    /// * `cost:agg0`, `time:min:agg1` — bind the attribute to an
+    ///   aggregate slot (slots must be `0..a`, each used once).
+    ///
+    /// ```
+    /// use ksjq_relation::Catalog;
+    ///
+    /// let catalog = Catalog::new();
+    /// let h = catalog
+    ///     .register_csv("offers", "city,cost,rating:max\nC,448,4.5\nD,456,3.2\n")
+    ///     .unwrap();
+    /// assert_eq!(h.n(), 2);
+    /// assert_eq!(h.schema().d(), 2);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Csv`] for malformed text, a missing key/attribute column,
+    /// an unknown header annotation or a non-numeric attribute cell;
+    /// [`Error::InvalidAggSlot`] for bad slot sets; plus everything
+    /// [`register`](Self::register) rejects.
+    pub fn register_csv(&self, name: impl Into<String>, text: &str) -> Result<RelationHandle> {
+        let table = CsvTable::parse(text)?;
+        if table.header.len() < 2 {
+            return Err(Error::Csv(
+                "need a join-key column plus at least one attribute column".into(),
+            ));
+        }
+        let schema = schema_from_header(&table.header[1..])?;
+        let d = schema.d();
+        let mut b = Relation::builder(schema).with_capacity(table.rows.len());
+        let mut row = vec![0.0f64; d];
+        {
+            let mut dict = self.dict.write().unwrap_or_else(|e| e.into_inner());
+            for r in 0..table.rows.len() {
+                let gid = dict.encode(&table.rows[r][0]);
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = table.number(r, j + 1)?;
+                }
+                b.add_grouped(gid, &row)?;
+            }
+        }
+        self.register(name, b.build()?)
+    }
+
+    /// Decode a group id assigned by [`register_csv`](Self::register_csv)
+    /// back to its string join key.
+    pub fn decode_key(&self, gid: u64) -> Option<String> {
+        self.dict
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .decode(gid)
+            .map(str::to_owned)
+    }
+
+    /// The group id [`register_csv`](Self::register_csv) assigned to a
+    /// string join key, if it has been seen.
+    pub fn key_id(&self, key: &str) -> Option<u64> {
+        self.dict.read().unwrap_or_else(|e| e.into_inner()).get(key)
+    }
+
+    /// Encode `key` through the catalog's shared dictionary, assigning a
+    /// fresh id on first sight — for callers building relations outside
+    /// [`register_csv`](Self::register_csv) that must still join
+    /// correctly against CSV-loaded ones (equal key strings ⇒ equal
+    /// group ids).
+    pub fn encode_key(&self, key: &str) -> u64 {
+        self.dict
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .encode(key)
+    }
+
     /// Look up a relation by name.
     pub fn get(&self, name: &str) -> Option<RelationHandle> {
         self.read().get(name).cloned()
@@ -156,6 +247,43 @@ impl Catalog {
     pub fn is_empty(&self) -> bool {
         self.read().is_empty()
     }
+}
+
+/// Build a schema from annotated CSV header cells (everything after the
+/// key column). See [`Catalog::register_csv`] for the annotation grammar.
+fn schema_from_header(cells: &[String]) -> Result<Schema> {
+    let mut b = SchemaBuilder::default();
+    for cell in cells {
+        let mut parts = cell.split(':');
+        let name = parts.next().unwrap_or_default().trim();
+        if name.is_empty() {
+            return Err(Error::Csv(format!("empty attribute name in {cell:?}")));
+        }
+        let mut preference = Preference::Min;
+        let mut slot = None;
+        for ann in parts {
+            match ann.trim().to_ascii_lowercase().as_str() {
+                "min" => preference = Preference::Min,
+                "max" => preference = Preference::Max,
+                a if a.starts_with("agg") => {
+                    slot = Some(a[3..].parse::<usize>().map_err(|_| {
+                        Error::Csv(format!("bad aggregate slot in header {cell:?}"))
+                    })?);
+                }
+                other => {
+                    return Err(Error::Csv(format!(
+                        "unknown header annotation {other:?} in {cell:?} \
+                         (expected min, max or agg<slot>)"
+                    )));
+                }
+            }
+        }
+        b = match slot {
+            Some(s) => b.agg(name, preference, s),
+            None => b.local(name, preference),
+        };
+    }
+    b.build()
 }
 
 #[cfg(test)]
@@ -228,6 +356,89 @@ mod tests {
             c.register(name, rel(1)).unwrap();
         }
         assert_eq!(c.names(), vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn register_csv_shares_one_key_dictionary() {
+        let c = Catalog::new();
+        let r1 = c
+            .register_csv("out", "city,cost,dur\nC,448,3.2\nD,456,3.8\nC,468,4.2\n")
+            .unwrap();
+        let r2 = c
+            .register_csv("in", "city,cost,dur\nD,348,2.2\nC,356,2.8\n")
+            .unwrap();
+        assert_eq!(r1.n(), 3);
+        assert_eq!(r2.n(), 2);
+        // "C" and "D" map to the same group ids in both relations.
+        use crate::relation::TupleId;
+        assert_eq!(
+            r1.relation().group_id(TupleId(0)),
+            r2.relation().group_id(TupleId(1))
+        );
+        assert_eq!(c.key_id("C"), r1.relation().group_id(TupleId(0)));
+        assert_eq!(c.decode_key(c.key_id("D").unwrap()).as_deref(), Some("D"));
+        // Values land normalised Min-first (all-Min here, so raw order).
+        assert_eq!(r1.relation().raw_row(TupleId(0)), vec![448.0, 3.2]);
+    }
+
+    #[test]
+    fn register_csv_header_annotations() {
+        let c = Catalog::new();
+        let h = c
+            .register_csv("r", "hub,cost:min:agg0,time:agg1,rating:max\nA,10,2,4.5\n")
+            .unwrap();
+        let s = h.schema();
+        assert_eq!(s.d(), 3);
+        assert_eq!(s.agg_count(), 2);
+        assert_eq!(s.agg_index(0), Some(0));
+        assert_eq!(s.agg_index(1), Some(1));
+        assert_eq!(s.attr(2).preference, Preference::Max);
+        // Max attributes are negated at build time; raw_row restores them.
+        use crate::relation::TupleId;
+        assert_eq!(h.relation().raw_row(TupleId(0)), vec![10.0, 2.0, 4.5]);
+    }
+
+    #[test]
+    fn register_csv_bad_schema_errors() {
+        let c = Catalog::new();
+        // Key column only — no attributes.
+        assert!(matches!(
+            c.register_csv("a", "city\nC\n"),
+            Err(Error::Csv(_))
+        ));
+        // Unknown annotation.
+        assert!(matches!(
+            c.register_csv("b", "city,cost:biggest\nC,1\n"),
+            Err(Error::Csv(_))
+        ));
+        // Malformed aggregate slot.
+        assert!(matches!(
+            c.register_csv("c", "city,cost:aggX\nC,1\n"),
+            Err(Error::Csv(_))
+        ));
+        // Slot set with a gap.
+        assert!(matches!(
+            c.register_csv("d", "city,cost:agg1\nC,1\n"),
+            Err(Error::InvalidAggSlot(_))
+        ));
+        // Non-numeric attribute cell.
+        assert!(matches!(
+            c.register_csv("e", "city,cost\nC,cheap\n"),
+            Err(Error::Csv(_))
+        ));
+        // Ragged row.
+        assert!(matches!(
+            c.register_csv("f", "city,cost\nC\n"),
+            Err(Error::Csv(_))
+        ));
+        // Nothing half-registered.
+        assert!(c.is_empty());
+        // Duplicate names still rejected through this path.
+        c.register_csv("g", "city,cost\nC,1\n").unwrap();
+        assert!(matches!(
+            c.register_csv("g", "city,cost\nC,2\n"),
+            Err(Error::DuplicateRelation(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Scripted KSJQ protocol client: reads commands from stdin, one per
+//! line, prints each response to stdout.
+//!
+//! ```sh
+//! printf 'PREPARE q outbound JOIN inbound K 7\nEXECUTE q\nSTATS\nCLOSE\n' \
+//!   | ksjq-client 127.0.0.1:7878
+//! ```
+//!
+//! Exits 0 when every request was answered (including `ERR` answers —
+//! they are protocol-level successes; grep the output to assert on
+//! content), non-zero on transport failure. Blank lines and `#` comments
+//! in the script are skipped.
+
+use ksjq_server::KsjqClient;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let addr = match std::env::args().nth(1) {
+        Some(addr) => addr,
+        None => {
+            eprintln!("usage: ksjq-client HOST:PORT  (commands on stdin, one per line)");
+            std::process::exit(2);
+        }
+    };
+    let mut client = match KsjqClient::connect(&addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("ksjq-client: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                eprintln!("ksjq-client: stdin: {e}");
+                std::process::exit(1);
+            }
+        };
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match client.raw(line) {
+            Ok(response) => {
+                // A closed stdout (e.g. piped into `head`) ends the
+                // session cleanly rather than panicking.
+                if writeln!(std::io::stdout(), "{response}").is_err() {
+                    return;
+                }
+                if response == "BYE" {
+                    return;
+                }
+            }
+            Err(e) => {
+                eprintln!("ksjq-client: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! The KSJQ serving daemon.
+//!
+//! ```sh
+//! ksjq-serverd --addr 127.0.0.1:7878 --workers 8 --cache-entries 128
+//! ```
+//!
+//! Starts with a preloaded demo catalog: the paper's Tables 1–2 as
+//! `outbound` / `inbound` (join on the stop-over city, k ∈ [5, 8]) and
+//! the Sec. 7.4 synthetic flight network as `net_outbound` /
+//! `net_inbound` (aggregate totals, join on the hub). Clients can `LOAD`
+//! more relations at any time.
+
+use ksjq_core::Engine;
+use ksjq_server::{register_demo_catalog, Server, ServerConfig};
+
+fn die(msg: &str) -> ! {
+    eprintln!("ksjq-serverd: {msg}");
+    std::process::exit(2)
+}
+
+fn parse_args() -> ServerConfig {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7878".into(),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                config.addr = args.next().unwrap_or_else(|| die("--addr needs host:port"));
+            }
+            "--workers" => {
+                config.workers = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&w| w > 0)
+                    .unwrap_or_else(|| die("--workers needs a positive integer"));
+            }
+            "--cache-entries" => {
+                config.cache_entries = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--cache-entries needs an integer (0 disables)"));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: ksjq-serverd [--addr HOST:PORT] [--workers N] [--cache-entries N]\n\
+                     \x20 --addr           listen address (default 127.0.0.1:7878; port 0 = ephemeral)\n\
+                     \x20 --workers        worker threads (default 8)\n\
+                     \x20 --cache-entries  result-cache capacity (default 128; 0 disables)"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown flag {other} (try --help)")),
+        }
+    }
+    config
+}
+
+fn main() {
+    let config = parse_args();
+    let engine = Engine::new();
+    register_demo_catalog(&engine).expect("fresh engine accepts the demo catalog");
+    let names = engine.catalog().names().join(", ");
+    let server = match Server::bind(engine, &config) {
+        Ok(server) => server,
+        Err(e) => die(&format!("cannot bind {}: {e}", config.addr)),
+    };
+    let addr = server.local_addr().expect("bound listener has an address");
+    println!(
+        "ksjq-serverd listening on {addr} ({} workers, cache {} entries)",
+        config.workers, config.cache_entries
+    );
+    println!("preloaded catalog: {names}");
+    if let Err(e) = server.run() {
+        die(&format!("server failed: {e}"));
+    }
+}

@@ -1,0 +1,219 @@
+//! An LRU result cache keyed by normalised plan fingerprint.
+//!
+//! `EXECUTE`/`QUERY` results are immutable once computed (relations are
+//! immutable after registration and every algorithm is deterministic), so
+//! the server can answer a repeated plan from memory. The cache is
+//! invalidated wholesale whenever the catalog changes — a new relation may
+//! shadow nothing today, but a deregister/re-register cycle under the same
+//! name must never serve stale rows.
+//!
+//! Recency is tracked with a monotone tick per entry; eviction scans for
+//! the minimum. That is O(capacity) per insert-when-full, which for the
+//! intended capacities (tens to a few thousand entries of whole query
+//! results) is noise next to the skyline computation a miss costs.
+
+use ksjq_core::KsjqOutput;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Hit/miss/eviction counters, readable without the cache lock.
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl CacheCounters {
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Evictions so far (capacity pressure only — invalidation clears are
+    /// not evictions).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: Arc<KsjqOutput>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<String, Entry>,
+    tick: u64,
+}
+
+/// A thread-safe LRU cache from plan fingerprint to query result.
+///
+/// Capacity 0 disables caching (every lookup misses, inserts are
+/// dropped) — useful for benchmarking the uncached path.
+#[derive(Debug)]
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    counters: CacheCounters,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` results.
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(Inner::default()),
+            capacity,
+            counters: CacheCounters::default(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: &str) -> Option<Arc<KsjqOutput>> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.value.clone())
+            }
+            None => {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert `value` under `key`, evicting the least-recently-used entry
+    /// if the cache is full.
+    pub fn insert(&self, key: String, value: Arc<KsjqOutput>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            if let Some(lru) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&lru);
+                self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Drop every entry (catalog-change invalidation).
+    pub fn clear(&self) {
+        self.lock().map.clear();
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The hit/miss/eviction counters.
+    pub fn counters(&self) -> &CacheCounters {
+        &self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn out(n: usize) -> Arc<KsjqOutput> {
+        // Distinguishable dummy results: n pairs (i, i).
+        Arc::new(KsjqOutput {
+            pairs: (0..n as u32)
+                .map(|i| (ksjq_relation::TupleId(i), ksjq_relation::TupleId(i)))
+                .collect(),
+            stats: Default::default(),
+        })
+    }
+
+    #[test]
+    fn hit_miss_counting() {
+        let c = ResultCache::new(4);
+        assert!(c.get("a").is_none());
+        c.insert("a".into(), out(1));
+        assert_eq!(c.get("a").unwrap().len(), 1);
+        assert_eq!(c.counters().hits(), 1);
+        assert_eq!(c.counters().misses(), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let c = ResultCache::new(2);
+        c.insert("a".into(), out(1));
+        c.insert("b".into(), out(2));
+        // Touch "a" so "b" is the LRU.
+        assert!(c.get("a").is_some());
+        c.insert("c".into(), out(3));
+        assert_eq!(c.counters().evictions(), 1);
+        assert!(c.get("b").is_none(), "LRU entry evicted");
+        assert!(c.get("a").is_some());
+        assert!(c.get("c").is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_same_key_does_not_evict() {
+        let c = ResultCache::new(2);
+        c.insert("a".into(), out(1));
+        c.insert("b".into(), out(2));
+        c.insert("a".into(), out(3)); // overwrite, still 2 entries
+        assert_eq!(c.counters().evictions(), 0);
+        assert_eq!(c.get("a").unwrap().len(), 3);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn clear_is_not_an_eviction() {
+        let c = ResultCache::new(2);
+        c.insert("a".into(), out(1));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.counters().evictions(), 0);
+        assert!(c.get("a").is_none());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let c = ResultCache::new(0);
+        c.insert("a".into(), out(1));
+        assert!(c.get("a").is_none());
+        assert!(c.is_empty());
+    }
+}

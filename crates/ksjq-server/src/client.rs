@@ -1,0 +1,176 @@
+//! A blocking client for the KSJQ wire protocol.
+//!
+//! One lockstep request/response exchange per call. Protocol-level
+//! failures (`ERR` frames) are surfaced as [`ClientError::Server`] so
+//! callers can distinguish "the server said no" from "the wire broke".
+
+use crate::protocol::{
+    LoadSource, PlanSpec, Request, Response, RowSet, ServerStats, SyntheticSpec,
+};
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// What can go wrong on a client call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, unexpected EOF).
+    Io(io::Error),
+    /// The server answered, but with an `ERR` frame.
+    Server(String),
+    /// The server answered with a frame this call did not expect (e.g.
+    /// `OK` where `ROWS` was required), or one that does not parse.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Convenience alias for client results.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// A blocking KSJQ protocol client over one TCP connection.
+#[derive(Debug)]
+pub struct KsjqClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl KsjqClient {
+    /// Connect to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<KsjqClient> {
+        let writer = TcpStream::connect(addr)?;
+        // Lockstep one-line exchanges: Nagle only adds latency here.
+        let _ = writer.set_nodelay(true);
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(KsjqClient { reader, writer })
+    }
+
+    /// Send a raw line and return the raw response line — the escape
+    /// hatch the fuzz tests and the `ksjq-client` binary use.
+    pub fn raw(&mut self, line: &str) -> ClientResult<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        Ok(response.trim_end().to_owned())
+    }
+
+    /// Send a typed request, parse the typed response. `ERR` frames are
+    /// *returned*, not raised — use the typed helpers below for that.
+    pub fn request(&mut self, request: &Request) -> ClientResult<Response> {
+        let line = self.raw(&request.to_string())?;
+        Response::parse(&line).map_err(ClientError::Protocol)
+    }
+
+    fn expect_ok(&mut self, request: &Request) -> ClientResult<String> {
+        match self.request(request)? {
+            Response::Ok(info) => Ok(info),
+            Response::Error(msg) => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Protocol(format!("expected OK, got {other}"))),
+        }
+    }
+
+    fn expect_rows(&mut self, request: &Request) -> ClientResult<RowSet> {
+        match self.request(request)? {
+            Response::Rows(rows) => Ok(rows),
+            Response::Error(msg) => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Protocol(format!("expected ROWS, got {other}"))),
+        }
+    }
+
+    /// `LOAD <name> INLINE <csv>` — register a CSV relation (newline row
+    /// separators; the client handles the wire encoding).
+    ///
+    /// Rejects CSV containing `';'` up front: it is the row separator on
+    /// the wire, so sending it would silently re-frame the caller's rows.
+    pub fn load_csv(&mut self, name: &str, csv: &str) -> ClientResult<String> {
+        if csv.contains(';') {
+            return Err(ClientError::Protocol(
+                "inline CSV must not contain ';' (the wire row separator)".into(),
+            ));
+        }
+        self.expect_ok(&Request::Load {
+            name: name.into(),
+            source: LoadSource::Inline { csv: csv.into() },
+        })
+    }
+
+    /// `LOAD <name> SYNTHETIC …` — generate server-side.
+    pub fn load_synthetic(&mut self, name: &str, spec: SyntheticSpec) -> ClientResult<String> {
+        self.expect_ok(&Request::Load {
+            name: name.into(),
+            source: LoadSource::Synthetic(spec),
+        })
+    }
+
+    /// `PREPARE <id> …` — validate and name a query for later execution.
+    pub fn prepare(&mut self, id: &str, plan: &PlanSpec) -> ClientResult<String> {
+        self.expect_ok(&Request::Prepare {
+            id: id.into(),
+            plan: plan.clone(),
+        })
+    }
+
+    /// `EXECUTE <id>` — run a prepared query.
+    pub fn execute(&mut self, id: &str) -> ClientResult<RowSet> {
+        self.expect_rows(&Request::Execute { id: id.into() })
+    }
+
+    /// `QUERY …` — one-shot prepare + execute.
+    pub fn query(&mut self, plan: &PlanSpec) -> ClientResult<RowSet> {
+        self.expect_rows(&Request::Query { plan: plan.clone() })
+    }
+
+    /// `EXPLAIN <id>` — the one-line plan summary.
+    pub fn explain(&mut self, id: &str) -> ClientResult<String> {
+        match self.request(&Request::Explain { id: id.into() })? {
+            Response::Explain(text) => Ok(text),
+            Response::Error(msg) => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Protocol(format!(
+                "expected EXPLAIN, got {other}"
+            ))),
+        }
+    }
+
+    /// `STATS` — server counters.
+    pub fn stats(&mut self) -> ClientResult<ServerStats> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            Response::Error(msg) => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Protocol(format!(
+                "expected STATS, got {other}"
+            ))),
+        }
+    }
+
+    /// `CLOSE` — end the session; consumes the client.
+    pub fn close(mut self) -> ClientResult<()> {
+        match self.request(&Request::Close)? {
+            Response::Bye => Ok(()),
+            other => Err(ClientError::Protocol(format!("expected BYE, got {other}"))),
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Serving KSJQ over TCP.
+//!
+//! This crate turns the in-process [`Engine`](ksjq_core::Engine) into a
+//! network service, std-only (no async runtime, no serialisation
+//! framework — the workspace is offline):
+//!
+//! * [`protocol`] — the line-oriented wire format: typed [`Request`] /
+//!   [`Response`] enums whose `Display` and `parse` round-trip.
+//! * [`server`] — [`Server`]: a `TcpListener` accept loop over a fixed
+//!   worker thread pool, all workers sharing one engine, a named
+//!   prepared-query session map and the result cache.
+//! * [`cache`] — [`ResultCache`]: an LRU over normalised plan
+//!   fingerprints with hit/miss/eviction counters, invalidated on every
+//!   catalog registration.
+//! * [`client`] — [`KsjqClient`]: the blocking client the tests, the
+//!   benchmark harness's `--remote` mode and the examples use.
+//!
+//! The `ksjq-serverd` binary serves a preloaded demo catalog;
+//! `ksjq-client` scripts a session from stdin (the CI smoke test drives
+//! it with a here-doc).
+//!
+//! ```no_run
+//! use ksjq_core::Engine;
+//! use ksjq_datagen::paper_flights;
+//! use ksjq_server::{KsjqClient, PlanSpec, Server, ServerConfig};
+//!
+//! let engine = Engine::new();
+//! let pf = paper_flights(false);
+//! engine.register("outbound", pf.outbound).unwrap();
+//! engine.register("inbound", pf.inbound).unwrap();
+//! let server = Server::start(engine, &ServerConfig::default()).unwrap();
+//!
+//! let mut client = KsjqClient::connect(server.addr()).unwrap();
+//! client.prepare("q", &PlanSpec::new("outbound", "inbound").k(7)).unwrap();
+//! assert_eq!(client.execute("q").unwrap().pairs.len(), 4); // Table 3
+//! client.close().unwrap();
+//! server.stop().unwrap();
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod demo;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheCounters, ResultCache};
+pub use client::{ClientError, ClientResult, KsjqClient};
+pub use demo::register_demo_catalog;
+pub use protocol::{
+    LoadSource, PlanSpec, ProtoResult, Request, Response, RowSet, ServerStats, SyntheticSpec,
+    MAX_LINE_BYTES,
+};
+pub use server::{RunningServer, Server, ServerConfig, ServerHandle};

@@ -1,0 +1,900 @@
+//! The KSJQ wire protocol: a line-oriented command language.
+//!
+//! Every request and every response is exactly one `\n`-terminated line of
+//! UTF-8 text, so a session is a plain lockstep request/response loop that
+//! works from any language — or from `nc` by hand. Both directions have
+//! typed representations ([`Request`], [`Response`]) whose `Display`
+//! serialisation and [`parse`](Request::parse) round-trip, which is what
+//! the client, the server and the fuzz tests all build on.
+//!
+//! ## Commands
+//!
+//! ```text
+//! LOAD <name> INLINE <csv>                          csv rows separated by ';'
+//! LOAD <name> SYNTHETIC <ind|corr|anti> n=<n> d=<d> [a=<a>] [g=<g>] [seed=<s>]
+//! PREPARE <id> <left> JOIN <right> [AGG f,f…] [K <k>] [GOAL <goal>] [ALGO <a>] [KDOM <k>]
+//! EXECUTE <id>
+//! QUERY <left> JOIN <right> [AGG …] [K …] [GOAL …] [ALGO …] [KDOM …]
+//! EXPLAIN <id>
+//! STATS
+//! CLOSE
+//! ```
+//!
+//! ## Responses
+//!
+//! ```text
+//! OK <info>
+//! ROWS k=<k> us=<micros> cached=<0|1> n=<n> <l>:<r> <l>:<r> …
+//! EXPLAIN <one-line plan summary>
+//! STATS connections=… requests=… … cache_hits=… cache_misses=…
+//! ERR <message>
+//! BYE
+//! ```
+//!
+//! Goals use the compact `FromStr` spellings of [`Goal`] (`exact:7`,
+//! `skyline`, `atleast:10:binary`); algorithms and kdom subroutines use
+//! their `Display` names. Inline CSV must not contain `';'` (the row
+//! separator on the wire) — none of the toolchain's CSVs do.
+
+use ksjq_core::{Algorithm, Goal, KdomAlgo, QueryPlan};
+use ksjq_datagen::{DataType, DatasetSpec};
+use ksjq_join::AggFunc;
+use std::fmt;
+
+/// Hard cap on one **request** line, enforced by the server: anything
+/// longer is answered with an error frame and discarded — never buffered
+/// unboundedly, never a panic. Response lines are not capped (a `ROWS`
+/// frame carries the whole skyline; chunked result framing is a ROADMAP
+/// item), so clients must not impose this limit on what they read.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Protocol-level result: errors are plain messages destined for an
+/// `ERR` frame.
+pub type ProtoResult<T> = Result<T, String>;
+
+/// Where `LOAD` gets its data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoadSource {
+    /// CSV text shipped on the command line (rows `';'`-separated on the
+    /// wire, newline-separated here). First column is the join key; see
+    /// `Catalog::register_csv` for the header annotation grammar.
+    Inline {
+        /// The CSV text, newline row separators.
+        csv: String,
+    },
+    /// Server-side synthetic generation (the paper's Table 7 knobs).
+    Synthetic(SyntheticSpec),
+}
+
+/// Knobs of a `LOAD … SYNTHETIC` request, mirroring [`DatasetSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyntheticSpec {
+    /// Data distribution.
+    pub data_type: DataType,
+    /// Number of tuples.
+    pub n: usize,
+    /// Total attributes (`d = a + l`).
+    pub d: usize,
+    /// Aggregate-slot attributes (`a ≤ d`).
+    pub a: usize,
+    /// Join groups.
+    pub g: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SyntheticSpec {
+    /// The equivalent generator spec.
+    pub fn dataset_spec(&self) -> DatasetSpec {
+        DatasetSpec {
+            n: self.n,
+            agg_attrs: self.a,
+            local_attrs: self.d - self.a,
+            groups: self.g,
+            data_type: self.data_type,
+            seed: self.seed,
+        }
+    }
+}
+
+/// The query half of `PREPARE` / `QUERY`: an owned, wire-transportable
+/// [`QueryPlan`] description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanSpec {
+    /// Left catalog relation name.
+    pub left: String,
+    /// Right catalog relation name.
+    pub right: String,
+    /// Aggregation functions, slot order.
+    pub aggs: Vec<AggFunc>,
+    /// What to compute.
+    pub goal: Goal,
+    /// Which KSJQ algorithm runs it.
+    pub algorithm: Algorithm,
+    /// Optional kdom subroutine override.
+    pub kdom: Option<KdomAlgo>,
+}
+
+impl PlanSpec {
+    /// A spec with all defaults (equality join, no aggregation, ordinary
+    /// skyline join, grouping algorithm).
+    pub fn new(left: impl Into<String>, right: impl Into<String>) -> Self {
+        PlanSpec {
+            left: left.into(),
+            right: right.into(),
+            aggs: Vec::new(),
+            goal: Goal::SkylineJoin,
+            algorithm: Algorithm::default(),
+            kdom: None,
+        }
+    }
+
+    /// Set the aggregation functions.
+    pub fn aggs(mut self, aggs: &[AggFunc]) -> Self {
+        self.aggs = aggs.to_vec();
+        self
+    }
+
+    /// Set the goal.
+    pub fn goal(mut self, goal: Goal) -> Self {
+        self.goal = goal;
+        self
+    }
+
+    /// Shorthand for [`goal(Goal::Exact(k))`](Self::goal).
+    pub fn k(self, k: usize) -> Self {
+        self.goal(Goal::Exact(k))
+    }
+
+    /// Set the algorithm.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Set the kdom subroutine override.
+    pub fn kdom(mut self, kdom: KdomAlgo) -> Self {
+        self.kdom = Some(kdom);
+        self
+    }
+
+    /// The engine-side plan this spec describes.
+    pub fn to_plan(&self) -> QueryPlan {
+        let mut plan = QueryPlan::new(self.left.as_str(), self.right.as_str())
+            .aggregates(&self.aggs)
+            .goal(self.goal)
+            .algorithm(self.algorithm);
+        if let Some(kdom) = self.kdom {
+            plan = plan.kdom(kdom);
+        }
+        plan
+    }
+
+    /// A normalised cache key: every wire spelling of the same logical
+    /// plan (`K 7` vs `GOAL exact:7`, keyword order, case) fingerprints
+    /// identically, because the key is derived from the parsed form.
+    pub fn fingerprint(&self) -> String {
+        match self.kdom {
+            Some(kdom) => format!("{}|kdom={kdom}", self.to_plan()),
+            None => format!("{}", self.to_plan()),
+        }
+    }
+}
+
+/// One client command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Register a relation in the server's catalog.
+    Load {
+        /// Catalog name to register under.
+        name: String,
+        /// Data source.
+        source: LoadSource,
+    },
+    /// Prepare a named query (validates everything; find-k goals resolve
+    /// here). Re-preparing an existing id replaces it.
+    Prepare {
+        /// Session-map id for later `EXECUTE` / `EXPLAIN`.
+        id: String,
+        /// The query.
+        plan: PlanSpec,
+    },
+    /// Execute a prepared query.
+    Execute {
+        /// A previously `PREPARE`d id.
+        id: String,
+    },
+    /// One-shot prepare + execute.
+    Query {
+        /// The query.
+        plan: PlanSpec,
+    },
+    /// Describe what a prepared query will run.
+    Explain {
+        /// A previously `PREPARE`d id.
+        id: String,
+    },
+    /// Server counters.
+    Stats,
+    /// End the session.
+    Close,
+}
+
+/// First word + rest, whitespace-trimmed.
+fn split_word(s: &str) -> (&str, &str) {
+    let s = s.trim_start();
+    match s.find(char::is_whitespace) {
+        Some(i) => (&s[..i], s[i..].trim_start()),
+        None => (s, ""),
+    }
+}
+
+/// Catalog names and session ids: one non-empty token without the wire's
+/// structural characters.
+fn validate_name(kind: &str, name: &str) -> ProtoResult<()> {
+    if name.is_empty() {
+        return Err(format!("missing {kind}"));
+    }
+    if name.contains(|c: char| c.is_whitespace() || c == ';') {
+        return Err(format!("invalid {kind} {name:?}: no whitespace or ';'"));
+    }
+    Ok(())
+}
+
+fn parse_agg(s: &str) -> ProtoResult<AggFunc> {
+    let t = s.trim().to_ascii_lowercase();
+    match t.as_str() {
+        "sum" => return Ok(AggFunc::Sum),
+        "min" => return Ok(AggFunc::Min),
+        "max" => return Ok(AggFunc::Max),
+        _ => {}
+    }
+    if let Some(args) = t.strip_prefix("wsum(").and_then(|r| r.strip_suffix(')')) {
+        if let Some((l, r)) = args.split_once(',') {
+            let (l, r) = (
+                l.trim().parse::<f64>().map_err(|e| e.to_string())?,
+                r.trim().parse::<f64>().map_err(|e| e.to_string())?,
+            );
+            let func = AggFunc::WeightedSum { left: l, right: r };
+            func.validate().map_err(|e| e.to_string())?;
+            return Ok(func);
+        }
+    }
+    Err(format!(
+        "unknown aggregate {s:?} (expected sum, min, max or wsum(l,r))"
+    ))
+}
+
+fn agg_token(func: &AggFunc) -> String {
+    func.to_string() // "sum", "min", "max", "wsum(l,r)" — all single tokens
+}
+
+/// Split an `AGG` list on top-level commas only (`wsum(l,r)` has one
+/// inside its parentheses).
+fn split_agg_list(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&s[start..]);
+    out
+}
+
+/// The compact, single-token goal spelling [`Goal`]'s `FromStr` accepts.
+fn goal_token(goal: Goal) -> String {
+    match goal {
+        Goal::Exact(k) => format!("exact:{k}"),
+        Goal::SkylineJoin => "skyline".into(),
+        Goal::AtLeast(delta, s) => format!("atleast:{delta}:{s}"),
+        Goal::AtMost(delta, s) => format!("atmost:{delta}:{s}"),
+    }
+}
+
+fn parse_plan(rest: &str) -> ProtoResult<PlanSpec> {
+    let (left, rest) = split_word(rest);
+    validate_name("left relation name", left)?;
+    let (join_kw, rest) = split_word(rest);
+    if !join_kw.eq_ignore_ascii_case("JOIN") {
+        return Err(format!("expected JOIN after {left:?}, got {join_kw:?}"));
+    }
+    let (right, mut rest) = split_word(rest);
+    validate_name("right relation name", right)?;
+    let mut spec = PlanSpec::new(left, right);
+    while !rest.is_empty() {
+        let (kw, after) = split_word(rest);
+        let (value, after) = split_word(after);
+        if value.is_empty() {
+            return Err(format!("{} needs a value", kw.to_ascii_uppercase()));
+        }
+        match kw.to_ascii_uppercase().as_str() {
+            "AGG" => {
+                spec.aggs = split_agg_list(value)
+                    .into_iter()
+                    .map(parse_agg)
+                    .collect::<ProtoResult<_>>()?;
+            }
+            "K" => {
+                let k = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("K needs an integer, got {value:?}"))?;
+                spec.goal = Goal::Exact(k);
+            }
+            "GOAL" => spec.goal = value.parse::<Goal>()?,
+            "ALGO" => spec.algorithm = value.parse::<Algorithm>()?,
+            "KDOM" => spec.kdom = Some(value.parse::<KdomAlgo>()?),
+            other => return Err(format!("unknown plan keyword {other:?}")),
+        }
+        rest = after;
+    }
+    Ok(spec)
+}
+
+fn plan_tail(plan: &PlanSpec) -> String {
+    let mut out = String::new();
+    if !plan.aggs.is_empty() {
+        let list: Vec<String> = plan.aggs.iter().map(agg_token).collect();
+        out.push_str(&format!(" AGG {}", list.join(",")));
+    }
+    match plan.goal {
+        Goal::SkylineJoin => {} // the default — omitted
+        Goal::Exact(k) => out.push_str(&format!(" K {k}")),
+        goal => out.push_str(&format!(" GOAL {}", goal_token(goal))),
+    }
+    if plan.algorithm != Algorithm::default() {
+        out.push_str(&format!(" ALGO {}", plan.algorithm));
+    }
+    if let Some(kdom) = plan.kdom {
+        out.push_str(&format!(" KDOM {kdom}"));
+    }
+    out
+}
+
+impl Request {
+    /// Parse one request line. Never panics, whatever the input.
+    pub fn parse(line: &str) -> ProtoResult<Request> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Err("empty request".into());
+        }
+        let (cmd, rest) = split_word(line);
+        match cmd.to_ascii_uppercase().as_str() {
+            "LOAD" => {
+                let (name, rest) = split_word(rest);
+                validate_name("relation name", name)?;
+                let (kind, rest) = split_word(rest);
+                match kind.to_ascii_uppercase().as_str() {
+                    "INLINE" => {
+                        if rest.is_empty() {
+                            return Err("LOAD … INLINE needs CSV text".into());
+                        }
+                        Ok(Request::Load {
+                            name: name.into(),
+                            source: LoadSource::Inline {
+                                csv: rest.replace(';', "\n"),
+                            },
+                        })
+                    }
+                    "SYNTHETIC" => {
+                        let (dt, rest) = split_word(rest);
+                        let data_type = dt.parse::<DataType>()?;
+                        let (mut n, mut d, mut a, mut g, mut seed) = (None, None, 0usize, 10, 42);
+                        for kv in rest.split_whitespace() {
+                            let (key, value) = kv
+                                .split_once('=')
+                                .ok_or_else(|| format!("expected key=value, got {kv:?}"))?;
+                            let int = || {
+                                value
+                                    .parse::<usize>()
+                                    .map_err(|_| format!("{key} needs an integer, got {value:?}"))
+                            };
+                            match key.to_ascii_lowercase().as_str() {
+                                "n" => n = Some(int()?),
+                                "d" => d = Some(int()?),
+                                "a" => a = int()?,
+                                "g" => g = int()?,
+                                "seed" => seed = int()? as u64,
+                                other => return Err(format!("unknown knob {other:?}")),
+                            }
+                        }
+                        let n = n.ok_or("SYNTHETIC needs n=<tuples>")?;
+                        let d = d.ok_or("SYNTHETIC needs d=<attributes>")?;
+                        if n == 0 || d == 0 || a > d || g == 0 {
+                            return Err(format!(
+                                "invalid synthetic shape n={n} d={d} a={a} g={g} \
+                                 (need n,d,g ≥ 1 and a ≤ d)"
+                            ));
+                        }
+                        Ok(Request::Load {
+                            name: name.into(),
+                            source: LoadSource::Synthetic(SyntheticSpec {
+                                data_type,
+                                n,
+                                d,
+                                a,
+                                g,
+                                seed,
+                            }),
+                        })
+                    }
+                    other => Err(format!(
+                        "unknown LOAD source {other:?} (expected INLINE or SYNTHETIC)"
+                    )),
+                }
+            }
+            "PREPARE" => {
+                let (id, rest) = split_word(rest);
+                validate_name("query id", id)?;
+                Ok(Request::Prepare {
+                    id: id.into(),
+                    plan: parse_plan(rest)?,
+                })
+            }
+            "QUERY" => Ok(Request::Query {
+                plan: parse_plan(rest)?,
+            }),
+            "EXECUTE" | "EXPLAIN" => {
+                let (id, trailing) = split_word(rest);
+                validate_name("query id", id)?;
+                if !trailing.is_empty() {
+                    return Err(format!("unexpected trailing input {trailing:?}"));
+                }
+                Ok(if cmd.eq_ignore_ascii_case("EXECUTE") {
+                    Request::Execute { id: id.into() }
+                } else {
+                    Request::Explain { id: id.into() }
+                })
+            }
+            "STATS" | "CLOSE" => {
+                if !rest.is_empty() {
+                    return Err(format!("unexpected trailing input {rest:?}"));
+                }
+                Ok(if cmd.eq_ignore_ascii_case("STATS") {
+                    Request::Stats
+                } else {
+                    Request::Close
+                })
+            }
+            other => Err(format!(
+                "unknown command {other:?} (expected LOAD, PREPARE, EXECUTE, QUERY, EXPLAIN, STATS or CLOSE)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Request::Load { name, source } => match source {
+                LoadSource::Inline { csv } => {
+                    write!(
+                        f,
+                        "LOAD {name} INLINE {}",
+                        csv.trim_end().replace('\n', ";")
+                    )
+                }
+                LoadSource::Synthetic(s) => write!(
+                    f,
+                    "LOAD {name} SYNTHETIC {} n={} d={} a={} g={} seed={}",
+                    s.data_type, s.n, s.d, s.a, s.g, s.seed
+                ),
+            },
+            Request::Prepare { id, plan } => write!(
+                f,
+                "PREPARE {id} {} JOIN {}{}",
+                plan.left,
+                plan.right,
+                plan_tail(plan)
+            ),
+            Request::Execute { id } => write!(f, "EXECUTE {id}"),
+            Request::Query { plan } => write!(
+                f,
+                "QUERY {} JOIN {}{}",
+                plan.left,
+                plan.right,
+                plan_tail(plan)
+            ),
+            Request::Explain { id } => write!(f, "EXPLAIN {id}"),
+            Request::Stats => write!(f, "STATS"),
+            Request::Close => write!(f, "CLOSE"),
+        }
+    }
+}
+
+/// A skyline result set as shipped over the wire.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RowSet {
+    /// The `k` the query ran at (for find-k goals: the chosen `k`).
+    pub k: usize,
+    /// Server-side execution time in microseconds (0 for cache hits).
+    pub micros: u64,
+    /// Was this answered from the result cache?
+    pub cached: bool,
+    /// The skyline, as `(left, right)` base tuple ids, sorted.
+    pub pairs: Vec<(u32, u32)>,
+}
+
+/// Server counters reported by `STATS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Connections accepted since startup.
+    pub connections: u64,
+    /// Requests handled (all kinds).
+    pub requests: u64,
+    /// Requests answered with an `ERR` frame.
+    pub errors: u64,
+    /// Named prepared queries currently in the session map.
+    pub sessions: u64,
+    /// Relations in the catalog.
+    pub relations: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+    /// Result-cache evictions.
+    pub cache_evictions: u64,
+    /// Entries currently cached.
+    pub cache_len: u64,
+    /// Worker threads serving connections.
+    pub workers: u64,
+}
+
+/// One server reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Success without a result set.
+    Ok(String),
+    /// A skyline result set.
+    Rows(RowSet),
+    /// A one-line plan summary.
+    Explain(String),
+    /// Server counters.
+    Stats(ServerStats),
+    /// The request failed; the session stays usable.
+    Error(String),
+    /// Session closed.
+    Bye,
+}
+
+/// Keep free-text payloads one-line so they cannot break framing.
+fn one_line(s: &str) -> String {
+    s.replace(['\n', '\r'], "; ")
+}
+
+impl Response {
+    /// Parse one response line. Never panics, whatever the input.
+    pub fn parse(line: &str) -> ProtoResult<Response> {
+        let line = line.trim();
+        let (word, rest) = split_word(line);
+        match word.to_ascii_uppercase().as_str() {
+            "OK" => Ok(Response::Ok(rest.to_owned())),
+            "ERR" => Ok(Response::Error(rest.to_owned())),
+            "EXPLAIN" => Ok(Response::Explain(rest.to_owned())),
+            "BYE" => Ok(Response::Bye),
+            "ROWS" => {
+                let mut rows = RowSet::default();
+                let mut expected = None;
+                for token in rest.split_whitespace() {
+                    if let Some((key, value)) = token.split_once('=') {
+                        let int = value
+                            .parse::<u64>()
+                            .map_err(|_| format!("bad ROWS field {token:?}"))?;
+                        match key {
+                            "k" => rows.k = int as usize,
+                            "us" => rows.micros = int,
+                            "cached" => rows.cached = int != 0,
+                            "n" => expected = Some(int as usize),
+                            _ => {} // ignore unknown fields: forward compatibility
+                        }
+                    } else if let Some((l, r)) = token.split_once(':') {
+                        let pair = (
+                            l.parse::<u32>()
+                                .map_err(|_| format!("bad pair {token:?}"))?,
+                            r.parse::<u32>()
+                                .map_err(|_| format!("bad pair {token:?}"))?,
+                        );
+                        rows.pairs.push(pair);
+                    } else {
+                        return Err(format!("unexpected ROWS token {token:?}"));
+                    }
+                }
+                match expected {
+                    Some(n) if n != rows.pairs.len() => Err(format!(
+                        "ROWS claimed n={n} but carried {} pairs",
+                        rows.pairs.len()
+                    )),
+                    Some(_) => Ok(Response::Rows(rows)),
+                    None => Err("ROWS missing n=<count>".into()),
+                }
+            }
+            "STATS" => {
+                let mut s = ServerStats::default();
+                for token in rest.split_whitespace() {
+                    let (key, value) = token
+                        .split_once('=')
+                        .ok_or_else(|| format!("bad STATS field {token:?}"))?;
+                    let int = value
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad STATS field {token:?}"))?;
+                    match key {
+                        "connections" => s.connections = int,
+                        "requests" => s.requests = int,
+                        "errors" => s.errors = int,
+                        "sessions" => s.sessions = int,
+                        "relations" => s.relations = int,
+                        "cache_hits" => s.cache_hits = int,
+                        "cache_misses" => s.cache_misses = int,
+                        "cache_evictions" => s.cache_evictions = int,
+                        "cache_len" => s.cache_len = int,
+                        "workers" => s.workers = int,
+                        _ => {} // forward compatibility
+                    }
+                }
+                Ok(Response::Stats(s))
+            }
+            other => Err(format!("unknown response frame {other:?}")),
+        }
+    }
+}
+
+impl fmt::Display for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Response::Ok(msg) => write!(f, "OK {}", one_line(msg)),
+            Response::Error(msg) => write!(f, "ERR {}", one_line(msg)),
+            Response::Explain(text) => write!(f, "EXPLAIN {}", one_line(text)),
+            Response::Bye => write!(f, "BYE"),
+            Response::Rows(rows) => {
+                write!(
+                    f,
+                    "ROWS k={} us={} cached={} n={}",
+                    rows.k,
+                    rows.micros,
+                    rows.cached as u8,
+                    rows.pairs.len()
+                )?;
+                for (l, r) in &rows.pairs {
+                    write!(f, " {l}:{r}")?;
+                }
+                Ok(())
+            }
+            Response::Stats(s) => write!(
+                f,
+                "STATS connections={} requests={} errors={} sessions={} relations={} \
+                 cache_hits={} cache_misses={} cache_evictions={} cache_len={} workers={}",
+                s.connections,
+                s.requests,
+                s.errors,
+                s.sessions,
+                s.relations,
+                s.cache_hits,
+                s.cache_misses,
+                s.cache_evictions,
+                s.cache_len,
+                s.workers
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksjq_core::FindKStrategy;
+
+    fn roundtrip_request(line: &str) -> Request {
+        let req = Request::parse(line).unwrap();
+        let reparsed = Request::parse(&req.to_string()).unwrap();
+        assert_eq!(req, reparsed, "serialise/parse round trip of {line:?}");
+        req
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        let req = roundtrip_request("LOAD t1 INLINE city,cost;C,448;D,456");
+        assert_eq!(
+            req,
+            Request::Load {
+                name: "t1".into(),
+                source: LoadSource::Inline {
+                    csv: "city,cost\nC,448\nD,456".into()
+                }
+            }
+        );
+        let req = roundtrip_request("load r synthetic anti n=100 d=5 a=2 g=7 seed=3");
+        assert_eq!(
+            req,
+            Request::Load {
+                name: "r".into(),
+                source: LoadSource::Synthetic(SyntheticSpec {
+                    data_type: DataType::AntiCorrelated,
+                    n: 100,
+                    d: 5,
+                    a: 2,
+                    g: 7,
+                    seed: 3
+                })
+            }
+        );
+        let req = roundtrip_request(
+            "PREPARE q1 out JOIN in AGG sum,wsum(1,0.5) K 7 ALGO dominator-based KDOM osa",
+        );
+        match &req {
+            Request::Prepare { id, plan } => {
+                assert_eq!(id, "q1");
+                assert_eq!(plan.goal, Goal::Exact(7));
+                assert_eq!(plan.aggs.len(), 2);
+                assert_eq!(plan.algorithm, Algorithm::DominatorBased);
+                assert_eq!(plan.kdom, Some(KdomAlgo::Osa));
+            }
+            other => panic!("{other:?}"),
+        }
+        roundtrip_request("QUERY a JOIN b GOAL atleast:10:range");
+        roundtrip_request("EXECUTE q1");
+        roundtrip_request("EXPLAIN q1");
+        roundtrip_request("STATS");
+        roundtrip_request("CLOSE");
+    }
+
+    #[test]
+    fn synthetic_defaults_and_validation() {
+        let req = roundtrip_request("LOAD r SYNTHETIC ind n=50 d=4");
+        match req {
+            Request::Load {
+                source: LoadSource::Synthetic(s),
+                ..
+            } => {
+                assert_eq!((s.a, s.g, s.seed), (0, 10, 42));
+                assert_eq!(s.dataset_spec().local_attrs, 4);
+            }
+            other => panic!("{other:?}"),
+        }
+        for bad in [
+            "LOAD r SYNTHETIC ind d=4",          // missing n
+            "LOAD r SYNTHETIC ind n=10",         // missing d
+            "LOAD r SYNTHETIC ind n=0 d=4",      // n = 0
+            "LOAD r SYNTHETIC ind n=10 d=2 a=3", // a > d
+            "LOAD r SYNTHETIC ind n=10 d=2 g=0", // g = 0
+            "LOAD r SYNTHETIC bogus n=10 d=2",   // unknown distribution
+            "LOAD r SYNTHETIC ind n=ten d=2",    // non-integer
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn request_parse_rejects_junk() {
+        for bad in [
+            "",
+            "   ",
+            "FROBNICATE",
+            "LOAD",
+            "LOAD name",
+            "LOAD name TELEPATHY",
+            "LOAD na me INLINE a,b;1,2",
+            "PREPARE q1 left RIGHT right",
+            "PREPARE q1 left JOIN right K seven",
+            "PREPARE q1 left JOIN right WAT 3",
+            "QUERY only JOIN",
+            "EXECUTE",
+            "EXECUTE q1 trailing",
+            "STATS now",
+            "CLOSE please",
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn plan_keywords_are_order_insensitive_for_fingerprints() {
+        let a = match Request::parse("QUERY l JOIN r KDOM tsa K 7 AGG sum").unwrap() {
+            Request::Query { plan } => plan,
+            other => panic!("{other:?}"),
+        };
+        let b = match Request::parse("query l join r agg sum goal exact:7 kdom tsa").unwrap() {
+            Request::Query { plan } => plan,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Different kdom, different fingerprint.
+        let c = a.clone().kdom(KdomAlgo::Osa);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let responses = [
+            Response::Ok("loaded t1 n=9 d=4".into()),
+            Response::Rows(RowSet {
+                k: 7,
+                micros: 123,
+                cached: true,
+                pairs: vec![(0, 2), (2, 0), (4, 4)],
+            }),
+            Response::Rows(RowSet::default()),
+            Response::Explain("grouping k=7 over \"a\" ⋈ \"b\" [equality]".into()),
+            Response::Stats(ServerStats {
+                connections: 1,
+                requests: 10,
+                errors: 2,
+                sessions: 3,
+                relations: 4,
+                cache_hits: 5,
+                cache_misses: 6,
+                cache_evictions: 7,
+                cache_len: 8,
+                workers: 9,
+            }),
+            Response::Error("unknown relation \"nope\"".into()),
+            Response::Bye,
+        ];
+        for resp in responses {
+            let line = resp.to_string();
+            assert!(!line.contains('\n'), "{line:?}");
+            assert_eq!(Response::parse(&line).unwrap(), resp, "{line:?}");
+        }
+    }
+
+    #[test]
+    fn response_payloads_cannot_break_framing() {
+        let evil = Response::Error("two\nlines\r\nhere".into());
+        let line = evil.to_string();
+        assert!(!line.contains('\n') && !line.contains('\r'));
+        assert!(matches!(
+            Response::parse(&line).unwrap(),
+            Response::Error(_)
+        ));
+    }
+
+    #[test]
+    fn response_parse_rejects_junk() {
+        for bad in [
+            "WAT 3",
+            "ROWS k=7 us=1 cached=0 n=2 0:1", // count mismatch
+            "ROWS k=7 us=1 cached=0",         // missing n
+            "ROWS n=1 zero:one",
+            "STATS requests",
+            "STATS requests=many",
+        ] {
+            assert!(Response::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn goal_tokens_cover_all_goals() {
+        for goal in [
+            Goal::Exact(6),
+            Goal::SkylineJoin,
+            Goal::AtLeast(10, FindKStrategy::Range),
+            Goal::AtMost(3, FindKStrategy::Naive),
+        ] {
+            let token = goal_token(goal);
+            assert!(!token.contains(char::is_whitespace), "{token:?}");
+            assert_eq!(token.parse::<Goal>().unwrap(), goal);
+        }
+    }
+
+    #[test]
+    fn plan_spec_to_plan_carries_everything() {
+        let spec = PlanSpec::new("l", "r")
+            .aggs(&[AggFunc::Sum])
+            .k(7)
+            .algorithm(Algorithm::Naive)
+            .kdom(KdomAlgo::TsaPresort);
+        let plan = spec.to_plan();
+        assert_eq!(plan.goal, Goal::Exact(7));
+        assert_eq!(plan.algorithm, Algorithm::Naive);
+        assert_eq!(plan.kdom, Some(KdomAlgo::TsaPresort));
+        assert_eq!(plan.funcs, vec![AggFunc::Sum]);
+    }
+}

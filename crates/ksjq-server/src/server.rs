@@ -1,0 +1,587 @@
+//! The TCP server: a fixed worker-thread pool over one shared [`Engine`].
+//!
+//! The accept loop hands connections to `--workers` threads through an
+//! mpsc channel; each worker owns a connection for its whole session (the
+//! protocol is lockstep request/response, so there is nothing to
+//! multiplex). All workers share:
+//!
+//! * the [`Engine`] — and through it the catalog — so `LOAD`ed relations
+//!   are visible to every connection;
+//! * a named [`PreparedQuery`] session map behind an `RwLock`, so one
+//!   connection can `PREPARE` a query and another can `EXECUTE` it;
+//! * the [`ResultCache`], keyed by normalised plan fingerprint and
+//!   invalidated on every catalog registration.
+//!
+//! Shutdown is graceful: [`ServerHandle::shutdown`] flips a flag and pokes
+//! the listener awake; the accept loop stops handing out connections,
+//! the channel closes, and workers exit after finishing their current
+//! session.
+//!
+//! Nothing a peer sends can panic a worker: requests parse into typed
+//! [`Request`]s or an `ERR` frame, execution errors become `ERR` frames,
+//! oversized lines are answered and drained without unbounded buffering.
+
+use crate::cache::ResultCache;
+use crate::protocol::{
+    LoadSource, PlanSpec, ProtoResult, Request, Response, RowSet, ServerStats, MAX_LINE_BYTES,
+};
+use ksjq_core::{CoreResult, Engine, KsjqOutput, PreparedQuery};
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+/// Upper bound on `n · d` of one `LOAD … SYNTHETIC` request, so a single
+/// wire command cannot make the server allocate arbitrarily much.
+const MAX_SYNTHETIC_CELLS: usize = 50_000_000;
+
+/// Server knobs, matching the `ksjq-serverd` flags.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads (= maximum concurrent sessions being served).
+    pub workers: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_entries: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 8,
+            cache_entries: 128,
+        }
+    }
+}
+
+/// One named prepared query in the shared session map.
+#[derive(Debug, Clone)]
+struct Session {
+    prepared: Arc<PreparedQuery>,
+    fingerprint: String,
+}
+
+/// State shared by the accept loop and every worker.
+#[derive(Debug)]
+struct Shared {
+    engine: Engine,
+    sessions: RwLock<HashMap<String, Session>>,
+    cache: ResultCache,
+    workers: usize,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    /// Bumped on every catalog registration; guards against caching a
+    /// result computed against a catalog that changed mid-execution.
+    catalog_epoch: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// A bound, not-yet-running KSJQ server. [`run`](Server::run) blocks;
+/// [`start`](Server::start) is the spawn-in-background convenience.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// Cloneable trigger for graceful shutdown.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// Ask the server to stop: no new connections are served; workers
+    /// finish their current session and exit.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Poke the blocking accept() awake so it observes the flag. A
+        // wildcard bind address (0.0.0.0 / ::) is not connectable on
+        // every platform, so fall back to loopback on the same port.
+        if TcpStream::connect(self.addr).is_err() && self.addr.ip().is_unspecified() {
+            let loopback: std::net::IpAddr = if self.addr.is_ipv4() {
+                std::net::Ipv4Addr::LOCALHOST.into()
+            } else {
+                std::net::Ipv6Addr::LOCALHOST.into()
+            };
+            let _ = TcpStream::connect((loopback, self.addr.port()));
+        }
+    }
+}
+
+/// A server running on a background thread, for tests, examples and
+/// harness `--serve` mode.
+#[derive(Debug)]
+pub struct RunningServer {
+    handle: ServerHandle,
+    thread: JoinHandle<io::Result<()>>,
+}
+
+impl RunningServer {
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.handle.addr
+    }
+
+    /// A shutdown trigger usable from other threads.
+    pub fn handle(&self) -> ServerHandle {
+        self.handle.clone()
+    }
+
+    /// Shut down gracefully and wait for the accept loop and workers.
+    pub fn stop(self) -> io::Result<()> {
+        self.handle.shutdown();
+        self.thread
+            .join()
+            .unwrap_or_else(|_| Err(io::Error::other("server thread panicked")))
+    }
+}
+
+impl Server {
+    /// Bind to `config.addr` serving `engine`'s catalog.
+    pub fn bind(engine: Engine, config: &ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                engine,
+                sessions: RwLock::new(HashMap::new()),
+                cache: ResultCache::new(config.cache_entries),
+                workers: config.workers.max(1),
+                connections: AtomicU64::new(0),
+                requests: AtomicU64::new(0),
+                errors: AtomicU64::new(0),
+                catalog_epoch: AtomicU64::new(0),
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A shutdown trigger for this server.
+    pub fn handle(&self) -> io::Result<ServerHandle> {
+        Ok(ServerHandle {
+            shared: self.shared.clone(),
+            addr: self.local_addr()?,
+        })
+    }
+
+    /// Bind and run on a background thread.
+    pub fn start(engine: Engine, config: &ServerConfig) -> io::Result<RunningServer> {
+        let server = Server::bind(engine, config)?;
+        let handle = server.handle()?;
+        let thread = thread::Builder::new()
+            .name("ksjq-accept".into())
+            .spawn(move || server.run())?;
+        Ok(RunningServer { handle, thread })
+    }
+
+    /// Serve until [`ServerHandle::shutdown`] is called. Blocks.
+    pub fn run(self) -> io::Result<()> {
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers: Vec<JoinHandle<()>> = (0..self.shared.workers)
+            .map(|i| {
+                let shared = self.shared.clone();
+                let rx = rx.clone();
+                thread::Builder::new()
+                    .name(format!("ksjq-worker-{i}"))
+                    .spawn(move || loop {
+                        // Holding the lock only while receiving: the next
+                        // idle worker picks up the next connection.
+                        let conn = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+                        match conn {
+                            Ok(stream) => {
+                                // Belt and braces on top of the session
+                                // loop's no-panic design: a panic must cost
+                                // one session, not silently shrink the pool
+                                // until no worker drains the queue.
+                                let caught =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        serve_connection(&shared, stream)
+                                    }));
+                                if caught.is_err() {
+                                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            Err(_) => return, // channel closed: shutdown
+                        }
+                    })
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        for conn in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match conn {
+                Ok(stream) => {
+                    self.shared.connections.fetch_add(1, Ordering::Relaxed);
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(_) => continue, // transient accept error
+            }
+        }
+        drop(tx);
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+// ------------------------------------------------------------------ I/O
+
+enum LineRead {
+    /// A complete (or EOF-truncated) line, newline stripped.
+    Line,
+    /// Clean disconnect (or server shutdown while the peer was idle).
+    Eof,
+    /// The line exceeded [`MAX_LINE_BYTES`]; the rest was drained.
+    TooLong,
+}
+
+/// A read error that just means "the [`READ_POLL`](read timeout) tick
+/// elapsed": time to check the shutdown flag, not a failure.
+fn is_poll_tick(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Read one `\n`-terminated line into `buf` without ever buffering more
+/// than [`MAX_LINE_BYTES`] + 1 bytes of it.
+///
+/// The stream carries a read timeout (see [`serve_connection`]); every
+/// timeout tick re-checks `shutdown` so a worker blocked on an idle
+/// session cannot stall graceful shutdown. Partial lines survive ticks —
+/// `read_until` appends, and the budget is recomputed from `buf.len()`.
+fn read_line_limited(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    shutdown: &AtomicBool,
+) -> io::Result<LineRead> {
+    buf.clear();
+    while buf.last() != Some(&b'\n') {
+        let budget = (MAX_LINE_BYTES + 1).saturating_sub(buf.len());
+        if budget == 0 {
+            return drain_oversized(reader, buf, shutdown);
+        }
+        match reader.by_ref().take(budget as u64).read_until(b'\n', buf) {
+            Ok(0) if buf.is_empty() => return Ok(LineRead::Eof),
+            Ok(0) => break, // EOF mid-line: hand the truncated line up
+            Ok(_) => {}
+            Err(e) if is_poll_tick(&e) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(LineRead::Eof);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    while buf.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
+        buf.pop();
+    }
+    Ok(LineRead::Line)
+}
+
+/// Discard the remainder of an oversized line in bounded chunks.
+fn drain_oversized(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    shutdown: &AtomicBool,
+) -> io::Result<LineRead> {
+    loop {
+        buf.clear();
+        match reader.by_ref().take(64 * 1024).read_until(b'\n', buf) {
+            Ok(0) => {
+                buf.clear();
+                return Ok(LineRead::TooLong);
+            }
+            Ok(_) if buf.last() == Some(&b'\n') => {
+                buf.clear();
+                return Ok(LineRead::TooLong);
+            }
+            Ok(_) => {}
+            Err(e) if is_poll_tick(&e) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(LineRead::Eof);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn write_line(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    let mut line = response.to_string();
+    line.push('\n');
+    stream.write_all(line.as_bytes())?;
+    stream.flush()
+}
+
+/// How often an idle worker wakes to check the shutdown flag.
+const READ_POLL: std::time::Duration = std::time::Duration::from_millis(200);
+
+/// Serve one connection to completion. Never panics on peer input.
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    // The timeout makes blocking reads into a poll loop so shutdown is
+    // never gated on a quiet peer. Nagle off: the protocol is lockstep
+    // one-liners, and batching them behind delayed ACKs costs ~40ms per
+    // exchange.
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream;
+    let mut reader = match writer.try_clone().map(BufReader::new) {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let mut buf = Vec::new();
+    loop {
+        let line = match read_line_limited(&mut reader, &mut buf, &shared.shutdown) {
+            Ok(LineRead::Line) => String::from_utf8_lossy(&buf).into_owned(),
+            Ok(LineRead::Eof) => return,
+            Ok(LineRead::TooLong) => {
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                let err = Response::Error(format!("line exceeds {MAX_LINE_BYTES} bytes"));
+                if write_line(&mut writer, &err).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        let response = match Request::parse(&line) {
+            Ok(Request::Close) => {
+                let _ = write_line(&mut writer, &Response::Bye);
+                return;
+            }
+            Ok(request) => handle_request(shared, request),
+            Err(message) => Response::Error(message),
+        };
+        if matches!(response, Response::Error(_)) {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if write_line(&mut writer, &response).is_err() {
+            return;
+        }
+    }
+}
+
+// ------------------------------------------------------------- dispatch
+
+fn handle_request(shared: &Shared, request: Request) -> Response {
+    match request {
+        Request::Load { name, source } => load(shared, &name, source),
+        Request::Prepare { id, plan } => prepare(shared, id, &plan),
+        Request::Execute { id } => execute(shared, &id),
+        Request::Query { plan } => query(shared, &plan),
+        Request::Explain { id } => explain(shared, &id),
+        Request::Stats => Response::Stats(stats(shared)),
+        Request::Close => Response::Bye, // handled in the session loop
+    }
+}
+
+fn load(shared: &Shared, name: &str, source: LoadSource) -> Response {
+    let registered = match source {
+        LoadSource::Inline { csv } => shared
+            .engine
+            .catalog()
+            .register_csv(name, &csv)
+            .map_err(|e| e.to_string()),
+        LoadSource::Synthetic(spec) => {
+            if spec.n.saturating_mul(spec.d) > MAX_SYNTHETIC_CELLS {
+                return Response::Error(format!(
+                    "synthetic relation too large: n·d must stay ≤ {MAX_SYNTHETIC_CELLS}"
+                ));
+            }
+            reencode_keys(shared.engine.catalog(), spec.dataset_spec().generate())
+                .and_then(|rel| shared.engine.register(name, rel).map_err(|e| e.to_string()))
+        }
+    };
+    match registered {
+        Ok(handle) => {
+            // Catalog changed: results computed against the old catalog
+            // must not be served for new plans.
+            shared.catalog_epoch.fetch_add(1, Ordering::SeqCst);
+            shared.cache.clear();
+            Response::Ok(format!(
+                "loaded {name} n={} d={}",
+                handle.n(),
+                handle.schema().d()
+            ))
+        }
+        Err(message) => Response::Error(message),
+    }
+}
+
+/// Re-encode a generated relation's numeric group ids through the
+/// catalog's shared key dictionary (as their decimal strings), so every
+/// relation the server loads — synthetic or `INLINE` CSV — lives in one
+/// group-id domain. Without this, a synthetic relation's generator ids
+/// and a CSV relation's dictionary ids could collide numerically and an
+/// equality join across them would match unrelated keys by coincidence;
+/// with it, such a join correctly matches only equal key *strings*.
+/// Re-numbering is a bijection on each relation's keys, so join results
+/// against in-process execution are unchanged.
+fn reencode_keys(
+    catalog: &ksjq_relation::Catalog,
+    rel: ksjq_relation::Relation,
+) -> ProtoResult<ksjq_relation::Relation> {
+    // Memoise per distinct gid (the group count, not the tuple count):
+    // one dictionary-lock round and one string allocation per *group*,
+    // not per tuple — relations can carry millions of tuples over a
+    // handful of groups.
+    let mut encoded: HashMap<u64, u64> = HashMap::new();
+    let mut b = ksjq_relation::Relation::builder(rel.schema().clone()).with_capacity(rel.n());
+    for (t, _) in rel.rows() {
+        let gid = rel
+            .group_id(t)
+            .ok_or("synthetic relations always carry group keys")?;
+        let key = *encoded
+            .entry(gid)
+            .or_insert_with(|| catalog.encode_key(&gid.to_string()));
+        b.add_grouped(key, &rel.raw_row(t))
+            .map_err(|e| e.to_string())?;
+    }
+    b.build().map_err(|e| e.to_string())
+}
+
+fn prepare(shared: &Shared, id: String, plan: &PlanSpec) -> Response {
+    match shared.engine.prepare(&plan.to_plan()) {
+        Ok(prepared) => {
+            let k = prepared.k();
+            let session = Session {
+                prepared: Arc::new(prepared),
+                fingerprint: plan.fingerprint(),
+            };
+            shared
+                .sessions
+                .write()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(id.clone(), session);
+            Response::Ok(format!("prepared {id} k={k}"))
+        }
+        Err(e) => Response::Error(e.to_string()),
+    }
+}
+
+fn lookup(shared: &Shared, id: &str) -> Option<Session> {
+    shared
+        .sessions
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(id)
+        .cloned()
+}
+
+fn execute(shared: &Shared, id: &str) -> Response {
+    match lookup(shared, id) {
+        Some(session) => run_cached(shared, &session),
+        None => Response::Error(format!("unknown query id {id:?}: PREPARE it first")),
+    }
+}
+
+fn query(shared: &Shared, plan: &PlanSpec) -> Response {
+    match shared.engine.prepare(&plan.to_plan()) {
+        Ok(prepared) => run_cached(
+            shared,
+            &Session {
+                prepared: Arc::new(prepared),
+                fingerprint: plan.fingerprint(),
+            },
+        ),
+        Err(e) => Response::Error(e.to_string()),
+    }
+}
+
+fn run_cached(shared: &Shared, session: &Session) -> Response {
+    match rowset(shared, session) {
+        Ok(rows) => Response::Rows(rows),
+        Err(e) => Response::Error(e.to_string()),
+    }
+}
+
+fn rowset(shared: &Shared, session: &Session) -> CoreResult<RowSet> {
+    let k = session.prepared.k();
+    if let Some(hit) = shared.cache.get(&session.fingerprint) {
+        return Ok(RowSet {
+            k,
+            micros: 0,
+            cached: true,
+            pairs: pairs_of(&hit),
+        });
+    }
+    let epoch = shared.catalog_epoch.load(Ordering::SeqCst);
+    let started = Instant::now();
+    let output = session.prepared.execute()?;
+    let micros = started.elapsed().as_micros() as u64;
+    let output = Arc::new(output);
+    // Don't cache across a concurrent catalog change: the fingerprint is
+    // name-based, and a name may since have been rebound. The re-check
+    // *after* the insert closes the window where a LOAD's clear() lands
+    // between our epoch check and our insert — any such LOAD bumped the
+    // epoch first, so we observe it here and drop the stale entry; a LOAD
+    // that bumps later clears the cache itself.
+    if shared.catalog_epoch.load(Ordering::SeqCst) == epoch {
+        shared
+            .cache
+            .insert(session.fingerprint.clone(), output.clone());
+        if shared.catalog_epoch.load(Ordering::SeqCst) != epoch {
+            shared.cache.clear();
+        }
+    }
+    Ok(RowSet {
+        k,
+        micros,
+        cached: false,
+        pairs: pairs_of(&output),
+    })
+}
+
+fn pairs_of(output: &KsjqOutput) -> Vec<(u32, u32)> {
+    output.pairs.iter().map(|&(l, r)| (l.0, r.0)).collect()
+}
+
+fn explain(shared: &Shared, id: &str) -> Response {
+    match lookup(shared, id) {
+        Some(session) => Response::Explain(session.prepared.explain().compact()),
+        None => Response::Error(format!("unknown query id {id:?}: PREPARE it first")),
+    }
+}
+
+fn stats(shared: &Shared) -> ServerStats {
+    let counters = shared.cache.counters();
+    ServerStats {
+        connections: shared.connections.load(Ordering::Relaxed),
+        requests: shared.requests.load(Ordering::Relaxed),
+        errors: shared.errors.load(Ordering::Relaxed),
+        sessions: shared
+            .sessions
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .len() as u64,
+        relations: shared.engine.catalog().len() as u64,
+        cache_hits: counters.hits(),
+        cache_misses: counters.misses(),
+        cache_evictions: counters.evictions(),
+        cache_len: shared.cache.len() as u64,
+        workers: shared.workers as u64,
+    }
+}

@@ -1,0 +1,85 @@
+//! The two-leg flight search of `flight_search.rs`, but served over TCP:
+//! a `ksjq-server` runs the engine, and this process is a thin client
+//! speaking the wire protocol — the deployment shape for many users
+//! sharing one loaded catalog.
+//!
+//! The example is self-contained: it starts the server in-process on an
+//! ephemeral port, then talks to it exactly as a remote client would
+//! (point `KsjqClient::connect` at a running `ksjq-serverd` to do it
+//! across machines).
+//!
+//! ```sh
+//! cargo run --release --example remote_flight_search
+//! ```
+
+use ksjq::prelude::*;
+use ksjq::server::ClientError;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Server side: an engine with the synthetic flight network (the
+    // paper's Sec. 7.4 cardinalities), served by an 8-worker pool.
+    let engine = Engine::new();
+    let net = FlightNetworkSpec::default().generate();
+    engine.register("outbound", net.outbound)?;
+    engine.register("inbound", net.inbound)?;
+    let server = Server::start(engine, &ServerConfig::default())?;
+    println!("ksjq-server on {} (8 workers)", server.addr());
+
+    // Client side: everything below happens over the socket.
+    let mut client = KsjqClient::connect(server.addr())?;
+
+    // Prepare the search: total cost and total time aggregated over both
+    // legs, fees/popularity/amenities per leg, k = 6 of 8 attributes.
+    let plan = PlanSpec::new("outbound", "inbound")
+        .aggs(&[AggFunc::Sum, AggFunc::Sum])
+        .k(6)
+        .algorithm(Algorithm::Grouping);
+    client.prepare("search", &plan)?;
+    println!("\nEXPLAIN -> {}", client.explain("search")?);
+
+    let rows = client.execute("search")?;
+    println!(
+        "\n{} itineraries survive 6-dominance ({}µs server-side); first ten:",
+        rows.pairs.len(),
+        rows.micros
+    );
+    for &(out, inn) in rows.pairs.iter().take(10) {
+        println!("  outbound #{out} connecting to inbound #{inn}");
+    }
+
+    // The same query again is a cache hit — the server never recomputes.
+    let again = client.execute("search")?;
+    println!(
+        "\nrepeated EXECUTE: cached={} ({}µs server-side)",
+        again.cached, again.micros
+    );
+
+    // A shortlist via Problem 4, still over the wire: let the server run
+    // the find-k search and pin k.
+    let shortlist = client.query(
+        &PlanSpec::new("outbound", "inbound")
+            .aggs(&[AggFunc::Sum, AggFunc::Sum])
+            .goal("atmost:10".parse::<Goal>().expect("valid goal")),
+    )?;
+    println!(
+        "\nshortlist of <= 10: server chose k={} giving {} itineraries",
+        shortlist.k,
+        shortlist.pairs.len()
+    );
+
+    // Server-side validation travels back as typed errors.
+    match client.query(&PlanSpec::new("outbound", "nonexistent")) {
+        Err(ClientError::Server(msg)) => println!("\nbad plan rejected: {msg}"),
+        other => println!("\nunexpected: {other:?}"),
+    }
+
+    let stats = client.stats()?;
+    println!(
+        "\nSTATS: {} requests over {} connections, cache {} hits / {} misses",
+        stats.requests, stats.connections, stats.cache_hits, stats.cache_misses
+    );
+
+    client.close()?;
+    server.stop()?;
+    Ok(())
+}

@@ -16,6 +16,7 @@
 //! | [`join`] | join specs, monotone aggregates, [`join::JoinContext`] |
 //! | [`datagen`] | synthetic distributions, paper tables, flight networks |
 //! | [`core`] | the KSJQ algorithms, find-k, and the [`core::Engine`] / [`core::QueryPlan`] serving layer |
+//! | [`server`] | TCP serving: wire protocol, [`server::Server`] thread pool, result cache, [`server::KsjqClient`] |
 //!
 //! ## Quickstart
 //!
@@ -57,6 +58,7 @@ pub use ksjq_core as core;
 pub use ksjq_datagen as datagen;
 pub use ksjq_join as join;
 pub use ksjq_relation as relation;
+pub use ksjq_server as server;
 pub use ksjq_skyline as skyline;
 
 /// The most common imports in one place.
@@ -72,5 +74,6 @@ pub mod prelude {
     pub use ksjq_relation::{
         Catalog, Preference, Relation, RelationHandle, Schema, StringDictionary, TupleId,
     };
+    pub use ksjq_server::{KsjqClient, PlanSpec, Server, ServerConfig};
     pub use ksjq_skyline::KdomAlgo;
 }
