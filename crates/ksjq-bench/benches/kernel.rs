@@ -1,13 +1,15 @@
-//! Microbenchmarks of the hot kernels: the dominance counting loop, the
-//! single-relation k-dominant skyline algorithms, and the classification
-//! routine — plus the ablation DESIGN.md calls out (one-sided target
-//! verification vs a paper-literal full-join scan for the "may be" set).
+//! Microbenchmarks of the hot kernels: the dominance counting loop (full,
+//! partial and blocked forms), the verification kernels (materialized vs
+//! split-side), the single-relation k-dominant skyline algorithms, and the
+//! classification routine — plus the ablation DESIGN.md calls out
+//! (one-sided target verification vs a paper-literal full-join scan for
+//! the "may be" set).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ksjq_bench::PaperParams;
-use ksjq_core::{classify, ksjq_grouping, ksjq_naive, validate_k, Config};
+use ksjq_bench::{prepare_candidates, run_materialized, run_split, PaperParams};
+use ksjq_core::{classify, classify_parallel, ksjq_grouping, ksjq_naive, validate_k, Config};
 use ksjq_datagen::{DataType, DatasetSpec};
-use ksjq_relation::{dom_counts, k_dominates};
+use ksjq_relation::{dom_counts, dom_counts_block, dom_counts_partial, k_dominates};
 use ksjq_skyline::{k_dominant_skyline, KdomAlgo};
 
 fn bench_dominance_kernel(c: &mut Criterion) {
@@ -42,6 +44,58 @@ fn bench_dominance_kernel(c: &mut Criterion) {
             })
         });
     }
+    // Split-side primitives: indexed-segment counting and the blocked
+    // candidate-vs-relation sweep.
+    let attrs: Vec<usize> = (0..6).collect();
+    group.bench_function("dom_counts_partial_6of12", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..999u32 {
+                acc += dom_counts_partial(
+                    rel.row_at(i as usize),
+                    &attrs,
+                    &rel.row_at(i as usize + 1)[..6],
+                )
+                .le;
+            }
+            acc
+        })
+    });
+    group.bench_function("dom_counts_block_1000x12", |b| {
+        let probe = rel.row_at(0).to_vec();
+        let mut out = Vec::with_capacity(rel.n());
+        b.iter(|| {
+            out.clear();
+            dom_counts_block(rel.values(), &probe, &mut out);
+            out.iter().map(|c| c.le).sum::<u32>()
+        })
+    });
+    group.finish();
+}
+
+/// The tentpole comparison: verifying one workload's candidates with the
+/// pre-split materialise-then-compare reference vs the split-side kernel.
+/// Dataset generation, classification and candidate materialisation are
+/// shared setup hoisted out of the timed loops — each sample measures one
+/// verification sweep and nothing else.
+fn bench_verification_kernels(c: &mut Criterion) {
+    let params = PaperParams {
+        n: 330,
+        data_type: DataType::AntiCorrelated,
+        ..Default::default()
+    };
+    let cfg = Config::default();
+    let (r1, r2) = params.relations();
+    let cx = params.context(&r1, &r2);
+    let cands = prepare_candidates(&cx, params.k, &cfg);
+    let mut group = c.benchmark_group("kernel_verification");
+    group.sample_size(10);
+    group.bench_function("materialized_330", |b| {
+        b.iter(|| run_materialized(&cx, params.k, &cands).attr_cmps)
+    });
+    group.bench_function("split_side_330", |b| {
+        b.iter(|| run_split(&cx, params.k, &cands).attr_cmps)
+    });
     group.finish();
 }
 
@@ -84,6 +138,9 @@ fn bench_classification(c: &mut Criterion) {
     for (name, algo) in [("tsa", KdomAlgo::Tsa), ("osa", KdomAlgo::Osa)] {
         group.bench_function(name, |b| b.iter(|| classify(&cx, &p, algo).tallies(0)));
     }
+    group.bench_function("tsa_4_threads", |b| {
+        b.iter(|| classify_parallel(&cx, &p, KdomAlgo::Tsa, 4).tallies(0))
+    });
     group.finish();
 }
 
@@ -118,6 +175,7 @@ fn bench_ablation_target_filter(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_dominance_kernel,
+    bench_verification_kernels,
     bench_kdom_algorithms,
     bench_classification,
     bench_ablation_target_filter

@@ -16,6 +16,12 @@
 //! and `--remote ADDR` makes every sweep `LOAD` its relations into such
 //! a server and `QUERY` them through a socket instead of in-process.
 //!
+//! The extra `kernel` subcommand (not part of `all`) runs the
+//! verification-kernel ablation — the pre-split materialise-then-compare
+//! reference against the split-side kernel — plus a fig3b-style
+//! scalability sweep; `--json PATH` writes the measurements in the
+//! committed `BENCH_kernel.json` baseline format.
+//!
 //! ```sh
 //! cargo run --release -p ksjq-bench --bin harness -- all --scale 0.33
 //! cargo run --release -p ksjq-bench --bin harness -- fig1a --full
@@ -47,6 +53,9 @@ struct Opts {
     remote: Option<String>,
     /// Serve the demo catalog on this address instead of running figures.
     serve: Option<String>,
+    /// Write the `kernel` subcommand's measurements to this path as JSON
+    /// (the committed `BENCH_kernel.json` baseline format).
+    json: Option<String>,
 }
 
 /// Parsed options, readable from every figure function.
@@ -64,6 +73,7 @@ fn parse_args() -> Opts {
     let mut goal = None;
     let mut remote = None;
     let mut serve = None;
+    let mut json = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -101,12 +111,18 @@ fn parse_args() -> Opts {
                         .unwrap_or_else(|| die("--serve needs host:port")),
                 );
             }
+            "--json" => {
+                json = Some(args.next().unwrap_or_else(|| die("--json needs a path")));
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: harness [FIGURE] [--scale F | --full] [--algo A[,A…]] [--kdom K]\n\
                      \x20       [--goal G] [--remote HOST:PORT] [--serve HOST:PORT]\n\
+                     \x20       [--json PATH]\n\
                      figures: fig1a fig1b fig2a fig2b fig3a fig3b fig4 fig5a fig5b\n\
                      \x20        fig6a fig6b fig7 fig8a fig8b fig9a fig9b fig10 fig11 all\n\
+                     \x20        kernel (verification-kernel ablation; --json writes the\n\
+                     \x20        BENCH_kernel.json baseline)\n\
                      algos:   naive grouping dominator-based (comma-separated)\n\
                      kdom:    naive osa tsa tsa-presort\n\
                      goal:    exact:K | skyline | atleast:D[:S] | atmost:D[:S]\n\
@@ -128,6 +144,7 @@ fn parse_args() -> Opts {
         goal,
         remote,
         serve,
+        json,
     }
 }
 
@@ -138,6 +155,10 @@ fn die(msg: &str) -> ! {
 
 fn main() {
     let opts = OPTS.get_or_init(parse_args);
+    if opts.json.is_some() && opts.figure != "kernel" {
+        // Fail fast instead of silently never writing the file.
+        die("--json is only supported by the `kernel` subcommand");
+    }
     if let Some(addr) = &opts.serve {
         serve_demo_catalog(addr);
     }
@@ -170,6 +191,12 @@ fn main() {
     fig!("fig9b", fig9b);
     fig!("fig10", fig10);
     fig!("fig11", fig11);
+    // Not part of `all`: the materialized reference sweep is deliberately
+    // the slow pre-split kernel.
+    if opts.figure == "kernel" {
+        kernel_figure(opts.scale);
+        ran = true;
+    }
     if !ran {
         die(&format!("unknown figure '{}' (try --help)", opts.figure));
     }
@@ -731,6 +758,163 @@ fn fig10(scale: f64) {
     .map(|(name, data_type)| (name.to_string(), PaperParams { data_type, ..base }, delta))
     .collect();
     run_find_k_sweep(&configs);
+}
+
+// ------------------------------------------------- verification kernel
+
+/// One recorded grouping run of the kernel figure's scalability sweep.
+struct ScalabilityRow {
+    n: usize,
+    run: AlgoRun,
+}
+
+/// `kernel`: the verification-kernel ablation. Measures the pre-split
+/// materialise-then-compare reference against the split-side kernel on an
+/// anti-correlated workload (`n = 33000·scale`, the paper's Table 7 shape
+/// with the hostile distribution), then sweeps the fig3b scalability sizes
+/// with the grouping algorithm so wall-clock and the `ExecStats` kernel
+/// counters land in one place. `--json PATH` writes the whole measurement
+/// as the `BENCH_kernel.json` baseline.
+fn kernel_figure(scale: f64) {
+    let o = opts();
+    let n = ((33_000f64 * scale).round() as usize).max(50);
+    banner(
+        "Kernel",
+        "split-side vs materialized verification",
+        &format!("anti-correlated d=7 a=2 k=11 g=10 n={n}"),
+    );
+    let params = PaperParams {
+        n,
+        data_type: DataType::AntiCorrelated,
+        ..PaperParams::default()
+    };
+    // The materialized reference costs O(n²) per candidate; a stride
+    // sample keeps the comparison tractable at the paper's sizes while
+    // measuring both kernels on the identical candidates.
+    const CANDIDATE_CAP: usize = 512;
+    let cmp = compare_verification_kernels_sampled(&params, &o.cfg, Some(CANDIDATE_CAP));
+    if cmp.measured < cmp.candidates {
+        println!(
+            "    measuring a deterministic sample of {} of {} candidates",
+            cmp.measured, cmp.candidates
+        );
+    }
+    println!(
+        "    {:>14} {:>14} {:>16} {:>10} {:>9}",
+        "kernel", "dom tests", "attr cmps", "wall(ms)", "survive"
+    );
+    for (name, cost) in [
+        ("materialized", cmp.materialized),
+        ("split-side", cmp.split),
+    ] {
+        println!(
+            "    {:>14} {:>14} {:>16} {:>10} {:>9}",
+            name,
+            cost.dom_tests,
+            cost.attr_cmps,
+            ms(cost.wall),
+            cost.survivors
+        );
+    }
+    println!(
+        "    {:.2}x fewer attribute comparisons, {:.2}x wall-clock speedup \
+         over {} measured candidates ({} joined pairs)",
+        cmp.attr_cmp_ratio(),
+        cmp.speedup(),
+        cmp.measured,
+        cmp.joined_pairs
+    );
+
+    // fig3b-style scalability, grouping algorithm (the split kernel's
+    // production consumer), with the kernel counters per size.
+    println!("\n    scalability (grouping, independent, d=7 a=2 k=11 g=10):");
+    print_header("config");
+    let mut sizes = vec![100usize, 330, 1000, 3300];
+    if scale >= 1.0 {
+        sizes.extend([10_000, 33_000]);
+    }
+    let mut rows = Vec::new();
+    for base_n in sizes {
+        let sn = ((base_n as f64 * scale).round() as usize).max(10);
+        let sweep = PaperParams {
+            n: sn,
+            ..PaperParams::default()
+        };
+        let prepared = prepare_config(&sweep, Goal::Exact(sweep.k));
+        for run in run_algorithms(prepared.context(), sweep.k, &o.cfg, &[Algorithm::Grouping]) {
+            print_run(&format!("n={sn}"), &run);
+            rows.push(ScalabilityRow { n: sn, run });
+        }
+    }
+
+    if let Some(path) = &o.json {
+        let json = kernel_json(scale, &cmp, &rows);
+        std::fs::write(path, json).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        println!("\n    wrote {path}");
+    }
+}
+
+/// Serialise the kernel figure's measurements as the `BENCH_kernel.json`
+/// baseline (hand-rolled: the workspace is dependency-free by design).
+fn kernel_json(scale: f64, cmp: &KernelComparison, rows: &[ScalabilityRow]) -> String {
+    fn cost(c: &KernelCost) -> String {
+        format!(
+            "{{\"dom_tests\": {}, \"attr_cmps\": {}, \"wall_ms\": {}, \"survivors\": {}}}",
+            c.dom_tests,
+            c.attr_cmps,
+            ms(c.wall),
+            c.survivors
+        )
+    }
+    let p = &cmp.params;
+    let workload = format!(
+        "{{\"n\": {}, \"d\": {}, \"a\": {}, \"g\": {}, \"k\": {}, \"data_type\": \"{}\", \
+         \"seed\": {}, \"joined_pairs\": {}, \"candidates\": {}, \"candidates_measured\": {}}}",
+        p.n,
+        p.d,
+        p.a,
+        p.g,
+        p.k,
+        p.data_type,
+        p.seed,
+        cmp.joined_pairs,
+        cmp.candidates,
+        cmp.measured
+    );
+    let scalability: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            let ph = row.run.output.stats.phases;
+            let c = row.run.output.stats.counts;
+            format!(
+                "    {{\"n\": {}, \"algo\": \"{}\", \"grouping_ms\": {}, \"join_ms\": {}, \
+                 \"domgen_ms\": {}, \"remaining_ms\": {}, \"total_ms\": {}, \"skyline\": {}, \
+                 \"dom_tests\": {}, \"attr_cmps\": {}, \"targets_pruned\": {}}}",
+                row.n,
+                row.run.label,
+                ms(ph.grouping),
+                ms(ph.join),
+                ms(ph.dominator_gen),
+                ms(ph.remaining),
+                ms(row.run.total),
+                row.run.output.len(),
+                c.dom_tests,
+                c.attr_cmps,
+                c.targets_pruned
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"schema_version\": 1,\n  \"bench\": \"kernel\",\n  \"scale\": {scale},\n  \
+         \"kernel\": {{\n    \"workload\": {workload},\n    \"materialized\": {},\n    \
+         \"split_side\": {},\n    \"attr_cmp_ratio\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \
+         \"fig3_scalability\": [\n{}\n  ]\n}}\n",
+        cost(&cmp.materialized),
+        cost(&cmp.split),
+        cmp.attr_cmp_ratio(),
+        cmp.speedup(),
+        scalability.join(",\n")
+    )
 }
 
 // ---------------------------------------------------------------- real data

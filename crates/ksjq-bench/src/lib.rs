@@ -7,6 +7,13 @@
 //! subcommand to each figure; the `benches/` directory holds Criterion
 //! microbenchmarks over the same workloads.
 
+pub mod kernel;
+
+pub use kernel::{
+    compare_verification_kernels, compare_verification_kernels_sampled, prepare_candidates,
+    run_materialized, run_split, KernelComparison, KernelCost,
+};
+
 use ksjq_core::{
     find_k_at_least, ksjq_dominator_based, ksjq_grouping, ksjq_naive, Algorithm, Config,
     FindKReport, FindKStrategy, KsjqOutput,

@@ -71,30 +71,51 @@ fn classify_side<'c>(
     rel: &Relation,
     k_prime: usize,
     kdom: KdomAlgo,
-    coverers: impl Fn(u32) -> CovererSet<'c>,
+    threads: usize,
+    coverers: impl Fn(u32) -> CovererSet<'c> + Sync,
 ) -> Vec<Category> {
     let n = rel.n();
     let all: Vec<u32> = (0..n as u32).collect();
-    // SS = the global k′-dominant skyline (Def. 1).
+    // SS = the global k′-dominant skyline (Def. 1). The scan algorithms
+    // are inherently sequential; only the per-tuple refinement below
+    // shards.
     let global = k_dominant_skyline(rel, &all, k_prime, kdom);
     let mut out = vec![Category::NN; n];
     for &t in &global {
         out[t as usize] = Category::SS;
     }
-    // Non-SS tuples: SN iff no coverer k′-dominates them.
-    for t in 0..n as u32 {
-        if out[t as usize] == Category::SS {
-            continue;
+    // Non-SS tuples: SN iff no coverer k′-dominates them. Each tuple's
+    // test is independent, so with `threads > 1` the id range shards over
+    // scoped workers exactly like parallel verification; indexed writes
+    // into disjoint slices preserve the output order bit-for-bit.
+    let refine = |lo: usize, out: &mut [Category]| {
+        for (i, slot) in out.iter_mut().enumerate() {
+            if *slot == Category::SS {
+                continue;
+            }
+            let t = (lo + i) as u32;
+            let row = rel.row_at(t as usize);
+            let dominated_in_group = match coverers(t) {
+                CovererSet::Slice(s) => k_dominated_by_any(rel, row, s, k_prime, t),
+                // Whole relation: t is non-SS, so it *is* dominated globally.
+                CovererSet::All => true,
+            };
+            if !dominated_in_group {
+                *slot = Category::SN;
+            }
         }
-        let row = rel.row_at(t as usize);
-        let dominated_in_group = match coverers(t) {
-            CovererSet::Slice(s) => k_dominated_by_any(rel, row, s, k_prime, t),
-            // Whole relation: t is non-SS, so it *is* dominated globally.
-            CovererSet::All => true,
-        };
-        if !dominated_in_group {
-            out[t as usize] = Category::SN;
-        }
+    };
+    let threads = threads.min(n).max(1);
+    if threads == 1 {
+        refine(0, &mut out);
+    } else {
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (c, slice) in out.chunks_mut(chunk).enumerate() {
+                let refine = &refine;
+                scope.spawn(move || refine(c * chunk, slice));
+            }
+        });
     }
     out
 }
@@ -109,13 +130,30 @@ enum CovererSet<'a> {
 /// This is the paper's `Group` routine (Algorithms 2 and 3, lines 3–4);
 /// its cost is the "grouping time" component of the figures.
 pub fn classify(cx: &JoinContext<'_>, params: &KsjqParams, kdom: KdomAlgo) -> Classification {
-    let left = classify_side(cx.left(), params.k1_prime, kdom, |t| match cx.spec() {
-        JoinSpec::Cartesian => CovererSet::All,
-        _ => CovererSet::Slice(cx.left_coverers(t)),
+    classify_parallel(cx, params, kdom, 1)
+}
+
+/// [`classify`] with the per-tuple SN/NN refinement sharded over
+/// `threads` scoped workers. The categorisation is identical to the
+/// serial routine — same output vector, same order — because every
+/// tuple's test reads only immutable relation data.
+pub fn classify_parallel(
+    cx: &JoinContext<'_>,
+    params: &KsjqParams,
+    kdom: KdomAlgo,
+    threads: usize,
+) -> Classification {
+    let left = classify_side(cx.left(), params.k1_prime, kdom, threads, |t| {
+        match cx.spec() {
+            JoinSpec::Cartesian => CovererSet::All,
+            _ => CovererSet::Slice(cx.left_coverers(t)),
+        }
     });
-    let right = classify_side(cx.right(), params.k2_prime, kdom, |t| match cx.spec() {
-        JoinSpec::Cartesian => CovererSet::All,
-        _ => CovererSet::Slice(cx.right_coverers(t)),
+    let right = classify_side(cx.right(), params.k2_prime, kdom, threads, |t| {
+        match cx.spec() {
+            JoinSpec::Cartesian => CovererSet::All,
+            _ => CovererSet::Slice(cx.right_coverers(t)),
+        }
     });
     Classification {
         left,
@@ -225,6 +263,36 @@ mod tests {
             let c = classify(&cx, &p, KdomAlgo::Tsa);
             assert_eq!(a, b, "k={k}");
             assert_eq!(a, c, "k={k}");
+        }
+    }
+
+    #[test]
+    fn parallel_classification_matches_serial() {
+        let mut state = 321u64;
+        let mut next = move |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        let n = 97; // deliberately not a multiple of any worker count
+        let mk = |next: &mut dyn FnMut(u64) -> u64| {
+            let g: Vec<u64> = (0..n).map(|_| next(6)).collect();
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..4).map(|_| next(10) as f64).collect())
+                .collect();
+            rel(&g, &rows)
+        };
+        let r1 = mk(&mut next);
+        let r2 = mk(&mut next);
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
+        for k in 5..=8 {
+            let p = validate_k(&cx, k).unwrap();
+            let serial = classify(&cx, &p, KdomAlgo::Tsa);
+            for threads in [2usize, 3, 7, 200] {
+                let parallel = classify_parallel(&cx, &p, KdomAlgo::Tsa, threads);
+                assert_eq!(serial, parallel, "k={k} threads={threads}");
+            }
         }
     }
 

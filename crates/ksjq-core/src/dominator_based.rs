@@ -14,14 +14,16 @@
 //! `≥ k′` better-or-equal positions either k′-dominates `u` or ties it on
 //! every one of them.
 
-use crate::classify::{classify, Category};
+use crate::classify::{classify_parallel, Category};
 use crate::config::Config;
 use crate::error::CoreResult;
-use crate::grouping::{collect_candidates, record_tallies, require_strict_aggs, CheckKind};
+use crate::grouping::{
+    absorb_counters, collect_candidates, record_tallies, require_strict_aggs, CheckKind,
+};
 use crate::output::{finish, KsjqOutput};
 use crate::params::validate_k;
 use crate::stats::ExecStats;
-use crate::target::target_set;
+use crate::target::{attr_sums, order_by_attr_sum, target_set};
 use crate::verify::JoinedCheck;
 use ksjq_join::JoinContext;
 use ksjq_relation::Relation;
@@ -29,11 +31,18 @@ use std::time::Instant;
 
 fn precompute_targets(rel: &Relation, cats: &[Category], k_pp: usize) -> Vec<Option<Vec<u32>>> {
     let locals: Vec<usize> = rel.schema().local_indices().collect();
+    // SFS-style ordering: scanning each set sum-ascending lets the
+    // verifier hit a dominator (and exit) early.
+    let scores = attr_sums(rel);
     cats.iter()
         .enumerate()
         .map(|(t, c)| match c {
             Category::NN => None,
-            _ => Some(target_set(rel, &locals, t as u32, k_pp)),
+            _ => {
+                let mut set = target_set(rel, &locals, t as u32, k_pp);
+                order_by_attr_sum(&mut set, &scores);
+                Some(set)
+            }
         })
         .collect()
 }
@@ -51,7 +60,7 @@ pub fn ksjq_dominator_based(
 
     // Phase 1: classification ("grouping time").
     let t = Instant::now();
-    let cls = classify(cx, &params, cfg.kdom);
+    let cls = classify_parallel(cx, &params, cfg.kdom, cfg.threads);
     record_tallies(&cls, &mut stats);
     stats.phases.grouping = t.elapsed();
 
@@ -90,6 +99,7 @@ pub fn ksjq_dominator_based(
             out.push((u, v));
         }
     }
+    absorb_counters(&mut stats, chk.counters());
     stats.phases.remaining = t.elapsed();
     Ok(finish(out, stats))
 }

@@ -14,7 +14,7 @@
 //! * `Δ_ub = |yes| + |likely| + |may be|` — every skyline tuple survives
 //!   NN-pruning (Theorem 4, always sound).
 
-use crate::classify::{classify, pair_counts};
+use crate::classify::{classify_parallel, pair_counts};
 use crate::config::Config;
 use crate::error::{CoreError, CoreResult};
 use crate::grouping::ksjq_grouping;
@@ -115,7 +115,7 @@ impl Prober<'_, '_> {
     fn probe(&mut self, k: usize) -> Probe {
         let params = validate_k(self.cx, k).expect("k in range");
         let t = Instant::now();
-        let cls = classify(self.cx, &params, self.cfg.kdom);
+        let cls = classify_parallel(self.cx, &params, self.cfg.kdom, self.cfg.threads);
         let (yes, likely, maybe) = pair_counts(self.cx, &cls);
         self.report_phases.grouping += t.elapsed();
         self.bounds += 1;

@@ -15,14 +15,14 @@
 //! only taken when `a ≤ 1`; otherwise SS⋈SS pairs are verified like
 //! "likely" pairs.
 
-use crate::classify::{classify, Category, Classification};
+use crate::classify::{classify_parallel, Category, Classification};
 use crate::config::Config;
 use crate::error::{CoreError, CoreResult};
 use crate::output::{finish, KsjqOutput};
 use crate::params::validate_k;
 use crate::stats::ExecStats;
 use crate::target::TargetCache;
-use crate::verify::JoinedCheck;
+use crate::verify::{CheckCounters, JoinedCheck};
 use ksjq_join::JoinContext;
 use std::time::Instant;
 
@@ -77,6 +77,9 @@ pub(crate) fn collect_candidates(
         if cu == Category::NN {
             continue;
         }
+        // The left-local segment is identical for every partner of `u`:
+        // fill it lazily once per tuple, not once per pair.
+        let mut left_filled = false;
         for &v in cx.right_partners(u) {
             let kind = match (cu, cls.right[v as usize]) {
                 (Category::SS, Category::SS) => {
@@ -101,13 +104,24 @@ pub(crate) fn collect_candidates(
                 }
                 _ => continue,
             };
-            cx.fill(u, v, &mut row);
+            if !left_filled {
+                cx.fill_left(u, &mut row);
+                left_filled = true;
+            }
+            cx.fill_rest(u, v, &mut row);
             c.kinds.push(kind);
             c.pairs.push((u, v));
             c.rows.extend_from_slice(&row);
         }
     }
     c
+}
+
+/// Fold a verifier's kernel counters into the execution stats.
+pub(crate) fn absorb_counters(stats: &mut ExecStats, c: CheckCounters) {
+    stats.counts.dom_tests += c.dom_tests;
+    stats.counts.attr_cmps += c.attr_cmps;
+    stats.counts.targets_pruned += c.targets_pruned;
 }
 
 pub(crate) fn record_tallies(cls: &Classification, stats: &mut ExecStats) {
@@ -146,7 +160,7 @@ pub fn ksjq_grouping_progressive(
     stats.counts.joined_pairs = cx.count_pairs();
 
     let t = Instant::now();
-    let cls = classify(cx, &params, cfg.kdom);
+    let cls = classify_parallel(cx, &params, cfg.kdom, cfg.threads);
     record_tallies(&cls, &mut stats);
     stats.phases.grouping = t.elapsed();
 
@@ -180,6 +194,7 @@ pub fn ksjq_grouping_progressive(
             out.push((u, v));
         }
     }
+    absorb_counters(&mut stats, chk.counters());
     stats.phases.remaining = t.elapsed();
     Ok(finish(out, stats))
 }
@@ -191,9 +206,10 @@ pub fn ksjq_grouping(cx: &JoinContext<'_>, k: usize, cfg: &Config) -> CoreResult
     let mut stats = ExecStats::default();
     stats.counts.joined_pairs = cx.count_pairs();
 
-    // Phase 1: classification ("grouping time").
+    // Phase 1: classification ("grouping time"); with cfg.threads > 1 the
+    // per-tuple SS/SN refinement shards over workers.
     let t = Instant::now();
-    let cls = classify(cx, &params, cfg.kdom);
+    let cls = classify_parallel(cx, &params, cfg.kdom, cfg.threads);
     record_tallies(&cls, &mut stats);
     stats.phases.grouping = t.elapsed();
 
@@ -208,7 +224,9 @@ pub fn ksjq_grouping(cx: &JoinContext<'_>, k: usize, cfg: &Config) -> CoreResult
     // (the paper's future-work extension, see crate::parallel).
     let t = Instant::now();
     let out = if cfg.threads > 1 {
-        crate::parallel::verify_parallel(cx, k, &params, &cands, cfg.threads)
+        let (out, counters) = crate::parallel::verify_parallel(cx, k, &params, &cands, cfg.threads);
+        absorb_counters(&mut stats, counters);
+        out
     } else {
         let mut ltargets = TargetCache::new(cx.left(), params.k1_pp);
         let mut rtargets = TargetCache::new(cx.right(), params.k2_pp);
@@ -224,6 +242,7 @@ pub fn ksjq_grouping(cx: &JoinContext<'_>, k: usize, cfg: &Config) -> CoreResult
                 out.push((u, v));
             }
         }
+        absorb_counters(&mut stats, chk.counters());
         out
     };
     stats.phases.remaining = t.elapsed();
@@ -233,6 +252,7 @@ pub fn ksjq_grouping(cx: &JoinContext<'_>, k: usize, cfg: &Config) -> CoreResult
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::classify::classify;
     use crate::naive::ksjq_naive;
     use ksjq_join::{AggFunc, JoinSpec};
     use ksjq_relation::{Relation, Schema, TupleId};

@@ -68,9 +68,9 @@ pub mod plan;
 pub mod query;
 pub mod stats;
 pub mod target;
-mod verify;
+pub mod verify;
 
-pub use classify::{classify, pair_counts, Category, Classification};
+pub use classify::{classify, classify_parallel, pair_counts, Category, Classification};
 pub use config::Config;
 pub use dominator_based::ksjq_dominator_based;
 pub use engine::{Engine, PreparedQuery};
@@ -84,7 +84,8 @@ pub use params::{k_max, k_min, validate_k, KsjqParams};
 pub use plan::{Goal, QueryPlan, RelationRef};
 pub use query::{k_range, Algorithm, KsjqQuery, KsjqQueryBuilder};
 pub use stats::{Counts, ExecStats, PhaseTimes};
-pub use target::{target_set, TargetCache};
+pub use target::{attr_sums, order_by_attr_sum, target_set, TargetCache};
+pub use verify::{CheckCounters, JoinedCheck};
 
 // Re-exported so engine users don't need direct `ksjq-relation` /
 // `ksjq-skyline` dependencies for the registry types and the kdom

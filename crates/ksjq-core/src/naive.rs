@@ -65,15 +65,27 @@ fn naive_streaming(cx: &JoinContext<'_>, k: usize, mut stats: ExecStats) -> Core
     let d = cx.d_joined();
     let mut tsa = StreamingTsa::new(d, k);
     let mut row = vec![0.0; d];
-    cx.for_each_pair(|u, v| {
-        cx.fill(u, v, &mut row);
-        tsa.offer(&row);
+    // Enumerate in `for_each_pair` order but through the split fill: the
+    // left-local segment of the scratch row is written once per left
+    // tuple, not once per joined pair.
+    fn split_pairs(cx: &JoinContext<'_>, row: &mut [f64], mut f: impl FnMut(&[f64])) {
+        for u in 0..cx.left().n() as u32 {
+            let partners = cx.right_partners(u);
+            if partners.is_empty() {
+                continue;
+            }
+            cx.fill_left(u, row);
+            for &v in partners {
+                cx.fill_rest(u, v, row);
+                f(row);
+            }
+        }
+    }
+    split_pairs(cx, &mut row, |r| {
+        tsa.offer(r);
     });
     tsa.begin_verify();
-    cx.for_each_pair(|u, v| {
-        cx.fill(u, v, &mut row);
-        tsa.verify(&row);
-    });
+    split_pairs(cx, &mut row, |r| tsa.verify(r));
     let survivors = tsa.finish();
 
     // Third enumeration maps surviving sequence numbers back to pairs —

@@ -6,30 +6,34 @@
 //! relations. `verify_parallel` shards the candidate list over
 //! `threads` scoped workers, each with its own scratch state
 //! and target cache, and concatenates survivors in candidate order so the
-//! final output is identical to the serial path.
+//! final output is identical to the serial path. Worker
+//! [`CheckCounters`] are summed, so `ExecStats` reports the same kernel
+//! work regardless of thread count.
 //!
-//! Classification and candidate collection stay serial: they are a small
-//! fraction of the runtime (see the figures' phase breakdown) and
-//! parallelising them would not change any comparison the paper makes.
+//! The classification phase shards the same way — see
+//! [`crate::classify::classify_parallel`], which the algorithm drivers
+//! call when `Config::threads > 1`. Candidate collection stays serial: it
+//! is a small fraction of the runtime (see the figures' phase breakdown).
 
 use crate::grouping::{Candidates, CheckKind};
 use crate::params::KsjqParams;
 use crate::target::TargetCache;
-use crate::verify::JoinedCheck;
+use crate::verify::{CheckCounters, JoinedCheck};
 use ksjq_join::JoinContext;
 
 /// Verify all candidates with `threads` workers; returns the surviving
-/// pairs in candidate order (identical to the serial verification).
+/// pairs in candidate order (identical to the serial verification) plus
+/// the summed kernel counters.
 pub(crate) fn verify_parallel(
     cx: &JoinContext<'_>,
     k: usize,
     params: &KsjqParams,
     cands: &Candidates,
     threads: usize,
-) -> Vec<(u32, u32)> {
+) -> (Vec<(u32, u32)>, CheckCounters) {
     let n = cands.pairs.len();
     if n == 0 {
-        return Vec::new();
+        return (Vec::new(), CheckCounters::default());
     }
     let threads = threads.min(n).max(1);
     let chunk = n.div_ceil(threads);
@@ -59,13 +63,17 @@ pub(crate) fn verify_parallel(
                         out.push((u, v));
                     }
                 }
-                out
+                (out, chk.counters())
             }));
         }
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("verification worker panicked"))
-            .collect::<Vec<_>>()
+        let mut pairs = Vec::new();
+        let mut counters = CheckCounters::default();
+        for h in handles {
+            let (out, c) = h.join().expect("verification worker panicked");
+            pairs.extend(out);
+            counters.absorb(c);
+        }
+        (pairs, counters)
     })
 }
 

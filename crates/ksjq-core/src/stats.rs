@@ -47,6 +47,17 @@ pub struct Counts {
     pub joined_pairs: u64,
     /// Skyline tuples produced.
     pub output: usize,
+    /// Joined-tuple dominance tests performed by the verification kernel
+    /// (one per `(dominator, candidate)` pair actually compared).
+    pub dom_tests: u64,
+    /// Attribute positions compared by the verification kernel. The
+    /// split-side kernel re-uses each target leg's left-half counts across
+    /// all of its join partners, so this is the figure that shows the
+    /// kernel's advantage over materialising joined tuples.
+    pub attr_cmps: u64,
+    /// Target-set legs skipped wholesale because their left-half counts
+    /// already could not reach `k` (the split kernel's early abandon).
+    pub targets_pruned: u64,
 }
 
 impl Counts {
@@ -84,6 +95,7 @@ impl ExecStats {
             "classified L({} SS / {} SN / {} NN) R({} SS / {} SN / {} NN); \
              of {} joined tuples: {} emitted, {} verified ({} likely + {} may-be), \
              {} pruned pre-join; {} skyline tuples; \
+             kernel: {} dom tests, {} attr cmps, {} target legs pruned; \
              times: grouping {:.2?}, join {:.2?}, dominators {:.2?}, rest {:.2?}",
             c.ss[0],
             c.sn[0],
@@ -98,6 +110,9 @@ impl ExecStats {
             c.maybe_pairs,
             c.pruned_pairs(),
             c.output,
+            c.dom_tests,
+            c.attr_cmps,
+            c.targets_pruned,
             p.grouping,
             p.join,
             p.dominator_gen,
@@ -174,6 +189,9 @@ mod tests {
                 maybe_pairs: 11,
                 joined_pairs: 100,
                 output: 12,
+                dom_tests: 13,
+                attr_cmps: 14,
+                targets_pruned: 15,
             },
             ..Default::default()
         };
@@ -185,6 +203,9 @@ mod tests {
             "21 verified",
             "70 pruned",
             "12 skyline",
+            "13 dom tests",
+            "14 attr cmps",
+            "15 target legs pruned",
         ] {
             assert!(text.contains(needle), "missing '{needle}' in: {text}");
         }

@@ -21,8 +21,15 @@
 //! aggregate position, so a dominator's leg may share no values at all —
 //! which is why this generalisation filters on `≤` over local attributes
 //! only (see DESIGN.md §4.5 and `tests/aggregate_semantics.rs`).
+//!
+//! Verification consumers receive target sets **ordered by ascending
+//! attribute sum** (the SFS presorting idea of Chomicki et al., ICDE 2003,
+//! also used by `ksjq-skyline`'s [`sfs`](ksjq_skyline::sfs) module): the
+//! sum of normalised attributes is a monotone score, so legs of actual
+//! dominators cluster at the front and the split-side kernel's `any`-scan
+//! exits early. Membership is unchanged — only the iteration order.
 
-use ksjq_relation::Relation;
+use ksjq_relation::{dom_counts_block, Relation};
 
 /// Number of positions (restricted to `locals`) where `x ≤ x_prime`,
 /// with early abandonment once `m` is unreachable.
@@ -45,10 +52,27 @@ fn local_le_at_least(x: &[f64], x_prime: &[f64], locals: &[usize], m: usize) -> 
 /// Compute the target set `τ(x′) = {x : |{local i : x_i ≤ x′_i}| ≥ k_pp}`.
 ///
 /// Always contains `x′` itself (`k_pp ≤ l` for every valid `k`). Returned
-/// ids are ascending.
+/// ids are ascending; callers that scan the set for dominators should
+/// reorder it with [`order_by_attr_sum`].
+///
+/// When the locals are the full attribute range (`a = 0`) the scan runs
+/// through the blocked kernel [`dom_counts_block`] over the relation's
+/// contiguous storage instead of per-row early-abandon loops — the block
+/// form vectorises and wins on the wide scans this function does.
 pub fn target_set(rel: &Relation, locals: &[usize], x_prime: u32, k_pp: usize) -> Vec<u32> {
     let prow = rel.row_at(x_prime as usize);
+    let d = rel.d();
     let mut out = Vec::new();
+    if locals.len() == d && locals.iter().enumerate().all(|(i, &attr)| attr == i) && d > 0 {
+        let mut counts = Vec::new();
+        dom_counts_block(rel.values(), prow, &mut counts);
+        for (t, c) in counts.iter().enumerate() {
+            if c.le as usize >= k_pp {
+                out.push(t as u32);
+            }
+        }
+        return out;
+    }
     for t in 0..rel.n() as u32 {
         if local_le_at_least(rel.row_at(t as usize), prow, locals, k_pp) {
             out.push(t);
@@ -57,7 +81,25 @@ pub fn target_set(rel: &Relation, locals: &[usize], x_prime: u32, k_pp: usize) -
     out
 }
 
-/// Lazily computed, memoised target sets for one relation.
+/// The attribute sums of every tuple — the SFS presort score. NaN-free
+/// relations yield NaN-free scores; ordering uses [`f64::total_cmp`]
+/// regardless, so hostile inputs cannot panic the sort.
+pub fn attr_sums(rel: &Relation) -> Vec<f64> {
+    rel.rows().map(|(_, row)| row.iter().sum()).collect()
+}
+
+/// Order `ids` so likely dominators come first: ascending score, ties
+/// broken by ascending id (deterministic).
+pub fn order_by_attr_sum(ids: &mut [u32], scores: &[f64]) {
+    ids.sort_unstable_by(|&a, &b| {
+        scores[a as usize]
+            .total_cmp(&scores[b as usize])
+            .then(a.cmp(&b))
+    });
+}
+
+/// Lazily computed, memoised target sets for one relation, pre-ordered by
+/// attribute sum for early-exit scans.
 ///
 /// The grouping algorithm touches targets of only the tuples that actually
 /// appear in "likely"/"may be" candidate pairs, so computing them on
@@ -68,6 +110,9 @@ pub struct TargetCache<'a> {
     rel: &'a Relation,
     locals: Vec<usize>,
     k_pp: usize,
+    /// Attribute-sum scores, computed once per cache (`O(n·d)` — noise
+    /// against the scans the ordering then accelerates).
+    scores: Vec<f64>,
     sets: Vec<Option<Vec<u32>>>,
 }
 
@@ -78,15 +123,19 @@ impl<'a> TargetCache<'a> {
             rel,
             locals: rel.schema().local_indices().collect(),
             k_pp,
+            scores: attr_sums(rel),
             sets: vec![None; rel.n()],
         }
     }
 
-    /// The target set of `x_prime`, computing it on first access.
+    /// The target set of `x_prime` ordered by ascending attribute sum,
+    /// computing (and memoising) it on first access.
     pub fn get(&mut self, x_prime: u32) -> &[u32] {
         let slot = &mut self.sets[x_prime as usize];
         if slot.is_none() {
-            *slot = Some(target_set(self.rel, &self.locals, x_prime, self.k_pp));
+            let mut set = target_set(self.rel, &self.locals, x_prime, self.k_pp);
+            order_by_attr_sum(&mut set, &self.scores);
+            *slot = Some(set);
         }
         slot.as_deref().expect("just filled")
     }
@@ -144,6 +193,42 @@ mod tests {
         assert_eq!(target_set(&r, &locals, 0, 1), vec![0, 2]);
     }
 
+    /// The blocked fast path (contiguous locals) and the indexed slow path
+    /// must select identical members.
+    #[test]
+    fn block_fast_path_matches_slow_path() {
+        let mut state = 5150u64;
+        let mut next = move |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        let rows: Vec<Vec<f64>> = (0..120)
+            .map(|_| (0..4).map(|_| next(9) as f64).collect())
+            .collect();
+        let r = rel(&rows);
+        let locals: Vec<usize> = r.schema().local_indices().collect();
+        assert_eq!(locals, vec![0, 1, 2, 3], "fast-path precondition");
+        for probe in [0u32, 17, 119] {
+            for k_pp in 1..=4 {
+                let fast = target_set(&r, &locals, probe, k_pp);
+                // Slow-path oracle.
+                let slow: Vec<u32> = (0..r.n() as u32)
+                    .filter(|&t| {
+                        local_le_at_least(
+                            r.row_at(t as usize),
+                            r.row_at(probe as usize),
+                            &locals,
+                            k_pp,
+                        )
+                    })
+                    .collect();
+                assert_eq!(fast, slow, "probe {probe} k_pp {k_pp}");
+            }
+        }
+    }
+
     #[test]
     fn cache_memoises() {
         let r = rel(&[vec![1.0], vec![2.0], vec![3.0]]);
@@ -154,5 +239,31 @@ mod tests {
         assert_eq!(cache.computed(), 1);
         assert_eq!(cache.get(0), &[0]);
         assert_eq!(cache.computed(), 2);
+    }
+
+    #[test]
+    fn cache_orders_by_attribute_sum() {
+        // Probe 3 = (5,5); targets include the heavier (6,5) and the
+        // lighter (1,1): the cache must yield them sum-ascending, not
+        // id-ascending.
+        let r = rel(&[
+            vec![6.0, 5.0], // id 0, sum 11
+            vec![1.0, 1.0], // id 1, sum 2
+            vec![5.0, 5.0], // id 2, sum 10 (ties the probe's values)
+            vec![5.0, 5.0], // id 3, sum 10: the probe
+        ]);
+        let mut cache = TargetCache::new(&r, 1);
+        assert_eq!(cache.get(3), &[1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn ordering_is_total_on_hostile_scores() {
+        // total_cmp tolerates NaN scores without panicking (MatrixView-fed
+        // paths can smuggle NaN past the Relation builder's checks).
+        let mut ids = vec![0u32, 1, 2, 3];
+        let scores = vec![f64::NAN, 1.0, f64::NAN, 0.0];
+        order_by_attr_sum(&mut ids, &scores);
+        assert_eq!(&ids[..2], &[3, 1], "finite scores sort first");
+        assert_eq!(&ids[2..], &[0, 2], "NaN ties break by id");
     }
 }

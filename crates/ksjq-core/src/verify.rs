@@ -1,4 +1,5 @@
-//! Candidate verification against target-set joins.
+//! Candidate verification against target-set joins — the split-side
+//! dominance kernel.
 //!
 //! A candidate joined tuple survives iff no join of target-set members
 //! k-dominates it. The three entry points mirror the check sets of the
@@ -11,36 +12,227 @@
 //!   case `SN1 ⋈ SS2`);
 //! * [`JoinedCheck::dominated_via_both`] — `dom(u′) ⋈ dom(v′)`
 //!   (Algorithm 3's `CheckDominators`).
+//!
+//! # The split-side kernel
+//!
+//! A joined skyline vector is laid out `[left locals…, right locals…,
+//! aggregates…]`, and a `k_dominates` test over it decomposes by segment:
+//! the `≤`/`<` counts of the dominator's left leg against `cand[0..l1]`
+//! depend only on the leg, the right-local counts only on the partner, and
+//! only the `a` aggregate positions need both. The kernel therefore never
+//! materialises a joined tuple. For each target leg it computes the
+//! left-half [`DomCounts`] **once**, abandons the whole leg when even a
+//! perfect other half could not reach `k`, and otherwise merges per-partner
+//! right-half counts (plus the tiny aggregate segment) via
+//! [`DomCounts::merge`]. The merged totals are bit-identical to
+//! [`ksjq_relation::dom_counts`] on the materialised row, so results are
+//! byte-identical to the materialising implementation it replaces — a fact
+//! the property suite checks directly.
+//!
+//! Callers pass target sets ordered by ascending attribute sum (SFS-style,
+//! see [`crate::target`]): dominators carry small sums, so the `any`-shaped
+//! scan exits early on dominated candidates. Ordering never changes the
+//! verdict, only when it is reached.
+//!
+//! Within one candidate check the partner-side counts depend only on
+//! `(partner, cand)` — and in an equality join every target leg of the
+//! same group shares its partner set — so the kernel memoises them per
+//! call (generation-stamped, no per-call clearing): each distinct partner
+//! is counted once, after which a pair test costs one merge plus the `a`
+//! aggregate positions.
 
 use ksjq_join::JoinContext;
-use ksjq_relation::k_dominates;
+use ksjq_relation::{dom_counts, dom_counts_partial, DomCounts};
 
-/// Scratch-carrying verifier for one `(cx, k)` pair.
-pub(crate) struct JoinedCheck<'b, 'a> {
+/// Counters of the work one [`JoinedCheck`] has performed, merged into
+/// [`crate::ExecStats`] by the algorithm drivers (and summed across
+/// parallel verification workers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckCounters {
+    /// Joined-tuple dominance tests: one per `(dominator, candidate)` pair
+    /// whose merged counts were actually evaluated.
+    pub dom_tests: u64,
+    /// Attribute positions compared (split-segment counting included).
+    pub attr_cmps: u64,
+    /// Target legs abandoned after only their left-half counts.
+    pub targets_pruned: u64,
+}
+
+impl CheckCounters {
+    /// Accumulate another counter set (worker merge).
+    pub fn absorb(&mut self, other: CheckCounters) {
+        self.dom_tests += other.dom_tests;
+        self.attr_cmps += other.attr_cmps;
+        self.targets_pruned += other.targets_pruned;
+    }
+}
+
+/// Scratch-carrying split-side verifier for one `(cx, k)` pair.
+///
+/// Exposed publicly so benchmarks (and adventurous engine users) can drive
+/// the kernel directly; the KSJQ algorithms construct it internally.
+#[derive(Debug)]
+pub struct JoinedCheck<'b, 'a> {
     cx: &'b JoinContext<'a>,
     k: usize,
-    scratch: Vec<f64>,
+    l1: usize,
+    l2: usize,
+    a: usize,
+    /// Scratch for the `a` aggregate values of one pair (never a full row).
+    aggs: Vec<f64>,
     /// Reusable membership mask over right tuple ids (two-sided checks).
     rmask: Vec<bool>,
+    /// Per-call memo of partner-half counts, generation-stamped so calls
+    /// never pay for clearing: `lmemo[u]` / `rmemo[v]` hold the local
+    /// counts of that base tuple against the current candidate's segment.
+    lmemo: Vec<DomCounts>,
+    lstamp: Vec<u64>,
+    rmemo: Vec<DomCounts>,
+    rstamp: Vec<u64>,
+    generation: u64,
+    counters: CheckCounters,
 }
 
 impl<'b, 'a> JoinedCheck<'b, 'a> {
+    /// A verifier for candidates of `cx`'s join under `k`-dominance.
     pub fn new(cx: &'b JoinContext<'a>, k: usize) -> Self {
+        let zero = DomCounts { le: 0, lt: 0 };
         JoinedCheck {
-            cx,
             k,
-            scratch: vec![0.0; cx.d_joined()],
+            l1: cx.l1(),
+            l2: cx.l2(),
+            a: cx.a(),
+            aggs: vec![0.0; cx.a()],
             rmask: vec![false; cx.right().n()],
+            lmemo: vec![zero; cx.left().n()],
+            lstamp: vec![0; cx.left().n()],
+            rmemo: vec![zero; cx.right().n()],
+            rstamp: vec![0; cx.right().n()],
+            generation: 0,
+            counters: CheckCounters::default(),
+            cx,
         }
+    }
+
+    /// The work counters accumulated so far.
+    pub fn counters(&self) -> CheckCounters {
+        self.counters
+    }
+
+    /// Split `cand` into its `(left locals, right locals, aggregates)`
+    /// segments.
+    #[inline]
+    fn segments<'c>(&self, cand: &'c [f64]) -> (&'c [f64], &'c [f64], &'c [f64]) {
+        debug_assert_eq!(cand.len(), self.l1 + self.l2 + self.a);
+        let (cl, rest) = cand.split_at(self.l1);
+        let (cr, ca) = rest.split_at(self.l2);
+        (cl, cr, ca)
+    }
+
+    /// Left-half counts of target leg `u` against `cl`, or `None` when the
+    /// leg cannot reach `k` even with a perfect other half (early abandon).
+    #[inline]
+    fn left_half(&mut self, u: u32, cl: &[f64]) -> Option<DomCounts> {
+        self.counters.attr_cmps += self.l1 as u64;
+        let lc = dom_counts_partial(
+            self.cx.left().row_at(u as usize),
+            self.cx.left_local_attrs(),
+            cl,
+        );
+        if lc.le as usize + self.l2 + self.a < self.k {
+            self.counters.targets_pruned += 1;
+            return None;
+        }
+        Some(lc)
+    }
+
+    /// Symmetric right-half hoist for [`dominated_via_right`].
+    #[inline]
+    fn right_half(&mut self, v: u32, cr: &[f64]) -> Option<DomCounts> {
+        self.counters.attr_cmps += self.l2 as u64;
+        let rc = dom_counts_partial(
+            self.cx.right().row_at(v as usize),
+            self.cx.right_local_attrs(),
+            cr,
+        );
+        if rc.le as usize + self.l1 + self.a < self.k {
+            self.counters.targets_pruned += 1;
+            return None;
+        }
+        Some(rc)
+    }
+
+    /// Partner-half counts of right tuple `v` against `cr`, memoised for
+    /// the current candidate (equality-join target legs of one group all
+    /// share their partner set, so hits are the common case).
+    #[inline]
+    fn right_memo(&mut self, v: u32, cr: &[f64]) -> DomCounts {
+        let i = v as usize;
+        if self.rstamp[i] != self.generation {
+            self.counters.attr_cmps += self.l2 as u64;
+            self.rmemo[i] =
+                dom_counts_partial(self.cx.right().row_at(i), self.cx.right_local_attrs(), cr);
+            self.rstamp[i] = self.generation;
+        }
+        self.rmemo[i]
+    }
+
+    /// Symmetric memo over left partners for [`dominated_via_right`].
+    #[inline]
+    fn left_memo(&mut self, u: u32, cl: &[f64]) -> DomCounts {
+        let i = u as usize;
+        if self.lstamp[i] != self.generation {
+            self.counters.attr_cmps += self.l1 as u64;
+            self.lmemo[i] =
+                dom_counts_partial(self.cx.left().row_at(i), self.cx.left_local_attrs(), cl);
+            self.lstamp[i] = self.generation;
+        }
+        self.lmemo[i]
+    }
+
+    /// Merge `half` (one leg's hoisted counts) with the other leg's local
+    /// counts and — only if still reachable — the aggregate segment; the
+    /// result is the verdict of `k_dominates(joined(u, v), cand, k)`.
+    #[inline]
+    fn merged_dominates(
+        &mut self,
+        u: u32,
+        v: u32,
+        half: DomCounts,
+        other_is_right: bool,
+        cother: &[f64],
+        ca: &[f64],
+    ) -> bool {
+        self.counters.dom_tests += 1;
+        let other = if other_is_right {
+            self.right_memo(v, cother)
+        } else {
+            self.left_memo(u, cother)
+        };
+        let mut merged = half.merge(other);
+        // Even perfect aggregate positions could not lift `≤` to k.
+        if (merged.le as usize) + self.a < self.k {
+            return false;
+        }
+        if self.a > 0 {
+            self.counters.attr_cmps += self.a as u64;
+            self.cx.fill_aggs(u, v, &mut self.aggs);
+            merged = merged.merge(dom_counts(&self.aggs, ca));
+        }
+        merged.k_dominates(self.k)
     }
 
     /// Is `cand` k-dominated by some `u ⋈ v` with `u ∈ targets`,
     /// `v` join-compatible with `u`?
     pub fn dominated_via_left(&mut self, targets: &[u32], cand: &[f64]) -> bool {
+        self.generation += 1;
+        let (cl, cr, ca) = self.segments(cand);
         for &u in targets {
+            let Some(lc) = self.left_half(u, cl) else {
+                continue;
+            };
             for &v in self.cx.right_partners(u) {
-                self.cx.fill(u, v, &mut self.scratch);
-                if k_dominates(&self.scratch, cand, self.k) {
+                if self.merged_dominates(u, v, lc, true, cr, ca) {
                     return true;
                 }
             }
@@ -51,10 +243,14 @@ impl<'b, 'a> JoinedCheck<'b, 'a> {
     /// Is `cand` k-dominated by some `u ⋈ v` with `v ∈ targets`,
     /// `u` join-compatible with `v`?
     pub fn dominated_via_right(&mut self, targets: &[u32], cand: &[f64]) -> bool {
+        self.generation += 1;
+        let (cl, cr, ca) = self.segments(cand);
         for &v in targets {
+            let Some(rc) = self.right_half(v, cr) else {
+                continue;
+            };
             for &u in self.cx.left_partners(v) {
-                self.cx.fill(u, v, &mut self.scratch);
-                if k_dominates(&self.scratch, cand, self.k) {
+                if self.merged_dominates(u, v, rc, false, cl, ca) {
                     return true;
                 }
             }
@@ -71,18 +267,20 @@ impl<'b, 'a> JoinedCheck<'b, 'a> {
         right_targets: &[u32],
         cand: &[f64],
     ) -> bool {
+        self.generation += 1;
+        let (cl, cr, ca) = self.segments(cand);
         for &v in right_targets {
             self.rmask[v as usize] = true;
         }
         let mut found = false;
         'outer: for &u in left_targets {
+            let Some(lc) = self.left_half(u, cl) else {
+                continue;
+            };
             for &v in self.cx.right_partners(u) {
-                if self.rmask[v as usize] {
-                    self.cx.fill(u, v, &mut self.scratch);
-                    if k_dominates(&self.scratch, cand, self.k) {
-                        found = true;
-                        break 'outer;
-                    }
+                if self.rmask[v as usize] && self.merged_dominates(u, v, lc, true, cr, ca) {
+                    found = true;
+                    break 'outer;
                 }
             }
         }
@@ -96,8 +294,8 @@ impl<'b, 'a> JoinedCheck<'b, 'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ksjq_join::JoinSpec;
-    use ksjq_relation::{Relation, Schema};
+    use ksjq_join::{AggFunc, JoinSpec};
+    use ksjq_relation::{k_dominates, Relation, Schema};
 
     fn rel(groups: &[u64], rows: &[Vec<f64>]) -> Relation {
         Relation::from_grouped_rows(Schema::uniform(rows[0].len()).unwrap(), groups, rows).unwrap()
@@ -141,6 +339,9 @@ mod tests {
                 "both check for ({u},{v})"
             );
         }
+        let c = chk.counters();
+        assert!(c.dom_tests > 0);
+        assert!(c.attr_cmps > 0);
     }
 
     #[test]
@@ -169,5 +370,99 @@ mod tests {
         // mask from the first call must not leak (joined(0,1) = (1,1,5,5)
         // does not dominate cand = (2,2,1,1)).
         assert!(!chk.dominated_via_both(&[0], &[1], &cand));
+    }
+
+    /// The split kernel's verdicts must equal materialise-then-`k_dominates`
+    /// on an aggregate join (the segment where left and right legs mix).
+    #[test]
+    fn split_kernel_matches_materialized_with_aggregates() {
+        let schema = || Schema::uniform_agg(1, 2).unwrap();
+        let mut state = 2024u64;
+        let mut next = move |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        let mk = |next: &mut dyn FnMut(u64) -> u64| {
+            let mut b = Relation::builder(schema());
+            for _ in 0..40 {
+                let g = next(3);
+                let row = [next(7) as f64, next(7) as f64, next(7) as f64];
+                b.add_grouped(g, &row).unwrap();
+            }
+            b.build().unwrap()
+        };
+        let r1 = mk(&mut next);
+        let r2 = mk(&mut next);
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[AggFunc::Sum]).unwrap();
+        let all_left: Vec<u32> = (0..r1.n() as u32).collect();
+        let all_right: Vec<u32> = (0..r2.n() as u32).collect();
+        let mut scratch = vec![0.0; cx.d_joined()];
+        for k in 4..=cx.d_joined() {
+            let mut chk = JoinedCheck::new(&cx, k);
+            let m = cx.materialize();
+            for (i, _) in m.pairs.iter().enumerate() {
+                let cand = m.row(i).to_vec();
+                let mut expect_left = false;
+                for &u in &all_left {
+                    for &v in cx.right_partners(u) {
+                        cx.fill(u, v, &mut scratch);
+                        expect_left |= k_dominates(&scratch, &cand, k);
+                    }
+                }
+                assert_eq!(
+                    chk.dominated_via_left(&all_left, &cand),
+                    expect_left,
+                    "k={k} candidate {i}"
+                );
+                assert_eq!(
+                    chk.dominated_via_right(&all_right, &cand),
+                    expect_left,
+                    "k={k} candidate {i}"
+                );
+            }
+        }
+    }
+
+    /// The left-half hoist must save comparisons relative to re-comparing
+    /// the full joined arity per partner pair.
+    #[test]
+    fn counters_reflect_the_hoist() {
+        // One target with many partners: the left half is counted once.
+        let r1 = rel(&[0], &[vec![5.0, 5.0]]);
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 9.0 - i as f64]).collect();
+        let r2 = rel(&[0; 10], &rows);
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
+        let mut chk = JoinedCheck::new(&cx, 4);
+        let cand = vec![5.0, 5.0, 4.0, 5.0];
+        let _ = chk.dominated_via_left(&[0], &cand);
+        let c = chk.counters();
+        // 2 left-local comparisons once + 2 right-local per partner, never
+        // 4 per pair.
+        assert_eq!(c.dom_tests, 10);
+        assert_eq!(c.attr_cmps, 2 + 10 * 2);
+    }
+
+    #[test]
+    fn counters_absorb_accumulates() {
+        let mut a = CheckCounters {
+            dom_tests: 1,
+            attr_cmps: 2,
+            targets_pruned: 3,
+        };
+        a.absorb(CheckCounters {
+            dom_tests: 10,
+            attr_cmps: 20,
+            targets_pruned: 30,
+        });
+        assert_eq!(
+            a,
+            CheckCounters {
+                dom_tests: 11,
+                attr_cmps: 22,
+                targets_pruned: 33,
+            }
+        );
     }
 }

@@ -294,26 +294,83 @@ impl<'a> JoinContext<'a> {
     #[inline]
     pub fn fill(&self, u: u32, v: u32, out: &mut [f64]) {
         debug_assert_eq!(out.len(), self.d_joined());
+        self.fill_left(u, out);
+        self.fill_rest(u, v, out);
+    }
+
+    /// The normalised aggregate value of slot `slot` for the pair of base
+    /// rows `(lrow, rrow)`. Kept as the single aggregation expression so
+    /// every fill / split-side path produces bit-identical values.
+    #[inline]
+    fn agg_value(&self, slot: &SlotInfo, lrow: &[f64], rrow: &[f64]) -> f64 {
+        let x = lrow[slot.left_attr];
+        let y = rrow[slot.right_attr];
+        // Aggregate in raw space, then restore normalised orientation.
+        if slot.negate {
+            -slot.func.combine(-x, -y)
+        } else {
+            slot.func.combine(x, y)
+        }
+    }
+
+    /// Write only the left-local segment `out[0..l1]` of any `(u, ·)`
+    /// joined vector. Splitting the fill lets pair-enumeration loops hoist
+    /// the left half out of the partner loop — it is identical for every
+    /// `v` the tuple joins with.
+    #[inline]
+    pub fn fill_left(&self, u: u32, out: &mut [f64]) {
+        let lrow = self.left().row_at(u as usize);
+        for (o, &attr) in out.iter_mut().zip(self.left_locals.iter()) {
+            *o = lrow[attr];
+        }
+    }
+
+    /// Write the right-local and aggregate segments `out[l1..]` of the
+    /// joined vector of `(u, v)`; combined with a prior
+    /// [`fill_left`](Self::fill_left) of the same `u` this reproduces
+    /// [`fill`](Self::fill) exactly.
+    #[inline]
+    pub fn fill_rest(&self, u: u32, v: u32, out: &mut [f64]) {
         let lrow = self.left().row_at(u as usize);
         let rrow = self.right().row_at(v as usize);
         let l1 = self.l1();
         let l2 = self.l2();
-        for (i, &attr) in self.left_locals.iter().enumerate() {
-            out[i] = lrow[attr];
-        }
         for (j, &attr) in self.right_locals.iter().enumerate() {
             out[l1 + j] = rrow[attr];
         }
         for (s, slot) in self.slots.iter().enumerate() {
-            let x = lrow[slot.left_attr];
-            let y = rrow[slot.right_attr];
-            // Aggregate in raw space, then restore normalised orientation.
-            out[l1 + l2 + s] = if slot.negate {
-                -slot.func.combine(-x, -y)
-            } else {
-                slot.func.combine(x, y)
-            };
+            out[l1 + l2 + s] = self.agg_value(slot, lrow, rrow);
         }
+    }
+
+    /// Write only the `a` normalised aggregate values of `(u, v)` into
+    /// `out[0..a]` — the one part of a joined vector that genuinely needs
+    /// both legs. Split-side dominance tests compare the two local
+    /// segments directly against base rows and materialise just this.
+    #[inline]
+    pub fn fill_aggs(&self, u: u32, v: u32, out: &mut [f64]) {
+        debug_assert!(out.len() >= self.a());
+        let lrow = self.left().row_at(u as usize);
+        let rrow = self.right().row_at(v as usize);
+        for (s, slot) in self.slots.iter().enumerate() {
+            out[s] = self.agg_value(slot, lrow, rrow);
+        }
+    }
+
+    /// Indices of the left relation's local attributes, joined-layout
+    /// order: `cand[i]` pairs with `left_row[left_local_attrs()[i]]` for
+    /// `i < l1`.
+    #[inline]
+    pub fn left_local_attrs(&self) -> &[usize] {
+        &self.left_locals
+    }
+
+    /// Indices of the right relation's local attributes, joined-layout
+    /// order: `cand[l1 + j]` pairs with
+    /// `right_row[right_local_attrs()[j]]` for `j < l2`.
+    #[inline]
+    pub fn right_local_attrs(&self) -> &[usize] {
+        &self.right_locals
     }
 
     /// The joined skyline vector of `(u, v)` (allocates).
@@ -502,11 +559,20 @@ impl<'a> JoinContext<'a> {
         let mut pairs = Vec::new();
         let mut data = Vec::new();
         let mut row = vec![0.0; d];
-        self.for_each_pair(|u, v| {
-            self.fill(u, v, &mut row);
-            pairs.push((u, v));
-            data.extend_from_slice(&row);
-        });
+        // Same enumeration order as `for_each_pair`, with the left-local
+        // segment hoisted out of the partner loop.
+        for &u in &self.all_left {
+            let partners = self.right_partners(u);
+            if partners.is_empty() {
+                continue;
+            }
+            self.fill_left(u, &mut row);
+            for &v in partners {
+                self.fill_rest(u, v, &mut row);
+                pairs.push((u, v));
+                data.extend_from_slice(&row);
+            }
+        }
         MaterializedJoin { d, pairs, data }
     }
 }
@@ -683,6 +749,40 @@ mod tests {
         // rtg is Max so normalised = negated; cost sums in raw space.
         assert_eq!(cx.joined_row(0, 0), vec![-7.0, -9.0, 150.0]);
         assert_eq!(cx.joined_attr_names(), vec!["l.rtg", "r.rtg", "sum(cost)"]);
+    }
+
+    #[test]
+    fn split_fills_reproduce_fill() {
+        let mut bl = Relation::builder(agg_schema());
+        bl.add_grouped(1, &[100.0, 7.0]).unwrap();
+        bl.add_grouped(1, &[80.0, 3.0]).unwrap();
+        let l = bl.build().unwrap();
+        let mut br = Relation::builder(agg_schema());
+        br.add_grouped(1, &[50.0, 9.0]).unwrap();
+        br.add_grouped(1, &[60.0, 1.0]).unwrap();
+        let r = br.build().unwrap();
+        let cx = JoinContext::new(&l, &r, JoinSpec::Equality, &[AggFunc::Sum]).unwrap();
+        let d = cx.d_joined();
+        for u in 0..2u32 {
+            let mut split = vec![f64::NAN; d];
+            cx.fill_left(u, &mut split);
+            for v in 0..2u32 {
+                cx.fill_rest(u, v, &mut split);
+                assert_eq!(split, cx.joined_row(u, v), "({u},{v})");
+                let mut aggs = vec![f64::NAN; cx.a()];
+                cx.fill_aggs(u, v, &mut aggs);
+                assert_eq!(aggs, split[cx.l1() + cx.l2()..], "aggs of ({u},{v})");
+            }
+        }
+        // The local-attr accessors address base rows consistently with the
+        // joined layout.
+        let joined = cx.joined_row(1, 1);
+        for (i, &attr) in cx.left_local_attrs().iter().enumerate() {
+            assert_eq!(joined[i], l.row_at(1)[attr]);
+        }
+        for (j, &attr) in cx.right_local_attrs().iter().enumerate() {
+            assert_eq!(joined[cx.l1() + j], r.row_at(1)[attr]);
+        }
     }
 
     #[test]

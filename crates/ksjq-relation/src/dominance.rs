@@ -120,6 +120,62 @@ pub fn k_dominates(u: &[f64], v: &[f64], k: usize) -> bool {
     le >= k && lt
 }
 
+/// Count the `≤` / `<` positions of one attribute *segment*: `u`'s
+/// attributes at `attrs` versus the dense slice `v` (`v[i]` pairs with
+/// `u[attrs[i]]`).
+///
+/// This is the split-side half of a joined-tuple dominance test: a joined
+/// vector lays out `[left locals…, right locals…, aggregates…]`, so the
+/// left leg of a dominator is compared against `cand[0..l1]` through the
+/// left relation's local attribute indices — once per leg, not once per
+/// partner pair. Merge the two halves (plus the aggregate counts) with
+/// [`DomCounts::merge`]; the totals are identical to [`dom_counts`] on the
+/// materialised joined rows.
+#[inline]
+pub fn dom_counts_partial(u: &[f64], attrs: &[usize], v: &[f64]) -> DomCounts {
+    debug_assert_eq!(
+        attrs.len(),
+        v.len(),
+        "segment length must match the attribute selection"
+    );
+    let mut le = 0u32;
+    let mut lt = 0u32;
+    for (&b, &attr) in v.iter().zip(attrs.iter()) {
+        let a = u[attr];
+        le += (a <= b) as u32;
+        lt += (a < b) as u32;
+    }
+    DomCounts { le, lt }
+}
+
+/// Count `≤` / `<` positions of every row of a contiguous row-major
+/// `block` (arity `v.len()`) against the single tuple `v`, appending one
+/// [`DomCounts`] per row to `out`.
+///
+/// The loop is branch-free over a dense block so LLVM can vectorise the
+/// counting; callers that need a filtered id set (e.g. target-set
+/// construction) post-filter the counts.
+///
+/// # Panics
+///
+/// Debug builds assert `block.len()` is a multiple of `v.len()`; `v` must
+/// be non-empty.
+pub fn dom_counts_block(block: &[f64], v: &[f64], out: &mut Vec<DomCounts>) {
+    let d = v.len();
+    assert!(d > 0, "dom_counts_block requires at least one attribute");
+    debug_assert_eq!(block.len() % d, 0, "block length must be a multiple of d");
+    out.reserve(block.len() / d);
+    for row in block.chunks_exact(d) {
+        let mut le = 0u32;
+        let mut lt = 0u32;
+        for (a, b) in row.iter().zip(v.iter()) {
+            le += (a <= b) as u32;
+            lt += (a < b) as u32;
+        }
+        out.push(DomCounts { le, lt });
+    }
+}
+
 /// Is `u` strictly better than `v` in at least one position?
 #[inline]
 pub fn strictly_better_somewhere(u: &[f64], v: &[f64]) -> bool {
@@ -240,6 +296,53 @@ mod tests {
         assert!(a.merge(b).k_dominates(5));
         assert!(!a.merge(b).k_dominates(6));
         assert!(!b.k_dominates(3)); // no strict position
+    }
+
+    #[test]
+    fn partial_counts_select_attributes() {
+        let u = [9.0, 1.0, 2.0, 9.0];
+        let v = [1.0, 3.0];
+        // Compare u[1] vs v[0] and u[2] vs v[1].
+        let c = dom_counts_partial(&u, &[1, 2], &v);
+        assert_eq!(c, DomCounts { le: 2, lt: 1 });
+        // Empty selection contributes nothing.
+        assert_eq!(dom_counts_partial(&u, &[], &[]), DomCounts { le: 0, lt: 0 });
+    }
+
+    #[test]
+    fn partial_merge_equals_full_counts() {
+        // Splitting a tuple into segments and merging the partial counts
+        // reproduces dom_counts on the whole tuple.
+        let u = [1.0, 5.0, 2.0, 4.0, 3.0];
+        let v = [2.0, 5.0, 1.0, 9.0, 3.0];
+        let full = dom_counts(&u, &v);
+        let left = dom_counts_partial(&u, &[0, 1], &v[..2]);
+        let right = dom_counts_partial(&u, &[2, 3, 4], &v[2..]);
+        assert_eq!(left.merge(right), full);
+    }
+
+    #[test]
+    fn block_counts_match_per_row_counts() {
+        let block = [
+            1.0, 2.0, 3.0, //
+            3.0, 2.0, 1.0, //
+            2.0, 2.0, 2.0, //
+        ];
+        let v = [2.0, 2.0, 2.0];
+        let mut out = Vec::new();
+        dom_counts_block(&block, &v, &mut out);
+        assert_eq!(out.len(), 3);
+        for (i, counts) in out.iter().enumerate() {
+            assert_eq!(
+                *counts,
+                dom_counts(&block[i * 3..(i + 1) * 3], &v),
+                "row {i}"
+            );
+        }
+        // Appends without clearing.
+        dom_counts_block(&block[..3], &v, &mut out);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[3], out[0]);
     }
 
     #[test]

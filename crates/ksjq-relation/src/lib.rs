@@ -33,7 +33,10 @@ pub mod relation;
 pub mod schema;
 
 pub use catalog::StringDictionary;
-pub use dominance::{dom_counts, dominates, k_dominates, strictly_better_somewhere, DomCounts};
+pub use dominance::{
+    dom_counts, dom_counts_block, dom_counts_partial, dominates, k_dominates,
+    strictly_better_somewhere, DomCounts,
+};
 pub use error::{Error, Result};
 pub use preference::Preference;
 pub use registry::{Catalog, RelationHandle};

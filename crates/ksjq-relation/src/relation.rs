@@ -64,7 +64,9 @@ pub struct GroupIndex {
 impl GroupIndex {
     fn build(keys: &[u64]) -> GroupIndex {
         let mut order: Vec<u32> = (0..keys.len() as u32).collect();
-        order.sort_by_key(|&t| keys[t as usize]);
+        // The id tiebreak makes the within-group order deterministic by
+        // construction, so the faster unstable sort is safe here.
+        order.sort_unstable_by_key(|&t| (keys[t as usize], t));
         let mut groups = Vec::new();
         let mut start = 0usize;
         while start < order.len() {
@@ -190,6 +192,16 @@ impl Relation {
     pub fn row_at(&self, i: usize) -> &[f64] {
         let d = self.schema.d();
         &self.data[i * d..(i + 1) * d]
+    }
+
+    /// The full normalised attribute storage, row-major (`n · d` values).
+    ///
+    /// Exposed for blocked kernels ([`crate::dominance::dom_counts_block`])
+    /// that want to sweep a candidate against every row without per-row
+    /// slice bookkeeping.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.data
     }
 
     /// Iterate all `(TupleId, row)` pairs.
@@ -458,6 +470,39 @@ mod tests {
         );
         assert_eq!(gi.members(5), &[0, 2]);
         assert_eq!(gi.members(99), &[] as &[u32]);
+    }
+
+    #[test]
+    fn group_index_members_ascend_within_group() {
+        // The (key, id) sort key makes the id tiebreak explicit; members
+        // of every group must come out in ascending id order even when
+        // many tuples tie on the key.
+        let keys: Vec<u64> = (0..64).map(|i| (i * 7 + 3) % 4).collect();
+        let rows: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let r = Relation::from_grouped_rows(Schema::uniform(1).unwrap(), &keys, &rows).unwrap();
+        let gi = r.group_index().unwrap();
+        for (gid, members) in gi.iter() {
+            assert!(
+                members.windows(2).all(|w| w[0] < w[1]),
+                "group {gid} not ascending: {members:?}"
+            );
+            for &m in members {
+                assert_eq!(keys[m as usize], gid);
+            }
+        }
+        assert_eq!(gi.iter().map(|(_, m)| m.len()).sum::<usize>(), 64);
+    }
+
+    #[test]
+    fn values_exposes_row_major_storage() {
+        let r = Relation::from_grouped_rows(
+            Schema::uniform(2).unwrap(),
+            &[1, 2],
+            &[vec![1.0, 2.0], vec![3.0, 4.0]],
+        )
+        .unwrap();
+        assert_eq!(r.values(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(&r.values()[2..4], r.row_at(1));
     }
 
     #[test]

@@ -546,6 +546,13 @@ pub struct ServerStats {
     pub cache_len: u64,
     /// Worker threads serving connections.
     pub workers: u64,
+    /// Joined-tuple dominance tests performed by the verification kernel
+    /// across all (non-cached) executions since startup.
+    pub dom_tests: u64,
+    /// Attribute positions compared by the verification kernel across all
+    /// (non-cached) executions since startup — the split-side kernel's
+    /// progress metric (see `ksjq_core::Counts::attr_cmps`).
+    pub attr_cmps: u64,
 }
 
 /// One server reply.
@@ -636,6 +643,8 @@ impl Response {
                         "cache_evictions" => s.cache_evictions = int,
                         "cache_len" => s.cache_len = int,
                         "workers" => s.workers = int,
+                        "dom_tests" => s.dom_tests = int,
+                        "attr_cmps" => s.attr_cmps = int,
                         _ => {} // forward compatibility
                     }
                 }
@@ -670,7 +679,8 @@ impl fmt::Display for Response {
             Response::Stats(s) => write!(
                 f,
                 "STATS connections={} requests={} errors={} sessions={} relations={} \
-                 cache_hits={} cache_misses={} cache_evictions={} cache_len={} workers={}",
+                 cache_hits={} cache_misses={} cache_evictions={} cache_len={} workers={} \
+                 dom_tests={} attr_cmps={}",
                 s.connections,
                 s.requests,
                 s.errors,
@@ -680,7 +690,9 @@ impl fmt::Display for Response {
                 s.cache_misses,
                 s.cache_evictions,
                 s.cache_len,
-                s.workers
+                s.workers,
+                s.dom_tests,
+                s.attr_cmps
             ),
         }
     }
@@ -834,6 +846,8 @@ mod tests {
                 cache_evictions: 7,
                 cache_len: 8,
                 workers: 9,
+                dom_tests: 10,
+                attr_cmps: 11,
             }),
             Response::Error("unknown relation \"nope\"".into()),
             Response::Bye,

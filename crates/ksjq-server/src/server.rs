@@ -76,6 +76,12 @@ struct Shared {
     connections: AtomicU64,
     requests: AtomicU64,
     errors: AtomicU64,
+    /// Verification-kernel work summed over every non-cached execution:
+    /// joined-tuple dominance tests and attribute comparisons (see
+    /// `ksjq_core::Counts`). Surfaced through `STATS` so kernel speedups
+    /// are visible over the wire.
+    dom_tests: AtomicU64,
+    attr_cmps: AtomicU64,
     /// Bumped on every catalog registration; guards against caching a
     /// result computed against a catalog that changed mid-execution.
     catalog_epoch: AtomicU64,
@@ -158,6 +164,8 @@ impl Server {
                 connections: AtomicU64::new(0),
                 requests: AtomicU64::new(0),
                 errors: AtomicU64::new(0),
+                dom_tests: AtomicU64::new(0),
+                attr_cmps: AtomicU64::new(0),
                 catalog_epoch: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
             }),
@@ -532,6 +540,12 @@ fn rowset(shared: &Shared, session: &Session) -> CoreResult<RowSet> {
     let started = Instant::now();
     let output = session.prepared.execute()?;
     let micros = started.elapsed().as_micros() as u64;
+    shared
+        .dom_tests
+        .fetch_add(output.stats.counts.dom_tests, Ordering::Relaxed);
+    shared
+        .attr_cmps
+        .fetch_add(output.stats.counts.attr_cmps, Ordering::Relaxed);
     let output = Arc::new(output);
     // Don't cache across a concurrent catalog change: the fingerprint is
     // name-based, and a name may since have been rebound. The re-check
@@ -583,5 +597,7 @@ fn stats(shared: &Shared) -> ServerStats {
         cache_evictions: counters.evictions(),
         cache_len: shared.cache.len() as u64,
         workers: shared.workers as u64,
+        dom_tests: shared.dom_tests.load(Ordering::Relaxed),
+        attr_cmps: shared.attr_cmps.load(Ordering::Relaxed),
     }
 }

@@ -82,6 +82,19 @@ fn paper_example_over_the_wire_matches_in_process() {
     assert_eq!(stats.sessions, 1);
     assert_eq!(stats.workers, 8);
     assert_eq!(stats.errors, 0);
+    // The verification kernel's work counters travel over the wire; the
+    // in-process reference run tells us exactly what the one non-cached
+    // EXECUTE must have reported.
+    let expected_counts = reference.stats.counts;
+    assert!(expected_counts.dom_tests > 0, "{expected_counts:?}");
+    assert_eq!(stats.dom_tests, expected_counts.dom_tests, "{stats:?}");
+    assert_eq!(stats.attr_cmps, expected_counts.attr_cmps, "{stats:?}");
+    // Cache hits never re-run the kernel: counters are unchanged after
+    // another cached EXECUTE.
+    assert!(client.execute("q1").unwrap().cached);
+    let after = client.stats().unwrap();
+    assert_eq!(after.dom_tests, stats.dom_tests);
+    assert_eq!(after.attr_cmps, stats.attr_cmps);
 
     client.close().unwrap();
     server.stop().unwrap();

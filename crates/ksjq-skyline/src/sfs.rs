@@ -14,9 +14,12 @@ use ksjq_relation::dominates;
 pub fn skyline_sfs<R: RowAccess>(rows: &R, members: &[u32]) -> Vec<u32> {
     let mut order: Vec<u32> = members.to_vec();
     // Sum of normalised attributes is monotone: u ≻ v ⇒ sum(u) < sum(v),
-    // so a dominator always sorts strictly before its victims.
+    // so a dominator always sorts strictly before its victims. total_cmp
+    // keeps the sort a total order even when a caller-provided RowAccess
+    // (e.g. a MatrixView over scratch data) smuggles in NaN sums, which
+    // Relation's builder rejects but this function cannot assume away.
     let score = |id: u32| rows.row(id).iter().sum::<f64>();
-    order.sort_by(|&a, &b| score(a).partial_cmp(&score(b)).unwrap().then(a.cmp(&b)));
+    order.sort_by(|&a, &b| score(a).total_cmp(&score(b)).then(a.cmp(&b)));
 
     let mut skyline: Vec<u32> = Vec::new();
     'outer: for &p in &order {
@@ -84,6 +87,33 @@ mod tests {
         let data = [9.0, 9.0, 1.0, 1.0];
         let m = MatrixView::new(2, &data);
         assert_eq!(skyline_sfs(&m, &ids(2)), vec![1]);
+    }
+
+    #[test]
+    fn nan_attribute_sums_do_not_panic() {
+        // Regression: the comparator used partial_cmp(..).unwrap(), which
+        // panicked as soon as any row's attribute sum was NaN. MatrixView
+        // does not validate values, so SFS must tolerate them.
+        let data = [
+            f64::NAN,
+            1.0, // row 0: NaN sum
+            1.0,
+            1.0, // row 1: clean dominator candidate
+            2.0,
+            2.0, // row 2: dominated by row 1
+            f64::NAN,
+            f64::NAN, // row 3: all NaN
+        ];
+        let m = MatrixView::new(2, &data);
+        let out = skyline_sfs(&m, &ids(4));
+        // No panic, and NaN rows don't break dominance among clean rows:
+        // row 2 is still eliminated by row 1.
+        assert!(out.contains(&1));
+        assert!(!out.contains(&2));
+        // NaN-valued rows are incomparable (every comparison is false), so
+        // they survive as skyline members.
+        assert!(out.contains(&0));
+        assert!(out.contains(&3));
     }
 
     #[test]

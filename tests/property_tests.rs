@@ -266,6 +266,149 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// The split-side verification kernel
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole equivalence, at the primitive level: merging the
+    /// per-segment counts (left locals via `dom_counts_partial`, right
+    /// locals via `dom_counts_partial`, aggregates via `fill_aggs` +
+    /// `dom_counts`) must reproduce `dom_counts` on the `cx.fill`-
+    /// materialised joined row, for arbitrary data and arbitrary
+    /// dominator/candidate pairs.
+    #[test]
+    fn split_counts_equal_materialized_counts(
+        r1 in arb_agg_relation(1, 2),
+        r2 in arb_agg_relation(1, 2),
+    ) {
+        use ksjq::relation::{dom_counts, dom_counts_partial};
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[AggFunc::Sum]).unwrap();
+        let (l1, l2, a) = (cx.l1(), cx.l2(), cx.a());
+        let m = cx.materialize();
+        let mut joined = vec![0.0; cx.d_joined()];
+        let mut aggs = vec![0.0; a];
+        // Every joined tuple as dominator against every joined tuple as
+        // candidate (bounded: the generators keep n small).
+        for i in 0..m.n().min(12) {
+            let (u, v) = m.pairs[i];
+            for j in 0..m.n().min(12) {
+                let cand = m.row(j);
+                let lc = dom_counts_partial(
+                    r1.row_at(u as usize), cx.left_local_attrs(), &cand[..l1]);
+                let rc = dom_counts_partial(
+                    r2.row_at(v as usize), cx.right_local_attrs(), &cand[l1..l1 + l2]);
+                cx.fill_aggs(u, v, &mut aggs);
+                let ac = dom_counts(&aggs, &cand[l1 + l2..]);
+                cx.fill(u, v, &mut joined);
+                prop_assert_eq!(
+                    lc.merge(rc).merge(ac),
+                    dom_counts(&joined, cand),
+                    "dominator ({},{}) vs candidate {}", u, v, j
+                );
+            }
+        }
+    }
+
+    /// The kernel's verdicts — with its SFS-ordered target sets, left-half
+    /// early abandon and partner memo — must equal the pre-split serial
+    /// path: id-ordered target sets, `cx.fill` into scratch, `k_dominates`
+    /// on the materialised row.
+    #[test]
+    fn ordered_split_verification_equals_materialized_verification(
+        r1 in arb_agg_relation(1, 2),
+        r2 in arb_agg_relation(1, 2),
+        k_off in 0usize..=2,
+    ) {
+        use ksjq::core::{target_set, JoinedCheck, TargetCache};
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[AggFunc::Sum]).unwrap();
+        let (lo, hi) = k_range(&cx);
+        let k = (lo + k_off).min(hi);
+        let p = validate_k(&cx, k).unwrap();
+        let llocals: Vec<usize> = r1.schema().local_indices().collect();
+        let rlocals: Vec<usize> = r2.schema().local_indices().collect();
+        let mut ltargets = TargetCache::new(&r1, p.k1_pp);
+        let mut rtargets = TargetCache::new(&r2, p.k2_pp);
+        let mut chk = JoinedCheck::new(&cx, k);
+        let mut scratch = vec![0.0; cx.d_joined()];
+        let m = cx.materialize();
+        for i in 0..m.n().min(16) {
+            let (u, v) = m.pairs[i];
+            let cand = m.row(i).to_vec();
+            // Pre-split one-sided left check: τ(u) in ascending id order,
+            // every partner pair materialised.
+            let mut expected = false;
+            for &tu in &target_set(&r1, &llocals, u, p.k1_pp) {
+                for &tv in cx.right_partners(tu) {
+                    cx.fill(tu, tv, &mut scratch);
+                    expected |= ksjq::relation::k_dominates(&scratch, &cand, k);
+                }
+            }
+            prop_assert_eq!(
+                chk.dominated_via_left(ltargets.get(u), &cand), expected,
+                "via_left candidate ({},{}) k={}", u, v, k);
+            // And the symmetric right check.
+            let mut expected_r = false;
+            for &tv in &target_set(&r2, &rlocals, v, p.k2_pp) {
+                for &tu in cx.left_partners(tv) {
+                    cx.fill(tu, tv, &mut scratch);
+                    expected_r |= ksjq::relation::k_dominates(&scratch, &cand, k);
+                }
+            }
+            prop_assert_eq!(
+                chk.dominated_via_right(rtargets.get(v), &cand), expected_r,
+                "via_right candidate ({},{}) k={}", u, v, k);
+        }
+    }
+
+    /// Parallel classification + parallel verification + the split kernel,
+    /// driven end to end over synthetic generator specs (the shapes the
+    /// figures and the serving layer run): every execution mode returns
+    /// the naive algorithm's answer.
+    #[test]
+    fn synthetic_specs_all_execution_modes_agree(
+        n in 10usize..50,
+        d in 2usize..5,
+        a in 0usize..3,
+        g in 1usize..5,
+        seed in 0u64..500,
+        k_off in 0usize..3,
+        distribution in 0usize..3,
+    ) {
+        use ksjq::datagen::{DataType, DatasetSpec};
+        let a = a.min(d - 1);
+        let data_type = match distribution {
+            0 => DataType::Independent,
+            1 => DataType::Correlated,
+            _ => DataType::AntiCorrelated,
+        };
+        let spec = DatasetSpec {
+            n, agg_attrs: a, local_attrs: d - a, groups: g, data_type, seed,
+        };
+        let r1 = spec.generate();
+        let r2 = DatasetSpec { seed: seed + 1000, ..spec }.generate();
+        let funcs = vec![AggFunc::Sum; a];
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &funcs).unwrap();
+        let (lo, hi) = k_range(&cx);
+        let k = (lo + k_off).min(hi);
+        let naive = ksjq_naive(&cx, k, &Config::default()).unwrap();
+        let serial = ksjq_grouping(&cx, k, &Config::default()).unwrap();
+        let threaded = ksjq_grouping(&cx, k, &Config::with_threads(4)).unwrap();
+        let dom = ksjq_dominator_based(&cx, k, &Config::default()).unwrap();
+        prop_assert_eq!(&naive.pairs, &serial.pairs, "serial grouping, k={}", k);
+        prop_assert_eq!(&naive.pairs, &threaded.pairs, "threaded grouping, k={}", k);
+        prop_assert_eq!(&naive.pairs, &dom.pairs, "dominator-based, k={}", k);
+        // The kernel counters are thread-count invariant: identical work,
+        // different workers.
+        prop_assert_eq!(
+            serial.stats.counts.dom_tests, threaded.stats.counts.dom_tests, "k={}", k);
+        prop_assert_eq!(
+            serial.stats.counts.attr_cmps, threaded.stats.counts.attr_cmps, "k={}", k);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Theorem 5: the Unique Value Property
 // ---------------------------------------------------------------------
 
