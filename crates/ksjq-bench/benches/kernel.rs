@@ -6,10 +6,16 @@
 //! the "may be" set).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ksjq_bench::{prepare_candidates, run_materialized, run_split, PaperParams};
-use ksjq_core::{classify, classify_parallel, ksjq_grouping, ksjq_naive, validate_k, Config};
+use ksjq_bench::{prepare_candidates, run_columnar, run_materialized, run_split, PaperParams};
+use ksjq_core::{
+    classify, classify_parallel, ksjq_grouping, ksjq_naive, precompute_target_sets, validate_k,
+    Config,
+};
 use ksjq_datagen::{DataType, DatasetSpec};
-use ksjq_relation::{dom_counts, dom_counts_block, dom_counts_partial, k_dominates};
+use ksjq_relation::{
+    dom_counts, dom_counts_block, dom_counts_block_columnar, dom_counts_partial,
+    dom_counts_partial_block_columnar, k_dominates,
+};
 use ksjq_skyline::{k_dominant_skyline, KdomAlgo};
 
 fn bench_dominance_kernel(c: &mut Criterion) {
@@ -70,6 +76,26 @@ fn bench_dominance_kernel(c: &mut Criterion) {
             out.iter().map(|c| c.le).sum::<u32>()
         })
     });
+    // Columnar counterparts: the attribute-major lane-blocked sweeps the
+    // production target-set scan and verifier are built on.
+    group.bench_function("dom_counts_block_columnar_1000x12", |b| {
+        let probe = rel.row_at(0).to_vec();
+        let mut out = Vec::with_capacity(rel.n());
+        b.iter(|| {
+            out.clear();
+            dom_counts_block_columnar(rel.columns(), rel.n(), &probe, &mut out);
+            out.iter().map(|c| c.le).sum::<u32>()
+        })
+    });
+    group.bench_function("dom_counts_partial_columnar_1000x6of12", |b| {
+        let probe: Vec<f64> = attrs.iter().map(|&a| rel.row_at(0)[a]).collect();
+        let mut out = Vec::with_capacity(rel.n());
+        b.iter(|| {
+            out.clear();
+            dom_counts_partial_block_columnar(rel.columns(), rel.n(), &attrs, &probe, &mut out);
+            out.iter().map(|c| c.le).sum::<u32>()
+        })
+    });
     group.finish();
 }
 
@@ -96,6 +122,39 @@ fn bench_verification_kernels(c: &mut Criterion) {
     group.bench_function("split_side_330", |b| {
         b.iter(|| run_split(&cx, params.k, &cands).attr_cmps)
     });
+    group.bench_function("columnar_330", |b| {
+        b.iter(|| run_columnar(&cx, params.k, &cands).attr_cmps)
+    });
+    group.finish();
+}
+
+/// The dominator-generation phase (dominator-based algorithm phase 2):
+/// serial vs sharded target-set precomputation over both sides.
+fn bench_parallel_domgen(c: &mut Criterion) {
+    let params = PaperParams {
+        n: 800,
+        data_type: DataType::AntiCorrelated,
+        ..Default::default()
+    };
+    let (r1, r2) = params.relations();
+    let cx = params.context(&r1, &r2);
+    let p = validate_k(&cx, params.k).unwrap();
+    let cls = classify(&cx, &p, KdomAlgo::Tsa);
+    let mut group = c.benchmark_group("kernel_domgen");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("precompute_target_sets", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let lt = precompute_target_sets(cx.left(), &cls.left, p.k1_pp, threads);
+                    let rt = precompute_target_sets(cx.right(), &cls.right, p.k2_pp, threads);
+                    lt.len() + rt.len()
+                })
+            },
+        );
+    }
     group.finish();
 }
 
@@ -176,6 +235,7 @@ criterion_group!(
     benches,
     bench_dominance_kernel,
     bench_verification_kernels,
+    bench_parallel_domgen,
     bench_kdom_algorithms,
     bench_classification,
     bench_ablation_target_filter

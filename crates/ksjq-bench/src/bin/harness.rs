@@ -18,9 +18,10 @@
 //!
 //! The extra `kernel` subcommand (not part of `all`) runs the
 //! verification-kernel ablation — the pre-split materialise-then-compare
-//! reference against the split-side kernel — plus a fig3b-style
-//! scalability sweep; `--json PATH` writes the measurements in the
-//! committed `BENCH_kernel.json` baseline format.
+//! reference against the row-major split-side kernel against the columnar
+//! lane-blocked kernel — plus a dominator-generation thread-scaling sweep
+//! and a fig3b-style scalability sweep; `--json PATH` writes the
+//! measurements in the committed `BENCH_kernel.json` baseline format.
 //!
 //! ```sh
 //! cargo run --release -p ksjq-bench --bin harness -- all --scale 0.33
@@ -806,6 +807,7 @@ fn kernel_figure(scale: f64) {
     for (name, cost) in [
         ("materialized", cmp.materialized),
         ("split-side", cmp.split),
+        ("columnar", cmp.columnar),
     ] {
         println!(
             "    {:>14} {:>14} {:>16} {:>10} {:>9}",
@@ -817,13 +819,30 @@ fn kernel_figure(scale: f64) {
         );
     }
     println!(
-        "    {:.2}x fewer attribute comparisons, {:.2}x wall-clock speedup \
-         over {} measured candidates ({} joined pairs)",
+        "    split vs materialized: {:.2}x fewer attribute comparisons, {:.2}x \
+         wall-clock; columnar vs split: {:.2}x wall-clock \
+         ({} measured candidates, {} joined pairs)",
         cmp.attr_cmp_ratio(),
         cmp.speedup(),
+        cmp.columnar_speedup(),
         cmp.measured,
         cmp.joined_pairs
     );
+
+    // Dominator-generation scaling: the O(n²) phase 2 of the
+    // dominator-based algorithm, sharded like classification.
+    println!("\n    dominator generation (same workload), by thread count:");
+    let domgen = measure_domgen_scaling(&params, &o.cfg, &[1, 2, 4]);
+    let base = domgen[0].wall;
+    for run in &domgen {
+        println!(
+            "    {:>10} threads {:>10} ms  {:.2}x  ({} set members)",
+            run.threads,
+            ms(run.wall),
+            base.as_secs_f64() / run.wall.as_secs_f64().max(1e-9),
+            run.members
+        );
+    }
 
     // fig3b-style scalability, grouping algorithm (the split kernel's
     // production consumer), with the kernel counters per size.
@@ -848,7 +867,7 @@ fn kernel_figure(scale: f64) {
     }
 
     if let Some(path) = &o.json {
-        let json = kernel_json(scale, &cmp, &rows);
+        let json = kernel_json(scale, &cmp, &domgen, &rows);
         std::fs::write(path, json).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
         println!("\n    wrote {path}");
     }
@@ -856,7 +875,12 @@ fn kernel_figure(scale: f64) {
 
 /// Serialise the kernel figure's measurements as the `BENCH_kernel.json`
 /// baseline (hand-rolled: the workspace is dependency-free by design).
-fn kernel_json(scale: f64, cmp: &KernelComparison, rows: &[ScalabilityRow]) -> String {
+fn kernel_json(
+    scale: f64,
+    cmp: &KernelComparison,
+    domgen: &[DomgenRun],
+    rows: &[ScalabilityRow],
+) -> String {
     fn cost(c: &KernelCost) -> String {
         format!(
             "{{\"dom_tests\": {}, \"attr_cmps\": {}, \"wall_ms\": {}, \"survivors\": {}}}",
@@ -904,15 +928,35 @@ fn kernel_json(scale: f64, cmp: &KernelComparison, rows: &[ScalabilityRow]) -> S
             )
         })
         .collect();
+    let base = domgen.first().map(|r| r.wall).unwrap_or_default();
+    let domgen_rows: Vec<String> = domgen
+        .iter()
+        .map(|run| {
+            format!(
+                "    {{\"threads\": {}, \"wall_ms\": {}, \"speedup\": {:.3}, \"members\": {}}}",
+                run.threads,
+                ms(run.wall),
+                base.as_secs_f64() / run.wall.as_secs_f64().max(1e-9),
+                run.members
+            )
+        })
+        .collect();
     format!(
-        "{{\n  \"schema_version\": 1,\n  \"bench\": \"kernel\",\n  \"scale\": {scale},\n  \
+        "{{\n  \"schema_version\": 2,\n  \"bench\": \"kernel\",\n  \"scale\": {scale},\n  \
+         \"host_cpus\": {},\n  \
          \"kernel\": {{\n    \"workload\": {workload},\n    \"materialized\": {},\n    \
-         \"split_side\": {},\n    \"attr_cmp_ratio\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \
+         \"split_side\": {},\n    \"columnar\": {},\n    \"attr_cmp_ratio\": {:.3},\n    \
+         \"speedup\": {:.3},\n    \"columnar_speedup\": {:.3}\n  }},\n  \
+         \"domgen_scaling\": [\n{}\n  ],\n  \
          \"fig3_scalability\": [\n{}\n  ]\n}}\n",
+        std::thread::available_parallelism().map_or(1, |p| p.get()),
         cost(&cmp.materialized),
         cost(&cmp.split),
+        cost(&cmp.columnar),
         cmp.attr_cmp_ratio(),
         cmp.speedup(),
+        cmp.columnar_speedup(),
+        domgen_rows.join(",\n"),
         scalability.join(",\n")
     )
 }

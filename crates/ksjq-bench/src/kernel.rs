@@ -1,16 +1,22 @@
 //! The verification-kernel ablation: materialise-then-compare versus the
-//! split-side kernel.
+//! split-side kernel versus the columnar lane-blocked kernel.
 //!
 //! `ksjq-core`'s verifier no longer builds joined tuples in its hot loop
 //! (see `ksjq_core::verify`); this module keeps a counted replica of the
 //! **pre-split** kernel — `cx.fill` into scratch, then an early-abandoning
 //! `k_dominates` over the full joined arity, target sets scanned in id
-//! order — so the harness can measure exactly what the rewrite buys on a
-//! given workload and pin the numbers in a committed baseline
-//! (`BENCH_kernel.json`).
+//! order — plus the PR-4 row-major split kernel (`JoinedCheck`, now the
+//! oracle) and the production columnar kernel (`ColumnarCheck`), so the
+//! harness can measure exactly what each rewrite buys on a given workload
+//! and pin the numbers in a committed baseline (`BENCH_kernel.json`).
+//! [`measure_domgen_scaling`] covers the other half of the PR-5 work: the
+//! dominator-generation phase sharded over threads.
 
 use crate::PaperParams;
-use ksjq_core::{classify, target_set, validate_k, Category, Config, JoinedCheck, TargetCache};
+use ksjq_core::{
+    classify, precompute_target_sets, target_set, validate_k, Category, ColumnarCheck, Config,
+    JoinedCheck, TargetCache,
+};
 use ksjq_join::JoinContext;
 use std::time::{Duration, Instant};
 
@@ -44,8 +50,12 @@ pub struct KernelComparison {
     /// The pre-split reference: materialise each dominator, full-arity
     /// `k_dominates`.
     pub materialized: KernelCost,
-    /// The split-side kernel (`ksjq_core::verify::JoinedCheck`).
+    /// The PR-4 row-major split-side kernel
+    /// (`ksjq_core::verify::JoinedCheck`, now the oracle).
     pub split: KernelCost,
+    /// The columnar lane-blocked kernel
+    /// (`ksjq_core::verify::ColumnarCheck`, the production path).
+    pub columnar: KernelCost,
 }
 
 impl KernelComparison {
@@ -54,9 +64,16 @@ impl KernelComparison {
         self.materialized.attr_cmps as f64 / (self.split.attr_cmps.max(1)) as f64
     }
 
-    /// Wall-clock speedup of the split kernel.
+    /// Wall-clock speedup of the split kernel over the materialized
+    /// reference.
     pub fn speedup(&self) -> f64 {
         self.materialized.wall.as_secs_f64() / self.split.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Wall-clock speedup of the columnar kernel over the split kernel —
+    /// the PR-5 headline number.
+    pub fn columnar_speedup(&self) -> f64 {
+        self.split.wall.as_secs_f64() / self.columnar.wall.as_secs_f64().max(1e-9)
     }
 }
 
@@ -221,6 +238,94 @@ pub fn run_split(cx: &JoinContext<'_>, k: usize, cands: &[Candidate]) -> KernelC
     }
 }
 
+/// The columnar lane-blocked sweep (`ksjq_core::verify::ColumnarCheck`,
+/// the production verification path), driven over the identical
+/// candidates and SFS-ordered target sets as [`run_split`].
+pub fn run_columnar(cx: &JoinContext<'_>, k: usize, cands: &[Candidate]) -> KernelCost {
+    let params = validate_k(cx, k).expect("benchmark k in range");
+    let mut ltargets = TargetCache::new(cx.left(), params.k1_pp);
+    let mut rtargets = TargetCache::new(cx.right(), params.k2_pp);
+    let mut chk = ColumnarCheck::new(cx, k);
+    let mut survivors = 0usize;
+    let t = Instant::now();
+    for cand in cands {
+        let dominated = match cand.kind {
+            Kind::Emit => false,
+            Kind::Left => chk.dominated_via_left(ltargets.get(cand.u), &cand.row),
+            Kind::Right => chk.dominated_via_right(rtargets.get(cand.v), &cand.row),
+        };
+        survivors += !dominated as usize;
+    }
+    let wall = t.elapsed();
+    let c = chk.counters();
+    KernelCost {
+        dom_tests: c.dom_tests,
+        attr_cmps: c.attr_cmps,
+        wall,
+        survivors,
+    }
+}
+
+/// One thread count's dominator-generation measurement: both sides'
+/// target sets precomputed over the classification, exactly the
+/// dominator-based algorithm's phase 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DomgenRun {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock of both sides' set construction.
+    pub wall: Duration,
+    /// Total target-set members produced (must be identical across thread
+    /// counts — checked by [`measure_domgen_scaling`]).
+    pub members: u64,
+}
+
+/// Measure the dominator-generation phase of `params`' workload at each
+/// thread count (classification and data generation are shared setup,
+/// excluded from the timings). Panics if any thread count produces
+/// different sets than the first — a scaling number for wrong answers
+/// measures nothing.
+pub fn measure_domgen_scaling(
+    params: &PaperParams,
+    cfg: &Config,
+    thread_counts: &[usize],
+) -> Vec<DomgenRun> {
+    let (r1, r2) = params.relations();
+    let cx = params.context(&r1, &r2);
+    let p = validate_k(&cx, params.k).expect("benchmark k in range");
+    let cls = classify(&cx, &p, cfg.kdom);
+    type TargetSets = Vec<Option<Vec<u32>>>;
+    let mut runs = Vec::new();
+    let mut reference: Option<(TargetSets, TargetSets)> = None;
+    for &threads in thread_counts {
+        let t = Instant::now();
+        let lt = precompute_target_sets(cx.left(), &cls.left, p.k1_pp, threads);
+        let rt = precompute_target_sets(cx.right(), &cls.right, p.k2_pp, threads);
+        let wall = t.elapsed();
+        let members = lt
+            .iter()
+            .chain(rt.iter())
+            .flatten()
+            .map(|s| s.len() as u64)
+            .sum();
+        match &reference {
+            None => reference = Some((lt, rt)),
+            Some((rl, rr)) => {
+                assert!(
+                    *rl == lt && *rr == rt,
+                    "dominator generation diverged at {threads} threads"
+                );
+            }
+        }
+        runs.push(DomgenRun {
+            threads,
+            wall,
+            members,
+        });
+    }
+    runs
+}
+
 /// Measure both kernels on `params`' workload; panics if their surviving
 /// candidate counts disagree (a benchmark that measures wrong answers
 /// measures nothing).
@@ -252,9 +357,14 @@ pub fn compare_verification_kernels_sampled(
     }
     let materialized = run_materialized(&cx, params.k, &cands);
     let split = run_split(&cx, params.k, &cands);
+    let columnar = run_columnar(&cx, params.k, &cands);
     assert_eq!(
         materialized.survivors, split.survivors,
         "kernels disagree on {params:?}"
+    );
+    assert_eq!(
+        split.survivors, columnar.survivors,
+        "columnar kernel disagrees on {params:?}"
     );
     KernelComparison {
         params: *params,
@@ -263,6 +373,7 @@ pub fn compare_verification_kernels_sampled(
         measured: cands.len(),
         materialized,
         split,
+        columnar,
     }
 }
 
@@ -285,11 +396,27 @@ mod tests {
         let cmp = compare_verification_kernels(&params, &Config::default());
         assert!(cmp.candidates > 0, "{cmp:?}");
         assert_eq!(cmp.materialized.survivors, cmp.split.survivors);
+        assert_eq!(cmp.split.survivors, cmp.columnar.survivors);
         assert!(cmp.split.attr_cmps > 0);
         assert!(
             cmp.split.attr_cmps < cmp.materialized.attr_cmps,
             "split kernel should compare fewer attributes: {cmp:?}"
         );
+        assert!(cmp.columnar.dom_tests > 0);
+    }
+
+    #[test]
+    fn domgen_scaling_is_thread_invariant() {
+        let params = PaperParams {
+            n: 150,
+            data_type: DataType::AntiCorrelated,
+            seed: 5,
+            ..Default::default()
+        };
+        let runs = measure_domgen_scaling(&params, &Config::default(), &[1, 2, 4]);
+        assert_eq!(runs.len(), 3);
+        assert!(runs[0].members > 0);
+        assert!(runs.iter().all(|r| r.members == runs[0].members));
     }
 
     #[test]

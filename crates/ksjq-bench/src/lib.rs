@@ -10,8 +10,9 @@
 pub mod kernel;
 
 pub use kernel::{
-    compare_verification_kernels, compare_verification_kernels_sampled, prepare_candidates,
-    run_materialized, run_split, KernelComparison, KernelCost,
+    compare_verification_kernels, compare_verification_kernels_sampled, measure_domgen_scaling,
+    prepare_candidates, run_columnar, run_materialized, run_split, DomgenRun, KernelComparison,
+    KernelCost,
 };
 
 use ksjq_core::{

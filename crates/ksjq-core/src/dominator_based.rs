@@ -14,7 +14,7 @@
 //! `≥ k′` better-or-equal positions either k′-dominates `u` or ties it on
 //! every one of them.
 
-use crate::classify::{classify_parallel, Category};
+use crate::classify::classify_parallel;
 use crate::config::Config;
 use crate::error::CoreResult;
 use crate::grouping::{
@@ -23,29 +23,10 @@ use crate::grouping::{
 use crate::output::{finish, KsjqOutput};
 use crate::params::validate_k;
 use crate::stats::ExecStats;
-use crate::target::{attr_sums, order_by_attr_sum, target_set};
-use crate::verify::JoinedCheck;
+use crate::target::precompute_target_sets;
+use crate::verify::ColumnarCheck;
 use ksjq_join::JoinContext;
-use ksjq_relation::Relation;
 use std::time::Instant;
-
-fn precompute_targets(rel: &Relation, cats: &[Category], k_pp: usize) -> Vec<Option<Vec<u32>>> {
-    let locals: Vec<usize> = rel.schema().local_indices().collect();
-    // SFS-style ordering: scanning each set sum-ascending lets the
-    // verifier hit a dominator (and exit) early.
-    let scores = attr_sums(rel);
-    cats.iter()
-        .enumerate()
-        .map(|(t, c)| match c {
-            Category::NN => None,
-            _ => {
-                let mut set = target_set(rel, &locals, t as u32, k_pp);
-                order_by_attr_sum(&mut set, &scores);
-                Some(set)
-            }
-        })
-        .collect()
-}
 
 /// Run the dominator-based KSJQ algorithm (paper Algorithm 3).
 pub fn ksjq_dominator_based(
@@ -65,10 +46,12 @@ pub fn ksjq_dominator_based(
     stats.phases.grouping = t.elapsed();
 
     // Phase 2: dominator/target sets for every SS/SN tuple, both sides
-    // ("dominator generation").
+    // ("dominator generation") — the `O(n²)` phase, sharded over
+    // `cfg.threads` scoped workers with a deterministic merge (see
+    // [`precompute_target_sets`]).
     let t = Instant::now();
-    let ltargets = precompute_targets(cx.left(), &cls.left, params.k1_pp);
-    let rtargets = precompute_targets(cx.right(), &cls.right, params.k2_pp);
+    let ltargets = precompute_target_sets(cx.left(), &cls.left, params.k1_pp, cfg.threads);
+    let rtargets = precompute_target_sets(cx.right(), &cls.right, params.k2_pp, cfg.threads);
     stats.phases.dominator_gen = t.elapsed();
 
     // Phase 3: candidate collection + joined rows ("join time").
@@ -80,7 +63,7 @@ pub fn ksjq_dominator_based(
 
     // Phase 4: two-sided verification ("remaining").
     let t = Instant::now();
-    let mut chk = JoinedCheck::new(cx, k);
+    let mut chk = ColumnarCheck::new(cx, k);
     let mut out = Vec::new();
     for (i, &(u, v)) in cands.pairs.iter().enumerate() {
         let dominated = match cands.kinds[i] {
@@ -160,6 +143,50 @@ mod tests {
         // accounting here).
         let c = out.stats.counts;
         assert_eq!(c.output, out.len());
+    }
+
+    /// Sharded dominator generation must not change anything observable:
+    /// identical skyline, identical counter sums, for every thread count.
+    #[test]
+    fn parallel_domgen_matches_serial_including_counters() {
+        let mut state = 1234u64;
+        let mut next = move |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        let n = 120;
+        let mk = |next: &mut dyn FnMut(u64) -> u64| {
+            let g: Vec<u64> = (0..n).map(|_| next(6)).collect();
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..4).map(|_| next(9) as f64).collect())
+                .collect();
+            rel(&g, &rows)
+        };
+        let r1 = mk(&mut next);
+        let r2 = mk(&mut next);
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
+        for k in 5..=7 {
+            let serial = ksjq_dominator_based(&cx, k, &Config::default()).unwrap();
+            for threads in [2usize, 4, 16] {
+                let parallel =
+                    ksjq_dominator_based(&cx, k, &Config::with_threads(threads)).unwrap();
+                assert_eq!(serial.pairs, parallel.pairs, "k={k} threads={threads}");
+                assert_eq!(
+                    serial.stats.counts.dom_tests, parallel.stats.counts.dom_tests,
+                    "k={k} threads={threads}"
+                );
+                assert_eq!(
+                    serial.stats.counts.attr_cmps, parallel.stats.counts.attr_cmps,
+                    "k={k} threads={threads}"
+                );
+                assert_eq!(
+                    serial.stats.counts.targets_pruned, parallel.stats.counts.targets_pruned,
+                    "k={k} threads={threads}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::output::{finish, KsjqOutput};
 use crate::params::validate_k;
 use crate::stats::ExecStats;
 use crate::target::TargetCache;
-use crate::verify::{CheckCounters, JoinedCheck};
+use crate::verify::{CheckCounters, ColumnarCheck};
 use ksjq_join::JoinContext;
 use std::time::Instant;
 
@@ -178,7 +178,7 @@ pub fn ksjq_grouping_progressive(
     let t = Instant::now();
     let mut ltargets = TargetCache::new(cx.left(), params.k1_pp);
     let mut rtargets = TargetCache::new(cx.right(), params.k2_pp);
-    let mut chk = JoinedCheck::new(cx, k);
+    let mut chk = ColumnarCheck::new(cx, k);
     let mut out = Vec::new();
     for (i, &(u, v)) in cands.pairs.iter().enumerate() {
         let dominated = match cands.kinds[i] {
@@ -230,7 +230,7 @@ pub fn ksjq_grouping(cx: &JoinContext<'_>, k: usize, cfg: &Config) -> CoreResult
     } else {
         let mut ltargets = TargetCache::new(cx.left(), params.k1_pp);
         let mut rtargets = TargetCache::new(cx.right(), params.k2_pp);
-        let mut chk = JoinedCheck::new(cx, k);
+        let mut chk = ColumnarCheck::new(cx, k);
         let mut out = Vec::new();
         for (i, &(u, v)) in cands.pairs.iter().enumerate() {
             let dominated = match cands.kinds[i] {
@@ -307,6 +307,39 @@ mod tests {
             c.yes_pairs as u64 + c.likely_pairs as u64 + c.maybe_pairs as u64 + c.pruned_pairs(),
             c.joined_pairs
         );
+    }
+
+    /// Regression for the dead counter: `targets_pruned` never incremented
+    /// on the grouping path (the old leg-abandon condition was
+    /// unsatisfiable by construction of the target set — every member
+    /// passes the `k″` filter the abandon re-checked). It now counts the
+    /// tuples each candidate's target filter excludes from the scan, so an
+    /// anti-correlated workload must report a non-zero value.
+    #[test]
+    fn targets_pruned_is_nonzero_on_anti_correlated_workload() {
+        use ksjq_datagen::{DataType, DatasetSpec};
+        let spec = DatasetSpec {
+            n: 200,
+            agg_attrs: 2,
+            local_attrs: 5,
+            groups: 5,
+            data_type: DataType::AntiCorrelated,
+            seed: 11,
+        };
+        let r1 = spec.generate();
+        let r2 = DatasetSpec { seed: 1011, ..spec }.generate();
+        let cx =
+            JoinContext::new(&r1, &r2, JoinSpec::Equality, &[AggFunc::Sum, AggFunc::Sum]).unwrap();
+        let out = ksjq_grouping(&cx, 11, &Config::default()).unwrap();
+        let c = out.stats.counts;
+        assert!(
+            c.likely_pairs + c.maybe_pairs > 0,
+            "workload must exercise verification: {c:?}"
+        );
+        assert!(c.targets_pruned > 0, "{c:?}");
+        // And the parallel path reports the identical value.
+        let threaded = ksjq_grouping(&cx, 11, &Config::with_threads(3)).unwrap();
+        assert_eq!(threaded.stats.counts.targets_pruned, c.targets_pruned);
     }
 
     #[test]

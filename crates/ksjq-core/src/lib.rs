@@ -84,8 +84,11 @@ pub use params::{k_max, k_min, validate_k, KsjqParams};
 pub use plan::{Goal, QueryPlan, RelationRef};
 pub use query::{k_range, Algorithm, KsjqQuery, KsjqQueryBuilder};
 pub use stats::{Counts, ExecStats, PhaseTimes};
-pub use target::{attr_sums, order_by_attr_sum, target_set, TargetCache};
-pub use verify::{CheckCounters, JoinedCheck};
+pub use target::{
+    attr_sums, order_by_attr_sum, precompute_target_sets, target_set, target_set_rowmajor,
+    TargetCache,
+};
+pub use verify::{CheckCounters, ColumnarCheck, ColumnarLayout, JoinedCheck};
 
 // Re-exported so engine users don't need direct `ksjq-relation` /
 // `ksjq-skyline` dependencies for the registry types and the kdom

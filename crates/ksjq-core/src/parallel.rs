@@ -18,7 +18,7 @@
 use crate::grouping::{Candidates, CheckKind};
 use crate::params::KsjqParams;
 use crate::target::TargetCache;
-use crate::verify::{CheckCounters, JoinedCheck};
+use crate::verify::{CheckCounters, ColumnarCheck, ColumnarLayout};
 use ksjq_join::JoinContext;
 
 /// Verify all candidates with `threads` workers; returns the surviving
@@ -37,16 +37,20 @@ pub(crate) fn verify_parallel(
     }
     let threads = threads.min(n).max(1);
     let chunk = n.div_ceil(threads);
+    // The permuted-column layout depends only on the join, not the
+    // worker: gather it once and let every verifier borrow it.
+    let layout = ColumnarLayout::new(cx);
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
             let lo = t * chunk;
             let hi = ((t + 1) * chunk).min(n);
+            let layout = &layout;
             handles.push(scope.spawn(move || {
                 let mut ltargets = TargetCache::new(cx.left(), params.k1_pp);
                 let mut rtargets = TargetCache::new(cx.right(), params.k2_pp);
-                let mut chk = JoinedCheck::new(cx, k);
+                let mut chk = ColumnarCheck::with_layout(cx, k, layout);
                 let mut out = Vec::new();
                 for i in lo..hi {
                     let (u, v) = cands.pairs[i];

@@ -55,8 +55,11 @@ pub struct Counts {
     /// all of its join partners, so this is the figure that shows the
     /// kernel's advantage over materialising joined tuples.
     pub attr_cmps: u64,
-    /// Target-set legs skipped wholesale because their left-half counts
-    /// already could not reach `k` (the split kernel's early abandon).
+    /// Target legs pruned from the dominator scans: per verified
+    /// candidate, the tuples the `k″` target filter excluded before the
+    /// scan started, plus any legs abandoned after only their hoisted
+    /// half-counts. Counted per verification call, so the value is
+    /// thread-count invariant.
     pub targets_pruned: u64,
 }
 

@@ -29,7 +29,8 @@
 //! dominators cluster at the front and the split-side kernel's `any`-scan
 //! exits early. Membership is unchanged — only the iteration order.
 
-use ksjq_relation::{dom_counts_block, Relation};
+use crate::classify::Category;
+use ksjq_relation::{dom_counts_partial_block_columnar_into, Relation};
 
 /// Number of positions (restricted to `locals`) where `x ≤ x_prime`,
 /// with early abandonment once `m` is unreachable.
@@ -55,30 +56,145 @@ fn local_le_at_least(x: &[f64], x_prime: &[f64], locals: &[usize], m: usize) -> 
 /// ids are ascending; callers that scan the set for dominators should
 /// reorder it with [`order_by_attr_sum`].
 ///
-/// When the locals are the full attribute range (`a = 0`) the scan runs
-/// through the blocked kernel [`dom_counts_block`] over the relation's
-/// contiguous storage instead of per-row early-abandon loops — the block
-/// form vectorises and wins on the wide scans this function does.
+/// The scan runs through the columnar kernel
+/// [`dom_counts_partial_block_columnar_into`] over the relation's
+/// attribute-major storage: each *selected* local attribute sweeps one
+/// contiguous column, so the filter is stride-1 even when aggregates
+/// interleave the locals (`a > 0`) — the case the previous row-major
+/// blocked fast path could not take. [`target_set_rowmajor`] keeps the
+/// scalar per-row loop as the oracle; their equality is property-tested.
 pub fn target_set(rel: &Relation, locals: &[usize], x_prime: u32, k_pp: usize) -> Vec<u32> {
-    let prow = rel.row_at(x_prime as usize);
-    let d = rel.d();
+    target_set_with(rel, locals, x_prime, k_pp, &mut TargetScratch::default())
+}
+
+/// Reusable buffers for [`target_set_with`]: the gathered probe segment
+/// and the columnar sweep's `≤`/`<` lane counts. One scratch per thread
+/// removes all per-probe heap traffic from the `O(n²)` dominator-
+/// generation sweep (each buffer is `O(n)` and reused across probes).
+#[derive(Debug, Default)]
+pub struct TargetScratch {
+    probe: Vec<f64>,
+    le: Vec<u32>,
+    lt: Vec<u32>,
+}
+
+/// [`target_set`] with caller-owned scratch — the form the hot loops
+/// ([`TargetCache`], [`precompute_target_sets`]) use.
+pub fn target_set_with(
+    rel: &Relation,
+    locals: &[usize],
+    x_prime: u32,
+    k_pp: usize,
+    scratch: &mut TargetScratch,
+) -> Vec<u32> {
+    let n = rel.n();
     let mut out = Vec::new();
-    if locals.len() == d && locals.iter().enumerate().all(|(i, &attr)| attr == i) && d > 0 {
-        let mut counts = Vec::new();
-        dom_counts_block(rel.values(), prow, &mut counts);
-        for (t, c) in counts.iter().enumerate() {
-            if c.le as usize >= k_pp {
-                out.push(t as u32);
-            }
+    if n == 0 {
+        return out;
+    }
+    if locals.is_empty() {
+        // No local attributes: the filter is vacuous at k_pp = 0 and
+        // unsatisfiable otherwise — mirrors the scalar oracle exactly.
+        if k_pp == 0 {
+            out.extend(0..n as u32);
         }
         return out;
     }
+    let prow = rel.row_at(x_prime as usize);
+    scratch.probe.clear();
+    scratch.probe.extend(locals.iter().map(|&attr| prow[attr]));
+    dom_counts_partial_block_columnar_into(
+        rel.columns(),
+        n,
+        locals,
+        &scratch.probe,
+        &mut scratch.le,
+        &mut scratch.lt,
+    );
+    for (t, &le) in scratch.le.iter().enumerate() {
+        if le as usize >= k_pp {
+            out.push(t as u32);
+        }
+    }
+    out
+}
+
+/// The scalar row-major reference for [`target_set`]: one early-abandoning
+/// pass per tuple over the interleaved rows. Kept as the oracle the
+/// property suite (and the kernel ablation benches) compare the columnar
+/// path against; membership and order are identical.
+pub fn target_set_rowmajor(
+    rel: &Relation,
+    locals: &[usize],
+    x_prime: u32,
+    k_pp: usize,
+) -> Vec<u32> {
+    let prow = rel.row_at(x_prime as usize);
+    let mut out = Vec::new();
     for t in 0..rel.n() as u32 {
         if local_le_at_least(rel.row_at(t as usize), prow, locals, k_pp) {
             out.push(t);
         }
     }
     out
+}
+
+/// Build the dominator/target set of every non-`NN` tuple — the
+/// dominator-based algorithm's "dominator generation" phase — sharding the
+/// `O(n²)` sweep over `threads` scoped workers.
+///
+/// Each tuple's set is computed independently over immutable relation
+/// data and written into its own slot, and the per-cache scores are
+/// computed once up front, so the result is **byte-identical for every
+/// thread count** (the property suite pins this); only wall-clock changes.
+/// Sets come back ordered by ascending attribute sum, ready for the
+/// verifier's early-exit scans.
+pub fn precompute_target_sets(
+    rel: &Relation,
+    cats: &[Category],
+    k_pp: usize,
+    threads: usize,
+) -> Vec<Option<Vec<u32>>> {
+    let locals: Vec<usize> = rel.schema().local_indices().collect();
+    // SFS-style ordering: scanning each set sum-ascending lets the
+    // verifier hit a dominator (and exit) early.
+    let scores = attr_sums(rel);
+    let n = cats.len();
+    let one = |t: usize, scratch: &mut TargetScratch| -> Option<Vec<u32>> {
+        match cats[t] {
+            Category::NN => None,
+            _ => {
+                let mut set = target_set_with(rel, &locals, t as u32, k_pp, scratch);
+                order_by_attr_sum(&mut set, &scores);
+                Some(set)
+            }
+        }
+    };
+    let threads = threads.min(n).max(1);
+    if threads == 1 {
+        let mut scratch = TargetScratch::default();
+        return (0..n).map(|t| one(t, &mut scratch)).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut sets = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for w in 0..threads {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(n);
+            let one = &one;
+            handles.push(scope.spawn(move || {
+                let mut scratch = TargetScratch::default();
+                (lo..hi).map(|t| one(t, &mut scratch)).collect::<Vec<_>>()
+            }));
+        }
+        // Deterministic merge: workers cover ascending disjoint id ranges
+        // and are drained in spawn order.
+        for h in handles {
+            sets.extend(h.join().expect("dominator-generation worker panicked"));
+        }
+    });
+    sets
 }
 
 /// The attribute sums of every tuple — the SFS presort score. NaN-free
@@ -114,6 +230,7 @@ pub struct TargetCache<'a> {
     /// against the scans the ordering then accelerates).
     scores: Vec<f64>,
     sets: Vec<Option<Vec<u32>>>,
+    scratch: TargetScratch,
 }
 
 impl<'a> TargetCache<'a> {
@@ -125,6 +242,7 @@ impl<'a> TargetCache<'a> {
             k_pp,
             scores: attr_sums(rel),
             sets: vec![None; rel.n()],
+            scratch: TargetScratch::default(),
         }
     }
 
@@ -133,7 +251,13 @@ impl<'a> TargetCache<'a> {
     pub fn get(&mut self, x_prime: u32) -> &[u32] {
         let slot = &mut self.sets[x_prime as usize];
         if slot.is_none() {
-            let mut set = target_set(self.rel, &self.locals, x_prime, self.k_pp);
+            let mut set = target_set_with(
+                self.rel,
+                &self.locals,
+                x_prime,
+                self.k_pp,
+                &mut self.scratch,
+            );
             order_by_attr_sum(&mut set, &self.scores);
             *slot = Some(set);
         }
@@ -191,6 +315,75 @@ mod tests {
         let locals: Vec<usize> = r.schema().local_indices().collect();
         assert_eq!(locals, vec![1, 2]);
         assert_eq!(target_set(&r, &locals, 0, 1), vec![0, 2]);
+    }
+
+    /// The columnar scan and the scalar row-major oracle must select
+    /// identical members — including with aggregates interleaving the
+    /// locals, the case the old row-major blocked fast path skipped.
+    #[test]
+    fn columnar_matches_rowmajor_with_interleaved_locals() {
+        let schema = Schema::builder()
+            .local("x", ksjq_relation::Preference::Min)
+            .agg("c", ksjq_relation::Preference::Min, 0)
+            .local("y", ksjq_relation::Preference::Min)
+            .agg("d", ksjq_relation::Preference::Min, 1)
+            .local("z", ksjq_relation::Preference::Min)
+            .build()
+            .unwrap();
+        let mut state = 9090u64;
+        let mut next = move |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        let mut b = Relation::builder(schema);
+        for _ in 0..90 {
+            let row: Vec<f64> = (0..5).map(|_| next(7) as f64).collect();
+            b.add_grouped(next(3), &row).unwrap();
+        }
+        let r = b.build().unwrap();
+        let locals: Vec<usize> = r.schema().local_indices().collect();
+        assert_eq!(locals, vec![0, 2, 4], "interleaving precondition");
+        for probe in [0u32, 40, 89] {
+            for k_pp in 1..=3 {
+                assert_eq!(
+                    target_set(&r, &locals, probe, k_pp),
+                    target_set_rowmajor(&r, &locals, probe, k_pp),
+                    "probe {probe} k_pp {k_pp}"
+                );
+            }
+        }
+    }
+
+    /// Parallel dominator generation must be byte-identical to serial for
+    /// every thread count.
+    #[test]
+    fn precompute_target_sets_thread_invariant() {
+        let rows: Vec<Vec<f64>> = (0..97)
+            .map(|i| {
+                vec![
+                    ((i * 31 + 7) % 13) as f64,
+                    ((i * 17 + 3) % 11) as f64,
+                    ((i * 7 + 5) % 9) as f64,
+                ]
+            })
+            .collect();
+        let r = rel(&rows);
+        // Alternate categories so both None and Some slots appear.
+        let cats: Vec<Category> = (0..97)
+            .map(|i| match i % 3 {
+                0 => Category::SS,
+                1 => Category::SN,
+                _ => Category::NN,
+            })
+            .collect();
+        let serial = precompute_target_sets(&r, &cats, 2, 1);
+        assert!(serial[2].is_none() && serial[0].is_some());
+        for threads in [2usize, 3, 7, 200] {
+            let parallel = precompute_target_sets(&r, &cats, 2, threads);
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
     }
 
     /// The blocked fast path (contiguous locals) and the indexed slow path

@@ -42,11 +42,14 @@
 //! aggregate positions.
 
 use ksjq_join::JoinContext;
-use ksjq_relation::{dom_counts, dom_counts_partial, DomCounts};
+use ksjq_relation::{accumulate_le_lt, dom_counts, dom_counts_partial, DomCounts, Relation};
+use std::borrow::Cow;
+use std::ops::Range;
 
-/// Counters of the work one [`JoinedCheck`] has performed, merged into
-/// [`crate::ExecStats`] by the algorithm drivers (and summed across
-/// parallel verification workers).
+/// Counters of the work one verifier ([`JoinedCheck`] or
+/// [`ColumnarCheck`]) has performed, merged into [`crate::ExecStats`] by
+/// the algorithm drivers (and summed across parallel verification
+/// workers).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CheckCounters {
     /// Joined-tuple dominance tests: one per `(dominator, candidate)` pair
@@ -54,7 +57,10 @@ pub struct CheckCounters {
     pub dom_tests: u64,
     /// Attribute positions compared (split-segment counting included).
     pub attr_cmps: u64,
-    /// Target legs abandoned after only their left-half counts.
+    /// Target legs pruned from a candidate's dominator scan: tuples the
+    /// `k″` target filter excluded before the scan started, plus legs
+    /// abandoned after only their hoisted half-counts. Counted per
+    /// verification call, so the sum is thread-count invariant.
     pub targets_pruned: u64,
 }
 
@@ -226,6 +232,7 @@ impl<'b, 'a> JoinedCheck<'b, 'a> {
     /// `v` join-compatible with `u`?
     pub fn dominated_via_left(&mut self, targets: &[u32], cand: &[f64]) -> bool {
         self.generation += 1;
+        self.counters.targets_pruned += (self.cx.left().n().saturating_sub(targets.len())) as u64;
         let (cl, cr, ca) = self.segments(cand);
         for &u in targets {
             let Some(lc) = self.left_half(u, cl) else {
@@ -244,6 +251,7 @@ impl<'b, 'a> JoinedCheck<'b, 'a> {
     /// `u` join-compatible with `v`?
     pub fn dominated_via_right(&mut self, targets: &[u32], cand: &[f64]) -> bool {
         self.generation += 1;
+        self.counters.targets_pruned += (self.cx.right().n().saturating_sub(targets.len())) as u64;
         let (cl, cr, ca) = self.segments(cand);
         for &v in targets {
             let Some(rc) = self.right_half(v, cr) else {
@@ -268,6 +276,9 @@ impl<'b, 'a> JoinedCheck<'b, 'a> {
         cand: &[f64],
     ) -> bool {
         self.generation += 1;
+        self.counters.targets_pruned += (self.cx.left().n().saturating_sub(left_targets.len())
+            + self.cx.right().n().saturating_sub(right_targets.len()))
+            as u64;
         let (cl, cr, ca) = self.segments(cand);
         for &v in right_targets {
             self.rmask[v as usize] = true;
@@ -286,6 +297,459 @@ impl<'b, 'a> JoinedCheck<'b, 'a> {
         }
         for &v in right_targets {
             self.rmask[v as usize] = false;
+        }
+        found
+    }
+}
+
+/// Gather the local-attribute columns of `rel` permuted into `order`:
+/// local `j`'s values occupy `out[j·n..(j+1)·n]`, indexed by *scan
+/// position* rather than tuple id, so every partner span is a contiguous
+/// stretch of each column.
+fn permute_local_columns(rel: &Relation, locals: &[usize], order: &[u32]) -> Vec<f64> {
+    let n = rel.n();
+    let mut out = vec![0.0; n * locals.len()];
+    for (j, &attr) in locals.iter().enumerate() {
+        let col = rel.column(attr);
+        let dst = &mut out[j * n..(j + 1) * n];
+        for (pos, &t) in order.iter().enumerate() {
+            dst[pos] = col[t as usize];
+        }
+    }
+    out
+}
+
+/// Zero and fill one span of the per-candidate count arrays: for each
+/// segment attribute, sweep the permuted column stride-1 with the
+/// lane-blocked accumulator.
+fn fill_span(
+    perm: &[f64],
+    n: usize,
+    seg: &[f64],
+    span: Range<usize>,
+    le: &mut [u32],
+    lt: &mut [u32],
+    counters: &mut CheckCounters,
+) {
+    le[span.clone()].fill(0);
+    lt[span.clone()].fill(0);
+    for (j, &b) in seg.iter().enumerate() {
+        accumulate_le_lt(
+            &perm[j * n + span.start..j * n + span.end],
+            b,
+            &mut le[span.clone()],
+            &mut lt[span.clone()],
+        );
+    }
+    counters.attr_cmps += (span.len() * seg.len()) as u64;
+}
+
+/// Scan one contiguous partner span for a pair that k-dominates the
+/// candidate: a blocked threshold prescan over the partner-half `≤`
+/// counts finds the rare positions whose merged counts could still reach
+/// `k`; only those pay the aggregate fill. `leg_is_left` says which side
+/// the hoisted `leg`/`lc` belong to (partners are on the other side).
+/// Verdicts are identical to the oracle's per-pair merge — same skip
+/// condition, same final formula, same scan order.
+#[allow(clippy::too_many_arguments)]
+fn scan_span(
+    cx: &JoinContext<'_>,
+    k: usize,
+    a: usize,
+    leg: u32,
+    leg_is_left: bool,
+    lc: DomCounts,
+    span: Range<usize>,
+    order: &[u32],
+    le: &[u32],
+    lt: &[u32],
+    mask: Option<&[bool]>,
+    aggs: &mut [f64],
+    ca: &[f64],
+    counters: &mut CheckCounters,
+) -> bool {
+    // A pair is worth the aggregate segment iff even perfect aggregates
+    // could lift `≤` to k: lc.le + partner.le + a ≥ k.
+    let slack = lc.le as usize + a;
+    let need: u32 = k.saturating_sub(slack).min(u32::MAX as usize) as u32;
+    const BLOCK: usize = 64;
+    let mut p = span.start;
+    while p < span.end {
+        let end = (p + BLOCK).min(span.end);
+        // Branch-free OR-reduction over the block; the compiler vectorises
+        // the threshold compare against the contiguous u32 counts.
+        let mut any = false;
+        match mask {
+            None => {
+                for &c in &le[p..end] {
+                    any |= c >= need;
+                }
+            }
+            Some(m) => {
+                for (&c, &allowed) in le[p..end].iter().zip(&m[p..end]) {
+                    any |= allowed & (c >= need);
+                }
+            }
+        }
+        if any {
+            for q in p..end {
+                if le[q] < need || mask.is_some_and(|m| !m[q]) {
+                    continue;
+                }
+                let partner = order[q];
+                let (u, v) = if leg_is_left {
+                    (leg, partner)
+                } else {
+                    (partner, leg)
+                };
+                let mut mle = lc.le + le[q];
+                let mut mlt = lc.lt + lt[q];
+                if a > 0 {
+                    counters.attr_cmps += a as u64;
+                    cx.fill_aggs(u, v, aggs);
+                    let ac = dom_counts(aggs, ca);
+                    mle += ac.le;
+                    mlt += ac.lt;
+                }
+                if mle as usize >= k && mlt >= 1 {
+                    counters.dom_tests += (end - span.start) as u64;
+                    return true;
+                }
+            }
+        }
+        p = end;
+    }
+    counters.dom_tests += span.len() as u64;
+    false
+}
+
+/// The columnar split-side verifier: same three entry points and the same
+/// verdicts as [`JoinedCheck`] (which stays as the scalar row-major
+/// oracle), but the partner-half `≤`/`<` counts are computed by stride-1
+/// lane-blocked sweeps over attribute columns permuted into the join's
+/// *scan order*, where every partner set is one contiguous range
+/// ([`JoinContext::right_partner_span`]).
+///
+/// Per candidate the verifier fills the count arrays for each partner
+/// block (one span per equality group, the whole side for theta/Cartesian
+/// joins) at most once — generation-stamped like the oracle's memo — and
+/// the per-pair test collapses to a vectorisable threshold compare over
+/// contiguous `u32` counts; only pairs that could still reach `k` touch
+/// the `a` aggregate positions. This trades more raw attribute
+/// comparisons (the sweeps count every tuple of a block) for memory-
+/// bandwidth scans, which is a large constant-factor wall-clock win on
+/// the anti-correlated workloads where most pairs fail the threshold —
+/// the kernel ablation (`BENCH_kernel.json`) pins the numbers.
+///
+/// The production algorithms construct this; benchmarks compare it
+/// against the oracle, and the property suite proves the verdicts equal.
+#[derive(Debug)]
+pub struct ColumnarCheck<'b, 'a> {
+    cx: &'b JoinContext<'a>,
+    k: usize,
+    l1: usize,
+    l2: usize,
+    a: usize,
+    /// The join's immutable permuted-column layout — owned by a
+    /// stand-alone verifier, borrowed when workers share one
+    /// ([`with_layout`](Self::with_layout)).
+    layout: Cow<'b, ColumnarLayout<'b>>,
+    /// Scratch for the `a` aggregate values of one pair.
+    aggs: Vec<f64>,
+    /// Per-candidate partner-half counts, indexed by scan position, with
+    /// generation stamps per filled block (keyed by span start — equality
+    /// spans tile the order, other specs fill the whole side under key 0).
+    lc_le: Vec<u32>,
+    lc_lt: Vec<u32>,
+    lstamp: Vec<u64>,
+    rc_le: Vec<u32>,
+    rc_lt: Vec<u32>,
+    rstamp: Vec<u64>,
+    /// Right-target membership by scan position (two-sided checks).
+    rmask: Vec<bool>,
+    generation: u64,
+    counters: CheckCounters,
+}
+
+/// The shared immutable half of a [`ColumnarCheck`]: the join's scan
+/// orders, the local-attribute columns permuted into them, and the right
+/// id → position map. Building one costs an `O(n·d)` gather per side;
+/// parallel verification builds it **once per call** and hands every
+/// worker a borrow ([`ColumnarCheck::with_layout`]) instead of paying the
+/// gather — and the memory — once per thread.
+#[derive(Debug, Clone)]
+pub struct ColumnarLayout<'b> {
+    equality: bool,
+    lorder: &'b [u32],
+    rorder: &'b [u32],
+    /// Local columns permuted into scan order, one side each.
+    lperm: Vec<f64>,
+    rperm: Vec<f64>,
+    /// Right tuple id → scan position.
+    rpos: Vec<u32>,
+}
+
+impl<'b> ColumnarLayout<'b> {
+    /// Gather `cx`'s permuted-column layout.
+    pub fn new(cx: &'b JoinContext<'_>) -> Self {
+        let lorder = cx.left_scan_order();
+        let rorder = cx.right_scan_order();
+        let mut rpos = vec![0u32; cx.right().n()];
+        for (pos, &t) in rorder.iter().enumerate() {
+            rpos[t as usize] = pos as u32;
+        }
+        ColumnarLayout {
+            equality: matches!(cx.spec(), ksjq_join::JoinSpec::Equality),
+            lperm: permute_local_columns(cx.left(), cx.left_local_attrs(), lorder),
+            rperm: permute_local_columns(cx.right(), cx.right_local_attrs(), rorder),
+            lorder,
+            rorder,
+            rpos,
+        }
+    }
+}
+
+impl<'b, 'a> ColumnarCheck<'b, 'a> {
+    /// A stand-alone columnar verifier for candidates of `cx`'s join
+    /// under `k`-dominance (gathers its own [`ColumnarLayout`]).
+    pub fn new(cx: &'b JoinContext<'a>, k: usize) -> Self {
+        Self::build(cx, k, Cow::Owned(ColumnarLayout::new(cx)))
+    }
+
+    /// A verifier sharing a prebuilt [`ColumnarLayout`] — the parallel
+    /// workers' constructor: per-worker state shrinks to the count /
+    /// stamp / mask scratch.
+    pub fn with_layout(cx: &'b JoinContext<'a>, k: usize, layout: &'b ColumnarLayout<'b>) -> Self {
+        Self::build(cx, k, Cow::Borrowed(layout))
+    }
+
+    fn build(cx: &'b JoinContext<'a>, k: usize, layout: Cow<'b, ColumnarLayout<'b>>) -> Self {
+        let (n1, n2) = (cx.left().n(), cx.right().n());
+        ColumnarCheck {
+            k,
+            l1: cx.l1(),
+            l2: cx.l2(),
+            a: cx.a(),
+            layout,
+            aggs: vec![0.0; cx.a()],
+            lc_le: vec![0; n1],
+            lc_lt: vec![0; n1],
+            lstamp: vec![0; n1 + 1],
+            rc_le: vec![0; n2],
+            rc_lt: vec![0; n2],
+            rstamp: vec![0; n2 + 1],
+            rmask: vec![false; n2],
+            generation: 0,
+            counters: CheckCounters::default(),
+            cx,
+        }
+    }
+
+    /// The work counters accumulated so far.
+    pub fn counters(&self) -> CheckCounters {
+        self.counters
+    }
+
+    /// Split `cand` into its `(left locals, right locals, aggregates)`
+    /// segments.
+    #[inline]
+    fn segments<'c>(&self, cand: &'c [f64]) -> (&'c [f64], &'c [f64], &'c [f64]) {
+        debug_assert_eq!(cand.len(), self.l1 + self.l2 + self.a);
+        let (cl, rest) = cand.split_at(self.l1);
+        let (cr, ca) = rest.split_at(self.l2);
+        (cl, cr, ca)
+    }
+
+    /// Fill the right-side counts covering `span` for the current
+    /// candidate if not already stamped (whole side for non-equality
+    /// specs, whose spans overlap).
+    fn ensure_right(&mut self, span: &Range<usize>, cr: &[f64]) {
+        let n2 = self.cx.right().n();
+        let (key, fill) = if self.layout.equality {
+            (span.start, span.clone())
+        } else {
+            (0, 0..n2)
+        };
+        if self.rstamp[key] != self.generation {
+            fill_span(
+                &self.layout.rperm,
+                n2,
+                cr,
+                fill,
+                &mut self.rc_le,
+                &mut self.rc_lt,
+                &mut self.counters,
+            );
+            self.rstamp[key] = self.generation;
+        }
+    }
+
+    /// Symmetric left-side fill for [`dominated_via_right`].
+    fn ensure_left(&mut self, span: &Range<usize>, cl: &[f64]) {
+        let n1 = self.cx.left().n();
+        let (key, fill) = if self.layout.equality {
+            (span.start, span.clone())
+        } else {
+            (0, 0..n1)
+        };
+        if self.lstamp[key] != self.generation {
+            fill_span(
+                &self.layout.lperm,
+                n1,
+                cl,
+                fill,
+                &mut self.lc_le,
+                &mut self.lc_lt,
+                &mut self.counters,
+            );
+            self.lstamp[key] = self.generation;
+        }
+    }
+
+    /// Is `cand` k-dominated by some `u ⋈ v` with `u ∈ targets`,
+    /// `v` join-compatible with `u`?
+    pub fn dominated_via_left(&mut self, targets: &[u32], cand: &[f64]) -> bool {
+        self.generation += 1;
+        self.counters.targets_pruned += (self.cx.left().n().saturating_sub(targets.len())) as u64;
+        let (cl, cr, ca) = self.segments(cand);
+        for &u in targets {
+            self.counters.attr_cmps += self.l1 as u64;
+            let lc = dom_counts_partial(
+                self.cx.left().row_at(u as usize),
+                self.cx.left_local_attrs(),
+                cl,
+            );
+            if lc.le as usize + self.l2 + self.a < self.k {
+                self.counters.targets_pruned += 1;
+                continue;
+            }
+            let span = self.cx.right_partner_span(u);
+            if span.is_empty() {
+                continue;
+            }
+            self.ensure_right(&span, cr);
+            if scan_span(
+                self.cx,
+                self.k,
+                self.a,
+                u,
+                true,
+                lc,
+                span,
+                self.layout.rorder,
+                &self.rc_le,
+                &self.rc_lt,
+                None,
+                &mut self.aggs,
+                ca,
+                &mut self.counters,
+            ) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Is `cand` k-dominated by some `u ⋈ v` with `v ∈ targets`,
+    /// `u` join-compatible with `v`?
+    pub fn dominated_via_right(&mut self, targets: &[u32], cand: &[f64]) -> bool {
+        self.generation += 1;
+        self.counters.targets_pruned += (self.cx.right().n().saturating_sub(targets.len())) as u64;
+        let (cl, cr, ca) = self.segments(cand);
+        for &v in targets {
+            self.counters.attr_cmps += self.l2 as u64;
+            let rc = dom_counts_partial(
+                self.cx.right().row_at(v as usize),
+                self.cx.right_local_attrs(),
+                cr,
+            );
+            if rc.le as usize + self.l1 + self.a < self.k {
+                self.counters.targets_pruned += 1;
+                continue;
+            }
+            let span = self.cx.left_partner_span(v);
+            if span.is_empty() {
+                continue;
+            }
+            self.ensure_left(&span, cl);
+            if scan_span(
+                self.cx,
+                self.k,
+                self.a,
+                v,
+                false,
+                rc,
+                span,
+                self.layout.lorder,
+                &self.lc_le,
+                &self.lc_lt,
+                None,
+                &mut self.aggs,
+                ca,
+                &mut self.counters,
+            ) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Is `cand` k-dominated by some `u ⋈ v` with `u ∈ left_targets` *and*
+    /// `v ∈ right_targets` (the dominator-based algorithm's
+    /// `dom(u) ⋈ dom(v)`)?
+    pub fn dominated_via_both(
+        &mut self,
+        left_targets: &[u32],
+        right_targets: &[u32],
+        cand: &[f64],
+    ) -> bool {
+        self.generation += 1;
+        self.counters.targets_pruned += (self.cx.left().n().saturating_sub(left_targets.len())
+            + self.cx.right().n().saturating_sub(right_targets.len()))
+            as u64;
+        let (cl, cr, ca) = self.segments(cand);
+        for &v in right_targets {
+            self.rmask[self.layout.rpos[v as usize] as usize] = true;
+        }
+        let mut found = false;
+        'outer: for &u in left_targets {
+            self.counters.attr_cmps += self.l1 as u64;
+            let lc = dom_counts_partial(
+                self.cx.left().row_at(u as usize),
+                self.cx.left_local_attrs(),
+                cl,
+            );
+            if lc.le as usize + self.l2 + self.a < self.k {
+                self.counters.targets_pruned += 1;
+                continue;
+            }
+            let span = self.cx.right_partner_span(u);
+            if span.is_empty() {
+                continue;
+            }
+            self.ensure_right(&span, cr);
+            if scan_span(
+                self.cx,
+                self.k,
+                self.a,
+                u,
+                true,
+                lc,
+                span,
+                self.layout.rorder,
+                &self.rc_le,
+                &self.rc_lt,
+                Some(&self.rmask),
+                &mut self.aggs,
+                ca,
+                &mut self.counters,
+            ) {
+                found = true;
+                break 'outer;
+            }
+        }
+        for &v in right_targets {
+            self.rmask[self.layout.rpos[v as usize] as usize] = false;
         }
         found
     }
@@ -442,6 +906,89 @@ mod tests {
         // 4 per pair.
         assert_eq!(c.dom_tests, 10);
         assert_eq!(c.attr_cmps, 2 + 10 * 2);
+    }
+
+    /// The columnar verifier must return the oracle's verdicts on all
+    /// three entry points, for an aggregate join over random data and
+    /// every valid k — including arbitrary (restricted) target sets.
+    #[test]
+    fn columnar_matches_oracle_on_aggregate_join() {
+        let schema = || Schema::uniform_agg(1, 2).unwrap();
+        let mut state = 555u64;
+        let mut next = move |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        let mk = |next: &mut dyn FnMut(u64) -> u64| {
+            let mut b = Relation::builder(schema());
+            for _ in 0..36 {
+                let g = next(3);
+                let row = [next(6) as f64, next(6) as f64, next(6) as f64];
+                b.add_grouped(g, &row).unwrap();
+            }
+            b.build().unwrap()
+        };
+        let r1 = mk(&mut next);
+        let r2 = mk(&mut next);
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[AggFunc::Sum]).unwrap();
+        let m = cx.materialize();
+        for k in 4..=cx.d_joined() {
+            let mut oracle = JoinedCheck::new(&cx, k);
+            let mut columnar = ColumnarCheck::new(&cx, k);
+            for (i, &(u, v)) in m.pairs.iter().enumerate().take(24) {
+                let cand = m.row(i).to_vec();
+                // Restricted target sets exercise the mask / span logic.
+                let lt: Vec<u32> = (0..r1.n() as u32).filter(|t| t % 2 == u % 2).collect();
+                let rt: Vec<u32> = (0..r2.n() as u32).filter(|t| t % 3 == v % 3).collect();
+                assert_eq!(
+                    columnar.dominated_via_left(&lt, &cand),
+                    oracle.dominated_via_left(&lt, &cand),
+                    "via_left ({u},{v}) k={k}"
+                );
+                assert_eq!(
+                    columnar.dominated_via_right(&rt, &cand),
+                    oracle.dominated_via_right(&rt, &cand),
+                    "via_right ({u},{v}) k={k}"
+                );
+                assert_eq!(
+                    columnar.dominated_via_both(&lt, &rt, &cand),
+                    oracle.dominated_via_both(&lt, &rt, &cand),
+                    "via_both ({u},{v}) k={k}"
+                );
+            }
+            let c = columnar.counters();
+            assert!(c.dom_tests > 0 && c.attr_cmps > 0, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn columnar_mask_is_cleared_between_calls() {
+        let r1 = rel(&[0, 0], &[vec![1.0, 1.0], vec![2.0, 2.0]]);
+        let r2 = rel(&[0, 0], &[vec![1.0, 1.0], vec![5.0, 5.0]]);
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
+        let mut chk = ColumnarCheck::new(&cx, 4);
+        let cand = cx.joined_row(1, 0);
+        assert!(chk.dominated_via_both(&[0], &[0], &cand));
+        assert!(!chk.dominated_via_both(&[0], &[1], &cand));
+    }
+
+    /// Per-call target pruning accounting: a restricted target set counts
+    /// the excluded legs in both verifiers.
+    #[test]
+    fn targets_pruned_counts_excluded_legs() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, i as f64]).collect();
+        let r1 = rel(&[0; 10], &rows);
+        let r2 = rel(&[0], &[vec![5.0, 5.0]]);
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
+        let cand = cx.joined_row(4, 0);
+        let mut oracle = JoinedCheck::new(&cx, 4);
+        let _ = oracle.dominated_via_left(&[1, 2, 3], &cand);
+        assert_eq!(oracle.counters().targets_pruned, 7);
+        let mut columnar = ColumnarCheck::new(&cx, 4);
+        let _ = columnar.dominated_via_left(&[1, 2, 3], &cand);
+        assert_eq!(columnar.counters().targets_pruned, 7);
     }
 
     #[test]

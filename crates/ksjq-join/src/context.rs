@@ -18,6 +18,7 @@ use crate::aggregate::AggFunc;
 use crate::error::{JoinError, JoinResult};
 use crate::spec::{JoinSpec, ThetaOp};
 use ksjq_relation::{JoinKeys, Relation};
+use std::ops::Range;
 use std::sync::Arc;
 
 /// How a [`JoinContext`] holds a base relation: borrowed from the caller
@@ -431,6 +432,90 @@ impl<'a> JoinContext<'a> {
         }
     }
 
+    /// The right relation's *scan order*: a permutation of its tuple ids in
+    /// which **every left tuple's partner set is one contiguous range**
+    /// ([`right_partner_span`](Self::right_partner_span)) — the group-index
+    /// order for equality joins, the ascending-key order for theta joins,
+    /// and the identity for Cartesian products.
+    ///
+    /// The columnar verifier permutes per-tuple data into this order once
+    /// so its per-candidate partner scans are stride-1;
+    /// `right_partners(u) == &right_scan_order()[right_partner_span(u)]`
+    /// holds for every `u` (tested).
+    pub fn right_scan_order(&self) -> &[u32] {
+        match self.spec {
+            JoinSpec::Equality => self.right().group_index().expect("validated").order(),
+            JoinSpec::Theta(_) => self.right().numeric_order().expect("validated"),
+            JoinSpec::Cartesian => &self.all_right,
+        }
+    }
+
+    /// The positions within [`right_scan_order`](Self::right_scan_order)
+    /// holding left tuple `u`'s join partners.
+    pub fn right_partner_span(&self, u: u32) -> Range<usize> {
+        match self.spec {
+            JoinSpec::Equality => {
+                let gid = self
+                    .left()
+                    .group_id(ksjq_relation::TupleId(u))
+                    .expect("validated");
+                self.right().group_index().expect("validated").range_of(gid)
+            }
+            JoinSpec::Theta(op) => {
+                let key = self
+                    .left()
+                    .numeric_key(ksjq_relation::TupleId(u))
+                    .expect("validated");
+                let ks = &self.right_sorted_keys;
+                match op {
+                    ThetaOp::Lt => ks.partition_point(|&k| k <= key)..ks.len(),
+                    ThetaOp::Le => ks.partition_point(|&k| k < key)..ks.len(),
+                    ThetaOp::Gt => 0..ks.partition_point(|&k| k < key),
+                    ThetaOp::Ge => 0..ks.partition_point(|&k| k <= key),
+                }
+            }
+            JoinSpec::Cartesian => 0..self.all_right.len(),
+        }
+    }
+
+    /// The left relation's scan order; see
+    /// [`right_scan_order`](Self::right_scan_order).
+    pub fn left_scan_order(&self) -> &[u32] {
+        match self.spec {
+            JoinSpec::Equality => self.left().group_index().expect("validated").order(),
+            JoinSpec::Theta(_) => self.left().numeric_order().expect("validated"),
+            JoinSpec::Cartesian => &self.all_left,
+        }
+    }
+
+    /// The positions within [`left_scan_order`](Self::left_scan_order)
+    /// holding right tuple `v`'s join partners.
+    pub fn left_partner_span(&self, v: u32) -> Range<usize> {
+        match self.spec {
+            JoinSpec::Equality => {
+                let gid = self
+                    .right()
+                    .group_id(ksjq_relation::TupleId(v))
+                    .expect("validated");
+                self.left().group_index().expect("validated").range_of(gid)
+            }
+            JoinSpec::Theta(op) => {
+                let key = self
+                    .right()
+                    .numeric_key(ksjq_relation::TupleId(v))
+                    .expect("validated");
+                let ks = &self.left_sorted_keys;
+                match op {
+                    ThetaOp::Lt => 0..ks.partition_point(|&k| k < key),
+                    ThetaOp::Le => 0..ks.partition_point(|&k| k <= key),
+                    ThetaOp::Gt => ks.partition_point(|&k| k <= key)..ks.len(),
+                    ThetaOp::Ge => ks.partition_point(|&k| k < key)..ks.len(),
+                }
+            }
+            JoinSpec::Cartesian => 0..self.all_left.len(),
+        }
+    }
+
     /// Left-side tuples that join with right tuple `v`.
     pub fn left_partners(&self, v: u32) -> &[u32] {
         match self.spec {
@@ -712,6 +797,73 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    /// The scan-order/span pair must reproduce the partner slices exactly,
+    /// for every join kind — the invariant the columnar verifier's
+    /// contiguous partner scans rest on.
+    #[test]
+    fn partner_spans_reproduce_partner_slices() {
+        // Equality.
+        let l = rel_grouped(&[1, 1, 2, 9], &[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+        let r = rel_grouped(&[2, 1, 2, 3], &[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+        let cx = JoinContext::new(&l, &r, JoinSpec::Equality, &[]).unwrap();
+        for u in 0..l.n() as u32 {
+            assert_eq!(
+                &cx.right_scan_order()[cx.right_partner_span(u)],
+                cx.right_partners(u),
+                "equality right u={u}"
+            );
+        }
+        for v in 0..r.n() as u32 {
+            assert_eq!(
+                &cx.left_scan_order()[cx.left_partner_span(v)],
+                cx.left_partners(v),
+                "equality left v={v}"
+            );
+        }
+        // Theta, all four operators.
+        let lt = rel_keyed(&[1.0, 2.0, 2.0, 3.0], &zrows(4));
+        let rt = rel_keyed(&[0.5, 2.0, 3.5], &zrows(3));
+        for op in [ThetaOp::Lt, ThetaOp::Le, ThetaOp::Gt, ThetaOp::Ge] {
+            let cx = JoinContext::new(&lt, &rt, JoinSpec::Theta(op), &[]).unwrap();
+            for u in 0..lt.n() as u32 {
+                assert_eq!(
+                    &cx.right_scan_order()[cx.right_partner_span(u)],
+                    cx.right_partners(u),
+                    "theta {op} right u={u}"
+                );
+            }
+            for v in 0..rt.n() as u32 {
+                assert_eq!(
+                    &cx.left_scan_order()[cx.left_partner_span(v)],
+                    cx.left_partners(v),
+                    "theta {op} left v={v}"
+                );
+            }
+        }
+        // Cartesian.
+        let mk = |n: usize| {
+            let mut b = Relation::builder(Schema::uniform(1).unwrap());
+            for i in 0..n {
+                b.add(&[i as f64]).unwrap();
+            }
+            b.build().unwrap()
+        };
+        let (lc, rc) = (mk(3), mk(2));
+        let cx = JoinContext::new(&lc, &rc, JoinSpec::Cartesian, &[]).unwrap();
+        for u in 0..3u32 {
+            assert_eq!(
+                &cx.right_scan_order()[cx.right_partner_span(u)],
+                cx.right_partners(u)
+            );
+        }
+        for v in 0..2u32 {
+            assert_eq!(
+                &cx.left_scan_order()[cx.left_partner_span(v)],
+                cx.left_partners(v)
+            );
         }
     }
 

@@ -176,6 +176,137 @@ pub fn dom_counts_block(block: &[f64], v: &[f64], out: &mut Vec<DomCounts>) {
     }
 }
 
+/// Lane width of the columnar accumulators: counts are kept in blocks of
+/// this many `u32` lanes so the compiler can hold one block in vector
+/// registers across the attribute sweep (stable-rust autovectorisation —
+/// no `std::simd`).
+pub const LANES: usize = 16;
+
+/// Accumulate one attribute's comparisons into per-tuple `≤` / `<`
+/// counters: `le[i] += (col[i] <= b)`, `lt[i] += (col[i] < b)`.
+///
+/// This is the stride-1 inner step every columnar kernel is built from:
+/// `col` is one contiguous attribute column, `b` the candidate's value of
+/// that attribute. The loop runs in [`LANES`]-wide blocks of `u32` lane
+/// accumulators; the scalar tail handles `col.len() % LANES`.
+///
+/// # Panics
+///
+/// Debug builds assert `le` and `lt` are at least as long as `col`.
+#[inline]
+pub fn accumulate_le_lt(col: &[f64], b: f64, le: &mut [u32], lt: &mut [u32]) {
+    debug_assert!(le.len() >= col.len() && lt.len() >= col.len());
+    let mut chunks = col.chunks_exact(LANES);
+    let mut le_chunks = le.chunks_exact_mut(LANES);
+    let mut lt_chunks = lt.chunks_exact_mut(LANES);
+    for ((c, el), tl) in (&mut chunks).zip(&mut le_chunks).zip(&mut lt_chunks) {
+        // One lane block: the compiler keeps these 16 u32 accumulators in
+        // vector registers for the whole chunk.
+        for j in 0..LANES {
+            el[j] += (c[j] <= b) as u32;
+            tl[j] += (c[j] < b) as u32;
+        }
+    }
+    let tail = chunks.remainder();
+    let start = col.len() - tail.len();
+    for (j, &x) in tail.iter().enumerate() {
+        le[start + j] += (x <= b) as u32;
+        lt[start + j] += (x < b) as u32;
+    }
+}
+
+/// Columnar (attribute-major) form of [`dom_counts_block`]: count the
+/// `≤` / `<` positions of **every** tuple of a relation against `v`,
+/// reading the [`crate::Relation::columns`] layout (`cols[a·n..(a+1)·n]`
+/// is attribute `a`'s column over `n` tuples) so each attribute sweeps
+/// stride-1. Appends one [`DomCounts`] per tuple, id order — identical
+/// output to [`dom_counts_block`] over the row-major storage (the
+/// property suite enforces this).
+///
+/// This is exactly [`dom_counts_partial_block_columnar`] with the
+/// identity attribute selection `0..v.len()`.
+///
+/// # Panics
+///
+/// `v` must be non-empty; debug builds assert `cols.len() == n · v.len()`.
+pub fn dom_counts_block_columnar(cols: &[f64], n: usize, v: &[f64], out: &mut Vec<DomCounts>) {
+    let d = v.len();
+    assert!(
+        d > 0,
+        "dom_counts_block_columnar requires at least one attribute"
+    );
+    debug_assert_eq!(cols.len(), n * d, "column storage must be n · d values");
+    let attrs: Vec<usize> = (0..d).collect();
+    dom_counts_partial_block_columnar(cols, n, &attrs, v, out);
+}
+
+/// Columnar form of [`dom_counts_partial`], batched over a whole relation:
+/// count every tuple's *selected* attributes (`attrs[i]`, paired with the
+/// dense segment value `v[i]`) against `v`, reading contiguous columns.
+///
+/// This is the split kernel's indexed-segment count as a stride-1 sweep:
+/// where the row-major [`dom_counts_partial`] gathers `u[attrs[i]]` across
+/// one interleaved row per call, this walks each selected column once for
+/// all `n` tuples. Appending `out[t]` equals
+/// `dom_counts_partial(row_t, attrs, v)` for every tuple `t` — also
+/// property-tested.
+///
+/// Allocates its lane scratch internally; hot loops that call this per
+/// probe (target-set construction, dominator generation) should use
+/// [`dom_counts_partial_block_columnar_into`] with reusable buffers
+/// instead.
+///
+/// # Panics
+///
+/// Debug builds assert `attrs.len() == v.len()` and that `cols` holds
+/// whole columns (`cols.len()` a multiple of `n`).
+pub fn dom_counts_partial_block_columnar(
+    cols: &[f64],
+    n: usize,
+    attrs: &[usize],
+    v: &[f64],
+    out: &mut Vec<DomCounts>,
+) {
+    let mut le = Vec::new();
+    let mut lt = Vec::new();
+    dom_counts_partial_block_columnar_into(cols, n, attrs, v, &mut le, &mut lt);
+    out.reserve(n);
+    for i in 0..n {
+        out.push(DomCounts {
+            le: le[i],
+            lt: lt[i],
+        });
+    }
+}
+
+/// [`dom_counts_partial_block_columnar`] into caller-owned `≤` / `<`
+/// buffers: `le`/`lt` are cleared, resized to `n` and filled (struct-of-
+/// arrays output — `le[t]`/`lt[t]` are tuple `t`'s counts). Reusing the
+/// buffers across probes removes all per-call heap traffic from the
+/// `O(n²)` dominator-generation sweep.
+pub fn dom_counts_partial_block_columnar_into(
+    cols: &[f64],
+    n: usize,
+    attrs: &[usize],
+    v: &[f64],
+    le: &mut Vec<u32>,
+    lt: &mut Vec<u32>,
+) {
+    debug_assert_eq!(
+        attrs.len(),
+        v.len(),
+        "segment length must match the attribute selection"
+    );
+    debug_assert!(n == 0 || cols.len().is_multiple_of(n));
+    le.clear();
+    lt.clear();
+    le.resize(n, 0);
+    lt.resize(n, 0);
+    for (&attr, &b) in attrs.iter().zip(v.iter()) {
+        accumulate_le_lt(&cols[attr * n..(attr + 1) * n], b, le, lt);
+    }
+}
+
 /// Is `u` strictly better than `v` in at least one position?
 #[inline]
 pub fn strictly_better_somewhere(u: &[f64], v: &[f64]) -> bool {
@@ -343,6 +474,89 @@ mod tests {
         dom_counts_block(&block[..3], &v, &mut out);
         assert_eq!(out.len(), 4);
         assert_eq!(out[3], out[0]);
+    }
+
+    /// Columnar and row-major blocked counts must be identical on the same
+    /// data — including a tail shorter than one lane block and an exact
+    /// multiple of [`LANES`].
+    #[test]
+    fn columnar_block_matches_row_major_block() {
+        let mut state = 77u64;
+        let mut next = move |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        for n in [1usize, 7, LANES, LANES + 3, 4 * LANES, 4 * LANES + 9] {
+            let d = 5;
+            let rows: Vec<f64> = (0..n * d).map(|_| next(6) as f64).collect();
+            let mut cols = vec![0.0; n * d];
+            for i in 0..n {
+                for a in 0..d {
+                    cols[a * n + i] = rows[i * d + a];
+                }
+            }
+            let v: Vec<f64> = (0..d).map(|_| next(6) as f64).collect();
+            let mut row_major = Vec::new();
+            dom_counts_block(&rows, &v, &mut row_major);
+            let mut columnar = Vec::new();
+            dom_counts_block_columnar(&cols, n, &v, &mut columnar);
+            assert_eq!(row_major, columnar, "n={n}");
+            // Appends without clearing, like the row-major form.
+            dom_counts_block_columnar(&cols, n, &v, &mut columnar);
+            assert_eq!(columnar.len(), 2 * n);
+            assert_eq!(&columnar[..n], &columnar[n..]);
+        }
+    }
+
+    /// The batched columnar partial counts must equal the per-row
+    /// `dom_counts_partial` for every tuple and attribute selection.
+    #[test]
+    fn columnar_partial_matches_per_row_partial() {
+        let n = 2 * LANES + 5;
+        let d = 4;
+        let mut state = 3u64;
+        let mut next = move |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        let rows: Vec<f64> = (0..n * d).map(|_| next(5) as f64).collect();
+        let mut cols = vec![0.0; n * d];
+        for i in 0..n {
+            for a in 0..d {
+                cols[a * n + i] = rows[i * d + a];
+            }
+        }
+        for attrs in [vec![0usize, 2], vec![3], vec![1, 2, 3], vec![]] {
+            let v: Vec<f64> = attrs.iter().map(|_| next(5) as f64).collect();
+            let mut got = Vec::new();
+            dom_counts_partial_block_columnar(&cols, n, &attrs, &v, &mut got);
+            assert_eq!(got.len(), n);
+            for t in 0..n {
+                let expect = dom_counts_partial(&rows[t * d..(t + 1) * d], &attrs, &v);
+                assert_eq!(got[t], expect, "tuple {t} attrs {attrs:?}");
+            }
+        }
+        // n = 0 appends nothing and must not divide by zero.
+        let mut empty = Vec::new();
+        dom_counts_partial_block_columnar(&[], 0, &[0], &[1.0], &mut empty);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn accumulate_le_lt_lane_tail() {
+        let col: Vec<f64> = (0..LANES as u64 + 3).map(|i| i as f64).collect();
+        let mut le = vec![0u32; col.len()];
+        let mut lt = vec![0u32; col.len()];
+        accumulate_le_lt(&col, 2.0, &mut le, &mut lt);
+        accumulate_le_lt(&col, 2.0, &mut le, &mut lt);
+        for (i, &x) in col.iter().enumerate() {
+            assert_eq!(le[i], 2 * (x <= 2.0) as u32, "le at {i}");
+            assert_eq!(lt[i], 2 * (x < 2.0) as u32, "lt at {i}");
+        }
     }
 
     #[test]

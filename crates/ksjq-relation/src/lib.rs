@@ -34,8 +34,9 @@ pub mod schema;
 
 pub use catalog::StringDictionary;
 pub use dominance::{
-    dom_counts, dom_counts_block, dom_counts_partial, dominates, k_dominates,
-    strictly_better_somewhere, DomCounts,
+    accumulate_le_lt, dom_counts, dom_counts_block, dom_counts_block_columnar, dom_counts_partial,
+    dom_counts_partial_block_columnar, dom_counts_partial_block_columnar_into, dominates,
+    k_dominates, strictly_better_somewhere, DomCounts, LANES,
 };
 pub use error::{Error, Result};
 pub use preference::Preference;

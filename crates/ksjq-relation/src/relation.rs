@@ -102,6 +102,24 @@ impl GroupIndex {
             Err(_) => &[],
         }
     }
+
+    /// All tuple ids sorted by `(group id, tuple id)` — the *scan order*
+    /// the blocked kernels permute per-tuple data into so every group is a
+    /// contiguous range of it.
+    #[inline]
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// The positions of group `gid`'s members within [`order`](Self::order)
+    /// (`members(gid) == &order()[range_of(gid)]`); empty for unknown
+    /// groups.
+    pub fn range_of(&self, gid: u64) -> Range<usize> {
+        match self.groups.binary_search_by_key(&gid, |(g, _)| *g) {
+            Ok(i) => self.groups[i].1.clone(),
+            Err(_) => 0..0,
+        }
+    }
 }
 
 /// A base relation: a [`Schema`], `n` tuples of `d` normalised attribute
@@ -112,10 +130,21 @@ impl GroupIndex {
 /// attribute is negated). All dominance code operates on the normalised
 /// values; use [`Relation::raw_value`] / [`Relation::raw_row`] to recover the
 /// user-facing numbers.
+///
+/// Alongside the row-major storage the relation keeps a **columnar**
+/// (struct-of-arrays) copy, built once at [`RelationBuilder::build`]: each
+/// attribute's `n` values are contiguous, so candidate-versus-relation
+/// dominance counting ([`crate::dominance::dom_counts_block_columnar`])
+/// sweeps each attribute stride-1 instead of striding across interleaved
+/// rows. The duplication costs one extra `n · d` `f64` buffer per relation
+/// — the price of the blocked kernels running at memory bandwidth.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Relation {
     schema: Schema,
     data: Vec<f64>,
+    /// Attribute-major copy of `data`: attribute `a`'s column occupies
+    /// `columns[a * n .. (a + 1) * n]`.
+    columns: Vec<f64>,
     keys: JoinKeys,
     group_index: Option<GroupIndex>,
     numeric_order: Option<Vec<u32>>,
@@ -202,6 +231,26 @@ impl Relation {
     #[inline]
     pub fn values(&self) -> &[f64] {
         &self.data
+    }
+
+    /// The full normalised attribute storage, attribute-major (`n · d`
+    /// values): attribute `a`'s column occupies `columns()[a·n..(a+1)·n]`.
+    ///
+    /// This is the layout the columnar kernels
+    /// ([`crate::dominance::dom_counts_block_columnar`] and friends) sweep
+    /// stride-1; it is built once at [`RelationBuilder::build`] and always
+    /// holds exactly the same values as [`values`](Self::values).
+    #[inline]
+    pub fn columns(&self) -> &[f64] {
+        &self.columns
+    }
+
+    /// The contiguous normalised column of attribute `attr` (`n` values,
+    /// one per tuple in id order).
+    #[inline]
+    pub fn column(&self, attr: usize) -> &[f64] {
+        let n = self.n();
+        &self.columns[attr * n..(attr + 1) * n]
     }
 
     /// Iterate all `(TupleId, row)` pairs.
@@ -384,9 +433,20 @@ impl RelationBuilder {
             }
             _ => None,
         };
+        let d = self.schema.d();
+        let n = self.data.len().checked_div(d).unwrap_or(0);
+        // Transpose once into the attribute-major (struct-of-arrays) copy;
+        // every blocked kernel reads this, never the rows.
+        let mut columns = vec![0.0; self.data.len()];
+        for (i, row) in self.data.chunks_exact(d.max(1)).enumerate() {
+            for (a, &v) in row.iter().enumerate() {
+                columns[a * n + i] = v;
+            }
+        }
         Ok(Relation {
             schema: self.schema,
             data: self.data,
+            columns,
             keys: self.keys,
             group_index,
             numeric_order,
@@ -503,6 +563,41 @@ mod tests {
         .unwrap();
         assert_eq!(r.values(), &[1.0, 2.0, 3.0, 4.0]);
         assert_eq!(&r.values()[2..4], r.row_at(1));
+    }
+
+    #[test]
+    fn columns_are_the_transposed_rows() {
+        let r = Relation::from_grouped_rows(
+            Schema::uniform(3).unwrap(),
+            &[1, 2, 1],
+            &[
+                vec![1.0, 2.0, 3.0],
+                vec![4.0, 5.0, 6.0],
+                vec![7.0, 8.0, 9.0],
+            ],
+        )
+        .unwrap();
+        assert_eq!(r.column(0), &[1.0, 4.0, 7.0]);
+        assert_eq!(r.column(1), &[2.0, 5.0, 8.0]);
+        assert_eq!(r.column(2), &[3.0, 6.0, 9.0]);
+        assert_eq!(r.columns().len(), r.values().len());
+        for t in 0..r.n() {
+            for a in 0..r.d() {
+                assert_eq!(r.column(a)[t], r.row_at(t)[a], "tuple {t} attr {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn group_index_order_and_ranges_agree_with_members() {
+        let keys: Vec<u64> = (0..40).map(|i| (i * 13 + 5) % 6).collect();
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let r = Relation::from_grouped_rows(Schema::uniform(1).unwrap(), &keys, &rows).unwrap();
+        let gi = r.group_index().unwrap();
+        for (gid, members) in gi.iter() {
+            assert_eq!(&gi.order()[gi.range_of(gid)], members, "group {gid}");
+        }
+        assert_eq!(gi.range_of(999), 0..0);
     }
 
     #[test]

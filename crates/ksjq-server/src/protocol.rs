@@ -553,6 +553,11 @@ pub struct ServerStats {
     /// (non-cached) executions since startup — the split-side kernel's
     /// progress metric (see `ksjq_core::Counts::attr_cmps`).
     pub attr_cmps: u64,
+    /// Cumulative dominator-generation wall-clock in microseconds across
+    /// all (non-cached) executions — the dominator-based algorithm's
+    /// `O(n²)` phase (see `ksjq_core::PhaseTimes::dominator_gen`); zero
+    /// when only grouping/naive plans have run.
+    pub domgen_us: u64,
 }
 
 /// One server reply.
@@ -645,6 +650,7 @@ impl Response {
                         "workers" => s.workers = int,
                         "dom_tests" => s.dom_tests = int,
                         "attr_cmps" => s.attr_cmps = int,
+                        "domgen_us" => s.domgen_us = int,
                         _ => {} // forward compatibility
                     }
                 }
@@ -680,7 +686,7 @@ impl fmt::Display for Response {
                 f,
                 "STATS connections={} requests={} errors={} sessions={} relations={} \
                  cache_hits={} cache_misses={} cache_evictions={} cache_len={} workers={} \
-                 dom_tests={} attr_cmps={}",
+                 dom_tests={} attr_cmps={} domgen_us={}",
                 s.connections,
                 s.requests,
                 s.errors,
@@ -692,7 +698,8 @@ impl fmt::Display for Response {
                 s.cache_len,
                 s.workers,
                 s.dom_tests,
-                s.attr_cmps
+                s.attr_cmps,
+                s.domgen_us
             ),
         }
     }
@@ -848,6 +855,7 @@ mod tests {
                 workers: 9,
                 dom_tests: 10,
                 attr_cmps: 11,
+                domgen_us: 12,
             }),
             Response::Error("unknown relation \"nope\"".into()),
             Response::Bye,

@@ -82,6 +82,10 @@ struct Shared {
     /// are visible over the wire.
     dom_tests: AtomicU64,
     attr_cmps: AtomicU64,
+    /// Cumulative dominator-generation wall-clock (µs) across non-cached
+    /// executions — non-zero only for dominator-based plans, where it is
+    /// the `O(n²)` phase the parallel sharding targets.
+    domgen_us: AtomicU64,
     /// Bumped on every catalog registration; guards against caching a
     /// result computed against a catalog that changed mid-execution.
     catalog_epoch: AtomicU64,
@@ -166,6 +170,7 @@ impl Server {
                 errors: AtomicU64::new(0),
                 dom_tests: AtomicU64::new(0),
                 attr_cmps: AtomicU64::new(0),
+                domgen_us: AtomicU64::new(0),
                 catalog_epoch: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
             }),
@@ -546,6 +551,10 @@ fn rowset(shared: &Shared, session: &Session) -> CoreResult<RowSet> {
     shared
         .attr_cmps
         .fetch_add(output.stats.counts.attr_cmps, Ordering::Relaxed);
+    shared.domgen_us.fetch_add(
+        output.stats.phases.dominator_gen.as_micros() as u64,
+        Ordering::Relaxed,
+    );
     let output = Arc::new(output);
     // Don't cache across a concurrent catalog change: the fingerprint is
     // name-based, and a name may since have been rebound. The re-check
@@ -599,5 +608,6 @@ fn stats(shared: &Shared) -> ServerStats {
         workers: shared.workers as u64,
         dom_tests: shared.dom_tests.load(Ordering::Relaxed),
         attr_cmps: shared.attr_cmps.load(Ordering::Relaxed),
+        domgen_us: shared.domgen_us.load(Ordering::Relaxed),
     }
 }

@@ -89,12 +89,38 @@ fn paper_example_over_the_wire_matches_in_process() {
     assert!(expected_counts.dom_tests > 0, "{expected_counts:?}");
     assert_eq!(stats.dom_tests, expected_counts.dom_tests, "{stats:?}");
     assert_eq!(stats.attr_cmps, expected_counts.attr_cmps, "{stats:?}");
+    // Grouping plans never run dominator generation, so the cumulative
+    // timing must still be zero…
+    assert_eq!(stats.domgen_us, 0, "{stats:?}");
     // Cache hits never re-run the kernel: counters are unchanged after
     // another cached EXECUTE.
     assert!(client.execute("q1").unwrap().cached);
     let after = client.stats().unwrap();
     assert_eq!(after.dom_tests, stats.dom_tests);
     assert_eq!(after.attr_cmps, stats.attr_cmps);
+    assert_eq!(after.domgen_us, 0);
+
+    // …and a dominator-based plan over a relation big enough that its
+    // O(n²) dominator-generation phase cannot round to 0 µs must move it.
+    let spec = |seed| SyntheticSpec {
+        data_type: DataType::AntiCorrelated,
+        n: 1500,
+        d: 7,
+        a: 0,
+        g: 5,
+        seed,
+    };
+    client.load_synthetic("dg1", spec(7)).unwrap();
+    client.load_synthetic("dg2", spec(1007)).unwrap();
+    let plan = PlanSpec::new("dg1", "dg2")
+        .k(11)
+        .algorithm(Algorithm::DominatorBased);
+    assert!(!client.query(&plan).unwrap().cached);
+    let domgen = client.stats().unwrap();
+    assert!(domgen.domgen_us > 0, "{domgen:?}");
+    // Cache hit: the cumulative domgen timing must not move.
+    assert!(client.query(&plan).unwrap().cached);
+    assert_eq!(client.stats().unwrap().domgen_us, domgen.domgen_us);
 
     client.close().unwrap();
     server.stop().unwrap();

@@ -409,6 +409,135 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// The columnar kernels (PR 5)
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The columnar primitives must be byte-identical to the row-major
+    /// oracles: `dom_counts_block_columnar` row-for-row against
+    /// `dom_counts_block` / per-row `dom_counts`, and
+    /// `dom_counts_partial_block_columnar` against per-row
+    /// `dom_counts_partial` over an arbitrary attribute selection.
+    #[test]
+    fn columnar_counts_equal_row_major_counts(
+        rel in arb_relation(4),
+        probe_sel in 0usize..24,
+        attr_mask in 1usize..16,
+    ) {
+        use ksjq::relation::{
+            dom_counts, dom_counts_block, dom_counts_block_columnar, dom_counts_partial,
+            dom_counts_partial_block_columnar,
+        };
+        let n = rel.n();
+        let probe = rel.row_at(probe_sel % n).to_vec();
+        let mut row_major = Vec::new();
+        dom_counts_block(rel.values(), &probe, &mut row_major);
+        let mut columnar = Vec::new();
+        dom_counts_block_columnar(rel.columns(), n, &probe, &mut columnar);
+        prop_assert_eq!(&row_major, &columnar);
+        for (t, c) in columnar.iter().enumerate() {
+            prop_assert_eq!(*c, dom_counts(rel.row_at(t), &probe), "tuple {}", t);
+        }
+        // Arbitrary non-empty attribute subset for the partial form.
+        let attrs: Vec<usize> = (0..4).filter(|i| attr_mask & (1 << i) != 0).collect();
+        let seg: Vec<f64> = attrs.iter().map(|&a| probe[a]).collect();
+        let mut partial = Vec::new();
+        dom_counts_partial_block_columnar(rel.columns(), n, &attrs, &seg, &mut partial);
+        prop_assert_eq!(partial.len(), n);
+        for (t, c) in partial.iter().enumerate() {
+            prop_assert_eq!(
+                *c,
+                dom_counts_partial(rel.row_at(t), &attrs, &seg),
+                "tuple {} attrs {:?}", t, attrs
+            );
+        }
+    }
+
+    /// The columnar target-set scan must select exactly the scalar
+    /// oracle's members, for aggregate schemas (interleaved locals) and
+    /// every threshold.
+    #[test]
+    fn columnar_target_set_equals_rowmajor(rel in arb_agg_relation(1, 3), probe_sel in 0usize..20) {
+        use ksjq::core::{target_set, target_set_rowmajor};
+        let locals: Vec<usize> = rel.schema().local_indices().collect();
+        let probe = (probe_sel % rel.n()) as u32;
+        for k_pp in 0..=locals.len() + 1 {
+            prop_assert_eq!(
+                target_set(&rel, &locals, probe, k_pp),
+                target_set_rowmajor(&rel, &locals, probe, k_pp),
+                "k_pp {}", k_pp
+            );
+        }
+    }
+
+    /// The columnar verifier's verdicts must equal the row-major oracle's
+    /// on all three entry points, over arbitrary aggregate joins and
+    /// arbitrary target sets.
+    #[test]
+    fn columnar_check_equals_oracle(
+        r1 in arb_agg_relation(1, 2),
+        r2 in arb_agg_relation(1, 2),
+        k_off in 0usize..=2,
+        lmask in 1u32..256,
+        rmask in 1u32..256,
+    ) {
+        use ksjq::core::{ColumnarCheck, JoinedCheck};
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[AggFunc::Sum]).unwrap();
+        let (lo, hi) = k_range(&cx);
+        let k = (lo + k_off).min(hi);
+        let lt: Vec<u32> = (0..r1.n() as u32).filter(|t| lmask & (1 << (t % 8)) != 0).collect();
+        let rt: Vec<u32> = (0..r2.n() as u32).filter(|t| rmask & (1 << (t % 8)) != 0).collect();
+        let mut oracle = JoinedCheck::new(&cx, k);
+        let mut columnar = ColumnarCheck::new(&cx, k);
+        let m = cx.materialize();
+        for i in 0..m.n().min(16) {
+            let cand = m.row(i).to_vec();
+            prop_assert_eq!(
+                columnar.dominated_via_left(&lt, &cand),
+                oracle.dominated_via_left(&lt, &cand),
+                "via_left candidate {} k={}", i, k
+            );
+            prop_assert_eq!(
+                columnar.dominated_via_right(&rt, &cand),
+                oracle.dominated_via_right(&rt, &cand),
+                "via_right candidate {} k={}", i, k
+            );
+            prop_assert_eq!(
+                columnar.dominated_via_both(&lt, &rt, &cand),
+                oracle.dominated_via_both(&lt, &rt, &cand),
+                "via_both candidate {} k={}", i, k
+            );
+        }
+    }
+
+    /// Dominator-based execution with sharded dominator generation must
+    /// be indistinguishable from serial: identical skyline and identical
+    /// summed kernel counters for every thread count.
+    #[test]
+    fn dominator_based_thread_invariant(
+        r1 in arb_relation(3),
+        r2 in arb_relation(3),
+        k_off in 0usize..=2,
+        threads in 2usize..=9,
+    ) {
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
+        let (lo, hi) = k_range(&cx);
+        let k = (lo + k_off).min(hi);
+        let serial = ksjq_dominator_based(&cx, k, &Config::default()).unwrap();
+        let parallel = ksjq_dominator_based(&cx, k, &Config::with_threads(threads)).unwrap();
+        prop_assert_eq!(&serial.pairs, &parallel.pairs, "threads={}", threads);
+        prop_assert_eq!(
+            serial.stats.counts.dom_tests, parallel.stats.counts.dom_tests);
+        prop_assert_eq!(
+            serial.stats.counts.attr_cmps, parallel.stats.counts.attr_cmps);
+        prop_assert_eq!(
+            serial.stats.counts.targets_pruned, parallel.stats.counts.targets_pruned);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Theorem 5: the Unique Value Property
 // ---------------------------------------------------------------------
 
