@@ -32,6 +32,40 @@ impl KsjqOutput {
             .binary_search(&(TupleId(left), TupleId(right)))
             .is_ok()
     }
+
+    /// How many chunks of at most `rows_per_chunk` pairs this result
+    /// splits into. Always ≥ 1: an empty skyline is one empty chunk, so
+    /// a streaming consumer still receives a (final, empty) frame.
+    pub fn chunk_count(&self, rows_per_chunk: usize) -> usize {
+        let per = rows_per_chunk.max(1);
+        self.pairs.len().div_ceil(per).max(1)
+    }
+
+    /// Chunk `index` (0-based) of the result split every `rows_per_chunk`
+    /// pairs — a borrowed slice, so streaming a result never copies it.
+    /// Out-of-range indices return `None`; index 0 of an empty result is
+    /// the empty slice (matching [`chunk_count`](Self::chunk_count)).
+    pub fn chunk(&self, index: usize, rows_per_chunk: usize) -> Option<&[(TupleId, TupleId)]> {
+        let per = rows_per_chunk.max(1);
+        if index >= self.chunk_count(rows_per_chunk) {
+            return None;
+        }
+        let start = index * per;
+        let end = (start + per).min(self.pairs.len());
+        Some(&self.pairs[start..end])
+    }
+
+    /// Iterate the result as chunks of at most `rows_per_chunk` pairs
+    /// (an empty result yields one empty chunk).
+    pub fn chunks(
+        &self,
+        rows_per_chunk: usize,
+    ) -> impl Iterator<Item = &[(TupleId, TupleId)]> + '_ {
+        (0..self.chunk_count(rows_per_chunk)).map(move |i| {
+            self.chunk(i, rows_per_chunk)
+                .expect("index below chunk_count")
+        })
+    }
 }
 
 /// Sort-and-wrap helper used by the algorithm implementations.
@@ -74,5 +108,31 @@ mod tests {
         let out = finish(vec![], ExecStats::default());
         assert!(out.is_empty());
         assert_eq!(out.len(), 0);
+    }
+
+    #[test]
+    fn chunking_covers_every_pair_exactly_once() {
+        let out = finish((0..10u32).map(|i| (i, i)).collect(), ExecStats::default());
+        for per in [1, 3, 4, 10, 11, 1000] {
+            assert_eq!(out.chunk_count(per), 10usize.div_ceil(per).max(1));
+            let rejoined: Vec<_> = out.chunks(per).flatten().copied().collect();
+            assert_eq!(rejoined, out.pairs, "rows_per_chunk={per}");
+            let sizes: Vec<_> = out.chunks(per).map(<[_]>::len).collect();
+            assert!(sizes.iter().all(|&s| s <= per), "rows_per_chunk={per}");
+            // Every chunk but the last is full.
+            assert!(sizes[..sizes.len() - 1].iter().all(|&s| s == per));
+        }
+        assert!(out.chunk(out.chunk_count(3), 3).is_none(), "past the end");
+    }
+
+    #[test]
+    fn empty_result_is_one_empty_chunk() {
+        let out = finish(vec![], ExecStats::default());
+        assert_eq!(out.chunk_count(100), 1);
+        assert_eq!(out.chunk(0, 100), Some(&[][..]));
+        assert!(out.chunk(1, 100).is_none());
+        assert_eq!(out.chunks(100).count(), 1);
+        // rows_per_chunk = 0 is clamped to 1 rather than dividing by zero.
+        assert_eq!(out.chunk_count(0), 1);
     }
 }

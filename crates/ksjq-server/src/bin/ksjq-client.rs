@@ -1,28 +1,47 @@
 //! Scripted KSJQ protocol client: reads commands from stdin, one per
-//! line, prints each response to stdout.
+//! line, prints each response line to stdout.
 //!
 //! ```sh
 //! printf 'PREPARE q outbound JOIN inbound K 7\nEXECUTE q\nSTATS\nCLOSE\n' \
 //!   | ksjq-client 127.0.0.1:7878
 //! ```
 //!
+//! Connecting negotiates protocol v2, so an `EXECUTE`/`QUERY` answer may
+//! span several `ROWS … part=i/m` frames; every frame of the stream is
+//! printed. Pass `--v1` to skip negotiation and speak v1 (one whole
+//! result per `ROWS` line).
+//!
 //! Exits 0 when every request was answered (including `ERR` answers —
 //! they are protocol-level successes; grep the output to assert on
 //! content), non-zero on transport failure. Blank lines and `#` comments
 //! in the script are skipped.
 
-use ksjq_server::KsjqClient;
+use ksjq_server::{KsjqClient, Response};
 use std::io::{BufRead, Write};
 
 fn main() {
-    let addr = match std::env::args().nth(1) {
-        Some(addr) => addr,
-        None => {
-            eprintln!("usage: ksjq-client HOST:PORT  (commands on stdin, one per line)");
-            std::process::exit(2);
+    let mut addr = None;
+    let mut legacy = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--v1" => legacy = true,
+            other if addr.is_none() => addr = Some(other.to_owned()),
+            other => {
+                eprintln!("ksjq-client: unexpected argument {other}");
+                std::process::exit(2);
+            }
         }
+    }
+    let Some(addr) = addr else {
+        eprintln!("usage: ksjq-client [--v1] HOST:PORT  (commands on stdin, one per line)");
+        std::process::exit(2);
     };
-    let mut client = match KsjqClient::connect(&addr) {
+    let connected = if legacy {
+        KsjqClient::connect_legacy(&addr)
+    } else {
+        KsjqClient::connect(&addr)
+    };
+    let mut client = match connected {
         Ok(client) => client,
         Err(e) => {
             eprintln!("ksjq-client: cannot connect to {addr}: {e}");
@@ -42,20 +61,27 @@ fn main() {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        match client.raw(line) {
-            Ok(response) => {
-                // A closed stdout (e.g. piped into `head`) ends the
-                // session cleanly rather than panicking.
-                if writeln!(std::io::stdout(), "{response}").is_err() {
-                    return;
+        let mut response = client.raw(line);
+        loop {
+            let frame = match response {
+                Ok(frame) => frame,
+                Err(e) => {
+                    eprintln!("ksjq-client: {e}");
+                    std::process::exit(1);
                 }
-                if response == "BYE" {
-                    return;
-                }
+            };
+            // A closed stdout (e.g. piped into `head`) ends the session
+            // cleanly rather than panicking.
+            if writeln!(std::io::stdout(), "{frame}").is_err() {
+                return;
             }
-            Err(e) => {
-                eprintln!("ksjq-client: {e}");
-                std::process::exit(1);
+            if frame == "BYE" {
+                return;
+            }
+            // Keep reading a chunked v2 answer until its final part.
+            match Response::parse(&frame) {
+                Ok(Response::Chunk(chunk)) if !chunk.is_last() => response = client.raw_read(),
+                _ => break,
             }
         }
     }

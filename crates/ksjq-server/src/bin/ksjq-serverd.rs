@@ -1,7 +1,8 @@
 //! The KSJQ serving daemon.
 //!
 //! ```sh
-//! ksjq-serverd --addr 127.0.0.1:7878 --workers 8 --cache-entries 128
+//! ksjq-serverd --addr 127.0.0.1:7878 --workers 8 --cache-entries 128 \
+//!              --max-conns 2048 --max-inflight 32 --idle-timeout 300
 //! ```
 //!
 //! Starts with a preloaded demo catalog: the paper's Tables 1–2 as
@@ -9,9 +10,16 @@
 //! the Sec. 7.4 synthetic flight network as `net_outbound` /
 //! `net_inbound` (aggregate totals, join on the hub). Clients can `LOAD`
 //! more relations at any time.
+//!
+//! A readiness-polled front end multiplexes connections (thousands of
+//! idle clients cost a pollfd each, not a thread each); `--workers`
+//! bounds concurrently *executing* queries, `--max-conns` bounds open
+//! connections (excess connects get `ERR busy`), and `--idle-timeout`
+//! reaps quiet sessions.
 
 use ksjq_core::Engine;
 use ksjq_server::{register_demo_catalog, Server, ServerConfig};
+use std::time::Duration;
 
 fn die(msg: &str) -> ! {
     eprintln!("ksjq-serverd: {msg}");
@@ -42,12 +50,41 @@ fn parse_args() -> ServerConfig {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--cache-entries needs an integer (0 disables)"));
             }
+            "--max-conns" => {
+                config.max_conns = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--max-conns needs a positive integer"));
+            }
+            "--max-inflight" => {
+                config.max_inflight = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--max-inflight needs a positive integer"));
+            }
+            "--idle-timeout" => {
+                config.idle_timeout = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&secs| secs > 0)
+                    .map(Duration::from_secs)
+                    .unwrap_or_else(|| die("--idle-timeout needs seconds (> 0)"));
+                // The mid-frame stall deadline tracks the idle timeout
+                // but never exceeds its default.
+                config.stall_timeout = config.stall_timeout.min(config.idle_timeout);
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: ksjq-serverd [--addr HOST:PORT] [--workers N] [--cache-entries N]\n\
+                     \x20                   [--max-conns N] [--max-inflight N] [--idle-timeout SECS]\n\
                      \x20 --addr           listen address (default 127.0.0.1:7878; port 0 = ephemeral)\n\
                      \x20 --workers        worker threads (default 8)\n\
-                     \x20 --cache-entries  result-cache capacity (default 128; 0 disables)"
+                     \x20 --cache-entries  result-cache capacity (default 128; 0 disables)\n\
+                     \x20 --max-conns      open-connection cap; excess get ERR busy (default 2048)\n\
+                     \x20 --max-inflight   per-connection pipelined-request cap (default 32)\n\
+                     \x20 --idle-timeout   reap idle connections after SECS (default 300)"
                 );
                 std::process::exit(0);
             }
@@ -68,8 +105,8 @@ fn main() {
     };
     let addr = server.local_addr().expect("bound listener has an address");
     println!(
-        "ksjq-serverd listening on {addr} ({} workers, cache {} entries)",
-        config.workers, config.cache_entries
+        "ksjq-serverd listening on {addr} ({} workers, cache {} entries, max {} conns)",
+        config.workers, config.cache_entries, config.max_conns
     );
     println!("preloaded catalog: {names}");
     if let Err(e) = server.run() {

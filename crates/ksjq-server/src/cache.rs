@@ -2,10 +2,15 @@
 //!
 //! `EXECUTE`/`QUERY` results are immutable once computed (relations are
 //! immutable after registration and every algorithm is deterministic), so
-//! the server can answer a repeated plan from memory. The cache is
-//! invalidated wholesale whenever the catalog changes — a new relation may
-//! shadow nothing today, but a deregister/re-register cycle under the same
-//! name must never serve stale rows.
+//! the server can answer a repeated plan from memory. Invalidation is
+//! per-relation: each entry records the relation names its fingerprint
+//! references, and registering (or re-registering) a name evicts only the
+//! entries that mention it — unrelated cached plans survive a `LOAD`.
+//!
+//! Entries are also addressable by a server-assigned `u64` result id.
+//! That id is what protocol-v2 cursors carry: `MORE <id>:<part>` pages a
+//! chunk out of a cached result long after the `EXECUTE` that computed it
+//! finished, without the connection holding any per-result state.
 //!
 //! Recency is tracked with a monotone tick per entry; eviction scans for
 //! the minimum. That is O(capacity) per insert-when-full, which for the
@@ -43,16 +48,44 @@ impl CacheCounters {
     }
 }
 
+/// A cached query result: the output plus the identity a v2 cursor needs.
+#[derive(Debug, Clone)]
+pub struct CachedResult {
+    /// Server-assigned id, stable for the entry's lifetime — the
+    /// `<result>` half of a `MORE <result>:<part>` cursor.
+    pub id: u64,
+    /// The `k` the result was computed under (echoed in every chunk).
+    pub k: usize,
+    /// The skyline-join output itself.
+    pub output: Arc<KsjqOutput>,
+}
+
 #[derive(Debug)]
 struct Entry {
+    id: u64,
+    k: usize,
+    /// Relation names the fingerprint references (for per-relation
+    /// invalidation).
+    refs: Vec<String>,
     value: Arc<KsjqOutput>,
     last_used: u64,
+}
+
+impl Entry {
+    fn result(&self) -> CachedResult {
+        CachedResult {
+            id: self.id,
+            k: self.k,
+            output: self.value.clone(),
+        }
+    }
 }
 
 #[derive(Debug, Default)]
 struct Inner {
     map: HashMap<String, Entry>,
     tick: u64,
+    next_id: u64,
 }
 
 /// A thread-safe LRU cache from plan fingerprint to query result.
@@ -81,7 +114,7 @@ impl ResultCache {
     }
 
     /// Look up `key`, refreshing its recency on a hit.
-    pub fn get(&self, key: &str) -> Option<Arc<KsjqOutput>> {
+    pub fn get(&self, key: &str) -> Option<CachedResult> {
         let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
@@ -89,7 +122,7 @@ impl ResultCache {
             Some(entry) => {
                 entry.last_used = tick;
                 self.counters.hits.fetch_add(1, Ordering::Relaxed);
-                Some(entry.value.clone())
+                Some(entry.result())
             }
             None => {
                 self.counters.misses.fetch_add(1, Ordering::Relaxed);
@@ -98,15 +131,41 @@ impl ResultCache {
         }
     }
 
-    /// Insert `value` under `key`, evicting the least-recently-used entry
-    /// if the cache is full.
-    pub fn insert(&self, key: String, value: Arc<KsjqOutput>) {
-        if self.capacity == 0 {
-            return;
-        }
+    /// Look up a result by its server-assigned id (cursor resolution),
+    /// refreshing recency. Does not touch the hit/miss counters: a dead
+    /// cursor is a protocol condition, not a cache miss.
+    pub fn by_id(&self, id: u64) -> Option<CachedResult> {
         let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
+        inner.map.values_mut().find(|e| e.id == id).map(|entry| {
+            entry.last_used = tick;
+            entry.result()
+        })
+    }
+
+    /// Insert `value` under `key`, evicting the least-recently-used entry
+    /// if the cache is full. `refs` are the relation names the plan
+    /// touches (for [`invalidate_relation`](Self::invalidate_relation));
+    /// `k` is echoed back in chunk frames served from the entry.
+    ///
+    /// Returns the assigned result id, or `None` when caching is
+    /// disabled (capacity 0) — such results cannot be paged with `MORE`.
+    pub fn insert(
+        &self,
+        key: String,
+        value: Arc<KsjqOutput>,
+        k: usize,
+        refs: Vec<String>,
+    ) -> Option<u64> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut inner = self.lock();
+        inner.tick += 1;
+        inner.next_id += 1;
+        let tick = inner.tick;
+        let id = inner.next_id;
         if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
             if let Some(lru) = inner
                 .map
@@ -121,13 +180,27 @@ impl ResultCache {
         inner.map.insert(
             key,
             Entry {
+                id,
+                k,
+                refs,
                 value,
                 last_used: tick,
             },
         );
+        Some(id)
     }
 
-    /// Drop every entry (catalog-change invalidation).
+    /// Evict every entry whose plan references relation `name`. Returns
+    /// how many entries were dropped. Not counted as evictions (those
+    /// track capacity pressure only).
+    pub fn invalidate_relation(&self, name: &str) -> usize {
+        let mut inner = self.lock();
+        let before = inner.map.len();
+        inner.map.retain(|_, e| e.refs.iter().all(|r| r != name));
+        before - inner.map.len()
+    }
+
+    /// Drop every entry (full invalidation).
     pub fn clear(&self) {
         self.lock().map.clear();
     }
@@ -162,12 +235,18 @@ mod tests {
         })
     }
 
+    fn refs(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
     fn hit_miss_counting() {
         let c = ResultCache::new(4);
         assert!(c.get("a").is_none());
-        c.insert("a".into(), out(1));
-        assert_eq!(c.get("a").unwrap().len(), 1);
+        c.insert("a".into(), out(1), 2, refs(&["r"]));
+        let hit = c.get("a").unwrap();
+        assert_eq!(hit.output.len(), 1);
+        assert_eq!(hit.k, 2);
         assert_eq!(c.counters().hits(), 1);
         assert_eq!(c.counters().misses(), 1);
         assert_eq!(c.len(), 1);
@@ -176,11 +255,11 @@ mod tests {
     #[test]
     fn evicts_least_recently_used() {
         let c = ResultCache::new(2);
-        c.insert("a".into(), out(1));
-        c.insert("b".into(), out(2));
+        c.insert("a".into(), out(1), 1, refs(&["r"]));
+        c.insert("b".into(), out(2), 1, refs(&["r"]));
         // Touch "a" so "b" is the LRU.
         assert!(c.get("a").is_some());
-        c.insert("c".into(), out(3));
+        c.insert("c".into(), out(3), 1, refs(&["r"]));
         assert_eq!(c.counters().evictions(), 1);
         assert!(c.get("b").is_none(), "LRU entry evicted");
         assert!(c.get("a").is_some());
@@ -191,18 +270,18 @@ mod tests {
     #[test]
     fn reinsert_same_key_does_not_evict() {
         let c = ResultCache::new(2);
-        c.insert("a".into(), out(1));
-        c.insert("b".into(), out(2));
-        c.insert("a".into(), out(3)); // overwrite, still 2 entries
+        c.insert("a".into(), out(1), 1, refs(&["r"]));
+        c.insert("b".into(), out(2), 1, refs(&["r"]));
+        c.insert("a".into(), out(3), 1, refs(&["r"])); // overwrite, still 2 entries
         assert_eq!(c.counters().evictions(), 0);
-        assert_eq!(c.get("a").unwrap().len(), 3);
+        assert_eq!(c.get("a").unwrap().output.len(), 3);
         assert_eq!(c.len(), 2);
     }
 
     #[test]
     fn clear_is_not_an_eviction() {
         let c = ResultCache::new(2);
-        c.insert("a".into(), out(1));
+        c.insert("a".into(), out(1), 1, refs(&["r"]));
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.counters().evictions(), 0);
@@ -212,8 +291,38 @@ mod tests {
     #[test]
     fn zero_capacity_disables() {
         let c = ResultCache::new(0);
-        c.insert("a".into(), out(1));
+        assert!(c.insert("a".into(), out(1), 1, refs(&["r"])).is_none());
         assert!(c.get("a").is_none());
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn invalidation_is_per_relation() {
+        let c = ResultCache::new(8);
+        c.insert("q1".into(), out(1), 1, refs(&["left", "right"]));
+        c.insert("q2".into(), out(2), 1, refs(&["other", "another"]));
+        c.insert("q3".into(), out(3), 1, refs(&["right", "third"]));
+        assert_eq!(c.invalidate_relation("right"), 2);
+        assert!(c.get("q1").is_none());
+        assert!(c.get("q3").is_none());
+        assert!(c.get("q2").is_some(), "unrelated entry survives");
+        assert_eq!(c.invalidate_relation("right"), 0, "idempotent");
+        assert_eq!(c.counters().evictions(), 0);
+    }
+
+    #[test]
+    fn results_are_addressable_by_id() {
+        let c = ResultCache::new(2);
+        let id_a = c.insert("a".into(), out(4), 3, refs(&["r"])).unwrap();
+        let id_b = c.insert("b".into(), out(5), 2, refs(&["r"])).unwrap();
+        assert_ne!(id_a, id_b);
+        let got = c.by_id(id_a).unwrap();
+        assert_eq!((got.id, got.k, got.output.len()), (id_a, 3, 4));
+        // by_id refreshes recency: "a" must survive the next insert.
+        c.insert("c".into(), out(6), 1, refs(&["r"]));
+        assert!(c.by_id(id_a).is_some(), "recently paged entry kept");
+        assert!(c.by_id(id_b).is_none(), "LRU entry gone, cursor dead");
+        // A dead id is None, and hit/miss counters are untouched by by_id.
+        assert_eq!(c.counters().hits() + c.counters().misses(), 0);
     }
 }

@@ -1,11 +1,25 @@
 //! A blocking client for the KSJQ wire protocol.
 //!
-//! One lockstep request/response exchange per call. Protocol-level
-//! failures (`ERR` frames) are surfaced as [`ClientError::Server`] so
-//! callers can distinguish "the server said no" from "the wire broke".
+//! [`KsjqClient::connect`] negotiates protocol v2 (`HELLO`) and the
+//! result-bearing calls stream: [`execute_stream`](KsjqClient::execute_stream)
+//! / [`query_stream`](KsjqClient::query_stream) return a [`RowStream`] —
+//! an iterator of bounded [`RowChunk`] frames, so a result is processed
+//! chunk by chunk without the client (or the server) ever holding all of
+//! it. The one-shot [`execute`](KsjqClient::execute) /
+//! [`query`](KsjqClient::query) calls are convenience wrappers that drain
+//! the stream into a [`RowSet`].
+//!
+//! Against a legacy v1-only server (or after
+//! [`connect_legacy`](KsjqClient::connect_legacy)) the same calls work:
+//! a v1 `ROWS` frame surfaces through a stream as one synthetic chunk.
+//!
+//! Protocol-level failures (`ERR` frames) are surfaced as
+//! [`ClientError::Server`] so callers can distinguish "the server said
+//! no" from "the wire broke".
 
 use crate::protocol::{
-    LoadSource, PlanSpec, Request, Response, RowSet, ServerStats, SyntheticSpec,
+    Cursor, LoadSource, PlanSpec, Request, Response, RowChunk, RowSet, ServerStats, SyntheticSpec,
+    PROTOCOL_VERSION,
 };
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
@@ -49,24 +63,49 @@ pub type ClientResult<T> = Result<T, ClientError>;
 pub struct KsjqClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    version: u32,
 }
 
 impl KsjqClient {
-    /// Connect to a running server.
+    /// Connect to a running server and negotiate the newest protocol
+    /// version both sides speak (a server that rejects `HELLO` is taken
+    /// to be v1-only and the session proceeds on v1).
     pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<KsjqClient> {
+        let mut client = KsjqClient::connect_legacy(addr)?;
+        match client.request(&Request::Hello {
+            version: PROTOCOL_VERSION,
+        })? {
+            Response::Hello { version } => client.version = version.clamp(1, PROTOCOL_VERSION),
+            Response::Error(_) => {} // legacy server: stay on v1
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected HELLO, got {other}"
+                )))
+            }
+        }
+        Ok(client)
+    }
+
+    /// Connect without negotiating: the session speaks v1 (one-shot
+    /// `ROWS` frames), whatever the server supports.
+    pub fn connect_legacy(addr: impl ToSocketAddrs) -> ClientResult<KsjqClient> {
         let writer = TcpStream::connect(addr)?;
         // Lockstep one-line exchanges: Nagle only adds latency here.
         let _ = writer.set_nodelay(true);
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(KsjqClient { reader, writer })
+        Ok(KsjqClient {
+            reader,
+            writer,
+            version: 1,
+        })
     }
 
-    /// Send a raw line and return the raw response line — the escape
-    /// hatch the fuzz tests and the `ksjq-client` binary use.
-    pub fn raw(&mut self, line: &str) -> ClientResult<String> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
+    /// The negotiated protocol version (1 until a successful `HELLO`).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    fn read_line(&mut self) -> ClientResult<String> {
         let mut response = String::new();
         let n = self.reader.read_line(&mut response)?;
         if n == 0 {
@@ -78,11 +117,40 @@ impl KsjqClient {
         Ok(response.trim_end().to_owned())
     }
 
+    fn read_response(&mut self) -> ClientResult<Response> {
+        let line = self.read_line()?;
+        Response::parse(&line).map_err(ClientError::Protocol)
+    }
+
+    fn send(&mut self, line: &str) -> ClientResult<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Send a raw line and return the raw response line — the escape
+    /// hatch the fuzz tests and the `ksjq-client` binary use. Note that
+    /// a v2 `EXECUTE`/`QUERY` answers with *several* lines; this returns
+    /// only the first — fetch the rest with
+    /// [`raw_read`](KsjqClient::raw_read).
+    pub fn raw(&mut self, line: &str) -> ClientResult<String> {
+        self.send(line)?;
+        self.read_line()
+    }
+
+    /// Read one raw response line without sending anything — for
+    /// consuming the continuation frames of a chunked v2 response after
+    /// [`raw`](KsjqClient::raw).
+    pub fn raw_read(&mut self) -> ClientResult<String> {
+        self.read_line()
+    }
+
     /// Send a typed request, parse the typed response. `ERR` frames are
     /// *returned*, not raised — use the typed helpers below for that.
     pub fn request(&mut self, request: &Request) -> ClientResult<Response> {
-        let line = self.raw(&request.to_string())?;
-        Response::parse(&line).map_err(ClientError::Protocol)
+        self.send(&request.to_string())?;
+        self.read_response()
     }
 
     fn expect_ok(&mut self, request: &Request) -> ClientResult<String> {
@@ -90,14 +158,6 @@ impl KsjqClient {
             Response::Ok(info) => Ok(info),
             Response::Error(msg) => Err(ClientError::Server(msg)),
             other => Err(ClientError::Protocol(format!("expected OK, got {other}"))),
-        }
-    }
-
-    fn expect_rows(&mut self, request: &Request) -> ClientResult<RowSet> {
-        match self.request(request)? {
-            Response::Rows(rows) => Ok(rows),
-            Response::Error(msg) => Err(ClientError::Server(msg)),
-            other => Err(ClientError::Protocol(format!("expected ROWS, got {other}"))),
         }
     }
 
@@ -134,14 +194,44 @@ impl KsjqClient {
         })
     }
 
-    /// `EXECUTE <id>` — run a prepared query.
-    pub fn execute(&mut self, id: &str) -> ClientResult<RowSet> {
-        self.expect_rows(&Request::Execute { id: id.into() })
+    /// `EXECUTE <id>` streaming the result: an iterator of bounded
+    /// [`RowChunk`]s, the primary result API. Dropping the iterator
+    /// early drains the remaining frames so the connection stays usable.
+    pub fn execute_stream(&mut self, id: &str) -> ClientResult<RowStream<'_>> {
+        self.start_stream(&Request::Execute { id: id.into() })
     }
 
-    /// `QUERY …` — one-shot prepare + execute.
+    /// `QUERY …` (one-shot prepare + execute) streaming the result.
+    pub fn query_stream(&mut self, plan: &PlanSpec) -> ClientResult<RowStream<'_>> {
+        self.start_stream(&Request::Query { plan: plan.clone() })
+    }
+
+    fn start_stream(&mut self, request: &Request) -> ClientResult<RowStream<'_>> {
+        self.send(&request.to_string())?;
+        Ok(RowStream {
+            client: self,
+            done: false,
+        })
+    }
+
+    /// `MORE <cursor>` — fetch one chunk of a cached result (v2).
+    pub fn more(&mut self, cursor: Cursor) -> ClientResult<RowChunk> {
+        match self.request(&Request::More { cursor })? {
+            Response::Chunk(chunk) => Ok(chunk),
+            Response::Error(msg) => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Protocol(format!("expected ROWS, got {other}"))),
+        }
+    }
+
+    /// `EXECUTE <id>` — run a prepared query and collect the whole
+    /// result (drains the chunk stream under v2).
+    pub fn execute(&mut self, id: &str) -> ClientResult<RowSet> {
+        self.execute_stream(id)?.collect_rowset()
+    }
+
+    /// `QUERY …` — one-shot prepare + execute, whole result.
     pub fn query(&mut self, plan: &PlanSpec) -> ClientResult<RowSet> {
-        self.expect_rows(&Request::Query { plan: plan.clone() })
+        self.query_stream(plan)?.collect_rowset()
     }
 
     /// `EXPLAIN <id>` — the one-line plan summary.
@@ -171,6 +261,98 @@ impl KsjqClient {
         match self.request(&Request::Close)? {
             Response::Bye => Ok(()),
             other => Err(ClientError::Protocol(format!("expected BYE, got {other}"))),
+        }
+    }
+}
+
+/// A streamed query result: one [`RowChunk`] per `next()`, read lazily
+/// off the socket. Ends after the final part, or after the first error
+/// (an `ERR` frame or a transport failure — both terminal).
+///
+/// Dropping the stream before the final part drains the remaining frames
+/// (best-effort) so the connection's lockstep framing survives early
+/// exits like `.take(1)`.
+#[derive(Debug)]
+pub struct RowStream<'a> {
+    client: &'a mut KsjqClient,
+    done: bool,
+}
+
+impl RowStream<'_> {
+    /// Drain the stream into a single [`RowSet`] (the v1-shaped result):
+    /// `k`/`micros`/`cached` from the first chunk, pairs concatenated.
+    pub fn collect_rowset(mut self) -> ClientResult<RowSet> {
+        let mut rows: Option<RowSet> = None;
+        for chunk in &mut self {
+            let chunk = chunk?;
+            let rows = rows.get_or_insert_with(|| RowSet {
+                k: chunk.k,
+                micros: chunk.micros,
+                cached: chunk.cached,
+                pairs: Vec::with_capacity(chunk.total),
+            });
+            rows.pairs.extend(chunk.pairs);
+        }
+        rows.ok_or_else(|| ClientError::Protocol("empty result stream".into()))
+    }
+}
+
+impl Iterator for RowStream<'_> {
+    type Item = ClientResult<RowChunk>;
+
+    fn next(&mut self) -> Option<ClientResult<RowChunk>> {
+        if self.done {
+            return None;
+        }
+        let response = match self.client.read_response() {
+            Ok(response) => response,
+            Err(e) => {
+                self.done = true;
+                return Some(Err(e));
+            }
+        };
+        Some(match response {
+            Response::Chunk(chunk) => {
+                self.done = chunk.is_last();
+                Ok(chunk)
+            }
+            // A v1 server (or session) answers with one whole-result
+            // frame: surface it as a single synthetic chunk so the
+            // streaming API works against either version.
+            Response::Rows(rows) => {
+                self.done = true;
+                Ok(RowChunk {
+                    k: rows.k,
+                    micros: rows.micros,
+                    cached: rows.cached,
+                    total: rows.pairs.len(),
+                    part: 1,
+                    parts: 1,
+                    cursor: None,
+                    pairs: rows.pairs,
+                })
+            }
+            Response::Error(msg) => {
+                self.done = true;
+                Err(ClientError::Server(msg))
+            }
+            other => {
+                self.done = true;
+                Err(ClientError::Protocol(format!("expected ROWS, got {other}")))
+            }
+        })
+    }
+}
+
+impl Drop for RowStream<'_> {
+    fn drop(&mut self) {
+        // Abandoned mid-stream: swallow the remaining frames so the next
+        // request on this connection reads its own response, not ours.
+        while !self.done {
+            match self.next() {
+                Some(Ok(_)) => {}
+                _ => break, // end of stream, or a terminal error
+            }
         }
     }
 }

@@ -1,0 +1,269 @@
+//! Incremental request-frame reassembly for the poll-loop front end.
+//!
+//! A readiness-polled connection delivers bytes in arbitrary slices — a
+//! request line may arrive one byte at a time or glued to its neighbours.
+//! [`FrameBuffer`] is the per-connection state machine that turns that
+//! stream back into frames: bytes go in via [`push`](FrameBuffer::push),
+//! complete lines come out of [`next_frame`](FrameBuffer::next_frame),
+//! and a line that grows past [`MAX_LINE_BYTES`] flips the buffer into
+//! *discard mode* — the flood is dropped as it arrives (never buffered)
+//! and a single [`Frame::Oversized`] marker is emitted once its
+//! terminating newline shows up, so the connection resynchronises on the
+//! next line.
+//!
+//! The fuzz suite feeds identical sessions split at every byte boundary
+//! and asserts the frame sequence never changes — the property the
+//! poll-loop server builds on.
+
+use crate::protocol::MAX_LINE_BYTES;
+
+/// One reassembled request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete line, newline (and any trailing `\r`) stripped, decoded
+    /// lossily from UTF-8 (invalid bytes become U+FFFD and are rejected
+    /// later by `Request::parse`).
+    Line(String),
+    /// A line exceeded [`MAX_LINE_BYTES`]; its bytes were discarded and
+    /// the stream is resynchronised after its newline.
+    Oversized,
+}
+
+/// Incremental line assembler with bounded buffering.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Bytes [0, parsed) of `buf` have been consumed as frames.
+    parsed: usize,
+    /// In discard mode: dropping bytes until the next newline.
+    discarding: bool,
+    /// A discarded flood just ended; emit one `Frame::Oversized` marker
+    /// before any line that followed it.
+    pending_oversized: bool,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        FrameBuffer::default()
+    }
+
+    /// Append freshly read bytes. In discard mode the flood is consumed
+    /// immediately, so buffered bytes never exceed `MAX_LINE_BYTES + 1`
+    /// regardless of what a peer sends.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.discarding {
+            // Everything up to (and including) the resynchronising
+            // newline is dropped (no newline: still flooding, drop it
+            // all); the marker is emitted by next_frame.
+            if let Some(nl) = bytes.iter().position(|&b| b == b'\n') {
+                self.discarding = false;
+                self.pending_oversized = true;
+                self.buf.extend_from_slice(&bytes[nl + 1..]);
+            }
+            self.spill();
+            return;
+        }
+        self.buf.extend_from_slice(bytes);
+        self.spill();
+    }
+
+    /// If the unparsed tail grew past the line cap without a newline,
+    /// switch to discard mode and drop it.
+    fn spill(&mut self) {
+        self.compact();
+        if !self.discarding && self.buf.len() > MAX_LINE_BYTES && !self.buf.contains(&b'\n') {
+            self.buf.clear();
+            self.discarding = true;
+        }
+    }
+
+    /// Drop the already-parsed prefix so the buffer only holds the tail.
+    fn compact(&mut self) {
+        if self.parsed > 0 {
+            self.buf.drain(..self.parsed);
+            self.parsed = 0;
+        }
+    }
+
+    /// The next complete frame, if any bytes form one.
+    pub fn next_frame(&mut self) -> Option<Frame> {
+        if self.pending_oversized {
+            self.pending_oversized = false;
+            return Some(Frame::Oversized);
+        }
+        let tail = &self.buf[self.parsed..];
+        let nl = tail.iter().position(|&b| b == b'\n')?;
+        let line = &tail[..nl];
+        self.parsed += nl + 1;
+        if line.len() > MAX_LINE_BYTES {
+            self.compact();
+            return Some(Frame::Oversized);
+        }
+        let mut line = String::from_utf8_lossy(line).into_owned();
+        while line.ends_with('\r') {
+            line.pop();
+        }
+        let frame = Frame::Line(line);
+        self.compact();
+        Some(frame)
+    }
+
+    /// Is a partial line sitting in the buffer (or an oversized flood in
+    /// progress)? Distinguishes "stalled mid-frame" from "idle between
+    /// requests" for the reaping deadlines.
+    pub fn has_partial(&self) -> bool {
+        self.discarding || self.parsed < self.buf.len()
+    }
+
+    /// Bytes currently buffered (discard-mode floods count as zero: they
+    /// are dropped on arrival).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.parsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Feed `bytes` in one call and collect every frame.
+    fn frames_of(bytes: &[u8]) -> Vec<Frame> {
+        let mut fb = FrameBuffer::new();
+        fb.push(bytes);
+        let mut frames = Vec::new();
+        while let Some(frame) = fb.next_frame() {
+            frames.push(frame);
+        }
+        frames
+    }
+
+    #[test]
+    fn whole_lines_come_back_out() {
+        let frames = frames_of(b"HELLO 2\r\nSTATS\nCLOSE\n");
+        assert_eq!(
+            frames,
+            vec![
+                Frame::Line("HELLO 2".into()),
+                Frame::Line("STATS".into()),
+                Frame::Line("CLOSE".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn partial_lines_wait_for_their_newline() {
+        let mut fb = FrameBuffer::new();
+        fb.push(b"STA");
+        assert_eq!(fb.next_frame(), None);
+        assert!(fb.has_partial());
+        fb.push(b"TS\nCLO");
+        assert_eq!(fb.next_frame(), Some(Frame::Line("STATS".into())));
+        assert_eq!(fb.next_frame(), None);
+        assert!(fb.has_partial());
+        fb.push(b"SE\n");
+        assert_eq!(fb.next_frame(), Some(Frame::Line("CLOSE".into())));
+        assert!(!fb.has_partial());
+        assert_eq!(fb.buffered(), 0);
+    }
+
+    #[test]
+    fn oversized_lines_are_discarded_not_buffered() {
+        let mut fb = FrameBuffer::new();
+        // Flood in 64 KiB slabs: buffered bytes must never exceed the cap.
+        let slab = vec![b'x'; 64 * 1024];
+        for _ in 0..2 * (MAX_LINE_BYTES / slab.len()) {
+            fb.push(&slab);
+            assert!(fb.buffered() <= MAX_LINE_BYTES + 1, "{}", fb.buffered());
+        }
+        assert!(fb.has_partial(), "mid-flood counts as mid-frame");
+        assert_eq!(fb.next_frame(), None, "no marker before resync");
+        fb.push(b"tail\nSTATS\n");
+        assert_eq!(fb.next_frame(), Some(Frame::Oversized));
+        assert_eq!(fb.next_frame(), Some(Frame::Line("STATS".into())));
+        assert_eq!(fb.next_frame(), None);
+    }
+
+    #[test]
+    fn oversized_line_in_one_push_is_flagged() {
+        // A single push holding an oversized line *and* its newline: the
+        // line is complete, so it is flagged without entering discard mode.
+        let mut bytes = vec![b'y'; MAX_LINE_BYTES + 10];
+        bytes.push(b'\n');
+        bytes.extend_from_slice(b"CLOSE\n");
+        assert_eq!(
+            frames_of(&bytes),
+            vec![Frame::Oversized, Frame::Line("CLOSE".into())]
+        );
+    }
+
+    #[test]
+    fn invalid_utf8_is_lossily_decoded() {
+        let frames = frames_of(&[0xff, 0xfe, b'\n']);
+        match &frames[..] {
+            [Frame::Line(line)] => assert!(line.contains('\u{fffd}')),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    /// The reassembly invariant: a byte stream split at *every* boundary
+    /// yields exactly the frames of the unsplit stream.
+    #[test]
+    fn every_split_point_reassembles_identically() {
+        let session: &[u8] = b"HELLO 2\nLOAD t INLINE city,cost;C,448;D,456\n\
+            QUERY t JOIN t K 1\nMORE 7:2\nSTATS\r\nCLOSE\n";
+        let expected = frames_of(session);
+        assert_eq!(expected.len(), 6);
+        for split in 0..=session.len() {
+            let mut fb = FrameBuffer::new();
+            let mut frames = Vec::new();
+            for part in [&session[..split], &session[split..]] {
+                fb.push(part);
+                while let Some(frame) = fb.next_frame() {
+                    frames.push(frame);
+                }
+            }
+            assert_eq!(frames, expected, "split at byte {split}");
+        }
+        // And byte-at-a-time, the most adversarial schedule.
+        let mut fb = FrameBuffer::new();
+        let mut frames = Vec::new();
+        for byte in session {
+            fb.push(std::slice::from_ref(byte));
+            while let Some(frame) = fb.next_frame() {
+                frames.push(frame);
+            }
+        }
+        assert_eq!(frames, expected, "byte-at-a-time");
+    }
+
+    /// Same property with an oversized line in the middle of the session.
+    #[test]
+    fn split_oversized_sessions_reassemble_identically() {
+        let mut session = b"STATS\n".to_vec();
+        session.extend(std::iter::repeat_n(b'z', MAX_LINE_BYTES + 100));
+        session.extend_from_slice(b"\nCLOSE\n");
+        let expected = vec![
+            Frame::Line("STATS".into()),
+            Frame::Oversized,
+            Frame::Line("CLOSE".into()),
+        ];
+        // Splitting a megabyte session at every byte is O(n²); step through
+        // a coarse grid plus the interesting region around the cap.
+        let mut splits: Vec<usize> = (0..=session.len()).step_by(65_536).collect();
+        splits.extend((MAX_LINE_BYTES - 2)..(MAX_LINE_BYTES + 12));
+        splits.push(session.len());
+        for split in splits {
+            let split = split.min(session.len());
+            let mut fb = FrameBuffer::new();
+            let mut frames = Vec::new();
+            for part in [&session[..split], &session[split..]] {
+                fb.push(part);
+                while let Some(frame) = fb.next_frame() {
+                    frames.push(frame);
+                }
+            }
+            assert_eq!(frames, expected, "split at byte {split}");
+        }
+    }
+}

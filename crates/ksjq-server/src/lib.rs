@@ -5,15 +5,25 @@
 //! framework — the workspace is offline):
 //!
 //! * [`protocol`] — the line-oriented wire format: typed [`Request`] /
-//!   [`Response`] enums whose `Display` and `parse` round-trip.
-//! * [`server`] — [`Server`]: a `TcpListener` accept loop over a fixed
-//!   worker thread pool, all workers sharing one engine, a named
-//!   prepared-query session map and the result cache.
+//!   [`Response`] enums whose `Display` and `parse` round-trip. Two
+//!   versions share the wire: v1's one-shot `ROWS`, and v2 (negotiated
+//!   via `HELLO`) which streams results as bounded `ROWS … part=i/m`
+//!   chunks pageable with `MORE <cursor>`.
+//! * [`server`] — [`Server`]: a readiness-polled front end (non-blocking
+//!   listener + poll loop, no async runtime) multiplexing thousands of
+//!   connections, dispatching complete requests onto a fixed worker pool
+//!   sharing one engine, with admission control (connection cap with
+//!   `ERR busy` shedding, idle/stall reaping, catalog size budgets).
+//! * [`frame`] — [`FrameBuffer`]: per-connection incremental line
+//!   reassembly with bounded buffering and oversized-line resync.
 //! * [`cache`] — [`ResultCache`]: an LRU over normalised plan
-//!   fingerprints with hit/miss/eviction counters, invalidated on every
-//!   catalog registration.
+//!   fingerprints with hit/miss/eviction counters, per-relation
+//!   invalidation on catalog registration, and cursor-addressable
+//!   entries backing v2 `MORE` paging.
 //! * [`client`] — [`KsjqClient`]: the blocking client the tests, the
-//!   benchmark harness's `--remote` mode and the examples use.
+//!   benchmark harness's `--remote` mode and the examples use. Streams
+//!   by default ([`KsjqClient::execute_stream`]); the one-shot calls
+//!   drain the stream internally.
 //!
 //! The `ksjq-serverd` binary serves a preloaded demo catalog;
 //! `ksjq-client` scripts a session from stdin (the CI smoke test drives
@@ -40,14 +50,16 @@
 pub mod cache;
 pub mod client;
 pub mod demo;
+pub mod frame;
 pub mod protocol;
 pub mod server;
 
 pub use cache::{CacheCounters, ResultCache};
-pub use client::{ClientError, ClientResult, KsjqClient};
+pub use client::{ClientError, ClientResult, KsjqClient, RowStream};
 pub use demo::register_demo_catalog;
+pub use frame::{Frame, FrameBuffer};
 pub use protocol::{
-    LoadSource, PlanSpec, ProtoResult, Request, Response, RowSet, ServerStats, SyntheticSpec,
-    MAX_LINE_BYTES,
+    Cursor, LoadSource, PlanSpec, ProtoResult, Request, Response, RowChunk, RowSet, ServerStats,
+    SyntheticSpec, MAX_LINE_BYTES, MAX_ROWS_FRAME_BYTES, PROTOCOL_VERSION, ROWS_PER_CHUNK,
 };
 pub use server::{RunningServer, Server, ServerConfig, ServerHandle};

@@ -1,20 +1,35 @@
 //! The KSJQ wire protocol: a line-oriented command language.
 //!
-//! Every request and every response is exactly one `\n`-terminated line of
-//! UTF-8 text, so a session is a plain lockstep request/response loop that
-//! works from any language — or from `nc` by hand. Both directions have
-//! typed representations ([`Request`], [`Response`]) whose `Display`
-//! serialisation and [`parse`](Request::parse) round-trip, which is what
-//! the client, the server and the fuzz tests all build on.
+//! Every request and every response frame is exactly one `\n`-terminated
+//! line of UTF-8 text, so a session works from any language — or from
+//! `nc` by hand. Both directions have typed representations
+//! ([`Request`], [`Response`]) whose `Display` serialisation and
+//! [`parse`](Request::parse) round-trip, which is what the client, the
+//! server and the fuzz tests all build on.
+//!
+//! ## Versions
+//!
+//! A session starts in **v1**: strict lockstep, one response line per
+//! request line, and `EXECUTE`/`QUERY` ship the entire skyline in a
+//! single unbounded `ROWS` line. Sending `HELLO <max-version>` as a
+//! request negotiates up: the server answers `HELLO v=<chosen>` with
+//! `chosen = min(max-version, 2)` and the session switches to that
+//! version. Under **v2** a result is *streamed* as a sequence of bounded
+//! `ROWS … part=<i>/<m>` frames (at most [`ROWS_PER_CHUNK`] pairs and
+//! [`MAX_ROWS_FRAME_BYTES`] bytes each), every non-final frame carrying a
+//! `cursor=` token that `MORE <cursor>` can later resume from — pull-mode
+//! paging served straight from the result cache.
 //!
 //! ## Commands
 //!
 //! ```text
+//! HELLO <max-version>                               negotiate the protocol version
 //! LOAD <name> INLINE <csv>                          csv rows separated by ';'
 //! LOAD <name> SYNTHETIC <ind|corr|anti> n=<n> d=<d> [a=<a>] [g=<g>] [seed=<s>]
 //! PREPARE <id> <left> JOIN <right> [AGG f,f…] [K <k>] [GOAL <goal>] [ALGO <a>] [KDOM <k>]
 //! EXECUTE <id>
 //! QUERY <left> JOIN <right> [AGG …] [K …] [GOAL …] [ALGO …] [KDOM …]
+//! MORE <result>:<part>                              re-fetch one chunk (v2, cached results)
 //! EXPLAIN <id>
 //! STATS
 //! CLOSE
@@ -24,7 +39,9 @@
 //!
 //! ```text
 //! OK <info>
-//! ROWS k=<k> us=<micros> cached=<0|1> n=<n> <l>:<r> <l>:<r> …
+//! HELLO v=<version>
+//! ROWS k=<k> us=<micros> cached=<0|1> n=<n> <l>:<r> <l>:<r> …            (v1: whole result)
+//! ROWS k=<k> us=<micros> cached=<0|1> n=<total> part=<i>/<m> [cursor=<c>] <l>:<r> …  (v2 chunk)
 //! EXPLAIN <one-line plan summary>
 //! STATS connections=… requests=… … cache_hits=… cache_misses=…
 //! ERR <message>
@@ -43,10 +60,62 @@ use std::fmt;
 
 /// Hard cap on one **request** line, enforced by the server: anything
 /// longer is answered with an error frame and discarded — never buffered
-/// unboundedly, never a panic. Response lines are not capped (a `ROWS`
-/// frame carries the whole skyline; chunked result framing is a ROADMAP
-/// item), so clients must not impose this limit on what they read.
+/// unboundedly, never a panic. v1 response lines are not capped (a v1
+/// `ROWS` frame carries the whole skyline), so clients must not impose
+/// this limit on what they read; v2 `ROWS` chunks are bounded by
+/// [`MAX_ROWS_FRAME_BYTES`].
 pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// The newest protocol version this build speaks. `HELLO n` negotiates
+/// `min(n, PROTOCOL_VERSION)`.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Maximum `(left, right)` pairs per v2 `ROWS` chunk frame. Sized so the
+/// worst-case serialised frame (every pair two ten-digit ids) stays under
+/// [`MAX_ROWS_FRAME_BYTES`] — the unit test `worst_case_chunk_frame_fits`
+/// pins the arithmetic.
+pub const ROWS_PER_CHUNK: usize = 2048;
+
+/// Upper bound on one serialised v2 `ROWS` chunk frame, newline included.
+pub const MAX_ROWS_FRAME_BYTES: usize = 64 * 1024;
+
+/// A resumption point into a chunked result: which cached result, and
+/// which 1-based part to fetch. Serialised as the single token
+/// `<result>:<part>` — in `MORE` requests and in the `cursor=` field of
+/// v2 `ROWS` frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cursor {
+    /// Server-assigned id of the cached result (see
+    /// [`ResultCache`](crate::ResultCache)).
+    pub result: u64,
+    /// 1-based part number to fetch next.
+    pub part: u32,
+}
+
+impl Cursor {
+    /// Parse the `<result>:<part>` wire token.
+    pub fn parse(token: &str) -> ProtoResult<Cursor> {
+        let (result, part) = token
+            .split_once(':')
+            .ok_or_else(|| format!("bad cursor {token:?} (expected <result>:<part>)"))?;
+        let result = result
+            .parse::<u64>()
+            .map_err(|_| format!("bad cursor {token:?}"))?;
+        let part = part
+            .parse::<u32>()
+            .map_err(|_| format!("bad cursor {token:?}"))?;
+        if part == 0 {
+            return Err(format!("bad cursor {token:?}: parts are 1-based"));
+        }
+        Ok(Cursor { result, part })
+    }
+}
+
+impl fmt::Display for Cursor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.result, self.part)
+    }
+}
 
 /// Protocol-level result: errors are plain messages destined for an
 /// `ERR` frame.
@@ -184,6 +253,17 @@ impl PlanSpec {
 /// One client command.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
+    /// Negotiate the protocol version: the server picks
+    /// `min(version, PROTOCOL_VERSION)` and the session switches to it.
+    Hello {
+        /// Highest version the client speaks (≥ 1).
+        version: u32,
+    },
+    /// Fetch one chunk of a cached result (v2 sessions only).
+    More {
+        /// Where to resume, as handed out in a `cursor=` field.
+        cursor: Cursor,
+    },
     /// Register a relation in the server's catalog.
     Load {
         /// Catalog name to register under.
@@ -368,6 +448,31 @@ impl Request {
         }
         let (cmd, rest) = split_word(line);
         match cmd.to_ascii_uppercase().as_str() {
+            "HELLO" => {
+                let (version, trailing) = split_word(rest);
+                if !trailing.is_empty() {
+                    return Err(format!("unexpected trailing input {trailing:?}"));
+                }
+                let version = version
+                    .parse::<u32>()
+                    .map_err(|_| format!("HELLO needs a version number, got {version:?}"))?;
+                if version == 0 {
+                    return Err("HELLO needs a version ≥ 1".into());
+                }
+                Ok(Request::Hello { version })
+            }
+            "MORE" => {
+                let (token, trailing) = split_word(rest);
+                if token.is_empty() {
+                    return Err("MORE needs a cursor".into());
+                }
+                if !trailing.is_empty() {
+                    return Err(format!("unexpected trailing input {trailing:?}"));
+                }
+                Ok(Request::More {
+                    cursor: Cursor::parse(token)?,
+                })
+            }
             "LOAD" => {
                 let (name, rest) = split_word(rest);
                 validate_name("relation name", name)?;
@@ -465,7 +570,7 @@ impl Request {
                 })
             }
             other => Err(format!(
-                "unknown command {other:?} (expected LOAD, PREPARE, EXECUTE, QUERY, EXPLAIN, STATS or CLOSE)"
+                "unknown command {other:?} (expected HELLO, LOAD, PREPARE, EXECUTE, QUERY, MORE, EXPLAIN, STATS or CLOSE)"
             )),
         }
     }
@@ -474,6 +579,8 @@ impl Request {
 impl fmt::Display for Request {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            Request::Hello { version } => write!(f, "HELLO {version}"),
+            Request::More { cursor } => write!(f, "MORE {cursor}"),
             Request::Load { name, source } => match source {
                 LoadSource::Inline { csv } => {
                     write!(
@@ -510,7 +617,8 @@ impl fmt::Display for Request {
     }
 }
 
-/// A skyline result set as shipped over the wire.
+/// A skyline result set as shipped over the wire (v1: one frame carries
+/// everything; under v2 this is what draining a chunk stream reassembles).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RowSet {
     /// The `k` the query ran at (for find-k goals: the chosen `k`).
@@ -521,6 +629,38 @@ pub struct RowSet {
     pub cached: bool,
     /// The skyline, as `(left, right)` base tuple ids, sorted.
     pub pairs: Vec<(u32, u32)>,
+}
+
+/// One bounded chunk of a v2 result stream: `part` of `parts`, carrying
+/// at most [`ROWS_PER_CHUNK`] pairs, with `total` the size of the whole
+/// result. `k`/`micros`/`cached` repeat the first frame's values on every
+/// part so each frame stands alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowChunk {
+    /// The `k` the query ran at.
+    pub k: usize,
+    /// Server-side execution time in microseconds (0 for cache hits).
+    pub micros: u64,
+    /// Was this answered from the result cache?
+    pub cached: bool,
+    /// Total pairs across all parts (the `n=` field).
+    pub total: usize,
+    /// 1-based part number.
+    pub part: u32,
+    /// Total parts in the stream (≥ 1; an empty result is one empty part).
+    pub parts: u32,
+    /// Where `MORE` can fetch the *next* part — present on every
+    /// non-final frame of a cursor-addressable (cached) result.
+    pub cursor: Option<Cursor>,
+    /// This chunk's pairs, in result order.
+    pub pairs: Vec<(u32, u32)>,
+}
+
+impl RowChunk {
+    /// Is this the final part of its stream?
+    pub fn is_last(&self) -> bool {
+        self.part == self.parts
+    }
 }
 
 /// Server counters reported by `STATS`.
@@ -558,6 +698,16 @@ pub struct ServerStats {
     /// `O(n²)` phase (see `ksjq_core::PhaseTimes::dominator_gen`); zero
     /// when only grouping/naive plans have run.
     pub domgen_us: u64,
+    /// Connections shed with `ERR busy` because the `--max-conns`
+    /// admission limit was reached.
+    pub shed: u64,
+    /// Connections reaped by the idle timeout or the mid-frame stall
+    /// (slow-loris) deadline.
+    pub reaped: u64,
+    /// High-water mark, in bytes, of any single connection's pending
+    /// outbound buffer — under v2 streaming this stays bounded by one
+    /// chunk frame however large the result (the backpressure invariant).
+    pub peak_buf: u64,
 }
 
 /// One server reply.
@@ -565,8 +715,15 @@ pub struct ServerStats {
 pub enum Response {
     /// Success without a result set.
     Ok(String),
-    /// A skyline result set.
+    /// The negotiated protocol version.
+    Hello {
+        /// Version the session now speaks.
+        version: u32,
+    },
+    /// A skyline result set in one frame (v1).
     Rows(RowSet),
+    /// One bounded chunk of a streamed result (v2).
+    Chunk(RowChunk),
     /// A one-line plan summary.
     Explain(String),
     /// Server counters.
@@ -592,20 +749,59 @@ impl Response {
             "ERR" => Ok(Response::Error(rest.to_owned())),
             "EXPLAIN" => Ok(Response::Explain(rest.to_owned())),
             "BYE" => Ok(Response::Bye),
+            "HELLO" => {
+                let mut version = None;
+                for token in rest.split_whitespace() {
+                    // Tokens other than v= are ignored: forward compatibility.
+                    if let Some(("v", value)) = token.split_once('=') {
+                        version = Some(
+                            value
+                                .parse::<u32>()
+                                .map_err(|_| format!("bad HELLO field {token:?}"))?,
+                        );
+                    }
+                }
+                match version {
+                    Some(version) if version >= 1 => Ok(Response::Hello { version }),
+                    _ => Err("HELLO missing v=<version>".into()),
+                }
+            }
             "ROWS" => {
                 let mut rows = RowSet::default();
                 let mut expected = None;
+                let mut part: Option<(u32, u32)> = None;
+                let mut cursor = None;
                 for token in rest.split_whitespace() {
                     if let Some((key, value)) = token.split_once('=') {
-                        let int = value
-                            .parse::<u64>()
-                            .map_err(|_| format!("bad ROWS field {token:?}"))?;
                         match key {
-                            "k" => rows.k = int as usize,
-                            "us" => rows.micros = int,
-                            "cached" => rows.cached = int != 0,
-                            "n" => expected = Some(int as usize),
-                            _ => {} // ignore unknown fields: forward compatibility
+                            "part" => {
+                                let (i, m) = value.split_once('/').ok_or_else(|| {
+                                    format!("bad ROWS part {token:?} (expected part=<i>/<m>)")
+                                })?;
+                                let i = i
+                                    .parse::<u32>()
+                                    .map_err(|_| format!("bad ROWS part {token:?}"))?;
+                                let m = m
+                                    .parse::<u32>()
+                                    .map_err(|_| format!("bad ROWS part {token:?}"))?;
+                                if i == 0 || m == 0 || i > m {
+                                    return Err(format!("bad ROWS part {token:?}"));
+                                }
+                                part = Some((i, m));
+                            }
+                            "cursor" => cursor = Some(Cursor::parse(value)?),
+                            _ => {
+                                let int = value
+                                    .parse::<u64>()
+                                    .map_err(|_| format!("bad ROWS field {token:?}"))?;
+                                match key {
+                                    "k" => rows.k = int as usize,
+                                    "us" => rows.micros = int,
+                                    "cached" => rows.cached = int != 0,
+                                    "n" => expected = Some(int as usize),
+                                    _ => {} // ignore unknown fields: forward compatibility
+                                }
+                            }
                         }
                     } else if let Some((l, r)) = token.split_once(':') {
                         let pair = (
@@ -619,13 +815,24 @@ impl Response {
                         return Err(format!("unexpected ROWS token {token:?}"));
                     }
                 }
-                match expected {
-                    Some(n) if n != rows.pairs.len() => Err(format!(
+                match (part, expected) {
+                    (Some((part, parts)), Some(total)) => Ok(Response::Chunk(RowChunk {
+                        k: rows.k,
+                        micros: rows.micros,
+                        cached: rows.cached,
+                        total,
+                        part,
+                        parts,
+                        cursor,
+                        pairs: rows.pairs,
+                    })),
+                    (Some(_), None) => Err("ROWS chunk missing n=<total>".into()),
+                    (None, Some(n)) if n != rows.pairs.len() => Err(format!(
                         "ROWS claimed n={n} but carried {} pairs",
                         rows.pairs.len()
                     )),
-                    Some(_) => Ok(Response::Rows(rows)),
-                    None => Err("ROWS missing n=<count>".into()),
+                    (None, Some(_)) => Ok(Response::Rows(rows)),
+                    (None, None) => Err("ROWS missing n=<count>".into()),
                 }
             }
             "STATS" => {
@@ -651,6 +858,9 @@ impl Response {
                         "dom_tests" => s.dom_tests = int,
                         "attr_cmps" => s.attr_cmps = int,
                         "domgen_us" => s.domgen_us = int,
+                        "shed" => s.shed = int,
+                        "reaped" => s.reaped = int,
+                        "peak_buf" => s.peak_buf = int,
                         _ => {} // forward compatibility
                     }
                 }
@@ -668,6 +878,7 @@ impl fmt::Display for Response {
             Response::Error(msg) => write!(f, "ERR {}", one_line(msg)),
             Response::Explain(text) => write!(f, "EXPLAIN {}", one_line(text)),
             Response::Bye => write!(f, "BYE"),
+            Response::Hello { version } => write!(f, "HELLO v={version}"),
             Response::Rows(rows) => {
                 write!(
                     f,
@@ -682,11 +893,25 @@ impl fmt::Display for Response {
                 }
                 Ok(())
             }
+            Response::Chunk(chunk) => {
+                write!(
+                    f,
+                    "ROWS k={} us={} cached={} n={} part={}/{}",
+                    chunk.k, chunk.micros, chunk.cached as u8, chunk.total, chunk.part, chunk.parts
+                )?;
+                if let Some(cursor) = chunk.cursor {
+                    write!(f, " cursor={cursor}")?;
+                }
+                for (l, r) in &chunk.pairs {
+                    write!(f, " {l}:{r}")?;
+                }
+                Ok(())
+            }
             Response::Stats(s) => write!(
                 f,
                 "STATS connections={} requests={} errors={} sessions={} relations={} \
                  cache_hits={} cache_misses={} cache_evictions={} cache_len={} workers={} \
-                 dom_tests={} attr_cmps={} domgen_us={}",
+                 dom_tests={} attr_cmps={} domgen_us={} shed={} reaped={} peak_buf={}",
                 s.connections,
                 s.requests,
                 s.errors,
@@ -699,7 +924,10 @@ impl fmt::Display for Response {
                 s.workers,
                 s.dom_tests,
                 s.attr_cmps,
-                s.domgen_us
+                s.domgen_us,
+                s.shed,
+                s.reaped,
+                s.peak_buf
             ),
         }
     }
@@ -762,6 +990,35 @@ mod tests {
         roundtrip_request("EXPLAIN q1");
         roundtrip_request("STATS");
         roundtrip_request("CLOSE");
+    }
+
+    #[test]
+    fn v2_request_roundtrips() {
+        assert_eq!(roundtrip_request("HELLO 2"), Request::Hello { version: 2 });
+        assert_eq!(roundtrip_request("hello 1"), Request::Hello { version: 1 });
+        assert_eq!(
+            roundtrip_request("MORE 42:3"),
+            Request::More {
+                cursor: Cursor {
+                    result: 42,
+                    part: 3
+                }
+            }
+        );
+        for bad in [
+            "HELLO",
+            "HELLO zero",
+            "HELLO 0",
+            "HELLO 2 trailing",
+            "MORE",
+            "MORE 42",
+            "MORE 42:0",
+            "MORE 42:three",
+            "MORE 42:3 trailing",
+            "MORE :3",
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?} should not parse");
+        }
     }
 
     #[test]
@@ -856,6 +1113,9 @@ mod tests {
                 dom_tests: 10,
                 attr_cmps: 11,
                 domgen_us: 12,
+                shed: 13,
+                reaped: 14,
+                peak_buf: 15,
             }),
             Response::Error("unknown relation \"nope\"".into()),
             Response::Bye,
@@ -887,9 +1147,101 @@ mod tests {
             "ROWS n=1 zero:one",
             "STATS requests",
             "STATS requests=many",
+            "HELLO",                            // missing v=
+            "HELLO v=0",                        // versions are ≥ 1
+            "HELLO v=two",                      // non-integer
+            "ROWS part=1/2 0:1",                // chunk missing n=
+            "ROWS n=5 part=0/2",                // parts are 1-based
+            "ROWS n=5 part=3/2",                // part beyond parts
+            "ROWS n=5 part=12",                 // malformed part
+            "ROWS n=5 part=1/2 cursor=8:0 0:1", // cursor parts are 1-based
+            "ROWS n=5 part=1/2 cursor=8 0:1",   // malformed cursor
         ] {
             assert!(Response::parse(bad).is_err(), "{bad:?} should not parse");
         }
+    }
+
+    #[test]
+    fn chunk_responses_roundtrip() {
+        let chunks = [
+            Response::Chunk(RowChunk {
+                k: 7,
+                micros: 200,
+                cached: false,
+                total: 5000,
+                part: 2,
+                parts: 3,
+                cursor: Some(Cursor { result: 8, part: 3 }),
+                pairs: vec![(0, 1), (4, 2)],
+            }),
+            // Final part: no cursor.
+            Response::Chunk(RowChunk {
+                k: 7,
+                micros: 0,
+                cached: true,
+                total: 5000,
+                parts: 3,
+                part: 3,
+                cursor: None,
+                pairs: vec![(9, 9)],
+            }),
+            // Empty result: one empty part.
+            Response::Chunk(RowChunk {
+                k: 2,
+                micros: 11,
+                cached: false,
+                total: 0,
+                part: 1,
+                parts: 1,
+                cursor: None,
+                pairs: vec![],
+            }),
+        ];
+        for resp in chunks {
+            let line = resp.to_string();
+            assert!(!line.contains('\n'), "{line:?}");
+            assert_eq!(Response::parse(&line).unwrap(), resp, "{line:?}");
+        }
+        // A v1 ROWS frame (no part=) still parses as Response::Rows.
+        assert!(matches!(
+            Response::parse("ROWS k=7 us=1 cached=0 n=1 3:4").unwrap(),
+            Response::Rows(_)
+        ));
+        // Hello frames round-trip and tolerate unknown fields.
+        let hello = Response::Hello { version: 2 };
+        assert_eq!(Response::parse(&hello.to_string()).unwrap(), hello);
+        assert_eq!(
+            Response::parse("HELLO v=2 server=ksjq").unwrap(),
+            Response::Hello { version: 2 }
+        );
+    }
+
+    /// The arithmetic behind the ≤ 64 KiB frame guarantee: a chunk of
+    /// [`ROWS_PER_CHUNK`] worst-case pairs (two ten-digit ids each) plus a
+    /// worst-case header must serialise under [`MAX_ROWS_FRAME_BYTES`],
+    /// newline included.
+    #[test]
+    fn worst_case_chunk_frame_fits() {
+        let frame = Response::Chunk(RowChunk {
+            k: usize::MAX,
+            micros: u64::MAX,
+            cached: true,
+            total: usize::MAX,
+            part: u32::MAX - 1,
+            parts: u32::MAX,
+            cursor: Some(Cursor {
+                result: u64::MAX,
+                part: u32::MAX,
+            }),
+            pairs: vec![(u32::MAX, u32::MAX); ROWS_PER_CHUNK],
+        })
+        .to_string();
+        // +1 for the trailing newline the wire adds to every frame.
+        assert!(
+            frame.len() < MAX_ROWS_FRAME_BYTES,
+            "worst-case chunk frame is {} bytes",
+            frame.len() + 1
+        );
     }
 
     #[test]

@@ -1,38 +1,72 @@
-//! The TCP server: a fixed worker-thread pool over one shared [`Engine`].
+//! The TCP server: a readiness-polled connection front end over a fixed
+//! worker pool sharing one [`Engine`].
 //!
-//! The accept loop hands connections to `--workers` threads through an
-//! mpsc channel; each worker owns a connection for its whole session (the
-//! protocol is lockstep request/response, so there is nothing to
-//! multiplex). All workers share:
+//! Connection handling and query execution are split. The front end is a
+//! single thread running a `poll(2)` loop (std-only — no async runtime;
+//! on Linux the real syscall via FFI, elsewhere a sleep-tick fallback)
+//! over a non-blocking listener plus every live connection. It owns all
+//! socket I/O: incremental frame reassembly ([`FrameBuffer`]), response
+//! serialisation, and flow control. Complete requests are dispatched onto
+//! `--workers` compute threads through an mpsc channel; finished results
+//! come back on a completion channel and are written out by the front
+//! end. Thousands of idle connections therefore cost a pollfd each, not a
+//! thread each, while at most `workers` queries execute concurrently.
+//!
+//! All workers share:
 //!
 //! * the [`Engine`] — and through it the catalog — so `LOAD`ed relations
 //!   are visible to every connection;
 //! * a named [`PreparedQuery`] session map behind an `RwLock`, so one
 //!   connection can `PREPARE` a query and another can `EXECUTE` it;
-//! * the [`ResultCache`], keyed by normalised plan fingerprint and
-//!   invalidated on every catalog registration.
+//! * the [`ResultCache`], keyed by normalised plan fingerprint with
+//!   per-relation invalidation on catalog registration.
+//!
+//! Results travel back to v2 sessions as bounded `ROWS … part=i/m`
+//! chunks. The front end formats the next chunk only after the previous
+//! one has fully drained into the socket, so a slow reader holds at most
+//! one serialised chunk of server memory however large the result (the
+//! `peak_buf` gauge in `STATS` is the measured high-water mark). v1
+//! sessions still get the whole result as one frame.
+//!
+//! Admission control:
+//!
+//! * `max_conns` — connections beyond the cap are answered `ERR busy`
+//!   and closed at accept time (counted in `shed`);
+//! * `max_inflight` — per-connection bound on parsed-but-unserved
+//!   requests; past it the front end stops reading the socket, so a
+//!   pipelining client is throttled by TCP backpressure and responses
+//!   keep arriving in request order;
+//! * `idle_timeout` / `stall_timeout` — a quiet connection with no
+//!   partial frame is reaped after `idle_timeout`; one that stopped
+//!   *mid-frame* (slow loris) after the shorter `stall_timeout`. Both
+//!   deadlines run from the last byte received, not the last poll tick,
+//!   and never fire while a response is being computed or streamed;
+//! * `max_catalog_cells` — cumulative `n·d` budget across all `LOAD`ed
+//!   relations, on top of the per-request `MAX_SYNTHETIC_CELLS` cap.
 //!
 //! Shutdown is graceful: [`ServerHandle::shutdown`] flips a flag and pokes
-//! the listener awake; the accept loop stops handing out connections,
-//! the channel closes, and workers exit after finishing their current
-//! session.
+//! the listener awake; the poll loop drops the listener and live
+//! connections, closes the job channel, and joins the workers.
 //!
-//! Nothing a peer sends can panic a worker: requests parse into typed
+//! Nothing a peer sends can panic the server: requests parse into typed
 //! [`Request`]s or an `ERR` frame, execution errors become `ERR` frames,
-//! oversized lines are answered and drained without unbounded buffering.
+//! oversized lines are discarded as they arrive and answered with an
+//! error, and worker panics are caught per-job.
 
 use crate::cache::ResultCache;
+use crate::frame::{Frame, FrameBuffer};
 use crate::protocol::{
-    LoadSource, PlanSpec, ProtoResult, Request, Response, RowSet, ServerStats, MAX_LINE_BYTES,
+    Cursor, LoadSource, PlanSpec, ProtoResult, Request, Response, RowChunk, RowSet, ServerStats,
+    MAX_LINE_BYTES, PROTOCOL_VERSION, ROWS_PER_CHUNK,
 };
 use ksjq_core::{CoreResult, Engine, KsjqOutput, PreparedQuery};
-use std::collections::HashMap;
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Upper bound on `n · d` of one `LOAD … SYNTHETIC` request, so a single
 /// wire command cannot make the server allocate arbitrarily much.
@@ -43,10 +77,25 @@ const MAX_SYNTHETIC_CELLS: usize = 50_000_000;
 pub struct ServerConfig {
     /// Listen address (`127.0.0.1:0` picks an ephemeral port).
     pub addr: String,
-    /// Worker threads (= maximum concurrent sessions being served).
+    /// Worker threads (= maximum queries executing concurrently).
     pub workers: usize,
     /// Result-cache capacity in entries (0 disables caching).
     pub cache_entries: usize,
+    /// Maximum concurrently open connections; excess connects are
+    /// answered `ERR busy` and closed (`--max-conns`).
+    pub max_conns: usize,
+    /// Per-connection cap on parsed-but-unserved requests before the
+    /// server stops reading that socket (`--max-inflight`).
+    pub max_inflight: usize,
+    /// Reap a connection idle between requests for this long
+    /// (`--idle-timeout`).
+    pub idle_timeout: Duration,
+    /// Reap a connection stalled *mid-frame* for this long — the
+    /// slow-loris deadline, deliberately shorter than `idle_timeout`.
+    pub stall_timeout: Duration,
+    /// Cumulative `n·d` cell budget across every relation in the
+    /// catalog; a `LOAD` that would exceed it is rejected.
+    pub max_catalog_cells: usize,
 }
 
 impl Default for ServerConfig {
@@ -55,6 +104,11 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".into(),
             workers: 8,
             cache_entries: 128,
+            max_conns: 2048,
+            max_inflight: 32,
+            idle_timeout: Duration::from_secs(300),
+            stall_timeout: Duration::from_secs(30),
+            max_catalog_cells: 500_000_000,
         }
     }
 }
@@ -64,15 +118,31 @@ impl Default for ServerConfig {
 struct Session {
     prepared: Arc<PreparedQuery>,
     fingerprint: String,
+    /// Relation names the plan references (cache invalidation scope).
+    relations: Vec<String>,
 }
 
-/// State shared by the accept loop and every worker.
+impl Session {
+    fn new(prepared: PreparedQuery, plan: &PlanSpec) -> Session {
+        Session {
+            prepared: Arc::new(prepared),
+            fingerprint: plan.fingerprint(),
+            relations: vec![plan.left.clone(), plan.right.clone()],
+        }
+    }
+}
+
+/// State shared by the front end and every worker.
 #[derive(Debug)]
 struct Shared {
     engine: Engine,
     sessions: RwLock<HashMap<String, Session>>,
     cache: ResultCache,
-    workers: usize,
+    config: ServerConfig,
+    /// Cumulative `n·d` over the catalog, maintained under this lock by
+    /// `LOAD` (which is rare and already serialised by the catalog's own
+    /// registration locking).
+    catalog_cells: Mutex<usize>,
     connections: AtomicU64,
     requests: AtomicU64,
     errors: AtomicU64,
@@ -89,6 +159,10 @@ struct Shared {
     /// Bumped on every catalog registration; guards against caching a
     /// result computed against a catalog that changed mid-execution.
     catalog_epoch: AtomicU64,
+    shed: AtomicU64,
+    reaped: AtomicU64,
+    /// High-water mark of any connection's pending outbound buffer.
+    peak_buf: AtomicU64,
     shutdown: AtomicBool,
 }
 
@@ -108,13 +182,13 @@ pub struct ServerHandle {
 }
 
 impl ServerHandle {
-    /// Ask the server to stop: no new connections are served; workers
-    /// finish their current session and exit.
+    /// Ask the server to stop: the poll loop drops the listener and all
+    /// live connections, and workers exit once the job queue drains.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Poke the blocking accept() awake so it observes the flag. A
-        // wildcard bind address (0.0.0.0 / ::) is not connectable on
-        // every platform, so fall back to loopback on the same port.
+        // Poke the poll loop awake so it observes the flag. A wildcard
+        // bind address (0.0.0.0 / ::) is not connectable on every
+        // platform, so fall back to loopback on the same port.
         if TcpStream::connect(self.addr).is_err() && self.addr.ip().is_unspecified() {
             let loopback: std::net::IpAddr = if self.addr.is_ipv4() {
                 std::net::Ipv4Addr::LOCALHOST.into()
@@ -145,7 +219,7 @@ impl RunningServer {
         self.handle.clone()
     }
 
-    /// Shut down gracefully and wait for the accept loop and workers.
+    /// Shut down gracefully and wait for the poll loop and workers.
     pub fn stop(self) -> io::Result<()> {
         self.handle.shutdown();
         self.thread
@@ -158,13 +232,29 @@ impl Server {
     /// Bind to `config.addr` serving `engine`'s catalog.
     pub fn bind(engine: Engine, config: &ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        // Cells already in the catalog (preloaded before serving) count
+        // against the budget.
+        let preloaded: usize = {
+            let catalog = engine.catalog();
+            catalog
+                .names()
+                .iter()
+                .filter_map(|name| catalog.get(name))
+                .map(|h| h.n().saturating_mul(h.schema().d()))
+                .sum()
+        };
+        let mut config = config.clone();
+        config.workers = config.workers.max(1);
+        config.max_conns = config.max_conns.max(1);
+        config.max_inflight = config.max_inflight.max(1);
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
                 engine,
                 sessions: RwLock::new(HashMap::new()),
                 cache: ResultCache::new(config.cache_entries),
-                workers: config.workers.max(1),
+                catalog_cells: Mutex::new(preloaded),
+                config,
                 connections: AtomicU64::new(0),
                 requests: AtomicU64::new(0),
                 errors: AtomicU64::new(0),
@@ -172,6 +262,9 @@ impl Server {
                 attr_cmps: AtomicU64::new(0),
                 domgen_us: AtomicU64::new(0),
                 catalog_epoch: AtomicU64::new(0),
+                shed: AtomicU64::new(0),
+                reaped: AtomicU64::new(0),
+                peak_buf: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
             }),
         })
@@ -195,60 +288,35 @@ impl Server {
         let server = Server::bind(engine, config)?;
         let handle = server.handle()?;
         let thread = thread::Builder::new()
-            .name("ksjq-accept".into())
+            .name("ksjq-front".into())
             .spawn(move || server.run())?;
         Ok(RunningServer { handle, thread })
     }
 
-    /// Serve until [`ServerHandle::shutdown`] is called. Blocks.
+    /// Serve until [`ServerHandle::shutdown`] is called. Blocks, running
+    /// the poll loop on the calling thread.
     pub fn run(self) -> io::Result<()> {
-        let (tx, rx) = mpsc::channel::<TcpStream>();
-        let rx = Arc::new(Mutex::new(rx));
-        let workers: Vec<JoinHandle<()>> = (0..self.shared.workers)
+        self.listener.set_nonblocking(true)?;
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let (done_tx, done_rx) = mpsc::channel::<(u64, Outcome)>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let workers: Vec<JoinHandle<()>> = (0..self.shared.config.workers)
             .map(|i| {
                 let shared = self.shared.clone();
-                let rx = rx.clone();
+                let job_rx = job_rx.clone();
+                let done_tx = done_tx.clone();
                 thread::Builder::new()
                     .name(format!("ksjq-worker-{i}"))
-                    .spawn(move || loop {
-                        // Holding the lock only while receiving: the next
-                        // idle worker picks up the next connection.
-                        let conn = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
-                        match conn {
-                            Ok(stream) => {
-                                // Belt and braces on top of the session
-                                // loop's no-panic design: a panic must cost
-                                // one session, not silently shrink the pool
-                                // until no worker drains the queue.
-                                let caught =
-                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                        serve_connection(&shared, stream)
-                                    }));
-                                if caught.is_err() {
-                                    shared.errors.fetch_add(1, Ordering::Relaxed);
-                                }
-                            }
-                            Err(_) => return, // channel closed: shutdown
-                        }
-                    })
+                    .spawn(move || worker_loop(&shared, &job_rx, &done_tx))
                     .expect("spawning a worker thread")
             })
             .collect();
-        for conn in self.listener.incoming() {
-            if self.shared.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            match conn {
-                Ok(stream) => {
-                    self.shared.connections.fetch_add(1, Ordering::Relaxed);
-                    if tx.send(stream).is_err() {
-                        break;
-                    }
-                }
-                Err(_) => continue, // transient accept error
-            }
-        }
-        drop(tx);
+        drop(done_tx);
+        let mut front = FrontEnd::new(&self.shared, job_tx);
+        front.poll_loop(&self.listener, &done_rx);
+        // Dropping the front end closes the job channel; workers drain
+        // what is queued and exit.
+        drop(front);
         for worker in workers {
             let _ = worker.join();
         }
@@ -256,184 +324,701 @@ impl Server {
     }
 }
 
-// ------------------------------------------------------------------ I/O
+// --------------------------------------------------------- worker pool
 
-enum LineRead {
-    /// A complete (or EOF-truncated) line, newline stripped.
-    Line,
-    /// Clean disconnect (or server shutdown while the peer was idle).
-    Eof,
-    /// The line exceeded [`MAX_LINE_BYTES`]; the rest was drained.
-    TooLong,
+/// One dispatched request: which connection asked, speaking which
+/// protocol version (pinned at dispatch, since the front end applies
+/// `HELLO` switches strictly in request order).
+#[derive(Debug)]
+struct Job {
+    conn: u64,
+    version: u32,
+    request: Request,
 }
 
-/// A read error that just means "the [`READ_POLL`](read timeout) tick
-/// elapsed": time to check the shutdown flag, not a failure.
-fn is_poll_tick(e: &io::Error) -> bool {
-    matches!(
-        e.kind(),
-        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-    )
+/// What a worker hands back to the front end.
+#[derive(Debug)]
+enum Outcome {
+    /// A complete single-frame response, ready to serialise.
+    Frame(Response),
+    /// A v2 result to be streamed as chunks by the front end.
+    Result(RunOutput),
 }
 
-/// Read one `\n`-terminated line into `buf` without ever buffering more
-/// than [`MAX_LINE_BYTES`] + 1 bytes of it.
-///
-/// The stream carries a read timeout (see [`serve_connection`]); every
-/// timeout tick re-checks `shutdown` so a worker blocked on an idle
-/// session cannot stall graceful shutdown. Partial lines survive ticks —
-/// `read_until` appends, and the budget is recomputed from `buf.len()`.
-fn read_line_limited(
-    reader: &mut BufReader<TcpStream>,
-    buf: &mut Vec<u8>,
-    shutdown: &AtomicBool,
-) -> io::Result<LineRead> {
-    buf.clear();
-    while buf.last() != Some(&b'\n') {
-        let budget = (MAX_LINE_BYTES + 1).saturating_sub(buf.len());
-        if budget == 0 {
-            return drain_oversized(reader, buf, shutdown);
-        }
-        match reader.by_ref().take(budget as u64).read_until(b'\n', buf) {
-            Ok(0) if buf.is_empty() => return Ok(LineRead::Eof),
-            Ok(0) => break, // EOF mid-line: hand the truncated line up
-            Ok(_) => {}
-            Err(e) if is_poll_tick(&e) => {
-                if shutdown.load(Ordering::SeqCst) {
-                    return Ok(LineRead::Eof);
-                }
-            }
-            Err(e) => return Err(e),
-        }
-    }
-    while buf.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
-        buf.pop();
-    }
-    Ok(LineRead::Line)
+/// A computed (or cache-served) query result before serialisation.
+#[derive(Debug, Clone)]
+struct RunOutput {
+    k: usize,
+    micros: u64,
+    cached: bool,
+    /// Cache id when the result is cursor-addressable via `MORE`.
+    result_id: Option<u64>,
+    output: Arc<KsjqOutput>,
 }
 
-/// Discard the remainder of an oversized line in bounded chunks.
-fn drain_oversized(
-    reader: &mut BufReader<TcpStream>,
-    buf: &mut Vec<u8>,
-    shutdown: &AtomicBool,
-) -> io::Result<LineRead> {
+fn worker_loop(
+    shared: &Shared,
+    jobs: &Mutex<mpsc::Receiver<Job>>,
+    done: &mpsc::Sender<(u64, Outcome)>,
+) {
     loop {
-        buf.clear();
-        match reader.by_ref().take(64 * 1024).read_until(b'\n', buf) {
-            Ok(0) => {
-                buf.clear();
-                return Ok(LineRead::TooLong);
-            }
-            Ok(_) if buf.last() == Some(&b'\n') => {
-                buf.clear();
-                return Ok(LineRead::TooLong);
-            }
-            Ok(_) => {}
-            Err(e) if is_poll_tick(&e) => {
-                if shutdown.load(Ordering::SeqCst) {
-                    return Ok(LineRead::Eof);
-                }
-            }
-            Err(e) => return Err(e),
+        // Hold the lock only while receiving: the next idle worker picks
+        // up the next job.
+        let job = jobs.lock().unwrap_or_else(|e| e.into_inner()).recv();
+        let Ok(job) = job else {
+            return; // channel closed: shutdown
+        };
+        // A panic must cost one request, not silently shrink the pool.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_request(shared, job.version, job.request)
+        }))
+        .unwrap_or_else(|_| Outcome::Frame(Response::Error("internal error".into())));
+        if done.send((job.conn, outcome)).is_err() {
+            return; // front end gone: shutdown
         }
     }
 }
 
-fn write_line(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
-    let mut line = response.to_string();
-    line.push('\n');
-    stream.write_all(line.as_bytes())?;
-    stream.flush()
+// ----------------------------------------------------------- poll(2)
+
+/// Minimal `poll(2)` binding. std already links libc, so the symbol is
+/// available without any new dependency.
+#[cfg(target_os = "linux")]
+mod readiness {
+    use std::os::fd::RawFd;
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+
+    /// `struct pollfd` (see `poll(2)`).
+    #[repr(C)]
+    #[derive(Debug, Clone, Copy)]
+    pub struct PollFd {
+        pub fd: RawFd,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: std::ffi::c_ulong, timeout: std::ffi::c_int) -> i32;
+    }
+
+    /// Wait up to `timeout_ms` for readiness on `fds`.
+    pub fn wait(fds: &mut [PollFd], timeout_ms: i32) {
+        // A negative return is EINTR or a transient error: treated as a
+        // timeout tick (revents are zeroed by the kernel on entry only
+        // when it writes them, so clear defensively).
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as std::ffi::c_ulong, timeout_ms) };
+        if rc < 0 {
+            for fd in fds {
+                fd.revents = 0;
+            }
+        }
+    }
 }
 
-/// How often an idle worker wakes to check the shutdown flag.
-const READ_POLL: std::time::Duration = std::time::Duration::from_millis(200);
+/// Portable fallback: a short sleep, then report every descriptor ready.
+/// Non-blocking sockets make spurious readiness harmless (reads return
+/// `WouldBlock`), at the cost of a coarse tick instead of true wakeups.
+#[cfg(not(target_os = "linux"))]
+mod readiness {
+    use std::os::fd::RawFd;
 
-/// Serve one connection to completion. Never panics on peer input.
-fn serve_connection(shared: &Shared, stream: TcpStream) {
-    // The timeout makes blocking reads into a poll loop so shutdown is
-    // never gated on a quiet peer. Nagle off: the protocol is lockstep
-    // one-liners, and batching them behind delayed ACKs costs ~40ms per
-    // exchange.
-    let _ = stream.set_read_timeout(Some(READ_POLL));
-    let _ = stream.set_nodelay(true);
-    let mut writer = stream;
-    let mut reader = match writer.try_clone().map(BufReader::new) {
-        Ok(r) => r,
-        Err(_) => return,
-    };
-    let mut buf = Vec::new();
-    loop {
-        let line = match read_line_limited(&mut reader, &mut buf, &shared.shutdown) {
-            Ok(LineRead::Line) => String::from_utf8_lossy(&buf).into_owned(),
-            Ok(LineRead::Eof) => return,
-            Ok(LineRead::TooLong) => {
-                shared.requests.fetch_add(1, Ordering::Relaxed);
-                shared.errors.fetch_add(1, Ordering::Relaxed);
-                let err = Response::Error(format!("line exceeds {MAX_LINE_BYTES} bytes"));
-                if write_line(&mut writer, &err).is_err() {
-                    return;
-                }
-                continue;
-            }
-            Err(_) => return,
-        };
-        shared.requests.fetch_add(1, Ordering::Relaxed);
-        let response = match Request::parse(&line) {
-            Ok(Request::Close) => {
-                let _ = write_line(&mut writer, &Response::Bye);
-                return;
-            }
-            Ok(request) => handle_request(shared, request),
-            Err(message) => Response::Error(message),
-        };
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+
+    #[repr(C)]
+    #[derive(Debug, Clone, Copy)]
+    pub struct PollFd {
+        pub fd: RawFd,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub fn wait(fds: &mut [PollFd], timeout_ms: i32) {
+        std::thread::sleep(std::time::Duration::from_millis(
+            (timeout_ms.max(0) as u64).min(5),
+        ));
+        for fd in fds {
+            fd.revents = fd.events & (POLLIN | POLLOUT);
+        }
+    }
+}
+
+// ---------------------------------------------------------- front end
+
+/// Ordered per-connection work: everything a received frame becomes.
+/// Inline items (`Reply`, `Hello`, `Bye`) and dispatched requests live in
+/// one queue so responses always leave in request order.
+#[derive(Debug)]
+enum Work {
+    /// Run on the worker pool.
+    Run(Request),
+    /// Answer inline (parse errors, oversized-line errors).
+    Reply(Response),
+    /// Switch protocol version, then acknowledge.
+    Hello(u32),
+    /// Acknowledge with `BYE` and close once flushed.
+    Bye,
+}
+
+/// A result mid-stream to a v2 connection: the next chunk is formatted
+/// only when the previous one has fully drained (the backpressure
+/// invariant — one in-flight chunk per connection).
+#[derive(Debug)]
+struct StreamState {
+    run: RunOutput,
+    /// 0-based index of the next chunk to format.
+    next: usize,
+    parts: usize,
+}
+
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    frames: FrameBuffer,
+    work: VecDeque<Work>,
+    /// A `Work::Run` is at the workers; nothing else is served until its
+    /// outcome returns.
+    inflight: bool,
+    /// Negotiated protocol version (1 until `HELLO`).
+    version: u32,
+    out: Vec<u8>,
+    out_pos: usize,
+    streaming: Option<StreamState>,
+    /// Last byte received — the reaping deadlines run from here.
+    last_recv: Instant,
+    /// Peer half-closed (EOF): serve what is queued, then drop.
+    eof: bool,
+    /// `BYE` queued: drop once flushed.
+    closing: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            frames: FrameBuffer::new(),
+            work: VecDeque::new(),
+            inflight: false,
+            version: 1,
+            out: Vec::new(),
+            out_pos: 0,
+            streaming: None,
+            last_recv: Instant::now(),
+            eof: false,
+            closing: false,
+        }
+    }
+
+    fn out_pending(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+
+    /// Append one serialised frame to the outbound buffer.
+    fn enqueue_line(&mut self, line: &str, shared: &Shared) {
+        self.out.extend_from_slice(line.as_bytes());
+        self.out.push(b'\n');
+        shared
+            .peak_buf
+            .fetch_max(self.out_pending() as u64, Ordering::Relaxed);
+    }
+
+    fn enqueue_response(&mut self, response: &Response, shared: &Shared) {
         if matches!(response, Response::Error(_)) {
             shared.errors.fetch_add(1, Ordering::Relaxed);
         }
-        if write_line(&mut writer, &response).is_err() {
-            return;
+        self.enqueue_line(&response.to_string(), shared);
+    }
+
+    /// Flush as much outbound as the socket accepts. `Ok(true)` when
+    /// fully drained, `Err` when the connection is dead.
+    fn flush(&mut self) -> io::Result<bool> {
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.out.clear();
+        self.out_pos = 0;
+        Ok(true)
+    }
+
+    /// Is this connection doing anything (computing, streaming, queued
+    /// work, or unflushed output)? Engaged connections are never reaped.
+    fn engaged(&self) -> bool {
+        self.inflight || self.streaming.is_some() || !self.work.is_empty() || self.out_pending() > 0
+    }
+
+    /// Should the poll loop watch this socket for readability? Not while
+    /// the in-flight quota is filled (TCP backpressure throttles the
+    /// pipelining peer) and not after EOF/`CLOSE`.
+    fn wants_read(&self, max_inflight: usize) -> bool {
+        !self.eof && !self.closing && self.work.len() < max_inflight
+    }
+
+    fn wants_write(&self) -> bool {
+        self.out_pending() > 0 || (self.streaming.is_some() && self.out_pending() == 0)
+    }
+}
+
+struct FrontEnd<'a> {
+    shared: &'a Shared,
+    job_tx: mpsc::Sender<Job>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+}
+
+impl std::fmt::Debug for FrontEnd<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrontEnd")
+            .field("conns", &self.conns.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> FrontEnd<'a> {
+    fn new(shared: &'a Shared, job_tx: mpsc::Sender<Job>) -> FrontEnd<'a> {
+        FrontEnd {
+            shared,
+            job_tx,
+            conns: HashMap::new(),
+            next_token: 0,
         }
     }
+
+    fn poll_loop(&mut self, listener: &TcpListener, done_rx: &mpsc::Receiver<(u64, Outcome)>) {
+        use readiness::{PollFd, POLLERR, POLLHUP, POLLIN, POLLOUT};
+        use std::os::fd::AsRawFd;
+        let max_inflight = self.shared.config.max_inflight;
+        loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            // Register: slot 0 is the listener, then one slot per conn.
+            let mut fds = Vec::with_capacity(self.conns.len() + 1);
+            fds.push(PollFd {
+                fd: listener.as_raw_fd(),
+                events: POLLIN,
+                revents: 0,
+            });
+            let mut tokens = Vec::with_capacity(self.conns.len());
+            let mut any_inflight = false;
+            for (&token, conn) in &self.conns {
+                let mut events = 0;
+                if conn.wants_read(max_inflight) {
+                    events |= POLLIN;
+                }
+                if conn.wants_write() {
+                    events |= POLLOUT;
+                }
+                any_inflight |= conn.inflight;
+                tokens.push(token);
+                fds.push(PollFd {
+                    fd: conn.stream.as_raw_fd(),
+                    events,
+                    revents: 0,
+                });
+            }
+            // Completions arrive on a channel the poll cannot watch, so
+            // tighten the tick while any worker owes us an outcome.
+            let timeout_ms = if any_inflight { 1 } else { 20 };
+            readiness::wait(&mut fds, timeout_ms);
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            if fds[0].revents & POLLIN != 0 {
+                self.accept_all(listener);
+            }
+            let mut dead: Vec<u64> = Vec::new();
+            for (slot, token) in tokens.iter().enumerate() {
+                let revents = fds[slot + 1].revents;
+                if revents == 0 {
+                    continue;
+                }
+                let alive = self.service(*token, revents & (POLLIN | POLLERR | POLLHUP) != 0);
+                if !alive {
+                    dead.push(*token);
+                }
+            }
+            for token in dead {
+                self.conns.remove(&token);
+            }
+            // Apply finished work.
+            while let Ok((token, outcome)) = done_rx.try_recv() {
+                self.apply_outcome(token, outcome);
+            }
+            self.reap();
+        }
+    }
+
+    fn accept_all(&mut self, listener: &TcpListener) {
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if self.shared.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if self.conns.len() >= self.shared.config.max_conns {
+                        // Polite shed: tell the peer why before closing.
+                        // The socket buffer of a fresh connection always
+                        // has room for one short line.
+                        let mut stream = stream;
+                        let _ = stream.write_all(b"ERR busy\n");
+                        self.shared.shed.fetch_add(1, Ordering::Relaxed);
+                        self.shared.errors.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    // Lockstep one-line exchanges: Nagle only adds latency.
+                    let _ = stream.set_nodelay(true);
+                    self.shared.connections.fetch_add(1, Ordering::Relaxed);
+                    self.next_token += 1;
+                    self.conns.insert(self.next_token, Conn::new(stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return, // transient accept error
+            }
+        }
+    }
+
+    /// Handle readiness on one connection. Returns false when it is dead.
+    fn service(&mut self, token: u64, readable: bool) -> bool {
+        if readable && !self.read_ready(token) {
+            return false;
+        }
+        self.pump(token)
+    }
+
+    /// Drain the socket into the frame buffer and the frame buffer into
+    /// the work queue. Returns false when the connection is dead.
+    fn read_ready(&mut self, token: u64) -> bool {
+        let max_inflight = self.shared.config.max_inflight;
+        let mut buf = [0u8; 8192];
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return false;
+            };
+            if !conn.wants_read(max_inflight) {
+                return true;
+            }
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    conn.eof = true;
+                    return true; // serve what is queued, then drop
+                }
+                Ok(n) => {
+                    conn.last_recv = Instant::now();
+                    conn.frames.push(&buf[..n]);
+                    self.drain_frames(token);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Turn every complete frame into a work item.
+    fn drain_frames(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        while let Some(frame) = conn.frames.next_frame() {
+            self.shared.requests.fetch_add(1, Ordering::Relaxed);
+            let work = match frame {
+                Frame::Oversized => Work::Reply(Response::Error(format!(
+                    "line exceeds {MAX_LINE_BYTES} bytes"
+                ))),
+                Frame::Line(line) => match Request::parse(&line) {
+                    Ok(Request::Hello { version }) => Work::Hello(version),
+                    Ok(Request::Close) => Work::Bye,
+                    Ok(request) => Work::Run(request),
+                    Err(message) => Work::Reply(Response::Error(message)),
+                },
+            };
+            conn.work.push_back(work);
+        }
+    }
+
+    /// Advance one connection as far as it can go: flush output, emit
+    /// stream chunks, serve queued work in order. Returns false when the
+    /// connection is finished or dead.
+    fn pump(&mut self, token: u64) -> bool {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return false;
+            };
+            match conn.flush() {
+                Err(_) => return false,
+                Ok(false) => return true, // wait for POLLOUT
+                Ok(true) => {}
+            }
+            // Previous chunk fully drained: format the next one. This is
+            // the only place chunks are serialised, so a connection never
+            // holds more than one in its outbound buffer.
+            if let Some(streaming) = &mut conn.streaming {
+                let chunk = chunk_response(&streaming.run, streaming.next, streaming.parts);
+                streaming.next += 1;
+                let finished = streaming.next >= streaming.parts;
+                if finished {
+                    conn.streaming = None;
+                }
+                conn.enqueue_response(&chunk, self.shared);
+                continue;
+            }
+            if conn.inflight {
+                return true; // a worker owes us the next response
+            }
+            let Some(work) = conn.work.pop_front() else {
+                // Fully drained. A half-closed or CLOSEd peer is done.
+                return !(conn.eof || conn.closing);
+            };
+            match work {
+                Work::Reply(response) => conn.enqueue_response(&response, self.shared),
+                Work::Hello(requested) => {
+                    conn.version = requested.clamp(1, PROTOCOL_VERSION);
+                    let version = conn.version;
+                    conn.enqueue_response(&Response::Hello { version }, self.shared);
+                }
+                Work::Bye => {
+                    conn.closing = true;
+                    conn.enqueue_response(&Response::Bye, self.shared);
+                }
+                Work::Run(Request::More { cursor }) => {
+                    // Paging is a cache lookup — served inline, no worker
+                    // round-trip.
+                    let version = conn.version;
+                    let response = more(self.shared, version, cursor);
+                    conn.enqueue_response(&response, self.shared);
+                }
+                Work::Run(request) => {
+                    let job = Job {
+                        conn: token,
+                        version: conn.version,
+                        request,
+                    };
+                    conn.inflight = true;
+                    if self.job_tx.send(job).is_err() {
+                        return false; // workers gone: shutting down
+                    }
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// A worker finished `token`'s dispatched request.
+    fn apply_outcome(&mut self, token: u64, outcome: Outcome) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return; // connection died while computing
+        };
+        conn.inflight = false;
+        match outcome {
+            Outcome::Frame(response) => conn.enqueue_response(&response, self.shared),
+            Outcome::Result(run) => {
+                let parts = run.output.chunk_count(ROWS_PER_CHUNK);
+                conn.streaming = Some(StreamState {
+                    run,
+                    next: 0,
+                    parts,
+                });
+            }
+        }
+        if !self.pump(token) {
+            self.conns.remove(&token);
+        }
+    }
+
+    /// Close connections that went quiet: mid-frame stalls after
+    /// `stall_timeout` (slow loris), idle ones after `idle_timeout`.
+    /// Deadlines run from the last byte received — poll ticks do not
+    /// renew them — and engaged connections are exempt.
+    fn reap(&mut self) {
+        let config = &self.shared.config;
+        let now = Instant::now();
+        let mut reaped = 0u64;
+        self.conns.retain(|_, conn| {
+            if conn.engaged() || conn.eof {
+                return true;
+            }
+            let deadline = if conn.frames.has_partial() {
+                config.stall_timeout
+            } else {
+                config.idle_timeout
+            };
+            let keep = now.duration_since(conn.last_recv) < deadline;
+            if !keep {
+                reaped += 1;
+            }
+            keep
+        });
+        if reaped > 0 {
+            self.shared.reaped.fetch_add(reaped, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Serialise chunk `index` of a result (0-based; `parts` total).
+fn chunk_response(run: &RunOutput, index: usize, parts: usize) -> Response {
+    let pairs = run
+        .output
+        .chunk(index, ROWS_PER_CHUNK)
+        .unwrap_or(&[])
+        .iter()
+        .map(|&(l, r)| (l.0, r.0))
+        .collect();
+    let part = (index + 1) as u32;
+    let parts = parts as u32;
+    // Non-final frames of a cache-addressable result carry the cursor
+    // where MORE can resume.
+    let cursor = match run.result_id {
+        Some(result) if part < parts => Some(Cursor {
+            result,
+            part: part + 1,
+        }),
+        _ => None,
+    };
+    Response::Chunk(RowChunk {
+        k: run.k,
+        micros: run.micros,
+        cached: run.cached,
+        total: run.output.len(),
+        part,
+        parts,
+        cursor,
+        pairs,
+    })
 }
 
 // ------------------------------------------------------------- dispatch
 
-fn handle_request(shared: &Shared, request: Request) -> Response {
+fn handle_request(shared: &Shared, version: u32, request: Request) -> Outcome {
     match request {
-        Request::Load { name, source } => load(shared, &name, source),
-        Request::Prepare { id, plan } => prepare(shared, id, &plan),
-        Request::Execute { id } => execute(shared, &id),
-        Request::Query { plan } => query(shared, &plan),
-        Request::Explain { id } => explain(shared, &id),
-        Request::Stats => Response::Stats(stats(shared)),
-        Request::Close => Response::Bye, // handled in the session loop
+        Request::Load { name, source } => Outcome::Frame(load(shared, &name, source)),
+        Request::Prepare { id, plan } => Outcome::Frame(prepare(shared, id, &plan)),
+        Request::Execute { id } => match lookup(shared, &id) {
+            Some(session) => run_outcome(shared, version, &session),
+            None => Outcome::Frame(Response::Error(format!(
+                "unknown query id {id:?}: PREPARE it first"
+            ))),
+        },
+        Request::Query { plan } => match shared.engine.prepare(&plan.to_plan()) {
+            Ok(prepared) => run_outcome(shared, version, &Session::new(prepared, &plan)),
+            Err(e) => Outcome::Frame(Response::Error(e.to_string())),
+        },
+        Request::Explain { id } => Outcome::Frame(explain(shared, &id)),
+        Request::Stats => Outcome::Frame(Response::Stats(stats(shared))),
+        // HELLO / MORE / CLOSE are served by the front end, never
+        // dispatched; answering them here keeps the match total.
+        Request::Hello { version } => {
+            let version = version.clamp(1, PROTOCOL_VERSION);
+            Outcome::Frame(Response::Hello { version })
+        }
+        Request::More { cursor } => Outcome::Frame(more(shared, version, cursor)),
+        Request::Close => Outcome::Frame(Response::Bye),
     }
 }
 
+/// Serve one `MORE <cursor>` page out of the result cache.
+fn more(shared: &Shared, version: u32, cursor: Cursor) -> Response {
+    if version < 2 {
+        return Response::Error("MORE requires protocol v2 (send HELLO 2 first)".into());
+    }
+    let Some(hit) = shared.cache.by_id(cursor.result) else {
+        return Response::Error(format!(
+            "unknown or expired cursor {cursor} (results age out of the cache)"
+        ));
+    };
+    let parts = hit.output.chunk_count(ROWS_PER_CHUNK);
+    let index = (cursor.part - 1) as usize;
+    if index >= parts {
+        return Response::Error(format!("cursor {cursor} is past the end ({parts} parts)"));
+    }
+    let run = RunOutput {
+        k: hit.k,
+        micros: 0,
+        cached: true,
+        result_id: Some(hit.id),
+        output: hit.output,
+    };
+    chunk_response(&run, index, parts)
+}
+
 fn load(shared: &Shared, name: &str, source: LoadSource) -> Response {
+    // The cells budget is checked-and-updated under one lock so two
+    // concurrent LOADs cannot both squeeze under it. LOAD is rare; the
+    // serialisation is invisible next to CSV parsing or generation.
+    let mut cells = shared
+        .catalog_cells
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    let replaced = shared
+        .engine
+        .catalog()
+        .get(name)
+        .map(|h| h.n().saturating_mul(h.schema().d()))
+        .unwrap_or(0);
+    let catalog = shared.engine.catalog();
     let registered = match source {
-        LoadSource::Inline { csv } => shared
-            .engine
-            .catalog()
-            .register_csv(name, &csv)
-            .map_err(|e| e.to_string()),
+        // LOAD is an upsert: a name collision means rebind. The old
+        // relation is only dropped once the replacement parsed, so a
+        // malformed re-LOAD leaves the previous binding untouched.
+        LoadSource::Inline { csv } => match catalog.register_csv(name, &csv) {
+            Err(ksjq_relation::Error::DuplicateRelation(_)) => {
+                let _ = catalog.deregister(name);
+                catalog.register_csv(name, &csv).map_err(|e| e.to_string())
+            }
+            other => other.map_err(|e| e.to_string()),
+        },
         LoadSource::Synthetic(spec) => {
             if spec.n.saturating_mul(spec.d) > MAX_SYNTHETIC_CELLS {
                 return Response::Error(format!(
                     "synthetic relation too large: n·d must stay ≤ {MAX_SYNTHETIC_CELLS}"
                 ));
             }
-            reencode_keys(shared.engine.catalog(), spec.dataset_spec().generate())
-                .and_then(|rel| shared.engine.register(name, rel).map_err(|e| e.to_string()))
+            reencode_keys(catalog, spec.dataset_spec().generate()).and_then(|rel| {
+                // Generation already succeeded, so the old binding can
+                // go before the new one lands (concurrent LOADs are
+                // serialised by the cells lock above).
+                let _ = catalog.deregister(name);
+                shared.engine.register(name, rel).map_err(|e| e.to_string())
+            })
         }
     };
     match registered {
         Ok(handle) => {
-            // Catalog changed: results computed against the old catalog
-            // must not be served for new plans.
+            let added = handle.n().saturating_mul(handle.schema().d());
+            let budget = shared.config.max_catalog_cells;
+            let after = cells.saturating_sub(replaced).saturating_add(added);
+            if after > budget {
+                // Over budget: take the relation back out. If this LOAD
+                // replaced an old relation under the same name, that old
+                // relation is gone too — the error says so.
+                let _ = shared.engine.catalog().deregister(name);
+                *cells = cells.saturating_sub(replaced);
+                shared.catalog_epoch.fetch_add(1, Ordering::SeqCst);
+                shared.cache.invalidate_relation(name);
+                return Response::Error(format!(
+                    "catalog cell budget exceeded: {after} > {budget} (relation {name:?} not kept)"
+                ));
+            }
+            *cells = after;
+            // Catalog changed under this name: only results whose plans
+            // reference it can be stale, so only those are evicted.
             shared.catalog_epoch.fetch_add(1, Ordering::SeqCst);
-            shared.cache.clear();
+            shared.cache.invalidate_relation(name);
             Response::Ok(format!(
                 "loaded {name} n={} d={}",
                 handle.n(),
@@ -480,15 +1065,11 @@ fn prepare(shared: &Shared, id: String, plan: &PlanSpec) -> Response {
     match shared.engine.prepare(&plan.to_plan()) {
         Ok(prepared) => {
             let k = prepared.k();
-            let session = Session {
-                prepared: Arc::new(prepared),
-                fingerprint: plan.fingerprint(),
-            };
             shared
                 .sessions
                 .write()
                 .unwrap_or_else(|e| e.into_inner())
-                .insert(id.clone(), session);
+                .insert(id.clone(), Session::new(prepared, plan));
             Response::Ok(format!("prepared {id} k={k}"))
         }
         Err(e) => Response::Error(e.to_string()),
@@ -504,43 +1085,33 @@ fn lookup(shared: &Shared, id: &str) -> Option<Session> {
         .cloned()
 }
 
-fn execute(shared: &Shared, id: &str) -> Response {
-    match lookup(shared, id) {
-        Some(session) => run_cached(shared, &session),
-        None => Response::Error(format!("unknown query id {id:?}: PREPARE it first")),
+/// Execute (or cache-serve) a session's query, shaped for the session's
+/// protocol version: v1 gets the whole result as one `ROWS` frame, v2
+/// gets a streamable [`RunOutput`].
+fn run_outcome(shared: &Shared, version: u32, session: &Session) -> Outcome {
+    match run_session(shared, session) {
+        Err(e) => Outcome::Frame(Response::Error(e.to_string())),
+        Ok(run) if version >= 2 => Outcome::Result(run),
+        Ok(run) => Outcome::Frame(Response::Rows(RowSet {
+            k: run.k,
+            micros: run.micros,
+            cached: run.cached,
+            pairs: run.output.pairs.iter().map(|&(l, r)| (l.0, r.0)).collect(),
+        })),
     }
 }
 
-fn query(shared: &Shared, plan: &PlanSpec) -> Response {
-    match shared.engine.prepare(&plan.to_plan()) {
-        Ok(prepared) => run_cached(
-            shared,
-            &Session {
-                prepared: Arc::new(prepared),
-                fingerprint: plan.fingerprint(),
-            },
-        ),
-        Err(e) => Response::Error(e.to_string()),
-    }
-}
-
-fn run_cached(shared: &Shared, session: &Session) -> Response {
-    match rowset(shared, session) {
-        Ok(rows) => Response::Rows(rows),
-        Err(e) => Response::Error(e.to_string()),
-    }
-}
-
-fn rowset(shared: &Shared, session: &Session) -> CoreResult<RowSet> {
-    let k = session.prepared.k();
+fn run_session(shared: &Shared, session: &Session) -> CoreResult<RunOutput> {
     if let Some(hit) = shared.cache.get(&session.fingerprint) {
-        return Ok(RowSet {
-            k,
+        return Ok(RunOutput {
+            k: hit.k,
             micros: 0,
             cached: true,
-            pairs: pairs_of(&hit),
+            result_id: Some(hit.id),
+            output: hit.output,
         });
     }
+    let k = session.prepared.k();
     let epoch = shared.catalog_epoch.load(Ordering::SeqCst);
     let started = Instant::now();
     let output = session.prepared.execute()?;
@@ -558,28 +1129,31 @@ fn rowset(shared: &Shared, session: &Session) -> CoreResult<RowSet> {
     let output = Arc::new(output);
     // Don't cache across a concurrent catalog change: the fingerprint is
     // name-based, and a name may since have been rebound. The re-check
-    // *after* the insert closes the window where a LOAD's clear() lands
-    // between our epoch check and our insert — any such LOAD bumped the
-    // epoch first, so we observe it here and drop the stale entry; a LOAD
-    // that bumps later clears the cache itself.
+    // *after* the insert closes the window where a LOAD's invalidation
+    // lands between our epoch check and our insert — any such LOAD bumped
+    // the epoch first, so we observe it here and drop what we inserted.
+    let mut result_id = None;
     if shared.catalog_epoch.load(Ordering::SeqCst) == epoch {
-        shared
-            .cache
-            .insert(session.fingerprint.clone(), output.clone());
+        result_id = shared.cache.insert(
+            session.fingerprint.clone(),
+            output.clone(),
+            k,
+            session.relations.clone(),
+        );
         if shared.catalog_epoch.load(Ordering::SeqCst) != epoch {
-            shared.cache.clear();
+            for name in &session.relations {
+                shared.cache.invalidate_relation(name);
+            }
+            result_id = None;
         }
     }
-    Ok(RowSet {
+    Ok(RunOutput {
         k,
         micros,
         cached: false,
-        pairs: pairs_of(&output),
+        result_id,
+        output,
     })
-}
-
-fn pairs_of(output: &KsjqOutput) -> Vec<(u32, u32)> {
-    output.pairs.iter().map(|&(l, r)| (l.0, r.0)).collect()
 }
 
 fn explain(shared: &Shared, id: &str) -> Response {
@@ -605,9 +1179,129 @@ fn stats(shared: &Shared) -> ServerStats {
         cache_misses: counters.misses(),
         cache_evictions: counters.evictions(),
         cache_len: shared.cache.len() as u64,
-        workers: shared.workers as u64,
+        workers: shared.config.workers as u64,
         dom_tests: shared.dom_tests.load(Ordering::Relaxed),
         attr_cmps: shared.attr_cmps.load(Ordering::Relaxed),
         domgen_us: shared.domgen_us.load(Ordering::Relaxed),
+        shed: shared.shed.load(Ordering::Relaxed),
+        reaped: shared.reaped.load(Ordering::Relaxed),
+        peak_buf: shared.peak_buf.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::MAX_ROWS_FRAME_BYTES;
+
+    #[test]
+    fn worst_case_v2_stream_holds_one_chunk() {
+        // A chunk frame can never exceed MAX_ROWS_FRAME_BYTES (pinned in
+        // protocol.rs); here, pin that chunk_response emits exactly the
+        // ROWS_PER_CHUNK split the constant was sized for.
+        let pairs: Vec<_> = (0..(ROWS_PER_CHUNK as u32 * 2 + 5))
+            .map(|i| (ksjq_relation::TupleId(i), ksjq_relation::TupleId(i)))
+            .collect();
+        let run = RunOutput {
+            k: 3,
+            micros: 42,
+            cached: false,
+            result_id: Some(9),
+            output: Arc::new(KsjqOutput {
+                pairs,
+                stats: Default::default(),
+            }),
+        };
+        let parts = run.output.chunk_count(ROWS_PER_CHUNK);
+        assert_eq!(parts, 3);
+        let mut reassembled = Vec::new();
+        for index in 0..parts {
+            let response = chunk_response(&run, index, parts);
+            let line = response.to_string();
+            assert!(line.len() < MAX_ROWS_FRAME_BYTES, "{}", line.len());
+            let Response::Chunk(chunk) = Response::parse(&line).expect("round-trips") else {
+                panic!("not a chunk");
+            };
+            assert_eq!(chunk.part as usize, index + 1);
+            assert_eq!(chunk.parts as usize, parts);
+            assert_eq!(chunk.total, run.output.len());
+            // Cursor on every non-final frame, pointing at the next part.
+            if index + 1 < parts {
+                assert_eq!(
+                    chunk.cursor,
+                    Some(Cursor {
+                        result: 9,
+                        part: index as u32 + 2
+                    })
+                );
+            } else {
+                assert_eq!(chunk.cursor, None);
+            }
+            reassembled.extend(chunk.pairs);
+        }
+        let original: Vec<_> = run.output.pairs.iter().map(|&(l, r)| (l.0, r.0)).collect();
+        assert_eq!(reassembled, original);
+    }
+
+    #[test]
+    fn more_rejects_v1_and_dead_cursors() {
+        let shared = Shared {
+            engine: Engine::new(),
+            sessions: RwLock::new(HashMap::new()),
+            cache: ResultCache::new(4),
+            catalog_cells: Mutex::new(0),
+            config: ServerConfig::default(),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            dom_tests: AtomicU64::new(0),
+            attr_cmps: AtomicU64::new(0),
+            domgen_us: AtomicU64::new(0),
+            catalog_epoch: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            reaped: AtomicU64::new(0),
+            peak_buf: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        };
+        let cursor = Cursor { result: 1, part: 1 };
+        assert!(matches!(more(&shared, 1, cursor), Response::Error(_)));
+        assert!(matches!(more(&shared, 2, cursor), Response::Error(_)));
+        let id = shared
+            .cache
+            .insert(
+                "fp".into(),
+                Arc::new(KsjqOutput {
+                    pairs: vec![(ksjq_relation::TupleId(1), ksjq_relation::TupleId(2))],
+                    stats: Default::default(),
+                }),
+                5,
+                vec!["r".into()],
+            )
+            .expect("cache enabled");
+        let ok = more(
+            &shared,
+            2,
+            Cursor {
+                result: id,
+                part: 1,
+            },
+        );
+        let Response::Chunk(chunk) = ok else {
+            panic!("expected a chunk, got {ok}");
+        };
+        assert_eq!((chunk.k, chunk.part, chunk.parts), (5, 1, 1));
+        assert!(chunk.cached && chunk.cursor.is_none());
+        // Past-the-end part on a live result.
+        assert!(matches!(
+            more(
+                &shared,
+                2,
+                Cursor {
+                    result: id,
+                    part: 7
+                }
+            ),
+            Response::Error(_)
+        ));
     }
 }

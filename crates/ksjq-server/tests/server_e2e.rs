@@ -15,6 +15,7 @@ fn ephemeral() -> ServerConfig {
         addr: "127.0.0.1:0".into(),
         workers: 8,
         cache_entries: 64,
+        ..ServerConfig::default()
     }
 }
 
@@ -321,7 +322,7 @@ fn synthetic_and_inline_relations_share_one_key_domain() {
 }
 
 #[test]
-fn cache_invalidated_on_catalog_registration() {
+fn cache_invalidation_is_per_relation() {
     let (out_csv, in_csv) = paper_csvs();
     let server = Server::start(Engine::new(), &ephemeral()).unwrap();
     let mut client = KsjqClient::connect(server.addr()).unwrap();
@@ -330,9 +331,20 @@ fn cache_invalidated_on_catalog_registration() {
     let plan = PlanSpec::new("outbound", "inbound").k(7);
     assert!(!client.query(&plan).unwrap().cached);
     assert!(client.query(&plan).unwrap().cached);
-    // Any catalog registration clears the cache.
+    // Registering an *unrelated* relation leaves the entry alone: the
+    // cached plan references neither "third" nor anything it shadows.
     client.load_csv("third", "city,cost\nC,1\n").unwrap();
-    assert!(!client.query(&plan).unwrap().cached, "stale entry survived");
+    assert!(
+        client.query(&plan).unwrap().cached,
+        "unrelated LOAD must not evict the cached plan"
+    );
+    // Re-registering a relation the plan references must evict it —
+    // the new rows change the answer.
+    client
+        .load_csv("inbound", "city,cost,dur,fee,pop\nC,1,1,1,1\n")
+        .unwrap();
+    let recomputed = client.query(&plan).unwrap();
+    assert!(!recomputed.cached, "stale entry served after re-LOAD");
     client.close().unwrap();
     server.stop().unwrap();
 }

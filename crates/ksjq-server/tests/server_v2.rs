@@ -1,0 +1,406 @@
+//! Protocol-v2 integration tests over live sockets: bounded streaming of
+//! a 100 000-pair result, slow-reader backpressure (the server never
+//! buffers more than one in-flight chunk per connection), admission
+//! control (`ERR busy` shedding and recovery), slow-loris vs idle
+//! reaping, socket-level write fragmentation, `MORE` cursor paging, and
+//! 1000 concurrently idle connections on an 8-worker pool.
+
+use ksjq_core::{Engine, QueryPlan};
+use ksjq_datagen::{paper_flights, relation_to_csv};
+use ksjq_server::{
+    Cursor, KsjqClient, PlanSpec, Response, Server, ServerConfig, MAX_ROWS_FRAME_BYTES,
+    ROWS_PER_CHUNK,
+};
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn ephemeral() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    }
+}
+
+/// Two relations whose joined tuples are all attribute-identical, so no
+/// pair k-dominates any other and **every** joined pair survives:
+/// `groups · per_left · per_right` result pairs of known identity.
+fn all_survivors_csvs(groups: usize, per_left: usize, per_right: usize) -> (String, String) {
+    let mut left = String::from("city,cost,dur\n");
+    let mut right = String::from("city,fee,pop\n");
+    for g in 0..groups {
+        for _ in 0..per_left {
+            writeln!(left, "g{g},5,5").unwrap();
+        }
+        for _ in 0..per_right {
+            writeln!(right, "g{g},5,5").unwrap();
+        }
+    }
+    (left, right)
+}
+
+/// Read v2 frames of one answer (first via `raw`, rest via `raw_read`)
+/// until the final part; returns the raw frame strings.
+fn read_stream_raw(client: &mut KsjqClient, command: &str) -> Vec<String> {
+    let mut frames = vec![client.raw(command).unwrap()];
+    loop {
+        match Response::parse(frames.last().unwrap()).unwrap() {
+            Response::Chunk(chunk) if !chunk.is_last() => {
+                frames.push(client.raw_read().unwrap());
+            }
+            Response::Chunk(_) => return frames,
+            other => panic!("expected a ROWS part frame, got {other:?}"),
+        }
+    }
+}
+
+/// The acceptance path: a 100k-pair result streams over v2 in bounded
+/// frames, and the reassembled rows are byte-identical to in-process
+/// execution.
+#[test]
+fn hundred_thousand_pairs_stream_in_bounded_frames() {
+    let (left, right) = all_survivors_csvs(100, 10, 100); // 100 groups × 1000 pairs
+
+    let local = Engine::new();
+    local.catalog().register_csv("l", &left).unwrap();
+    local.catalog().register_csv("r", &right).unwrap();
+    let reference = local.execute(&QueryPlan::new("l", "r").k(4)).unwrap();
+    let expected: Vec<(u32, u32)> = reference.pairs.iter().map(|&(l, r)| (l.0, r.0)).collect();
+    assert_eq!(expected.len(), 100_000);
+
+    let server = Server::start(Engine::new(), &ephemeral()).unwrap();
+    let mut client = KsjqClient::connect(server.addr()).unwrap();
+    assert_eq!(client.version(), 2);
+    client.load_csv("l", &left).unwrap();
+    client.load_csv("r", &right).unwrap();
+    client
+        .prepare("big", &PlanSpec::new("l", "r").k(4))
+        .unwrap();
+
+    // Raw frames so we can assert on the literal bytes the server sent.
+    let frames = read_stream_raw(&mut client, "EXECUTE big");
+    let mut rows: Vec<(u32, u32)> = Vec::new();
+    for (i, frame) in frames.iter().enumerate() {
+        assert!(
+            frame.len() < MAX_ROWS_FRAME_BYTES,
+            "frame {i} is {} bytes (cap {MAX_ROWS_FRAME_BYTES})",
+            frame.len()
+        );
+        let Ok(Response::Chunk(chunk)) = Response::parse(frame) else {
+            panic!("frame {i} is not a ROWS part: {frame:?}");
+        };
+        assert_eq!(chunk.part as usize, i + 1);
+        assert_eq!(chunk.parts as usize, frames.len());
+        assert_eq!(chunk.total, 100_000);
+        assert!(chunk.pairs.len() <= ROWS_PER_CHUNK, "{}", chunk.pairs.len());
+        rows.extend(chunk.pairs);
+    }
+    assert_eq!(frames.len(), 100_000usize.div_ceil(ROWS_PER_CHUNK));
+    assert_eq!(rows, expected, "reassembled stream differs from in-process");
+
+    // The one-shot convenience drains the same stream (cache hit now).
+    let again = client.execute("big").unwrap();
+    assert!(again.cached);
+    assert_eq!(again.pairs, expected);
+}
+
+/// A reader that stalls mid-stream must not make the server buffer the
+/// rest of the result: at most one in-flight chunk per connection, which
+/// the `peak_buf` high-water mark proves.
+#[test]
+fn slow_reader_backpressure_bounds_server_memory() {
+    // ~25.6k pairs → 13 chunks ≈ 4× the frame cap in total bytes.
+    let (left, right) = all_survivors_csvs(40, 16, 40);
+    let server = Server::start(Engine::new(), &ephemeral()).unwrap();
+
+    let mut slow = KsjqClient::connect(server.addr()).unwrap();
+    slow.load_csv("l", &left).unwrap();
+    slow.load_csv("r", &right).unwrap();
+    slow.prepare("big", &PlanSpec::new("l", "r").k(4)).unwrap();
+
+    // Read exactly one frame, then stop reading while the server still
+    // has a dozen chunks to ship.
+    let first = slow.raw("EXECUTE big").unwrap();
+    let Ok(Response::Chunk(chunk)) = Response::parse(&first) else {
+        panic!("expected a ROWS part, got {first:?}");
+    };
+    assert!(!chunk.is_last());
+    let total = chunk.total;
+    std::thread::sleep(Duration::from_millis(500));
+
+    // A second connection observes the server's buffering high-water
+    // mark: bounded by one serialised chunk, not by the whole result.
+    let mut observer = KsjqClient::connect(server.addr()).unwrap();
+    let stats = observer.stats().unwrap();
+    assert!(stats.peak_buf > 0, "{stats:?}");
+    assert!(
+        stats.peak_buf < (MAX_ROWS_FRAME_BYTES + 2048) as u64,
+        "server buffered {} bytes for a stalled reader",
+        stats.peak_buf
+    );
+
+    // The stalled stream picks up where it left off, nothing lost.
+    let mut rows = chunk.pairs.len();
+    loop {
+        let frame = slow.raw_read().unwrap();
+        let Ok(Response::Chunk(chunk)) = Response::parse(&frame) else {
+            panic!("expected a ROWS part, got {frame:?}");
+        };
+        rows += chunk.pairs.len();
+        if chunk.is_last() {
+            break;
+        }
+    }
+    assert_eq!(rows, total);
+    assert_eq!(total, 40 * 16 * 40);
+}
+
+/// Past `max_conns`, new connections get `ERR busy` and are closed;
+/// capacity freed by disconnects is usable again.
+#[test]
+fn admission_control_sheds_and_recovers() {
+    let server = Server::start(
+        Engine::new(),
+        &ServerConfig {
+            max_conns: 4,
+            workers: 2,
+            ..ephemeral()
+        },
+    )
+    .unwrap();
+
+    // Fill every admission slot; a completed HELLO round-trip per client
+    // proves each one is registered, not just queued in the backlog.
+    let mut admitted: Vec<KsjqClient> = (0..4)
+        .map(|_| KsjqClient::connect(server.addr()).unwrap())
+        .collect();
+
+    // The 5th is shed. Connect-then-read (never write): the answer is
+    // one `ERR busy` frame, then EOF.
+    let mut shed = TcpStream::connect(server.addr()).unwrap();
+    shed.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut answer = String::new();
+    shed.read_to_string(&mut answer).unwrap();
+    assert_eq!(answer, "ERR busy\n");
+
+    // Dropping two admitted connections frees their slots.
+    admitted.truncate(2);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let stats = loop {
+        match KsjqClient::connect(server.addr()).and_then(|mut c| c.stats()) {
+            Ok(stats) => break stats,
+            Err(e) => {
+                assert!(Instant::now() < deadline, "no slot freed after 5s: {e}");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    };
+    assert!(stats.shed >= 1, "{stats:?}");
+    // The survivors were never disturbed.
+    for client in &mut admitted {
+        assert!(client.stats().is_ok());
+    }
+}
+
+/// The stall deadline reaps a connection parked mid-frame (slow loris)
+/// while a connection that is merely idle *between* requests lives on —
+/// and a shorter idle timeout reaps true idlers too.
+#[test]
+fn slow_loris_is_reaped_but_idle_connections_survive() {
+    let server = Server::start(
+        Engine::new(),
+        &ServerConfig {
+            idle_timeout: Duration::from_secs(60),
+            stall_timeout: Duration::from_millis(300),
+            ..ephemeral()
+        },
+    )
+    .unwrap();
+
+    // The loris: half a request, then silence.
+    let mut loris = TcpStream::connect(server.addr()).unwrap();
+    loris.write_all(b"STA").unwrap();
+    loris
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // An idler in good standing: connected at the same time, no partial
+    // frame pending.
+    let mut idler = KsjqClient::connect(server.addr()).unwrap();
+
+    let mut buf = Vec::new();
+    loris.read_to_end(&mut buf).unwrap(); // EOF = reaped
+    assert!(buf.is_empty(), "unexpected answer to a half frame: {buf:?}");
+
+    let stats = idler.stats().unwrap(); // still alive after the reap pass
+    assert!(stats.reaped >= 1, "{stats:?}");
+
+    // A server with a short idle timeout reaps complete-but-quiet
+    // connections from the same deadline clock.
+    let server = Server::start(
+        Engine::new(),
+        &ServerConfig {
+            idle_timeout: Duration::from_millis(300),
+            stall_timeout: Duration::from_millis(200),
+            ..ephemeral()
+        },
+    )
+    .unwrap();
+    let mut quiet = TcpStream::connect(server.addr()).unwrap();
+    quiet.write_all(b"STATS\n").unwrap();
+    quiet
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = std::io::BufReader::new(quiet.try_clone().unwrap());
+    let mut line = String::new();
+    std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+    assert!(line.starts_with("STATS "), "{line:?}");
+    // No second request: the idle deadline fires and the server closes.
+    line.clear();
+    std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+    assert_eq!(line, "", "expected EOF after idle timeout, got {line:?}");
+}
+
+/// A whole v2 session written in 3-byte fragments parses identically to
+/// one written in whole lines — the socket-level face of the
+/// frame-buffer's every-split-point property.
+#[test]
+fn v2_session_survives_arbitrary_write_fragmentation() {
+    let server = Server::start(Engine::new(), &ephemeral()).unwrap();
+    let script = "HELLO 2\n\
+                  LOAD a INLINE city,cost;X,1;Y,2\n\
+                  LOAD b INLINE city,fee;X,3;Y,1\n\
+                  QUERY a JOIN b K 2\n\
+                  STATS\n\
+                  CLOSE\n";
+
+    let mut socket = TcpStream::connect(server.addr()).unwrap();
+    socket.set_nodelay(true).unwrap();
+    for fragment in script.as_bytes().chunks(3) {
+        socket.write_all(fragment).unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    socket
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut answers = String::new();
+    socket.read_to_string(&mut answers).unwrap();
+    let frames: Vec<Response> = answers
+        .lines()
+        .map(|l| Response::parse(l).unwrap())
+        .collect();
+    assert_eq!(frames.len(), 6, "{answers:?}");
+    assert!(matches!(frames[0], Response::Hello { version: 2 }));
+    assert!(matches!(frames[1], Response::Ok(_)));
+    assert!(matches!(frames[2], Response::Ok(_)));
+    let Response::Chunk(chunk) = &frames[3] else {
+        panic!("expected a ROWS part, got {:?}", frames[3]);
+    };
+    // Joined tuples (1,3) and (2,1): neither 2-dominates, both survive.
+    assert_eq!(chunk.pairs, vec![(0, 0), (1, 1)]);
+    assert!(chunk.is_last());
+    assert!(matches!(frames[4], Response::Stats(_)));
+    assert!(matches!(frames[5], Response::Bye));
+}
+
+/// `MORE` re-fetches any part of a cached result by cursor; bad cursors
+/// and v1 sessions are rejected with a useful error.
+#[test]
+fn more_paging_refetches_chunks() {
+    let (left, right) = all_survivors_csvs(25, 10, 20); // 5000 pairs → 3 chunks
+    let server = Server::start(Engine::new(), &ephemeral()).unwrap();
+    let mut client = KsjqClient::connect(server.addr()).unwrap();
+    client.load_csv("l", &left).unwrap();
+    client.load_csv("r", &right).unwrap();
+    client.prepare("q", &PlanSpec::new("l", "r").k(4)).unwrap();
+
+    let chunks: Vec<_> = client
+        .execute_stream("q")
+        .unwrap()
+        .collect::<Result<_, _>>()
+        .unwrap();
+    assert_eq!(chunks.len(), 3);
+    let result = chunks[0]
+        .cursor
+        .expect("non-final frames carry a cursor")
+        .result;
+
+    // Every non-final frame's cursor fetches exactly the next part.
+    for chunk in &chunks[..chunks.len() - 1] {
+        let cursor = chunk.cursor.expect("non-final frame must carry a cursor");
+        let paged = client.more(cursor).unwrap();
+        let next = &chunks[chunk.part as usize]; // part is 1-based
+        assert_eq!(paged.part, next.part);
+        assert_eq!(paged.pairs, next.pairs);
+        assert!(paged.cached);
+    }
+    assert!(chunks.last().unwrap().cursor.is_none());
+
+    // Cursors are random-access: the first part again, out of order.
+    let first_again = client.more(Cursor { result, part: 1 }).unwrap();
+    assert_eq!(first_again.pairs, chunks[0].pairs);
+
+    // Past the end and unknown results are errors, not hangs.
+    assert!(client.more(Cursor { result, part: 4 }).is_err());
+    assert!(client
+        .more(Cursor {
+            result: result + 999,
+            part: 1
+        })
+        .is_err());
+
+    // A v1 session has no cursors and `MORE` says why.
+    let mut legacy = KsjqClient::connect_legacy(server.addr()).unwrap();
+    let answer = legacy.raw(&format!("MORE {result}:2")).unwrap();
+    assert!(
+        answer.starts_with("ERR") && answer.contains("HELLO 2"),
+        "{answer:?}"
+    );
+}
+
+/// 1000 concurrently open idle connections on an 8-worker pool, while v1
+/// and v2 sessions keep answering correctly through the crowd.
+#[test]
+fn thousand_idle_connections_with_live_queries() {
+    let server = Server::start(Engine::new(), &ephemeral()).unwrap();
+    let idle: Vec<TcpStream> = (0..1000)
+        .map(|i| {
+            TcpStream::connect(server.addr())
+                .unwrap_or_else(|e| panic!("idle connection {i} refused: {e}"))
+        })
+        .collect();
+
+    // Table 3 of the paper, via both protocol versions, mid-crowd.
+    let pf = paper_flights(false);
+    let out_csv = relation_to_csv(&pf.outbound, "city", Some(&pf.cities)).unwrap();
+    let in_csv = relation_to_csv(&pf.inbound, "city", Some(&pf.cities)).unwrap();
+    let mut v2 = KsjqClient::connect(server.addr()).unwrap();
+    assert_eq!(v2.version(), 2);
+    v2.load_csv("outbound", &out_csv).unwrap();
+    v2.load_csv("inbound", &in_csv).unwrap();
+    let plan = PlanSpec::new("outbound", "inbound").k(7);
+    let expected = vec![(0, 2), (2, 0), (4, 4), (5, 5)];
+    assert_eq!(v2.query(&plan).unwrap().pairs, expected);
+
+    let mut v1 = KsjqClient::connect_legacy(server.addr()).unwrap();
+    assert_eq!(v1.version(), 1);
+    assert_eq!(v1.query(&plan).unwrap().pairs, expected);
+
+    let stats = v2.stats().unwrap();
+    assert!(stats.connections >= 1002, "{stats:?}");
+    assert_eq!(stats.workers, 8);
+    assert_eq!(stats.shed, 0, "{stats:?}");
+
+    // Mass disconnect: the server digests 1000 EOFs and keeps serving.
+    drop(idle);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = v2.stats().unwrap();
+        if stats.shed == 0 && KsjqClient::connect(server.addr()).is_ok() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "server unhealthy after mass EOF");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}

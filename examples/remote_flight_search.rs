@@ -37,17 +37,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     client.prepare("search", &plan)?;
     println!("\nEXPLAIN -> {}", client.explain("search")?);
 
-    let rows = client.execute("search")?;
-    println!(
-        "\n{} itineraries survive 6-dominance ({}µs server-side); first ten:",
-        rows.pairs.len(),
-        rows.micros
-    );
-    for &(out, inn) in rows.pairs.iter().take(10) {
-        println!("  outbound #{out} connecting to inbound #{inn}");
+    // Stream the result: the server ships bounded ROWS chunks (protocol
+    // v2, negotiated by `connect`) and this loop processes them as they
+    // arrive — neither side ever holds the whole result for us.
+    let mut shown = 0usize;
+    let mut chunks = 0usize;
+    let mut micros = 0;
+    let mut total = 0;
+    println!();
+    for chunk in client.execute_stream("search")? {
+        let chunk = chunk?;
+        (micros, total) = (chunk.micros, chunk.total);
+        chunks += 1;
+        for &(out, inn) in chunk.pairs.iter().take(10 - shown.min(10)) {
+            println!("  outbound #{out} connecting to inbound #{inn}");
+            shown += 1;
+        }
     }
+    println!(
+        "{total} itineraries survive 6-dominance \
+         ({micros}µs server-side, streamed as {chunks} chunk(s); first ten above)"
+    );
 
     // The same query again is a cache hit — the server never recomputes.
+    // `execute` is the one-shot convenience: it drains the same stream.
     let again = client.execute("search")?;
     println!(
         "\nrepeated EXECUTE: cached={} ({}µs server-side)",

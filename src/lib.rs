@@ -74,6 +74,6 @@ pub mod prelude {
     pub use ksjq_relation::{
         Catalog, Preference, Relation, RelationHandle, Schema, StringDictionary, TupleId,
     };
-    pub use ksjq_server::{KsjqClient, PlanSpec, Server, ServerConfig};
+    pub use ksjq_server::{KsjqClient, PlanSpec, RowChunk, RowStream, Server, ServerConfig};
     pub use ksjq_skyline::KdomAlgo;
 }
