@@ -119,6 +119,53 @@ pub fn target_set_with(
     out
 }
 
+/// [`target_set_with`] against an **external** probe: the candidate's
+/// local values are supplied directly (in `locals` order) instead of
+/// read from a row of `rel`. This is the distributed verification
+/// primitive — a router ships a candidate's joined values to a shard
+/// that does not hold the candidate, and the shard filters its own left
+/// relation against them. By the same attribute counting as
+/// [`target_set`], any joined tuple of this shard that k-dominates the
+/// candidate has its left leg in the returned set, so scanning it (via
+/// `ColumnarCheck::dominated_via_left`) is a complete local dominance
+/// test.
+pub fn target_set_for_values(
+    rel: &Relation,
+    locals: &[usize],
+    probe: &[f64],
+    k_pp: usize,
+    scratch: &mut TargetScratch,
+) -> Vec<u32> {
+    debug_assert_eq!(probe.len(), locals.len());
+    let n = rel.n();
+    let mut out = Vec::new();
+    if n == 0 {
+        return out;
+    }
+    if locals.is_empty() {
+        if k_pp == 0 {
+            out.extend(0..n as u32);
+        }
+        return out;
+    }
+    scratch.probe.clear();
+    scratch.probe.extend_from_slice(probe);
+    dom_counts_partial_block_columnar_into(
+        rel.columns(),
+        n,
+        locals,
+        &scratch.probe,
+        &mut scratch.le,
+        &mut scratch.lt,
+    );
+    for (t, &le) in scratch.le.iter().enumerate() {
+        if le as usize >= k_pp {
+            out.push(t as u32);
+        }
+    }
+    out
+}
+
 /// The scalar row-major reference for [`target_set`]: one early-abandoning
 /// pass per tuple over the interleaved rows. Kept as the oracle the
 /// property suite (and the kernel ablation benches) compare the columnar
@@ -419,6 +466,55 @@ mod tests {
                     .collect();
                 assert_eq!(fast, slow, "probe {probe} k_pp {k_pp}");
             }
+        }
+    }
+
+    /// Supplying a resident row's local values externally must select
+    /// exactly what [`target_set`] selects for that row.
+    #[test]
+    fn values_variant_matches_resident_probe() {
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| {
+                vec![
+                    ((i * 13 + 5) % 17) as f64,
+                    ((i * 29 + 11) % 19) as f64,
+                    ((i * 3 + 1) % 7) as f64,
+                ]
+            })
+            .collect();
+        let r = rel(&rows);
+        let locals: Vec<usize> = r.schema().local_indices().collect();
+        let mut scratch = TargetScratch::default();
+        for probe in [0u32, 23, 59] {
+            let prow: Vec<f64> = locals
+                .iter()
+                .map(|&a| r.row_at(probe as usize)[a])
+                .collect();
+            for k_pp in 0..=3 {
+                assert_eq!(
+                    target_set_for_values(&r, &locals, &prow, k_pp, &mut scratch),
+                    target_set(&r, &locals, probe, k_pp),
+                    "probe {probe} k_pp {k_pp}"
+                );
+            }
+        }
+        // Foreign values (no resident row equals them) still filter by
+        // the same counting rule, against the row-major oracle.
+        let foreign = vec![3.5, 10.5, 2.5];
+        for k_pp in 0..=3 {
+            let got = target_set_for_values(&r, &locals, &foreign, k_pp, &mut scratch);
+            let want: Vec<u32> = (0..r.n() as u32)
+                .filter(|&t| {
+                    let row = r.row_at(t as usize);
+                    let le = locals
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, &a)| row[a] <= foreign[i])
+                        .count();
+                    le >= k_pp
+                })
+                .collect();
+            assert_eq!(got, want, "k_pp {k_pp}");
         }
     }
 

@@ -81,10 +81,38 @@ pub fn relation_to_annotated_csv(
     relation_to_csv_impl(rel, key_column, dict, true)
 }
 
+/// Like [`relation_to_annotated_csv`], but group ids are decoded through
+/// an arbitrary closure instead of a [`StringDictionary`] reference —
+/// e.g. a catalog's shared dictionary behind its own lock (the serving
+/// layer's `SYNC <name>` export path). Ids the closure declines fall
+/// back to their decimal spelling, matching how synthetic relations key
+/// themselves.
+pub fn relation_to_annotated_csv_with(
+    rel: &Relation,
+    key_column: &str,
+    decode: impl Fn(u64) -> Option<String>,
+) -> Result<String> {
+    export_csv(rel, key_column, &decode, true)
+}
+
 fn relation_to_csv_impl(
     rel: &Relation,
     key_column: &str,
     dict: Option<&StringDictionary>,
+    annotate: bool,
+) -> Result<String> {
+    export_csv(
+        rel,
+        key_column,
+        &|gid| dict.and_then(|d| d.decode(gid)).map(str::to_owned),
+        annotate,
+    )
+}
+
+fn export_csv(
+    rel: &Relation,
+    key_column: &str,
+    decode: &dyn Fn(u64) -> Option<String>,
     annotate: bool,
 ) -> Result<String> {
     use ksjq_relation::{AttrRole, Preference};
@@ -106,10 +134,7 @@ fn relation_to_csv_impl(
         let gid = rel
             .group_id(t)
             .ok_or_else(|| Error::Invalid("relation has no group keys".into()))?;
-        let key = dict
-            .and_then(|d| d.decode(gid))
-            .map(str::to_owned)
-            .unwrap_or_else(|| gid.to_string());
+        let key = decode(gid).unwrap_or_else(|| gid.to_string());
         let mut cells = vec![key];
         cells.extend(rel.raw_row(t).iter().map(|v| format_number(*v)));
         rows.push(cells);

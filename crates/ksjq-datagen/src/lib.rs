@@ -20,6 +20,8 @@ pub mod paper_tables;
 pub mod synthetic;
 
 pub use flights::{FlightNetwork, FlightNetworkSpec};
-pub use io::{relation_from_csv, relation_to_annotated_csv, relation_to_csv};
+pub use io::{
+    relation_from_csv, relation_to_annotated_csv, relation_to_annotated_csv_with, relation_to_csv,
+};
 pub use paper_tables::{paper_flights, PaperFlights};
 pub use synthetic::{DataType, DatasetSpec};

@@ -163,6 +163,16 @@ impl Catalog {
     /// [`Error::InvalidAggSlot`] for bad slot sets; plus everything
     /// [`register`](Self::register) rejects.
     pub fn register_csv(&self, name: impl Into<String>, text: &str) -> Result<RelationHandle> {
+        self.register(name, self.parse_csv(text)?)
+    }
+
+    /// Parse annotated CSV into a [`Relation`] **without** registering it
+    /// — same grammar and shared key dictionary as
+    /// [`register_csv`](Self::register_csv). This is the validation half
+    /// of a two-phase catalog update: parse (and fail) first, publish
+    /// atomically later with [`register`](Self::register). A header-only
+    /// CSV parses to an empty relation.
+    pub fn parse_csv(&self, text: &str) -> Result<Relation> {
         let table = CsvTable::parse(text)?;
         if table.header.len() < 2 {
             return Err(Error::Csv(
@@ -183,7 +193,7 @@ impl Catalog {
                 b.add_grouped(gid, &row)?;
             }
         }
-        self.register(name, b.build()?)
+        b.build()
     }
 
     /// Decode a group id assigned by [`register_csv`](Self::register_csv)

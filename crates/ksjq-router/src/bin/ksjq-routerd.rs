@@ -1,0 +1,109 @@
+//! The KSJQ cluster router daemon.
+//!
+//! ```sh
+//! # Two shards: shard 0 with two replicas, shard 1 with one.
+//! ksjq-routerd --addr 127.0.0.1:7979 \
+//!              --shard 127.0.0.1:7881,127.0.0.1:7883 \
+//!              --shard 127.0.0.1:7882
+//! ```
+//!
+//! Each `--shard` flag names one shard's replica set (comma-separated
+//! `host:port` addresses of `ksjq-serverd` processes, best started with
+//! `--no-demo`); flag order defines shard indices, which join-key
+//! hashing targets — restart with the same shard order.
+
+use ksjq_router::{DialPolicy, Router, RouterConfig, Topology};
+use ksjq_server::ConnectOptions;
+use std::time::Duration;
+
+fn die(msg: &str) -> ! {
+    eprintln!("ksjq-routerd: {msg}");
+    std::process::exit(2)
+}
+
+fn parse_args() -> (RouterConfig, Topology) {
+    let mut config = RouterConfig::default();
+    let mut shards: Vec<Vec<String>> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                config.addr = args.next().unwrap_or_else(|| die("--addr needs host:port"));
+            }
+            "--shard" => {
+                let replicas: Vec<String> = args
+                    .next()
+                    .unwrap_or_else(|| die("--shard needs host:port[,host:port…]"))
+                    .split(',')
+                    .map(|a| a.trim().to_owned())
+                    .filter(|a| !a.is_empty())
+                    .collect();
+                if replicas.is_empty() {
+                    die("--shard needs at least one replica address");
+                }
+                shards.push(replicas);
+            }
+            "--cache-entries" => {
+                config.cache_entries = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--cache-entries needs an integer (0 disables)"));
+            }
+            "--attempts" => {
+                config.policy.attempts = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--attempts needs a positive integer"));
+            }
+            "--timeout" => {
+                let secs: u64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&secs| secs > 0)
+                    .unwrap_or_else(|| die("--timeout needs seconds (> 0)"));
+                config.policy.options = ConnectOptions::all(Duration::from_secs(secs));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: ksjq-routerd --shard HOST:PORT[,HOST:PORT…] [--shard …] \n\
+                     \x20                   [--addr HOST:PORT] [--cache-entries N]\n\
+                     \x20                   [--attempts N] [--timeout SECS]\n\
+                     \x20 --shard          one shard's replica set; repeat per shard (order = shard index)\n\
+                     \x20 --addr           listen address (default 127.0.0.1:7979; port 0 = ephemeral)\n\
+                     \x20 --cache-entries  result-cache capacity (default 128; 0 disables)\n\
+                     \x20 --attempts       replica-set sweeps before a shard counts as down (default 3)\n\
+                     \x20 --timeout        backend connect/read/write timeout in seconds (default 10)"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown flag {other} (try --help)")),
+        }
+    }
+    config.policy = DialPolicy {
+        // Spread retry jitter across routers started together.
+        seed: u64::from(std::process::id()),
+        ..config.policy
+    };
+    let topology =
+        Topology::new(shards).unwrap_or_else(|e| die(&format!("{e} (give at least one --shard)")));
+    (config, topology)
+}
+
+fn main() {
+    let (config, topology) = parse_args();
+    let shards = topology.n_shards();
+    let replicas: usize = (0..shards).map(|s| topology.replicas(s).len()).sum();
+    let router = match Router::bind(topology, &config) {
+        Ok(router) => router,
+        Err(e) => die(&format!("cannot bind {}: {e}", config.addr)),
+    };
+    let addr = router.local_addr().expect("bound listener has an address");
+    println!(
+        "ksjq-routerd listening on {addr} ({shards} shards, {replicas} replicas, cache {} entries)",
+        config.cache_entries
+    );
+    if let Err(e) = router.run() {
+        die(&format!("router failed: {e}"));
+    }
+}

@@ -1,0 +1,225 @@
+//! Per-session connection management with replica failover.
+//!
+//! Each router connection owns one [`Dialer`]: a set of independent
+//! [`ShardDialer`]s (one per shard) so a scatter phase can hand each
+//! shard's dialer to its own thread. Connections to backends are pooled
+//! lazily per address and dropped on any transport or framing error —
+//! a lockstep line protocol cannot be trusted after a desync.
+
+use ksjq_server::{retry_with_backoff, ClientError, ClientResult, ConnectOptions, KsjqClient};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Fan-out health counters, shared by every dialer of a router.
+#[derive(Debug, Default)]
+pub struct FanoutCounters {
+    /// Backend calls retried (next replica or next round) after a
+    /// transport failure.
+    pub shard_retries: AtomicU64,
+    /// Shard calls abandoned with every replica down.
+    pub shard_errors: AtomicU64,
+}
+
+/// Retry/backoff knobs for backend calls.
+#[derive(Debug, Clone, Copy)]
+pub struct DialPolicy {
+    /// Socket timeouts for backend connections.
+    pub options: ConnectOptions,
+    /// Full sweeps of a replica set before a shard counts as down.
+    pub attempts: u32,
+    /// Base backoff between sweeps (doubles, jittered, capped at 8×).
+    pub backoff: Duration,
+    /// Jitter seed (vary per process so fleets do not stampede).
+    pub seed: u64,
+}
+
+impl Default for DialPolicy {
+    fn default() -> Self {
+        DialPolicy {
+            options: ConnectOptions::all(Duration::from_secs(10)),
+            attempts: 3,
+            backoff: Duration::from_millis(50),
+            seed: 1,
+        }
+    }
+}
+
+/// Pooled, failover-aware connections to one shard's replica set.
+#[derive(Debug)]
+pub struct ShardDialer {
+    shard: usize,
+    replicas: Vec<String>,
+    conns: Vec<Option<KsjqClient>>,
+    /// First replica tried — rotated per dialer so concurrent sessions
+    /// spread read load across a replica set.
+    start: usize,
+    policy: DialPolicy,
+    counters: Arc<FanoutCounters>,
+}
+
+impl ShardDialer {
+    fn new(
+        shard: usize,
+        replicas: Vec<String>,
+        start: usize,
+        policy: DialPolicy,
+        counters: Arc<FanoutCounters>,
+    ) -> ShardDialer {
+        let conns = replicas.iter().map(|_| None).collect();
+        let start = start % replicas.len().max(1);
+        ShardDialer {
+            shard,
+            replicas,
+            conns,
+            start,
+            policy,
+            counters,
+        }
+    }
+
+    /// This dialer's shard index.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Replica count.
+    pub fn n_replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    fn try_replica<T>(
+        &mut self,
+        idx: usize,
+        f: &mut impl FnMut(&mut KsjqClient) -> ClientResult<T>,
+    ) -> ClientResult<T> {
+        if self.conns[idx].is_none() {
+            self.conns[idx] = Some(KsjqClient::connect_with(
+                self.replicas[idx].as_str(),
+                &self.policy.options,
+            )?);
+        }
+        let client = self.conns[idx].as_mut().expect("just connected");
+        let result = f(client);
+        if matches!(
+            result,
+            Err(ClientError::Io(_)) | Err(ClientError::Protocol(_))
+        ) {
+            // Mid-exchange failure: the lockstep framing may be off by a
+            // frame, so the connection is poisoned either way.
+            self.conns[idx] = None;
+        }
+        result
+    }
+
+    /// Run `f` against one replica of this shard, failing over through
+    /// the whole replica set (with backoff between sweeps) on transport
+    /// errors. An `ERR` frame is a terminal *answer* — the next replica
+    /// would say the same thing — and is returned immediately.
+    ///
+    /// `f` may be invoked several times and must be idempotent from the
+    /// backend's point of view (every fan-out command is).
+    pub fn call<T>(
+        &mut self,
+        mut f: impl FnMut(&mut KsjqClient) -> ClientResult<T>,
+    ) -> ClientResult<T> {
+        let policy = self.policy;
+        let n = self.replicas.len();
+        let result = retry_with_backoff(
+            policy.attempts,
+            policy.backoff,
+            policy.backoff * 8,
+            policy.seed ^ self.shard as u64,
+            |_round| {
+                let mut last: Option<ClientError> = None;
+                for i in 0..n {
+                    let idx = (self.start + i) % n;
+                    match self.try_replica(idx, &mut f) {
+                        Err(ClientError::Io(e)) => {
+                            self.counters.shard_retries.fetch_add(1, Ordering::Relaxed);
+                            last = Some(ClientError::Io(e));
+                        }
+                        terminal => return terminal,
+                    }
+                }
+                Err(last.expect("n ≥ 1 replicas all failed"))
+            },
+        );
+        if matches!(result, Err(ClientError::Io(_))) {
+            self.counters.shard_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// Run `f` against *one specific replica* (no failover), retrying
+    /// transport failures with backoff. Catalog mutations use this: a
+    /// `STAGE`/`COMMIT` must reach every replica, not any one of them.
+    pub fn call_replica<T>(
+        &mut self,
+        idx: usize,
+        mut f: impl FnMut(&mut KsjqClient) -> ClientResult<T>,
+    ) -> ClientResult<T> {
+        let policy = self.policy;
+        let result = retry_with_backoff(
+            policy.attempts,
+            policy.backoff,
+            policy.backoff * 8,
+            policy.seed ^ (self.shard as u64) << 8 ^ idx as u64,
+            |round| {
+                if round > 0 {
+                    self.counters.shard_retries.fetch_add(1, Ordering::Relaxed);
+                }
+                self.try_replica(idx, &mut f)
+            },
+        );
+        if matches!(result, Err(ClientError::Io(_))) {
+            self.counters.shard_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+}
+
+/// One session's dialers, one per shard.
+#[derive(Debug)]
+pub struct Dialer {
+    shards: Vec<ShardDialer>,
+}
+
+impl Dialer {
+    /// Build dialers for a topology. `rotation` picks the first replica
+    /// tried per shard (sessions pass an incrementing value).
+    pub fn new(
+        topology: &crate::topology::Topology,
+        rotation: usize,
+        policy: DialPolicy,
+        counters: Arc<FanoutCounters>,
+    ) -> Dialer {
+        let shards = (0..topology.n_shards())
+            .map(|s| {
+                ShardDialer::new(
+                    s,
+                    topology.replicas(s).to_vec(),
+                    rotation,
+                    policy,
+                    counters.clone(),
+                )
+            })
+            .collect();
+        Dialer { shards }
+    }
+
+    /// The dialer for shard `s`.
+    pub fn shard_mut(&mut self, s: usize) -> &mut ShardDialer {
+        &mut self.shards[s]
+    }
+
+    /// Mutable dialers for a subset of shards, in `which` order — the
+    /// disjoint borrows a scatter phase hands to its threads.
+    pub fn subset_mut(&mut self, which: &[usize]) -> Vec<&mut ShardDialer> {
+        let mut picked: Vec<Option<&mut ShardDialer>> = self.shards.iter_mut().map(Some).collect();
+        which
+            .iter()
+            .map(|&s| picked[s].take().expect("shard indices are distinct"))
+            .collect()
+    }
+}

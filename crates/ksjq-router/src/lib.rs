@@ -1,0 +1,54 @@
+//! Sharded, replicated KSJQ.
+//!
+//! This crate scales the single-node serving layer out to a cluster of
+//! `N` shards × `M` replicas of `ksjq-serverd`, behind a router that
+//! speaks the ordinary client protocol — `KsjqClient` works against a
+//! `ksjq-routerd` unchanged, and gets byte-identical answers.
+//!
+//! * [`topology`] — cluster shape and join-key placement: a stable
+//!   FNV-1a hash of the key string picks the shard, so all rows of one
+//!   join group (from both relations) co-locate and every joined tuple
+//!   exists on exactly one shard.
+//! * [`partition`] — splitting a `LOAD` into per-shard CSV slices that
+//!   preserve global row order, plus the local→global id maps.
+//! * [`dialer`] — pooled backend connections with bounded, jittered
+//!   retries and replica failover.
+//! * [`merge`] — the deterministic k-way merge of per-shard sorted
+//!   results.
+//! * [`router`] — [`Router`]: two-phase distributed `LOAD`
+//!   (stage-everywhere / commit-everywhere, so a failed load never
+//!   drops a live binding), two-round scatter-gather query execution
+//!   (local skylines, then cross-shard `FETCH`/`CHECK` verification),
+//!   and `STATS` fan-out counters.
+//!
+//! ```no_run
+//! use ksjq_router::{Router, RouterConfig, Topology};
+//! use ksjq_server::{KsjqClient, PlanSpec};
+//!
+//! // Two shards, each one replica, already running ksjq-serverd.
+//! let topology = Topology::new(vec![
+//!     vec!["127.0.0.1:7881".into()],
+//!     vec!["127.0.0.1:7882".into()],
+//! ]).unwrap();
+//! let config = RouterConfig { addr: "127.0.0.1:0".into(), ..RouterConfig::default() };
+//! let router = Router::start(topology, &config).unwrap();
+//!
+//! // Any KSJQ client speaks to the router as if it were one server.
+//! let mut client = KsjqClient::connect(router.addr()).unwrap();
+//! client.load_csv("out", "city,cost,rating:max\nJAI,5,4\nDEL,7,9\n").unwrap();
+//! client.load_csv("inb", "city,cost,rating:max\nJAI,2,8\nDEL,3,1\n").unwrap();
+//! let rows = client.query(&PlanSpec::new("out", "inb").k(3)).unwrap();
+//! println!("{} skyline pairs", rows.pairs.len());
+//! ```
+
+pub mod dialer;
+pub mod merge;
+pub mod partition;
+pub mod router;
+pub mod topology;
+
+pub use dialer::{DialPolicy, Dialer, FanoutCounters, ShardDialer};
+pub use merge::merge_sorted;
+pub use partition::{partition_csv, partition_synthetic, PartitionedLoad};
+pub use router::{Router, RouterConfig, RunningRouter};
+pub use topology::{fnv1a64, shard_of, Topology};

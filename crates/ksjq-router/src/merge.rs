@@ -1,0 +1,64 @@
+//! Deterministic merge of per-shard results.
+
+/// Merge sorted pair lists into one sorted list.
+///
+/// Every algorithm in the engine emits its skyline sorted by
+/// `(left, right)` tuple id, and remapping a shard's local ids through
+/// its (strictly monotone) id map keeps each list sorted — so this merge
+/// reproduces exactly the sequence a single node would emit. Shard count
+/// is small, so a linear scan for the minimum head beats a heap.
+pub fn merge_sorted(lists: Vec<Vec<(u32, u32)>>) -> Vec<(u32, u32)> {
+    let total = lists.iter().map(Vec::len).sum();
+    let mut pos = vec![0usize; lists.len()];
+    let mut out: Vec<(u32, u32)> = Vec::with_capacity(total);
+    while out.len() < total {
+        let mut best: Option<(usize, (u32, u32))> = None;
+        for (i, list) in lists.iter().enumerate() {
+            if let Some(&pair) = list.get(pos[i]) {
+                if best.is_none() || pair < best.expect("just checked").1 {
+                    best = Some((i, pair));
+                }
+            }
+        }
+        let (i, pair) = best.expect("fewer merged than total implies a non-exhausted list");
+        pos[i] += 1;
+        out.push(pair);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_interleaved_lists() {
+        let merged = merge_sorted(vec![
+            vec![(0, 2), (4, 4)],
+            vec![],
+            vec![(2, 0), (5, 5)],
+            vec![(4, 3)],
+        ]);
+        assert_eq!(merged, vec![(0, 2), (2, 0), (4, 3), (4, 4), (5, 5)]);
+    }
+
+    #[test]
+    fn equals_sort_of_concatenation() {
+        // The property the router relies on, phrased directly.
+        let lists = vec![
+            (0..50u32).map(|i| (i * 3, i)).collect::<Vec<_>>(),
+            (0..50u32).map(|i| (i * 3 + 1, 99 - i)).collect(),
+            (0..20u32).map(|i| (i * 7 + 2, i)).collect(),
+        ];
+        let mut expected: Vec<(u32, u32)> = lists.iter().flatten().copied().collect();
+        expected.sort_unstable();
+        assert_eq!(merge_sorted(lists), expected);
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        assert_eq!(merge_sorted(vec![]), vec![]);
+        assert_eq!(merge_sorted(vec![vec![], vec![]]), vec![]);
+        assert_eq!(merge_sorted(vec![vec![(1, 1)]]), vec![(1, 1)]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Splitting a `LOAD` into per-shard slices.
+//!
+//! The split is by join-key hash over the *textual* key cell, preserving
+//! global row order inside every slice. That ordering is what makes the
+//! distributed answer byte-identical to the single-node one: each
+//! shard's local→global id map is strictly monotone, so a shard's sorted
+//! result pairs remap to a sorted list of global pairs, and a k-way
+//! merge of those lists reproduces the exact order a single node emits.
+
+use crate::topology::shard_of;
+use ksjq_datagen::relation_to_annotated_csv_with;
+use ksjq_relation::csv::CsvTable;
+use ksjq_server::SyntheticSpec;
+
+/// Generated relations above this cell count are refused, mirroring the
+/// per-request cap the server applies to `LOAD … SYNTHETIC`.
+pub const MAX_SYNTHETIC_CELLS: usize = 50_000_000;
+
+/// One relation split for a cluster: the slices, the broadcast copy, and
+/// the id maps that translate shard-local row numbers back to global
+/// ones.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionedLoad {
+    /// Per-shard CSV slice (same header as the input; possibly
+    /// header-only — every shard registers every relation, empty or not,
+    /// so query planning is uniform).
+    pub shard_csvs: Vec<String>,
+    /// The whole relation, re-rendered — the `.all.<name>` broadcast
+    /// copy that find-k goals and `PREPARE` validation run against.
+    pub full_csv: String,
+    /// `id_maps[s][local]` = global row index of shard `s`'s row
+    /// `local`. Strictly increasing in `local` by construction.
+    pub id_maps: Vec<Vec<u32>>,
+    /// Total rows.
+    pub n: usize,
+    /// Attribute count (columns minus the key).
+    pub d: usize,
+}
+
+impl PartitionedLoad {
+    /// Rows placed on shard `s`.
+    pub fn rows_on(&self, s: usize) -> usize {
+        self.id_maps[s].len()
+    }
+}
+
+/// Split CSV text into `n_shards` slices by join-key hash (the key is
+/// the first column, as for `LOAD … INLINE`).
+pub fn partition_csv(csv: &str, n_shards: usize) -> Result<PartitionedLoad, String> {
+    let table = CsvTable::parse(csv).map_err(|e| e.to_string())?;
+    if table.header.len() < 2 {
+        return Err("CSV needs a key column and at least one attribute".into());
+    }
+    let mut shard_rows: Vec<Vec<Vec<String>>> = vec![Vec::new(); n_shards];
+    let mut id_maps: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
+    for (global, row) in table.rows.iter().enumerate() {
+        let s = shard_of(&row[0], n_shards);
+        shard_rows[s].push(row.clone());
+        id_maps[s].push(global as u32);
+    }
+    let shard_csvs = shard_rows
+        .into_iter()
+        .map(|rows| {
+            CsvTable {
+                header: table.header.clone(),
+                rows,
+            }
+            .to_csv()
+        })
+        .collect();
+    Ok(PartitionedLoad {
+        shard_csvs,
+        full_csv: table.to_csv(),
+        id_maps,
+        n: table.rows.len(),
+        d: table.header.len() - 1,
+    })
+}
+
+/// Generate a synthetic relation router-side and split it like CSV.
+///
+/// The generator is the same one the server runs for `LOAD … SYNTHETIC`
+/// (deterministic in the seed), keys spelled as decimal group ids —
+/// so a sharded synthetic load answers queries identically to the same
+/// spec loaded on a single node.
+pub fn partition_synthetic(
+    spec: &SyntheticSpec,
+    n_shards: usize,
+) -> Result<PartitionedLoad, String> {
+    if spec.n.saturating_mul(spec.d) > MAX_SYNTHETIC_CELLS {
+        return Err(format!(
+            "synthetic relation too large: n·d must stay ≤ {MAX_SYNTHETIC_CELLS}"
+        ));
+    }
+    if spec.a > spec.d {
+        return Err("aggregate attributes cannot exceed total attributes".into());
+    }
+    let rel = spec.dataset_spec().generate();
+    let csv = relation_to_annotated_csv_with(&rel, "key", |_| None).map_err(|e| e.to_string())?;
+    partition_csv(&csv, n_shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CSV: &str = "city,cost,rating:max\nJAI,1,5\nDEL,2,4\nJAI,3,3\nBOM,4,2\nDEL,5,1\n";
+
+    #[test]
+    fn one_shard_takes_everything_verbatim() {
+        let p = partition_csv(CSV, 1).unwrap();
+        assert_eq!(p.n, 5);
+        assert_eq!(p.d, 2);
+        assert_eq!(p.shard_csvs[0], CSV);
+        assert_eq!(p.full_csv, CSV);
+        assert_eq!(p.id_maps[0], vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn groups_colocate_and_maps_are_monotone() {
+        for n_shards in [2usize, 3, 4] {
+            let p = partition_csv(CSV, n_shards).unwrap();
+            assert_eq!(p.id_maps.iter().map(Vec::len).sum::<usize>(), 5);
+            let jai = shard_of("JAI", n_shards);
+            let slice = CsvTable::parse(&p.shard_csvs[jai]).unwrap();
+            assert_eq!(
+                slice.rows.iter().filter(|r| r[0] == "JAI").count(),
+                2,
+                "both JAI rows on shard {jai} of {n_shards}"
+            );
+            for map in &p.id_maps {
+                assert!(map.windows(2).all(|w| w[0] < w[1]), "monotone {map:?}");
+            }
+            // Every slice keeps the full header, even when empty.
+            for csv in &p.shard_csvs {
+                assert!(csv.starts_with("city,cost,rating:max\n"));
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_split_is_deterministic_and_capped() {
+        let spec = SyntheticSpec {
+            data_type: ksjq_datagen::DataType::Independent,
+            n: 40,
+            d: 4,
+            a: 1,
+            g: 6,
+            seed: 9,
+        };
+        let p1 = partition_synthetic(&spec, 3).unwrap();
+        let p2 = partition_synthetic(&spec, 3).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(p1.n, 40);
+
+        let huge = SyntheticSpec {
+            n: MAX_SYNTHETIC_CELLS,
+            d: 2,
+            ..spec
+        };
+        assert!(partition_synthetic(&huge, 3).is_err());
+    }
+
+    #[test]
+    fn junk_csv_is_rejected() {
+        assert!(partition_csv("", 2).is_err());
+        assert!(partition_csv("lonely\nA\n", 2).is_err());
+    }
+}

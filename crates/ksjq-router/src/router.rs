@@ -1,0 +1,846 @@
+//! The router front end: speaks the ordinary KSJQ client protocol, but
+//! answers by orchestrating a cluster of shard servers.
+//!
+//! ## Execution model
+//!
+//! * `LOAD` — the relation is split by join-key hash
+//!   ([`crate::partition`]) and applied to **every replica of every
+//!   shard** in two phases (`STAGE` everywhere, then `COMMIT` everywhere
+//!   only if every stage succeeded, else `ABORT` everywhere). A failed
+//!   load therefore leaves the *old* binding live on all shards. Shard 0
+//!   additionally holds a `.all.<name>` broadcast copy of the full
+//!   relation, which backs `PREPARE` validation, `EXPLAIN` and the
+//!   find-k goals (whose choice of `k` depends on global cardinalities).
+//! * `QUERY` / `EXECUTE` with a fixed `k` — scatter-gather in two
+//!   rounds. Round 1 runs the query on one replica of every
+//!   *participating* shard (both slices non-empty), yielding each
+//!   shard's local k-dominant skyline — a sound superset of the global
+//!   answer's members on that shard, because all rows of a join group
+//!   co-locate. Round 2 (only with ≥ 2 participating shards) `FETCH`es
+//!   every candidate's joined values from its own shard and `CHECK`s
+//!   them on every other participating shard; a candidate k-dominated
+//!   anywhere is dropped. Survivors are remapped to global row ids
+//!   (strictly monotone maps) and k-way merged — byte-identical to the
+//!   single-node answer.
+//! * Replica failure — any transport error fails over to the next
+//!   replica of the shard, with bounded, jittered retries; only when a
+//!   whole replica set is down does the client see `ERR unavailable`.
+
+use crate::dialer::{DialPolicy, Dialer, FanoutCounters, ShardDialer};
+use crate::merge::merge_sorted;
+use crate::partition::{partition_csv, partition_synthetic, PartitionedLoad};
+use crate::topology::Topology;
+use ksjq_core::{ExecStats, Goal, KsjqOutput};
+use ksjq_relation::TupleId;
+use ksjq_server::{
+    ClientError, Cursor, LoadSource, PlanSpec, Request, Response, ResultCache, RowChunk, RowSet,
+    ServerStats, MAX_LINE_BYTES, PROTOCOL_VERSION, ROWS_PER_CHUNK,
+};
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+/// `FETCH` batch size: row-id pairs per request.
+const FETCH_BATCH: usize = 256;
+/// `CHECK` batch size: probe rows per request (each row is `d_joined`
+/// decimal floats, so this stays far below the 1 MiB request cap).
+const CHECK_BATCH: usize = 64;
+
+/// Router knobs.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Listen address (`host:port`; port 0 binds ephemeral).
+    pub addr: String,
+    /// Result-cache capacity (0 disables caching and `MORE` paging).
+    pub cache_entries: usize,
+    /// Backend retry/backoff/timeout policy.
+    pub policy: DialPolicy,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:7979".into(),
+            cache_entries: 128,
+            policy: DialPolicy::default(),
+        }
+    }
+}
+
+/// What the router remembers about a relation it loaded.
+#[derive(Debug)]
+struct RelMeta {
+    /// `id_maps[s][local]` = global row id (strictly increasing).
+    id_maps: Vec<Vec<u32>>,
+}
+
+/// A prepared query: the router keeps the plan (and re-sends it as a
+/// one-shot `QUERY` on every `EXECUTE`) instead of relying on
+/// server-side session state, so a replica failover between `PREPARE`
+/// and `EXECUTE` is invisible.
+#[derive(Debug)]
+struct Prepared {
+    plan: PlanSpec,
+    explain: String,
+}
+
+#[derive(Debug)]
+struct RouterState {
+    topology: Topology,
+    policy: DialPolicy,
+    relations: RwLock<HashMap<String, Arc<RelMeta>>>,
+    cache: ResultCache,
+    /// Serialises catalog mutations: interleaved two-phase loads of the
+    /// same name from two sessions must not cross-commit.
+    load_lock: Mutex<()>,
+    fanout: Arc<FanoutCounters>,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    fanout_queries: AtomicU64,
+    merge_us: AtomicU64,
+    rotation: AtomicUsize,
+    stop: AtomicBool,
+}
+
+/// The distributed KSJQ front end. Bind, then [`run`](Router::run) (or
+/// [`start`](Router::start) on a background thread for tests).
+#[derive(Debug)]
+pub struct Router {
+    listener: TcpListener,
+    state: Arc<RouterState>,
+}
+
+impl Router {
+    /// Bind the listen socket (connections are accepted by `run`).
+    pub fn bind(topology: Topology, config: &RouterConfig) -> io::Result<Router> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let state = Arc::new(RouterState {
+            topology,
+            policy: config.policy,
+            relations: RwLock::new(HashMap::new()),
+            cache: ResultCache::new(config.cache_entries),
+            load_lock: Mutex::new(()),
+            fanout: Arc::new(FanoutCounters::default()),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            fanout_queries: AtomicU64::new(0),
+            merge_us: AtomicU64::new(0),
+            rotation: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+        });
+        Ok(Router { listener, state })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept and serve connections until stopped (thread per
+    /// connection — a router session is long-lived and few in number
+    /// next to the shard servers behind it).
+    pub fn run(self) -> io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.state.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let state = self.state.clone();
+            thread::spawn(move || handle_conn(&state, stream));
+        }
+        Ok(())
+    }
+
+    /// Bind and serve on a background thread; returns a stoppable handle.
+    pub fn start(topology: Topology, config: &RouterConfig) -> io::Result<RunningRouter> {
+        let router = Router::bind(topology, config)?;
+        let addr = router.local_addr()?;
+        let state = router.state.clone();
+        let handle = thread::spawn(move || router.run());
+        Ok(RunningRouter {
+            addr,
+            state,
+            handle,
+        })
+    }
+}
+
+/// A router serving on a background thread.
+#[derive(Debug)]
+pub struct RunningRouter {
+    addr: SocketAddr,
+    state: Arc<RouterState>,
+    handle: JoinHandle<io::Result<()>>,
+}
+
+impl RunningRouter {
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept loop (existing sessions are
+    /// torn down by their own I/O failing, not waited for).
+    pub fn stop(self) -> io::Result<()> {
+        self.state.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr); // unblock accept()
+        self.handle.join().unwrap_or(Ok(()))
+    }
+}
+
+// -------------------------------------------------------------- session
+
+fn handle_conn(state: &RouterState, stream: TcpStream) {
+    state.connections.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let rotation = state.rotation.fetch_add(1, Ordering::Relaxed);
+    let mut dialer = Dialer::new(
+        &state.topology,
+        rotation,
+        state.policy,
+        state.fanout.clone(),
+    );
+    let mut sessions: HashMap<String, Prepared> = HashMap::new();
+    let mut version = 1u32;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // Cap the request line; an overlong line would desync the
+        // framing, so it ends the session after an ERR.
+        let mut limited = Read::take(reader.by_ref(), (MAX_LINE_BYTES + 2) as u64);
+        match limited.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) if !line.ends_with('\n') && line.len() > MAX_LINE_BYTES => {
+                send_err(&mut writer, state, "request line too long");
+                return;
+            }
+            Ok(_) => {}
+        }
+        let text = line.trim_end_matches(['\r', '\n']);
+        if text.len() > MAX_LINE_BYTES {
+            if !send_err(&mut writer, state, "request line too long") {
+                return;
+            }
+            continue;
+        }
+        if text.is_empty() {
+            continue;
+        }
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        let request = match Request::parse(text) {
+            Ok(request) => request,
+            Err(e) => {
+                if !send_err(&mut writer, state, &e) {
+                    return;
+                }
+                continue;
+            }
+        };
+        let keep_going = match request {
+            Request::Hello { version: v } => {
+                version = v.clamp(1, PROTOCOL_VERSION);
+                send(&mut writer, state, &Response::Hello { version })
+            }
+            Request::Close => {
+                let _ = send(&mut writer, state, &Response::Bye);
+                return;
+            }
+            Request::More { cursor } => {
+                let response = more(state, version, cursor);
+                send(&mut writer, state, &response)
+            }
+            Request::Load { name, source } => match load(state, &mut dialer, &name, &source) {
+                Ok(msg) => send(&mut writer, state, &Response::Ok(msg)),
+                Err(e) => send_err(&mut writer, state, &e),
+            },
+            Request::Prepare { id, plan } => match prepare(state, &mut dialer, &id, &plan) {
+                Ok((msg, prepared)) => {
+                    sessions.insert(id, prepared);
+                    send(&mut writer, state, &Response::Ok(msg))
+                }
+                Err(e) => send_err(&mut writer, state, &e),
+            },
+            Request::Execute { id } => match sessions.get(&id) {
+                Some(prepared) => {
+                    let plan = prepared.plan.clone();
+                    match run_distributed(state, &mut dialer, &plan) {
+                        Ok(run) => respond_result(&mut writer, state, version, &run),
+                        Err(e) => send_err(&mut writer, state, &e),
+                    }
+                }
+                None => send_err(
+                    &mut writer,
+                    state,
+                    &format!("unknown query id {id:?}: PREPARE it first"),
+                ),
+            },
+            Request::Query { plan } => match run_distributed(state, &mut dialer, &plan) {
+                Ok(run) => respond_result(&mut writer, state, version, &run),
+                Err(e) => send_err(&mut writer, state, &e),
+            },
+            Request::Explain { id } => match sessions.get(&id) {
+                Some(prepared) => {
+                    let response = Response::Explain(prepared.explain.clone());
+                    send(&mut writer, state, &response)
+                }
+                None => send_err(
+                    &mut writer,
+                    state,
+                    &format!("unknown query id {id:?}: PREPARE it first"),
+                ),
+            },
+            Request::Stats => send_raw(&mut writer, &stats_line(state, sessions.len())),
+            Request::Sync { .. }
+            | Request::Stage { .. }
+            | Request::Commit { .. }
+            | Request::Abort { .. }
+            | Request::Fetch { .. }
+            | Request::Check { .. } => send_err(
+                &mut writer,
+                state,
+                "backend-only command: SYNC/STAGE/COMMIT/ABORT/FETCH/CHECK address one shard \
+                 server, not the router",
+            ),
+        };
+        if !keep_going {
+            return;
+        }
+    }
+}
+
+fn send(writer: &mut TcpStream, state: &RouterState, response: &Response) -> bool {
+    if matches!(response, Response::Error(_)) {
+        state.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    send_raw(writer, &response.to_string())
+}
+
+fn send_err(writer: &mut TcpStream, state: &RouterState, msg: &str) -> bool {
+    send(writer, state, &Response::Error(msg.into()))
+}
+
+fn send_raw(writer: &mut TcpStream, line: &str) -> bool {
+    writer
+        .write_all(line.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .is_ok()
+}
+
+// ------------------------------------------------------------ responses
+
+/// A finished distributed execution, shaped for the response writer.
+#[derive(Debug)]
+struct RunResult {
+    k: usize,
+    micros: u64,
+    cached: bool,
+    result_id: Option<u64>,
+    output: Arc<KsjqOutput>,
+}
+
+fn respond_result(
+    writer: &mut TcpStream,
+    state: &RouterState,
+    version: u32,
+    run: &RunResult,
+) -> bool {
+    if version < 2 {
+        let pairs = run.output.pairs.iter().map(|&(l, r)| (l.0, r.0)).collect();
+        return send(
+            writer,
+            state,
+            &Response::Rows(RowSet {
+                k: run.k,
+                micros: run.micros,
+                cached: run.cached,
+                pairs,
+            }),
+        );
+    }
+    let parts = run.output.chunk_count(ROWS_PER_CHUNK);
+    for index in 0..parts {
+        let response = chunk_response(run, index, parts);
+        if !send(writer, state, &response) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Serialise chunk `index` of a result (0-based; `parts` total) — the
+/// same framing the single-node server emits.
+fn chunk_response(run: &RunResult, index: usize, parts: usize) -> Response {
+    let pairs = run
+        .output
+        .chunk(index, ROWS_PER_CHUNK)
+        .unwrap_or(&[])
+        .iter()
+        .map(|&(l, r)| (l.0, r.0))
+        .collect();
+    let part = (index + 1) as u32;
+    let parts = parts as u32;
+    let cursor = match run.result_id {
+        Some(result) if part < parts => Some(Cursor {
+            result,
+            part: part + 1,
+        }),
+        _ => None,
+    };
+    Response::Chunk(RowChunk {
+        k: run.k,
+        micros: run.micros,
+        cached: run.cached,
+        total: run.output.len(),
+        part,
+        parts,
+        cursor,
+        pairs,
+    })
+}
+
+/// Serve one `MORE <cursor>` page out of the router's result cache.
+fn more(state: &RouterState, version: u32, cursor: Cursor) -> Response {
+    if version < 2 {
+        return Response::Error("MORE requires protocol v2 (send HELLO 2 first)".into());
+    }
+    let Some(hit) = state.cache.by_id(cursor.result) else {
+        return Response::Error(format!(
+            "unknown or expired cursor {cursor} (results age out of the cache)"
+        ));
+    };
+    let parts = hit.output.chunk_count(ROWS_PER_CHUNK);
+    let index = (cursor.part - 1) as usize;
+    if index >= parts {
+        return Response::Error(format!("cursor {cursor} is past the end ({parts} parts)"));
+    }
+    let run = RunResult {
+        k: hit.k,
+        micros: 0,
+        cached: true,
+        result_id: Some(hit.id),
+        output: hit.output,
+    };
+    chunk_response(&run, index, parts)
+}
+
+/// The `STATS` frame: standard counters (engine-local ones zero — the
+/// router does no dominance work itself except what `merge_us` times)
+/// plus per-shard `shard<i>_rows=<n>` extension tokens, which the stock
+/// STATS parser skips.
+fn stats_line(state: &RouterState, sessions: usize) -> String {
+    let cache = state.cache.counters();
+    let stats = ServerStats {
+        connections: state.connections.load(Ordering::Relaxed),
+        requests: state.requests.load(Ordering::Relaxed),
+        errors: state.errors.load(Ordering::Relaxed),
+        sessions: sessions as u64,
+        relations: read_lock(&state.relations).len() as u64,
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+        cache_evictions: cache.evictions(),
+        cache_len: state.cache.len() as u64,
+        workers: 0,
+        dom_tests: 0,
+        attr_cmps: 0,
+        domgen_us: 0,
+        shed: 0,
+        reaped: 0,
+        peak_buf: 0,
+        fanout_queries: state.fanout_queries.load(Ordering::Relaxed),
+        merge_us: state.merge_us.load(Ordering::Relaxed),
+        shard_retries: state.fanout.shard_retries.load(Ordering::Relaxed),
+        shard_errors: state.fanout.shard_errors.load(Ordering::Relaxed),
+    };
+    let mut out = Response::Stats(stats).to_string();
+    let relations = read_lock(&state.relations);
+    for s in 0..state.topology.n_shards() {
+        let rows: u64 = relations.values().map(|m| m.id_maps[s].len() as u64).sum();
+        out.push_str(&format!(" shard{s}_rows={rows}"));
+    }
+    out
+}
+
+fn read_lock(
+    relations: &RwLock<HashMap<String, Arc<RelMeta>>>,
+) -> std::sync::RwLockReadGuard<'_, HashMap<String, Arc<RelMeta>>> {
+    relations.read().unwrap_or_else(|e| e.into_inner())
+}
+
+// ----------------------------------------------------------------- load
+
+fn describe(shard: usize, e: ClientError) -> String {
+    match e {
+        ClientError::Io(e) => format!("unavailable shard {shard}: {e}"),
+        ClientError::Server(msg) => msg,
+        ClientError::Protocol(msg) => format!("shard {shard} protocol error: {msg}"),
+    }
+}
+
+fn load(
+    state: &RouterState,
+    dialer: &mut Dialer,
+    name: &str,
+    source: &LoadSource,
+) -> Result<String, String> {
+    if name.starts_with('.') {
+        return Err("relation names starting with '.' are reserved for the router".into());
+    }
+    let n_shards = state.topology.n_shards();
+    let part = match source {
+        LoadSource::Inline { csv } => partition_csv(csv, n_shards)?,
+        LoadSource::Synthetic(spec) => partition_synthetic(spec, n_shards)?,
+    };
+    let _guard = state.load_lock.lock().unwrap_or_else(|e| e.into_inner());
+    let all_name = format!(".all.{name}");
+
+    // Phase one: stage the slice on every replica of every shard (plus
+    // the broadcast copy on shard 0). First failure aborts everywhere —
+    // no shard has published anything yet, so the old binding survives.
+    let mut failure: Option<String> = None;
+    'stage: for s in 0..n_shards {
+        let sd = dialer.shard_mut(s);
+        for r in 0..sd.n_replicas() {
+            let slice = &part.shard_csvs[s];
+            if let Err(e) = sd.call_replica(r, |c| c.stage_csv(name, slice)) {
+                failure = Some(describe(s, e));
+                break 'stage;
+            }
+            if s == 0 {
+                if let Err(e) = sd.call_replica(r, |c| c.stage_csv(&all_name, &part.full_csv)) {
+                    failure = Some(describe(s, e));
+                    break 'stage;
+                }
+            }
+        }
+    }
+    if let Some(e) = failure {
+        abort_everywhere(state, dialer, name, &all_name);
+        return Err(e);
+    }
+
+    // Phase two: every stage parsed, so commit everywhere. A commit can
+    // still fail (replica crashed between phases); that leaves the
+    // cluster mixed for this name and is reported as an error — the
+    // client's recovery is to re-issue the LOAD.
+    let mut commit_errors: Vec<String> = Vec::new();
+    for s in 0..n_shards {
+        let sd = dialer.shard_mut(s);
+        for r in 0..sd.n_replicas() {
+            if let Err(e) = sd.call_replica(r, |c| c.commit(name)) {
+                commit_errors.push(describe(s, e));
+                continue;
+            }
+            if s == 0 {
+                if let Err(e) = sd.call_replica(r, |c| c.commit(&all_name)) {
+                    commit_errors.push(describe(s, e));
+                }
+            }
+        }
+    }
+    state.cache.invalidate_relation(name);
+    if !commit_errors.is_empty() {
+        return Err(format!(
+            "load partially committed ({} of {} commits failed; re-issue the LOAD): {}",
+            commit_errors.len(),
+            n_shards,
+            commit_errors.join("; ")
+        ));
+    }
+    let PartitionedLoad { id_maps, n, d, .. } = part;
+    state
+        .relations
+        .write()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(name.into(), Arc::new(RelMeta { id_maps }));
+    Ok(format!("loaded {name} n={n} d={d} shards={n_shards}"))
+}
+
+/// Best-effort `ABORT` of a failed load on every replica (idempotent on
+/// the backend, so replicas that never staged answer OK too).
+fn abort_everywhere(state: &RouterState, dialer: &mut Dialer, name: &str, all_name: &str) {
+    for s in 0..state.topology.n_shards() {
+        let sd = dialer.shard_mut(s);
+        for r in 0..sd.n_replicas() {
+            let _ = sd.call_replica(r, |c| c.abort(name));
+            if s == 0 {
+                let _ = sd.call_replica(r, |c| c.abort(all_name));
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------- queries
+
+fn meta(state: &RouterState, name: &str) -> Result<Arc<RelMeta>, String> {
+    read_lock(&state.relations)
+        .get(name)
+        .cloned()
+        .ok_or_else(|| format!("unknown relation {name:?} (LOAD it through this router)"))
+}
+
+/// The plan, retargeted at the shard-0 broadcast copies.
+fn rewrite_all(state: &RouterState, plan: &PlanSpec) -> Result<PlanSpec, String> {
+    meta(state, &plan.left)?;
+    meta(state, &plan.right)?;
+    let mut rewritten = plan.clone();
+    rewritten.left = format!(".all.{}", plan.left);
+    rewritten.right = format!(".all.{}", plan.right);
+    Ok(rewritten)
+}
+
+fn prepare(
+    state: &RouterState,
+    dialer: &mut Dialer,
+    id: &str,
+    plan: &PlanSpec,
+) -> Result<(String, Prepared), String> {
+    let rewritten = rewrite_all(state, plan)?;
+    // Validate against the broadcast copy and capture the plan summary
+    // in the same breath (same connection, so the id resolves).
+    let (msg, explain) = dialer
+        .shard_mut(0)
+        .call(|c| {
+            let msg = c.prepare(id, &rewritten)?;
+            let explain = c.explain(id)?;
+            Ok((msg, explain))
+        })
+        .map_err(|e| describe(0, e))?;
+    let explain = format!(
+        "distributed shards={} {}",
+        state.topology.n_shards(),
+        explain
+    );
+    Ok((
+        msg,
+        Prepared {
+            plan: plan.clone(),
+            explain,
+        },
+    ))
+}
+
+/// Run every shard of `shards` through `f` concurrently, each on its own
+/// dialer, and collect the results in `shards` order.
+fn fan_out<T: Send>(
+    dialer: &mut Dialer,
+    shards: &[usize],
+    f: impl Fn(&mut ShardDialer, usize) -> Result<T, String> + Sync,
+) -> Result<Vec<T>, String> {
+    let dialers = dialer.subset_mut(shards);
+    let mut slots: Vec<Option<Result<T, String>>> =
+        std::iter::repeat_with(|| None).take(shards.len()).collect();
+    thread::scope(|scope| {
+        for (i, (sd, slot)) in dialers.into_iter().zip(slots.iter_mut()).enumerate() {
+            let f = &f;
+            scope.spawn(move || *slot = Some(f(sd, i)));
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("scoped thread fills its slot"))
+        .collect()
+}
+
+fn run_distributed(
+    state: &RouterState,
+    dialer: &mut Dialer,
+    plan: &PlanSpec,
+) -> Result<RunResult, String> {
+    let key = Request::Query { plan: plan.clone() }.to_string();
+    if let Some(hit) = state.cache.get(&key) {
+        return Ok(RunResult {
+            k: hit.k,
+            micros: 0,
+            cached: true,
+            result_id: Some(hit.id),
+            output: hit.output,
+        });
+    }
+    let t0 = Instant::now();
+    state.fanout_queries.fetch_add(1, Ordering::Relaxed);
+    let (k, pairs) = match plan.goal {
+        // Find-k goals resolve k from *global* skyline cardinalities, so
+        // they run whole on the shard-0 broadcast copies (already in
+        // global row ids).
+        Goal::AtLeast(..) | Goal::AtMost(..) => {
+            let rewritten = rewrite_all(state, plan)?;
+            let rows = dialer
+                .shard_mut(0)
+                .call(|c| c.query(&rewritten))
+                .map_err(|e| describe(0, e))?;
+            (rows.k, rows.pairs)
+        }
+        Goal::Exact(_) | Goal::SkylineJoin => {
+            let lmeta = meta(state, &plan.left)?;
+            let rmeta = meta(state, &plan.right)?;
+            let participating: Vec<usize> = (0..state.topology.n_shards())
+                .filter(|&s| !lmeta.id_maps[s].is_empty() && !rmeta.id_maps[s].is_empty())
+                .collect();
+            if participating.is_empty() {
+                // No shard holds both sides: the join is empty, but the
+                // broadcast copy still computes the right k (and the
+                // right error for an invalid one).
+                let rewritten = rewrite_all(state, plan)?;
+                let rows = dialer
+                    .shard_mut(0)
+                    .call(|c| c.query(&rewritten))
+                    .map_err(|e| describe(0, e))?;
+                (rows.k, rows.pairs)
+            } else {
+                // Round 1: local k-dominant skylines, in parallel.
+                let local = fan_out(dialer, &participating, |sd, _| {
+                    sd.call(|c| c.query(plan))
+                        .map_err(|e| describe(sd.shard(), e))
+                })?;
+                let k = local[0].k;
+                debug_assert!(local.iter().all(|r| r.k == k), "k is schema-determined");
+                let survivors: Vec<Vec<(u32, u32)>> = if participating.len() == 1 {
+                    vec![local[0].pairs.clone()]
+                } else {
+                    verify_candidates(dialer, &participating, plan, k, &local)?
+                };
+                // Remap to global ids and merge — the deterministic step
+                // `merge_us` times.
+                let tm = Instant::now();
+                let lists = survivors
+                    .iter()
+                    .zip(&participating)
+                    .map(|(pairs, &s)| {
+                        pairs
+                            .iter()
+                            .map(|&(u, v)| {
+                                (lmeta.id_maps[s][u as usize], rmeta.id_maps[s][v as usize])
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let merged = merge_sorted(lists);
+                state
+                    .merge_us
+                    .fetch_add(tm.elapsed().as_micros() as u64, Ordering::Relaxed);
+                (k, merged)
+            }
+        }
+    };
+    let output = Arc::new(KsjqOutput {
+        pairs: pairs
+            .into_iter()
+            .map(|(u, v)| (TupleId(u), TupleId(v)))
+            .collect(),
+        stats: ExecStats::default(),
+    });
+    let result_id = state.cache.insert(
+        key,
+        output.clone(),
+        k,
+        vec![plan.left.clone(), plan.right.clone()],
+    );
+    Ok(RunResult {
+        k,
+        micros: t0.elapsed().as_micros() as u64,
+        cached: false,
+        result_id,
+        output,
+    })
+}
+
+/// Round 2 of scatter-gather: cross-shard verification of the local
+/// skyline candidates.
+///
+/// A candidate pair is in the *global* answer iff no joined tuple
+/// anywhere k-dominates it. Its own shard already established that for
+/// the tuples it holds (that is what a local skyline is); every other
+/// participating shard holds the rest, checked here against the
+/// candidate's joined values. Returns the surviving pairs per shard, in
+/// `participating` order, each still sorted.
+fn verify_candidates(
+    dialer: &mut Dialer,
+    participating: &[usize],
+    plan: &PlanSpec,
+    k: usize,
+    local: &[RowSet],
+) -> Result<Vec<Vec<(u32, u32)>>, String> {
+    // Phase a: every shard materialises its own candidates' joined
+    // values (`FETCH`), batched and in parallel.
+    let vals: Vec<Vec<Vec<f64>>> = fan_out(dialer, participating, |sd, i| {
+        let cands = &local[i].pairs;
+        let mut rows = Vec::with_capacity(cands.len());
+        for batch in cands.chunks(FETCH_BATCH) {
+            let got = sd
+                .call(|c| c.fetch(&plan.left, &plan.right, &plan.aggs, batch))
+                .map_err(|e| describe(sd.shard(), e))?;
+            if got.len() != batch.len() {
+                return Err(format!(
+                    "shard {} returned {} rows for a {}-pair FETCH",
+                    sd.shard(),
+                    got.len(),
+                    batch.len()
+                ));
+            }
+            rows.extend(got);
+        }
+        Ok(rows)
+    })?;
+
+    // Phase b: every shard t checks every *other* shard's candidate
+    // values (`CHECK`), in parallel over t. dominated[t][s] holds one
+    // bit per candidate of shard index s (empty when s == t).
+    let dominated: Vec<Vec<Vec<bool>>> = fan_out(dialer, participating, |sd, t| {
+        let mut per_source = Vec::with_capacity(vals.len());
+        for (s, rows) in vals.iter().enumerate() {
+            if s == t {
+                per_source.push(Vec::new());
+                continue;
+            }
+            let mut bits = Vec::with_capacity(rows.len());
+            for batch in rows.chunks(CHECK_BATCH) {
+                let got = sd
+                    .call(|c| c.check(&plan.left, &plan.right, &plan.aggs, k, batch))
+                    .map_err(|e| describe(sd.shard(), e))?;
+                if got.len() != batch.len() {
+                    return Err(format!(
+                        "shard {} returned {} bits for a {}-row CHECK",
+                        sd.shard(),
+                        got.len(),
+                        batch.len()
+                    ));
+                }
+                bits.extend(got);
+            }
+            per_source.push(bits);
+        }
+        Ok(per_source)
+    })?;
+
+    // A candidate survives iff no other shard dominated it.
+    Ok(local
+        .iter()
+        .enumerate()
+        .map(|(s, rows)| {
+            rows.pairs
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(i, _)| {
+                    dominated
+                        .iter()
+                        .enumerate()
+                        .all(|(t, per_source)| t == s || !per_source[s][i])
+                })
+                .map(|(_, pair)| pair)
+                .collect()
+        })
+        .collect())
+}

@@ -1,0 +1,96 @@
+//! Cluster shape and key placement.
+//!
+//! A cluster is `N` shards × `M` replicas: every relation loaded through
+//! the router is split into `N` slices by join-key hash, and each slice
+//! lives on *every* replica of its shard. Placement must agree between
+//! the two relations of a join, and it does by construction: the shard of
+//! a row is a pure function of its join-key *string*, so all rows of one
+//! join group — from both relations — land on the same shard, and every
+//! joined tuple exists on exactly one shard.
+
+/// The FNV-1a 64-bit hash of a string — stable across platforms and
+/// processes (placement is part of the on-the-wire contract between a
+/// router and its shards, so a seeded or randomized hasher would do).
+pub fn fnv1a64(s: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in s.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Which of `n_shards` shards owns join key `key`.
+pub fn shard_of(key: &str, n_shards: usize) -> usize {
+    debug_assert!(n_shards > 0);
+    (fnv1a64(key) % n_shards as u64) as usize
+}
+
+/// The cluster layout: `shards[i]` is the replica address list of shard
+/// `i`. Shard order is identity — the same `--shard` flags in a
+/// different order describe a *different* cluster (keys hash to shard
+/// indices).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    shards: Vec<Vec<String>>,
+}
+
+impl Topology {
+    /// Build a topology; every shard needs at least one replica.
+    pub fn new(shards: Vec<Vec<String>>) -> Result<Topology, String> {
+        if shards.is_empty() {
+            return Err("a cluster needs at least one shard".into());
+        }
+        for (i, replicas) in shards.iter().enumerate() {
+            if replicas.is_empty() {
+                return Err(format!("shard {i} has no replica addresses"));
+            }
+        }
+        Ok(Topology { shards })
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Replica addresses of shard `shard`.
+    pub fn replicas(&self, shard: usize) -> &[String] {
+        &self.shards[shard]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_the_reference_function() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64("a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64("foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn placement_is_stable_and_in_range() {
+        for n in 1..=5 {
+            for key in ["JAI", "DEL", "BOM", "", "42"] {
+                let s = shard_of(key, n);
+                assert!(s < n);
+                assert_eq!(s, shard_of(key, n), "must be deterministic");
+            }
+        }
+        // One shard takes everything.
+        assert_eq!(shard_of("anything", 1), 0);
+    }
+
+    #[test]
+    fn topology_rejects_degenerate_shapes() {
+        assert!(Topology::new(vec![]).is_err());
+        assert!(Topology::new(vec![vec!["a:1".into()], vec![]]).is_err());
+        let t = Topology::new(vec![vec!["a:1".into(), "a:2".into()], vec!["b:1".into()]]).unwrap();
+        assert_eq!(t.n_shards(), 2);
+        assert_eq!(t.replicas(0).len(), 2);
+    }
+}

@@ -18,7 +18,7 @@
 //! reaps quiet sessions.
 
 use ksjq_core::Engine;
-use ksjq_server::{register_demo_catalog, Server, ServerConfig};
+use ksjq_server::{register_demo_catalog, ConnectOptions, Server, ServerConfig};
 use std::time::Duration;
 
 fn die(msg: &str) -> ! {
@@ -26,7 +26,20 @@ fn die(msg: &str) -> ! {
     std::process::exit(2)
 }
 
-fn parse_args() -> ServerConfig {
+/// How the catalog is seeded at startup.
+#[derive(Debug, Default)]
+enum Seed {
+    /// The paper's demo tables (default standalone behaviour).
+    #[default]
+    Demo,
+    /// Start empty — a shard server a router populates via `LOAD`.
+    Empty,
+    /// Clone a primary's catalog over `SYNC` (replica mode).
+    ReplicaOf(String),
+}
+
+fn parse_args() -> (ServerConfig, Seed) {
+    let mut seed = Seed::default();
     let mut config = ServerConfig {
         addr: "127.0.0.1:7878".into(),
         ..ServerConfig::default()
@@ -75,29 +88,54 @@ fn parse_args() -> ServerConfig {
                 // but never exceeds its default.
                 config.stall_timeout = config.stall_timeout.min(config.idle_timeout);
             }
+            "--replica-of" => {
+                seed = Seed::ReplicaOf(
+                    args.next()
+                        .unwrap_or_else(|| die("--replica-of needs host:port of a primary")),
+                );
+            }
+            "--no-demo" => seed = Seed::Empty,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: ksjq-serverd [--addr HOST:PORT] [--workers N] [--cache-entries N]\n\
                      \x20                   [--max-conns N] [--max-inflight N] [--idle-timeout SECS]\n\
+                     \x20                   [--no-demo] [--replica-of HOST:PORT]\n\
                      \x20 --addr           listen address (default 127.0.0.1:7878; port 0 = ephemeral)\n\
                      \x20 --workers        worker threads (default 8)\n\
                      \x20 --cache-entries  result-cache capacity (default 128; 0 disables)\n\
                      \x20 --max-conns      open-connection cap; excess get ERR busy (default 2048)\n\
                      \x20 --max-inflight   per-connection pipelined-request cap (default 32)\n\
-                     \x20 --idle-timeout   reap idle connections after SECS (default 300)"
+                     \x20 --idle-timeout   reap idle connections after SECS (default 300)\n\
+                     \x20 --no-demo        start with an empty catalog (a router shard)\n\
+                     \x20 --replica-of     clone a primary's catalog via SYNC before serving"
                 );
                 std::process::exit(0);
             }
             other => die(&format!("unknown flag {other} (try --help)")),
         }
     }
-    config
+    (config, seed)
 }
 
 fn main() {
-    let config = parse_args();
+    let (config, seed) = parse_args();
     let engine = Engine::new();
-    register_demo_catalog(&engine).expect("fresh engine accepts the demo catalog");
+    match &seed {
+        Seed::Demo => {
+            register_demo_catalog(&engine).expect("fresh engine accepts the demo catalog");
+        }
+        Seed::Empty => {}
+        Seed::ReplicaOf(primary) => {
+            let opts = ConnectOptions::all(Duration::from_secs(10));
+            // Seed the backoff jitter from the pid so replicas launched
+            // together spread their retries.
+            let jitter_seed = std::process::id() as u64;
+            match ksjq_server::sync_from(&engine, primary, &opts, 5, jitter_seed) {
+                Ok(names) => println!("synced {} relations from {primary}", names.len()),
+                Err(e) => die(&format!("cannot sync from primary {primary}: {e}")),
+            }
+        }
+    }
     let names = engine.catalog().names().join(", ");
     let server = match Server::bind(engine, &config) {
         Ok(server) => server,
@@ -108,7 +146,11 @@ fn main() {
         "ksjq-serverd listening on {addr} ({} workers, cache {} entries, max {} conns)",
         config.workers, config.cache_entries, config.max_conns
     );
-    println!("preloaded catalog: {names}");
+    if names.is_empty() {
+        println!("catalog empty (load via a router or LOAD)");
+    } else {
+        println!("preloaded catalog: {names}");
+    }
     if let Err(e) = server.run() {
         die(&format!("server failed: {e}"));
     }

@@ -24,6 +24,75 @@ use crate::protocol::{
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Socket timeouts for [`KsjqClient::connect_with`].
+///
+/// The defaults (all `None`) match [`KsjqClient::connect`]: block forever.
+/// A router front end talking to possibly-dead replicas wants all three
+/// bounded, so a hung shard surfaces as [`ClientError::Io`] — which
+/// [`retry_with_backoff`] retries and a dialer fails over on — instead of
+/// wedging the session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnectOptions {
+    /// Bound on establishing the TCP connection (per resolved address).
+    pub connect_timeout: Option<Duration>,
+    /// Bound on each blocking read (one response line).
+    pub read_timeout: Option<Duration>,
+    /// Bound on each blocking write (one request line).
+    pub write_timeout: Option<Duration>,
+}
+
+impl ConnectOptions {
+    /// One bound for connect, read and write alike.
+    pub fn all(timeout: Duration) -> ConnectOptions {
+        ConnectOptions {
+            connect_timeout: Some(timeout),
+            read_timeout: Some(timeout),
+            write_timeout: Some(timeout),
+        }
+    }
+}
+
+/// Run `f` up to `attempts` times, sleeping between failures with
+/// exponentially growing, jittered backoff (`base`, `2·base`, … capped at
+/// `cap`; each delay scaled by a deterministic factor in `[0.5, 1.0)`
+/// derived from `seed` and the attempt number, so a fleet of retriers
+/// with distinct seeds does not stampede in lockstep).
+///
+/// Only transport failures ([`ClientError::Io`]) are retried: an `ERR`
+/// frame or a protocol violation means the server *answered*, and asking
+/// again would repeat the same answer. `f` receives the 0-based attempt
+/// number.
+pub fn retry_with_backoff<T>(
+    attempts: u32,
+    base: Duration,
+    cap: Duration,
+    seed: u64,
+    mut f: impl FnMut(u32) -> ClientResult<T>,
+) -> ClientResult<T> {
+    let attempts = attempts.max(1);
+    let mut delay = base.min(cap);
+    for attempt in 0..attempts {
+        match f(attempt) {
+            Err(ClientError::Io(e)) if attempt + 1 < attempts => {
+                let _ = e; // retried; the final attempt's error is the one reported
+                           // splitmix64 of (seed, attempt): cheap, deterministic,
+                           // well-mixed — no RNG dependency needed for jitter.
+                let mut z = seed ^ (u64::from(attempt).wrapping_mul(0x9e3779b97f4a7c15));
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^= z >> 31;
+                // Map to [0.5, 1.0): keep at least half the nominal delay.
+                let factor = 0.5 + (z >> 11) as f64 / (1u64 << 53) as f64 / 2.0;
+                std::thread::sleep(delay.mul_f64(factor));
+                delay = (delay * 2).min(cap);
+            }
+            other => return other,
+        }
+    }
+    unreachable!("loop returns on the final attempt")
+}
 
 /// What can go wrong on a client call.
 #[derive(Debug)]
@@ -71,7 +140,49 @@ impl KsjqClient {
     /// version both sides speak (a server that rejects `HELLO` is taken
     /// to be v1-only and the session proceeds on v1).
     pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<KsjqClient> {
-        let mut client = KsjqClient::connect_legacy(addr)?;
+        KsjqClient::connect_with(addr, &ConnectOptions::default())
+    }
+
+    /// Like [`connect`](KsjqClient::connect), with socket timeouts.
+    ///
+    /// With a `connect_timeout`, each resolved address is tried in turn
+    /// under that bound and the last failure is reported if none accepts.
+    /// Read/write timeouts apply to every subsequent exchange, including
+    /// the `HELLO` negotiation itself.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        opts: &ConnectOptions,
+    ) -> ClientResult<KsjqClient> {
+        let writer = match opts.connect_timeout {
+            None => TcpStream::connect(&addr)?,
+            Some(timeout) => {
+                let mut last_err: Option<io::Error> = None;
+                let mut stream = None;
+                for resolved in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, timeout) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                stream.ok_or_else(|| {
+                    last_err.unwrap_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+                    })
+                })?
+            }
+        };
+        writer.set_read_timeout(opts.read_timeout)?;
+        writer.set_write_timeout(opts.write_timeout)?;
+        let _ = writer.set_nodelay(true);
+        let reader = BufReader::new(writer.try_clone()?);
+        let mut client = KsjqClient {
+            reader,
+            writer,
+            version: 1,
+        };
         match client.request(&Request::Hello {
             version: PROTOCOL_VERSION,
         })? {
@@ -252,6 +363,106 @@ impl KsjqClient {
             Response::Error(msg) => Err(ClientError::Server(msg)),
             other => Err(ClientError::Protocol(format!(
                 "expected STATS, got {other}"
+            ))),
+        }
+    }
+
+    /// `SYNC` — the names of every registered relation, sorted.
+    pub fn sync_names(&mut self) -> ClientResult<Vec<String>> {
+        match self.request(&Request::Sync { name: None })? {
+            Response::Catalog(names) => Ok(names),
+            Response::Error(msg) => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Protocol(format!(
+                "expected CATALOG, got {other}"
+            ))),
+        }
+    }
+
+    /// `SYNC <name>` — one relation exported as annotated CSV (newline
+    /// row separators restored; feed it straight to `register_csv` or
+    /// [`load_csv`](KsjqClient::load_csv)).
+    pub fn sync_relation(&mut self, name: &str) -> ClientResult<String> {
+        match self.request(&Request::Sync {
+            name: Some(name.into()),
+        })? {
+            Response::Relation { csv, .. } => Ok(csv),
+            Response::Error(msg) => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Protocol(format!(
+                "expected RELATION, got {other}"
+            ))),
+        }
+    }
+
+    /// `STAGE <name> INLINE <csv>` — parse and hold server-side without
+    /// touching the live binding (phase one of a two-phase load).
+    ///
+    /// Rejects CSV containing `';'` for the same reason
+    /// [`load_csv`](KsjqClient::load_csv) does.
+    pub fn stage_csv(&mut self, name: &str, csv: &str) -> ClientResult<String> {
+        if csv.contains(';') {
+            return Err(ClientError::Protocol(
+                "inline CSV must not contain ';' (the wire row separator)".into(),
+            ));
+        }
+        self.expect_ok(&Request::Stage {
+            name: name.into(),
+            csv: csv.into(),
+        })
+    }
+
+    /// `COMMIT <name>` — publish a staged relation (phase two).
+    pub fn commit(&mut self, name: &str) -> ClientResult<String> {
+        self.expect_ok(&Request::Commit { name: name.into() })
+    }
+
+    /// `ABORT <name>` — discard staged data; succeeds even if nothing
+    /// was staged under that name.
+    pub fn abort(&mut self, name: &str) -> ClientResult<String> {
+        self.expect_ok(&Request::Abort { name: name.into() })
+    }
+
+    /// `FETCH … PAIRS …` — joined-row values for specific result pairs,
+    /// in the server's internal normalised form.
+    pub fn fetch(
+        &mut self,
+        left: &str,
+        right: &str,
+        aggs: &[ksjq_join::AggFunc],
+        pairs: &[(u32, u32)],
+    ) -> ClientResult<Vec<Vec<f64>>> {
+        match self.request(&Request::Fetch {
+            left: left.into(),
+            right: right.into(),
+            aggs: aggs.to_vec(),
+            pairs: pairs.to_vec(),
+        })? {
+            Response::Vals(rows) => Ok(rows),
+            Response::Error(msg) => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Protocol(format!("expected VALS, got {other}"))),
+        }
+    }
+
+    /// `CHECK … K <k> ROWS …` — for each probe row, whether any joined
+    /// tuple held by this server k-dominates it.
+    pub fn check(
+        &mut self,
+        left: &str,
+        right: &str,
+        aggs: &[ksjq_join::AggFunc],
+        k: usize,
+        rows: &[Vec<f64>],
+    ) -> ClientResult<Vec<bool>> {
+        match self.request(&Request::Check {
+            left: left.into(),
+            right: right.into(),
+            aggs: aggs.to_vec(),
+            k,
+            rows: rows.to_vec(),
+        })? {
+            Response::Checked(bits) => Ok(bits),
+            Response::Error(msg) => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Protocol(format!(
+                "expected CHECKED, got {other}"
             ))),
         }
     }

@@ -24,6 +24,11 @@
 //!   benchmark harness's `--remote` mode and the examples use. Streams
 //!   by default ([`KsjqClient::execute_stream`]); the one-shot calls
 //!   drain the stream internally.
+//! * [`replica`] — catalog cloning over the wire (`SYNC`), backing
+//!   `ksjq-serverd --replica-of`; together with the two-phase load
+//!   (`STAGE`/`COMMIT`/`ABORT`) and scatter-gather verification
+//!   primitives (`FETCH`/`CHECK`) it is the server half of the
+//!   `ksjq-router` distributed deployment.
 //!
 //! The `ksjq-serverd` binary serves a preloaded demo catalog;
 //! `ksjq-client` scripts a session from stdin (the CI smoke test drives
@@ -52,14 +57,18 @@ pub mod client;
 pub mod demo;
 pub mod frame;
 pub mod protocol;
+pub mod replica;
 pub mod server;
 
 pub use cache::{CacheCounters, ResultCache};
-pub use client::{ClientError, ClientResult, KsjqClient, RowStream};
+pub use client::{
+    retry_with_backoff, ClientError, ClientResult, ConnectOptions, KsjqClient, RowStream,
+};
 pub use demo::register_demo_catalog;
 pub use frame::{Frame, FrameBuffer};
 pub use protocol::{
     Cursor, LoadSource, PlanSpec, ProtoResult, Request, Response, RowChunk, RowSet, ServerStats,
     SyntheticSpec, MAX_LINE_BYTES, MAX_ROWS_FRAME_BYTES, PROTOCOL_VERSION, ROWS_PER_CHUNK,
 };
+pub use replica::{sync_catalog, sync_from};
 pub use server::{RunningServer, Server, ServerConfig, ServerHandle};

@@ -35,6 +35,18 @@
 //! CLOSE
 //! ```
 //!
+//! ### Distribution commands (replicas and the shard router)
+//!
+//! ```text
+//! SYNC                                              list catalog relation names
+//! SYNC <name>                                       export one relation as annotated CSV
+//! STAGE <name> INLINE <csv>                         parse + hold a pending LOAD (no binding change)
+//! COMMIT <name>                                     atomically publish a staged relation
+//! ABORT <name>                                      drop a staged relation, old binding stays live
+//! FETCH <left> JOIN <right> [AGG f,f…] PAIRS <l:r>;<l:r>…   joined values of given pairs
+//! CHECK <left> JOIN <right> [AGG f,f…] K <k> ROWS <v,v…;v,v…>  is each row k-dominated here?
+//! ```
+//!
 //! ## Responses
 //!
 //! ```text
@@ -44,6 +56,10 @@
 //! ROWS k=<k> us=<micros> cached=<0|1> n=<total> part=<i>/<m> [cursor=<c>] <l>:<r> …  (v2 chunk)
 //! EXPLAIN <one-line plan summary>
 //! STATS connections=… requests=… … cache_hits=… cache_misses=…
+//! CATALOG n=<n> <name> <name> …                     reply to SYNC
+//! RELATION <name> <csv>                             reply to SYNC <name> (rows ';'-separated)
+//! VALS n=<n> <v,v…;v,v…>                            reply to FETCH
+//! CHECKED n=<n> <01…>                               reply to CHECK (one bit per row)
 //! ERR <message>
 //! BYE
 //! ```
@@ -296,6 +312,58 @@ pub enum Request {
     },
     /// Server counters.
     Stats,
+    /// List the catalog (`SYNC`) or export one relation as annotated CSV
+    /// (`SYNC <name>`) — what a replica replays at startup.
+    Sync {
+        /// `None` lists names; `Some` exports that relation.
+        name: Option<String>,
+    },
+    /// Parse and hold a pending `LOAD` without touching the live binding
+    /// (phase one of the router's two-phase catalog update). A header-only
+    /// CSV stages an empty relation.
+    Stage {
+        /// Catalog name the staged data will commit under.
+        name: String,
+        /// CSV text, newline row separators (`';'` on the wire).
+        csv: String,
+    },
+    /// Atomically publish a staged relation (phase two).
+    Commit {
+        /// A previously `STAGE`d name.
+        name: String,
+    },
+    /// Drop a staged relation; the old binding stays live.
+    Abort {
+        /// A previously `STAGE`d name (idempotent if absent).
+        name: String,
+    },
+    /// Materialise the joined values of specific `(left, right)` pairs —
+    /// the router fetches candidate rows from their owning shard.
+    Fetch {
+        /// Left catalog relation name.
+        left: String,
+        /// Right catalog relation name.
+        right: String,
+        /// Aggregation functions, slot order.
+        aggs: Vec<AggFunc>,
+        /// The pairs to join, as shard-local tuple ids.
+        pairs: Vec<(u32, u32)>,
+    },
+    /// For each probe row (a full joined-value vector, internal
+    /// normalised form), does *this* shard hold any joined tuple that
+    /// k-dominates it? The router's cross-shard verification round.
+    Check {
+        /// Left catalog relation name.
+        left: String,
+        /// Right catalog relation name.
+        right: String,
+        /// Aggregation functions, slot order.
+        aggs: Vec<AggFunc>,
+        /// The `k` of the dominance test.
+        k: usize,
+        /// Probe rows, each of joined arity `l1 + l2 + a`.
+        rows: Vec<Vec<f64>>,
+    },
     /// End the session.
     Close,
 }
@@ -378,6 +446,70 @@ fn goal_token(goal: Goal) -> String {
         Goal::AtLeast(delta, s) => format!("atleast:{delta}:{s}"),
         Goal::AtMost(delta, s) => format!("atmost:{delta}:{s}"),
     }
+}
+
+/// Parse a `';'`-separated blob of `<l>:<r>` pair tokens.
+fn parse_pairs_blob(blob: &str) -> ProtoResult<Vec<(u32, u32)>> {
+    blob.split(';')
+        .map(|t| {
+            let (l, r) = t
+                .split_once(':')
+                .ok_or_else(|| format!("bad pair {t:?} (expected <l>:<r>)"))?;
+            Ok((
+                l.parse::<u32>().map_err(|_| format!("bad pair {t:?}"))?,
+                r.parse::<u32>().map_err(|_| format!("bad pair {t:?}"))?,
+            ))
+        })
+        .collect()
+}
+
+fn pairs_blob(pairs: &[(u32, u32)]) -> String {
+    let tokens: Vec<String> = pairs.iter().map(|(l, r)| format!("{l}:{r}")).collect();
+    tokens.join(";")
+}
+
+/// Parse a value-row blob: rows `';'`-separated, values `','`-separated.
+/// Every value must be a finite f64 (relations are NaN-free by
+/// construction, and `f64`'s `Display` is shortest-exact, so the blob
+/// round-trips bit-identically).
+fn parse_rows_blob(blob: &str) -> ProtoResult<Vec<Vec<f64>>> {
+    blob.split(';')
+        .map(|row| {
+            row.split(',')
+                .map(|v| {
+                    let x = v.parse::<f64>().map_err(|_| format!("bad value {v:?}"))?;
+                    if !x.is_finite() {
+                        return Err(format!("non-finite value {v:?}"));
+                    }
+                    Ok(x)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn rows_blob(rows: &[Vec<f64>]) -> String {
+    let tokens: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            let vals: Vec<String> = row.iter().map(f64::to_string).collect();
+            vals.join(",")
+        })
+        .collect();
+    tokens.join(";")
+}
+
+/// The shared `<left> JOIN <right>` prefix of `FETCH` / `CHECK`.
+fn parse_join_names(rest: &str) -> ProtoResult<(String, String, &str)> {
+    let (left, rest) = split_word(rest);
+    validate_name("left relation name", left)?;
+    let (join_kw, rest) = split_word(rest);
+    if !join_kw.eq_ignore_ascii_case("JOIN") {
+        return Err(format!("expected JOIN after {left:?}, got {join_kw:?}"));
+    }
+    let (right, rest) = split_word(rest);
+    validate_name("right relation name", right)?;
+    Ok((left.into(), right.into(), rest))
 }
 
 fn parse_plan(rest: &str) -> ProtoResult<PlanSpec> {
@@ -569,8 +701,117 @@ impl Request {
                     Request::Close
                 })
             }
+            "SYNC" => {
+                let (name, trailing) = split_word(rest);
+                if !trailing.is_empty() {
+                    return Err(format!("unexpected trailing input {trailing:?}"));
+                }
+                if name.is_empty() {
+                    return Ok(Request::Sync { name: None });
+                }
+                validate_name("relation name", name)?;
+                Ok(Request::Sync {
+                    name: Some(name.into()),
+                })
+            }
+            "STAGE" => {
+                let (name, rest) = split_word(rest);
+                validate_name("relation name", name)?;
+                let (kind, rest) = split_word(rest);
+                if !kind.eq_ignore_ascii_case("INLINE") {
+                    return Err(format!("unknown STAGE source {kind:?} (expected INLINE)"));
+                }
+                if rest.is_empty() {
+                    return Err("STAGE … INLINE needs CSV text".into());
+                }
+                Ok(Request::Stage {
+                    name: name.into(),
+                    csv: rest.replace(';', "\n"),
+                })
+            }
+            "COMMIT" | "ABORT" => {
+                let (name, trailing) = split_word(rest);
+                validate_name("relation name", name)?;
+                if !trailing.is_empty() {
+                    return Err(format!("unexpected trailing input {trailing:?}"));
+                }
+                Ok(if cmd.eq_ignore_ascii_case("COMMIT") {
+                    Request::Commit { name: name.into() }
+                } else {
+                    Request::Abort { name: name.into() }
+                })
+            }
+            "FETCH" => {
+                let (left, right, mut rest) = parse_join_names(rest)?;
+                let mut aggs = Vec::new();
+                let mut pairs = None;
+                while !rest.is_empty() {
+                    let (kw, after) = split_word(rest);
+                    let (value, after) = split_word(after);
+                    if value.is_empty() {
+                        return Err(format!("{} needs a value", kw.to_ascii_uppercase()));
+                    }
+                    match kw.to_ascii_uppercase().as_str() {
+                        "AGG" => {
+                            aggs = split_agg_list(value)
+                                .into_iter()
+                                .map(parse_agg)
+                                .collect::<ProtoResult<_>>()?;
+                        }
+                        "PAIRS" => pairs = Some(parse_pairs_blob(value)?),
+                        other => return Err(format!("unknown FETCH keyword {other:?}")),
+                    }
+                    rest = after;
+                }
+                let pairs = pairs.ok_or("FETCH needs PAIRS <l:r>;<l:r>…")?;
+                Ok(Request::Fetch {
+                    left,
+                    right,
+                    aggs,
+                    pairs,
+                })
+            }
+            "CHECK" => {
+                let (left, right, mut rest) = parse_join_names(rest)?;
+                let mut aggs = Vec::new();
+                let (mut k, mut rows) = (None, None);
+                while !rest.is_empty() {
+                    let (kw, after) = split_word(rest);
+                    let (value, after) = split_word(after);
+                    if value.is_empty() {
+                        return Err(format!("{} needs a value", kw.to_ascii_uppercase()));
+                    }
+                    match kw.to_ascii_uppercase().as_str() {
+                        "AGG" => {
+                            aggs = split_agg_list(value)
+                                .into_iter()
+                                .map(parse_agg)
+                                .collect::<ProtoResult<_>>()?;
+                        }
+                        "K" => {
+                            k = Some(
+                                value
+                                    .parse::<usize>()
+                                    .map_err(|_| format!("K needs an integer, got {value:?}"))?,
+                            );
+                        }
+                        "ROWS" => rows = Some(parse_rows_blob(value)?),
+                        other => return Err(format!("unknown CHECK keyword {other:?}")),
+                    }
+                    rest = after;
+                }
+                let k = k.ok_or("CHECK needs K <k>")?;
+                let rows = rows.ok_or("CHECK needs ROWS <v,v…;v,v…>")?;
+                Ok(Request::Check {
+                    left,
+                    right,
+                    aggs,
+                    k,
+                    rows,
+                })
+            }
             other => Err(format!(
-                "unknown command {other:?} (expected HELLO, LOAD, PREPARE, EXECUTE, QUERY, MORE, EXPLAIN, STATS or CLOSE)"
+                "unknown command {other:?} (expected HELLO, LOAD, PREPARE, EXECUTE, QUERY, MORE, EXPLAIN, STATS, SYNC, STAGE, COMMIT, ABORT, FETCH, CHECK or CLOSE)"
             )),
         }
     }
@@ -612,6 +853,44 @@ impl fmt::Display for Request {
             ),
             Request::Explain { id } => write!(f, "EXPLAIN {id}"),
             Request::Stats => write!(f, "STATS"),
+            Request::Sync { name: None } => write!(f, "SYNC"),
+            Request::Sync { name: Some(name) } => write!(f, "SYNC {name}"),
+            Request::Stage { name, csv } => {
+                write!(
+                    f,
+                    "STAGE {name} INLINE {}",
+                    csv.trim_end().replace('\n', ";")
+                )
+            }
+            Request::Commit { name } => write!(f, "COMMIT {name}"),
+            Request::Abort { name } => write!(f, "ABORT {name}"),
+            Request::Fetch {
+                left,
+                right,
+                aggs,
+                pairs,
+            } => {
+                write!(f, "FETCH {left} JOIN {right}")?;
+                if !aggs.is_empty() {
+                    let list: Vec<String> = aggs.iter().map(agg_token).collect();
+                    write!(f, " AGG {}", list.join(","))?;
+                }
+                write!(f, " PAIRS {}", pairs_blob(pairs))
+            }
+            Request::Check {
+                left,
+                right,
+                aggs,
+                k,
+                rows,
+            } => {
+                write!(f, "CHECK {left} JOIN {right}")?;
+                if !aggs.is_empty() {
+                    let list: Vec<String> = aggs.iter().map(agg_token).collect();
+                    write!(f, " AGG {}", list.join(","))?;
+                }
+                write!(f, " K {k} ROWS {}", rows_blob(rows))
+            }
             Request::Close => write!(f, "CLOSE"),
         }
     }
@@ -708,6 +987,18 @@ pub struct ServerStats {
     /// outbound buffer — under v2 streaming this stays bounded by one
     /// chunk frame however large the result (the backpressure invariant).
     pub peak_buf: u64,
+    /// Queries the shard router fanned out to more than one shard
+    /// (always 0 on a plain `ksjq-serverd`).
+    pub fanout_queries: u64,
+    /// Cumulative wall-clock the router spent merging per-shard pair
+    /// lists, in microseconds.
+    pub merge_us: u64,
+    /// Shard calls the router retried on another replica after an I/O
+    /// failure.
+    pub shard_retries: u64,
+    /// Shard calls that failed on *every* replica (each one surfaced as
+    /// an `ERR unavailable`).
+    pub shard_errors: u64,
 }
 
 /// One server reply.
@@ -728,6 +1019,19 @@ pub enum Response {
     Explain(String),
     /// Server counters.
     Stats(ServerStats),
+    /// Catalog relation names (reply to `SYNC`).
+    Catalog(Vec<String>),
+    /// One relation exported as annotated CSV (reply to `SYNC <name>`).
+    Relation {
+        /// Catalog name.
+        name: String,
+        /// CSV text, newline row separators (`';'` on the wire).
+        csv: String,
+    },
+    /// Joined-value rows (reply to `FETCH`), request-pair order.
+    Vals(Vec<Vec<f64>>),
+    /// One dominance bit per probe row (reply to `CHECK`), request order.
+    Checked(Vec<bool>),
     /// The request failed; the session stays usable.
     Error(String),
     /// Session closed.
@@ -861,10 +1165,81 @@ impl Response {
                         "shed" => s.shed = int,
                         "reaped" => s.reaped = int,
                         "peak_buf" => s.peak_buf = int,
+                        "fanout_queries" => s.fanout_queries = int,
+                        "merge_us" => s.merge_us = int,
+                        "shard_retries" => s.shard_retries = int,
+                        "shard_errors" => s.shard_errors = int,
                         _ => {} // forward compatibility
                     }
                 }
                 Ok(Response::Stats(s))
+            }
+            "CATALOG" => {
+                let (count, rest) = split_word(rest);
+                let n = count
+                    .strip_prefix("n=")
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .ok_or_else(|| format!("CATALOG needs n=<count>, got {count:?}"))?;
+                let names: Vec<String> = rest.split_whitespace().map(String::from).collect();
+                if names.len() != n {
+                    return Err(format!(
+                        "CATALOG claimed n={n} but carried {} names",
+                        names.len()
+                    ));
+                }
+                Ok(Response::Catalog(names))
+            }
+            "RELATION" => {
+                let (name, csv) = split_word(rest);
+                validate_name("relation name", name)?;
+                if csv.is_empty() {
+                    return Err("RELATION needs CSV text".into());
+                }
+                Ok(Response::Relation {
+                    name: name.into(),
+                    csv: csv.replace(';', "\n"),
+                })
+            }
+            "VALS" => {
+                let (count, blob) = split_word(rest);
+                let n = count
+                    .strip_prefix("n=")
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .ok_or_else(|| format!("VALS needs n=<count>, got {count:?}"))?;
+                let rows = if blob.is_empty() {
+                    Vec::new()
+                } else {
+                    parse_rows_blob(blob)?
+                };
+                if rows.len() != n {
+                    return Err(format!(
+                        "VALS claimed n={n} but carried {} rows",
+                        rows.len()
+                    ));
+                }
+                Ok(Response::Vals(rows))
+            }
+            "CHECKED" => {
+                let (count, bits) = split_word(rest);
+                let n = count
+                    .strip_prefix("n=")
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .ok_or_else(|| format!("CHECKED needs n=<count>, got {count:?}"))?;
+                let bits: Vec<bool> = bits
+                    .chars()
+                    .map(|c| match c {
+                        '0' => Ok(false),
+                        '1' => Ok(true),
+                        other => Err(format!("bad CHECKED bit {other:?}")),
+                    })
+                    .collect::<ProtoResult<_>>()?;
+                if bits.len() != n {
+                    return Err(format!(
+                        "CHECKED claimed n={n} but carried {} bits",
+                        bits.len()
+                    ));
+                }
+                Ok(Response::Checked(bits))
             }
             other => Err(format!("unknown response frame {other:?}")),
         }
@@ -911,7 +1286,8 @@ impl fmt::Display for Response {
                 f,
                 "STATS connections={} requests={} errors={} sessions={} relations={} \
                  cache_hits={} cache_misses={} cache_evictions={} cache_len={} workers={} \
-                 dom_tests={} attr_cmps={} domgen_us={} shed={} reaped={} peak_buf={}",
+                 dom_tests={} attr_cmps={} domgen_us={} shed={} reaped={} peak_buf={} \
+                 fanout_queries={} merge_us={} shard_retries={} shard_errors={}",
                 s.connections,
                 s.requests,
                 s.errors,
@@ -927,8 +1303,37 @@ impl fmt::Display for Response {
                 s.domgen_us,
                 s.shed,
                 s.reaped,
-                s.peak_buf
+                s.peak_buf,
+                s.fanout_queries,
+                s.merge_us,
+                s.shard_retries,
+                s.shard_errors
             ),
+            Response::Catalog(names) => {
+                write!(f, "CATALOG n={}", names.len())?;
+                for name in names {
+                    write!(f, " {name}")?;
+                }
+                Ok(())
+            }
+            Response::Relation { name, csv } => {
+                write!(f, "RELATION {name} {}", csv.trim_end().replace('\n', ";"))
+            }
+            Response::Vals(rows) => {
+                write!(f, "VALS n={}", rows.len())?;
+                if !rows.is_empty() {
+                    write!(f, " {}", rows_blob(rows))?;
+                }
+                Ok(())
+            }
+            Response::Checked(bits) => {
+                write!(f, "CHECKED n={}", bits.len())?;
+                if !bits.is_empty() {
+                    let text: String = bits.iter().map(|&b| if b { '1' } else { '0' }).collect();
+                    write!(f, " {text}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -1116,6 +1521,10 @@ mod tests {
                 shed: 13,
                 reaped: 14,
                 peak_buf: 15,
+                fanout_queries: 16,
+                merge_us: 17,
+                shard_retries: 18,
+                shard_errors: 19,
             }),
             Response::Error("unknown relation \"nope\"".into()),
             Response::Bye,
@@ -1256,6 +1665,134 @@ mod tests {
             assert!(!token.contains(char::is_whitespace), "{token:?}");
             assert_eq!(token.parse::<Goal>().unwrap(), goal);
         }
+    }
+
+    #[test]
+    fn distribution_request_roundtrips() {
+        assert_eq!(roundtrip_request("SYNC"), Request::Sync { name: None });
+        assert_eq!(
+            roundtrip_request("sync outbound"),
+            Request::Sync {
+                name: Some("outbound".into())
+            }
+        );
+        assert_eq!(
+            roundtrip_request("STAGE t1 INLINE city,cost;C,448"),
+            Request::Stage {
+                name: "t1".into(),
+                csv: "city,cost\nC,448".into()
+            }
+        );
+        // A header-only CSV stages an empty relation.
+        assert_eq!(
+            roundtrip_request("STAGE t1 INLINE city,cost"),
+            Request::Stage {
+                name: "t1".into(),
+                csv: "city,cost".into()
+            }
+        );
+        assert_eq!(
+            roundtrip_request("COMMIT t1"),
+            Request::Commit { name: "t1".into() }
+        );
+        assert_eq!(
+            roundtrip_request("ABORT t1"),
+            Request::Abort { name: "t1".into() }
+        );
+        assert_eq!(
+            roundtrip_request("FETCH a JOIN b PAIRS 0:1;4:2"),
+            Request::Fetch {
+                left: "a".into(),
+                right: "b".into(),
+                aggs: vec![],
+                pairs: vec![(0, 1), (4, 2)]
+            }
+        );
+        assert_eq!(
+            roundtrip_request("FETCH a JOIN b AGG sum,min PAIRS 7:7"),
+            Request::Fetch {
+                left: "a".into(),
+                right: "b".into(),
+                aggs: vec![AggFunc::Sum, AggFunc::Min],
+                pairs: vec![(7, 7)]
+            }
+        );
+        assert_eq!(
+            roundtrip_request("CHECK a JOIN b K 5 ROWS 1,2.5,-3;4,0.125,6"),
+            Request::Check {
+                left: "a".into(),
+                right: "b".into(),
+                aggs: vec![],
+                k: 5,
+                rows: vec![vec![1.0, 2.5, -3.0], vec![4.0, 0.125, 6.0]]
+            }
+        );
+        roundtrip_request("CHECK a JOIN b AGG wsum(1,0.5) K 9 ROWS 0.1,0.2");
+        for bad in [
+            "SYNC a b",
+            "SYNC bad;name",
+            "STAGE",
+            "STAGE t1",
+            "STAGE t1 TELEPATHY a,b",
+            "STAGE t1 INLINE",
+            "COMMIT",
+            "COMMIT t1 trailing",
+            "ABORT",
+            "FETCH a JOIN b",           // missing PAIRS
+            "FETCH a JOIN b PAIRS",     // PAIRS needs a value
+            "FETCH a JOIN b PAIRS 0",   // not l:r
+            "FETCH a JOIN b PAIRS 0:x", // non-integer
+            "FETCH a JOIN b WAT 3 PAIRS 0:1",
+            "CHECK a JOIN b ROWS 1,2", // missing K
+            "CHECK a JOIN b K 5",      // missing ROWS
+            "CHECK a JOIN b K five ROWS 1",
+            "CHECK a JOIN b K 5 ROWS 1,x",   // non-numeric value
+            "CHECK a JOIN b K 5 ROWS 1,inf", // non-finite value
+            "CHECK a JOIN b K 5 ROWS 1,NaN",
+            "CHECK a JOIN b K 5 ROWS 1,2;;3,4", // empty row
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn distribution_response_roundtrips() {
+        let responses = [
+            Response::Catalog(vec![]),
+            Response::Catalog(vec!["inbound".into(), "outbound".into()]),
+            Response::Relation {
+                name: "outbound".into(),
+                csv: "city,cost:min\nC,448\nD,456".into(),
+            },
+            Response::Vals(vec![]),
+            Response::Vals(vec![vec![1.5, -2.0, 3.0], vec![0.0625, 4.0, 5.0]]),
+            Response::Checked(vec![]),
+            Response::Checked(vec![true, false, true]),
+        ];
+        for resp in responses {
+            let line = resp.to_string();
+            assert!(!line.contains('\n'), "{line:?}");
+            assert_eq!(Response::parse(&line).unwrap(), resp, "{line:?}");
+        }
+        for bad in [
+            "CATALOG",          // missing n=
+            "CATALOG n=2 only", // count mismatch
+            "CATALOG n=x",      // non-integer
+            "RELATION",         // missing name
+            "RELATION name",    // missing csv
+            "VALS",             // missing n=
+            "VALS n=1",         // count mismatch
+            "VALS n=1 1,2;3,4", // count mismatch
+            "VALS n=1 1,zebra", // non-numeric
+            "CHECKED",          // missing n=
+            "CHECKED n=2 1",    // count mismatch
+            "CHECKED n=1 2",    // not a bit
+        ] {
+            assert!(Response::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+        // f64 Display is shortest-exact: values survive the wire bit-for-bit.
+        let vals = Response::Vals(vec![vec![0.1 + 0.2, 1.0 / 3.0, -1e-300, 1e300]]);
+        assert_eq!(Response::parse(&vals.to_string()).unwrap(), vals);
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Replica bootstrap: clone a primary's catalog over the wire.
+//!
+//! A replica is an ordinary [`Server`](crate::Server) whose catalog was
+//! seeded by replaying the primary's registrations — `SYNC` for the name
+//! list, `SYNC <name>` for each relation as annotated CSV, re-registered
+//! locally through the normal `register_csv` path. Row *order* is
+//! preserved by the export (results are row-index pairs, so that is the
+//! part that must match); group ids may differ between replicas because
+//! each catalog runs its own string dictionary, which is invisible on
+//! the wire.
+//!
+//! There is no ongoing replication stream: a router keeps replicas
+//! consistent by applying every catalog mutation (`STAGE`/`COMMIT`) to
+//! all of them. `SYNC` covers the cold start.
+
+use crate::client::{retry_with_backoff, ClientError, ClientResult, ConnectOptions, KsjqClient};
+use ksjq_core::Engine;
+use std::time::Duration;
+
+/// Pull every relation the primary serves into `engine`'s catalog
+/// (upserting over any same-named local binding). Returns the synced
+/// names, sorted.
+pub fn sync_catalog(engine: &Engine, client: &mut KsjqClient) -> ClientResult<Vec<String>> {
+    let names = client.sync_names()?;
+    for name in &names {
+        let csv = client.sync_relation(name)?;
+        let catalog = engine.catalog();
+        catalog.deregister(name);
+        catalog.register_csv(name, &csv).map_err(|e| {
+            ClientError::Protocol(format!("primary sent unloadable CSV for {name:?}: {e}"))
+        })?;
+    }
+    Ok(names)
+}
+
+/// Connect to `primary` (with `opts` timeouts, retrying transport
+/// failures up to `attempts` times under jittered backoff) and
+/// [`sync_catalog`] into `engine`. The retry covers the common race of a
+/// replica starting before its primary finishes binding.
+pub fn sync_from(
+    engine: &Engine,
+    primary: &str,
+    opts: &ConnectOptions,
+    attempts: u32,
+    seed: u64,
+) -> ClientResult<Vec<String>> {
+    retry_with_backoff(
+        attempts,
+        Duration::from_millis(100),
+        Duration::from_secs(2),
+        seed,
+        |_| {
+            let mut client = KsjqClient::connect_with(primary, opts)?;
+            let names = sync_catalog(engine, &mut client)?;
+            let _ = client.close();
+            Ok(names)
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Server, ServerConfig};
+    use ksjq_datagen::paper_flights;
+
+    fn ephemeral() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn replica_clones_catalog_and_answers_identically() {
+        let primary_engine = Engine::new();
+        let pf = paper_flights(false);
+        let (out_n, in_n) = (pf.outbound.n(), pf.inbound.n());
+        primary_engine.register("outbound", pf.outbound).unwrap();
+        primary_engine.register("inbound", pf.inbound).unwrap();
+        let primary = Server::start(primary_engine, &ephemeral()).unwrap();
+
+        let replica_engine = Engine::new();
+        let names = sync_from(
+            &replica_engine,
+            &primary.addr().to_string(),
+            &ConnectOptions::all(Duration::from_secs(5)),
+            3,
+            7,
+        )
+        .unwrap();
+        assert_eq!(names, vec!["inbound".to_owned(), "outbound".to_owned()]);
+        let catalog = replica_engine.catalog();
+        assert_eq!(catalog.get("outbound").unwrap().n(), out_n);
+        assert_eq!(catalog.get("inbound").unwrap().n(), in_n);
+
+        // Same rows in the same order: raw values match tuple by tuple.
+        let oracle = paper_flights(false);
+        let synced = catalog.get("outbound").unwrap();
+        for (t, _) in oracle.outbound.rows() {
+            assert_eq!(synced.relation().raw_row(t), oracle.outbound.raw_row(t));
+        }
+
+        // And the replica reproduces Table 3 through its own server.
+        let replica = Server::start(replica_engine, &ephemeral()).unwrap();
+        let mut client = KsjqClient::connect(replica.addr()).unwrap();
+        let rows = client
+            .query(&crate::protocol::PlanSpec::new("outbound", "inbound").k(7))
+            .unwrap();
+        assert_eq!(rows.pairs, vec![(0, 2), (2, 0), (4, 4), (5, 5)]);
+        client.close().unwrap();
+        replica.stop().unwrap();
+        primary.stop().unwrap();
+    }
+
+    #[test]
+    fn sync_from_retries_until_primary_appears() {
+        // Nothing listens on this address: every attempt is a transport
+        // failure, so all three attempts burn before the error surfaces.
+        let engine = Engine::new();
+        let err = sync_from(
+            &engine,
+            "127.0.0.1:1",
+            &ConnectOptions::all(Duration::from_millis(50)),
+            3,
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ClientError::Io(_)), "got {err}");
+    }
+}

@@ -72,6 +72,11 @@ use std::time::{Duration, Instant};
 /// wire command cannot make the server allocate arbitrarily much.
 const MAX_SYNTHETIC_CELLS: usize = 50_000_000;
 
+/// Upper bound on relations held in the `STAGE`d (parsed but uncommitted)
+/// map, so an abandoning client cannot park unbounded memory there. Each
+/// staged relation is further bounded by the request-line cap.
+const MAX_STAGED: usize = 64;
+
 /// Server knobs, matching the `ksjq-serverd` flags.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -143,6 +148,10 @@ struct Shared {
     /// `LOAD` (which is rare and already serialised by the catalog's own
     /// registration locking).
     catalog_cells: Mutex<usize>,
+    /// Relations parsed by `STAGE` and awaiting `COMMIT`/`ABORT` — the
+    /// held half of the router's two-phase catalog update. Keyed by the
+    /// name the data will commit under.
+    staged: Mutex<HashMap<String, ksjq_relation::Relation>>,
     connections: AtomicU64,
     requests: AtomicU64,
     errors: AtomicU64,
@@ -254,6 +263,7 @@ impl Server {
                 sessions: RwLock::new(HashMap::new()),
                 cache: ResultCache::new(config.cache_entries),
                 catalog_cells: Mutex::new(preloaded),
+                staged: Mutex::new(HashMap::new()),
                 config,
                 connections: AtomicU64::new(0),
                 requests: AtomicU64::new(0),
@@ -920,6 +930,23 @@ fn handle_request(shared: &Shared, version: u32, request: Request) -> Outcome {
         },
         Request::Explain { id } => Outcome::Frame(explain(shared, &id)),
         Request::Stats => Outcome::Frame(Response::Stats(stats(shared))),
+        Request::Sync { name } => Outcome::Frame(sync(shared, name.as_deref())),
+        Request::Stage { name, csv } => Outcome::Frame(stage(shared, &name, &csv)),
+        Request::Commit { name } => Outcome::Frame(commit(shared, &name)),
+        Request::Abort { name } => Outcome::Frame(abort(shared, &name)),
+        Request::Fetch {
+            left,
+            right,
+            aggs,
+            pairs,
+        } => Outcome::Frame(fetch(shared, &left, &right, &aggs, &pairs)),
+        Request::Check {
+            left,
+            right,
+            aggs,
+            k,
+            rows,
+        } => Outcome::Frame(check(shared, &left, &right, &aggs, k, &rows)),
         // HELLO / MORE / CLOSE are served by the front end, never
         // dispatched; answering them here keeps the match total.
         Request::Hello { version } => {
@@ -1156,6 +1183,229 @@ fn run_session(shared: &Shared, session: &Session) -> CoreResult<RunOutput> {
     })
 }
 
+// ---------------------------------------------- distribution handlers
+
+/// `SYNC` / `SYNC <name>`: the catalog-replay primitive a replica pulls
+/// at startup. Relations export as annotated CSV through the catalog's
+/// key dictionary, so a replica's `register_csv` reconstructs identical
+/// schemas, values and (crucially) row order — results are row-index
+/// pairs, so row order is correctness, not cosmetics.
+fn sync(shared: &Shared, name: Option<&str>) -> Response {
+    let catalog = shared.engine.catalog();
+    match name {
+        None => Response::Catalog(catalog.names()),
+        Some(name) => {
+            let Some(handle) = catalog.get(name) else {
+                return Response::Error(format!("unknown relation {name:?}"));
+            };
+            match ksjq_datagen::relation_to_annotated_csv_with(handle.relation(), "key", |gid| {
+                catalog.decode_key(gid)
+            }) {
+                Ok(csv) => Response::Relation {
+                    name: name.into(),
+                    csv,
+                },
+                Err(e) => Response::Error(format!("cannot export {name:?}: {e}")),
+            }
+        }
+    }
+}
+
+/// `STAGE <name> INLINE <csv>`: parse and hold, touching no live binding.
+/// All the ways a `LOAD` can fail (malformed CSV, bad header annotations,
+/// non-numeric cells) fail *here*, which is what lets a router run
+/// stage-everywhere / commit-everywhere and guarantee no shard ever
+/// drops its old binding for a replacement that another shard rejected.
+fn stage(shared: &Shared, name: &str, csv: &str) -> Response {
+    let mut staged = shared.staged.lock().unwrap_or_else(|e| e.into_inner());
+    if staged.len() >= MAX_STAGED && !staged.contains_key(name) {
+        return Response::Error(format!(
+            "too many staged relations (max {MAX_STAGED}): COMMIT or ABORT some first"
+        ));
+    }
+    match shared.engine.catalog().parse_csv(csv) {
+        Ok(rel) => {
+            let (n, d) = (rel.n(), rel.schema().d());
+            staged.insert(name.into(), rel);
+            Response::Ok(format!("staged {name} n={n} d={d}"))
+        }
+        Err(e) => Response::Error(e.to_string()),
+    }
+}
+
+/// `COMMIT <name>`: atomically publish a staged relation as an upsert.
+/// A budget rejection leaves the *old* binding live — unlike a plain
+/// over-budget `LOAD`, nothing is lost.
+fn commit(shared: &Shared, name: &str) -> Response {
+    let Some(rel) = shared
+        .staged
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(name)
+    else {
+        return Response::Error(format!("nothing staged under {name:?}"));
+    };
+    let mut cells = shared
+        .catalog_cells
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    let catalog = shared.engine.catalog();
+    let replaced = catalog
+        .get(name)
+        .map(|h| h.n().saturating_mul(h.schema().d()))
+        .unwrap_or(0);
+    let added = rel.n().saturating_mul(rel.schema().d());
+    let budget = shared.config.max_catalog_cells;
+    let after = cells.saturating_sub(replaced).saturating_add(added);
+    if after > budget {
+        return Response::Error(format!(
+            "catalog cell budget exceeded: {after} > {budget} (old binding for {name:?} kept)"
+        ));
+    }
+    let (n, d) = (rel.n(), rel.schema().d());
+    let _ = catalog.deregister(name);
+    match catalog.register(name, rel) {
+        Ok(_) => {
+            *cells = after;
+            shared.catalog_epoch.fetch_add(1, Ordering::SeqCst);
+            shared.cache.invalidate_relation(name);
+            Response::Ok(format!("committed {name} n={n} d={d}"))
+        }
+        Err(e) => {
+            // Unreachable with wire-validated names, but stay consistent:
+            // the old binding is gone, so account and invalidate for it.
+            *cells = cells.saturating_sub(replaced);
+            shared.catalog_epoch.fetch_add(1, Ordering::SeqCst);
+            shared.cache.invalidate_relation(name);
+            Response::Error(e.to_string())
+        }
+    }
+}
+
+/// `ABORT <name>`: drop staged data. Idempotent — aborting a name with
+/// nothing staged still answers `OK`, so a router can blanket-abort.
+fn abort(shared: &Shared, name: &str) -> Response {
+    let removed = shared
+        .staged
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(name)
+        .is_some();
+    Response::Ok(if removed {
+        format!("aborted {name}")
+    } else {
+        format!("aborted {name} (nothing was staged)")
+    })
+}
+
+/// Resolve both relations and build an equality-join context for the
+/// `FETCH` / `CHECK` primitives.
+fn join_context(
+    shared: &Shared,
+    left: &str,
+    right: &str,
+    aggs: &[ksjq_join::AggFunc],
+) -> Result<ksjq_join::JoinContext<'static>, String> {
+    let catalog = shared.engine.catalog();
+    let l = catalog
+        .get(left)
+        .ok_or_else(|| format!("unknown relation {left:?}"))?;
+    let r = catalog
+        .get(right)
+        .ok_or_else(|| format!("unknown relation {right:?}"))?;
+    ksjq_join::JoinContext::from_arcs(
+        l.relation().clone(),
+        r.relation().clone(),
+        ksjq_join::JoinSpec::Equality,
+        aggs,
+    )
+    .map_err(|e| e.to_string())
+}
+
+/// `FETCH`: materialise requested joined rows (internal normalised form)
+/// so a router can ship a candidate's values to shards that do not hold
+/// the candidate.
+fn fetch(
+    shared: &Shared,
+    left: &str,
+    right: &str,
+    aggs: &[ksjq_join::AggFunc],
+    pairs: &[(u32, u32)],
+) -> Response {
+    let cx = match join_context(shared, left, right, aggs) {
+        Ok(cx) => cx,
+        Err(msg) => return Response::Error(msg),
+    };
+    let (ln, rn) = (cx.left().n(), cx.right().n());
+    let mut rows = Vec::with_capacity(pairs.len());
+    for &(u, v) in pairs {
+        if u as usize >= ln || v as usize >= rn {
+            return Response::Error(format!(
+                "pair {u}:{v} out of range (|left| = {ln}, |right| = {rn})"
+            ));
+        }
+        if !cx.compatible(u, v) {
+            return Response::Error(format!("pair {u}:{v} does not satisfy the join"));
+        }
+        rows.push(cx.joined_row(u, v));
+    }
+    Response::Vals(rows)
+}
+
+/// `CHECK`: for each probe row, scan *this* shard's joined tuples for a
+/// k-dominator. Soundness of the target filter for external probes: any
+/// joined tuple `u ⋈ v` k-dominating the probe has, by attribute
+/// counting, at least `k − l2 − a` left-local positions `≤` the probe's,
+/// so its left leg survives [`ksjq_core::target_set_for_values`] and the
+/// split-side scan finds the pair. Probes equal to a resident row are
+/// safe: equal rows never k-dominate (a strict position is required).
+fn check(
+    shared: &Shared,
+    left: &str,
+    right: &str,
+    aggs: &[ksjq_join::AggFunc],
+    k: usize,
+    rows: &[Vec<f64>],
+) -> Response {
+    let cx = match join_context(shared, left, right, aggs) {
+        Ok(cx) => cx,
+        Err(msg) => return Response::Error(msg),
+    };
+    let params = match ksjq_core::validate_k(&cx, k) {
+        Ok(params) => params,
+        Err(e) => return Response::Error(e.to_string()),
+    };
+    let locals = cx.left_local_attrs().to_vec();
+    let mut checker = ksjq_core::ColumnarCheck::new(&cx, k);
+    let mut scratch = ksjq_core::TargetScratch::default();
+    let mut bits = Vec::with_capacity(rows.len());
+    for row in rows {
+        if row.len() != cx.d_joined() {
+            return Response::Error(format!(
+                "probe row has {} values, joined arity is {}",
+                row.len(),
+                cx.d_joined()
+            ));
+        }
+        let targets = ksjq_core::target_set_for_values(
+            cx.left(),
+            &locals,
+            &row[..cx.l1()],
+            params.k1_pp,
+            &mut scratch,
+        );
+        bits.push(checker.dominated_via_left(&targets, row));
+    }
+    let counters = checker.counters();
+    shared
+        .dom_tests
+        .fetch_add(counters.dom_tests, Ordering::Relaxed);
+    shared
+        .attr_cmps
+        .fetch_add(counters.attr_cmps, Ordering::Relaxed);
+    Response::Checked(bits)
+}
+
 fn explain(shared: &Shared, id: &str) -> Response {
     match lookup(shared, id) {
         Some(session) => Response::Explain(session.prepared.explain().compact()),
@@ -1186,6 +1436,12 @@ fn stats(shared: &Shared) -> ServerStats {
         shed: shared.shed.load(Ordering::Relaxed),
         reaped: shared.reaped.load(Ordering::Relaxed),
         peak_buf: shared.peak_buf.load(Ordering::Relaxed),
+        // Fan-out counters belong to a router front end; a plain server
+        // reports zeros so STATS stays one uniform frame either way.
+        fanout_queries: 0,
+        merge_us: 0,
+        shard_retries: 0,
+        shard_errors: 0,
     }
 }
 
@@ -1250,6 +1506,7 @@ mod tests {
             sessions: RwLock::new(HashMap::new()),
             cache: ResultCache::new(4),
             catalog_cells: Mutex::new(0),
+            staged: Mutex::new(HashMap::new()),
             config: ServerConfig::default(),
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),

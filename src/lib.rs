@@ -17,6 +17,7 @@
 //! | [`datagen`] | synthetic distributions, paper tables, flight networks |
 //! | [`core`] | the KSJQ algorithms, find-k, and the [`core::Engine`] / [`core::QueryPlan`] serving layer |
 //! | [`server`] | TCP serving: wire protocol, [`server::Server`] thread pool, result cache, [`server::KsjqClient`] |
+//! | [`router`] | sharded distributed KSJQ: [`router::Topology`], two-phase `LOAD`, scatter-gather [`router::Router`] |
 //!
 //! ## Quickstart
 //!
@@ -58,6 +59,7 @@ pub use ksjq_core as core;
 pub use ksjq_datagen as datagen;
 pub use ksjq_join as join;
 pub use ksjq_relation as relation;
+pub use ksjq_router as router;
 pub use ksjq_server as server;
 pub use ksjq_skyline as skyline;
 
@@ -74,6 +76,7 @@ pub mod prelude {
     pub use ksjq_relation::{
         Catalog, Preference, Relation, RelationHandle, Schema, StringDictionary, TupleId,
     };
+    pub use ksjq_router::{Router, RouterConfig, Topology};
     pub use ksjq_server::{KsjqClient, PlanSpec, RowChunk, RowStream, Server, ServerConfig};
     pub use ksjq_skyline::KdomAlgo;
 }
