@@ -22,6 +22,10 @@
 //! lane-blocked kernel — plus a dominator-generation thread-scaling sweep
 //! and a fig3b-style scalability sweep; `--json PATH` writes the
 //! measurements in the committed `BENCH_kernel.json` baseline format.
+//! The `delta` subcommand (also outside `all`) measures incremental
+//! maintenance (`maintain_append`) against a full recompute for append
+//! deltas of 1/16/256 rows on an anti-correlated workload; `--json PATH`
+//! writes the committed `BENCH_delta.json` baseline.
 //!
 //! ```sh
 //! cargo run --release -p ksjq-bench --bin harness -- all --scale 0.33
@@ -32,14 +36,19 @@
 //! ```
 
 use ksjq_bench::*;
-use ksjq_core::{Algorithm, Config, Engine, Goal, KdomAlgo, QueryPlan};
-use ksjq_datagen::{relation_to_annotated_csv, DataType, FlightNetworkSpec};
+use ksjq_core::{
+    ksjq_grouping, maintain_append, Algorithm, Config, Engine, Goal, KdomAlgo, MaintainStats,
+    QueryPlan,
+};
+use ksjq_datagen::{relation_to_annotated_csv, DataType, DatasetSpec, FlightNetworkSpec};
+use ksjq_join::{JoinContext, JoinSpec};
+use ksjq_relation::{TupleId, VersionedRelation};
 use ksjq_server::{
     register_demo_catalog, KsjqClient, PlanSpec, Server, ServerConfig, SyntheticSpec,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
-use std::time::Instant;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 struct Opts {
     figure: String,
@@ -54,8 +63,9 @@ struct Opts {
     remote: Option<String>,
     /// Serve the demo catalog on this address instead of running figures.
     serve: Option<String>,
-    /// Write the `kernel` subcommand's measurements to this path as JSON
-    /// (the committed `BENCH_kernel.json` baseline format).
+    /// Write the `kernel`/`delta` subcommand's measurements to this path
+    /// as JSON (the committed `BENCH_kernel.json` / `BENCH_delta.json`
+    /// baseline formats).
     json: Option<String>,
 }
 
@@ -124,6 +134,8 @@ fn parse_args() -> Opts {
                      \x20        fig6a fig6b fig7 fig8a fig8b fig9a fig9b fig10 fig11 all\n\
                      \x20        kernel (verification-kernel ablation; --json writes the\n\
                      \x20        BENCH_kernel.json baseline)\n\
+                     \x20        delta (incremental maintenance vs recompute; --json writes\n\
+                     \x20        the BENCH_delta.json baseline)\n\
                      algos:   naive grouping dominator-based (comma-separated)\n\
                      kdom:    naive osa tsa tsa-presort\n\
                      goal:    exact:K | skyline | atleast:D[:S] | atmost:D[:S]\n\
@@ -156,9 +168,9 @@ fn die(msg: &str) -> ! {
 
 fn main() {
     let opts = OPTS.get_or_init(parse_args);
-    if opts.json.is_some() && opts.figure != "kernel" {
+    if opts.json.is_some() && opts.figure != "kernel" && opts.figure != "delta" {
         // Fail fast instead of silently never writing the file.
-        die("--json is only supported by the `kernel` subcommand");
+        die("--json is only supported by the `kernel` and `delta` subcommands");
     }
     if let Some(addr) = &opts.serve {
         serve_demo_catalog(addr);
@@ -193,9 +205,14 @@ fn main() {
     fig!("fig10", fig10);
     fig!("fig11", fig11);
     // Not part of `all`: the materialized reference sweep is deliberately
-    // the slow pre-split kernel.
+    // the slow pre-split kernel, and the delta sweep measures maintenance,
+    // not the paper's figures.
     if opts.figure == "kernel" {
         kernel_figure(opts.scale);
+        ran = true;
+    }
+    if opts.figure == "delta" {
+        delta_figure(opts.scale);
         ran = true;
     }
     if !ran {
@@ -958,6 +975,210 @@ fn kernel_json(
         cmp.columnar_speedup(),
         domgen_rows.join(",\n"),
         scalability.join(",\n")
+    )
+}
+
+// ------------------------------------------------- incremental maintenance
+
+/// One measured delta size of the `delta` subcommand.
+struct DeltaRow {
+    rows: usize,
+    maintain: Duration,
+    recompute: Duration,
+    stats: MaintainStats,
+    skyline: usize,
+}
+
+impl DeltaRow {
+    fn speedup(&self) -> f64 {
+        self.recompute.as_secs_f64() / self.maintain.as_secs_f64().max(1e-9)
+    }
+}
+
+/// `delta`: incremental maintenance vs full recompute. Appends of
+/// 1/16/256 anti-correlated rows to the left relation (`n = 33000·scale`,
+/// the kernel figure's hostile workload), each maintained from the same
+/// cached epoch-0 result via `maintain_append` and cross-checked for pair
+/// equality against a from-scratch `ksjq_grouping` recompute over the
+/// appended snapshot. `--json PATH` writes the whole measurement as the
+/// `BENCH_delta.json` baseline.
+fn delta_figure(scale: f64) {
+    let o = opts();
+    let n = ((33_000f64 * scale).round() as usize).max(50);
+    banner(
+        "Delta",
+        "incremental maintenance vs full recompute",
+        &format!("anti-correlated d=7 a=2 k=11 g=10 n={n}, appends to the left relation"),
+    );
+    let params = PaperParams {
+        n,
+        data_type: DataType::AntiCorrelated,
+        ..PaperParams::default()
+    };
+    let (r1, r2) = params.relations();
+    let funcs = params.funcs();
+    let left = VersionedRelation::from_relation(Arc::new(r1)).expect("datagen keys are groups");
+    let right = Arc::new(r2);
+    let cx0 = JoinContext::from_arcs(
+        left.snapshot().clone(),
+        right.clone(),
+        JoinSpec::Equality,
+        &funcs,
+    )
+    .expect("paper params always produce a valid context");
+    let t = Instant::now();
+    let cached = ksjq_grouping(&cx0, params.k, &o.cfg).expect("valid workload");
+    let base_wall = t.elapsed();
+    println!(
+        "    epoch-0 recompute: {} ms, |skyline| = {}",
+        ms(base_wall),
+        cached.len()
+    );
+
+    // The delta pool reuses the generator with a fresh seed, so appended
+    // rows follow the same anti-correlated distribution as the base data.
+    let pool = DatasetSpec {
+        n: 256,
+        agg_attrs: params.a,
+        local_attrs: params.d - params.a,
+        groups: params.g,
+        data_type: params.data_type,
+        seed: params.seed + 7777,
+    }
+    .generate();
+    let pool_rows: Vec<(u64, Vec<f64>)> = (0..pool.n())
+        .map(|i| {
+            let t = TupleId(i as u32);
+            (pool.group_id(t).expect("group keys"), pool.raw_row(t))
+        })
+        .collect();
+
+    println!(
+        "    {:>6} {:>13} {:>14} {:>9} {:>11} {:>10} {:>8} {:>9}",
+        "Δrows",
+        "maintain(ms)",
+        "recompute(ms)",
+        "speedup",
+        "candidates",
+        "rechecked",
+        "evicted",
+        "|skyline|"
+    );
+    let mut measured = Vec::new();
+    for delta in [1usize, 16, 256] {
+        let keys: Vec<u64> = pool_rows[..delta].iter().map(|(k, _)| *k).collect();
+        let rows: Vec<Vec<f64>> = pool_rows[..delta].iter().map(|(_, r)| r.clone()).collect();
+        let appended = left
+            .append(&keys, &rows)
+            .expect("pool rows match the schema");
+        let cx = JoinContext::from_arcs(
+            appended.snapshot().clone(),
+            right.clone(),
+            JoinSpec::Equality,
+            &funcs,
+        )
+        .expect("appended snapshot keeps the base shape");
+        // Best of three: single-row maintenance completes in microseconds,
+        // so one timer read would mostly measure scheduler noise.
+        let mut maintain = Duration::MAX;
+        let mut out = None;
+        for _ in 0..3 {
+            let t = Instant::now();
+            let run = maintain_append(&cx, params.k, &cached, left.n(), right.n())
+                .expect("equality join, k in range");
+            maintain = maintain.min(t.elapsed());
+            out = Some(run);
+        }
+        let (maintained, mstats) = out.expect("three timed runs");
+        let t = Instant::now();
+        let fresh = ksjq_grouping(&cx, params.k, &o.cfg).expect("valid workload");
+        let recompute = t.elapsed();
+        assert_eq!(
+            maintained.pairs, fresh.pairs,
+            "maintenance diverged from recompute at Δ={delta}"
+        );
+        let row = DeltaRow {
+            rows: delta,
+            maintain,
+            recompute,
+            stats: mstats,
+            skyline: maintained.len(),
+        };
+        println!(
+            "    {:>6} {:>13} {:>14} {:>8.1}x {:>11} {:>10} {:>8} {:>9}",
+            row.rows,
+            ms(row.maintain),
+            ms(row.recompute),
+            row.speedup(),
+            row.stats.candidates_checked,
+            row.stats.cached_rechecked,
+            row.stats.cached_evicted,
+            row.skyline
+        );
+        measured.push(row);
+    }
+
+    if let Some(path) = &o.json {
+        let json = delta_json(scale, &params, base_wall, cached.len(), &measured);
+        std::fs::write(path, json).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        println!("\n    wrote {path}");
+    }
+}
+
+/// Serialise the delta figure's measurements as the `BENCH_delta.json`
+/// baseline (hand-rolled: the workspace is dependency-free by design).
+fn delta_json(
+    scale: f64,
+    params: &PaperParams,
+    base_wall: Duration,
+    base_skyline: usize,
+    rows: &[DeltaRow],
+) -> String {
+    // Sub-millisecond maintenance needs more precision than `ms()` keeps.
+    fn ms4(d: Duration) -> String {
+        format!("{:.4}", d.as_secs_f64() * 1e3)
+    }
+    let workload = format!(
+        "{{\"n\": {}, \"d\": {}, \"a\": {}, \"g\": {}, \"k\": {}, \"data_type\": \"{}\", \
+         \"seed\": {}, \"base_recompute_ms\": {}, \"base_skyline\": {}}}",
+        params.n,
+        params.d,
+        params.a,
+        params.g,
+        params.k,
+        params.data_type,
+        params.seed,
+        ms(base_wall),
+        base_skyline
+    );
+    let delta_rows: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            format!(
+                "    {{\"rows\": {}, \"maintain_ms\": {}, \"recompute_ms\": {}, \
+                 \"speedup\": {:.3}, \"candidates_checked\": {}, \"cached_rechecked\": {}, \
+                 \"cached_evicted\": {}, \"inserted\": {}, \"dom_tests\": {}, \
+                 \"attr_cmps\": {}, \"skyline\": {}}}",
+                row.rows,
+                ms4(row.maintain),
+                ms4(row.recompute),
+                row.speedup(),
+                row.stats.candidates_checked,
+                row.stats.cached_rechecked,
+                row.stats.cached_evicted,
+                row.stats.inserted,
+                row.stats.counters.dom_tests,
+                row.stats.counters.attr_cmps,
+                row.skyline
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"schema_version\": 1,\n  \"bench\": \"delta\",\n  \"scale\": {scale},\n  \
+         \"host_cpus\": {},\n  \"workload\": {workload},\n  \
+         \"deltas\": [\n{}\n  ]\n}}\n",
+        std::thread::available_parallelism().map_or(1, |p| p.get()),
+        delta_rows.join(",\n")
     )
 }
 

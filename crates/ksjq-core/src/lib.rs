@@ -60,6 +60,7 @@ pub mod error;
 pub mod explain;
 pub mod find_k;
 pub mod grouping;
+pub mod maintain;
 pub mod naive;
 pub mod output;
 pub mod parallel;
@@ -78,6 +79,7 @@ pub use error::{CoreError, CoreResult};
 pub use explain::Explain;
 pub use find_k::{find_k_at_least, find_k_at_most, FindKReport, FindKStrategy};
 pub use grouping::{ksjq_grouping, ksjq_grouping_progressive};
+pub use maintain::{can_maintain, maintain_append, MaintainStats};
 pub use naive::ksjq_naive;
 pub use output::KsjqOutput;
 pub use params::{k_max, k_min, validate_k, KsjqParams};

@@ -31,6 +31,7 @@ pub mod preference;
 pub mod registry;
 pub mod relation;
 pub mod schema;
+pub mod versioned;
 
 pub use catalog::StringDictionary;
 pub use dominance::{
@@ -43,3 +44,4 @@ pub use preference::Preference;
 pub use registry::{Catalog, RelationHandle};
 pub use relation::{GroupIndex, JoinKeys, Relation, RelationBuilder, TupleId};
 pub use schema::{AttrDef, AttrRole, Schema, SchemaBuilder};
+pub use versioned::{VersionedRelation, BLOCK_ROWS};

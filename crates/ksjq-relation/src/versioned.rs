@@ -1,0 +1,406 @@
+//! Versioned relations: epoch-stamped, copy-on-write mutable catalogs.
+//!
+//! A [`VersionedRelation`] is an immutable *version* of a mutable logical
+//! relation. [`append`](VersionedRelation::append) and
+//! [`delete_key`](VersionedRelation::delete_key) never modify the receiver;
+//! they produce a **new** version with the epoch bumped by one. Row storage
+//! is chunked into fixed-capacity blocks whose payloads live behind `Arc`s,
+//! so a derived version shares every block the delta did not touch
+//! (copy-on-write at the block level — the same idea as MVCC page
+//! versioning, applied to columnar row blocks):
+//!
+//! * `append` rewrites at most the trailing partial block and adds new
+//!   blocks after it;
+//! * `delete_key` rewrites only the blocks that actually contain the key.
+//!
+//! Each version carries a fully materialised [`Relation`] snapshot behind
+//! an `Arc`, built once at version-creation time. Queries prepared against
+//! a snapshot keep executing against *their* epoch no matter how many
+//! versions are derived afterwards — epoch pinning is simply `Arc`
+//! immutability, there is no locking in the read path.
+//!
+//! Blocks store **raw** (denormalised) attribute values plus the
+//! dictionary-encoded group key of every row; snapshot materialisation
+//! runs them through the ordinary [`RelationBuilder`](crate::RelationBuilder) so normalisation,
+//! group indexing and the columnar mirror are byte-identical to a
+//! from-scratch load of the same rows. `Max`-attribute normalisation is a
+//! negation, which round-trips exactly in IEEE arithmetic, so a row's
+//! normalised values are bit-stable across every version that contains it.
+
+use crate::error::{Error, Result};
+use crate::relation::{JoinKeys, Relation, TupleId};
+use crate::schema::Schema;
+use std::sync::Arc;
+
+/// Rows per copy-on-write block. Appends rewrite at most this many
+/// trailing rows; deletes rewrite only blocks containing the key.
+pub const BLOCK_ROWS: usize = 1024;
+
+/// One immutable storage block: `keys.len()` rows of `d` raw values each.
+#[derive(Debug, Clone)]
+struct Block {
+    keys: Arc<Vec<u64>>,
+    /// Raw row-major values, `keys.len() * d` of them.
+    rows: Arc<Vec<f64>>,
+}
+
+impl Block {
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn shares_storage(&self, other: &Block) -> bool {
+        Arc::ptr_eq(&self.rows, &other.rows)
+    }
+}
+
+/// An epoch-stamped immutable version of a mutable logical relation.
+///
+/// See the [module docs](self) for the versioning model. Cloning is cheap
+/// (`Arc` clones of the blocks and the snapshot).
+#[derive(Debug, Clone)]
+pub struct VersionedRelation {
+    schema: Schema,
+    epoch: u64,
+    blocks: Vec<Block>,
+    snapshot: Arc<Relation>,
+}
+
+impl VersionedRelation {
+    /// Version 0 of an empty logical relation.
+    pub fn new(schema: Schema) -> Result<VersionedRelation> {
+        let snapshot = Arc::new(Relation::builder(schema.clone()).build()?);
+        Ok(VersionedRelation {
+            schema,
+            epoch: 0,
+            blocks: Vec::new(),
+            snapshot,
+        })
+    }
+
+    /// Version 0 seeded from an existing relation, which becomes the
+    /// snapshot as-is (no rebuild). The relation must use equality-join
+    /// group keys — the only key kind with well-defined append/delete
+    /// row semantics here.
+    pub fn from_relation(rel: Arc<Relation>) -> Result<VersionedRelation> {
+        if !rel.is_empty() && !matches!(rel.keys(), JoinKeys::Group(_)) {
+            return Err(Error::Invalid(
+                "versioned relations require equality-join (group) keys".into(),
+            ));
+        }
+        let d = rel.d();
+        let mut blocks = Vec::with_capacity(rel.n().div_ceil(BLOCK_ROWS.max(1)));
+        let mut start = 0usize;
+        while start < rel.n() {
+            let end = (start + BLOCK_ROWS).min(rel.n());
+            let mut keys = Vec::with_capacity(end - start);
+            let mut rows = Vec::with_capacity((end - start) * d);
+            for t in start..end {
+                let t = TupleId(t as u32);
+                keys.push(rel.group_id(t).expect("group-keyed relation"));
+                rows.extend(rel.raw_row(t));
+            }
+            blocks.push(Block {
+                keys: Arc::new(keys),
+                rows: Arc::new(rows),
+            });
+            start = end;
+        }
+        Ok(VersionedRelation {
+            schema: rel.schema().clone(),
+            epoch: 0,
+            blocks,
+            snapshot: rel,
+        })
+    }
+
+    /// This version's epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of rows in this version.
+    pub fn n(&self) -> usize {
+        self.snapshot.n()
+    }
+
+    /// The schema shared by every version.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The materialised snapshot of this version. In-flight queries hold
+    /// their own clone of this `Arc`, pinning the epoch they prepared
+    /// against.
+    pub fn snapshot(&self) -> &Arc<Relation> {
+        &self.snapshot
+    }
+
+    /// Derive the next version with `rows` (raw values, one group key
+    /// each) appended after the existing rows. Existing row ids are
+    /// preserved; the new rows take ids `n .. n + rows.len()`.
+    pub fn append(&self, keys: &[u64], rows: &[Vec<f64>]) -> Result<VersionedRelation> {
+        if keys.len() != rows.len() {
+            return Err(Error::Invalid(format!(
+                "{} keys but {} rows",
+                keys.len(),
+                rows.len()
+            )));
+        }
+        let d = self.schema.d();
+        for row in rows {
+            if row.len() != d {
+                return Err(Error::ArityMismatch {
+                    expected: d,
+                    got: row.len(),
+                });
+            }
+        }
+        let mut blocks = self.blocks.clone();
+        let mut pending_keys: Vec<u64>;
+        let mut pending_rows: Vec<f64>;
+        // Reopen the trailing partial block (copy-on-write): its rows are
+        // re-written into a fresh block together with the first appended
+        // rows; every full block stays shared.
+        match blocks.last() {
+            Some(last) if last.len() < BLOCK_ROWS => {
+                let last = blocks.pop().expect("just matched");
+                pending_keys = (*last.keys).clone();
+                pending_rows = (*last.rows).clone();
+            }
+            _ => {
+                pending_keys = Vec::new();
+                pending_rows = Vec::new();
+            }
+        }
+        for (key, row) in keys.iter().zip(rows) {
+            pending_keys.push(*key);
+            pending_rows.extend_from_slice(row);
+            if pending_keys.len() == BLOCK_ROWS {
+                blocks.push(Block {
+                    keys: Arc::new(std::mem::take(&mut pending_keys)),
+                    rows: Arc::new(std::mem::take(&mut pending_rows)),
+                });
+            }
+        }
+        if !pending_keys.is_empty() {
+            blocks.push(Block {
+                keys: Arc::new(pending_keys),
+                rows: Arc::new(pending_rows),
+            });
+        }
+        self.derive(blocks)
+    }
+
+    /// Derive the next version with every row whose group key equals
+    /// `key` removed (surviving rows keep their relative order). Returns
+    /// the new version and how many rows were dropped; the epoch bumps
+    /// even when nothing matched, so a delete is always observable.
+    pub fn delete_key(&self, key: u64) -> Result<(VersionedRelation, usize)> {
+        let d = self.schema.d();
+        let mut removed = 0usize;
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        for block in &self.blocks {
+            let hits = block.keys.iter().filter(|&&k| k == key).count();
+            if hits == 0 {
+                blocks.push(block.clone());
+                continue;
+            }
+            removed += hits;
+            if hits == block.len() {
+                continue; // the whole block vanishes
+            }
+            let mut keys = Vec::with_capacity(block.len() - hits);
+            let mut rows = Vec::with_capacity((block.len() - hits) * d);
+            for (i, &k) in block.keys.iter().enumerate() {
+                if k != key {
+                    keys.push(k);
+                    rows.extend_from_slice(&block.rows[i * d..(i + 1) * d]);
+                }
+            }
+            blocks.push(Block {
+                keys: Arc::new(keys),
+                rows: Arc::new(rows),
+            });
+        }
+        if removed == 0 {
+            // Nothing changed: share the snapshot too.
+            return Ok((
+                VersionedRelation {
+                    schema: self.schema.clone(),
+                    epoch: self.epoch + 1,
+                    blocks,
+                    snapshot: Arc::clone(&self.snapshot),
+                },
+                0,
+            ));
+        }
+        Ok((self.derive(blocks)?, removed))
+    }
+
+    /// Materialise a new version from `blocks` at `self.epoch + 1`.
+    fn derive(&self, blocks: Vec<Block>) -> Result<VersionedRelation> {
+        let n: usize = blocks.iter().map(Block::len).sum();
+        let mut b = Relation::builder(self.schema.clone()).with_capacity(n);
+        let d = self.schema.d();
+        for block in &blocks {
+            for (i, &key) in block.keys.iter().enumerate() {
+                b.add_grouped(key, &block.rows[i * d..(i + 1) * d])?;
+            }
+        }
+        Ok(VersionedRelation {
+            schema: self.schema.clone(),
+            epoch: self.epoch + 1,
+            blocks,
+            snapshot: Arc::new(b.build()?),
+        })
+    }
+
+    /// How many storage blocks this version holds.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// How many of this version's blocks share storage with `other` —
+    /// the copy-on-write effectiveness metric the tests pin down.
+    pub fn shared_blocks_with(&self, other: &VersionedRelation) -> usize {
+        self.blocks
+            .iter()
+            .filter(|b| other.blocks.iter().any(|o| b.shares_storage(o)))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preference::Preference;
+
+    fn raw(i: usize) -> Vec<f64> {
+        vec![i as f64, (i * 7 % 13) as f64, 100.0 - i as f64]
+    }
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .local("x", Preference::Min)
+            .local("y", Preference::Min)
+            .local("z", Preference::Max)
+            .build()
+            .unwrap()
+    }
+
+    fn seed(n: usize) -> VersionedRelation {
+        let keys: Vec<u64> = (0..n).map(|i| (i % 5) as u64).collect();
+        let rows: Vec<Vec<f64>> = (0..n).map(raw).collect();
+        let rel = Arc::new(Relation::from_grouped_rows(schema(), &keys, &rows).unwrap());
+        VersionedRelation::from_relation(rel).unwrap()
+    }
+
+    #[test]
+    fn append_bumps_epoch_and_preserves_prefix() {
+        let v0 = seed(10);
+        assert_eq!(v0.epoch(), 0);
+        let v1 = v0.append(&[7], &[raw(10)]).unwrap();
+        assert_eq!(v1.epoch(), 1);
+        assert_eq!(v1.n(), 11);
+        // Prefix rows are bit-identical (ids and normalised values).
+        for t in 0..10u32 {
+            assert_eq!(
+                v0.snapshot().row_at(t as usize),
+                v1.snapshot().row_at(t as usize),
+                "row {t}"
+            );
+            assert_eq!(
+                v0.snapshot().group_id(TupleId(t)),
+                v1.snapshot().group_id(TupleId(t))
+            );
+        }
+        assert_eq!(v1.snapshot().group_id(TupleId(10)), Some(7));
+        // The appended snapshot equals a from-scratch build of the same rows.
+        let keys: Vec<u64> = (0..10).map(|i| (i % 5) as u64).chain([7]).collect();
+        let rows: Vec<Vec<f64>> = (0..11).map(raw).collect();
+        let fresh = Relation::from_grouped_rows(schema(), &keys, &rows).unwrap();
+        assert_eq!(**v1.snapshot(), fresh);
+    }
+
+    #[test]
+    fn append_shares_full_blocks() {
+        let v0 = seed(BLOCK_ROWS + 10); // one full block + one partial
+        assert_eq!(v0.block_count(), 2);
+        let v1 = v0.append(&[1], &[raw(99)]).unwrap();
+        // The full block is shared; only the partial tail was rewritten.
+        assert_eq!(v1.shared_blocks_with(&v0), 1);
+        assert_eq!(v1.block_count(), 2);
+    }
+
+    #[test]
+    fn append_fills_and_starts_blocks() {
+        let v0 = seed(BLOCK_ROWS - 1);
+        let delta_keys = vec![3u64; 2];
+        let delta_rows: Vec<Vec<f64>> = (0..2).map(|i| raw(5000 + i)).collect();
+        let v1 = v0.append(&delta_keys, &delta_rows).unwrap();
+        assert_eq!(v1.n(), BLOCK_ROWS + 1);
+        assert_eq!(v1.block_count(), 2);
+        // No block of v0 survives: the single partial block was reopened.
+        assert_eq!(v1.shared_blocks_with(&v0), 0);
+    }
+
+    #[test]
+    fn delete_rewrites_only_touched_blocks() {
+        // Put key 42 only in the second block.
+        let mut keys: Vec<u64> = vec![1; BLOCK_ROWS];
+        keys.extend([42, 2, 42]);
+        let rows: Vec<Vec<f64>> = (0..keys.len()).map(raw).collect();
+        let rel = Arc::new(Relation::from_grouped_rows(schema(), &keys, &rows).unwrap());
+        let v0 = VersionedRelation::from_relation(rel).unwrap();
+        let (v1, removed) = v0.delete_key(42).unwrap();
+        assert_eq!(removed, 2);
+        assert_eq!(v1.epoch(), 1);
+        assert_eq!(v1.n(), BLOCK_ROWS + 1);
+        assert_eq!(v1.shared_blocks_with(&v0), 1, "block 0 untouched");
+        // Survivors keep their relative order.
+        assert_eq!(v1.snapshot().group_id(TupleId(BLOCK_ROWS as u32)), Some(2));
+        // Deleting a missing key bumps the epoch but shares everything.
+        let (v2, zero) = v1.delete_key(999).unwrap();
+        assert_eq!(zero, 0);
+        assert_eq!(v2.epoch(), 2);
+        assert_eq!(v2.shared_blocks_with(&v1), v1.block_count());
+        assert!(Arc::ptr_eq(v2.snapshot(), v1.snapshot()));
+    }
+
+    #[test]
+    fn pinned_snapshot_unaffected_by_later_versions() {
+        let v0 = seed(8);
+        let pinned = Arc::clone(v0.snapshot());
+        let v1 = v0.append(&[0], &[raw(50)]).unwrap();
+        let (v2, _) = v1.delete_key(0).unwrap();
+        assert_eq!(pinned.n(), 8, "epoch-0 snapshot still has 8 rows");
+        assert_eq!(v2.epoch(), 2);
+        assert!(v2.n() < v1.n());
+        // The pinned snapshot's values are untouched.
+        for t in 0..8u32 {
+            assert_eq!(pinned.raw_row(TupleId(t)), raw(t as usize));
+        }
+    }
+
+    #[test]
+    fn empty_start_grows_like_a_load() {
+        let v0 = VersionedRelation::new(schema()).unwrap();
+        assert_eq!(v0.n(), 0);
+        let v1 = v0.append(&[4, 4], &[raw(0), raw(1)]).unwrap();
+        assert_eq!(v1.n(), 2);
+        let fresh = Relation::from_grouped_rows(schema(), &[4, 4], &[raw(0), raw(1)]).unwrap();
+        assert_eq!(**v1.snapshot(), fresh);
+    }
+
+    #[test]
+    fn rejects_non_group_keys_and_bad_arity() {
+        let mut b = Relation::builder(Schema::uniform(2).unwrap());
+        b.add(&[1.0, 2.0]).unwrap();
+        let rel = Arc::new(b.build().unwrap());
+        assert!(VersionedRelation::from_relation(rel).is_err());
+        let v0 = seed(3);
+        assert!(v0.append(&[1], &[vec![1.0]]).is_err(), "arity mismatch");
+        assert!(v0.append(&[1, 2], &[raw(0)]).is_err(), "key/row mismatch");
+    }
+}

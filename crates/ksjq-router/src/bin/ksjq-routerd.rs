@@ -49,6 +49,20 @@ fn parse_args() -> (RouterConfig, Topology) {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--cache-entries needs an integer (0 disables)"));
             }
+            "--fetch-batch" => {
+                config.fetch_batch = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--fetch-batch needs a positive integer"));
+            }
+            "--check-batch" => {
+                config.check_batch = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--check-batch needs a positive integer"));
+            }
             "--attempts" => {
                 config.policy.attempts = args
                     .next()
@@ -68,10 +82,13 @@ fn parse_args() -> (RouterConfig, Topology) {
                 eprintln!(
                     "usage: ksjq-routerd --shard HOST:PORT[,HOST:PORT…] [--shard …] \n\
                      \x20                   [--addr HOST:PORT] [--cache-entries N]\n\
+                     \x20                   [--fetch-batch N] [--check-batch N]\n\
                      \x20                   [--attempts N] [--timeout SECS]\n\
                      \x20 --shard          one shard's replica set; repeat per shard (order = shard index)\n\
                      \x20 --addr           listen address (default 127.0.0.1:7979; port 0 = ephemeral)\n\
                      \x20 --cache-entries  result-cache capacity (default 128; 0 disables)\n\
+                     \x20 --fetch-batch    round-2 FETCH pairs per request (default 256)\n\
+                     \x20 --check-batch    round-2 CHECK probe rows per request (default 64)\n\
                      \x20 --attempts       replica-set sweeps before a shard counts as down (default 3)\n\
                      \x20 --timeout        backend connect/read/write timeout in seconds (default 10)"
                 );

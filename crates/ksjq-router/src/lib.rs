@@ -49,6 +49,8 @@ pub mod topology;
 
 pub use dialer::{DialPolicy, Dialer, FanoutCounters, ShardDialer};
 pub use merge::merge_sorted;
-pub use partition::{partition_csv, partition_synthetic, PartitionedLoad};
-pub use router::{Router, RouterConfig, RunningRouter};
+pub use partition::{
+    partition_csv, partition_delta, partition_synthetic, PartitionedDelta, PartitionedLoad,
+};
+pub use router::{Router, RouterConfig, RunningRouter, DEFAULT_CHECK_BATCH, DEFAULT_FETCH_BATCH};
 pub use topology::{fnv1a64, shard_of, Topology};

@@ -31,6 +31,9 @@ pub struct PartitionedLoad {
     /// `id_maps[s][local]` = global row index of shard `s`'s row
     /// `local`. Strictly increasing in `local` by construction.
     pub id_maps: Vec<Vec<u32>>,
+    /// `keys[global]` = the textual join key of each row — what `APPEND`
+    /// extends and `DELETE` filters when the router recomputes id maps.
+    pub keys: Vec<String>,
     /// Total rows.
     pub n: usize,
     /// Attribute count (columns minus the key).
@@ -53,10 +56,12 @@ pub fn partition_csv(csv: &str, n_shards: usize) -> Result<PartitionedLoad, Stri
     }
     let mut shard_rows: Vec<Vec<Vec<String>>> = vec![Vec::new(); n_shards];
     let mut id_maps: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
+    let mut keys = Vec::with_capacity(table.rows.len());
     for (global, row) in table.rows.iter().enumerate() {
         let s = shard_of(&row[0], n_shards);
         shard_rows[s].push(row.clone());
         id_maps[s].push(global as u32);
+        keys.push(row[0].clone());
     }
     let shard_csvs = shard_rows
         .into_iter()
@@ -72,8 +77,52 @@ pub fn partition_csv(csv: &str, n_shards: usize) -> Result<PartitionedLoad, Stri
         shard_csvs,
         full_csv: table.to_csv(),
         id_maps,
+        keys,
         n: table.rows.len(),
         d: table.header.len() - 1,
+    })
+}
+
+/// An `APPEND` delta split for a cluster. Same placement function as
+/// [`partition_csv`] — appended rows land on the shard that already
+/// holds their join group — but the rows are header-less (`APPEND`
+/// grammar), so this is a plain line split, not a `CsvTable` parse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionedDelta {
+    /// Per-shard delta rows (empty string = nothing for that shard).
+    pub shard_csvs: Vec<String>,
+    /// The whole delta, normalised — appended to the `.all.<name>`
+    /// broadcast copy on shard 0.
+    pub full_csv: String,
+    /// The join key of each delta row, in input order.
+    pub keys: Vec<String>,
+}
+
+/// Split header-less `APPEND` rows by join-key hash (first cell).
+pub fn partition_delta(csv: &str, n_shards: usize) -> Result<PartitionedDelta, String> {
+    let mut shard_rows: Vec<Vec<&str>> = vec![Vec::new(); n_shards];
+    let mut keys = Vec::new();
+    let mut all = Vec::new();
+    for line in csv.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let key = line.split(',').next().unwrap_or("").trim();
+        if key.is_empty() {
+            return Err(format!("append row {}: empty join key", keys.len() + 1));
+        }
+        shard_rows[shard_of(key, n_shards)].push(line);
+        keys.push(key.to_string());
+        all.push(line);
+    }
+    if keys.is_empty() {
+        return Err("APPEND carried no rows".into());
+    }
+    Ok(PartitionedDelta {
+        shard_csvs: shard_rows.into_iter().map(|rows| rows.join("\n")).collect(),
+        full_csv: all.join("\n"),
+        keys,
     })
 }
 
@@ -165,5 +214,36 @@ mod tests {
     fn junk_csv_is_rejected() {
         assert!(partition_csv("", 2).is_err());
         assert!(partition_csv("lonely\nA\n", 2).is_err());
+    }
+
+    #[test]
+    fn keys_follow_global_row_order() {
+        let p = partition_csv(CSV, 3).unwrap();
+        assert_eq!(p.keys, vec!["JAI", "DEL", "JAI", "BOM", "DEL"]);
+    }
+
+    #[test]
+    fn delta_rows_land_with_their_group() {
+        for n_shards in [1usize, 2, 3] {
+            let d = partition_delta("JAI,9,9\nBOM,8,8\nJAI,7,7\n", n_shards).unwrap();
+            assert_eq!(d.keys, vec!["JAI", "BOM", "JAI"]);
+            assert_eq!(d.full_csv, "JAI,9,9\nBOM,8,8\nJAI,7,7");
+            let jai = shard_of("JAI", n_shards);
+            let jai_rows: Vec<&str> = d.shard_csvs[jai]
+                .lines()
+                .filter(|l| l.starts_with("JAI"))
+                .collect();
+            assert_eq!(jai_rows, vec!["JAI,9,9", "JAI,7,7"], "order preserved");
+            // Row placement matches the load-time placement function.
+            let load = partition_csv(CSV, n_shards).unwrap();
+            let slice = CsvTable::parse(&load.shard_csvs[jai]).unwrap();
+            if n_shards > 1 {
+                assert!(
+                    slice.rows.iter().all(|r| r[0] != "BOM") || jai == shard_of("BOM", n_shards)
+                );
+            }
+        }
+        assert!(partition_delta("", 2).is_err());
+        assert!(partition_delta(",1,2", 2).is_err(), "empty key");
     }
 }

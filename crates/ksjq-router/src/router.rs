@@ -28,15 +28,15 @@
 
 use crate::dialer::{DialPolicy, Dialer, FanoutCounters, ShardDialer};
 use crate::merge::merge_sorted;
-use crate::partition::{partition_csv, partition_synthetic, PartitionedLoad};
-use crate::topology::Topology;
+use crate::partition::{partition_csv, partition_delta, partition_synthetic, PartitionedLoad};
+use crate::topology::{shard_of, Topology};
 use ksjq_core::{ExecStats, Goal, KsjqOutput};
 use ksjq_relation::TupleId;
 use ksjq_server::{
     ClientError, Cursor, LoadSource, PlanSpec, Request, Response, ResultCache, RowChunk, RowSet,
     ServerStats, MAX_LINE_BYTES, PROTOCOL_VERSION, ROWS_PER_CHUNK,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -44,11 +44,12 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::thread::{self, JoinHandle};
 use std::time::Instant;
 
-/// `FETCH` batch size: row-id pairs per request.
-const FETCH_BATCH: usize = 256;
-/// `CHECK` batch size: probe rows per request (each row is `d_joined`
-/// decimal floats, so this stays far below the 1 MiB request cap).
-const CHECK_BATCH: usize = 64;
+/// Default `FETCH` batch size: row-id pairs per request.
+pub const DEFAULT_FETCH_BATCH: usize = 256;
+/// Default `CHECK` batch size: probe rows per request (each row is
+/// `d_joined` decimal floats, so this stays far below the 1 MiB request
+/// cap).
+pub const DEFAULT_CHECK_BATCH: usize = 64;
 
 /// Router knobs.
 #[derive(Debug, Clone)]
@@ -59,6 +60,12 @@ pub struct RouterConfig {
     pub cache_entries: usize,
     /// Backend retry/backoff/timeout policy.
     pub policy: DialPolicy,
+    /// Round-2 `FETCH` batch size (`--fetch-batch`): candidate pairs per
+    /// request. Larger batches mean fewer round trips but bigger frames.
+    pub fetch_batch: usize,
+    /// Round-2 `CHECK` batch size (`--check-batch`): probe rows per
+    /// request.
+    pub check_batch: usize,
 }
 
 impl Default for RouterConfig {
@@ -67,6 +74,8 @@ impl Default for RouterConfig {
             addr: "127.0.0.1:7979".into(),
             cache_entries: 128,
             policy: DialPolicy::default(),
+            fetch_batch: DEFAULT_FETCH_BATCH,
+            check_batch: DEFAULT_CHECK_BATCH,
         }
     }
 }
@@ -76,6 +85,10 @@ impl Default for RouterConfig {
 struct RelMeta {
     /// `id_maps[s][local]` = global row id (strictly increasing).
     id_maps: Vec<Vec<u32>>,
+    /// `keys[global]` = textual join key of every row — what lets
+    /// `APPEND` extend the id maps in place and `DELETE` recompute them
+    /// without refetching anything from the shards.
+    keys: Vec<String>,
 }
 
 /// A prepared query: the router keeps the plan (and re-sends it as a
@@ -98,11 +111,20 @@ struct RouterState {
     /// same name from two sessions must not cross-commit.
     load_lock: Mutex<()>,
     fanout: Arc<FanoutCounters>,
+    /// Round-2 batch sizes (`--fetch-batch` / `--check-batch`).
+    fetch_batch: usize,
+    check_batch: usize,
     connections: AtomicU64,
     requests: AtomicU64,
     errors: AtomicU64,
     fanout_queries: AtomicU64,
     merge_us: AtomicU64,
+    /// Bumped on every catalog mutation the router drives (`LOAD`,
+    /// `APPEND`, `DELETE`) — the cluster-level analogue of a shard's
+    /// `catalog_epoch`.
+    epoch: AtomicU64,
+    /// Rows appended through this router.
+    delta_rows: AtomicU64,
     rotation: AtomicUsize,
     stop: AtomicBool,
 }
@@ -126,11 +148,15 @@ impl Router {
             cache: ResultCache::new(config.cache_entries),
             load_lock: Mutex::new(()),
             fanout: Arc::new(FanoutCounters::default()),
+            fetch_batch: config.fetch_batch.max(1),
+            check_batch: config.check_batch.max(1),
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             fanout_queries: AtomicU64::new(0),
             merge_us: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            delta_rows: AtomicU64::new(0),
             rotation: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
         });
@@ -301,6 +327,25 @@ fn handle_conn(state: &RouterState, stream: TcpStream) {
                 ),
             },
             Request::Stats => send_raw(&mut writer, &stats_line(state, sessions.len())),
+            Request::Append { name, rows, staged } => {
+                if staged {
+                    send_err(
+                        &mut writer,
+                        state,
+                        "APPEND … STAGE is backend-only: the router stages and commits \
+                         per-shard slices itself — send APPEND <name> ROWS <csv>",
+                    )
+                } else {
+                    match append(state, &mut dialer, &name, &rows) {
+                        Ok(msg) => send(&mut writer, state, &Response::Ok(msg)),
+                        Err(e) => send_err(&mut writer, state, &e),
+                    }
+                }
+            }
+            Request::Delete { name, keys } => match delete(state, &mut dialer, &name, &keys) {
+                Ok(msg) => send(&mut writer, state, &Response::Ok(msg)),
+                Err(e) => send_err(&mut writer, state, &e),
+            },
             Request::Sync { .. }
             | Request::Stage { .. }
             | Request::Commit { .. }
@@ -462,6 +507,11 @@ fn stats_line(state: &RouterState, sessions: usize) -> String {
         merge_us: state.merge_us.load(Ordering::Relaxed),
         shard_retries: state.fanout.shard_retries.load(Ordering::Relaxed),
         shard_errors: state.fanout.shard_errors.load(Ordering::Relaxed),
+        catalog_epoch: state.epoch.load(Ordering::Relaxed),
+        // The router never maintains results itself — shards do; it
+        // invalidates its merged cache on every delta.
+        delta_maintained: 0,
+        delta_rows: state.delta_rows.load(Ordering::Relaxed),
     };
     let mut out = Response::Stats(stats).to_string();
     let relations = read_lock(&state.relations);
@@ -469,6 +519,10 @@ fn stats_line(state: &RouterState, sessions: usize) -> String {
         let rows: u64 = relations.values().map(|m| m.id_maps[s].len() as u64).sum();
         out.push_str(&format!(" shard{s}_rows={rows}"));
     }
+    out.push_str(&format!(
+        " fetch_batch={} check_batch={}",
+        state.fetch_batch, state.check_batch
+    ));
     out
 }
 
@@ -558,13 +612,182 @@ fn load(
             commit_errors.join("; ")
         ));
     }
-    let PartitionedLoad { id_maps, n, d, .. } = part;
+    let PartitionedLoad {
+        id_maps,
+        keys,
+        n,
+        d,
+        ..
+    } = part;
     state
         .relations
         .write()
         .unwrap_or_else(|e| e.into_inner())
-        .insert(name.into(), Arc::new(RelMeta { id_maps }));
+        .insert(name.into(), Arc::new(RelMeta { id_maps, keys }));
+    state.epoch.fetch_add(1, Ordering::Relaxed);
     Ok(format!("loaded {name} n={n} d={d} shards={n_shards}"))
+}
+
+// ------------------------------------------------------------- mutation
+
+/// Forward an `APPEND … ROWS` to the cluster: partition the delta by the
+/// load-time placement function (so appended rows land on the shard that
+/// already holds their join group), run the same two-phase STAGE/COMMIT
+/// the loader uses, then extend the id maps in place — global ids
+/// `old_n..old_n+r` distribute to shards in input order, keeping every
+/// map strictly monotone.
+fn append(
+    state: &RouterState,
+    dialer: &mut Dialer,
+    name: &str,
+    rows: &str,
+) -> Result<String, String> {
+    if name.starts_with('.') {
+        return Err("relation names starting with '.' are reserved for the router".into());
+    }
+    let n_shards = state.topology.n_shards();
+    let delta = partition_delta(rows, n_shards)?;
+    let _guard = state.load_lock.lock().unwrap_or_else(|e| e.into_inner());
+    let old = meta(state, name)?;
+    let all_name = format!(".all.{name}");
+
+    // Phase one: stage each non-empty slice on every replica of its
+    // shard, and the full delta on shard 0's broadcast copy. A failure
+    // aborts everywhere — nothing committed, old versions survive.
+    let mut failure: Option<String> = None;
+    'stage: for s in 0..n_shards {
+        let sd = dialer.shard_mut(s);
+        for r in 0..sd.n_replicas() {
+            let slice = &delta.shard_csvs[s];
+            if !slice.is_empty() {
+                if let Err(e) = sd.call_replica(r, |c| c.append_stage(name, slice)) {
+                    failure = Some(describe(s, e));
+                    break 'stage;
+                }
+            }
+            if s == 0 {
+                if let Err(e) = sd.call_replica(r, |c| c.append_stage(&all_name, &delta.full_csv)) {
+                    failure = Some(describe(s, e));
+                    break 'stage;
+                }
+            }
+        }
+    }
+    if let Some(e) = failure {
+        abort_everywhere(state, dialer, name, &all_name);
+        return Err(e);
+    }
+
+    // Phase two: commit the staged deltas. As with LOAD, a commit can
+    // still fail mid-flight; the cluster is then mixed for this name and
+    // the client's recovery is to re-issue the whole LOAD.
+    let mut commit_errors: Vec<String> = Vec::new();
+    for s in 0..n_shards {
+        let sd = dialer.shard_mut(s);
+        for r in 0..sd.n_replicas() {
+            if !delta.shard_csvs[s].is_empty() {
+                if let Err(e) = sd.call_replica(r, |c| c.commit(name)) {
+                    commit_errors.push(describe(s, e));
+                    continue;
+                }
+            }
+            if s == 0 {
+                if let Err(e) = sd.call_replica(r, |c| c.commit(&all_name)) {
+                    commit_errors.push(describe(s, e));
+                }
+            }
+        }
+    }
+    state.cache.invalidate_relation(name);
+    if !commit_errors.is_empty() {
+        return Err(format!(
+            "append partially committed ({} commits failed; re-issue the LOAD to recover): {}",
+            commit_errors.len(),
+            commit_errors.join("; ")
+        ));
+    }
+    let mut id_maps = old.id_maps.clone();
+    let mut keys = old.keys.clone();
+    let old_n = keys.len();
+    for (j, key) in delta.keys.iter().enumerate() {
+        id_maps[shard_of(key, n_shards)].push((old_n + j) as u32);
+        keys.push(key.clone());
+    }
+    let r = delta.keys.len();
+    let n = keys.len();
+    state
+        .relations
+        .write()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(name.into(), Arc::new(RelMeta { id_maps, keys }));
+    state.epoch.fetch_add(1, Ordering::Relaxed);
+    state.delta_rows.fetch_add(r as u64, Ordering::Relaxed);
+    Ok(format!("appended {name} +{r} rows n={n} shards={n_shards}"))
+}
+
+/// Forward a `DELETE … KEYS` to every replica of every shard plus the
+/// broadcast copy, then rebuild the id maps from the surviving keys.
+/// Backends drop *all* rows carrying a key and preserve survivor order,
+/// so renumbering survivors by position and replaying the placement
+/// function reproduces each shard's exact local order.
+fn delete(
+    state: &RouterState,
+    dialer: &mut Dialer,
+    name: &str,
+    keys: &[String],
+) -> Result<String, String> {
+    if name.starts_with('.') {
+        return Err("relation names starting with '.' are reserved for the router".into());
+    }
+    let n_shards = state.topology.n_shards();
+    let _guard = state.load_lock.lock().unwrap_or_else(|e| e.into_inner());
+    let old = meta(state, name)?;
+    let all_name = format!(".all.{name}");
+    let mut errors: Vec<String> = Vec::new();
+    for s in 0..n_shards {
+        let sd = dialer.shard_mut(s);
+        for r in 0..sd.n_replicas() {
+            if let Err(e) = sd.call_replica(r, |c| c.delete_keys(name, keys)) {
+                errors.push(describe(s, e));
+                continue;
+            }
+            if s == 0 {
+                if let Err(e) = sd.call_replica(r, |c| c.delete_keys(&all_name, keys)) {
+                    errors.push(describe(s, e));
+                }
+            }
+        }
+    }
+    state.cache.invalidate_relation(name);
+    if !errors.is_empty() {
+        return Err(format!(
+            "delete partially applied ({} shards failed; re-issue the LOAD to recover): {}",
+            errors.len(),
+            errors.join("; ")
+        ));
+    }
+    let dropset: HashSet<&str> = keys.iter().map(String::as_str).collect();
+    let mut id_maps: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
+    let mut survivors = Vec::with_capacity(old.keys.len());
+    for key in old.keys.iter().filter(|k| !dropset.contains(k.as_str())) {
+        id_maps[shard_of(key, n_shards)].push(survivors.len() as u32);
+        survivors.push(key.clone());
+    }
+    let removed = old.keys.len() - survivors.len();
+    let n = survivors.len();
+    state
+        .relations
+        .write()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(
+            name.into(),
+            Arc::new(RelMeta {
+                id_maps,
+                keys: survivors,
+            }),
+        );
+    state.epoch.fetch_add(1, Ordering::Relaxed);
+    Ok(format!("deleted {removed} rows from {name} n={n}"))
 }
 
 /// Best-effort `ABORT` of a failed load on every replica (idempotent on
@@ -709,7 +932,15 @@ fn run_distributed(
                 let survivors: Vec<Vec<(u32, u32)>> = if participating.len() == 1 {
                     vec![local[0].pairs.clone()]
                 } else {
-                    verify_candidates(dialer, &participating, plan, k, &local)?
+                    verify_candidates(
+                        dialer,
+                        &participating,
+                        plan,
+                        k,
+                        &local,
+                        state.fetch_batch,
+                        state.check_batch,
+                    )?
                 };
                 // Remap to global ids and merge — the deterministic step
                 // `merge_us` times.
@@ -746,6 +977,7 @@ fn run_distributed(
         output.clone(),
         k,
         vec![plan.left.clone(), plan.right.clone()],
+        None,
     );
     Ok(RunResult {
         k,
@@ -771,13 +1003,15 @@ fn verify_candidates(
     plan: &PlanSpec,
     k: usize,
     local: &[RowSet],
+    fetch_batch: usize,
+    check_batch: usize,
 ) -> Result<Vec<Vec<(u32, u32)>>, String> {
     // Phase a: every shard materialises its own candidates' joined
     // values (`FETCH`), batched and in parallel.
     let vals: Vec<Vec<Vec<f64>>> = fan_out(dialer, participating, |sd, i| {
         let cands = &local[i].pairs;
         let mut rows = Vec::with_capacity(cands.len());
-        for batch in cands.chunks(FETCH_BATCH) {
+        for batch in cands.chunks(fetch_batch) {
             let got = sd
                 .call(|c| c.fetch(&plan.left, &plan.right, &plan.aggs, batch))
                 .map_err(|e| describe(sd.shard(), e))?;
@@ -805,7 +1039,7 @@ fn verify_candidates(
                 continue;
             }
             let mut bits = Vec::with_capacity(rows.len());
-            for batch in rows.chunks(CHECK_BATCH) {
+            for batch in rows.chunks(check_batch) {
                 let got = sd
                     .call(|c| c.check(&plan.left, &plan.right, &plan.aggs, k, batch))
                     .map_err(|e| describe(sd.shard(), e))?;

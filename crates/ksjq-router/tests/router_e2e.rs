@@ -38,7 +38,7 @@ struct Cluster {
     router: RunningRouter,
 }
 
-fn cluster_with(n_shards: usize, n_replicas: usize, cache_entries: usize) -> Cluster {
+fn cluster_config(n_shards: usize, n_replicas: usize, config: RouterConfig) -> Cluster {
     let shards: Vec<Vec<RunningServer>> = (0..n_shards)
         .map(|_| (0..n_replicas).map(|_| backend()).collect())
         .collect();
@@ -49,13 +49,21 @@ fn cluster_with(n_shards: usize, n_replicas: usize, cache_entries: usize) -> Clu
             .collect(),
     )
     .unwrap();
-    let config = RouterConfig {
-        addr: "127.0.0.1:0".into(),
-        cache_entries,
-        policy: fast_policy(),
-    };
     let router = Router::start(topology, &config).unwrap();
     Cluster { shards, router }
+}
+
+fn cluster_with(n_shards: usize, n_replicas: usize, cache_entries: usize) -> Cluster {
+    cluster_config(
+        n_shards,
+        n_replicas,
+        RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            cache_entries,
+            policy: fast_policy(),
+            ..RouterConfig::default()
+        },
+    )
 }
 
 fn cluster(n_shards: usize, n_replicas: usize) -> Cluster {
@@ -177,6 +185,112 @@ fn aggregate_network_identical_across_shard_counts() {
         }
         client.close().unwrap();
     }
+}
+
+/// Live catalogs through the router: an `APPEND` partitions the delta
+/// to the shards that own each join group (two-phase STAGE/COMMIT on
+/// every replica), a `DELETE` removes keys everywhere, and after both
+/// the cluster answer stays byte-identical to a single node that took
+/// the same mutations.
+#[test]
+fn append_and_delete_identical_across_shard_counts() {
+    let (out_csv, in_csv) = paper_csvs();
+    let plan = PlanSpec::new("outbound", "inbound").k(7);
+    let city = out_csv
+        .lines()
+        .nth(1)
+        .unwrap()
+        .split(',')
+        .next()
+        .unwrap()
+        .to_string();
+    // A dominant row on a joining city plus a row opening a fresh group.
+    let delta = format!("{city},1,1,1,1\nZZZ,9,9,9,9");
+
+    // Single-node oracle taking the identical mutation sequence.
+    let server = backend();
+    let mut oc = KsjqClient::connect(server.addr()).unwrap();
+    oc.load_csv("outbound", &out_csv).unwrap();
+    oc.load_csv("inbound", &in_csv).unwrap();
+    let baseline = run(&mut oc, &plan);
+    oc.append_rows("outbound", &delta).unwrap();
+    let after_append = run(&mut oc, &plan);
+    assert_ne!(after_append, baseline, "the delta must change this answer");
+    oc.delete_keys("outbound", std::slice::from_ref(&city))
+        .unwrap();
+    let after_delete = run(&mut oc, &plan);
+    oc.close().unwrap();
+    server.stop().unwrap();
+
+    for n_shards in [1, 2, 3] {
+        let cl = cluster(n_shards, 2); // 2 replicas: deltas must reach both
+        let mut client = KsjqClient::connect(cl.router.addr()).unwrap();
+        client.load_csv("outbound", &out_csv).unwrap();
+        client.load_csv("inbound", &in_csv).unwrap();
+        // Warm the router's merged-result cache so a stale entry would
+        // be caught below.
+        assert_eq!(run(&mut client, &plan), baseline, "shards={n_shards}");
+
+        let msg = client.append_rows("outbound", &delta).unwrap();
+        assert!(msg.contains("+2 rows"), "{msg}");
+        assert_eq!(
+            run(&mut client, &plan),
+            after_append,
+            "shards={n_shards} post-append"
+        );
+
+        let msg = client
+            .delete_keys("outbound", std::slice::from_ref(&city))
+            .unwrap();
+        assert!(msg.contains("deleted"), "{msg}");
+        assert_eq!(
+            run(&mut client, &plan),
+            after_delete,
+            "shards={n_shards} post-delete"
+        );
+
+        // Staged spelling stays backend-only at the router.
+        match client.append_stage("outbound", &delta) {
+            Err(ClientError::Server(msg)) => assert!(msg.contains("backend-only"), "{msg}"),
+            other => panic!("router must reject APPEND … STAGE, got {other:?}"),
+        }
+        client.close().unwrap();
+    }
+}
+
+/// Shrunken round-2 batch sizes force multiple FETCH/CHECK round trips
+/// per shard — the answer must not change, and the knobs are visible as
+/// STATS extension tokens.
+#[test]
+fn tiny_round2_batches_answer_identically() {
+    let (out_csv, in_csv) = paper_csvs();
+    let plans = vec![
+        PlanSpec::new("outbound", "inbound").k(7),
+        PlanSpec::new("outbound", "inbound").k(5),
+    ];
+    let expected = oracle(&[("outbound", &out_csv), ("inbound", &in_csv)], &plans);
+
+    let cl = cluster_config(
+        3,
+        1,
+        RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            cache_entries: 0, // every query exercises the two-round path
+            policy: fast_policy(),
+            fetch_batch: 2,
+            check_batch: 1,
+        },
+    );
+    let mut client = KsjqClient::connect(cl.router.addr()).unwrap();
+    client.load_csv("outbound", &out_csv).unwrap();
+    client.load_csv("inbound", &in_csv).unwrap();
+    for (plan, want) in plans.iter().zip(&expected) {
+        assert_eq!(&run(&mut client, plan), want, "plan={plan:?}");
+    }
+    let raw = client.raw("STATS").unwrap();
+    assert!(raw.contains(" fetch_batch=2"), "{raw}");
+    assert!(raw.contains(" check_batch=1"), "{raw}");
+    client.close().unwrap();
 }
 
 #[test]

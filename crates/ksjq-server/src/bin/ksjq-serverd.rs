@@ -18,7 +18,7 @@
 //! reaps quiet sessions.
 
 use ksjq_core::Engine;
-use ksjq_server::{register_demo_catalog, ConnectOptions, Server, ServerConfig};
+use ksjq_server::{register_demo_catalog, ConnectOptions, KsjqClient, Server, ServerConfig};
 use std::time::Duration;
 
 fn die(msg: &str) -> ! {
@@ -38,8 +38,9 @@ enum Seed {
     ReplicaOf(String),
 }
 
-fn parse_args() -> (ServerConfig, Seed) {
+fn parse_args() -> (ServerConfig, Seed, Option<Duration>) {
     let mut seed = Seed::default();
+    let mut resync: Option<Duration> = None;
     let mut config = ServerConfig {
         addr: "127.0.0.1:7878".into(),
         ..ServerConfig::default()
@@ -94,12 +95,21 @@ fn parse_args() -> (ServerConfig, Seed) {
                         .unwrap_or_else(|| die("--replica-of needs host:port of a primary")),
                 );
             }
+            "--resync-interval" => {
+                resync = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&secs| secs > 0)
+                        .map(Duration::from_secs)
+                        .unwrap_or_else(|| die("--resync-interval needs seconds (> 0)")),
+                );
+            }
             "--no-demo" => seed = Seed::Empty,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: ksjq-serverd [--addr HOST:PORT] [--workers N] [--cache-entries N]\n\
                      \x20                   [--max-conns N] [--max-inflight N] [--idle-timeout SECS]\n\
-                     \x20                   [--no-demo] [--replica-of HOST:PORT]\n\
+                     \x20                   [--no-demo] [--replica-of HOST:PORT] [--resync-interval SECS]\n\
                      \x20 --addr           listen address (default 127.0.0.1:7878; port 0 = ephemeral)\n\
                      \x20 --workers        worker threads (default 8)\n\
                      \x20 --cache-entries  result-cache capacity (default 128; 0 disables)\n\
@@ -107,19 +117,25 @@ fn parse_args() -> (ServerConfig, Seed) {
                      \x20 --max-inflight   per-connection pipelined-request cap (default 32)\n\
                      \x20 --idle-timeout   reap idle connections after SECS (default 300)\n\
                      \x20 --no-demo        start with an empty catalog (a router shard)\n\
-                     \x20 --replica-of     clone a primary's catalog via SYNC before serving"
+                     \x20 --replica-of     clone a primary's catalog via SYNC before serving\n\
+                     \x20 --resync-interval poll the primary's catalog_epoch every SECS and\n\
+                     \x20                  re-clone when it drifts (replica mode only)"
                 );
                 std::process::exit(0);
             }
             other => die(&format!("unknown flag {other} (try --help)")),
         }
     }
-    (config, seed)
+    if resync.is_some() && !matches!(seed, Seed::ReplicaOf(_)) {
+        die("--resync-interval only makes sense with --replica-of");
+    }
+    (config, seed, resync)
 }
 
 fn main() {
-    let (config, seed) = parse_args();
+    let (config, seed, resync) = parse_args();
     let engine = Engine::new();
+    let mut synced_epoch = 0u64;
     match &seed {
         Seed::Demo => {
             register_demo_catalog(&engine).expect("fresh engine accepts the demo catalog");
@@ -131,16 +147,53 @@ fn main() {
             // together spread their retries.
             let jitter_seed = std::process::id() as u64;
             match ksjq_server::sync_from(&engine, primary, &opts, 5, jitter_seed) {
-                Ok(names) => println!("synced {} relations from {primary}", names.len()),
+                Ok((epoch, names)) => {
+                    synced_epoch = epoch;
+                    println!(
+                        "synced {} relations from {primary} at epoch {epoch}",
+                        names.len()
+                    );
+                }
                 Err(e) => die(&format!("cannot sync from primary {primary}: {e}")),
             }
         }
     }
     let names = engine.catalog().names().join(", ");
-    let server = match Server::bind(engine, &config) {
+    let server = match Server::bind(engine.clone(), &config) {
         Ok(server) => server,
         Err(e) => die(&format!("cannot bind {}: {e}", config.addr)),
     };
+    if let (Some(every), Seed::ReplicaOf(primary)) = (resync, &seed) {
+        // Catch-up poller: compare the primary's catalog_epoch and
+        // re-clone when this replica missed a delta (it was down, or the
+        // router could not reach it). `catalog_updated` drops the local
+        // result cache and versioned chains along with the old catalog.
+        let handle = server.handle().expect("bound server has a handle");
+        let primary = primary.clone();
+        let opts = ConnectOptions::all(Duration::from_secs(10));
+        std::thread::spawn(move || {
+            let mut last = synced_epoch;
+            loop {
+                std::thread::sleep(every);
+                let Ok(mut client) = KsjqClient::connect_with(&primary, &opts) else {
+                    continue;
+                };
+                match ksjq_server::resync_if_stale(&engine, &mut client, last) {
+                    Ok(Some((epoch, names))) => {
+                        handle.catalog_updated();
+                        println!(
+                            "resynced {} relations from {primary}: epoch {last} -> {epoch}",
+                            names.len()
+                        );
+                        last = epoch;
+                    }
+                    Ok(None) => {}
+                    Err(e) => eprintln!("ksjq-serverd: resync from {primary} failed: {e}"),
+                }
+                let _ = client.close();
+            }
+        });
+    }
     let addr = server.local_addr().expect("bound listener has an address");
     println!(
         "ksjq-serverd listening on {addr} ({} workers, cache {} entries, max {} conns)",

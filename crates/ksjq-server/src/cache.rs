@@ -12,11 +12,18 @@
 //! chunk out of a cached result long after the `EXECUTE` that computed it
 //! finished, without the connection holding any per-result state.
 //!
+//! `APPEND` adds a third lifecycle besides hit and evict: *upgrade*. An
+//! entry that recorded its [`PlanSpec`] can be re-pointed at a result the
+//! incremental maintainer produced for the new catalog epoch — same key,
+//! same recency, **new** result id (cursors into the old result must die:
+//! `MORE` pages are positional, and the pair list just changed).
+//!
 //! Recency is tracked with a monotone tick per entry; eviction scans for
 //! the minimum. That is O(capacity) per insert-when-full, which for the
 //! intended capacities (tens to a few thousand entries of whole query
 //! results) is noise next to the skyline computation a miss costs.
 
+use crate::protocol::PlanSpec;
 use ksjq_core::KsjqOutput;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -48,6 +55,23 @@ impl CacheCounters {
     }
 }
 
+/// One cache entry snapshotted for the `APPEND` maintenance pass (see
+/// [`ResultCache::entries_for_relation`]).
+#[derive(Debug, Clone)]
+pub struct UpgradeCandidate {
+    /// Fingerprint key of the entry.
+    pub key: String,
+    /// Result id at snapshot time — [`ResultCache::upgrade`] requires it
+    /// unchanged, so a racing overwrite invalidates the candidate.
+    pub id: u64,
+    /// The `k` the cached result was computed under.
+    pub k: usize,
+    /// The producing plan, when the entry was inserted upgradable.
+    pub plan: Option<PlanSpec>,
+    /// The cached result at epoch E (the maintainer's input).
+    pub output: Arc<KsjqOutput>,
+}
+
 /// A cached query result: the output plus the identity a v2 cursor needs.
 #[derive(Debug, Clone)]
 pub struct CachedResult {
@@ -67,6 +91,10 @@ struct Entry {
     /// Relation names the fingerprint references (for per-relation
     /// invalidation).
     refs: Vec<String>,
+    /// The plan that produced the value, kept when the caller wants the
+    /// entry to be *upgradable* by the incremental maintainer after an
+    /// `APPEND` (`None` entries can only be invalidated).
+    plan: Option<PlanSpec>,
     value: Arc<KsjqOutput>,
     last_used: u64,
 }
@@ -157,6 +185,7 @@ impl ResultCache {
         value: Arc<KsjqOutput>,
         k: usize,
         refs: Vec<String>,
+        plan: Option<PlanSpec>,
     ) -> Option<u64> {
         if self.capacity == 0 {
             return None;
@@ -183,11 +212,62 @@ impl ResultCache {
                 id,
                 k,
                 refs,
+                plan,
                 value,
                 last_used: tick,
             },
         );
         Some(id)
+    }
+
+    /// Snapshot every entry whose plan references relation `name`, for
+    /// the `APPEND` maintenance pass: the caller decides per entry
+    /// whether to [`upgrade`](Self::upgrade) it with a maintained result
+    /// or [`remove`](Self::remove) it. The snapshot is taken under the
+    /// lock but maintenance runs outside it, so each candidate carries
+    /// the entry id it was taken at — `upgrade` is a no-op if the entry
+    /// was replaced or evicted in between.
+    pub fn entries_for_relation(&self, name: &str) -> Vec<UpgradeCandidate> {
+        let inner = self.lock();
+        inner
+            .map
+            .iter()
+            .filter(|(_, e)| e.refs.iter().any(|r| r == name))
+            .map(|(key, e)| UpgradeCandidate {
+                key: key.clone(),
+                id: e.id,
+                k: e.k,
+                plan: e.plan.clone(),
+                output: e.value.clone(),
+            })
+            .collect()
+    }
+
+    /// Re-point the entry under `key` at a maintained `value` — same key
+    /// and recency, fresh result id (positional `MORE` cursors into the
+    /// old value must expire). Applies only while the entry still carries
+    /// `expected_id`; a concurrent overwrite or eviction wins otherwise.
+    /// Not an eviction (those track capacity pressure only). Returns the
+    /// new result id, or `None` when nothing was upgraded.
+    pub fn upgrade(&self, key: &str, expected_id: u64, value: Arc<KsjqOutput>) -> Option<u64> {
+        let mut inner = self.lock();
+        inner.next_id += 1;
+        let id = inner.next_id;
+        match inner.map.get_mut(key) {
+            Some(entry) if entry.id == expected_id => {
+                entry.id = id;
+                entry.value = value;
+                Some(id)
+            }
+            _ => None,
+        }
+    }
+
+    /// Drop the entry under `key` (e.g. a non-upgradable plan after an
+    /// `APPEND`). Not counted as an eviction. Returns whether an entry
+    /// was present.
+    pub fn remove(&self, key: &str) -> bool {
+        self.lock().map.remove(key).is_some()
     }
 
     /// Evict every entry whose plan references relation `name`. Returns
@@ -243,7 +323,7 @@ mod tests {
     fn hit_miss_counting() {
         let c = ResultCache::new(4);
         assert!(c.get("a").is_none());
-        c.insert("a".into(), out(1), 2, refs(&["r"]));
+        c.insert("a".into(), out(1), 2, refs(&["r"]), None);
         let hit = c.get("a").unwrap();
         assert_eq!(hit.output.len(), 1);
         assert_eq!(hit.k, 2);
@@ -255,11 +335,11 @@ mod tests {
     #[test]
     fn evicts_least_recently_used() {
         let c = ResultCache::new(2);
-        c.insert("a".into(), out(1), 1, refs(&["r"]));
-        c.insert("b".into(), out(2), 1, refs(&["r"]));
+        c.insert("a".into(), out(1), 1, refs(&["r"]), None);
+        c.insert("b".into(), out(2), 1, refs(&["r"]), None);
         // Touch "a" so "b" is the LRU.
         assert!(c.get("a").is_some());
-        c.insert("c".into(), out(3), 1, refs(&["r"]));
+        c.insert("c".into(), out(3), 1, refs(&["r"]), None);
         assert_eq!(c.counters().evictions(), 1);
         assert!(c.get("b").is_none(), "LRU entry evicted");
         assert!(c.get("a").is_some());
@@ -270,9 +350,9 @@ mod tests {
     #[test]
     fn reinsert_same_key_does_not_evict() {
         let c = ResultCache::new(2);
-        c.insert("a".into(), out(1), 1, refs(&["r"]));
-        c.insert("b".into(), out(2), 1, refs(&["r"]));
-        c.insert("a".into(), out(3), 1, refs(&["r"])); // overwrite, still 2 entries
+        c.insert("a".into(), out(1), 1, refs(&["r"]), None);
+        c.insert("b".into(), out(2), 1, refs(&["r"]), None);
+        c.insert("a".into(), out(3), 1, refs(&["r"]), None); // overwrite, still 2 entries
         assert_eq!(c.counters().evictions(), 0);
         assert_eq!(c.get("a").unwrap().output.len(), 3);
         assert_eq!(c.len(), 2);
@@ -281,7 +361,7 @@ mod tests {
     #[test]
     fn clear_is_not_an_eviction() {
         let c = ResultCache::new(2);
-        c.insert("a".into(), out(1), 1, refs(&["r"]));
+        c.insert("a".into(), out(1), 1, refs(&["r"]), None);
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.counters().evictions(), 0);
@@ -291,7 +371,9 @@ mod tests {
     #[test]
     fn zero_capacity_disables() {
         let c = ResultCache::new(0);
-        assert!(c.insert("a".into(), out(1), 1, refs(&["r"])).is_none());
+        assert!(c
+            .insert("a".into(), out(1), 1, refs(&["r"]), None)
+            .is_none());
         assert!(c.get("a").is_none());
         assert!(c.is_empty());
     }
@@ -299,9 +381,9 @@ mod tests {
     #[test]
     fn invalidation_is_per_relation() {
         let c = ResultCache::new(8);
-        c.insert("q1".into(), out(1), 1, refs(&["left", "right"]));
-        c.insert("q2".into(), out(2), 1, refs(&["other", "another"]));
-        c.insert("q3".into(), out(3), 1, refs(&["right", "third"]));
+        c.insert("q1".into(), out(1), 1, refs(&["left", "right"]), None);
+        c.insert("q2".into(), out(2), 1, refs(&["other", "another"]), None);
+        c.insert("q3".into(), out(3), 1, refs(&["right", "third"]), None);
         assert_eq!(c.invalidate_relation("right"), 2);
         assert!(c.get("q1").is_none());
         assert!(c.get("q3").is_none());
@@ -311,15 +393,63 @@ mod tests {
     }
 
     #[test]
+    fn upgrade_keeps_the_entry_but_rotates_the_id() {
+        let c = ResultCache::new(2);
+        let plan = PlanSpec::new("left", "right");
+        let id = c
+            .insert(
+                "q".into(),
+                out(2),
+                3,
+                refs(&["left", "right"]),
+                Some(plan.clone()),
+            )
+            .unwrap();
+        let candidates = c.entries_for_relation("left");
+        assert_eq!(candidates.len(), 1);
+        let cand = &candidates[0];
+        assert_eq!((cand.key.as_str(), cand.id, cand.k), ("q", id, 3));
+        assert_eq!(
+            cand.plan.as_ref().unwrap().fingerprint(),
+            plan.fingerprint()
+        );
+        // Upgrade with the snapshotted id: same key, new id, old cursor dead.
+        let new_id = c.upgrade("q", cand.id, out(5)).unwrap();
+        assert_ne!(new_id, id);
+        assert!(c.by_id(id).is_none(), "old result id expired");
+        assert_eq!(c.by_id(new_id).unwrap().output.len(), 5);
+        assert_eq!(
+            c.get("q").unwrap().output.len(),
+            5,
+            "same key serves upgraded value"
+        );
+        assert_eq!(c.counters().evictions(), 0, "upgrade is not an eviction");
+        // A stale snapshot id no longer applies.
+        assert!(c.upgrade("q", id, out(9)).is_none());
+        assert_eq!(c.get("q").unwrap().output.len(), 5);
+    }
+
+    #[test]
+    fn remove_drops_without_counting_eviction() {
+        let c = ResultCache::new(2);
+        c.insert("a".into(), out(1), 1, refs(&["r"]), None);
+        assert!(c.remove("a"));
+        assert!(!c.remove("a"), "idempotent");
+        assert!(c.get("a").is_none());
+        assert_eq!(c.counters().evictions(), 0);
+        assert!(c.entries_for_relation("r").is_empty());
+    }
+
+    #[test]
     fn results_are_addressable_by_id() {
         let c = ResultCache::new(2);
-        let id_a = c.insert("a".into(), out(4), 3, refs(&["r"])).unwrap();
-        let id_b = c.insert("b".into(), out(5), 2, refs(&["r"])).unwrap();
+        let id_a = c.insert("a".into(), out(4), 3, refs(&["r"]), None).unwrap();
+        let id_b = c.insert("b".into(), out(5), 2, refs(&["r"]), None).unwrap();
         assert_ne!(id_a, id_b);
         let got = c.by_id(id_a).unwrap();
         assert_eq!((got.id, got.k, got.output.len()), (id_a, 3, 4));
         // by_id refreshes recency: "a" must survive the next insert.
-        c.insert("c".into(), out(6), 1, refs(&["r"]));
+        c.insert("c".into(), out(6), 1, refs(&["r"]), None);
         assert!(c.by_id(id_a).is_some(), "recently paged entry kept");
         assert!(c.by_id(id_b).is_none(), "LRU entry gone, cursor dead");
         // A dead id is None, and hit/miss counters are untouched by by_id.

@@ -369,8 +369,16 @@ impl KsjqClient {
 
     /// `SYNC` — the names of every registered relation, sorted.
     pub fn sync_names(&mut self) -> ClientResult<Vec<String>> {
+        self.sync_catalog().map(|(_, names)| names)
+    }
+
+    /// `SYNC` — the server's catalog epoch plus every registered relation
+    /// name, sorted. The epoch is what a replica compares against its
+    /// last-synced value to decide whether to re-clone (a pre-epoch
+    /// server reports 0).
+    pub fn sync_catalog(&mut self) -> ClientResult<(u64, Vec<String>)> {
         match self.request(&Request::Sync { name: None })? {
-            Response::Catalog(names) => Ok(names),
+            Response::Catalog { epoch, names } => Ok((epoch, names)),
             Response::Error(msg) => Err(ClientError::Server(msg)),
             other => Err(ClientError::Protocol(format!(
                 "expected CATALOG, got {other}"
@@ -419,6 +427,43 @@ impl KsjqClient {
     /// was staged under that name.
     pub fn abort(&mut self, name: &str) -> ClientResult<String> {
         self.expect_ok(&Request::Abort { name: name.into() })
+    }
+
+    /// `APPEND <name> ROWS <csv>` — immediately extend an existing
+    /// relation with header-less CSV rows (first cell the join key, then
+    /// the relation's `d` values). Rejects CSV containing `';'` for the
+    /// same reason [`load_csv`](KsjqClient::load_csv) does.
+    pub fn append_rows(&mut self, name: &str, csv: &str) -> ClientResult<String> {
+        self.append_inner(name, csv, false)
+    }
+
+    /// `APPEND <name> STAGE <csv>` — parse and hold a delta for a later
+    /// [`commit`](KsjqClient::commit) / [`abort`](KsjqClient::abort)
+    /// (phase one of a router's distributed append).
+    pub fn append_stage(&mut self, name: &str, csv: &str) -> ClientResult<String> {
+        self.append_inner(name, csv, true)
+    }
+
+    fn append_inner(&mut self, name: &str, csv: &str, staged: bool) -> ClientResult<String> {
+        if csv.contains(';') {
+            return Err(ClientError::Protocol(
+                "append CSV must not contain ';' (the wire row separator)".into(),
+            ));
+        }
+        self.expect_ok(&Request::Append {
+            name: name.into(),
+            rows: csv.into(),
+            staged,
+        })
+    }
+
+    /// `DELETE <name> KEYS <k1,k2,…>` — drop every row carrying one of
+    /// the listed join keys.
+    pub fn delete_keys(&mut self, name: &str, keys: &[String]) -> ClientResult<String> {
+        self.expect_ok(&Request::Delete {
+            name: name.into(),
+            keys: keys.to_vec(),
+        })
     }
 
     /// `FETCH … PAIRS …` — joined-row values for specific result pairs,

@@ -70,5 +70,5 @@ pub use protocol::{
     Cursor, LoadSource, PlanSpec, ProtoResult, Request, Response, RowChunk, RowSet, ServerStats,
     SyntheticSpec, MAX_LINE_BYTES, MAX_ROWS_FRAME_BYTES, PROTOCOL_VERSION, ROWS_PER_CHUNK,
 };
-pub use replica::{sync_catalog, sync_from};
+pub use replica::{resync_if_stale, sync_catalog, sync_from};
 pub use server::{RunningServer, Server, ServerConfig, ServerHandle};

@@ -30,6 +30,8 @@
 //! EXECUTE <id>
 //! QUERY <left> JOIN <right> [AGG …] [K …] [GOAL …] [ALGO …] [KDOM …]
 //! MORE <result>:<part>                              re-fetch one chunk (v2, cached results)
+//! APPEND <name> ROWS <csv>                          append key,v,v… rows (no header) to a relation
+//! DELETE <name> KEYS <k1,k2,…>                      delete all rows with the given join keys
 //! EXPLAIN <id>
 //! STATS
 //! CLOSE
@@ -41,8 +43,9 @@
 //! SYNC                                              list catalog relation names
 //! SYNC <name>                                       export one relation as annotated CSV
 //! STAGE <name> INLINE <csv>                         parse + hold a pending LOAD (no binding change)
-//! COMMIT <name>                                     atomically publish a staged relation
-//! ABORT <name>                                      drop a staged relation, old binding stays live
+//! APPEND <name> STAGE <csv>                         parse + hold a pending delta (two-phase append)
+//! COMMIT <name>                                     atomically publish a staged relation or delta
+//! ABORT <name>                                      drop a staged relation/delta, old binding stays live
 //! FETCH <left> JOIN <right> [AGG f,f…] PAIRS <l:r>;<l:r>…   joined values of given pairs
 //! CHECK <left> JOIN <right> [AGG f,f…] K <k> ROWS <v,v…;v,v…>  is each row k-dominated here?
 //! ```
@@ -56,7 +59,7 @@
 //! ROWS k=<k> us=<micros> cached=<0|1> n=<total> part=<i>/<m> [cursor=<c>] <l>:<r> …  (v2 chunk)
 //! EXPLAIN <one-line plan summary>
 //! STATS connections=… requests=… … cache_hits=… cache_misses=…
-//! CATALOG n=<n> <name> <name> …                     reply to SYNC
+//! CATALOG n=<n> epoch=<e> <name> <name> …           reply to SYNC (epoch = catalog epoch)
 //! RELATION <name> <csv>                             reply to SYNC <name> (rows ';'-separated)
 //! VALS n=<n> <v,v…;v,v…>                            reply to FETCH
 //! CHECKED n=<n> <01…>                               reply to CHECK (one bit per row)
@@ -327,15 +330,39 @@ pub enum Request {
         /// CSV text, newline row separators (`';'` on the wire).
         csv: String,
     },
-    /// Atomically publish a staged relation (phase two).
+    /// Atomically publish a staged relation — or apply a staged append
+    /// delta (phase two of either two-phase path).
     Commit {
-        /// A previously `STAGE`d name.
+        /// A previously `STAGE`d (or `APPEND … STAGE`d) name.
         name: String,
     },
-    /// Drop a staged relation; the old binding stays live.
+    /// Drop a staged relation or delta; the old binding stays live.
     Abort {
-        /// A previously `STAGE`d name (idempotent if absent).
+        /// A previously staged name (idempotent if absent).
         name: String,
+    },
+    /// Append rows to a registered relation, deriving the next catalog
+    /// epoch (live catalogs). Rows are header-less CSV against the
+    /// relation's existing schema: first cell the join key, then the
+    /// attribute values.
+    Append {
+        /// A registered relation name.
+        name: String,
+        /// CSV rows, newline-separated here (`';'` on the wire).
+        rows: String,
+        /// `true` (`APPEND … STAGE`): parse and hold the delta for a
+        /// later `COMMIT` — the router's two-phase path. `false`
+        /// (`APPEND … ROWS`): apply immediately.
+        staged: bool,
+    },
+    /// Delete every row whose join key is listed, deriving the next
+    /// catalog epoch.
+    Delete {
+        /// A registered relation name.
+        name: String,
+        /// Join-key strings (the CSV first-column values), comma-joined
+        /// on the wire.
+        keys: Vec<String>,
     },
     /// Materialise the joined values of specific `(left, right)` pairs —
     /// the router fetches candidate rows from their owning shard.
@@ -729,6 +756,51 @@ impl Request {
                     csv: rest.replace(';', "\n"),
                 })
             }
+            "APPEND" => {
+                let (name, rest) = split_word(rest);
+                validate_name("relation name", name)?;
+                let (mode, rest) = split_word(rest);
+                let staged = match mode.to_ascii_uppercase().as_str() {
+                    "ROWS" => false,
+                    "STAGE" => true,
+                    other => {
+                        return Err(format!(
+                            "unknown APPEND mode {other:?} (expected ROWS or STAGE)"
+                        ))
+                    }
+                };
+                if rest.is_empty() {
+                    return Err("APPEND needs CSV rows".into());
+                }
+                Ok(Request::Append {
+                    name: name.into(),
+                    rows: rest.replace(';', "\n"),
+                    staged,
+                })
+            }
+            "DELETE" => {
+                let (name, rest) = split_word(rest);
+                validate_name("relation name", name)?;
+                let (kw, rest) = split_word(rest);
+                if !kw.eq_ignore_ascii_case("KEYS") {
+                    return Err(format!("expected KEYS after {name:?}, got {kw:?}"));
+                }
+                let (list, trailing) = split_word(rest);
+                if list.is_empty() {
+                    return Err("DELETE needs KEYS <k1,k2,…>".into());
+                }
+                if !trailing.is_empty() {
+                    return Err(format!("unexpected trailing input {trailing:?}"));
+                }
+                let keys: Vec<String> = list.split(',').map(String::from).collect();
+                if keys.iter().any(String::is_empty) {
+                    return Err("DELETE keys must be non-empty".into());
+                }
+                Ok(Request::Delete {
+                    name: name.into(),
+                    keys,
+                })
+            }
             "COMMIT" | "ABORT" => {
                 let (name, trailing) = split_word(rest);
                 validate_name("relation name", name)?;
@@ -811,7 +883,7 @@ impl Request {
                 })
             }
             other => Err(format!(
-                "unknown command {other:?} (expected HELLO, LOAD, PREPARE, EXECUTE, QUERY, MORE, EXPLAIN, STATS, SYNC, STAGE, COMMIT, ABORT, FETCH, CHECK or CLOSE)"
+                "unknown command {other:?} (expected HELLO, LOAD, PREPARE, EXECUTE, QUERY, MORE, APPEND, DELETE, EXPLAIN, STATS, SYNC, STAGE, COMMIT, ABORT, FETCH, CHECK or CLOSE)"
             )),
         }
     }
@@ -864,6 +936,15 @@ impl fmt::Display for Request {
             }
             Request::Commit { name } => write!(f, "COMMIT {name}"),
             Request::Abort { name } => write!(f, "ABORT {name}"),
+            Request::Append { name, rows, staged } => write!(
+                f,
+                "APPEND {name} {} {}",
+                if *staged { "STAGE" } else { "ROWS" },
+                rows.trim_end().replace('\n', ";")
+            ),
+            Request::Delete { name, keys } => {
+                write!(f, "DELETE {name} KEYS {}", keys.join(","))
+            }
             Request::Fetch {
                 left,
                 right,
@@ -999,6 +1080,16 @@ pub struct ServerStats {
     /// Shard calls that failed on *every* replica (each one surfaced as
     /// an `ERR unavailable`).
     pub shard_errors: u64,
+    /// Catalog version: bumped by every `LOAD`, `COMMIT`, `APPEND` and
+    /// `DELETE` (and by replica resyncs). Queries pin the epoch they start
+    /// under; `SYNC` reports it so replicas can detect staleness.
+    pub catalog_epoch: u64,
+    /// Cached results upgraded in place by the incremental maintainer
+    /// after an `APPEND` (instead of being evicted and recomputed).
+    pub delta_maintained: u64,
+    /// Rows appended via `APPEND` since startup (cumulative, all
+    /// relations).
+    pub delta_rows: u64,
 }
 
 /// One server reply.
@@ -1019,8 +1110,15 @@ pub enum Response {
     Explain(String),
     /// Server counters.
     Stats(ServerStats),
-    /// Catalog relation names (reply to `SYNC`).
-    Catalog(Vec<String>),
+    /// Catalog relation names and version (reply to `SYNC`).
+    Catalog {
+        /// Catalog epoch at the time of the snapshot — bumped by every
+        /// mutation, so a replica can compare against its last-synced
+        /// epoch and re-clone only when stale.
+        epoch: u64,
+        /// Registered relation names, sorted.
+        names: Vec<String>,
+    },
     /// One relation exported as annotated CSV (reply to `SYNC <name>`).
     Relation {
         /// Catalog name.
@@ -1169,6 +1267,9 @@ impl Response {
                         "merge_us" => s.merge_us = int,
                         "shard_retries" => s.shard_retries = int,
                         "shard_errors" => s.shard_errors = int,
+                        "catalog_epoch" => s.catalog_epoch = int,
+                        "delta_maintained" => s.delta_maintained = int,
+                        "delta_rows" => s.delta_rows = int,
                         _ => {} // forward compatibility
                     }
                 }
@@ -1180,14 +1281,30 @@ impl Response {
                     .strip_prefix("n=")
                     .and_then(|v| v.parse::<usize>().ok())
                     .ok_or_else(|| format!("CATALOG needs n=<count>, got {count:?}"))?;
-                let names: Vec<String> = rest.split_whitespace().map(String::from).collect();
+                // `key=value` tokens are header fields (epoch today, more
+                // later — unknown ones skip for forward compatibility);
+                // bare tokens are relation names. Pre-epoch servers send no
+                // fields at all, which parses as epoch 0.
+                let mut epoch = 0;
+                let mut names = Vec::new();
+                for token in rest.split_whitespace() {
+                    match token.split_once('=') {
+                        Some(("epoch", value)) => {
+                            epoch = value
+                                .parse::<u64>()
+                                .map_err(|_| format!("bad CATALOG field {token:?}"))?;
+                        }
+                        Some(_) => {} // forward compatibility
+                        None => names.push(token.to_string()),
+                    }
+                }
                 if names.len() != n {
                     return Err(format!(
                         "CATALOG claimed n={n} but carried {} names",
                         names.len()
                     ));
                 }
-                Ok(Response::Catalog(names))
+                Ok(Response::Catalog { epoch, names })
             }
             "RELATION" => {
                 let (name, csv) = split_word(rest);
@@ -1287,7 +1404,8 @@ impl fmt::Display for Response {
                 "STATS connections={} requests={} errors={} sessions={} relations={} \
                  cache_hits={} cache_misses={} cache_evictions={} cache_len={} workers={} \
                  dom_tests={} attr_cmps={} domgen_us={} shed={} reaped={} peak_buf={} \
-                 fanout_queries={} merge_us={} shard_retries={} shard_errors={}",
+                 fanout_queries={} merge_us={} shard_retries={} shard_errors={} \
+                 catalog_epoch={} delta_maintained={} delta_rows={}",
                 s.connections,
                 s.requests,
                 s.errors,
@@ -1307,10 +1425,13 @@ impl fmt::Display for Response {
                 s.fanout_queries,
                 s.merge_us,
                 s.shard_retries,
-                s.shard_errors
+                s.shard_errors,
+                s.catalog_epoch,
+                s.delta_maintained,
+                s.delta_rows
             ),
-            Response::Catalog(names) => {
-                write!(f, "CATALOG n={}", names.len())?;
+            Response::Catalog { epoch, names } => {
+                write!(f, "CATALOG n={} epoch={epoch}", names.len())?;
                 for name in names {
                     write!(f, " {name}")?;
                 }
@@ -1525,6 +1646,9 @@ mod tests {
                 merge_us: 17,
                 shard_retries: 18,
                 shard_errors: 19,
+                catalog_epoch: 20,
+                delta_maintained: 21,
+                delta_rows: 22,
             }),
             Response::Error("unknown relation \"nope\"".into()),
             Response::Bye,
@@ -1728,6 +1852,29 @@ mod tests {
             }
         );
         roundtrip_request("CHECK a JOIN b AGG wsum(1,0.5) K 9 ROWS 0.1,0.2");
+        assert_eq!(
+            roundtrip_request("APPEND t1 ROWS C,448,3;D,456,2"),
+            Request::Append {
+                name: "t1".into(),
+                rows: "C,448,3\nD,456,2".into(),
+                staged: false
+            }
+        );
+        assert_eq!(
+            roundtrip_request("append t1 stage C,448,3"),
+            Request::Append {
+                name: "t1".into(),
+                rows: "C,448,3".into(),
+                staged: true
+            }
+        );
+        assert_eq!(
+            roundtrip_request("DELETE t1 KEYS C,D"),
+            Request::Delete {
+                name: "t1".into(),
+                keys: vec!["C".into(), "D".into()]
+            }
+        );
         for bad in [
             "SYNC a b",
             "SYNC bad;name",
@@ -1750,6 +1897,16 @@ mod tests {
             "CHECK a JOIN b K 5 ROWS 1,inf", // non-finite value
             "CHECK a JOIN b K 5 ROWS 1,NaN",
             "CHECK a JOIN b K 5 ROWS 1,2;;3,4", // empty row
+            "APPEND",                           // missing name
+            "APPEND t1",                        // missing mode
+            "APPEND t1 TELEPATHY C,448",        // unknown mode
+            "APPEND t1 ROWS",                   // ROWS needs rows
+            "APPEND t1 STAGE",                  // STAGE needs rows
+            "DELETE",                           // missing name
+            "DELETE t1",                        // missing KEYS
+            "DELETE t1 KEYS",                   // KEYS needs a list
+            "DELETE t1 KEYS C,",                // empty key
+            "DELETE t1 KEYS C D",               // trailing input
         ] {
             assert!(Request::parse(bad).is_err(), "{bad:?} should not parse");
         }
@@ -1758,8 +1915,14 @@ mod tests {
     #[test]
     fn distribution_response_roundtrips() {
         let responses = [
-            Response::Catalog(vec![]),
-            Response::Catalog(vec!["inbound".into(), "outbound".into()]),
+            Response::Catalog {
+                epoch: 0,
+                names: vec![],
+            },
+            Response::Catalog {
+                epoch: 42,
+                names: vec!["inbound".into(), "outbound".into()],
+            },
             Response::Relation {
                 name: "outbound".into(),
                 csv: "city,cost:min\nC,448\nD,456".into(),
@@ -1774,19 +1937,28 @@ mod tests {
             assert!(!line.contains('\n'), "{line:?}");
             assert_eq!(Response::parse(&line).unwrap(), resp, "{line:?}");
         }
+        // Pre-epoch servers send no epoch= field: parses as epoch 0.
+        assert_eq!(
+            Response::parse("CATALOG n=1 flights").unwrap(),
+            Response::Catalog {
+                epoch: 0,
+                names: vec!["flights".into()],
+            }
+        );
         for bad in [
-            "CATALOG",          // missing n=
-            "CATALOG n=2 only", // count mismatch
-            "CATALOG n=x",      // non-integer
-            "RELATION",         // missing name
-            "RELATION name",    // missing csv
-            "VALS",             // missing n=
-            "VALS n=1",         // count mismatch
-            "VALS n=1 1,2;3,4", // count mismatch
-            "VALS n=1 1,zebra", // non-numeric
-            "CHECKED",          // missing n=
-            "CHECKED n=2 1",    // count mismatch
-            "CHECKED n=1 2",    // not a bit
+            "CATALOG",                // missing n=
+            "CATALOG n=2 only",       // count mismatch
+            "CATALOG n=x",            // non-integer
+            "CATALOG n=0 epoch=huge", // non-integer epoch
+            "RELATION",               // missing name
+            "RELATION name",          // missing csv
+            "VALS",                   // missing n=
+            "VALS n=1",               // count mismatch
+            "VALS n=1 1,2;3,4",       // count mismatch
+            "VALS n=1 1,zebra",       // non-numeric
+            "CHECKED",                // missing n=
+            "CHECKED n=2 1",          // count mismatch
+            "CHECKED n=1 2",          // not a bit
         ] {
             assert!(Response::parse(bad).is_err(), "{bad:?} should not parse");
         }

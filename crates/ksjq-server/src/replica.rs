@@ -10,40 +10,77 @@
 //! the wire.
 //!
 //! There is no ongoing replication stream: a router keeps replicas
-//! consistent by applying every catalog mutation (`STAGE`/`COMMIT`) to
-//! all of them. `SYNC` covers the cold start.
+//! consistent by applying every catalog mutation (`STAGE`/`COMMIT`,
+//! `APPEND`/`DELETE`) to all of them. `SYNC` covers the cold start, and
+//! [`resync_if_stale`] covers catch-up — `SYNC` reports the primary's
+//! `catalog_epoch`, so a lagging replica (down during a delta, say) can
+//! detect drift and re-clone without a restart.
 
 use crate::client::{retry_with_backoff, ClientError, ClientResult, ConnectOptions, KsjqClient};
 use ksjq_core::Engine;
 use std::time::Duration;
 
-/// Pull every relation the primary serves into `engine`'s catalog
-/// (upserting over any same-named local binding). Returns the synced
-/// names, sorted.
-pub fn sync_catalog(engine: &Engine, client: &mut KsjqClient) -> ClientResult<Vec<String>> {
-    let names = client.sync_names()?;
-    for name in &names {
+/// Replay the primary's relations into `engine`'s catalog, dropping any
+/// local binding the primary no longer serves.
+fn clone_relations(engine: &Engine, client: &mut KsjqClient, names: &[String]) -> ClientResult<()> {
+    let catalog = engine.catalog();
+    for stale in catalog.names().into_iter().filter(|n| !names.contains(n)) {
+        catalog.deregister(&stale);
+    }
+    for name in names {
         let csv = client.sync_relation(name)?;
-        let catalog = engine.catalog();
         catalog.deregister(name);
         catalog.register_csv(name, &csv).map_err(|e| {
             ClientError::Protocol(format!("primary sent unloadable CSV for {name:?}: {e}"))
         })?;
     }
+    Ok(())
+}
+
+/// Pull every relation the primary serves into `engine`'s catalog
+/// (upserting over any same-named local binding). Returns the synced
+/// names, sorted.
+pub fn sync_catalog(engine: &Engine, client: &mut KsjqClient) -> ClientResult<Vec<String>> {
+    let (_, names) = client.sync_catalog()?;
+    clone_relations(engine, client, &names)?;
     Ok(names)
+}
+
+/// Compare the primary's `catalog_epoch` against `last_epoch` and
+/// re-clone the whole catalog if they differ. Returns `None` when the
+/// replica was already current, `Some((epoch, names))` after a re-clone.
+///
+/// The caller owns the epoch bookkeeping *and* its own server's
+/// invalidation: after a `Some`, call
+/// [`ServerHandle::catalog_updated`](crate::ServerHandle::catalog_updated)
+/// so the local result cache and versioned chains drop with the old
+/// catalog.
+pub fn resync_if_stale(
+    engine: &Engine,
+    client: &mut KsjqClient,
+    last_epoch: u64,
+) -> ClientResult<Option<(u64, Vec<String>)>> {
+    let (epoch, names) = client.sync_catalog()?;
+    if epoch == last_epoch {
+        return Ok(None);
+    }
+    clone_relations(engine, client, &names)?;
+    Ok(Some((epoch, names)))
 }
 
 /// Connect to `primary` (with `opts` timeouts, retrying transport
 /// failures up to `attempts` times under jittered backoff) and
-/// [`sync_catalog`] into `engine`. The retry covers the common race of a
-/// replica starting before its primary finishes binding.
+/// [`sync_catalog`] into `engine`. Returns the primary's `catalog_epoch`
+/// at clone time (feed it to [`resync_if_stale`] later) and the synced
+/// names. The retry covers the common race of a replica starting before
+/// its primary finishes binding.
 pub fn sync_from(
     engine: &Engine,
     primary: &str,
     opts: &ConnectOptions,
     attempts: u32,
     seed: u64,
-) -> ClientResult<Vec<String>> {
+) -> ClientResult<(u64, Vec<String>)> {
     retry_with_backoff(
         attempts,
         Duration::from_millis(100),
@@ -51,9 +88,10 @@ pub fn sync_from(
         seed,
         |_| {
             let mut client = KsjqClient::connect_with(primary, opts)?;
-            let names = sync_catalog(engine, &mut client)?;
+            let (epoch, names) = client.sync_catalog()?;
+            clone_relations(engine, &mut client, &names)?;
             let _ = client.close();
-            Ok(names)
+            Ok((epoch, names))
         },
     )
 }
@@ -81,7 +119,7 @@ mod tests {
         let primary = Server::start(primary_engine, &ephemeral()).unwrap();
 
         let replica_engine = Engine::new();
-        let names = sync_from(
+        let (_, names) = sync_from(
             &replica_engine,
             &primary.addr().to_string(),
             &ConnectOptions::all(Duration::from_secs(5)),
@@ -110,6 +148,52 @@ mod tests {
         assert_eq!(rows.pairs, vec![(0, 2), (2, 0), (4, 4), (5, 5)]);
         client.close().unwrap();
         replica.stop().unwrap();
+        primary.stop().unwrap();
+    }
+
+    #[test]
+    fn lagging_replica_resyncs_on_epoch_drift() {
+        let primary_engine = Engine::new();
+        let pf = paper_flights(false);
+        let out_n = pf.outbound.n();
+        primary_engine.register("outbound", pf.outbound).unwrap();
+        primary_engine.register("inbound", pf.inbound).unwrap();
+        let primary = Server::start(primary_engine, &ephemeral()).unwrap();
+
+        let replica_engine = Engine::new();
+        let (epoch, _) = sync_from(
+            &replica_engine,
+            &primary.addr().to_string(),
+            &ConnectOptions::all(Duration::from_secs(5)),
+            3,
+            11,
+        )
+        .unwrap();
+
+        // In step with the primary: the epoch probe is a no-op.
+        let mut client = KsjqClient::connect(primary.addr()).unwrap();
+        assert!(resync_if_stale(&replica_engine, &mut client, epoch)
+            .unwrap()
+            .is_none());
+
+        // The primary takes an APPEND this replica never saw; the next
+        // probe notices the epoch drift and re-clones.
+        client.append_rows("outbound", "ZRH,1,2,3,4").unwrap();
+        let (e2, names) = resync_if_stale(&replica_engine, &mut client, epoch)
+            .unwrap()
+            .expect("epoch moved, so the replica must re-clone");
+        assert!(e2 > epoch);
+        assert_eq!(names, vec!["inbound".to_owned(), "outbound".to_owned()]);
+        assert_eq!(
+            replica_engine.catalog().get("outbound").unwrap().n(),
+            out_n + 1
+        );
+
+        // And it settles: once caught up, probing is a no-op again.
+        assert!(resync_if_stale(&replica_engine, &mut client, e2)
+            .unwrap()
+            .is_none());
+        client.close().unwrap();
         primary.stop().unwrap();
     }
 

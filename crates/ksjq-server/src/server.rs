@@ -59,7 +59,8 @@ use crate::protocol::{
     Cursor, LoadSource, PlanSpec, ProtoResult, Request, Response, RowChunk, RowSet, ServerStats,
     MAX_LINE_BYTES, PROTOCOL_VERSION, ROWS_PER_CHUNK,
 };
-use ksjq_core::{CoreResult, Engine, KsjqOutput, PreparedQuery};
+use ksjq_core::{CoreResult, Engine, Goal, KsjqOutput, PreparedQuery};
+use ksjq_relation::VersionedRelation;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -125,6 +126,9 @@ struct Session {
     fingerprint: String,
     /// Relation names the plan references (cache invalidation scope).
     relations: Vec<String>,
+    /// The producing plan, cached alongside the result so an `APPEND`
+    /// can upgrade the entry through the incremental maintainer.
+    plan: PlanSpec,
 }
 
 impl Session {
@@ -133,8 +137,19 @@ impl Session {
             prepared: Arc::new(prepared),
             fingerprint: plan.fingerprint(),
             relations: vec![plan.left.clone(), plan.right.clone()],
+            plan: plan.clone(),
         }
     }
+}
+
+/// A parsed-but-unapplied `APPEND … STAGE` delta — the two-phase half of
+/// a router's distributed append. Keys are already encoded through the
+/// catalog's shared dictionary (append-only, so stage-time encoding
+/// stays valid at `COMMIT`); rows are raw (denormalised) values.
+#[derive(Debug)]
+struct StagedDelta {
+    keys: Vec<u64>,
+    rows: Vec<Vec<f64>>,
 }
 
 /// State shared by the front end and every worker.
@@ -152,6 +167,14 @@ struct Shared {
     /// held half of the router's two-phase catalog update. Keyed by the
     /// name the data will commit under.
     staged: Mutex<HashMap<String, ksjq_relation::Relation>>,
+    /// Deltas parsed by `APPEND … STAGE` and awaiting `COMMIT`/`ABORT`,
+    /// keyed by the relation they extend.
+    staged_deltas: Mutex<HashMap<String, StagedDelta>>,
+    /// Per-relation versioned chains behind the live bindings, so
+    /// consecutive `APPEND`s share unchanged column blocks (COW).
+    /// Entries are lazily (re)built whenever the chain's snapshot is no
+    /// longer the bound relation (a `LOAD`/`COMMIT` replaced it).
+    live: Mutex<HashMap<String, VersionedRelation>>,
     connections: AtomicU64,
     requests: AtomicU64,
     errors: AtomicU64,
@@ -166,8 +189,13 @@ struct Shared {
     /// the `O(n²)` phase the parallel sharding targets.
     domgen_us: AtomicU64,
     /// Bumped on every catalog registration; guards against caching a
-    /// result computed against a catalog that changed mid-execution.
+    /// result computed against a catalog that changed mid-execution, and
+    /// reported through `SYNC`/`STATS` so replicas can detect staleness.
     catalog_epoch: AtomicU64,
+    /// Cached results upgraded in place by the incremental maintainer.
+    delta_maintained: AtomicU64,
+    /// Rows appended via `APPEND` since startup.
+    delta_rows: AtomicU64,
     shed: AtomicU64,
     reaped: AtomicU64,
     /// High-water mark of any connection's pending outbound buffer.
@@ -206,6 +234,21 @@ impl ServerHandle {
             };
             let _ = TcpStream::connect((loopback, self.addr.port()));
         }
+    }
+
+    /// Tell the server its catalog changed *out of band* — a replica
+    /// resync writes relations straight through the shared [`Engine`],
+    /// bypassing the wire handlers that normally keep the epoch, the
+    /// result cache and the versioned chains in step. Call it after any
+    /// such direct catalog surgery.
+    pub fn catalog_updated(&self) {
+        self.shared
+            .live
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+        self.shared.catalog_epoch.fetch_add(1, Ordering::SeqCst);
+        self.shared.cache.clear();
     }
 }
 
@@ -264,6 +307,8 @@ impl Server {
                 cache: ResultCache::new(config.cache_entries),
                 catalog_cells: Mutex::new(preloaded),
                 staged: Mutex::new(HashMap::new()),
+                staged_deltas: Mutex::new(HashMap::new()),
+                live: Mutex::new(HashMap::new()),
                 config,
                 connections: AtomicU64::new(0),
                 requests: AtomicU64::new(0),
@@ -272,6 +317,8 @@ impl Server {
                 attr_cmps: AtomicU64::new(0),
                 domgen_us: AtomicU64::new(0),
                 catalog_epoch: AtomicU64::new(0),
+                delta_maintained: AtomicU64::new(0),
+                delta_rows: AtomicU64::new(0),
                 shed: AtomicU64::new(0),
                 reaped: AtomicU64::new(0),
                 peak_buf: AtomicU64::new(0),
@@ -934,6 +981,10 @@ fn handle_request(shared: &Shared, version: u32, request: Request) -> Outcome {
         Request::Stage { name, csv } => Outcome::Frame(stage(shared, &name, &csv)),
         Request::Commit { name } => Outcome::Frame(commit(shared, &name)),
         Request::Abort { name } => Outcome::Frame(abort(shared, &name)),
+        Request::Append { name, rows, staged } => {
+            Outcome::Frame(append(shared, &name, &rows, staged))
+        }
+        Request::Delete { name, keys } => Outcome::Frame(delete(shared, &name, &keys)),
         Request::Fetch {
             left,
             right,
@@ -1043,7 +1094,10 @@ fn load(shared: &Shared, name: &str, source: LoadSource) -> Response {
             }
             *cells = after;
             // Catalog changed under this name: only results whose plans
-            // reference it can be stale, so only those are evicted.
+            // reference it can be stale, so only those are evicted. The
+            // versioned chain (if any) is derived from the old binding
+            // and rebuilds lazily on the next APPEND.
+            drop_live(shared, name);
             shared.catalog_epoch.fetch_add(1, Ordering::SeqCst);
             shared.cache.invalidate_relation(name);
             Response::Ok(format!(
@@ -1166,6 +1220,7 @@ fn run_session(shared: &Shared, session: &Session) -> CoreResult<RunOutput> {
             output.clone(),
             k,
             session.relations.clone(),
+            Some(session.plan.clone()),
         );
         if shared.catalog_epoch.load(Ordering::SeqCst) != epoch {
             for name in &session.relations {
@@ -1193,7 +1248,10 @@ fn run_session(shared: &Shared, session: &Session) -> CoreResult<RunOutput> {
 fn sync(shared: &Shared, name: Option<&str>) -> Response {
     let catalog = shared.engine.catalog();
     match name {
-        None => Response::Catalog(catalog.names()),
+        None => Response::Catalog {
+            epoch: shared.catalog_epoch.load(Ordering::SeqCst),
+            names: catalog.names(),
+        },
         Some(name) => {
             let Some(handle) = catalog.get(name) else {
                 return Response::Error(format!("unknown relation {name:?}"));
@@ -1233,10 +1291,20 @@ fn stage(shared: &Shared, name: &str, csv: &str) -> Response {
     }
 }
 
-/// `COMMIT <name>`: atomically publish a staged relation as an upsert.
+/// `COMMIT <name>`: atomically publish staged data as an upsert. A
+/// staged *delta* (from `APPEND … STAGE`) applies through the versioned
+/// append path; a staged *relation* (from `STAGE`) replaces the binding.
 /// A budget rejection leaves the *old* binding live — unlike a plain
 /// over-budget `LOAD`, nothing is lost.
 fn commit(shared: &Shared, name: &str) -> Response {
+    if let Some(delta) = shared
+        .staged_deltas
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(name)
+    {
+        return apply_append(shared, name, delta);
+    }
     let Some(rel) = shared
         .staged
         .lock()
@@ -1267,6 +1335,7 @@ fn commit(shared: &Shared, name: &str) -> Response {
     match catalog.register(name, rel) {
         Ok(_) => {
             *cells = after;
+            drop_live(shared, name);
             shared.catalog_epoch.fetch_add(1, Ordering::SeqCst);
             shared.cache.invalidate_relation(name);
             Response::Ok(format!("committed {name} n={n} d={d}"))
@@ -1282,20 +1351,342 @@ fn commit(shared: &Shared, name: &str) -> Response {
     }
 }
 
-/// `ABORT <name>`: drop staged data. Idempotent — aborting a name with
-/// nothing staged still answers `OK`, so a router can blanket-abort.
+/// `ABORT <name>`: drop staged data — a staged relation and/or a staged
+/// delta. Idempotent — aborting a name with nothing staged still answers
+/// `OK`, so a router can blanket-abort.
 fn abort(shared: &Shared, name: &str) -> Response {
     let removed = shared
         .staged
         .lock()
         .unwrap_or_else(|e| e.into_inner())
         .remove(name)
-        .is_some();
+        .is_some()
+        | shared
+            .staged_deltas
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(name)
+            .is_some();
     Response::Ok(if removed {
         format!("aborted {name}")
     } else {
         format!("aborted {name} (nothing was staged)")
     })
+}
+
+/// Forget the versioned chain behind `name` (the binding was replaced
+/// wholesale); the next `APPEND` rebuilds it from the new relation.
+fn drop_live(shared: &Shared, name: &str) {
+    shared
+        .live
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(name);
+}
+
+/// Parse header-less `APPEND` rows against an existing relation: first
+/// cell the join key (encoded through the catalog's shared dictionary),
+/// then exactly `d` finite values (raw, pre-normalisation — the same
+/// convention as annotated CSV data rows).
+fn parse_delta(
+    catalog: &ksjq_relation::Catalog,
+    d: usize,
+    csv: &str,
+) -> Result<StagedDelta, String> {
+    let mut keys = Vec::new();
+    let mut rows = Vec::new();
+    for (i, line) in csv.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut cells = line.split(',');
+        let key = cells.next().unwrap_or("").trim();
+        if key.is_empty() {
+            return Err(format!("append row {}: empty join key", i + 1));
+        }
+        let values: Vec<f64> = cells
+            .map(|cell| {
+                let v: f64 = cell
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("append row {}: bad value {cell:?}", i + 1))?;
+                if v.is_finite() {
+                    Ok(v)
+                } else {
+                    Err(format!("append row {}: non-finite value {cell:?}", i + 1))
+                }
+            })
+            .collect::<Result<_, String>>()?;
+        if values.len() != d {
+            return Err(format!(
+                "append row {}: {} values, relation arity is {d}",
+                i + 1,
+                values.len()
+            ));
+        }
+        keys.push(catalog.encode_key(key));
+        rows.push(values);
+    }
+    if rows.is_empty() {
+        return Err("APPEND carried no rows".into());
+    }
+    Ok(StagedDelta { keys, rows })
+}
+
+/// `APPEND <name> ROWS <csv>` / `APPEND <name> STAGE <csv>`: extend an
+/// existing relation in place. `ROWS` applies immediately; `STAGE` parses
+/// and holds the delta for a router-driven `COMMIT`/`ABORT`, so a
+/// distributed append is all-shards-or-none just like a distributed load.
+fn append(shared: &Shared, name: &str, csv: &str, staged: bool) -> Response {
+    let Some(handle) = shared.engine.catalog().get(name) else {
+        return Response::Error(format!(
+            "unknown relation {name:?}: APPEND extends an existing relation"
+        ));
+    };
+    let delta = match parse_delta(shared.engine.catalog(), handle.schema().d(), csv) {
+        Ok(delta) => delta,
+        Err(message) => return Response::Error(message),
+    };
+    if staged {
+        let mut deltas = shared
+            .staged_deltas
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if deltas.len() >= MAX_STAGED && !deltas.contains_key(name) {
+            return Response::Error(format!(
+                "too many staged deltas (max {MAX_STAGED}): COMMIT or ABORT some first"
+            ));
+        }
+        let rows = delta.rows.len();
+        deltas.insert(name.into(), delta);
+        return Response::Ok(format!("staged delta for {name} +{rows} rows"));
+    }
+    apply_append(shared, name, delta)
+}
+
+/// Apply a parsed delta: derive the next version (sharing unchanged
+/// column blocks with the current one), rebind the name, bump the epoch,
+/// then walk the result cache *upgrading* entries through the incremental
+/// maintainer instead of evicting them.
+fn apply_append(shared: &Shared, name: &str, delta: StagedDelta) -> Response {
+    // Serialised with LOAD/COMMIT/DELETE under the cells lock: budget
+    // check, version derivation and rebind are atomic per mutation.
+    let mut cells = shared
+        .catalog_cells
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    let catalog = shared.engine.catalog();
+    let Some(handle) = catalog.get(name) else {
+        return Response::Error(format!(
+            "unknown relation {name:?}: APPEND extends an existing relation"
+        ));
+    };
+    let old = handle.relation().clone();
+    let old_n = old.n();
+    let d = old.schema().d();
+    if delta.rows.iter().any(|row| row.len() != d) {
+        // Possible only for a delta staged against a binding that was
+        // since replaced with a different arity.
+        return Response::Error(format!(
+            "staged delta does not match {name:?} (arity changed since STAGE)"
+        ));
+    }
+    let added = delta.rows.len().saturating_mul(d);
+    let budget = shared.config.max_catalog_cells;
+    let after = cells.saturating_add(added);
+    if after > budget {
+        return Response::Error(format!(
+            "catalog cell budget exceeded: {after} > {budget} (relation {name:?} unchanged)"
+        ));
+    }
+    // Reuse the live versioned chain while it still derives the bound
+    // snapshot; rebuild it after a LOAD/COMMIT replaced the relation.
+    let mut live = shared.live.lock().unwrap_or_else(|e| e.into_inner());
+    if live
+        .get(name)
+        .is_none_or(|v| !Arc::ptr_eq(v.snapshot(), &old))
+    {
+        match VersionedRelation::from_relation(old.clone()) {
+            Ok(v) => {
+                live.insert(name.to_string(), v);
+            }
+            Err(e) => return Response::Error(format!("cannot version {name:?}: {e}")),
+        }
+    }
+    let next = match live
+        .get(name)
+        .expect("chain ensured above")
+        .append(&delta.keys, &delta.rows)
+    {
+        Ok(next) => next,
+        Err(e) => return Response::Error(e.to_string()),
+    };
+    let snapshot = next.snapshot().clone();
+    live.insert(name.to_string(), next);
+    drop(live);
+    // Snapshot the upgrade candidates BEFORE publishing the new binding:
+    // anything cached now was computed at the old epoch (the maintainer's
+    // precondition). An entry some concurrent EXECUTE inserts after this
+    // point either re-checks the epoch and self-evicts (old-catalog
+    // result) or is already correct (new-catalog result) — in both cases
+    // it must not be maintained, and it is not in this snapshot.
+    let candidates = shared.cache.entries_for_relation(name);
+    let _ = catalog.deregister(name);
+    if let Err(e) = catalog.register_arc(name, snapshot.clone()) {
+        // Unreachable with wire-validated names, but stay consistent:
+        // the old binding is gone, so account and invalidate for it.
+        *cells = cells.saturating_sub(old_n.saturating_mul(d));
+        shared.catalog_epoch.fetch_add(1, Ordering::SeqCst);
+        shared.cache.invalidate_relation(name);
+        return Response::Error(e.to_string());
+    }
+    *cells = after;
+    let epoch = shared.catalog_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+    shared
+        .delta_rows
+        .fetch_add(delta.rows.len() as u64, Ordering::Relaxed);
+    let mut upgraded = 0u64;
+    let mut dropped = 0u64;
+    for candidate in candidates {
+        if maintain_entry(shared, name, old_n, &candidate) {
+            upgraded += 1;
+        } else {
+            shared.cache.remove(&candidate.key);
+            dropped += 1;
+        }
+    }
+    shared
+        .delta_maintained
+        .fetch_add(upgraded, Ordering::Relaxed);
+    Response::Ok(format!(
+        "appended {name} +{} rows n={} epoch={epoch} maintained={upgraded} invalidated={dropped}",
+        delta.rows.len(),
+        snapshot.n()
+    ))
+}
+
+/// Try to carry one cached entry across an append via
+/// [`ksjq_core::maintain_append`]. `true` means the entry now serves the
+/// new epoch; `false` means the caller must drop it. Only `Exact` and
+/// `SkylineJoin` goals are upgradable: a find-k plan may settle on a
+/// *different* k at the new epoch, and under `SkylineJoin` the cached k
+/// (= joined arity) cannot change under an append.
+fn maintain_entry(
+    shared: &Shared,
+    name: &str,
+    old_n: usize,
+    candidate: &crate::cache::UpgradeCandidate,
+) -> bool {
+    let Some(plan) = &candidate.plan else {
+        return false;
+    };
+    match plan.goal {
+        Goal::Exact(_) | Goal::SkylineJoin => {}
+        _ => return false,
+    }
+    let catalog = shared.engine.catalog();
+    let (Some(l), Some(r)) = (catalog.get(&plan.left), catalog.get(&plan.right)) else {
+        return false;
+    };
+    let Ok(cx) = ksjq_join::JoinContext::from_arcs(
+        l.relation().clone(),
+        r.relation().clone(),
+        ksjq_join::JoinSpec::Equality,
+        &plan.aggs,
+    ) else {
+        return false;
+    };
+    if !ksjq_core::can_maintain(&cx) {
+        return false;
+    }
+    // The appended relation's old cardinality; an unchanged side's "old"
+    // count is its current one. A self-join appends on both legs.
+    let old_left_n = if plan.left == name {
+        old_n
+    } else {
+        cx.left().n()
+    };
+    let old_right_n = if plan.right == name {
+        old_n
+    } else {
+        cx.right().n()
+    };
+    let Ok((output, stats)) =
+        ksjq_core::maintain_append(&cx, candidate.k, &candidate.output, old_left_n, old_right_n)
+    else {
+        return false;
+    };
+    shared
+        .dom_tests
+        .fetch_add(stats.counters.dom_tests, Ordering::Relaxed);
+    shared
+        .attr_cmps
+        .fetch_add(stats.counters.attr_cmps, Ordering::Relaxed);
+    shared
+        .cache
+        .upgrade(&candidate.key, candidate.id, Arc::new(output))
+        .is_some()
+}
+
+/// `DELETE <name> KEYS <k1,k2,…>`: drop every row carrying one of the
+/// listed join keys, rewriting only the column blocks that contain them.
+/// Deletions shift surviving tuple ids, so cached (positional) results
+/// cannot be maintained — entries referencing the relation are evicted
+/// and recompute on next use.
+fn delete(shared: &Shared, name: &str, keys: &[String]) -> Response {
+    let mut cells = shared
+        .catalog_cells
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    let catalog = shared.engine.catalog();
+    let Some(handle) = catalog.get(name) else {
+        return Response::Error(format!("unknown relation {name:?}"));
+    };
+    let old = handle.relation().clone();
+    let d = old.schema().d();
+    let mut live = shared.live.lock().unwrap_or_else(|e| e.into_inner());
+    if live
+        .get(name)
+        .is_none_or(|v| !Arc::ptr_eq(v.snapshot(), &old))
+    {
+        match VersionedRelation::from_relation(old.clone()) {
+            Ok(v) => {
+                live.insert(name.to_string(), v);
+            }
+            Err(e) => return Response::Error(format!("cannot version {name:?}: {e}")),
+        }
+    }
+    let mut removed_total = 0usize;
+    for key in keys {
+        let gid = catalog.encode_key(key);
+        let (next, removed) = match live.get(name).expect("chain ensured above").delete_key(gid) {
+            Ok(result) => result,
+            Err(e) => return Response::Error(e.to_string()),
+        };
+        removed_total += removed;
+        live.insert(name.to_string(), next);
+    }
+    let snapshot = live
+        .get(name)
+        .expect("chain ensured above")
+        .snapshot()
+        .clone();
+    drop(live);
+    let _ = catalog.deregister(name);
+    if let Err(e) = catalog.register_arc(name, snapshot.clone()) {
+        *cells = cells.saturating_sub(old.n().saturating_mul(d));
+        shared.catalog_epoch.fetch_add(1, Ordering::SeqCst);
+        shared.cache.invalidate_relation(name);
+        return Response::Error(e.to_string());
+    }
+    *cells = cells.saturating_sub(removed_total.saturating_mul(d));
+    let epoch = shared.catalog_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+    shared.cache.invalidate_relation(name);
+    Response::Ok(format!(
+        "deleted {removed_total} rows from {name} n={} epoch={epoch}",
+        snapshot.n()
+    ))
 }
 
 /// Resolve both relations and build an equality-join context for the
@@ -1442,6 +1833,9 @@ fn stats(shared: &Shared) -> ServerStats {
         merge_us: 0,
         shard_retries: 0,
         shard_errors: 0,
+        catalog_epoch: shared.catalog_epoch.load(Ordering::SeqCst),
+        delta_maintained: shared.delta_maintained.load(Ordering::Relaxed),
+        delta_rows: shared.delta_rows.load(Ordering::Relaxed),
     }
 }
 
@@ -1507,6 +1901,8 @@ mod tests {
             cache: ResultCache::new(4),
             catalog_cells: Mutex::new(0),
             staged: Mutex::new(HashMap::new()),
+            staged_deltas: Mutex::new(HashMap::new()),
+            live: Mutex::new(HashMap::new()),
             config: ServerConfig::default(),
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
@@ -1515,6 +1911,8 @@ mod tests {
             attr_cmps: AtomicU64::new(0),
             domgen_us: AtomicU64::new(0),
             catalog_epoch: AtomicU64::new(0),
+            delta_maintained: AtomicU64::new(0),
+            delta_rows: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             reaped: AtomicU64::new(0),
             peak_buf: AtomicU64::new(0),
@@ -1533,6 +1931,7 @@ mod tests {
                 }),
                 5,
                 vec!["r".into()],
+                None,
             )
             .expect("cache enabled");
         let ok = more(

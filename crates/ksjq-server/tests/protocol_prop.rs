@@ -120,7 +120,10 @@ proptest! {
         ),
         bits in prop::collection::vec(0u8..2, 0..40),
     ) {
-        let catalog = Response::Catalog(names.iter().map(|&n| name('c', n)).collect());
+        let catalog = Response::Catalog {
+            epoch: v,
+            names: names.iter().map(|&n| name('c', n)).collect(),
+        };
         prop_assert_eq!(roundtrip_response(&catalog), catalog);
 
         let rows: Vec<String> = cells.iter().map(|(a, b)| format!("{a},{b}")).collect();

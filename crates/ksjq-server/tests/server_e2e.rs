@@ -349,6 +349,96 @@ fn cache_invalidation_is_per_relation() {
     server.stop().unwrap();
 }
 
+// ---------------------------------------------------------- live catalog
+
+/// The acceptance path for live catalogs: an `APPEND` upgrades cached
+/// entries through the incremental maintainer (no eviction), the
+/// upgraded result is byte-identical to a fresh recompute, and `DELETE`
+/// falls back to invalidation.
+#[test]
+fn append_maintains_cached_results_without_eviction() {
+    let (out_csv, in_csv) = paper_csvs();
+    let server = Server::start(Engine::new(), &ephemeral()).unwrap();
+    let mut client = KsjqClient::connect(server.addr()).unwrap();
+    client.load_csv("outbound", &out_csv).unwrap();
+    client.load_csv("inbound", &in_csv).unwrap();
+    let plan = PlanSpec::new("outbound", "inbound").k(7);
+    assert!(!client.query(&plan).unwrap().cached);
+    let before = client.stats().unwrap();
+    assert_eq!(before.delta_rows, 0);
+    assert_eq!(before.delta_maintained, 0);
+
+    // Append a strongly dominant outbound row on a city that joins: the
+    // answer must change, so a surviving stale entry would be caught.
+    let city = out_csv.lines().nth(1).unwrap().split(',').next().unwrap();
+    let row = format!("{city},1,1,1,1");
+    client.append_rows("outbound", &row).unwrap();
+
+    let after = client.stats().unwrap();
+    assert_eq!(after.catalog_epoch, before.catalog_epoch + 1);
+    assert_eq!(after.delta_rows, 1);
+    assert!(after.delta_maintained > 0, "{after:?}");
+    assert_eq!(
+        after.cache_evictions, before.cache_evictions,
+        "the entry must be upgraded in place, not evicted"
+    );
+
+    // The upgraded entry serves from cache and matches a recompute of
+    // the appended relation byte for byte.
+    let upgraded = client.query(&plan).unwrap();
+    assert!(upgraded.cached, "upgraded entry should still be a hit");
+    let oracle = Engine::new();
+    oracle
+        .catalog()
+        .register_csv("outbound", &format!("{}{row}\n", out_csv))
+        .unwrap();
+    oracle.catalog().register_csv("inbound", &in_csv).unwrap();
+    let reference = oracle
+        .execute(&QueryPlan::new("outbound", "inbound").k(7))
+        .unwrap();
+    let expected: Vec<(u32, u32)> = reference.pairs.iter().map(|&(l, r)| (l.0, r.0)).collect();
+    assert_eq!(upgraded.pairs, expected, "maintained ≠ recompute");
+
+    // Staged spelling: STAGE parks the delta (catalog unchanged) until
+    // COMMIT applies it through the same maintenance path.
+    client.append_stage("outbound", &row).unwrap();
+    assert_eq!(
+        client.stats().unwrap().delta_rows,
+        1,
+        "STAGE must not apply"
+    );
+    client.commit("outbound").unwrap();
+    let staged = client.stats().unwrap();
+    assert_eq!(staged.delta_rows, 2);
+    assert_eq!(staged.catalog_epoch, after.catalog_epoch + 1);
+
+    // DELETE is not maintained incrementally: row ids shift, so the
+    // entry is dropped and the next query recomputes.
+    client.delete_keys("outbound", &[city.to_string()]).unwrap();
+    let recomputed = client.query(&plan).unwrap();
+    assert!(!recomputed.cached, "DELETE must invalidate, not upgrade");
+    let survivors: String = out_csv
+        .lines()
+        .enumerate()
+        .filter(|&(i, l)| i == 0 || !l.starts_with(&format!("{city},")))
+        .map(|(_, l)| format!("{l}\n"))
+        .collect();
+    let oracle = Engine::new();
+    oracle
+        .catalog()
+        .register_csv("outbound", &survivors)
+        .unwrap();
+    oracle.catalog().register_csv("inbound", &in_csv).unwrap();
+    let reference = oracle
+        .execute(&QueryPlan::new("outbound", "inbound").k(7))
+        .unwrap();
+    let expected: Vec<(u32, u32)> = reference.pairs.iter().map(|&(l, r)| (l.0, r.0)).collect();
+    assert_eq!(recomputed.pairs, expected, "post-DELETE ≠ recompute");
+
+    client.close().unwrap();
+    server.stop().unwrap();
+}
+
 // ----------------------------------------------------------- metamorphic
 
 /// Unique relation names across proptest cases sharing one server.

@@ -105,6 +105,65 @@ fn hundred_thousand_pairs_stream_in_bounded_frames() {
     assert_eq!(again.pairs, expected);
 }
 
+/// A long-running streamed query is pinned to the catalog epoch it
+/// started at: a concurrent `APPEND` publishes a new version, but the
+/// in-flight stream keeps serving the snapshot it executed against —
+/// same parts, same rows, no torn result.
+#[test]
+fn streamed_query_is_pinned_against_concurrent_append() {
+    let (left, right) = all_survivors_csvs(25, 10, 20); // 5000 pairs → 3 chunks
+    let local = Engine::new();
+    local.catalog().register_csv("l", &left).unwrap();
+    local.catalog().register_csv("r", &right).unwrap();
+    let reference = local.execute(&QueryPlan::new("l", "r").k(4)).unwrap();
+    let expected: Vec<(u32, u32)> = reference.pairs.iter().map(|&(l, r)| (l.0, r.0)).collect();
+
+    let server = Server::start(Engine::new(), &ephemeral()).unwrap();
+    let mut client = KsjqClient::connect(server.addr()).unwrap();
+    client.load_csv("l", &left).unwrap();
+    client.load_csv("r", &right).unwrap();
+    client.prepare("q", &PlanSpec::new("l", "r").k(4)).unwrap();
+
+    // First chunk in hand, the stream is still in flight…
+    let mut frames = vec![client.raw("EXECUTE q").unwrap()];
+    // …when a second session appends a dominant row to the left input.
+    let mut writer = KsjqClient::connect(server.addr()).unwrap();
+    writer.append_rows("l", "g0,1,1").unwrap();
+    writer.close().unwrap();
+    // The rest of the stream is unaffected.
+    loop {
+        match Response::parse(frames.last().unwrap()).unwrap() {
+            Response::Chunk(chunk) if !chunk.is_last() => {
+                frames.push(client.raw_read().unwrap());
+            }
+            Response::Chunk(_) => break,
+            other => panic!("expected a ROWS part frame, got {other:?}"),
+        }
+    }
+    assert!(
+        frames.len() > 1,
+        "needs a multi-chunk stream to prove pinning"
+    );
+    let mut rows: Vec<(u32, u32)> = Vec::new();
+    for frame in &frames {
+        let Ok(Response::Chunk(chunk)) = Response::parse(frame) else {
+            panic!("not a ROWS part: {frame:?}");
+        };
+        rows.extend(chunk.pairs);
+    }
+    assert_eq!(
+        rows, expected,
+        "in-flight stream must serve its pinned epoch"
+    );
+
+    // A query *started after* the append sees the new version: the
+    // appended (1,1) row dominates every old g0 pair out of the result.
+    let fresh = client.query(&PlanSpec::new("l", "r").k(4)).unwrap();
+    assert_ne!(fresh.pairs, expected, "new queries must see the append");
+    client.close().unwrap();
+    server.stop().unwrap();
+}
+
 /// A reader that stalls mid-stream must not make the server buffer the
 /// rest of the result: at most one in-flight chunk per connection, which
 /// the `peak_buf` high-water mark proves.

@@ -1,0 +1,280 @@
+//! Metamorphic tests for live catalogs: under a random append/delete
+//! schedule, the incrementally maintained k-dominant skyline must be
+//! byte-identical to a from-scratch recompute at **every** epoch — in
+//! process (`VersionedRelation` + `maintain_append`), over the wire
+//! against one server, and through a sharded router cluster.
+
+use ksjq::core::maintain_append;
+use ksjq::prelude::*;
+use ksjq::server::{ClientError, RunningServer};
+use ksjq_relation::VersionedRelation;
+use ksjq_router::{DialPolicy, RunningRouter};
+use proptest::prelude::*;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+const GROUPS: u64 = 4;
+
+// Schedule steps are `(op, key, rows)` tuples the shim's strategies can
+// produce: `op % 2` picks the side, `op < 2` appends the rows (keys
+// derived from `key`), `op >= 2` deletes join key `key`.
+
+fn to_columns(rows: &[(u64, Vec<u32>)]) -> (Vec<u64>, Vec<Vec<f64>>) {
+    (
+        rows.iter().map(|(g, _)| *g).collect(),
+        rows.iter()
+            .map(|(_, r)| r.iter().map(|&v| f64::from(v)).collect())
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// In-process acceptance property: for random relations, a random
+    /// append/delete schedule and every admissible k, maintenance and
+    /// recompute agree on the exact pair sequence at every epoch.
+    #[test]
+    fn maintained_equals_recompute_at_every_epoch(
+        init_l in prop::collection::vec(
+            (0u64..GROUPS, prop::collection::vec(0u32..6, 3)), 2..=14),
+        init_r in prop::collection::vec(
+            (0u64..GROUPS, prop::collection::vec(0u32..6, 3)), 2..=14),
+        schedule in prop::collection::vec(
+            (0u8..4, 0u64..GROUPS, prop::collection::vec(prop::collection::vec(0u32..6, 3), 1..=3)),
+            1..=5),
+        k_off in 0usize..3,
+    ) {
+        let d = 3;
+        let k = d + 1 + k_off; // the paper's range (d, 2d] for this shape
+        let recompute = |vl: &VersionedRelation, vr: &VersionedRelation| {
+            let cx = JoinContext::from_arcs(
+                vl.snapshot().clone(),
+                vr.snapshot().clone(),
+                JoinSpec::Equality,
+                &[],
+            )
+            .unwrap();
+            ksjq_grouping(&cx, k, &Config::default()).unwrap()
+        };
+
+        let (keys, rows) = to_columns(&init_l);
+        let mut vl = VersionedRelation::new(Schema::uniform(d).unwrap())
+            .unwrap()
+            .append(&keys, &rows)
+            .unwrap();
+        let (keys, rows) = to_columns(&init_r);
+        let mut vr = VersionedRelation::new(Schema::uniform(d).unwrap())
+            .unwrap()
+            .append(&keys, &rows)
+            .unwrap();
+        let mut cached = recompute(&vl, &vr);
+
+        for (op, key, rows) in schedule {
+            if op < 2 {
+                // Append: maintain the cached result across the delta.
+                let (old_ln, old_rn) = (vl.n(), vr.n());
+                let keys: Vec<u64> = rows
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| (key + i as u64) % GROUPS)
+                    .collect();
+                let rows: Vec<Vec<f64>> = rows
+                    .iter()
+                    .map(|r| r.iter().map(|&v| f64::from(v)).collect())
+                    .collect();
+                if op == 0 {
+                    vl = vl.append(&keys, &rows).unwrap();
+                } else {
+                    vr = vr.append(&keys, &rows).unwrap();
+                }
+                let cx = JoinContext::from_arcs(
+                    vl.snapshot().clone(),
+                    vr.snapshot().clone(),
+                    JoinSpec::Equality,
+                    &[],
+                )
+                .unwrap();
+                let (maintained, stats) =
+                    maintain_append(&cx, k, &cached, old_ln, old_rn).unwrap();
+                let fresh = recompute(&vl, &vr);
+                prop_assert_eq!(
+                    &maintained.pairs, &fresh.pairs,
+                    "epoch ({}, {}) k={} stats={:?}", vl.epoch(), vr.epoch(), k, stats
+                );
+                cached = maintained;
+            } else {
+                // Delete: ids shift, so the maintainer does not apply —
+                // recompute becomes the new cached baseline.
+                if op == 2 {
+                    vl = vl.delete_key(key).unwrap().0;
+                } else {
+                    vr = vr.delete_key(key).unwrap().0;
+                }
+                cached = recompute(&vl, &vr);
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- the wire
+
+fn render_csv(rows: &[(u64, Vec<u32>)]) -> String {
+    let mut csv = String::from("city,c0,c1\n");
+    for (g, row) in rows {
+        write!(csv, "g{g}").unwrap();
+        for v in row {
+            write!(csv, ",{v}").unwrap();
+        }
+        csv.push('\n');
+    }
+    csv
+}
+
+fn render_delta(key: u64, rows: &[Vec<u32>]) -> String {
+    let mut csv = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        write!(csv, "g{}", (key + i as u64) % GROUPS).unwrap();
+        for v in row {
+            write!(csv, ",{v}").unwrap();
+        }
+        csv.push('\n');
+    }
+    csv
+}
+
+fn backend() -> RunningServer {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        cache_entries: 16,
+        ..ServerConfig::default()
+    };
+    Server::start(Engine::new(), &config).unwrap()
+}
+
+fn cluster(n_shards: usize) -> (Vec<RunningServer>, RunningRouter) {
+    let backends: Vec<RunningServer> = (0..n_shards).map(|_| backend()).collect();
+    let topology = Topology::new(
+        backends
+            .iter()
+            .map(|b| vec![b.addr().to_string()])
+            .collect(),
+    )
+    .unwrap();
+    let config = RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        cache_entries: 16,
+        policy: DialPolicy {
+            options: ksjq::server::ConnectOptions::all(Duration::from_secs(10)),
+            attempts: 2,
+            backoff: Duration::from_millis(5),
+            seed: 42,
+        },
+        ..RouterConfig::default()
+    };
+    let router = ksjq::router::Router::start(topology, &config).unwrap();
+    (backends, router)
+}
+
+/// Query `plan`, treating a server-side rejection as a comparable
+/// outcome (all parties must reject the same plans the same way).
+fn run_wire(client: &mut KsjqClient, plan: &PlanSpec) -> Result<Vec<(u32, u32)>, ()> {
+    match client.query(plan) {
+        Ok(rows) => Ok(rows.pairs),
+        Err(ClientError::Server(_)) => Err(()),
+        Err(e) => panic!("transport failure: {e}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Over-the-wire acceptance property: one plain server (incremental
+    /// maintenance path) and a 2-shard router cluster (two-phase
+    /// partitioned deltas) both track an in-process recompute oracle at
+    /// every epoch of a random schedule.
+    #[test]
+    fn wire_and_cluster_track_recompute_at_every_epoch(
+        init_l in prop::collection::vec(
+            (0u64..GROUPS, prop::collection::vec(0u32..7, 2)), 1..=10),
+        init_r in prop::collection::vec(
+            (0u64..GROUPS, prop::collection::vec(0u32..7, 2)), 1..=10),
+        schedule in prop::collection::vec(
+            (0u8..4, 0u64..GROUPS, prop::collection::vec(prop::collection::vec(0u32..7, 2), 1..=2)),
+            1..=4),
+        k_off in 0usize..2,
+    ) {
+        let k = 3 + k_off; // d_joined = 4, valid range (2, 4]
+        let plan = PlanSpec::new("l", "r").k(k);
+
+        // Mutable ground truth the oracle recomputes from each epoch.
+        let mut state_l = init_l.clone();
+        let mut state_r = init_r.clone();
+        let oracle = |sl: &[(u64, Vec<u32>)], sr: &[(u64, Vec<u32>)]| {
+            let engine = Engine::new();
+            engine.catalog().register_csv("l", &render_csv(sl)).unwrap();
+            engine.catalog().register_csv("r", &render_csv(sr)).unwrap();
+            engine
+                .execute(&QueryPlan::new("l", "r").k(k))
+                .map(|out| out.pairs.iter().map(|&(u, v)| (u.0, v.0)).collect::<Vec<_>>())
+                .map_err(|_| ())
+        };
+
+        let single = backend();
+        let mut sc = KsjqClient::connect(single.addr()).unwrap();
+        let (shards, router) = cluster(2);
+        let mut rc = KsjqClient::connect(router.addr()).unwrap();
+        for c in [&mut sc, &mut rc] {
+            c.load_csv("l", &render_csv(&state_l)).unwrap();
+            c.load_csv("r", &render_csv(&state_r)).unwrap();
+        }
+
+        for (epoch, (op, key, rows)) in schedule.into_iter().enumerate() {
+            let name = if op % 2 == 0 { "l" } else { "r" };
+            let state = if op % 2 == 0 { &mut state_l } else { &mut state_r };
+            if op < 2 {
+                let delta = render_delta(key, &rows);
+                for (i, row) in rows.iter().enumerate() {
+                    state.push(((key + i as u64) % GROUPS, row.clone()));
+                }
+                sc.append_rows(name, &delta).unwrap();
+                rc.append_rows(name, &delta).unwrap();
+            } else {
+                state.retain(|(g, _)| *g != key);
+                sc.delete_keys(name, &[format!("g{key}")]).unwrap();
+                rc.delete_keys(name, &[format!("g{key}")]).unwrap();
+            }
+            let want = oracle(&state_l, &state_r);
+            prop_assert_eq!(&run_wire(&mut sc, &plan), &want, "single node, epoch {}", epoch);
+            prop_assert_eq!(&run_wire(&mut rc, &plan), &want, "cluster, epoch {}", epoch);
+        }
+
+        sc.close().unwrap();
+        rc.close().unwrap();
+        single.stop().unwrap();
+        drop(router);
+        for s in shards {
+            s.stop().unwrap();
+        }
+    }
+}
+
+/// The maintainer refuses joins it cannot maintain (anything but an
+/// equality join) rather than returning a wrong answer.
+#[test]
+fn non_equality_joins_are_not_maintained() {
+    use ksjq::core::can_maintain;
+    let mut b = Relation::builder(Schema::uniform(2).unwrap());
+    b.add_keyed(1.0, &[1.0, 2.0]).unwrap();
+    let rel = Arc::new(b.build().unwrap());
+    let cx = JoinContext::from_arcs(rel.clone(), rel.clone(), JoinSpec::Theta(ThetaOp::Lt), &[])
+        .unwrap();
+    assert!(!can_maintain(&cx));
+    let empty = KsjqOutput {
+        pairs: vec![],
+        stats: Default::default(),
+    };
+    assert!(maintain_append(&cx, 3, &empty, 1, 1).is_err());
+}
