@@ -1,0 +1,158 @@
+//! Cooperative cancellation for deadline-bounded execution.
+//!
+//! The KSJQ kernels are tight loops over candidate pairs; a server
+//! cannot abort them from outside without either killing the thread
+//! (unsafe — scratch state, counters and caches would be torn) or
+//! paying a clock read per iteration. [`Checkpoint`] is the middle
+//! ground: a countdown that consults the wall clock only every
+//! [`Checkpoint::INTERVAL`] ticks, and only when a deadline is actually
+//! set — the no-deadline path is a single branch on a `None`.
+//!
+//! Every execution loop that can run long ticks a checkpoint once per
+//! unit of work (one candidate verified, one find-k probe, one parallel
+//! shard step). When the deadline passes, the tick returns
+//! [`CoreError::DeadlineExceeded`] and the error propagates out through
+//! the ordinary `CoreResult` plumbing, leaving all shared state intact —
+//! the query can simply be retried with a later deadline.
+
+use crate::error::{CoreError, CoreResult};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// A throttled deadline checker for hot loops.
+///
+/// `tick()` is designed to be called once per loop iteration; it reads
+/// the clock only every [`INTERVAL`](Self::INTERVAL) calls. With no
+/// deadline configured it never reads the clock at all.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    deadline: Option<Instant>,
+    countdown: u32,
+}
+
+impl Checkpoint {
+    /// How many ticks elapse between wall-clock reads. Small enough that
+    /// even expensive per-candidate checks notice an expired deadline
+    /// within a few milliseconds; large enough that `Instant::now()` is
+    /// invisible in the kernels' profiles.
+    pub const INTERVAL: u32 = 64;
+
+    /// A checkpoint against `deadline` (`None` = never expires). The
+    /// first tick always reads the clock — an already-expired deadline
+    /// fires immediately even in loops shorter than
+    /// [`INTERVAL`](Self::INTERVAL) — and subsequent reads are throttled.
+    pub fn new(deadline: Option<Instant>) -> Self {
+        Checkpoint {
+            deadline,
+            countdown: 1,
+        }
+    }
+
+    /// Count one unit of work; every [`INTERVAL`](Self::INTERVAL) calls,
+    /// compare the clock against the deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DeadlineExceeded`] once the deadline has passed.
+    #[inline]
+    pub fn tick(&mut self) -> CoreResult<()> {
+        let Some(deadline) = self.deadline else {
+            return Ok(());
+        };
+        self.countdown -= 1;
+        if self.countdown == 0 {
+            self.countdown = Self::INTERVAL;
+            if Instant::now() >= deadline {
+                return Err(CoreError::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+
+    /// Like [`tick`](Self::tick), but coordinated across sibling workers
+    /// through a shared flag: the first worker to observe the expired
+    /// deadline raises `cancelled`, and every other worker bails at its
+    /// next clock boundary without waiting for its own clock read to
+    /// agree.
+    #[inline]
+    pub fn tick_shared(&mut self, cancelled: &AtomicBool) -> CoreResult<()> {
+        let Some(deadline) = self.deadline else {
+            return Ok(());
+        };
+        self.countdown -= 1;
+        if self.countdown == 0 {
+            self.countdown = Self::INTERVAL;
+            if cancelled.load(Ordering::Relaxed) {
+                return Err(CoreError::DeadlineExceeded);
+            }
+            if Instant::now() >= deadline {
+                cancelled.store(true, Ordering::Relaxed);
+                return Err(CoreError::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One immediate (unthrottled) deadline check, for phase boundaries and
+/// dispatch entry.
+///
+/// # Errors
+///
+/// [`CoreError::DeadlineExceeded`] if `deadline` is set and has passed.
+#[inline]
+pub fn check_deadline(deadline: Option<Instant>) -> CoreResult<()> {
+    match deadline {
+        Some(d) if Instant::now() >= d => Err(CoreError::DeadlineExceeded),
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn no_deadline_never_expires() {
+        let mut cp = Checkpoint::new(None);
+        for _ in 0..10_000 {
+            cp.tick().unwrap();
+        }
+        check_deadline(None).unwrap();
+    }
+
+    #[test]
+    fn distant_deadline_passes() {
+        let far = Instant::now() + Duration::from_secs(3600);
+        let mut cp = Checkpoint::new(Some(far));
+        for _ in 0..10_000 {
+            cp.tick().unwrap();
+        }
+        check_deadline(Some(far)).unwrap();
+    }
+
+    #[test]
+    fn expired_deadline_fires_on_first_tick() {
+        let past = Instant::now() - Duration::from_millis(1);
+        let mut cp = Checkpoint::new(Some(past));
+        assert_eq!(cp.tick(), Err(CoreError::DeadlineExceeded));
+        assert_eq!(check_deadline(Some(past)), Err(CoreError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn shared_flag_short_circuits_siblings() {
+        let past = Instant::now() - Duration::from_millis(1);
+        let cancelled = AtomicBool::new(false);
+        let mut first = Checkpoint::new(Some(past));
+        assert!(first.tick_shared(&cancelled).is_err());
+        assert!(cancelled.load(Ordering::Relaxed));
+        // A sibling with a *future* deadline still bails on the flag.
+        let future = Instant::now() + Duration::from_secs(3600);
+        let mut sibling = Checkpoint::new(Some(future));
+        assert!(
+            sibling.tick_shared(&cancelled).is_err(),
+            "sibling must observe the shared cancellation"
+        );
+    }
+}

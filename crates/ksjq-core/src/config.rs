@@ -1,6 +1,7 @@
 //! Execution configuration shared by all KSJQ algorithms.
 
 use ksjq_skyline::KdomAlgo;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for query execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,6 +17,11 @@ pub struct Config {
     /// Worker threads for the parallel extension (1 = serial, the paper's
     /// setting; >1 parallelises classification and candidate verification).
     pub threads: usize,
+    /// Cooperative cancellation deadline: execution loops tick a
+    /// [`Checkpoint`](crate::cancel::Checkpoint) against this instant and
+    /// return [`CoreError::DeadlineExceeded`](crate::CoreError) once it
+    /// passes. `None` (the default) never cancels.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for Config {
@@ -24,6 +30,7 @@ impl Default for Config {
             kdom: KdomAlgo::Tsa,
             materialize_limit: 40_000_000,
             threads: 1,
+            deadline: None,
         }
     }
 }
@@ -35,6 +42,21 @@ impl Config {
             threads: threads.max(1),
             ..Default::default()
         }
+    }
+
+    /// This config with its deadline tightened to `deadline` (an existing
+    /// earlier deadline wins; `None` leaves the config unchanged).
+    pub fn deadline_capped(mut self, deadline: Option<Instant>) -> Self {
+        self.deadline = match (self.deadline, deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self
+    }
+
+    /// This config with a deadline `budget` from now.
+    pub fn with_budget(self, budget: Duration) -> Self {
+        self.deadline_capped(Some(Instant::now() + budget))
     }
 }
 
@@ -53,5 +75,20 @@ mod tests {
     fn with_threads_clamps_to_one() {
         assert_eq!(Config::with_threads(0).threads, 1);
         assert_eq!(Config::with_threads(8).threads, 8);
+    }
+
+    #[test]
+    fn deadline_capped_keeps_the_earlier_instant() {
+        let now = Instant::now();
+        let soon = now + Duration::from_millis(10);
+        let later = now + Duration::from_secs(10);
+        let c = Config::default();
+        assert_eq!(c.deadline, None);
+        assert_eq!(c.deadline_capped(None).deadline, None);
+        assert_eq!(c.deadline_capped(Some(soon)).deadline, Some(soon));
+        let tight = c.deadline_capped(Some(later)).deadline_capped(Some(soon));
+        assert_eq!(tight.deadline, Some(soon));
+        let keeps = c.deadline_capped(Some(soon)).deadline_capped(Some(later));
+        assert_eq!(keeps.deadline, Some(soon));
     }
 }

@@ -14,6 +14,7 @@
 //! `≥ k′` better-or-equal positions either k′-dominates `u` or ties it on
 //! every one of them.
 
+use crate::cancel::{check_deadline, Checkpoint};
 use crate::classify::classify_parallel;
 use crate::config::Config;
 use crate::error::CoreResult;
@@ -49,6 +50,7 @@ pub fn ksjq_dominator_based(
     // ("dominator generation") — the `O(n²)` phase, sharded over
     // `cfg.threads` scoped workers with a deterministic merge (see
     // [`precompute_target_sets`]).
+    check_deadline(cfg.deadline)?;
     let t = Instant::now();
     let ltargets = precompute_target_sets(cx.left(), &cls.left, params.k1_pp, cfg.threads);
     let rtargets = precompute_target_sets(cx.right(), &cls.right, params.k2_pp, cfg.threads);
@@ -64,8 +66,10 @@ pub fn ksjq_dominator_based(
     // Phase 4: two-sided verification ("remaining").
     let t = Instant::now();
     let mut chk = ColumnarCheck::new(cx, k);
+    let mut cp = Checkpoint::new(cfg.deadline);
     let mut out = Vec::new();
     for (i, &(u, v)) in cands.pairs.iter().enumerate() {
+        cp.tick()?;
         let dominated = match cands.kinds[i] {
             CheckKind::Emit => false,
             _ => chk.dominated_via_both(

@@ -222,6 +222,17 @@ impl PreparedQuery {
         dispatch(&self.cx, self.params.k, algorithm, &self.config)
     }
 
+    /// Execute with the plan's algorithm under a cooperative cancellation
+    /// deadline (tightened against any deadline already in the config —
+    /// the earlier instant wins). Returns
+    /// [`CoreError::DeadlineExceeded`](crate::CoreError) once the
+    /// deadline passes; the prepared query stays valid and can be
+    /// re-executed.
+    pub fn execute_within(&self, deadline: Option<std::time::Instant>) -> CoreResult<KsjqOutput> {
+        let config = self.config.deadline_capped(deadline);
+        dispatch(&self.cx, self.params.k, self.algorithm, &config)
+    }
+
     /// A human-readable summary of what [`execute`](Self::execute) will
     /// run: relations, join kind, arities, k-range, derived thresholds,
     /// algorithm and kdom subroutine.
@@ -388,6 +399,25 @@ mod tests {
             .prepare(&QueryPlan::new("outbound", "inbound").config(Config::default()))
             .unwrap();
         assert_eq!(prepared.config().threads, 1);
+    }
+
+    #[test]
+    fn expired_deadline_cancels_and_query_stays_usable() {
+        use std::time::{Duration, Instant};
+        let engine = flights_engine();
+        let prepared = engine
+            .prepare(&QueryPlan::new("outbound", "inbound").k(7))
+            .unwrap();
+        let past = Instant::now() - Duration::from_millis(1);
+        assert_eq!(
+            prepared.execute_within(Some(past)).unwrap_err(),
+            CoreError::DeadlineExceeded
+        );
+        // A generous deadline gives the usual answer, and the prepared
+        // query is unharmed by the earlier cancellation.
+        let far = Instant::now() + Duration::from_secs(60);
+        assert_eq!(prepared.execute_within(Some(far)).unwrap().len(), 4);
+        assert_eq!(prepared.execute().unwrap().len(), 4);
     }
 
     #[test]

@@ -34,6 +34,11 @@ pub enum CoreError {
         /// Largest candidate `k`.
         max: usize,
     },
+    /// The query's deadline passed before execution finished; raised by
+    /// the cooperative cancellation checkpoints (see [`crate::cancel`])
+    /// when [`Config::deadline`](crate::Config) is set. All shared state
+    /// is left intact — the query can be retried with a later deadline.
+    DeadlineExceeded,
     /// A query plan referenced a relation name the engine's catalog does
     /// not know.
     UnknownRelation {
@@ -60,6 +65,9 @@ impl fmt::Display for CoreError {
             CoreError::InvalidDelta => write!(f, "delta must be at least 1"),
             CoreError::EmptyKRange { min, max } => {
                 write!(f, "no valid k exists: range [{min}, {max}] is empty")
+            }
+            CoreError::DeadlineExceeded => {
+                write!(f, "query deadline exceeded before execution finished")
             }
             CoreError::UnknownRelation { name } => {
                 write!(f, "unknown relation {name:?}: not registered in the catalog")

@@ -14,6 +14,7 @@
 //! * `Δ_ub = |yes| + |likely| + |may be|` — every skyline tuple survives
 //!   NN-pruning (Theorem 4, always sound).
 
+use crate::cancel::check_deadline;
 use crate::classify::{classify_parallel, pair_counts};
 use crate::config::Config;
 use crate::error::{CoreError, CoreResult};
@@ -102,17 +103,18 @@ enum Probe {
 }
 
 impl Prober<'_, '_> {
-    fn full_size(&mut self, k: usize) -> usize {
-        let out = ksjq_grouping(self.cx, k, self.cfg).expect("validated parameters");
+    fn full_size(&mut self, k: usize) -> CoreResult<usize> {
+        let out = ksjq_grouping(self.cx, k, self.cfg)?;
         self.full += 1;
         self.report_phases.grouping += out.stats.phases.grouping;
         self.report_phases.join += out.stats.phases.join;
         self.report_phases.remaining += out.stats.phases.remaining;
-        out.len()
+        Ok(out.len())
     }
 
     /// Decide "≥ δ?" using bounds first, falling back to a full run.
-    fn probe(&mut self, k: usize) -> Probe {
+    fn probe(&mut self, k: usize) -> CoreResult<Probe> {
+        check_deadline(self.cfg.deadline)?;
         let params = validate_k(self.cx, k).expect("k in range");
         let t = Instant::now();
         let cls = classify_parallel(self.cx, &params, self.cfg.kdom, self.cfg.threads);
@@ -124,27 +126,28 @@ impl Prober<'_, '_> {
         let lb = if params.a <= 1 { yes } else { 0 };
         let ub = yes + likely + maybe;
         if lb >= self.delta {
-            return Probe::AtLeast(None);
+            return Ok(Probe::AtLeast(None));
         }
         if ub < self.delta {
-            return Probe::Below;
+            return Ok(Probe::Below);
         }
-        let size = self.full_size(k);
-        if size >= self.delta {
+        let size = self.full_size(k)?;
+        Ok(if size >= self.delta {
             Probe::AtLeast(Some(size))
         } else {
             Probe::Below
-        }
+        })
     }
 
     /// Decide with a full computation only (Algorithm 4).
-    fn probe_full(&mut self, k: usize) -> Probe {
-        let size = self.full_size(k);
-        if size >= self.delta {
+    fn probe_full(&mut self, k: usize) -> CoreResult<Probe> {
+        check_deadline(self.cfg.deadline)?;
+        let size = self.full_size(k)?;
+        Ok(if size >= self.delta {
             Probe::AtLeast(Some(size))
         } else {
             Probe::Below
-        }
+        })
     }
 }
 
@@ -174,9 +177,9 @@ pub fn find_k_at_least(
     };
 
     let (k, satisfied, size) = match strategy {
-        FindKStrategy::Naive => linear_scan(&mut p, lo, hi, true),
-        FindKStrategy::Range => linear_scan(&mut p, lo, hi, false),
-        FindKStrategy::Binary => binary_scan(&mut p, lo, hi),
+        FindKStrategy::Naive => linear_scan(&mut p, lo, hi, true)?,
+        FindKStrategy::Range => linear_scan(&mut p, lo, hi, false)?,
+        FindKStrategy::Binary => binary_scan(&mut p, lo, hi)?,
     };
 
     Ok(FindKReport {
@@ -194,26 +197,30 @@ fn linear_scan(
     lo: usize,
     hi: usize,
     full_only: bool,
-) -> (usize, bool, Option<usize>) {
+) -> CoreResult<(usize, bool, Option<usize>)> {
     for k in lo..=hi {
         let probe = if full_only {
-            p.probe_full(k)
+            p.probe_full(k)?
         } else {
-            p.probe(k)
+            p.probe(k)?
         };
         if let Probe::AtLeast(size) = probe {
-            return (k, true, size);
+            return Ok((k, true, size));
         }
     }
-    (hi, false, None)
+    Ok((hi, false, None))
 }
 
-fn binary_scan(p: &mut Prober<'_, '_>, lo: usize, hi: usize) -> (usize, bool, Option<usize>) {
+fn binary_scan(
+    p: &mut Prober<'_, '_>,
+    lo: usize,
+    hi: usize,
+) -> CoreResult<(usize, bool, Option<usize>)> {
     let (mut lo, mut hi) = (lo, hi);
     let mut best: Option<(usize, Option<usize>)> = None;
     while lo <= hi {
         let mid = lo + (hi - lo) / 2;
-        match p.probe(mid) {
+        match p.probe(mid)? {
             Probe::AtLeast(size) => {
                 best = Some((mid, size));
                 if mid == 0 {
@@ -224,10 +231,10 @@ fn binary_scan(p: &mut Prober<'_, '_>, lo: usize, hi: usize) -> (usize, bool, Op
             Probe::Below => lo = mid + 1,
         }
     }
-    match best {
+    Ok(match best {
         Some((k, size)) => (k, true, size),
         None => (k_max_of(p), false, None),
-    }
+    })
 }
 
 fn k_max_of(p: &Prober<'_, '_>) -> usize {
@@ -377,6 +384,28 @@ mod tests {
             find_k_at_least(&cx, 0, FindKStrategy::Naive, &Config::default()).unwrap_err(),
             CoreError::InvalidDelta
         );
+    }
+
+    #[test]
+    fn expired_deadline_cancels_every_strategy() {
+        use std::time::{Duration, Instant};
+        let (r1, r2) = random_cx(5, 40, 4, 3);
+        let cx = JoinContext::new(&r1, &r2, JoinSpec::Equality, &[]).unwrap();
+        let cfg = Config {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            ..Config::default()
+        };
+        for strategy in [
+            FindKStrategy::Naive,
+            FindKStrategy::Range,
+            FindKStrategy::Binary,
+        ] {
+            assert_eq!(
+                find_k_at_least(&cx, 3, strategy, &cfg).unwrap_err(),
+                CoreError::DeadlineExceeded,
+                "{strategy}"
+            );
+        }
     }
 
     #[test]

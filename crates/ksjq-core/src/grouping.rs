@@ -15,6 +15,7 @@
 //! only taken when `a ≤ 1`; otherwise SS⋈SS pairs are verified like
 //! "likely" pairs.
 
+use crate::cancel::Checkpoint;
 use crate::classify::{classify_parallel, Category, Classification};
 use crate::config::Config;
 use crate::error::{CoreError, CoreResult};
@@ -179,8 +180,10 @@ pub fn ksjq_grouping_progressive(
     let mut ltargets = TargetCache::new(cx.left(), params.k1_pp);
     let mut rtargets = TargetCache::new(cx.right(), params.k2_pp);
     let mut chk = ColumnarCheck::new(cx, k);
+    let mut cp = Checkpoint::new(cfg.deadline);
     let mut out = Vec::new();
     for (i, &(u, v)) in cands.pairs.iter().enumerate() {
+        cp.tick()?;
         let dominated = match cands.kinds[i] {
             CheckKind::Emit => {
                 out.push((u, v)); // already delivered
@@ -224,15 +227,18 @@ pub fn ksjq_grouping(cx: &JoinContext<'_>, k: usize, cfg: &Config) -> CoreResult
     // (the paper's future-work extension, see crate::parallel).
     let t = Instant::now();
     let out = if cfg.threads > 1 {
-        let (out, counters) = crate::parallel::verify_parallel(cx, k, &params, &cands, cfg.threads);
+        let (out, counters) =
+            crate::parallel::verify_parallel(cx, k, &params, &cands, cfg.threads, cfg.deadline)?;
         absorb_counters(&mut stats, counters);
         out
     } else {
         let mut ltargets = TargetCache::new(cx.left(), params.k1_pp);
         let mut rtargets = TargetCache::new(cx.right(), params.k2_pp);
         let mut chk = ColumnarCheck::new(cx, k);
+        let mut cp = Checkpoint::new(cfg.deadline);
         let mut out = Vec::new();
         for (i, &(u, v)) in cands.pairs.iter().enumerate() {
+            cp.tick()?;
             let dominated = match cands.kinds[i] {
                 CheckKind::Emit => false,
                 CheckKind::LeftTarget => chk.dominated_via_left(ltargets.get(u), cands.row(i)),

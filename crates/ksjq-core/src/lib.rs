@@ -52,6 +52,7 @@
 //! there). All algorithms return identical answers — that equivalence is
 //! enforced by the cross-algorithm test suites.
 
+pub mod cancel;
 pub mod classify;
 pub mod config;
 pub mod dominator_based;
@@ -71,6 +72,7 @@ pub mod stats;
 pub mod target;
 pub mod verify;
 
+pub use cancel::{check_deadline, Checkpoint};
 pub use classify::{classify, classify_parallel, pair_counts, Category, Classification};
 pub use config::Config;
 pub use dominator_based::ksjq_dominator_based;

@@ -12,6 +12,7 @@
 //!   directly over the join enumeration. No separate join time can be
 //!   attributed in this mode; the full cost is reported as "remaining".
 
+use crate::cancel::{check_deadline, Checkpoint};
 use crate::config::Config;
 use crate::error::CoreResult;
 use crate::output::{finish, KsjqOutput};
@@ -36,7 +37,7 @@ pub fn ksjq_naive(cx: &JoinContext<'_>, k: usize, cfg: &Config) -> CoreResult<Ks
     if values <= cfg.materialize_limit as u128 {
         naive_materialized(cx, k, cfg, stats)
     } else {
-        naive_streaming(cx, k, stats)
+        naive_streaming(cx, k, cfg, stats)
     }
 }
 
@@ -50,6 +51,9 @@ fn naive_materialized(
     let m = cx.materialize();
     stats.phases.join = t.elapsed();
 
+    // The single-relation skyline subroutine is not checkpointed, so the
+    // materialised path only honours the deadline at this phase boundary.
+    check_deadline(cfg.deadline)?;
     let t = Instant::now();
     let view = MatrixView::new(cx.d_joined().max(1), &m.data);
     let ids = view.ids();
@@ -60,7 +64,12 @@ fn naive_materialized(
     Ok(finish(pairs, stats))
 }
 
-fn naive_streaming(cx: &JoinContext<'_>, k: usize, mut stats: ExecStats) -> CoreResult<KsjqOutput> {
+fn naive_streaming(
+    cx: &JoinContext<'_>,
+    k: usize,
+    cfg: &Config,
+    mut stats: ExecStats,
+) -> CoreResult<KsjqOutput> {
     let t = Instant::now();
     let d = cx.d_joined();
     let mut tsa = StreamingTsa::new(d, k);
@@ -68,7 +77,11 @@ fn naive_streaming(cx: &JoinContext<'_>, k: usize, mut stats: ExecStats) -> Core
     // Enumerate in `for_each_pair` order but through the split fill: the
     // left-local segment of the scratch row is written once per left
     // tuple, not once per joined pair.
-    fn split_pairs(cx: &JoinContext<'_>, row: &mut [f64], mut f: impl FnMut(&[f64])) {
+    fn split_pairs(
+        cx: &JoinContext<'_>,
+        row: &mut [f64],
+        mut f: impl FnMut(&[f64]) -> CoreResult<()>,
+    ) -> CoreResult<()> {
         for u in 0..cx.left().n() as u32 {
             let partners = cx.right_partners(u);
             if partners.is_empty() {
@@ -77,15 +90,21 @@ fn naive_streaming(cx: &JoinContext<'_>, k: usize, mut stats: ExecStats) -> Core
             cx.fill_left(u, row);
             for &v in partners {
                 cx.fill_rest(u, v, row);
-                f(row);
+                f(row)?;
             }
         }
+        Ok(())
     }
+    let mut cp = Checkpoint::new(cfg.deadline);
     split_pairs(cx, &mut row, |r| {
         tsa.offer(r);
-    });
+        cp.tick()
+    })?;
     tsa.begin_verify();
-    split_pairs(cx, &mut row, |r| tsa.verify(r));
+    split_pairs(cx, &mut row, |r| {
+        tsa.verify(r);
+        cp.tick()
+    })?;
     let survivors = tsa.finish();
 
     // Third enumeration maps surviving sequence numbers back to pairs —

@@ -15,31 +15,42 @@
 //! call when `Config::threads > 1`. Candidate collection stays serial: it
 //! is a small fraction of the runtime (see the figures' phase breakdown).
 
+use crate::cancel::Checkpoint;
+use crate::error::CoreResult;
 use crate::grouping::{Candidates, CheckKind};
 use crate::params::KsjqParams;
 use crate::target::TargetCache;
 use crate::verify::{CheckCounters, ColumnarCheck, ColumnarLayout};
 use ksjq_join::JoinContext;
+use std::sync::atomic::AtomicBool;
+use std::time::Instant;
 
 /// Verify all candidates with `threads` workers; returns the surviving
 /// pairs in candidate order (identical to the serial verification) plus
 /// the summed kernel counters.
+///
+/// With a `deadline`, every worker ticks a shared-flag
+/// [`Checkpoint`]: the first to observe expiry cancels its siblings, and
+/// the call returns [`CoreError::DeadlineExceeded`](crate::CoreError)
+/// after all workers have unwound cleanly.
 pub(crate) fn verify_parallel(
     cx: &JoinContext<'_>,
     k: usize,
     params: &KsjqParams,
     cands: &Candidates,
     threads: usize,
-) -> (Vec<(u32, u32)>, CheckCounters) {
+    deadline: Option<Instant>,
+) -> CoreResult<(Vec<(u32, u32)>, CheckCounters)> {
     let n = cands.pairs.len();
     if n == 0 {
-        return (Vec::new(), CheckCounters::default());
+        return Ok((Vec::new(), CheckCounters::default()));
     }
     let threads = threads.min(n).max(1);
     let chunk = n.div_ceil(threads);
     // The permuted-column layout depends only on the join, not the
     // worker: gather it once and let every verifier borrow it.
     let layout = ColumnarLayout::new(cx);
+    let cancelled = AtomicBool::new(false);
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
@@ -47,12 +58,15 @@ pub(crate) fn verify_parallel(
             let lo = t * chunk;
             let hi = ((t + 1) * chunk).min(n);
             let layout = &layout;
+            let cancelled = &cancelled;
             handles.push(scope.spawn(move || {
                 let mut ltargets = TargetCache::new(cx.left(), params.k1_pp);
                 let mut rtargets = TargetCache::new(cx.right(), params.k2_pp);
                 let mut chk = ColumnarCheck::with_layout(cx, k, layout);
+                let mut cp = Checkpoint::new(deadline);
                 let mut out = Vec::new();
                 for i in lo..hi {
+                    cp.tick_shared(cancelled)?;
                     let (u, v) = cands.pairs[i];
                     let dominated = match cands.kinds[i] {
                         CheckKind::Emit => false,
@@ -67,17 +81,25 @@ pub(crate) fn verify_parallel(
                         out.push((u, v));
                     }
                 }
-                (out, chk.counters())
+                Ok((out, chk.counters()))
             }));
         }
         let mut pairs = Vec::new();
         let mut counters = CheckCounters::default();
+        let mut expired = None;
         for h in handles {
-            let (out, c) = h.join().expect("verification worker panicked");
-            pairs.extend(out);
-            counters.absorb(c);
+            match h.join().expect("verification worker panicked") {
+                Ok((out, c)) => {
+                    pairs.extend(out);
+                    counters.absorb(c);
+                }
+                Err(e) => expired = Some(e),
+            }
         }
-        (pairs, counters)
+        match expired {
+            Some(e) => Err(e),
+            None => Ok((pairs, counters)),
+        }
     })
 }
 
@@ -122,6 +144,44 @@ mod tests {
                 assert_eq!(serial.pairs, parallel.pairs, "k={k} threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn expired_deadline_cancels_parallel_verification() {
+        use crate::error::CoreError;
+        use ksjq_datagen::{DataType, DatasetSpec};
+        use ksjq_join::AggFunc;
+        use std::time::{Duration, Instant};
+        // Anti-correlated data guarantees verification work (see the
+        // targets_pruned regression test in crate::grouping).
+        let spec = DatasetSpec {
+            n: 200,
+            agg_attrs: 2,
+            local_attrs: 5,
+            groups: 5,
+            data_type: DataType::AntiCorrelated,
+            seed: 11,
+        };
+        let r1 = spec.generate();
+        let r2 = DatasetSpec { seed: 1011, ..spec }.generate();
+        let cx =
+            JoinContext::new(&r1, &r2, JoinSpec::Equality, &[AggFunc::Sum, AggFunc::Sum]).unwrap();
+        let cfg = Config {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            ..Config::with_threads(3)
+        };
+        assert_eq!(
+            ksjq_grouping(&cx, 11, &cfg).unwrap_err(),
+            CoreError::DeadlineExceeded
+        );
+        // The same config with a generous deadline answers normally.
+        let cfg = Config {
+            deadline: Some(Instant::now() + Duration::from_secs(60)),
+            ..Config::with_threads(3)
+        };
+        let relaxed = ksjq_grouping(&cx, 11, &cfg).unwrap();
+        let serial = ksjq_grouping(&cx, 11, &Config::default()).unwrap();
+        assert_eq!(relaxed.pairs, serial.pairs);
     }
 
     #[test]

@@ -79,6 +79,7 @@ pub(crate) fn dispatch(
     algorithm: Algorithm,
     config: &Config,
 ) -> CoreResult<KsjqOutput> {
+    crate::cancel::check_deadline(config.deadline)?;
     match algorithm {
         Algorithm::Naive => ksjq_naive(cx, k, config),
         Algorithm::Grouping => ksjq_grouping(cx, k, config),

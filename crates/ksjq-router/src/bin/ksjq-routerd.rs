@@ -13,7 +13,7 @@
 //! hashing targets — restart with the same shard order.
 
 use ksjq_router::{DialPolicy, Router, RouterConfig, Topology};
-use ksjq_server::ConnectOptions;
+use ksjq_server::{ConnectOptions, FaultPlan};
 use std::time::Duration;
 
 fn die(msg: &str) -> ! {
@@ -24,6 +24,7 @@ fn die(msg: &str) -> ! {
 fn parse_args() -> (RouterConfig, Topology) {
     let mut config = RouterConfig::default();
     let mut shards: Vec<Vec<String>> = Vec::new();
+    let mut faults: Option<FaultPlan> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -78,19 +79,29 @@ fn parse_args() -> (RouterConfig, Topology) {
                     .unwrap_or_else(|| die("--timeout needs seconds (> 0)"));
                 config.policy.options = ConnectOptions::all(Duration::from_secs(secs));
             }
+            "--faults" => {
+                let spec = args.next().unwrap_or_else(|| die("--faults needs a spec"));
+                faults = Some(
+                    spec.parse::<FaultPlan>()
+                        .unwrap_or_else(|e| die(&format!("bad --faults spec: {e}"))),
+                );
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: ksjq-routerd --shard HOST:PORT[,HOST:PORT…] [--shard …] \n\
                      \x20                   [--addr HOST:PORT] [--cache-entries N]\n\
                      \x20                   [--fetch-batch N] [--check-batch N]\n\
-                     \x20                   [--attempts N] [--timeout SECS]\n\
+                     \x20                   [--attempts N] [--timeout SECS] [--faults SPEC]\n\
                      \x20 --shard          one shard's replica set; repeat per shard (order = shard index)\n\
                      \x20 --addr           listen address (default 127.0.0.1:7979; port 0 = ephemeral)\n\
                      \x20 --cache-entries  result-cache capacity (default 128; 0 disables)\n\
                      \x20 --fetch-batch    round-2 FETCH pairs per request (default 256)\n\
                      \x20 --check-batch    round-2 CHECK probe rows per request (default 64)\n\
                      \x20 --attempts       replica-set sweeps before a shard counts as down (default 3)\n\
-                     \x20 --timeout        backend connect/read/write timeout in seconds (default 10)"
+                     \x20 --timeout        backend connect/read/write timeout in seconds (default 10)\n\
+                     \x20 --faults         seeded fault injection on backend connections, e.g.\n\
+                     \x20                  seed=7,drop=10,partial=10,delay=20:3 (per-mille); the\n\
+                     \x20                  KSJQ_FAULTS env var is an equivalent spec"
                 );
                 std::process::exit(0);
             }
@@ -102,6 +113,13 @@ fn parse_args() -> (RouterConfig, Topology) {
         seed: u64::from(std::process::id()),
         ..config.policy
     };
+    if faults.is_none() {
+        faults = FaultPlan::from_env("KSJQ_FAULTS")
+            .unwrap_or_else(|e| die(&format!("bad KSJQ_FAULTS value: {e}")));
+    }
+    // Applied last so `--timeout` (which rebuilds the options wholesale)
+    // cannot silently discard an earlier `--faults`.
+    config.policy.options.faults = faults;
     let topology =
         Topology::new(shards).unwrap_or_else(|e| die(&format!("{e} (give at least one --shard)")));
     (config, topology)

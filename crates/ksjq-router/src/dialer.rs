@@ -6,7 +6,9 @@
 //! lazily per address and dropped on any transport or framing error —
 //! a lockstep line protocol cannot be trusted after a desync.
 
-use ksjq_server::{retry_with_backoff, ClientError, ClientResult, ConnectOptions, KsjqClient};
+use ksjq_server::{
+    retry_with_backoff, ClientError, ClientResult, ConnectOptions, ErrorCode, KsjqClient,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -114,8 +116,13 @@ impl ShardDialer {
 
     /// Run `f` against one replica of this shard, failing over through
     /// the whole replica set (with backoff between sweeps) on transport
-    /// errors. An `ERR` frame is a terminal *answer* — the next replica
-    /// would say the same thing — and is returned immediately.
+    /// errors — and on `ERR recovering` / `ERR busy`, which describe
+    /// *that replica's* moment (mid-resync, shedding load), not the
+    /// shard's data; a sibling may well answer. Every other `ERR` frame
+    /// is a terminal *answer* — the next replica would say the same
+    /// thing — and is returned immediately. In particular `ERR timeout`
+    /// never fails over: the deadline is global, and a retry would only
+    /// burn more of it.
     ///
     /// `f` may be invoked several times and must be idempotent from the
     /// backend's point of view (every fan-out command is).
@@ -135,9 +142,15 @@ impl ShardDialer {
                 for i in 0..n {
                     let idx = (self.start + i) % n;
                     match self.try_replica(idx, &mut f) {
-                        Err(ClientError::Io(e)) => {
+                        Err(e)
+                            if matches!(e, ClientError::Io(_))
+                                || matches!(
+                                    e.code(),
+                                    Some(ErrorCode::Recovering) | Some(ErrorCode::Busy)
+                                ) =>
+                        {
                             self.counters.shard_retries.fetch_add(1, Ordering::Relaxed);
-                            last = Some(ClientError::Io(e));
+                            last = Some(e);
                         }
                         terminal => return terminal,
                     }

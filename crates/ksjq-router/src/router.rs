@@ -33,8 +33,8 @@ use crate::topology::{shard_of, Topology};
 use ksjq_core::{ExecStats, Goal, KsjqOutput};
 use ksjq_relation::TupleId;
 use ksjq_server::{
-    ClientError, Cursor, LoadSource, PlanSpec, Request, Response, ResultCache, RowChunk, RowSet,
-    ServerStats, MAX_LINE_BYTES, PROTOCOL_VERSION, ROWS_PER_CHUNK,
+    ClientError, Cursor, ErrorCode, LoadSource, PlanSpec, Request, Response, ResultCache, RowChunk,
+    RowSet, ServerStats, MAX_LINE_BYTES, PROTOCOL_VERSION, ROWS_PER_CHUNK,
 };
 use std::collections::{HashMap, HashSet};
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -42,7 +42,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Default `FETCH` batch size: row-id pairs per request.
 pub const DEFAULT_FETCH_BATCH: usize = 256;
@@ -125,6 +125,9 @@ struct RouterState {
     epoch: AtomicU64,
     /// Rows appended through this router.
     delta_rows: AtomicU64,
+    /// Requests that died on a `DEADLINE` — locally between rounds or as
+    /// an `ERR timeout` relayed from a shard.
+    timeouts: AtomicU64,
     rotation: AtomicUsize,
     stop: AtomicBool,
 }
@@ -157,6 +160,7 @@ impl Router {
             merge_us: AtomicU64::new(0),
             epoch: AtomicU64::new(0),
             delta_rows: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
             rotation: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
         });
@@ -239,6 +243,9 @@ fn handle_conn(state: &RouterState, stream: TcpStream) {
     );
     let mut sessions: HashMap<String, Prepared> = HashMap::new();
     let mut version = 1u32;
+    // Session deadline (`DEADLINE <ms>`): each QUERY/EXECUTE gets this
+    // budget, split across the scatter-gather rounds.
+    let mut deadline_ms: Option<u64> = None;
     let mut line = String::new();
     loop {
         line.clear();
@@ -248,14 +255,22 @@ fn handle_conn(state: &RouterState, stream: TcpStream) {
         match limited.read_line(&mut line) {
             Ok(0) | Err(_) => return,
             Ok(_) if !line.ends_with('\n') && line.len() > MAX_LINE_BYTES => {
-                send_err(&mut writer, state, "request line too long");
+                send_err(
+                    &mut writer,
+                    state,
+                    RouterError::new(ErrorCode::Parse, "request line too long"),
+                );
                 return;
             }
             Ok(_) => {}
         }
         let text = line.trim_end_matches(['\r', '\n']);
         if text.len() > MAX_LINE_BYTES {
-            if !send_err(&mut writer, state, "request line too long") {
+            if !send_err(
+                &mut writer,
+                state,
+                RouterError::new(ErrorCode::Parse, "request line too long"),
+            ) {
                 return;
             }
             continue;
@@ -267,7 +282,7 @@ fn handle_conn(state: &RouterState, stream: TcpStream) {
         let request = match Request::parse(text) {
             Ok(request) => request,
             Err(e) => {
-                if !send_err(&mut writer, state, &e) {
+                if !send_err(&mut writer, state, RouterError::new(ErrorCode::Parse, e)) {
                     return;
                 }
                 continue;
@@ -286,35 +301,50 @@ fn handle_conn(state: &RouterState, stream: TcpStream) {
                 let response = more(state, version, cursor);
                 send(&mut writer, state, &response)
             }
+            Request::Deadline { ms } => {
+                deadline_ms = (ms > 0).then_some(ms);
+                let ack = match deadline_ms {
+                    Some(ms) => format!("deadline {ms}ms"),
+                    None => "deadline cleared".into(),
+                };
+                send(&mut writer, state, &Response::Ok(ack))
+            }
             Request::Load { name, source } => match load(state, &mut dialer, &name, &source) {
                 Ok(msg) => send(&mut writer, state, &Response::Ok(msg)),
-                Err(e) => send_err(&mut writer, state, &e),
+                Err(e) => send_err(&mut writer, state, e),
             },
             Request::Prepare { id, plan } => match prepare(state, &mut dialer, &id, &plan) {
                 Ok((msg, prepared)) => {
                     sessions.insert(id, prepared);
                     send(&mut writer, state, &Response::Ok(msg))
                 }
-                Err(e) => send_err(&mut writer, state, &e),
+                Err(e) => send_err(&mut writer, state, e),
             },
             Request::Execute { id } => match sessions.get(&id) {
                 Some(prepared) => {
                     let plan = prepared.plan.clone();
-                    match run_distributed(state, &mut dialer, &plan) {
+                    let deadline = start_deadline(deadline_ms);
+                    match run_distributed(state, &mut dialer, &plan, deadline) {
                         Ok(run) => respond_result(&mut writer, state, version, &run),
-                        Err(e) => send_err(&mut writer, state, &e),
+                        Err(e) => send_err(&mut writer, state, e),
                     }
                 }
                 None => send_err(
                     &mut writer,
                     state,
-                    &format!("unknown query id {id:?}: PREPARE it first"),
+                    RouterError::new(
+                        ErrorCode::Invalid,
+                        format!("unknown query id {id:?}: PREPARE it first"),
+                    ),
                 ),
             },
-            Request::Query { plan } => match run_distributed(state, &mut dialer, &plan) {
-                Ok(run) => respond_result(&mut writer, state, version, &run),
-                Err(e) => send_err(&mut writer, state, &e),
-            },
+            Request::Query { plan } => {
+                let deadline = start_deadline(deadline_ms);
+                match run_distributed(state, &mut dialer, &plan, deadline) {
+                    Ok(run) => respond_result(&mut writer, state, version, &run),
+                    Err(e) => send_err(&mut writer, state, e),
+                }
+            }
             Request::Explain { id } => match sessions.get(&id) {
                 Some(prepared) => {
                     let response = Response::Explain(prepared.explain.clone());
@@ -323,7 +353,10 @@ fn handle_conn(state: &RouterState, stream: TcpStream) {
                 None => send_err(
                     &mut writer,
                     state,
-                    &format!("unknown query id {id:?}: PREPARE it first"),
+                    RouterError::new(
+                        ErrorCode::Invalid,
+                        format!("unknown query id {id:?}: PREPARE it first"),
+                    ),
                 ),
             },
             Request::Stats => send_raw(&mut writer, &stats_line(state, sessions.len())),
@@ -332,19 +365,22 @@ fn handle_conn(state: &RouterState, stream: TcpStream) {
                     send_err(
                         &mut writer,
                         state,
-                        "APPEND … STAGE is backend-only: the router stages and commits \
-                         per-shard slices itself — send APPEND <name> ROWS <csv>",
+                        RouterError::new(
+                            ErrorCode::Invalid,
+                            "APPEND … STAGE is backend-only: the router stages and commits \
+                             per-shard slices itself — send APPEND <name> ROWS <csv>",
+                        ),
                     )
                 } else {
                     match append(state, &mut dialer, &name, &rows) {
                         Ok(msg) => send(&mut writer, state, &Response::Ok(msg)),
-                        Err(e) => send_err(&mut writer, state, &e),
+                        Err(e) => send_err(&mut writer, state, e),
                     }
                 }
             }
             Request::Delete { name, keys } => match delete(state, &mut dialer, &name, &keys) {
                 Ok(msg) => send(&mut writer, state, &Response::Ok(msg)),
-                Err(e) => send_err(&mut writer, state, &e),
+                Err(e) => send_err(&mut writer, state, e),
             },
             Request::Sync { .. }
             | Request::Stage { .. }
@@ -354,8 +390,11 @@ fn handle_conn(state: &RouterState, stream: TcpStream) {
             | Request::Check { .. } => send_err(
                 &mut writer,
                 state,
-                "backend-only command: SYNC/STAGE/COMMIT/ABORT/FETCH/CHECK address one shard \
-                 server, not the router",
+                RouterError::new(
+                    ErrorCode::Invalid,
+                    "backend-only command: SYNC/STAGE/COMMIT/ABORT/FETCH/CHECK address one shard \
+                     server, not the router",
+                ),
             ),
         };
         if !keep_going {
@@ -365,14 +404,17 @@ fn handle_conn(state: &RouterState, stream: TcpStream) {
 }
 
 fn send(writer: &mut TcpStream, state: &RouterState, response: &Response) -> bool {
-    if matches!(response, Response::Error(_)) {
+    if let Response::Error { code, .. } = response {
         state.errors.fetch_add(1, Ordering::Relaxed);
+        if *code == ErrorCode::Timeout {
+            state.timeouts.fetch_add(1, Ordering::Relaxed);
+        }
     }
     send_raw(writer, &response.to_string())
 }
 
-fn send_err(writer: &mut TcpStream, state: &RouterState, msg: &str) -> bool {
-    send(writer, state, &Response::Error(msg.into()))
+fn send_err(writer: &mut TcpStream, state: &RouterState, err: RouterError) -> bool {
+    send(writer, state, &Response::err(err.code, err.message))
 }
 
 fn send_raw(writer: &mut TcpStream, line: &str) -> bool {
@@ -458,17 +500,24 @@ fn chunk_response(run: &RunResult, index: usize, parts: usize) -> Response {
 /// Serve one `MORE <cursor>` page out of the router's result cache.
 fn more(state: &RouterState, version: u32, cursor: Cursor) -> Response {
     if version < 2 {
-        return Response::Error("MORE requires protocol v2 (send HELLO 2 first)".into());
+        return Response::err(
+            ErrorCode::Invalid,
+            "MORE requires protocol v2 (send HELLO 2 first)",
+        );
     }
     let Some(hit) = state.cache.by_id(cursor.result) else {
-        return Response::Error(format!(
-            "unknown or expired cursor {cursor} (results age out of the cache)"
-        ));
+        return Response::err(
+            ErrorCode::Invalid,
+            format!("unknown or expired cursor {cursor} (results age out of the cache)"),
+        );
     };
     let parts = hit.output.chunk_count(ROWS_PER_CHUNK);
     let index = (cursor.part - 1) as usize;
     if index >= parts {
-        return Response::Error(format!("cursor {cursor} is past the end ({parts} parts)"));
+        return Response::err(
+            ErrorCode::Invalid,
+            format!("cursor {cursor} is past the end ({parts} parts)"),
+        );
     }
     let run = RunResult {
         k: hit.k,
@@ -512,6 +561,10 @@ fn stats_line(state: &RouterState, sessions: usize) -> String {
         // invalidates its merged cache on every delta.
         delta_maintained: 0,
         delta_rows: state.delta_rows.load(Ordering::Relaxed),
+        timeouts: state.timeouts.load(Ordering::Relaxed),
+        // Durability lives on the shards (`ksjq-serverd --data-dir`);
+        // the router holds no log of its own.
+        wal_records: 0,
     };
     let mut out = Response::Stats(stats).to_string();
     let relations = read_lock(&state.relations);
@@ -534,12 +587,74 @@ fn read_lock(
 
 // ----------------------------------------------------------------- load
 
-fn describe(shard: usize, e: ClientError) -> String {
-    match e {
-        ClientError::Io(e) => format!("unavailable shard {shard}: {e}"),
-        ClientError::Server(msg) => msg,
-        ClientError::Protocol(msg) => format!("shard {shard} protocol error: {msg}"),
+/// A failed router operation: the stable [`ErrorCode`] its `ERR` frame
+/// will carry, plus the human-readable message.
+#[derive(Debug)]
+struct RouterError {
+    code: ErrorCode,
+    message: String,
+}
+
+impl RouterError {
+    fn new(code: ErrorCode, message: impl Into<String>) -> RouterError {
+        RouterError {
+            code,
+            message: message.into(),
+        }
     }
+}
+
+/// Router-side validation failures (bad plans, unknown relations,
+/// partitioning errors) default to `invalid`.
+impl From<String> for RouterError {
+    fn from(message: String) -> RouterError {
+        RouterError::new(ErrorCode::Invalid, message)
+    }
+}
+
+impl From<&str> for RouterError {
+    fn from(message: &str) -> RouterError {
+        RouterError::new(ErrorCode::Invalid, message)
+    }
+}
+
+/// Map a backend failure to the error the router's client sees: a dead
+/// replica set is `unavailable`, a backend `ERR` keeps its own code
+/// (`timeout` from a shard's deadline stays `timeout`), and a framing
+/// violation is the router's own `internal` bug surface.
+fn describe(shard: usize, e: ClientError) -> RouterError {
+    match e {
+        ClientError::Io(e) => RouterError::new(
+            ErrorCode::Unavailable,
+            format!("unavailable shard {shard}: {e}"),
+        ),
+        ClientError::Server { code, message } => RouterError::new(code, message),
+        ClientError::Protocol(msg) => RouterError::new(
+            ErrorCode::Internal,
+            format!("shard {shard} protocol error: {msg}"),
+        ),
+    }
+}
+
+/// When a `DEADLINE` is armed, the moment this request must be done by.
+fn start_deadline(deadline_ms: Option<u64>) -> Option<Instant> {
+    deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms))
+}
+
+/// The backend `DEADLINE` value for the *remaining* budget (≥ 1 so it
+/// never reads as "clear"), or `ERR timeout` once the budget is spent —
+/// checked at every round boundary so a request that burned its budget
+/// in round 1 never starts round 2.
+fn remaining_ms(deadline: Option<Instant>) -> Result<Option<u64>, RouterError> {
+    let Some(d) = deadline else { return Ok(None) };
+    let now = Instant::now();
+    if now >= d {
+        return Err(RouterError::new(
+            ErrorCode::Timeout,
+            "deadline exceeded before the cluster answered",
+        ));
+    }
+    Ok(Some(((d - now).as_millis() as u64).max(1)))
 }
 
 fn load(
@@ -547,7 +662,7 @@ fn load(
     dialer: &mut Dialer,
     name: &str,
     source: &LoadSource,
-) -> Result<String, String> {
+) -> Result<String, RouterError> {
     if name.starts_with('.') {
         return Err("relation names starting with '.' are reserved for the router".into());
     }
@@ -562,7 +677,7 @@ fn load(
     // Phase one: stage the slice on every replica of every shard (plus
     // the broadcast copy on shard 0). First failure aborts everywhere —
     // no shard has published anything yet, so the old binding survives.
-    let mut failure: Option<String> = None;
+    let mut failure: Option<RouterError> = None;
     'stage: for s in 0..n_shards {
         let sd = dialer.shard_mut(s);
         for r in 0..sd.n_replicas() {
@@ -593,23 +708,26 @@ fn load(
         let sd = dialer.shard_mut(s);
         for r in 0..sd.n_replicas() {
             if let Err(e) = sd.call_replica(r, |c| c.commit(name)) {
-                commit_errors.push(describe(s, e));
+                commit_errors.push(describe(s, e).message);
                 continue;
             }
             if s == 0 {
                 if let Err(e) = sd.call_replica(r, |c| c.commit(&all_name)) {
-                    commit_errors.push(describe(s, e));
+                    commit_errors.push(describe(s, e).message);
                 }
             }
         }
     }
     state.cache.invalidate_relation(name);
     if !commit_errors.is_empty() {
-        return Err(format!(
-            "load partially committed ({} of {} commits failed; re-issue the LOAD): {}",
-            commit_errors.len(),
-            n_shards,
-            commit_errors.join("; ")
+        return Err(RouterError::new(
+            ErrorCode::Unavailable,
+            format!(
+                "load partially committed ({} of {} commits failed; re-issue the LOAD): {}",
+                commit_errors.len(),
+                n_shards,
+                commit_errors.join("; ")
+            ),
         ));
     }
     let PartitionedLoad {
@@ -641,7 +759,7 @@ fn append(
     dialer: &mut Dialer,
     name: &str,
     rows: &str,
-) -> Result<String, String> {
+) -> Result<String, RouterError> {
     if name.starts_with('.') {
         return Err("relation names starting with '.' are reserved for the router".into());
     }
@@ -654,7 +772,7 @@ fn append(
     // Phase one: stage each non-empty slice on every replica of its
     // shard, and the full delta on shard 0's broadcast copy. A failure
     // aborts everywhere — nothing committed, old versions survive.
-    let mut failure: Option<String> = None;
+    let mut failure: Option<RouterError> = None;
     'stage: for s in 0..n_shards {
         let sd = dialer.shard_mut(s);
         for r in 0..sd.n_replicas() {
@@ -687,23 +805,26 @@ fn append(
         for r in 0..sd.n_replicas() {
             if !delta.shard_csvs[s].is_empty() {
                 if let Err(e) = sd.call_replica(r, |c| c.commit(name)) {
-                    commit_errors.push(describe(s, e));
+                    commit_errors.push(describe(s, e).message);
                     continue;
                 }
             }
             if s == 0 {
                 if let Err(e) = sd.call_replica(r, |c| c.commit(&all_name)) {
-                    commit_errors.push(describe(s, e));
+                    commit_errors.push(describe(s, e).message);
                 }
             }
         }
     }
     state.cache.invalidate_relation(name);
     if !commit_errors.is_empty() {
-        return Err(format!(
-            "append partially committed ({} commits failed; re-issue the LOAD to recover): {}",
-            commit_errors.len(),
-            commit_errors.join("; ")
+        return Err(RouterError::new(
+            ErrorCode::Unavailable,
+            format!(
+                "append partially committed ({} commits failed; re-issue the LOAD to recover): {}",
+                commit_errors.len(),
+                commit_errors.join("; ")
+            ),
         ));
     }
     let mut id_maps = old.id_maps.clone();
@@ -735,7 +856,7 @@ fn delete(
     dialer: &mut Dialer,
     name: &str,
     keys: &[String],
-) -> Result<String, String> {
+) -> Result<String, RouterError> {
     if name.starts_with('.') {
         return Err("relation names starting with '.' are reserved for the router".into());
     }
@@ -748,22 +869,25 @@ fn delete(
         let sd = dialer.shard_mut(s);
         for r in 0..sd.n_replicas() {
             if let Err(e) = sd.call_replica(r, |c| c.delete_keys(name, keys)) {
-                errors.push(describe(s, e));
+                errors.push(describe(s, e).message);
                 continue;
             }
             if s == 0 {
                 if let Err(e) = sd.call_replica(r, |c| c.delete_keys(&all_name, keys)) {
-                    errors.push(describe(s, e));
+                    errors.push(describe(s, e).message);
                 }
             }
         }
     }
     state.cache.invalidate_relation(name);
     if !errors.is_empty() {
-        return Err(format!(
-            "delete partially applied ({} shards failed; re-issue the LOAD to recover): {}",
-            errors.len(),
-            errors.join("; ")
+        return Err(RouterError::new(
+            ErrorCode::Unavailable,
+            format!(
+                "delete partially applied ({} shards failed; re-issue the LOAD to recover): {}",
+                errors.len(),
+                errors.join("; ")
+            ),
         ));
     }
     let dropset: HashSet<&str> = keys.iter().map(String::as_str).collect();
@@ -806,15 +930,15 @@ fn abort_everywhere(state: &RouterState, dialer: &mut Dialer, name: &str, all_na
 
 // -------------------------------------------------------------- queries
 
-fn meta(state: &RouterState, name: &str) -> Result<Arc<RelMeta>, String> {
+fn meta(state: &RouterState, name: &str) -> Result<Arc<RelMeta>, RouterError> {
     read_lock(&state.relations)
         .get(name)
         .cloned()
-        .ok_or_else(|| format!("unknown relation {name:?} (LOAD it through this router)"))
+        .ok_or_else(|| format!("unknown relation {name:?} (LOAD it through this router)").into())
 }
 
 /// The plan, retargeted at the shard-0 broadcast copies.
-fn rewrite_all(state: &RouterState, plan: &PlanSpec) -> Result<PlanSpec, String> {
+fn rewrite_all(state: &RouterState, plan: &PlanSpec) -> Result<PlanSpec, RouterError> {
     meta(state, &plan.left)?;
     meta(state, &plan.right)?;
     let mut rewritten = plan.clone();
@@ -828,7 +952,7 @@ fn prepare(
     dialer: &mut Dialer,
     id: &str,
     plan: &PlanSpec,
-) -> Result<(String, Prepared), String> {
+) -> Result<(String, Prepared), RouterError> {
     let rewritten = rewrite_all(state, plan)?;
     // Validate against the broadcast copy and capture the plan summary
     // in the same breath (same connection, so the id resolves).
@@ -859,10 +983,10 @@ fn prepare(
 fn fan_out<T: Send>(
     dialer: &mut Dialer,
     shards: &[usize],
-    f: impl Fn(&mut ShardDialer, usize) -> Result<T, String> + Sync,
-) -> Result<Vec<T>, String> {
+    f: impl Fn(&mut ShardDialer, usize) -> Result<T, RouterError> + Sync,
+) -> Result<Vec<T>, RouterError> {
     let dialers = dialer.subset_mut(shards);
-    let mut slots: Vec<Option<Result<T, String>>> =
+    let mut slots: Vec<Option<Result<T, RouterError>>> =
         std::iter::repeat_with(|| None).take(shards.len()).collect();
     thread::scope(|scope| {
         for (i, (sd, slot)) in dialers.into_iter().zip(slots.iter_mut()).enumerate() {
@@ -880,7 +1004,8 @@ fn run_distributed(
     state: &RouterState,
     dialer: &mut Dialer,
     plan: &PlanSpec,
-) -> Result<RunResult, String> {
+    deadline: Option<Instant>,
+) -> Result<RunResult, RouterError> {
     let key = Request::Query { plan: plan.clone() }.to_string();
     if let Some(hit) = state.cache.get(&key) {
         return Ok(RunResult {
@@ -899,9 +1024,13 @@ fn run_distributed(
         // global row ids).
         Goal::AtLeast(..) | Goal::AtMost(..) => {
             let rewritten = rewrite_all(state, plan)?;
+            let rem = remaining_ms(deadline)?;
             let rows = dialer
                 .shard_mut(0)
-                .call(|c| c.query(&rewritten))
+                .call(|c| {
+                    c.set_deadline(rem.unwrap_or(0))?;
+                    c.query(&rewritten)
+                })
                 .map_err(|e| describe(0, e))?;
             (rows.k, rows.pairs)
         }
@@ -916,16 +1045,26 @@ fn run_distributed(
                 // broadcast copy still computes the right k (and the
                 // right error for an invalid one).
                 let rewritten = rewrite_all(state, plan)?;
+                let rem = remaining_ms(deadline)?;
                 let rows = dialer
                     .shard_mut(0)
-                    .call(|c| c.query(&rewritten))
+                    .call(|c| {
+                        c.set_deadline(rem.unwrap_or(0))?;
+                        c.query(&rewritten)
+                    })
                     .map_err(|e| describe(0, e))?;
                 (rows.k, rows.pairs)
             } else {
-                // Round 1: local k-dominant skylines, in parallel.
+                // Round 1: local k-dominant skylines, in parallel. Each
+                // shard gets the budget left *now*; anything it spends
+                // comes off round 2's share.
+                let rem = remaining_ms(deadline)?;
                 let local = fan_out(dialer, &participating, |sd, _| {
-                    sd.call(|c| c.query(plan))
-                        .map_err(|e| describe(sd.shard(), e))
+                    sd.call(|c| {
+                        c.set_deadline(rem.unwrap_or(0))?;
+                        c.query(plan)
+                    })
+                    .map_err(|e| describe(sd.shard(), e))
                 })?;
                 let k = local[0].k;
                 debug_assert!(local.iter().all(|r| r.k == k), "k is schema-determined");
@@ -940,6 +1079,7 @@ fn run_distributed(
                         &local,
                         state.fetch_batch,
                         state.check_batch,
+                        deadline,
                     )?
                 };
                 // Remap to global ids and merge — the deterministic step
@@ -997,6 +1137,7 @@ fn run_distributed(
 /// participating shard holds the rest, checked here against the
 /// candidate's joined values. Returns the surviving pairs per shard, in
 /// `participating` order, each still sorted.
+#[allow(clippy::too_many_arguments)]
 fn verify_candidates(
     dialer: &mut Dialer,
     participating: &[usize],
@@ -1005,22 +1146,32 @@ fn verify_candidates(
     local: &[RowSet],
     fetch_batch: usize,
     check_batch: usize,
-) -> Result<Vec<Vec<(u32, u32)>>, String> {
+    deadline: Option<Instant>,
+) -> Result<Vec<Vec<(u32, u32)>>, RouterError> {
     // Phase a: every shard materialises its own candidates' joined
-    // values (`FETCH`), batched and in parallel.
+    // values (`FETCH`), batched and in parallel. Round 2 runs on
+    // whatever budget round 1 left — checked again here so an exhausted
+    // deadline turns into `ERR timeout` before any fan-out.
+    let rem = remaining_ms(deadline)?;
     let vals: Vec<Vec<Vec<f64>>> = fan_out(dialer, participating, |sd, i| {
         let cands = &local[i].pairs;
         let mut rows = Vec::with_capacity(cands.len());
         for batch in cands.chunks(fetch_batch) {
             let got = sd
-                .call(|c| c.fetch(&plan.left, &plan.right, &plan.aggs, batch))
+                .call(|c| {
+                    c.set_deadline(rem.unwrap_or(0))?;
+                    c.fetch(&plan.left, &plan.right, &plan.aggs, batch)
+                })
                 .map_err(|e| describe(sd.shard(), e))?;
             if got.len() != batch.len() {
-                return Err(format!(
-                    "shard {} returned {} rows for a {}-pair FETCH",
-                    sd.shard(),
-                    got.len(),
-                    batch.len()
+                return Err(RouterError::new(
+                    ErrorCode::Internal,
+                    format!(
+                        "shard {} returned {} rows for a {}-pair FETCH",
+                        sd.shard(),
+                        got.len(),
+                        batch.len()
+                    ),
                 ));
             }
             rows.extend(got);
@@ -1031,6 +1182,7 @@ fn verify_candidates(
     // Phase b: every shard t checks every *other* shard's candidate
     // values (`CHECK`), in parallel over t. dominated[t][s] holds one
     // bit per candidate of shard index s (empty when s == t).
+    let rem = remaining_ms(deadline)?;
     let dominated: Vec<Vec<Vec<bool>>> = fan_out(dialer, participating, |sd, t| {
         let mut per_source = Vec::with_capacity(vals.len());
         for (s, rows) in vals.iter().enumerate() {
@@ -1041,14 +1193,20 @@ fn verify_candidates(
             let mut bits = Vec::with_capacity(rows.len());
             for batch in rows.chunks(check_batch) {
                 let got = sd
-                    .call(|c| c.check(&plan.left, &plan.right, &plan.aggs, k, batch))
+                    .call(|c| {
+                        c.set_deadline(rem.unwrap_or(0))?;
+                        c.check(&plan.left, &plan.right, &plan.aggs, k, batch)
+                    })
                     .map_err(|e| describe(sd.shard(), e))?;
                 if got.len() != batch.len() {
-                    return Err(format!(
-                        "shard {} returned {} bits for a {}-row CHECK",
-                        sd.shard(),
-                        got.len(),
-                        batch.len()
+                    return Err(RouterError::new(
+                        ErrorCode::Internal,
+                        format!(
+                            "shard {} returned {} bits for a {}-row CHECK",
+                            sd.shard(),
+                            got.len(),
+                            batch.len()
+                        ),
                     ));
                 }
                 bits.extend(got);

@@ -3,12 +3,14 @@
 //! for every shard count, survive a replica being killed mid-session,
 //! and never drop a live binding when a distributed `LOAD` fails.
 
-use ksjq_datagen::{paper_flights, relation_to_annotated_csv, relation_to_csv, FlightNetworkSpec};
+use ksjq_datagen::{
+    paper_flights, relation_to_annotated_csv, relation_to_csv, DataType, FlightNetworkSpec,
+};
 use ksjq_join::AggFunc;
 use ksjq_router::{DialPolicy, Router, RouterConfig, RunningRouter, Topology};
 use ksjq_server::{
-    ClientError, ConnectOptions, KsjqClient, PlanSpec, RunningServer, Server, ServerConfig,
-    SyntheticSpec,
+    ClientError, ConnectOptions, ErrorCode, FaultPlan, KsjqClient, PlanSpec, RunningServer, Server,
+    ServerConfig, SyntheticSpec,
 };
 use std::time::Duration;
 
@@ -88,7 +90,7 @@ type Answer = Result<(usize, Vec<(u32, u32)>), ()>;
 fn run(client: &mut KsjqClient, plan: &PlanSpec) -> Answer {
     match client.query(plan) {
         Ok(rows) => Ok((rows.k, rows.pairs)),
-        Err(ClientError::Server(_)) => Err(()),
+        Err(ClientError::Server { .. }) => Err(()),
         Err(e) => panic!("transport failure: {e}"),
     }
 }
@@ -251,7 +253,10 @@ fn append_and_delete_identical_across_shard_counts() {
 
         // Staged spelling stays backend-only at the router.
         match client.append_stage("outbound", &delta) {
-            Err(ClientError::Server(msg)) => assert!(msg.contains("backend-only"), "{msg}"),
+            Err(ClientError::Server { code, message }) => {
+                assert_eq!(code, ErrorCode::Invalid);
+                assert!(message.contains("backend-only"), "{message}");
+            }
             other => panic!("router must reject APPEND … STAGE, got {other:?}"),
         }
         client.close().unwrap();
@@ -382,8 +387,9 @@ fn whole_shard_down_is_reported_not_hung() {
         .query(&PlanSpec::new("outbound", "inbound").k(7))
         .unwrap_err();
     match err {
-        ClientError::Server(msg) => {
-            assert!(msg.contains("unavailable"), "{msg}")
+        ClientError::Server { code, message } => {
+            assert_eq!(code, ErrorCode::Unavailable, "{message}");
+            assert!(code.is_transient(), "unavailable must invite a retry");
         }
         other => panic!("expected a server-side error, got {other}"),
     }
@@ -407,7 +413,7 @@ fn failed_load_keeps_the_old_binding_on_every_shard() {
     // mid-two-phase-load. The old binding must survive everywhere.
     let bad = "city,cost,flying_time,fee,popularity\nJAI,cheap,1,1,1\nBOM,2,2,2,2\n";
     let err = client.load_csv("outbound", bad).unwrap_err();
-    assert!(matches!(err, ClientError::Server(_)), "{err}");
+    assert_eq!(err.code(), Some(ErrorCode::Parse), "{err}");
 
     let after = client.query(&plan).unwrap();
     assert_eq!(after.pairs, before.pairs, "failed LOAD corrupted a shard");
@@ -419,8 +425,9 @@ fn failed_load_keeps_the_old_binding_on_every_shard() {
             let mut direct = KsjqClient::connect(server.addr()).unwrap();
             let err = direct.commit("outbound").unwrap_err();
             match err {
-                ClientError::Server(msg) => {
-                    assert!(msg.contains("nothing staged"), "{msg}")
+                ClientError::Server { code, message } => {
+                    assert_eq!(code, ErrorCode::Invalid, "{message}");
+                    assert!(message.contains("nothing staged"), "{message}")
                 }
                 other => panic!("unexpected: {other}"),
             }
@@ -477,15 +484,111 @@ fn router_rejects_backend_only_and_reserved_input() {
     }
     // Reserved broadcast namespace.
     let err = client.load_csv(".all.x", "a,b\n1,2\n").unwrap_err();
-    assert!(matches!(err, ClientError::Server(_)), "{err}");
+    assert_eq!(err.code(), Some(ErrorCode::Invalid), "{err}");
     // Unknown relations.
     let err = client.query(&PlanSpec::new("no", "pe")).unwrap_err();
-    assert!(matches!(err, ClientError::Server(_)), "{err}");
+    assert_eq!(err.code(), Some(ErrorCode::Invalid), "{err}");
     // The session survives all of the above.
     client.load_csv("ok", "city,cost\nJAI,1\n").unwrap();
     client.load_csv("ok2", "city,cost\nJAI,2\n").unwrap();
     let rows = client.query(&PlanSpec::new("ok", "ok2")).unwrap();
     assert_eq!(rows.pairs, vec![(0, 0)]);
+    client.close().unwrap();
+}
+
+/// A session `DEADLINE` bounds the whole scatter-gather: the budget is
+/// split across the router's rounds and the shards' kernels cancel
+/// cooperatively, so an over-tight deadline yields `ERR timeout` — and
+/// clearing it lets the very same session run the query to completion.
+#[test]
+fn deadline_bounds_the_scatter_gather() {
+    let cl = cluster_with(2, 1, 0);
+    let mut client = KsjqClient::connect(cl.router.addr()).unwrap();
+    let spec = |seed| SyntheticSpec {
+        data_type: DataType::AntiCorrelated,
+        n: 1500,
+        d: 7,
+        a: 0,
+        g: 5,
+        seed,
+    };
+    client.load_synthetic("dl1", spec(7)).unwrap();
+    client.load_synthetic("dl2", spec(1007)).unwrap();
+    let heavy = PlanSpec::new("dl1", "dl2")
+        .k(11)
+        .algorithm(ksjq_core::Algorithm::DominatorBased);
+    client.set_deadline(1).unwrap();
+    let err = client.query(&heavy).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::Timeout), "{err}");
+    assert!(err.is_transient(), "a timeout is worth retrying");
+    client.set_deadline(0).unwrap();
+    assert!(!client.query(&heavy).unwrap().cached);
+    client.close().unwrap();
+}
+
+/// Seeded faults on every router→backend connection (drops and partial
+/// writes; no bit flips — those are a payload-corruption drill, not an
+/// availability one): the dialer's failover and retries absorb what they
+/// can, and every `ROWS` that reaches the client is byte-identical to
+/// the single-node oracle. Flaky backends degrade availability, never
+/// correctness.
+#[test]
+fn seeded_backend_faults_never_change_an_answer() {
+    let (out_csv, in_csv) = paper_csvs();
+    let plan = PlanSpec::new("outbound", "inbound").k(7);
+    let expected = oracle(
+        &[("outbound", &out_csv), ("inbound", &in_csv)],
+        std::slice::from_ref(&plan),
+    );
+
+    let faults: FaultPlan = "seed=99,drop=25,partial=25".parse().unwrap();
+    eprintln!("chaos plan={faults}");
+    let mut policy = fast_policy();
+    policy.options.faults = Some(faults);
+    policy.attempts = 4;
+    // cache_entries = 0: every query must cross the faulty wires.
+    let cl = cluster_config(
+        2,
+        2,
+        RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            cache_entries: 0,
+            policy,
+            ..RouterConfig::default()
+        },
+    );
+    let mut client = KsjqClient::connect(cl.router.addr()).unwrap();
+    // Loads fan out to every replica; under injected faults a LOAD may
+    // fail partially (reported `unavailable`) — rebinding is idempotent,
+    // so retry until both names are live.
+    for (name, csv) in [("outbound", &out_csv), ("inbound", &in_csv)] {
+        let mut done = false;
+        for _ in 0..20 {
+            match client.load_csv(name, csv) {
+                Ok(_) => {
+                    done = true;
+                    break;
+                }
+                Err(e) => assert!(e.code().is_some() || e.is_transient(), "{e}"),
+            }
+        }
+        assert!(done, "LOAD {name} never survived the fault plan");
+    }
+    let (mut completed, mut severed) = (0u32, 0u32);
+    for _ in 0..40 {
+        match run(&mut client, &plan) {
+            Ok(answer) => {
+                completed += 1;
+                assert_eq!(Ok(answer), expected[0], "faults corrupted a routed answer");
+            }
+            Err(()) => severed += 1,
+        }
+    }
+    eprintln!("chaos: {completed} completed, {severed} degraded");
+    assert!(
+        completed > 0,
+        "nothing got through — weaken the fault rates"
+    );
     client.close().unwrap();
 }
 

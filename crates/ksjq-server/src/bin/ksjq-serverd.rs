@@ -18,7 +18,9 @@
 //! reaps quiet sessions.
 
 use ksjq_core::Engine;
-use ksjq_server::{register_demo_catalog, ConnectOptions, KsjqClient, Server, ServerConfig};
+use ksjq_server::{
+    register_demo_catalog, ConnectOptions, FaultPlan, KsjqClient, Server, ServerConfig,
+};
 use std::time::Duration;
 
 fn die(msg: &str) -> ! {
@@ -89,6 +91,29 @@ fn parse_args() -> (ServerConfig, Seed, Option<Duration>) {
                 // but never exceeds its default.
                 config.stall_timeout = config.stall_timeout.min(config.idle_timeout);
             }
+            "--data-dir" => {
+                config.data_dir = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--data-dir needs a directory path"))
+                        .into(),
+                );
+            }
+            "--query-timeout" => {
+                config.query_timeout = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&ms: &u64| ms > 0)
+                        .map(Duration::from_millis)
+                        .unwrap_or_else(|| die("--query-timeout needs milliseconds (> 0)")),
+                );
+            }
+            "--faults" => {
+                let spec = args.next().unwrap_or_else(|| die("--faults needs a spec"));
+                config.faults = Some(
+                    spec.parse::<FaultPlan>()
+                        .unwrap_or_else(|e| die(&format!("bad --faults spec: {e}"))),
+                );
+            }
             "--replica-of" => {
                 seed = Seed::ReplicaOf(
                     args.next()
@@ -109,6 +134,7 @@ fn parse_args() -> (ServerConfig, Seed, Option<Duration>) {
                 eprintln!(
                     "usage: ksjq-serverd [--addr HOST:PORT] [--workers N] [--cache-entries N]\n\
                      \x20                   [--max-conns N] [--max-inflight N] [--idle-timeout SECS]\n\
+                     \x20                   [--data-dir PATH] [--query-timeout MS] [--faults SPEC]\n\
                      \x20                   [--no-demo] [--replica-of HOST:PORT] [--resync-interval SECS]\n\
                      \x20 --addr           listen address (default 127.0.0.1:7878; port 0 = ephemeral)\n\
                      \x20 --workers        worker threads (default 8)\n\
@@ -116,6 +142,11 @@ fn parse_args() -> (ServerConfig, Seed, Option<Duration>) {
                      \x20 --max-conns      open-connection cap; excess get ERR busy (default 2048)\n\
                      \x20 --max-inflight   per-connection pipelined-request cap (default 32)\n\
                      \x20 --idle-timeout   reap idle connections after SECS (default 300)\n\
+                     \x20 --data-dir       durable catalog: WAL + snapshot here; replay on start\n\
+                     \x20 --query-timeout  cap every query at MS milliseconds (ERR timeout)\n\
+                     \x20 --faults         seeded fault injection on accepted connections, e.g.\n\
+                     \x20                  seed=7,drop=10,flip=5,partial=10,delay=20:3 (per-mille);\n\
+                     \x20                  the KSJQ_FAULTS env var is an equivalent spec\n\
                      \x20 --no-demo        start with an empty catalog (a router shard)\n\
                      \x20 --replica-of     clone a primary's catalog via SYNC before serving\n\
                      \x20 --resync-interval poll the primary's catalog_epoch every SECS and\n\
@@ -128,6 +159,17 @@ fn parse_args() -> (ServerConfig, Seed, Option<Duration>) {
     }
     if resync.is_some() && !matches!(seed, Seed::ReplicaOf(_)) {
         die("--resync-interval only makes sense with --replica-of");
+    }
+    if config.data_dir.is_some() && matches!(seed, Seed::ReplicaOf(_)) {
+        // A replica's source of truth is its primary: replaying a stale
+        // local snapshot over a fresh SYNC would serve the past.
+        die("--data-dir and --replica-of are mutually exclusive");
+    }
+    if config.faults.is_none() {
+        match FaultPlan::from_env("KSJQ_FAULTS") {
+            Ok(plan) => config.faults = plan,
+            Err(e) => die(&format!("bad KSJQ_FAULTS value: {e}")),
+        }
     }
     (config, seed, resync)
 }
@@ -158,11 +200,13 @@ fn main() {
             }
         }
     }
-    let names = engine.catalog().names().join(", ");
     let server = match Server::bind(engine.clone(), &config) {
         Ok(server) => server,
         Err(e) => die(&format!("cannot bind {}: {e}", config.addr)),
     };
+    // Read the catalog only after `bind`: with `--data-dir` it is bind
+    // that replays the WAL, and the banner must reflect what recovered.
+    let names = engine.catalog().names().join(", ");
     if let (Some(every), Seed::ReplicaOf(primary)) = (resync, &seed) {
         // Catch-up poller: compare the primary's catalog_epoch and
         // re-clone when this replica missed a delta (it was down, or the
@@ -178,6 +222,10 @@ fn main() {
                 let Ok(mut client) = KsjqClient::connect_with(&primary, &opts) else {
                     continue;
                 };
+                // Gate reads for the whole re-clone: between the first
+                // deregister and the last register the local catalog is
+                // half old, half new — serve `ERR recovering`, not that.
+                handle.set_recovering(true);
                 match ksjq_server::resync_if_stale(&engine, &mut client, last) {
                     Ok(Some((epoch, names))) => {
                         handle.catalog_updated();
@@ -190,6 +238,7 @@ fn main() {
                     Ok(None) => {}
                     Err(e) => eprintln!("ksjq-serverd: resync from {primary} failed: {e}"),
                 }
+                handle.set_recovering(false);
                 let _ = client.close();
             }
         });

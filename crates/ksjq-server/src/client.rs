@@ -17,13 +17,15 @@
 //! [`ClientError::Server`] so callers can distinguish "the server said
 //! no" from "the wire broke".
 
+use crate::faults::{FaultAction, FaultPlan, FaultStream};
 use crate::protocol::{
-    Cursor, LoadSource, PlanSpec, Request, Response, RowChunk, RowSet, ServerStats, SyntheticSpec,
-    PROTOCOL_VERSION,
+    Cursor, ErrorCode, LoadSource, PlanSpec, Request, Response, RowChunk, RowSet, ServerStats,
+    SyntheticSpec, PROTOCOL_VERSION,
 };
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Socket timeouts for [`KsjqClient::connect_with`].
@@ -41,6 +43,10 @@ pub struct ConnectOptions {
     pub read_timeout: Option<Duration>,
     /// Bound on each blocking write (one request line).
     pub write_timeout: Option<Duration>,
+    /// Seeded transport fault injection applied to this client's own
+    /// reads and writes — how chaos tests make a *healthy* server look
+    /// flaky from the caller's side. `None` injects nothing.
+    pub faults: Option<FaultPlan>,
 }
 
 impl ConnectOptions {
@@ -50,6 +56,7 @@ impl ConnectOptions {
             connect_timeout: Some(timeout),
             read_timeout: Some(timeout),
             write_timeout: Some(timeout),
+            faults: None,
         }
     }
 }
@@ -99,18 +106,51 @@ pub fn retry_with_backoff<T>(
 pub enum ClientError {
     /// Transport failure (connect, read, write, unexpected EOF).
     Io(io::Error),
-    /// The server answered, but with an `ERR` frame.
-    Server(String),
+    /// The server answered, but with an `ERR` frame. `code` is the
+    /// machine-readable reason (see [`ErrorCode`]); match on it instead
+    /// of string-matching `message`.
+    Server {
+        /// Machine-readable error code from the `ERR` frame.
+        code: ErrorCode,
+        /// The human-readable remainder of the frame.
+        message: String,
+    },
     /// The server answered with a frame this call did not expect (e.g.
     /// `OK` where `ROWS` was required), or one that does not parse.
     Protocol(String),
+}
+
+impl ClientError {
+    /// The error code, when the server answered with an `ERR` frame.
+    pub fn code(&self) -> Option<ErrorCode> {
+        match self {
+            ClientError::Server { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+
+    /// True for failures worth retrying (transport failures, and `ERR`
+    /// codes the server marks transient: `busy`, `timeout`,
+    /// `unavailable`, `recovering`).
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ClientError::Io(_) => true,
+            ClientError::Server { code, .. } => code.is_transient(),
+            ClientError::Protocol(_) => false,
+        }
+    }
 }
 
 impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
-            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Server { code, message } if message.is_empty() => {
+                write!(f, "server error ({code})")
+            }
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code}): {message}")
+            }
             ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
         }
     }
@@ -127,12 +167,23 @@ impl From<io::Error> for ClientError {
 /// Convenience alias for client results.
 pub type ClientResult<T> = Result<T, ClientError>;
 
+/// Monotone client-connection counter: with single-threaded connection
+/// establishment (the chaos harness's case) every run numbers its
+/// connections identically, so a seeded fault plan replays exactly.
+static CONN_SEQ: AtomicU64 = AtomicU64::new(1);
+
 /// A blocking KSJQ protocol client over one TCP connection.
 #[derive(Debug)]
 pub struct KsjqClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     version: u32,
+    /// Last `DEADLINE` value acknowledged by the server (0 = none), so
+    /// [`set_deadline`](KsjqClient::set_deadline) skips the wire
+    /// round-trip when the value is unchanged.
+    deadline_ms: u64,
+    /// Seeded fault decisions for this connection, when injecting.
+    faults: Option<FaultStream>,
 }
 
 impl KsjqClient {
@@ -178,16 +229,22 @@ impl KsjqClient {
         writer.set_write_timeout(opts.write_timeout)?;
         let _ = writer.set_nodelay(true);
         let reader = BufReader::new(writer.try_clone()?);
+        let faults = opts
+            .faults
+            .filter(|plan| plan.is_active())
+            .map(|plan| plan.stream(CONN_SEQ.fetch_add(1, Ordering::Relaxed)));
         let mut client = KsjqClient {
             reader,
             writer,
             version: 1,
+            deadline_ms: 0,
+            faults,
         };
         match client.request(&Request::Hello {
             version: PROTOCOL_VERSION,
         })? {
             Response::Hello { version } => client.version = version.clamp(1, PROTOCOL_VERSION),
-            Response::Error(_) => {} // legacy server: stay on v1
+            Response::Error { .. } => {} // legacy server: stay on v1
             other => {
                 return Err(ClientError::Protocol(format!(
                     "expected HELLO, got {other}"
@@ -208,6 +265,8 @@ impl KsjqClient {
             reader,
             writer,
             version: 1,
+            deadline_ms: 0,
+            faults: None,
         })
     }
 
@@ -217,6 +276,12 @@ impl KsjqClient {
     }
 
     fn read_line(&mut self) -> ClientResult<String> {
+        if let Some(faults) = &mut self.faults {
+            if faults.on_read() == FaultAction::Drop {
+                let _ = self.writer.shutdown(Shutdown::Both);
+                return Err(ClientError::Io(io::ErrorKind::ConnectionReset.into()));
+            }
+        }
         let mut response = String::new();
         let n = self.reader.read_line(&mut response)?;
         if n == 0 {
@@ -234,6 +299,31 @@ impl KsjqClient {
     }
 
     fn send(&mut self, line: &str) -> ClientResult<()> {
+        if let Some(faults) = &mut self.faults {
+            let mut buf = Vec::with_capacity(line.len() + 1);
+            buf.extend_from_slice(line.as_bytes());
+            buf.push(b'\n');
+            match faults.on_write() {
+                FaultAction::Drop => {
+                    let _ = self.writer.shutdown(Shutdown::Both);
+                    return Err(ClientError::Io(io::ErrorKind::ConnectionReset.into()));
+                }
+                FaultAction::Partial => {
+                    // A torn frame: ship a prefix, then sever, so the
+                    // server sees a request cut mid-line.
+                    let cut = faults.cut_point(buf.len());
+                    let _ = self.writer.write_all(&buf[..cut]);
+                    let _ = self.writer.flush();
+                    let _ = self.writer.shutdown(Shutdown::Both);
+                    return Err(ClientError::Io(io::ErrorKind::ConnectionReset.into()));
+                }
+                FaultAction::None => {}
+            }
+            faults.maybe_flip(&mut buf);
+            self.writer.write_all(&buf)?;
+            self.writer.flush()?;
+            return Ok(());
+        }
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
@@ -267,9 +357,23 @@ impl KsjqClient {
     fn expect_ok(&mut self, request: &Request) -> ClientResult<String> {
         match self.request(request)? {
             Response::Ok(info) => Ok(info),
-            Response::Error(msg) => Err(ClientError::Server(msg)),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
             other => Err(ClientError::Protocol(format!("expected OK, got {other}"))),
         }
+    }
+
+    /// `DEADLINE <ms>` — bound each subsequent query on this session to
+    /// `ms` milliseconds of execution (0 clears the bound). The last
+    /// acknowledged value is cached, so re-sending an unchanged deadline
+    /// costs nothing on the wire — a router can set the remaining budget
+    /// before every backend call without doubling its round-trips.
+    pub fn set_deadline(&mut self, ms: u64) -> ClientResult<()> {
+        if self.deadline_ms == ms {
+            return Ok(());
+        }
+        self.expect_ok(&Request::Deadline { ms })?;
+        self.deadline_ms = ms;
+        Ok(())
     }
 
     /// `LOAD <name> INLINE <csv>` — register a CSV relation (newline row
@@ -329,7 +433,7 @@ impl KsjqClient {
     pub fn more(&mut self, cursor: Cursor) -> ClientResult<RowChunk> {
         match self.request(&Request::More { cursor })? {
             Response::Chunk(chunk) => Ok(chunk),
-            Response::Error(msg) => Err(ClientError::Server(msg)),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
             other => Err(ClientError::Protocol(format!("expected ROWS, got {other}"))),
         }
     }
@@ -349,7 +453,7 @@ impl KsjqClient {
     pub fn explain(&mut self, id: &str) -> ClientResult<String> {
         match self.request(&Request::Explain { id: id.into() })? {
             Response::Explain(text) => Ok(text),
-            Response::Error(msg) => Err(ClientError::Server(msg)),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
             other => Err(ClientError::Protocol(format!(
                 "expected EXPLAIN, got {other}"
             ))),
@@ -360,7 +464,7 @@ impl KsjqClient {
     pub fn stats(&mut self) -> ClientResult<ServerStats> {
         match self.request(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
-            Response::Error(msg) => Err(ClientError::Server(msg)),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
             other => Err(ClientError::Protocol(format!(
                 "expected STATS, got {other}"
             ))),
@@ -379,7 +483,7 @@ impl KsjqClient {
     pub fn sync_catalog(&mut self) -> ClientResult<(u64, Vec<String>)> {
         match self.request(&Request::Sync { name: None })? {
             Response::Catalog { epoch, names } => Ok((epoch, names)),
-            Response::Error(msg) => Err(ClientError::Server(msg)),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
             other => Err(ClientError::Protocol(format!(
                 "expected CATALOG, got {other}"
             ))),
@@ -394,7 +498,7 @@ impl KsjqClient {
             name: Some(name.into()),
         })? {
             Response::Relation { csv, .. } => Ok(csv),
-            Response::Error(msg) => Err(ClientError::Server(msg)),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
             other => Err(ClientError::Protocol(format!(
                 "expected RELATION, got {other}"
             ))),
@@ -482,7 +586,7 @@ impl KsjqClient {
             pairs: pairs.to_vec(),
         })? {
             Response::Vals(rows) => Ok(rows),
-            Response::Error(msg) => Err(ClientError::Server(msg)),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
             other => Err(ClientError::Protocol(format!("expected VALS, got {other}"))),
         }
     }
@@ -505,7 +609,7 @@ impl KsjqClient {
             rows: rows.to_vec(),
         })? {
             Response::Checked(bits) => Ok(bits),
-            Response::Error(msg) => Err(ClientError::Server(msg)),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
             other => Err(ClientError::Protocol(format!(
                 "expected CHECKED, got {other}"
             ))),
@@ -588,9 +692,9 @@ impl Iterator for RowStream<'_> {
                     pairs: rows.pairs,
                 })
             }
-            Response::Error(msg) => {
+            Response::Error { code, message } => {
                 self.done = true;
-                Err(ClientError::Server(msg))
+                Err(ClientError::Server { code, message })
             }
             other => {
                 self.done = true;

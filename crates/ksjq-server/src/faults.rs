@@ -1,0 +1,299 @@
+//! Deterministic transport fault injection.
+//!
+//! A [`FaultPlan`] is a seed plus per-mille rates for four transport
+//! misbehaviours — dropped connections, bit-flipped bytes, partial
+//! writes, and injected delays. The plan itself is pure data (`Copy`,
+//! `Eq`); per-connection decisions come from a [`FaultStream`], a
+//! splitmix64 generator keyed on `seed ^ conn_id`. Re-running a chaos
+//! schedule with the same plan and the same connection order therefore
+//! replays the *same* faults — the failure printed by a CI chaos job is
+//! reproducible from the seed in its log line.
+//!
+//! The plan rides into both halves of the system:
+//!
+//! * client-side via `ConnectOptions::faults` — `KsjqClient` corrupts or
+//!   truncates its own writes and drops its own reads, which is how the
+//!   router's dialer exercises failover;
+//! * server-side via `--faults` / `KSJQ_FAULTS` — the front end applies
+//!   the plan to accepted connections, which is how an otherwise healthy
+//!   client sees a flaky server.
+//!
+//! Rates are expressed in per-mille (0–1000) so the plan stays integral
+//! and hashable; `drop=10` means 1% of decision points sever the
+//! connection.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A seeded fault schedule. All-zero rates (the [`Default`]) inject
+/// nothing and cost one branch per I/O call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FaultPlan {
+    /// Root seed; combined with the connection id per stream.
+    pub seed: u64,
+    /// Per-mille chance a decision point severs the connection.
+    pub drop_pm: u32,
+    /// Per-mille chance per buffer that one byte gets a bit flipped.
+    pub flip_pm: u32,
+    /// Per-mille chance a write is truncated before the terminator and
+    /// the connection closed mid-frame.
+    pub partial_pm: u32,
+    /// Per-mille chance a decision point sleeps for [`delay_ms`](Self::delay_ms).
+    pub delay_pm: u32,
+    /// Sleep applied when a delay fires.
+    pub delay_ms: u64,
+}
+
+impl FaultPlan {
+    /// True if any fault can ever fire.
+    pub fn is_active(&self) -> bool {
+        self.drop_pm | self.flip_pm | self.partial_pm | self.delay_pm != 0
+    }
+
+    /// The decision stream for one connection. Different connections get
+    /// decorrelated streams; the same `(plan, conn_id)` always replays
+    /// identically.
+    pub fn stream(&self, conn_id: u64) -> FaultStream {
+        FaultStream {
+            plan: *self,
+            state: self.seed ^ conn_id.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Parse the plan from the `KSJQ_FAULTS` environment variable, if
+    /// set. An unparsable value is an error, not a silent no-op — a typo
+    /// in a chaos job must fail loudly.
+    pub fn from_env(var: &str) -> Result<Option<FaultPlan>, String> {
+        match std::env::var(var) {
+            Ok(s) if !s.trim().is_empty() => s.parse().map(Some),
+            _ => Ok(None),
+        }
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed={},drop={},flip={},partial={},delay={}:{}",
+            self.seed, self.drop_pm, self.flip_pm, self.partial_pm, self.delay_pm, self.delay_ms
+        )
+    }
+}
+
+impl FromStr for FaultPlan {
+    type Err = String;
+
+    /// Format: comma-separated `key=value` pairs, e.g.
+    /// `seed=7,drop=10,flip=5,partial=10,delay=20:3` (delay's value is
+    /// `<per-mille>:<millis>`). Unknown keys and out-of-range rates are
+    /// rejected.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut plan = FaultPlan::default();
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec `{part}` is not key=value"))?;
+            let rate = |v: &str| -> Result<u32, String> {
+                let n: u32 = v
+                    .parse()
+                    .map_err(|_| format!("fault rate `{v}` is not an integer"))?;
+                if n > 1000 {
+                    return Err(format!("fault rate `{v}` exceeds 1000 per-mille"));
+                }
+                Ok(n)
+            };
+            match key {
+                "seed" => {
+                    plan.seed = value
+                        .parse()
+                        .map_err(|_| format!("fault seed `{value}` is not an integer"))?
+                }
+                "drop" => plan.drop_pm = rate(value)?,
+                "flip" => plan.flip_pm = rate(value)?,
+                "partial" => plan.partial_pm = rate(value)?,
+                "delay" => match value.split_once(':') {
+                    Some((pm, ms)) => {
+                        plan.delay_pm = rate(pm)?;
+                        plan.delay_ms = ms
+                            .parse()
+                            .map_err(|_| format!("delay millis `{ms}` is not an integer"))?;
+                    }
+                    None => {
+                        plan.delay_pm = rate(value)?;
+                        plan.delay_ms = 1;
+                    }
+                },
+                other => return Err(format!("unknown fault key `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// What a decision point should do to the connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Proceed untouched.
+    None,
+    /// Sever the connection now.
+    Drop,
+    /// Write only a prefix, then sever (a torn frame).
+    Partial,
+}
+
+/// Per-connection deterministic fault decisions.
+#[derive(Debug, Clone)]
+pub struct FaultStream {
+    plan: FaultPlan,
+    state: u64,
+}
+
+impl FaultStream {
+    /// splitmix64 step — the same generator the dialer's backoff jitter
+    /// uses, so chaos runs share one reproducibility story.
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn roll(&mut self, pm: u32) -> bool {
+        pm != 0 && self.next() % 1000 < pm as u64
+    }
+
+    /// Decide the fate of one outgoing buffer, sleeping through any
+    /// delay fault first. `Partial` carries no offset — the caller picks
+    /// a cut with [`cut_point`](Self::cut_point).
+    pub fn on_write(&mut self) -> FaultAction {
+        if self.roll(self.plan.delay_pm) {
+            std::thread::sleep(std::time::Duration::from_millis(self.plan.delay_ms));
+        }
+        if self.roll(self.plan.drop_pm) {
+            return FaultAction::Drop;
+        }
+        if self.roll(self.plan.partial_pm) {
+            return FaultAction::Partial;
+        }
+        FaultAction::None
+    }
+
+    /// Decide the fate of one incoming read.
+    pub fn on_read(&mut self) -> FaultAction {
+        if self.roll(self.plan.delay_pm) {
+            std::thread::sleep(std::time::Duration::from_millis(self.plan.delay_ms));
+        }
+        if self.roll(self.plan.drop_pm) {
+            return FaultAction::Drop;
+        }
+        FaultAction::None
+    }
+
+    /// Maybe flip one bit somewhere in `buf` (never the trailing
+    /// newline, so framing survives and the *payload* corruption is what
+    /// gets detected downstream). Returns true if a flip happened.
+    pub fn maybe_flip(&mut self, buf: &mut [u8]) -> bool {
+        let scope = match buf.last() {
+            Some(b'\n') => buf.len() - 1,
+            _ => buf.len(),
+        };
+        if scope == 0 || !self.roll(self.plan.flip_pm) {
+            return false;
+        }
+        let at = (self.next() % scope as u64) as usize;
+        let bit = (self.next() % 8) as u8;
+        buf[at] ^= 1 << bit;
+        true
+    }
+
+    /// A truncation point strictly inside `len` for a `Partial` action.
+    pub fn cut_point(&mut self, len: usize) -> usize {
+        if len <= 1 {
+            0
+        } else {
+            (self.next() % (len as u64 - 1)) as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_parses_and_round_trips() {
+        let plan: FaultPlan = "seed=7,drop=10,flip=5,partial=10,delay=20:3"
+            .parse()
+            .unwrap();
+        assert_eq!(
+            plan,
+            FaultPlan {
+                seed: 7,
+                drop_pm: 10,
+                flip_pm: 5,
+                partial_pm: 10,
+                delay_pm: 20,
+                delay_ms: 3,
+            }
+        );
+        assert_eq!(plan.to_string().parse::<FaultPlan>().unwrap(), plan);
+        assert!(plan.is_active());
+        assert!(!FaultPlan::default().is_active());
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        for bad in ["drop", "drop=1001", "seed=x", "noise=1", "delay=10:x"] {
+            assert!(bad.parse::<FaultPlan>().is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn streams_replay_deterministically() {
+        let plan: FaultPlan = "seed=42,drop=100,flip=200,partial=100".parse().unwrap();
+        let replay = |conn: u64| {
+            let mut s = plan.stream(conn);
+            let mut trace = Vec::new();
+            for _ in 0..64 {
+                trace.push(s.on_write());
+                let mut buf = *b"HELLO world\n";
+                trace.push(if s.maybe_flip(&mut buf) {
+                    FaultAction::Partial // just a marker for the trace
+                } else {
+                    FaultAction::None
+                });
+            }
+            trace
+        };
+        assert_eq!(replay(1), replay(1));
+        assert_ne!(replay(1), replay(2), "streams must decorrelate by conn id");
+    }
+
+    #[test]
+    fn flips_never_break_framing() {
+        let plan: FaultPlan = "seed=3,flip=1000".parse().unwrap();
+        let mut s = plan.stream(9);
+        for _ in 0..256 {
+            let mut buf = *b"APPEND outbound ROWS ZRH,1,2,3,4\n";
+            assert!(s.maybe_flip(&mut buf));
+            assert_eq!(*buf.last().unwrap(), b'\n');
+        }
+    }
+
+    #[test]
+    fn cut_points_stay_inside_the_frame() {
+        let plan: FaultPlan = "seed=5,partial=1000".parse().unwrap();
+        let mut s = plan.stream(1);
+        for len in [1usize, 2, 3, 64] {
+            for _ in 0..32 {
+                assert!(s.cut_point(len) < len.max(1));
+            }
+        }
+    }
+}

@@ -29,6 +29,13 @@
 //!   (`STAGE`/`COMMIT`/`ABORT`) and scatter-gather verification
 //!   primitives (`FETCH`/`CHECK`) it is the server half of the
 //!   `ksjq-router` distributed deployment.
+//! * [`durability`] — the checksummed write-ahead log and snapshot
+//!   behind `ksjq-serverd --data-dir`: every catalog mutation is fsynced
+//!   before its `OK`, and restart replays the committed state exactly,
+//!   truncating any torn tail a crash left behind.
+//! * [`faults`] — seeded, deterministic transport fault injection
+//!   ([`FaultPlan`]): drops, delays, partial writes and bit flips,
+//!   replayable from the seed, for chaos tests over real processes.
 //!
 //! The `ksjq-serverd` binary serves a preloaded demo catalog;
 //! `ksjq-client` scripts a session from stdin (the CI smoke test drives
@@ -55,6 +62,8 @@
 pub mod cache;
 pub mod client;
 pub mod demo;
+pub mod durability;
+pub mod faults;
 pub mod frame;
 pub mod protocol;
 pub mod replica;
@@ -65,10 +74,12 @@ pub use client::{
     retry_with_backoff, ClientError, ClientResult, ConnectOptions, KsjqClient, RowStream,
 };
 pub use demo::register_demo_catalog;
+pub use faults::{FaultAction, FaultPlan, FaultStream};
 pub use frame::{Frame, FrameBuffer};
 pub use protocol::{
-    Cursor, LoadSource, PlanSpec, ProtoResult, Request, Response, RowChunk, RowSet, ServerStats,
-    SyntheticSpec, MAX_LINE_BYTES, MAX_ROWS_FRAME_BYTES, PROTOCOL_VERSION, ROWS_PER_CHUNK,
+    Cursor, ErrorCode, LoadSource, PlanSpec, ProtoResult, Request, Response, RowChunk, RowSet,
+    ServerStats, SyntheticSpec, MAX_LINE_BYTES, MAX_ROWS_FRAME_BYTES, PROTOCOL_VERSION,
+    ROWS_PER_CHUNK,
 };
 pub use replica::{resync_if_stale, sync_catalog, sync_from};
 pub use server::{RunningServer, Server, ServerConfig, ServerHandle};

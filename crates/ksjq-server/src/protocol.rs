@@ -30,6 +30,7 @@
 //! EXECUTE <id>
 //! QUERY <left> JOIN <right> [AGG …] [K …] [GOAL …] [ALGO …] [KDOM …]
 //! MORE <result>:<part>                              re-fetch one chunk (v2, cached results)
+//! DEADLINE <ms>                                     per-session query deadline (0 clears it)
 //! APPEND <name> ROWS <csv>                          append key,v,v… rows (no header) to a relation
 //! DELETE <name> KEYS <k1,k2,…>                      delete all rows with the given join keys
 //! EXPLAIN <id>
@@ -63,9 +64,15 @@
 //! RELATION <name> <csv>                             reply to SYNC <name> (rows ';'-separated)
 //! VALS n=<n> <v,v…;v,v…>                            reply to FETCH
 //! CHECKED n=<n> <01…>                               reply to CHECK (one bit per row)
-//! ERR <message>
+//! ERR <code> <message>
 //! BYE
 //! ```
+//!
+//! `ERR` frames lead with a stable machine-readable [`ErrorCode`] token
+//! (`busy`, `timeout`, `unavailable`, `parse`, `recovering`, `invalid`,
+//! `internal`) followed by the human-readable message. Frames from older
+//! peers whose first word is not a known code parse as
+//! [`ErrorCode::Unknown`] with the full text preserved as the message.
 //!
 //! Goals use the compact `FromStr` spellings of [`Goal`] (`exact:7`,
 //! `skyline`, `atleast:10:binary`); algorithms and kdom subroutines use
@@ -139,6 +146,82 @@ impl fmt::Display for Cursor {
 /// Protocol-level result: errors are plain messages destined for an
 /// `ERR` frame.
 pub type ProtoResult<T> = Result<T, String>;
+
+/// Stable machine-readable category of an `ERR` frame — the first token
+/// after `ERR`, so clients and tests branch on the code instead of
+/// string-matching the human-readable message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// Connection shed by admission control; retry against another
+    /// replica or later.
+    Busy,
+    /// The request's deadline expired before execution finished.
+    Timeout,
+    /// A required shard/replica could not be reached (router) or the
+    /// backend is gone.
+    Unavailable,
+    /// The request line did not parse.
+    Parse,
+    /// The server is replaying its WAL or re-cloning from its primary
+    /// and refuses reads that could be stale or torn.
+    Recovering,
+    /// The request parsed but is semantically invalid here (unknown
+    /// relation, bad k, unknown id, …).
+    Invalid,
+    /// An unexpected server-side failure (a panicked worker, say).
+    Internal,
+    /// The frame carried no recognised code (pre-code peers, foreign
+    /// servers); the full text stays in the message.
+    Unknown,
+}
+
+impl ErrorCode {
+    /// The wire token (`Display` emits the same; [`ErrorCode::Unknown`]
+    /// has no token — it is the absence of one).
+    pub fn token(self) -> &'static str {
+        match self {
+            ErrorCode::Busy => "busy",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::Unavailable => "unavailable",
+            ErrorCode::Parse => "parse",
+            ErrorCode::Recovering => "recovering",
+            ErrorCode::Invalid => "invalid",
+            ErrorCode::Internal => "internal",
+            ErrorCode::Unknown => "unknown",
+        }
+    }
+
+    /// Parse a wire token; `None` for anything unrecognised (the caller
+    /// treats the whole text as an [`ErrorCode::Unknown`] message).
+    pub fn from_token(token: &str) -> Option<ErrorCode> {
+        Some(match token {
+            "busy" => ErrorCode::Busy,
+            "timeout" => ErrorCode::Timeout,
+            "unavailable" => ErrorCode::Unavailable,
+            "parse" => ErrorCode::Parse,
+            "recovering" => ErrorCode::Recovering,
+            "invalid" => ErrorCode::Invalid,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+
+    /// Is a retry (against the same or another backend) reasonable?
+    /// `busy`, `timeout`, `unavailable` and `recovering` are transient;
+    /// the rest are deterministic failures.
+    pub fn is_transient(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Busy | ErrorCode::Timeout | ErrorCode::Unavailable | ErrorCode::Recovering
+        )
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
 
 /// Where `LOAD` gets its data.
 #[derive(Debug, Clone, PartialEq)]
@@ -282,6 +365,15 @@ pub enum Request {
     More {
         /// Where to resume, as handed out in a `cursor=` field.
         cursor: Cursor,
+    },
+    /// Set the session's query deadline: every subsequent `EXECUTE` /
+    /// `QUERY` / `CHECK` must finish within this many milliseconds of its
+    /// arrival or is answered `ERR timeout`. `0` clears the deadline.
+    /// Tightened against the server's own `--query-timeout`, if any (the
+    /// smaller budget wins).
+    Deadline {
+        /// Per-request budget in milliseconds (0 = no session deadline).
+        ms: u64,
     },
     /// Register a relation in the server's catalog.
     Load {
@@ -632,6 +724,16 @@ impl Request {
                     cursor: Cursor::parse(token)?,
                 })
             }
+            "DEADLINE" => {
+                let (ms, trailing) = split_word(rest);
+                if !trailing.is_empty() {
+                    return Err(format!("unexpected trailing input {trailing:?}"));
+                }
+                let ms = ms
+                    .parse::<u64>()
+                    .map_err(|_| format!("DEADLINE needs milliseconds, got {ms:?}"))?;
+                Ok(Request::Deadline { ms })
+            }
             "LOAD" => {
                 let (name, rest) = split_word(rest);
                 validate_name("relation name", name)?;
@@ -883,7 +985,7 @@ impl Request {
                 })
             }
             other => Err(format!(
-                "unknown command {other:?} (expected HELLO, LOAD, PREPARE, EXECUTE, QUERY, MORE, APPEND, DELETE, EXPLAIN, STATS, SYNC, STAGE, COMMIT, ABORT, FETCH, CHECK or CLOSE)"
+                "unknown command {other:?} (expected HELLO, LOAD, PREPARE, EXECUTE, QUERY, MORE, DEADLINE, APPEND, DELETE, EXPLAIN, STATS, SYNC, STAGE, COMMIT, ABORT, FETCH, CHECK or CLOSE)"
             )),
         }
     }
@@ -894,6 +996,7 @@ impl fmt::Display for Request {
         match self {
             Request::Hello { version } => write!(f, "HELLO {version}"),
             Request::More { cursor } => write!(f, "MORE {cursor}"),
+            Request::Deadline { ms } => write!(f, "DEADLINE {ms}"),
             Request::Load { name, source } => match source {
                 LoadSource::Inline { csv } => {
                     write!(
@@ -1090,6 +1193,12 @@ pub struct ServerStats {
     /// Rows appended via `APPEND` since startup (cumulative, all
     /// relations).
     pub delta_rows: u64,
+    /// Requests answered `ERR timeout` because a `DEADLINE` or the
+    /// `--query-timeout` budget expired before execution finished.
+    pub timeouts: u64,
+    /// Records appended to the write-ahead log since startup (0 when the
+    /// server runs without `--data-dir`).
+    pub wal_records: u64,
 }
 
 /// One server reply.
@@ -1131,7 +1240,12 @@ pub enum Response {
     /// One dominance bit per probe row (reply to `CHECK`), request order.
     Checked(Vec<bool>),
     /// The request failed; the session stays usable.
-    Error(String),
+    Error {
+        /// Machine-readable failure category (the first `ERR` token).
+        code: ErrorCode,
+        /// Human-readable detail (may be empty).
+        message: String,
+    },
     /// Session closed.
     Bye,
 }
@@ -1142,13 +1256,28 @@ fn one_line(s: &str) -> String {
 }
 
 impl Response {
+    /// An `ERR` response with a machine-readable code.
+    pub fn err(code: ErrorCode, message: impl Into<String>) -> Response {
+        Response::Error {
+            code,
+            message: message.into(),
+        }
+    }
+
     /// Parse one response line. Never panics, whatever the input.
     pub fn parse(line: &str) -> ProtoResult<Response> {
         let line = line.trim();
         let (word, rest) = split_word(line);
         match word.to_ascii_uppercase().as_str() {
             "OK" => Ok(Response::Ok(rest.to_owned())),
-            "ERR" => Ok(Response::Error(rest.to_owned())),
+            "ERR" => {
+                let (first, tail) = split_word(rest);
+                Ok(match ErrorCode::from_token(first) {
+                    Some(code) => Response::err(code, tail),
+                    // Pre-code peers: the whole text is the message.
+                    None => Response::err(ErrorCode::Unknown, rest),
+                })
+            }
             "EXPLAIN" => Ok(Response::Explain(rest.to_owned())),
             "BYE" => Ok(Response::Bye),
             "HELLO" => {
@@ -1270,6 +1399,8 @@ impl Response {
                         "catalog_epoch" => s.catalog_epoch = int,
                         "delta_maintained" => s.delta_maintained = int,
                         "delta_rows" => s.delta_rows = int,
+                        "timeouts" => s.timeouts = int,
+                        "wal_records" => s.wal_records = int,
                         _ => {} // forward compatibility
                     }
                 }
@@ -1367,7 +1498,12 @@ impl fmt::Display for Response {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Response::Ok(msg) => write!(f, "OK {}", one_line(msg)),
-            Response::Error(msg) => write!(f, "ERR {}", one_line(msg)),
+            Response::Error { code, message } => match code {
+                // Legacy frames round-trip without inventing a code token.
+                ErrorCode::Unknown => write!(f, "ERR {}", one_line(message)),
+                code if message.is_empty() => write!(f, "ERR {code}"),
+                code => write!(f, "ERR {code} {}", one_line(message)),
+            },
             Response::Explain(text) => write!(f, "EXPLAIN {}", one_line(text)),
             Response::Bye => write!(f, "BYE"),
             Response::Hello { version } => write!(f, "HELLO v={version}"),
@@ -1405,7 +1541,8 @@ impl fmt::Display for Response {
                  cache_hits={} cache_misses={} cache_evictions={} cache_len={} workers={} \
                  dom_tests={} attr_cmps={} domgen_us={} shed={} reaped={} peak_buf={} \
                  fanout_queries={} merge_us={} shard_retries={} shard_errors={} \
-                 catalog_epoch={} delta_maintained={} delta_rows={}",
+                 catalog_epoch={} delta_maintained={} delta_rows={} \
+                 timeouts={} wal_records={}",
                 s.connections,
                 s.requests,
                 s.errors,
@@ -1428,7 +1565,9 @@ impl fmt::Display for Response {
                 s.shard_errors,
                 s.catalog_epoch,
                 s.delta_maintained,
-                s.delta_rows
+                s.delta_rows,
+                s.timeouts,
+                s.wal_records
             ),
             Response::Catalog { epoch, names } => {
                 write!(f, "CATALOG n={} epoch={epoch}", names.len())?;
@@ -1516,6 +1655,14 @@ mod tests {
         roundtrip_request("EXPLAIN q1");
         roundtrip_request("STATS");
         roundtrip_request("CLOSE");
+        assert_eq!(
+            roundtrip_request("DEADLINE 1500"),
+            Request::Deadline { ms: 1500 }
+        );
+        assert_eq!(roundtrip_request("deadline 0"), Request::Deadline { ms: 0 });
+        for bad in ["DEADLINE", "DEADLINE soon", "DEADLINE 5 extra"] {
+            assert!(Request::parse(bad).is_err(), "{bad:?} should not parse");
+        }
     }
 
     #[test]
@@ -1649,8 +1796,14 @@ mod tests {
                 catalog_epoch: 20,
                 delta_maintained: 21,
                 delta_rows: 22,
+                timeouts: 23,
+                wal_records: 24,
             }),
-            Response::Error("unknown relation \"nope\"".into()),
+            Response::err(ErrorCode::Invalid, "unknown relation \"nope\""),
+            Response::err(ErrorCode::Timeout, "query deadline exceeded"),
+            Response::err(ErrorCode::Busy, ""),
+            // Legacy ERR frames (no recognised code token) still round-trip.
+            Response::err(ErrorCode::Unknown, "something went sideways"),
             Response::Bye,
         ];
         for resp in responses {
@@ -1662,13 +1815,39 @@ mod tests {
 
     #[test]
     fn response_payloads_cannot_break_framing() {
-        let evil = Response::Error("two\nlines\r\nhere".into());
+        let evil = Response::err(ErrorCode::Internal, "two\nlines\r\nhere");
         let line = evil.to_string();
         assert!(!line.contains('\n') && !line.contains('\r'));
         assert!(matches!(
             Response::parse(&line).unwrap(),
-            Response::Error(_)
+            Response::Error { .. }
         ));
+    }
+
+    #[test]
+    fn error_codes_roundtrip_and_fall_back() {
+        for code in [
+            ErrorCode::Busy,
+            ErrorCode::Timeout,
+            ErrorCode::Unavailable,
+            ErrorCode::Parse,
+            ErrorCode::Recovering,
+            ErrorCode::Invalid,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_token(code.token()), Some(code));
+            let parsed = Response::parse(&format!("ERR {code} detail here")).unwrap();
+            assert_eq!(parsed, Response::err(code, "detail here"));
+        }
+        // A frame from an older peer: the first word is not a code, so the
+        // whole text survives as the message.
+        assert_eq!(
+            Response::parse("ERR unknown relation \"nope\"").unwrap(),
+            Response::err(ErrorCode::Unknown, "unknown relation \"nope\"")
+        );
+        assert!(ErrorCode::Busy.is_transient());
+        assert!(ErrorCode::Recovering.is_transient());
+        assert!(!ErrorCode::Invalid.is_transient());
     }
 
     #[test]

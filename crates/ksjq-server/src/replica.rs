@@ -37,12 +37,35 @@ fn clone_relations(engine: &Engine, client: &mut KsjqClient, names: &[String]) -
     Ok(())
 }
 
+/// Clone the whole catalog and *verify* the primary's `catalog_epoch`
+/// did not move while we were copying. `SYNC <name>` fetches relations
+/// one at a time, so a mutation landing mid-clone would leave the
+/// replica with a catalog no single epoch ever described — some
+/// relations pre-delta, some post. The handshake re-reads the epoch
+/// after the last relation and re-clones (bounded) until it gets a
+/// clean pass, so the epoch a replica reports is one the primary
+/// actually served.
+fn clone_verified(engine: &Engine, client: &mut KsjqClient) -> ClientResult<(u64, Vec<String>)> {
+    const ATTEMPTS: usize = 4;
+    for _ in 0..ATTEMPTS {
+        let (epoch, names) = client.sync_catalog()?;
+        clone_relations(engine, client, &names)?;
+        let (after, _) = client.sync_catalog()?;
+        if after == epoch {
+            return Ok((epoch, names));
+        }
+    }
+    Err(ClientError::Protocol(format!(
+        "primary catalog kept mutating during clone ({ATTEMPTS} attempts)"
+    )))
+}
+
 /// Pull every relation the primary serves into `engine`'s catalog
-/// (upserting over any same-named local binding). Returns the synced
-/// names, sorted.
+/// (upserting over any same-named local binding), verifying the
+/// primary's `catalog_epoch` was stable across the clone. Returns the
+/// synced names, sorted.
 pub fn sync_catalog(engine: &Engine, client: &mut KsjqClient) -> ClientResult<Vec<String>> {
-    let (_, names) = client.sync_catalog()?;
-    clone_relations(engine, client, &names)?;
+    let (_, names) = clone_verified(engine, client)?;
     Ok(names)
 }
 
@@ -60,12 +83,11 @@ pub fn resync_if_stale(
     client: &mut KsjqClient,
     last_epoch: u64,
 ) -> ClientResult<Option<(u64, Vec<String>)>> {
-    let (epoch, names) = client.sync_catalog()?;
+    let (epoch, _) = client.sync_catalog()?;
     if epoch == last_epoch {
         return Ok(None);
     }
-    clone_relations(engine, client, &names)?;
-    Ok(Some((epoch, names)))
+    clone_verified(engine, client).map(Some)
 }
 
 /// Connect to `primary` (with `opts` timeouts, retrying transport
@@ -88,10 +110,9 @@ pub fn sync_from(
         seed,
         |_| {
             let mut client = KsjqClient::connect_with(primary, opts)?;
-            let (epoch, names) = client.sync_catalog()?;
-            clone_relations(engine, &mut client, &names)?;
+            let cloned = clone_verified(engine, &mut client)?;
             let _ = client.close();
-            Ok((epoch, names))
+            Ok(cloned)
         },
     )
 }
@@ -195,6 +216,63 @@ mod tests {
             .is_none());
         client.close().unwrap();
         primary.stop().unwrap();
+    }
+
+    #[test]
+    fn cloned_epoch_matches_what_the_primary_serves() {
+        // The epoch handshake: the epoch `sync_from` hands back must be
+        // one the primary actually reports for the cloned state — a
+        // replica that fed a mid-clone epoch to `resync_if_stale` would
+        // either miss a delta forever or re-clone on every poll.
+        let primary_engine = Engine::new();
+        let pf = paper_flights(false);
+        primary_engine.register("outbound", pf.outbound).unwrap();
+        primary_engine.register("inbound", pf.inbound).unwrap();
+        let primary = Server::start(primary_engine, &ephemeral()).unwrap();
+
+        let replica_engine = Engine::new();
+        let (epoch, _) = sync_from(
+            &replica_engine,
+            &primary.addr().to_string(),
+            &ConnectOptions::all(Duration::from_secs(5)),
+            3,
+            13,
+        )
+        .unwrap();
+        let mut client = KsjqClient::connect(primary.addr()).unwrap();
+        assert_eq!(client.stats().unwrap().catalog_epoch, epoch);
+        client.close().unwrap();
+        primary.stop().unwrap();
+    }
+
+    #[test]
+    fn recovering_server_refuses_reads_with_a_stable_code() {
+        // While a replica re-clones, its front end must refuse queries
+        // with `ERR recovering` — never serve the half-replaced catalog.
+        let engine = Engine::new();
+        let pf = paper_flights(false);
+        engine.register("outbound", pf.outbound).unwrap();
+        engine.register("inbound", pf.inbound).unwrap();
+        let server = Server::start(engine, &ephemeral()).unwrap();
+        let handle = server.handle();
+
+        let mut client = KsjqClient::connect(server.addr()).unwrap();
+        let plan = crate::protocol::PlanSpec::new("outbound", "inbound").k(7);
+
+        handle.set_recovering(true);
+        let err = client.query(&plan).unwrap_err();
+        assert_eq!(err.code(), Some(crate::protocol::ErrorCode::Recovering));
+        assert!(err.is_transient(), "recovering must invite a retry");
+        // STATS stays reachable so operators can watch the recovery.
+        assert!(client.stats().is_ok());
+
+        handle.set_recovering(false);
+        assert_eq!(
+            client.query(&plan).unwrap().pairs,
+            vec![(0, 2), (2, 0), (4, 4), (5, 5)]
+        );
+        client.close().unwrap();
+        server.stop().unwrap();
     }
 
     #[test]

@@ -54,16 +54,19 @@
 //! error, and worker panics are caught per-job.
 
 use crate::cache::ResultCache;
+use crate::durability::{self, Wal};
+use crate::faults::{FaultAction, FaultPlan, FaultStream};
 use crate::frame::{Frame, FrameBuffer};
 use crate::protocol::{
-    Cursor, LoadSource, PlanSpec, ProtoResult, Request, Response, RowChunk, RowSet, ServerStats,
-    MAX_LINE_BYTES, PROTOCOL_VERSION, ROWS_PER_CHUNK,
+    Cursor, ErrorCode, LoadSource, PlanSpec, ProtoResult, Request, Response, RowChunk, RowSet,
+    ServerStats, MAX_LINE_BYTES, PROTOCOL_VERSION, ROWS_PER_CHUNK,
 };
-use ksjq_core::{CoreResult, Engine, Goal, KsjqOutput, PreparedQuery};
+use ksjq_core::{CoreError, CoreResult, Engine, Goal, KsjqOutput, PreparedQuery};
 use ksjq_relation::VersionedRelation;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::{self, JoinHandle};
@@ -102,6 +105,17 @@ pub struct ServerConfig {
     /// Cumulative `n·d` cell budget across every relation in the
     /// catalog; a `LOAD` that would exceed it is rejected.
     pub max_catalog_cells: usize,
+    /// Durable catalog directory (`--data-dir`). When set, every catalog
+    /// mutation is WAL-logged (fsynced before its `OK`) and replayed on
+    /// restart; when `None` the catalog is memory-only, as before.
+    pub data_dir: Option<PathBuf>,
+    /// Server-wide ceiling on per-query execution time
+    /// (`--query-timeout`); combined with any per-session `DEADLINE` by
+    /// taking the tighter of the two. `None` means no server-side cap.
+    pub query_timeout: Option<Duration>,
+    /// Deterministic transport fault injection applied to accepted
+    /// connections (`--faults` / `KSJQ_FAULTS`); `None` injects nothing.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -115,6 +129,9 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(300),
             stall_timeout: Duration::from_secs(30),
             max_catalog_cells: 500_000_000,
+            data_dir: None,
+            query_timeout: None,
+            faults: None,
         }
     }
 }
@@ -175,6 +192,14 @@ struct Shared {
     /// Entries are lazily (re)built whenever the chain's snapshot is no
     /// longer the bound relation (a `LOAD`/`COMMIT` replaced it).
     live: Mutex<HashMap<String, VersionedRelation>>,
+    /// The write-ahead log behind `--data-dir`; `None` when the catalog
+    /// is memory-only. Appended to *inside* the mutation handlers while
+    /// they hold `catalog_cells`, so log order is apply order.
+    wal: Mutex<Option<Wal>>,
+    /// While set, every request except `STATS`/`HELLO`/`CLOSE` is
+    /// answered `ERR recovering` — a replica refuses to serve reads
+    /// until its catalog sync verified the primary's epoch.
+    recovering: AtomicBool,
     connections: AtomicU64,
     requests: AtomicU64,
     errors: AtomicU64,
@@ -200,6 +225,10 @@ struct Shared {
     reaped: AtomicU64,
     /// High-water mark of any connection's pending outbound buffer.
     peak_buf: AtomicU64,
+    /// Queries cancelled at their deadline (`DEADLINE` / `--query-timeout`).
+    timeouts: AtomicU64,
+    /// WAL records appended since startup (0 when memory-only).
+    wal_records: AtomicU64,
     shutdown: AtomicBool,
 }
 
@@ -234,6 +263,13 @@ impl ServerHandle {
             };
             let _ = TcpStream::connect((loopback, self.addr.port()));
         }
+    }
+
+    /// Gate (or re-open) the server behind `ERR recovering`: while set,
+    /// every request except `STATS`/`HELLO`/`CLOSE` is refused, so a
+    /// replica mid-sync can never serve a stale or half-copied catalog.
+    pub fn set_recovering(&self, recovering: bool) {
+        self.shared.recovering.store(recovering, Ordering::SeqCst);
     }
 
     /// Tell the server its catalog changed *out of band* — a replica
@@ -299,32 +335,38 @@ impl Server {
         config.workers = config.workers.max(1);
         config.max_conns = config.max_conns.max(1);
         config.max_inflight = config.max_inflight.max(1);
-        Ok(Server {
-            listener,
-            shared: Arc::new(Shared {
-                engine,
-                sessions: RwLock::new(HashMap::new()),
-                cache: ResultCache::new(config.cache_entries),
-                catalog_cells: Mutex::new(preloaded),
-                staged: Mutex::new(HashMap::new()),
-                staged_deltas: Mutex::new(HashMap::new()),
-                live: Mutex::new(HashMap::new()),
-                config,
-                connections: AtomicU64::new(0),
-                requests: AtomicU64::new(0),
-                errors: AtomicU64::new(0),
-                dom_tests: AtomicU64::new(0),
-                attr_cmps: AtomicU64::new(0),
-                domgen_us: AtomicU64::new(0),
-                catalog_epoch: AtomicU64::new(0),
-                delta_maintained: AtomicU64::new(0),
-                delta_rows: AtomicU64::new(0),
-                shed: AtomicU64::new(0),
-                reaped: AtomicU64::new(0),
-                peak_buf: AtomicU64::new(0),
-                shutdown: AtomicBool::new(false),
-            }),
-        })
+        let data_dir = config.data_dir.clone();
+        let shared = Arc::new(Shared {
+            engine,
+            sessions: RwLock::new(HashMap::new()),
+            cache: ResultCache::new(config.cache_entries),
+            catalog_cells: Mutex::new(preloaded),
+            staged: Mutex::new(HashMap::new()),
+            staged_deltas: Mutex::new(HashMap::new()),
+            live: Mutex::new(HashMap::new()),
+            wal: Mutex::new(None),
+            recovering: AtomicBool::new(false),
+            config,
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            dom_tests: AtomicU64::new(0),
+            attr_cmps: AtomicU64::new(0),
+            domgen_us: AtomicU64::new(0),
+            catalog_epoch: AtomicU64::new(0),
+            delta_maintained: AtomicU64::new(0),
+            delta_rows: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            reaped: AtomicU64::new(0),
+            peak_buf: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            wal_records: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        if let Some(dir) = data_dir {
+            recover_catalog(&shared, &dir)?;
+        }
+        Ok(Server { listener, shared })
     }
 
     /// The bound address.
@@ -391,6 +433,10 @@ struct Job {
     conn: u64,
     version: u32,
     request: Request,
+    /// Cooperative-cancellation deadline: the tighter of the session's
+    /// `DEADLINE` and the server's `--query-timeout`, anchored at
+    /// dispatch time.
+    deadline: Option<Instant>,
 }
 
 /// What a worker hands back to the front end.
@@ -427,9 +473,9 @@ fn worker_loop(
         };
         // A panic must cost one request, not silently shrink the pool.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            handle_request(shared, job.version, job.request)
+            handle_request(shared, job.version, job.request, job.deadline)
         }))
-        .unwrap_or_else(|_| Outcome::Frame(Response::Error("internal error".into())));
+        .unwrap_or_else(|_| Outcome::Frame(Response::err(ErrorCode::Internal, "internal error")));
         if done.send((job.conn, outcome)).is_err() {
             return; // front end gone: shutdown
         }
@@ -519,6 +565,10 @@ enum Work {
     Reply(Response),
     /// Switch protocol version, then acknowledge.
     Hello(u32),
+    /// Set (or with 0, clear) the session's per-request deadline, then
+    /// acknowledge. Applied in queue order, so it governs exactly the
+    /// requests that follow it.
+    Deadline(u64),
     /// Acknowledge with `BYE` and close once flushed.
     Bye,
 }
@@ -553,10 +603,14 @@ struct Conn {
     eof: bool,
     /// `BYE` queued: drop once flushed.
     closing: bool,
+    /// Per-session query budget set by `DEADLINE <ms>` (`None` = unset).
+    deadline_ms: Option<u64>,
+    /// Seeded fault decisions for this connection (`--faults`).
+    faults: Option<FaultStream>,
 }
 
 impl Conn {
-    fn new(stream: TcpStream) -> Conn {
+    fn new(stream: TcpStream, faults: Option<FaultStream>) -> Conn {
         Conn {
             stream,
             frames: FrameBuffer::new(),
@@ -569,6 +623,8 @@ impl Conn {
             last_recv: Instant::now(),
             eof: false,
             closing: false,
+            deadline_ms: None,
+            faults,
         }
     }
 
@@ -586,7 +642,7 @@ impl Conn {
     }
 
     fn enqueue_response(&mut self, response: &Response, shared: &Shared) {
-        if matches!(response, Response::Error(_)) {
+        if matches!(response, Response::Error { .. }) {
             shared.errors.fetch_add(1, Ordering::Relaxed);
         }
         self.enqueue_line(&response.to_string(), shared);
@@ -595,6 +651,25 @@ impl Conn {
     /// Flush as much outbound as the socket accepts. `Ok(true)` when
     /// fully drained, `Err` when the connection is dead.
     fn flush(&mut self) -> io::Result<bool> {
+        // Chaos hook: a faulted connection may stall, truncate its
+        // pending frame (torn write), corrupt a byte, or drop outright —
+        // once per flush call, so healthy flushes stay one branch.
+        if let Some(faults) = &mut self.faults {
+            if self.out_pos < self.out.len() {
+                match faults.on_write() {
+                    FaultAction::Drop => return Err(io::ErrorKind::ConnectionReset.into()),
+                    FaultAction::Partial => {
+                        let cut = faults.cut_point(self.out.len() - self.out_pos);
+                        let _ = self
+                            .stream
+                            .write(&self.out[self.out_pos..self.out_pos + cut]);
+                        return Err(io::ErrorKind::ConnectionReset.into());
+                    }
+                    FaultAction::None => {}
+                }
+                faults.maybe_flip(&mut self.out[self.out_pos..]);
+            }
+        }
         while self.out_pos < self.out.len() {
             match self.stream.write(&self.out[self.out_pos..]) {
                 Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
@@ -741,7 +816,14 @@ impl<'a> FrontEnd<'a> {
                     let _ = stream.set_nodelay(true);
                     self.shared.connections.fetch_add(1, Ordering::Relaxed);
                     self.next_token += 1;
-                    self.conns.insert(self.next_token, Conn::new(stream));
+                    let faults = self
+                        .shared
+                        .config
+                        .faults
+                        .filter(|plan| plan.is_active())
+                        .map(|plan| plan.stream(self.next_token));
+                    self.conns
+                        .insert(self.next_token, Conn::new(stream, faults));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
@@ -776,6 +858,12 @@ impl<'a> FrontEnd<'a> {
                     return true; // serve what is queued, then drop
                 }
                 Ok(n) => {
+                    if let Some(faults) = &mut conn.faults {
+                        if faults.on_read() == FaultAction::Drop {
+                            return false;
+                        }
+                        faults.maybe_flip(&mut buf[..n]);
+                    }
                     conn.last_recv = Instant::now();
                     conn.frames.push(&buf[..n]);
                     self.drain_frames(token);
@@ -795,14 +883,16 @@ impl<'a> FrontEnd<'a> {
         while let Some(frame) = conn.frames.next_frame() {
             self.shared.requests.fetch_add(1, Ordering::Relaxed);
             let work = match frame {
-                Frame::Oversized => Work::Reply(Response::Error(format!(
-                    "line exceeds {MAX_LINE_BYTES} bytes"
-                ))),
+                Frame::Oversized => Work::Reply(Response::err(
+                    ErrorCode::Parse,
+                    format!("line exceeds {MAX_LINE_BYTES} bytes"),
+                )),
                 Frame::Line(line) => match Request::parse(&line) {
                     Ok(Request::Hello { version }) => Work::Hello(version),
+                    Ok(Request::Deadline { ms }) => Work::Deadline(ms),
                     Ok(Request::Close) => Work::Bye,
                     Ok(request) => Work::Run(request),
-                    Err(message) => Work::Reply(Response::Error(message)),
+                    Err(message) => Work::Reply(Response::err(ErrorCode::Parse, message)),
                 },
             };
             conn.work.push_back(work);
@@ -849,6 +939,15 @@ impl<'a> FrontEnd<'a> {
                     let version = conn.version;
                     conn.enqueue_response(&Response::Hello { version }, self.shared);
                 }
+                Work::Deadline(ms) => {
+                    conn.deadline_ms = (ms > 0).then_some(ms);
+                    let ack = if ms > 0 {
+                        Response::Ok(format!("deadline {ms}ms"))
+                    } else {
+                        Response::Ok("deadline cleared".into())
+                    };
+                    conn.enqueue_response(&ack, self.shared);
+                }
                 Work::Bye => {
                     conn.closing = true;
                     conn.enqueue_response(&Response::Bye, self.shared);
@@ -861,10 +960,19 @@ impl<'a> FrontEnd<'a> {
                     conn.enqueue_response(&response, self.shared);
                 }
                 Work::Run(request) => {
+                    // The job's deadline is the tighter of the session's
+                    // DEADLINE and the server-wide --query-timeout,
+                    // anchored when the request leaves the queue.
+                    let budget = match (conn.deadline_ms, self.shared.config.query_timeout) {
+                        (Some(ms), Some(cap)) => Some(Duration::from_millis(ms).min(cap)),
+                        (Some(ms), None) => Some(Duration::from_millis(ms)),
+                        (None, cap) => cap,
+                    };
                     let job = Job {
                         conn: token,
                         version: conn.version,
                         request,
+                        deadline: budget.map(|b| Instant::now() + b),
                     };
                     conn.inflight = true;
                     if self.job_tx.send(job).is_err() {
@@ -961,30 +1069,61 @@ fn chunk_response(run: &RunOutput, index: usize, parts: usize) -> Response {
 
 // ------------------------------------------------------------- dispatch
 
-fn handle_request(shared: &Shared, version: u32, request: Request) -> Outcome {
+fn handle_request(
+    shared: &Shared,
+    version: u32,
+    request: Request,
+    deadline: Option<Instant>,
+) -> Outcome {
+    // A recovering server (replica mid-sync) serves nothing that could
+    // leak a stale or half-copied catalog.
+    if shared.recovering.load(Ordering::SeqCst) {
+        match request {
+            Request::Stats | Request::Hello { .. } | Request::Close | Request::Deadline { .. } => {}
+            _ => {
+                return Outcome::Frame(Response::err(
+                    ErrorCode::Recovering,
+                    "catalog sync in progress",
+                ))
+            }
+        }
+    }
+    // The canonical wire line of a catalog mutation doubles as its WAL
+    // payload — formatted before the request is consumed.
+    let wire = match &request {
+        Request::Load { .. }
+        | Request::Stage { .. }
+        | Request::Commit { .. }
+        | Request::Abort { .. }
+        | Request::Append { .. }
+        | Request::Delete { .. } => Some(request.to_string()),
+        _ => None,
+    };
+    let wire = wire.as_deref();
     match request {
-        Request::Load { name, source } => Outcome::Frame(load(shared, &name, source)),
+        Request::Load { name, source } => Outcome::Frame(load(shared, &name, source, wire)),
         Request::Prepare { id, plan } => Outcome::Frame(prepare(shared, id, &plan)),
         Request::Execute { id } => match lookup(shared, &id) {
-            Some(session) => run_outcome(shared, version, &session),
-            None => Outcome::Frame(Response::Error(format!(
-                "unknown query id {id:?}: PREPARE it first"
-            ))),
+            Some(session) => run_outcome(shared, version, &session, deadline),
+            None => Outcome::Frame(Response::err(
+                ErrorCode::Invalid,
+                format!("unknown query id {id:?}: PREPARE it first"),
+            )),
         },
         Request::Query { plan } => match shared.engine.prepare(&plan.to_plan()) {
-            Ok(prepared) => run_outcome(shared, version, &Session::new(prepared, &plan)),
-            Err(e) => Outcome::Frame(Response::Error(e.to_string())),
+            Ok(prepared) => run_outcome(shared, version, &Session::new(prepared, &plan), deadline),
+            Err(e) => Outcome::Frame(Response::err(ErrorCode::Invalid, e.to_string())),
         },
         Request::Explain { id } => Outcome::Frame(explain(shared, &id)),
         Request::Stats => Outcome::Frame(Response::Stats(stats(shared))),
         Request::Sync { name } => Outcome::Frame(sync(shared, name.as_deref())),
-        Request::Stage { name, csv } => Outcome::Frame(stage(shared, &name, &csv)),
-        Request::Commit { name } => Outcome::Frame(commit(shared, &name)),
-        Request::Abort { name } => Outcome::Frame(abort(shared, &name)),
+        Request::Stage { name, csv } => Outcome::Frame(stage(shared, &name, &csv, wire)),
+        Request::Commit { name } => Outcome::Frame(commit(shared, &name, wire)),
+        Request::Abort { name } => Outcome::Frame(abort(shared, &name, wire)),
         Request::Append { name, rows, staged } => {
-            Outcome::Frame(append(shared, &name, &rows, staged))
+            Outcome::Frame(append(shared, &name, &rows, staged, wire))
         }
-        Request::Delete { name, keys } => Outcome::Frame(delete(shared, &name, &keys)),
+        Request::Delete { name, keys } => Outcome::Frame(delete(shared, &name, &keys, wire)),
         Request::Fetch {
             left,
             right,
@@ -998,31 +1137,42 @@ fn handle_request(shared: &Shared, version: u32, request: Request) -> Outcome {
             k,
             rows,
         } => Outcome::Frame(check(shared, &left, &right, &aggs, k, &rows)),
-        // HELLO / MORE / CLOSE are served by the front end, never
-        // dispatched; answering them here keeps the match total.
+        // HELLO / MORE / CLOSE / DEADLINE are served by the front end,
+        // never dispatched; answering them here keeps the match total.
         Request::Hello { version } => {
             let version = version.clamp(1, PROTOCOL_VERSION);
             Outcome::Frame(Response::Hello { version })
         }
         Request::More { cursor } => Outcome::Frame(more(shared, version, cursor)),
+        Request::Deadline { ms } => Outcome::Frame(Response::Ok(format!("deadline {ms}ms"))),
         Request::Close => Outcome::Frame(Response::Bye),
     }
 }
 
 /// Serve one `MORE <cursor>` page out of the result cache.
 fn more(shared: &Shared, version: u32, cursor: Cursor) -> Response {
+    if shared.recovering.load(Ordering::SeqCst) {
+        return Response::err(ErrorCode::Recovering, "catalog sync in progress");
+    }
     if version < 2 {
-        return Response::Error("MORE requires protocol v2 (send HELLO 2 first)".into());
+        return Response::err(
+            ErrorCode::Invalid,
+            "MORE requires protocol v2 (send HELLO 2 first)",
+        );
     }
     let Some(hit) = shared.cache.by_id(cursor.result) else {
-        return Response::Error(format!(
-            "unknown or expired cursor {cursor} (results age out of the cache)"
-        ));
+        return Response::err(
+            ErrorCode::Invalid,
+            format!("unknown or expired cursor {cursor} (results age out of the cache)"),
+        );
     };
     let parts = hit.output.chunk_count(ROWS_PER_CHUNK);
     let index = (cursor.part - 1) as usize;
     if index >= parts {
-        return Response::Error(format!("cursor {cursor} is past the end ({parts} parts)"));
+        return Response::err(
+            ErrorCode::Invalid,
+            format!("cursor {cursor} is past the end ({parts} parts)"),
+        );
     }
     let run = RunOutput {
         k: hit.k,
@@ -1034,7 +1184,121 @@ fn more(shared: &Shared, version: u32, cursor: Cursor) -> Response {
     chunk_response(&run, index, parts)
 }
 
-fn load(shared: &Shared, name: &str, source: LoadSource) -> Response {
+// ----------------------------------------------------- durable catalog
+
+/// Rebuild the committed catalog from `dir` (snapshot + WAL replay),
+/// then compact and leave the WAL open for the mutation handlers.
+///
+/// Replay re-runs each logged wire line through the *same* handler that
+/// applied it originally (`shared.wal` is still `None`, so nothing is
+/// re-logged), which is what makes the recovered catalog byte-identical
+/// to the pre-crash committed state. Whatever is still staged after
+/// replay was never committed — clearing it is exactly the `ABORT` the
+/// coordinating router would have issued.
+fn recover_catalog(shared: &Arc<Shared>, dir: &std::path::Path) -> io::Result<()> {
+    let recovery = durability::recover(dir)?;
+    for record in &recovery.records {
+        let line = std::str::from_utf8(&record.payload)
+            .map_err(|_| io::Error::other(format!("WAL record {} is not UTF-8", record.seq)))?;
+        replay_mutation(shared, line)
+            .map_err(|e| io::Error::other(format!("WAL record {} ({line:?}): {e}", record.seq)))?;
+    }
+    shared
+        .staged
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clear();
+    shared
+        .staged_deltas
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clear();
+    // Replay bumped the epoch per mutation from 0; restore the durable
+    // counter (compaction collapses history, so it cannot be re-derived).
+    shared
+        .catalog_epoch
+        .store(recovery.last_epoch, Ordering::SeqCst);
+    let lines = snapshot_lines(shared)?;
+    let wal = durability::compact(dir, &lines, recovery.last_seq, recovery.last_epoch)?;
+    *shared.wal.lock().unwrap_or_else(|e| e.into_inner()) = Some(wal);
+    Ok(())
+}
+
+/// Apply one logged wire line through the ordinary mutation handlers.
+fn replay_mutation(shared: &Shared, line: &str) -> Result<(), String> {
+    let response = match Request::parse(line)? {
+        Request::Load { name, source } => load(shared, &name, source, None),
+        Request::Stage { name, csv } => stage(shared, &name, &csv, None),
+        Request::Commit { name } => commit(shared, &name, None),
+        Request::Abort { name } => abort(shared, &name, None),
+        Request::Append { name, rows, staged } => append(shared, &name, &rows, staged, None),
+        Request::Delete { name, keys } => delete(shared, &name, &keys, None),
+        other => return Err(format!("non-mutation request in WAL: {other}")),
+    };
+    match response {
+        Response::Error { code, message } => Err(format!("replay failed ({code}): {message}")),
+        _ => Ok(()),
+    }
+}
+
+/// Export the committed catalog as one canonical `LOAD … INLINE` wire
+/// line per relation (sorted by name, keys decoded through the shared
+/// dictionary) — the snapshot format *is* the replay format.
+fn snapshot_lines(shared: &Shared) -> io::Result<Vec<String>> {
+    let catalog = shared.engine.catalog();
+    let mut names = catalog.names();
+    names.sort();
+    let mut lines = Vec::with_capacity(names.len());
+    for name in names {
+        let Some(handle) = catalog.get(&name) else {
+            continue;
+        };
+        let csv = ksjq_datagen::relation_to_annotated_csv_with(handle.relation(), "key", |gid| {
+            catalog.decode_key(gid)
+        })
+        .map_err(|e| io::Error::other(format!("cannot snapshot {name:?}: {e}")))?;
+        lines.push(
+            Request::Load {
+                name,
+                source: LoadSource::Inline { csv },
+            }
+            .to_string(),
+        );
+    }
+    Ok(lines)
+}
+
+/// Make one applied mutation durable. Called by the mutation handlers at
+/// their success point, *while still holding* the `catalog_cells` lock,
+/// so WAL order is exactly apply order. `wire` is `None` during replay
+/// (and for callers without a durable line); the record is fsynced
+/// before this returns, so the caller's `OK` implies durability.
+///
+/// A log failure after the in-memory apply is reported as `ERR internal`
+/// — the mutation is visible but not durable, and the message says so;
+/// the client must treat the state as uncertain (like a lost `OK`).
+fn log_mutation(shared: &Shared, wire: Option<&str>) -> Result<(), Box<Response>> {
+    let Some(line) = wire else {
+        return Ok(());
+    };
+    let mut wal = shared.wal.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(wal) = wal.as_mut() else {
+        return Ok(());
+    };
+    let epoch = shared.catalog_epoch.load(Ordering::SeqCst);
+    match wal.append(epoch, line.as_bytes()) {
+        Ok(_) => {
+            shared.wal_records.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+        Err(e) => Err(Box::new(Response::err(
+            ErrorCode::Internal,
+            format!("mutation applied but not durable (WAL append failed: {e})"),
+        ))),
+    }
+}
+
+fn load(shared: &Shared, name: &str, source: LoadSource, wire: Option<&str>) -> Response {
     // The cells budget is checked-and-updated under one lock so two
     // concurrent LOADs cannot both squeeze under it. LOAD is rare; the
     // serialisation is invisible next to CSV parsing or generation.
@@ -1062,9 +1326,10 @@ fn load(shared: &Shared, name: &str, source: LoadSource) -> Response {
         },
         LoadSource::Synthetic(spec) => {
             if spec.n.saturating_mul(spec.d) > MAX_SYNTHETIC_CELLS {
-                return Response::Error(format!(
-                    "synthetic relation too large: n·d must stay ≤ {MAX_SYNTHETIC_CELLS}"
-                ));
+                return Response::err(
+                    ErrorCode::Invalid,
+                    format!("synthetic relation too large: n·d must stay ≤ {MAX_SYNTHETIC_CELLS}"),
+                );
             }
             reencode_keys(catalog, spec.dataset_spec().generate()).and_then(|rel| {
                 // Generation already succeeded, so the old binding can
@@ -1088,9 +1353,12 @@ fn load(shared: &Shared, name: &str, source: LoadSource) -> Response {
                 *cells = cells.saturating_sub(replaced);
                 shared.catalog_epoch.fetch_add(1, Ordering::SeqCst);
                 shared.cache.invalidate_relation(name);
-                return Response::Error(format!(
-                    "catalog cell budget exceeded: {after} > {budget} (relation {name:?} not kept)"
-                ));
+                return Response::err(
+                    ErrorCode::Invalid,
+                    format!(
+                        "catalog cell budget exceeded: {after} > {budget} (relation {name:?} not kept)"
+                    ),
+                );
             }
             *cells = after;
             // Catalog changed under this name: only results whose plans
@@ -1100,13 +1368,16 @@ fn load(shared: &Shared, name: &str, source: LoadSource) -> Response {
             drop_live(shared, name);
             shared.catalog_epoch.fetch_add(1, Ordering::SeqCst);
             shared.cache.invalidate_relation(name);
+            if let Err(e) = log_mutation(shared, wire) {
+                return *e;
+            }
             Response::Ok(format!(
                 "loaded {name} n={} d={}",
                 handle.n(),
                 handle.schema().d()
             ))
         }
-        Err(message) => Response::Error(message),
+        Err(message) => Response::err(ErrorCode::Parse, message),
     }
 }
 
@@ -1153,7 +1424,7 @@ fn prepare(shared: &Shared, id: String, plan: &PlanSpec) -> Response {
                 .insert(id.clone(), Session::new(prepared, plan));
             Response::Ok(format!("prepared {id} k={k}"))
         }
-        Err(e) => Response::Error(e.to_string()),
+        Err(e) => Response::err(ErrorCode::Invalid, e.to_string()),
     }
 }
 
@@ -1169,9 +1440,21 @@ fn lookup(shared: &Shared, id: &str) -> Option<Session> {
 /// Execute (or cache-serve) a session's query, shaped for the session's
 /// protocol version: v1 gets the whole result as one `ROWS` frame, v2
 /// gets a streamable [`RunOutput`].
-fn run_outcome(shared: &Shared, version: u32, session: &Session) -> Outcome {
-    match run_session(shared, session) {
-        Err(e) => Outcome::Frame(Response::Error(e.to_string())),
+fn run_outcome(
+    shared: &Shared,
+    version: u32,
+    session: &Session,
+    deadline: Option<Instant>,
+) -> Outcome {
+    match run_session(shared, session, deadline) {
+        Err(CoreError::DeadlineExceeded) => {
+            shared.timeouts.fetch_add(1, Ordering::Relaxed);
+            Outcome::Frame(Response::err(
+                ErrorCode::Timeout,
+                CoreError::DeadlineExceeded.to_string(),
+            ))
+        }
+        Err(e) => Outcome::Frame(Response::err(ErrorCode::Invalid, e.to_string())),
         Ok(run) if version >= 2 => Outcome::Result(run),
         Ok(run) => Outcome::Frame(Response::Rows(RowSet {
             k: run.k,
@@ -1182,7 +1465,11 @@ fn run_outcome(shared: &Shared, version: u32, session: &Session) -> Outcome {
     }
 }
 
-fn run_session(shared: &Shared, session: &Session) -> CoreResult<RunOutput> {
+fn run_session(
+    shared: &Shared,
+    session: &Session,
+    deadline: Option<Instant>,
+) -> CoreResult<RunOutput> {
     if let Some(hit) = shared.cache.get(&session.fingerprint) {
         return Ok(RunOutput {
             k: hit.k,
@@ -1195,7 +1482,7 @@ fn run_session(shared: &Shared, session: &Session) -> CoreResult<RunOutput> {
     let k = session.prepared.k();
     let epoch = shared.catalog_epoch.load(Ordering::SeqCst);
     let started = Instant::now();
-    let output = session.prepared.execute()?;
+    let output = session.prepared.execute_within(deadline)?;
     let micros = started.elapsed().as_micros() as u64;
     shared
         .dom_tests
@@ -1254,7 +1541,7 @@ fn sync(shared: &Shared, name: Option<&str>) -> Response {
         },
         Some(name) => {
             let Some(handle) = catalog.get(name) else {
-                return Response::Error(format!("unknown relation {name:?}"));
+                return Response::err(ErrorCode::Invalid, format!("unknown relation {name:?}"));
             };
             match ksjq_datagen::relation_to_annotated_csv_with(handle.relation(), "key", |gid| {
                 catalog.decode_key(gid)
@@ -1263,7 +1550,9 @@ fn sync(shared: &Shared, name: Option<&str>) -> Response {
                     name: name.into(),
                     csv,
                 },
-                Err(e) => Response::Error(format!("cannot export {name:?}: {e}")),
+                Err(e) => {
+                    Response::err(ErrorCode::Internal, format!("cannot export {name:?}: {e}"))
+                }
             }
         }
     }
@@ -1274,20 +1563,33 @@ fn sync(shared: &Shared, name: Option<&str>) -> Response {
 /// non-numeric cells) fail *here*, which is what lets a router run
 /// stage-everywhere / commit-everywhere and guarantee no shard ever
 /// drops its old binding for a replacement that another shard rejected.
-fn stage(shared: &Shared, name: &str, csv: &str) -> Response {
+fn stage(shared: &Shared, name: &str, csv: &str, wire: Option<&str>) -> Response {
+    // The cells lock serialises every catalog mutation (even ones that
+    // touch no cells) so WAL record order is apply order. Lock order
+    // everywhere: catalog_cells → staged/staged_deltas/live → wal.
+    let _cells = shared
+        .catalog_cells
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
     let mut staged = shared.staged.lock().unwrap_or_else(|e| e.into_inner());
     if staged.len() >= MAX_STAGED && !staged.contains_key(name) {
-        return Response::Error(format!(
-            "too many staged relations (max {MAX_STAGED}): COMMIT or ABORT some first"
-        ));
+        return Response::err(
+            ErrorCode::Busy,
+            format!("too many staged relations (max {MAX_STAGED}): COMMIT or ABORT some first"),
+        );
     }
     match shared.engine.catalog().parse_csv(csv) {
         Ok(rel) => {
             let (n, d) = (rel.n(), rel.schema().d());
             staged.insert(name.into(), rel);
+            // Staged data is logged so a later logged COMMIT can replay;
+            // anything still staged after replay is cleared (= ABORT).
+            if let Err(e) = log_mutation(shared, wire) {
+                return *e;
+            }
             Response::Ok(format!("staged {name} n={n} d={d}"))
         }
-        Err(e) => Response::Error(e.to_string()),
+        Err(e) => Response::err(ErrorCode::Parse, e.to_string()),
     }
 }
 
@@ -1296,14 +1598,20 @@ fn stage(shared: &Shared, name: &str, csv: &str) -> Response {
 /// append path; a staged *relation* (from `STAGE`) replaces the binding.
 /// A budget rejection leaves the *old* binding live — unlike a plain
 /// over-budget `LOAD`, nothing is lost.
-fn commit(shared: &Shared, name: &str) -> Response {
+fn commit(shared: &Shared, name: &str, wire: Option<&str>) -> Response {
+    // Cells lock first: all catalog mutations serialise here so WAL
+    // record order is apply order.
+    let mut cells = shared
+        .catalog_cells
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
     if let Some(delta) = shared
         .staged_deltas
         .lock()
         .unwrap_or_else(|e| e.into_inner())
         .remove(name)
     {
-        return apply_append(shared, name, delta);
+        return apply_append(shared, name, delta, &mut cells, wire);
     }
     let Some(rel) = shared
         .staged
@@ -1311,12 +1619,8 @@ fn commit(shared: &Shared, name: &str) -> Response {
         .unwrap_or_else(|e| e.into_inner())
         .remove(name)
     else {
-        return Response::Error(format!("nothing staged under {name:?}"));
+        return Response::err(ErrorCode::Invalid, format!("nothing staged under {name:?}"));
     };
-    let mut cells = shared
-        .catalog_cells
-        .lock()
-        .unwrap_or_else(|e| e.into_inner());
     let catalog = shared.engine.catalog();
     let replaced = catalog
         .get(name)
@@ -1326,9 +1630,12 @@ fn commit(shared: &Shared, name: &str) -> Response {
     let budget = shared.config.max_catalog_cells;
     let after = cells.saturating_sub(replaced).saturating_add(added);
     if after > budget {
-        return Response::Error(format!(
-            "catalog cell budget exceeded: {after} > {budget} (old binding for {name:?} kept)"
-        ));
+        return Response::err(
+            ErrorCode::Invalid,
+            format!(
+                "catalog cell budget exceeded: {after} > {budget} (old binding for {name:?} kept)"
+            ),
+        );
     }
     let (n, d) = (rel.n(), rel.schema().d());
     let _ = catalog.deregister(name);
@@ -1338,6 +1645,9 @@ fn commit(shared: &Shared, name: &str) -> Response {
             drop_live(shared, name);
             shared.catalog_epoch.fetch_add(1, Ordering::SeqCst);
             shared.cache.invalidate_relation(name);
+            if let Err(e) = log_mutation(shared, wire) {
+                return *e;
+            }
             Response::Ok(format!("committed {name} n={n} d={d}"))
         }
         Err(e) => {
@@ -1346,7 +1656,7 @@ fn commit(shared: &Shared, name: &str) -> Response {
             *cells = cells.saturating_sub(replaced);
             shared.catalog_epoch.fetch_add(1, Ordering::SeqCst);
             shared.cache.invalidate_relation(name);
-            Response::Error(e.to_string())
+            Response::err(ErrorCode::Internal, e.to_string())
         }
     }
 }
@@ -1354,7 +1664,11 @@ fn commit(shared: &Shared, name: &str) -> Response {
 /// `ABORT <name>`: drop staged data — a staged relation and/or a staged
 /// delta. Idempotent — aborting a name with nothing staged still answers
 /// `OK`, so a router can blanket-abort.
-fn abort(shared: &Shared, name: &str) -> Response {
+fn abort(shared: &Shared, name: &str, wire: Option<&str>) -> Response {
+    let _cells = shared
+        .catalog_cells
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
     let removed = shared
         .staged
         .lock()
@@ -1367,11 +1681,17 @@ fn abort(shared: &Shared, name: &str) -> Response {
             .unwrap_or_else(|e| e.into_inner())
             .remove(name)
             .is_some();
-    Response::Ok(if removed {
-        format!("aborted {name}")
+    if removed {
+        // Only aborts that dropped something need a durable record (a
+        // logged STAGE must not replay past its abort); no-op aborts
+        // would just bloat the log.
+        if let Err(e) = log_mutation(shared, wire) {
+            return *e;
+        }
+        Response::Ok(format!("aborted {name}"))
     } else {
-        format!("aborted {name} (nothing was staged)")
-    })
+        Response::Ok(format!("aborted {name} (nothing was staged)"))
+    }
 }
 
 /// Forget the versioned chain behind `name` (the binding was replaced
@@ -1438,49 +1758,62 @@ fn parse_delta(
 /// existing relation in place. `ROWS` applies immediately; `STAGE` parses
 /// and holds the delta for a router-driven `COMMIT`/`ABORT`, so a
 /// distributed append is all-shards-or-none just like a distributed load.
-fn append(shared: &Shared, name: &str, csv: &str, staged: bool) -> Response {
+fn append(shared: &Shared, name: &str, csv: &str, staged: bool, wire: Option<&str>) -> Response {
     let Some(handle) = shared.engine.catalog().get(name) else {
-        return Response::Error(format!(
-            "unknown relation {name:?}: APPEND extends an existing relation"
-        ));
+        return Response::err(
+            ErrorCode::Invalid,
+            format!("unknown relation {name:?}: APPEND extends an existing relation"),
+        );
     };
     let delta = match parse_delta(shared.engine.catalog(), handle.schema().d(), csv) {
         Ok(delta) => delta,
-        Err(message) => return Response::Error(message),
+        Err(message) => return Response::err(ErrorCode::Parse, message),
     };
+    let mut cells = shared
+        .catalog_cells
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
     if staged {
         let mut deltas = shared
             .staged_deltas
             .lock()
             .unwrap_or_else(|e| e.into_inner());
         if deltas.len() >= MAX_STAGED && !deltas.contains_key(name) {
-            return Response::Error(format!(
-                "too many staged deltas (max {MAX_STAGED}): COMMIT or ABORT some first"
-            ));
+            return Response::err(
+                ErrorCode::Busy,
+                format!("too many staged deltas (max {MAX_STAGED}): COMMIT or ABORT some first"),
+            );
         }
         let rows = delta.rows.len();
         deltas.insert(name.into(), delta);
+        if let Err(e) = log_mutation(shared, wire) {
+            return *e;
+        }
         return Response::Ok(format!("staged delta for {name} +{rows} rows"));
     }
-    apply_append(shared, name, delta)
+    apply_append(shared, name, delta, &mut cells, wire)
 }
 
 /// Apply a parsed delta: derive the next version (sharing unchanged
 /// column blocks with the current one), rebind the name, bump the epoch,
 /// then walk the result cache *upgrading* entries through the incremental
 /// maintainer instead of evicting them.
-fn apply_append(shared: &Shared, name: &str, delta: StagedDelta) -> Response {
-    // Serialised with LOAD/COMMIT/DELETE under the cells lock: budget
-    // check, version derivation and rebind are atomic per mutation.
-    let mut cells = shared
-        .catalog_cells
-        .lock()
-        .unwrap_or_else(|e| e.into_inner());
+fn apply_append(
+    shared: &Shared,
+    name: &str,
+    delta: StagedDelta,
+    cells: &mut usize,
+    wire: Option<&str>,
+) -> Response {
+    // The caller holds the cells lock (`cells` borrows its guard), so
+    // budget check, version derivation, rebind and WAL append are atomic
+    // per mutation — serialised with LOAD/COMMIT/DELETE.
     let catalog = shared.engine.catalog();
     let Some(handle) = catalog.get(name) else {
-        return Response::Error(format!(
-            "unknown relation {name:?}: APPEND extends an existing relation"
-        ));
+        return Response::err(
+            ErrorCode::Invalid,
+            format!("unknown relation {name:?}: APPEND extends an existing relation"),
+        );
     };
     let old = handle.relation().clone();
     let old_n = old.n();
@@ -1488,17 +1821,21 @@ fn apply_append(shared: &Shared, name: &str, delta: StagedDelta) -> Response {
     if delta.rows.iter().any(|row| row.len() != d) {
         // Possible only for a delta staged against a binding that was
         // since replaced with a different arity.
-        return Response::Error(format!(
-            "staged delta does not match {name:?} (arity changed since STAGE)"
-        ));
+        return Response::err(
+            ErrorCode::Invalid,
+            format!("staged delta does not match {name:?} (arity changed since STAGE)"),
+        );
     }
     let added = delta.rows.len().saturating_mul(d);
     let budget = shared.config.max_catalog_cells;
     let after = cells.saturating_add(added);
     if after > budget {
-        return Response::Error(format!(
-            "catalog cell budget exceeded: {after} > {budget} (relation {name:?} unchanged)"
-        ));
+        return Response::err(
+            ErrorCode::Invalid,
+            format!(
+                "catalog cell budget exceeded: {after} > {budget} (relation {name:?} unchanged)"
+            ),
+        );
     }
     // Reuse the live versioned chain while it still derives the bound
     // snapshot; rebuild it after a LOAD/COMMIT replaced the relation.
@@ -1511,7 +1848,9 @@ fn apply_append(shared: &Shared, name: &str, delta: StagedDelta) -> Response {
             Ok(v) => {
                 live.insert(name.to_string(), v);
             }
-            Err(e) => return Response::Error(format!("cannot version {name:?}: {e}")),
+            Err(e) => {
+                return Response::err(ErrorCode::Internal, format!("cannot version {name:?}: {e}"))
+            }
         }
     }
     let next = match live
@@ -1520,7 +1859,7 @@ fn apply_append(shared: &Shared, name: &str, delta: StagedDelta) -> Response {
         .append(&delta.keys, &delta.rows)
     {
         Ok(next) => next,
-        Err(e) => return Response::Error(e.to_string()),
+        Err(e) => return Response::err(ErrorCode::Invalid, e.to_string()),
     };
     let snapshot = next.snapshot().clone();
     live.insert(name.to_string(), next);
@@ -1539,10 +1878,13 @@ fn apply_append(shared: &Shared, name: &str, delta: StagedDelta) -> Response {
         *cells = cells.saturating_sub(old_n.saturating_mul(d));
         shared.catalog_epoch.fetch_add(1, Ordering::SeqCst);
         shared.cache.invalidate_relation(name);
-        return Response::Error(e.to_string());
+        return Response::err(ErrorCode::Internal, e.to_string());
     }
     *cells = after;
     let epoch = shared.catalog_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+    if let Err(e) = log_mutation(shared, wire) {
+        return *e;
+    }
     shared
         .delta_rows
         .fetch_add(delta.rows.len() as u64, Ordering::Relaxed);
@@ -1634,14 +1976,14 @@ fn maintain_entry(
 /// Deletions shift surviving tuple ids, so cached (positional) results
 /// cannot be maintained — entries referencing the relation are evicted
 /// and recompute on next use.
-fn delete(shared: &Shared, name: &str, keys: &[String]) -> Response {
+fn delete(shared: &Shared, name: &str, keys: &[String], wire: Option<&str>) -> Response {
     let mut cells = shared
         .catalog_cells
         .lock()
         .unwrap_or_else(|e| e.into_inner());
     let catalog = shared.engine.catalog();
     let Some(handle) = catalog.get(name) else {
-        return Response::Error(format!("unknown relation {name:?}"));
+        return Response::err(ErrorCode::Invalid, format!("unknown relation {name:?}"));
     };
     let old = handle.relation().clone();
     let d = old.schema().d();
@@ -1654,7 +1996,9 @@ fn delete(shared: &Shared, name: &str, keys: &[String]) -> Response {
             Ok(v) => {
                 live.insert(name.to_string(), v);
             }
-            Err(e) => return Response::Error(format!("cannot version {name:?}: {e}")),
+            Err(e) => {
+                return Response::err(ErrorCode::Internal, format!("cannot version {name:?}: {e}"))
+            }
         }
     }
     let mut removed_total = 0usize;
@@ -1662,7 +2006,7 @@ fn delete(shared: &Shared, name: &str, keys: &[String]) -> Response {
         let gid = catalog.encode_key(key);
         let (next, removed) = match live.get(name).expect("chain ensured above").delete_key(gid) {
             Ok(result) => result,
-            Err(e) => return Response::Error(e.to_string()),
+            Err(e) => return Response::err(ErrorCode::Invalid, e.to_string()),
         };
         removed_total += removed;
         live.insert(name.to_string(), next);
@@ -1678,11 +2022,14 @@ fn delete(shared: &Shared, name: &str, keys: &[String]) -> Response {
         *cells = cells.saturating_sub(old.n().saturating_mul(d));
         shared.catalog_epoch.fetch_add(1, Ordering::SeqCst);
         shared.cache.invalidate_relation(name);
-        return Response::Error(e.to_string());
+        return Response::err(ErrorCode::Internal, e.to_string());
     }
     *cells = cells.saturating_sub(removed_total.saturating_mul(d));
     let epoch = shared.catalog_epoch.fetch_add(1, Ordering::SeqCst) + 1;
     shared.cache.invalidate_relation(name);
+    if let Err(e) = log_mutation(shared, wire) {
+        return *e;
+    }
     Response::Ok(format!(
         "deleted {removed_total} rows from {name} n={} epoch={epoch}",
         snapshot.n()
@@ -1725,18 +2072,22 @@ fn fetch(
 ) -> Response {
     let cx = match join_context(shared, left, right, aggs) {
         Ok(cx) => cx,
-        Err(msg) => return Response::Error(msg),
+        Err(msg) => return Response::err(ErrorCode::Invalid, msg),
     };
     let (ln, rn) = (cx.left().n(), cx.right().n());
     let mut rows = Vec::with_capacity(pairs.len());
     for &(u, v) in pairs {
         if u as usize >= ln || v as usize >= rn {
-            return Response::Error(format!(
-                "pair {u}:{v} out of range (|left| = {ln}, |right| = {rn})"
-            ));
+            return Response::err(
+                ErrorCode::Invalid,
+                format!("pair {u}:{v} out of range (|left| = {ln}, |right| = {rn})"),
+            );
         }
         if !cx.compatible(u, v) {
-            return Response::Error(format!("pair {u}:{v} does not satisfy the join"));
+            return Response::err(
+                ErrorCode::Invalid,
+                format!("pair {u}:{v} does not satisfy the join"),
+            );
         }
         rows.push(cx.joined_row(u, v));
     }
@@ -1760,11 +2111,11 @@ fn check(
 ) -> Response {
     let cx = match join_context(shared, left, right, aggs) {
         Ok(cx) => cx,
-        Err(msg) => return Response::Error(msg),
+        Err(msg) => return Response::err(ErrorCode::Invalid, msg),
     };
     let params = match ksjq_core::validate_k(&cx, k) {
         Ok(params) => params,
-        Err(e) => return Response::Error(e.to_string()),
+        Err(e) => return Response::err(ErrorCode::Invalid, e.to_string()),
     };
     let locals = cx.left_local_attrs().to_vec();
     let mut checker = ksjq_core::ColumnarCheck::new(&cx, k);
@@ -1772,11 +2123,14 @@ fn check(
     let mut bits = Vec::with_capacity(rows.len());
     for row in rows {
         if row.len() != cx.d_joined() {
-            return Response::Error(format!(
-                "probe row has {} values, joined arity is {}",
-                row.len(),
-                cx.d_joined()
-            ));
+            return Response::err(
+                ErrorCode::Invalid,
+                format!(
+                    "probe row has {} values, joined arity is {}",
+                    row.len(),
+                    cx.d_joined()
+                ),
+            );
         }
         let targets = ksjq_core::target_set_for_values(
             cx.left(),
@@ -1800,7 +2154,10 @@ fn check(
 fn explain(shared: &Shared, id: &str) -> Response {
     match lookup(shared, id) {
         Some(session) => Response::Explain(session.prepared.explain().compact()),
-        None => Response::Error(format!("unknown query id {id:?}: PREPARE it first")),
+        None => Response::err(
+            ErrorCode::Invalid,
+            format!("unknown query id {id:?}: PREPARE it first"),
+        ),
     }
 }
 
@@ -1836,6 +2193,8 @@ fn stats(shared: &Shared) -> ServerStats {
         catalog_epoch: shared.catalog_epoch.load(Ordering::SeqCst),
         delta_maintained: shared.delta_maintained.load(Ordering::Relaxed),
         delta_rows: shared.delta_rows.load(Ordering::Relaxed),
+        timeouts: shared.timeouts.load(Ordering::Relaxed),
+        wal_records: shared.wal_records.load(Ordering::Relaxed),
     }
 }
 
@@ -1903,6 +2262,8 @@ mod tests {
             staged: Mutex::new(HashMap::new()),
             staged_deltas: Mutex::new(HashMap::new()),
             live: Mutex::new(HashMap::new()),
+            wal: Mutex::new(None),
+            recovering: AtomicBool::new(false),
             config: ServerConfig::default(),
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
@@ -1916,11 +2277,13 @@ mod tests {
             shed: AtomicU64::new(0),
             reaped: AtomicU64::new(0),
             peak_buf: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            wal_records: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
         };
         let cursor = Cursor { result: 1, part: 1 };
-        assert!(matches!(more(&shared, 1, cursor), Response::Error(_)));
-        assert!(matches!(more(&shared, 2, cursor), Response::Error(_)));
+        assert!(matches!(more(&shared, 1, cursor), Response::Error { .. }));
+        assert!(matches!(more(&shared, 2, cursor), Response::Error { .. }));
         let id = shared
             .cache
             .insert(
@@ -1957,7 +2320,7 @@ mod tests {
                     part: 7
                 }
             ),
-            Response::Error(_)
+            Response::Error { .. }
         ));
     }
 }

@@ -82,7 +82,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Server-side validation travels back as typed errors.
     match client.query(&PlanSpec::new("outbound", "nonexistent")) {
-        Err(ClientError::Server(msg)) => println!("\nbad plan rejected: {msg}"),
+        Err(ClientError::Server { code, message }) => {
+            println!("\nbad plan rejected ({code}): {message}")
+        }
         other => println!("\nunexpected: {other:?}"),
     }
 

@@ -183,7 +183,7 @@ fn cluster(n_shards: usize) -> (Vec<RunningServer>, RunningRouter) {
 fn run_wire(client: &mut KsjqClient, plan: &PlanSpec) -> Result<Vec<(u32, u32)>, ()> {
     match client.query(plan) {
         Ok(rows) => Ok(rows.pairs),
-        Err(ClientError::Server(_)) => Err(()),
+        Err(ClientError::Server { .. }) => Err(()),
         Err(e) => panic!("transport failure: {e}"),
     }
 }
