@@ -6,7 +6,7 @@
 //! paying a clock read per iteration. [`Checkpoint`] is the middle
 //! ground: a countdown that consults the wall clock only every
 //! [`Checkpoint::INTERVAL`] ticks, and only when a deadline is actually
-//! set — the no-deadline path is a single branch on a `None`.
+//! set — the no-deadline path is a decrement and a branch per tick.
 //!
 //! Every execution loop that can run long ticks a checkpoint once per
 //! unit of work (one candidate verified, one find-k probe, one parallel
@@ -14,10 +14,98 @@
 //! [`CoreError::DeadlineExceeded`] and the error propagates out through
 //! the ordinary `CoreResult` plumbing, leaving all shared state intact —
 //! the query can simply be retried with a later deadline.
+//!
+//! The same checkpoints double as *chaos points* for fault injection:
+//! a server can arm a thread-local countdown with [`arm_panic_after`]
+//! and the kernels will `panic!` at the chosen checkpoint, exercising
+//! the worker-pool `catch_unwind` isolation without any test-only hooks
+//! in the engine itself. Disarmed (the default), the hook is one
+//! thread-local read every [`Checkpoint::INTERVAL`] ticks.
+//!
+//! The thread-local countdown never crosses into the kernels' scoped
+//! worker threads, so a server injecting panics into real parallel
+//! executions arms the *process-wide* variant,
+//! [`arm_panic_after_process`], instead: any kernel thread can consume
+//! the countdown, and the panic unwinds through `std::thread::scope`'s
+//! join back into the arming worker's `catch_unwind`. It is meant for a
+//! dedicated chaos process (one armed injection at a time), not for
+//! test binaries whose cases run kernels concurrently.
 
 use crate::error::{CoreError, CoreResult};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
+
+thread_local! {
+    /// Remaining chaos points until an injected panic fires; 0 = disarmed.
+    static CHAOS_PANIC: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Remaining chaos points, process-wide, until an injected panic fires
+/// on whichever thread hits the next chaos point; 0 = disarmed.
+static CHAOS_PANIC_PROCESS: AtomicU64 = AtomicU64::new(0);
+
+/// Arm an injected panic on the current thread: the `points`-th chaos
+/// point (checkpoint clock boundary or [`check_deadline`] call) observed
+/// by this thread panics. `points` is clamped to at least 1. Pair with
+/// [`disarm_panic`] so an armed-but-unfired panic never leaks into the
+/// thread's next unit of work.
+pub fn arm_panic_after(points: u64) {
+    CHAOS_PANIC.with(|c| c.set(points.max(1)));
+}
+
+/// Disarm any pending injected panic on the current thread.
+pub fn disarm_panic() {
+    CHAOS_PANIC.with(|c| c.set(0));
+}
+
+/// Arm an injected panic process-wide: the `points`-th chaos point
+/// observed by *any* thread panics. Unlike [`arm_panic_after`] this
+/// reaches the kernels' scoped worker threads, whose panic unwinds
+/// through the scope join back into the thread that armed it. Pair with
+/// [`disarm_panic_process`].
+pub fn arm_panic_after_process(points: u64) {
+    CHAOS_PANIC_PROCESS.store(points.max(1), Ordering::SeqCst);
+}
+
+/// Disarm any pending process-wide injected panic.
+pub fn disarm_panic_process() {
+    CHAOS_PANIC_PROCESS.store(0, Ordering::SeqCst);
+}
+
+/// One chaos point: counts down an armed injection and fires it at zero.
+#[inline]
+fn chaos_point() {
+    CHAOS_PANIC.with(|c| {
+        let n = c.get();
+        if n == 1 {
+            c.set(0);
+            panic!("injected chaos panic at kernel checkpoint");
+        }
+        if n > 1 {
+            c.set(n - 1);
+        }
+    });
+    // The process-wide countdown; disarmed it costs one relaxed load
+    // per chaos point (i.e. every INTERVAL ticks, not every tick).
+    let mut n = CHAOS_PANIC_PROCESS.load(Ordering::Relaxed);
+    while n > 0 {
+        match CHAOS_PANIC_PROCESS.compare_exchange_weak(
+            n,
+            n - 1,
+            Ordering::SeqCst,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => {
+                if n == 1 {
+                    panic!("injected chaos panic at kernel checkpoint");
+                }
+                return;
+            }
+            Err(current) => n = current,
+        }
+    }
+}
 
 /// A throttled deadline checker for hot loops.
 ///
@@ -56,14 +144,14 @@ impl Checkpoint {
     /// [`CoreError::DeadlineExceeded`] once the deadline has passed.
     #[inline]
     pub fn tick(&mut self) -> CoreResult<()> {
-        let Some(deadline) = self.deadline else {
-            return Ok(());
-        };
         self.countdown -= 1;
         if self.countdown == 0 {
             self.countdown = Self::INTERVAL;
-            if Instant::now() >= deadline {
-                return Err(CoreError::DeadlineExceeded);
+            chaos_point();
+            if let Some(deadline) = self.deadline {
+                if Instant::now() >= deadline {
+                    return Err(CoreError::DeadlineExceeded);
+                }
             }
         }
         Ok(())
@@ -76,12 +164,13 @@ impl Checkpoint {
     /// agree.
     #[inline]
     pub fn tick_shared(&mut self, cancelled: &AtomicBool) -> CoreResult<()> {
-        let Some(deadline) = self.deadline else {
-            return Ok(());
-        };
         self.countdown -= 1;
         if self.countdown == 0 {
             self.countdown = Self::INTERVAL;
+            chaos_point();
+            let Some(deadline) = self.deadline else {
+                return Ok(());
+            };
             if cancelled.load(Ordering::Relaxed) {
                 return Err(CoreError::DeadlineExceeded);
             }
@@ -102,6 +191,7 @@ impl Checkpoint {
 /// [`CoreError::DeadlineExceeded`] if `deadline` is set and has passed.
 #[inline]
 pub fn check_deadline(deadline: Option<Instant>) -> CoreResult<()> {
+    chaos_point();
     match deadline {
         Some(d) if Instant::now() >= d => Err(CoreError::DeadlineExceeded),
         _ => Ok(()),
@@ -138,6 +228,46 @@ mod tests {
         let mut cp = Checkpoint::new(Some(past));
         assert_eq!(cp.tick(), Err(CoreError::DeadlineExceeded));
         assert_eq!(check_deadline(Some(past)), Err(CoreError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn armed_panic_fires_at_the_chosen_chaos_point() {
+        // check_deadline is one chaos point per call: arming 3 survives
+        // two calls and fires on the third.
+        arm_panic_after(3);
+        check_deadline(None).unwrap();
+        check_deadline(None).unwrap();
+        let panicked = std::panic::catch_unwind(|| check_deadline(None));
+        assert!(panicked.is_err(), "third chaos point must panic");
+        // Firing disarms: the thread is healthy again afterwards.
+        check_deadline(None).unwrap();
+    }
+
+    #[test]
+    fn disarm_cancels_a_pending_panic() {
+        arm_panic_after(1);
+        disarm_panic();
+        check_deadline(None).unwrap();
+        let mut cp = Checkpoint::new(None);
+        for _ in 0..10 * Checkpoint::INTERVAL {
+            cp.tick().unwrap();
+        }
+    }
+
+    #[test]
+    fn ticks_reach_chaos_points_without_a_deadline() {
+        // A no-deadline checkpoint still passes chaos points at clock
+        // boundaries, so injected panics reach untimed queries too.
+        arm_panic_after(1);
+        let mut cp = Checkpoint::new(None);
+        let panicked = std::panic::catch_unwind(move || {
+            for _ in 0..2 * Checkpoint::INTERVAL {
+                cp.tick()?;
+            }
+            Ok::<(), CoreError>(())
+        });
+        assert!(panicked.is_err(), "tick must hit the armed chaos point");
+        disarm_panic();
     }
 
     #[test]

@@ -72,7 +72,10 @@ pub mod stats;
 pub mod target;
 pub mod verify;
 
-pub use cancel::{check_deadline, Checkpoint};
+pub use cancel::{
+    arm_panic_after, arm_panic_after_process, check_deadline, disarm_panic, disarm_panic_process,
+    Checkpoint,
+};
 pub use classify::{classify, classify_parallel, pair_counts, Category, Classification};
 pub use config::Config;
 pub use dominator_based::ksjq_dominator_based;

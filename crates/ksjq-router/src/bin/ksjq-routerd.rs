@@ -79,6 +79,21 @@ fn parse_args() -> (RouterConfig, Topology) {
                     .unwrap_or_else(|| die("--timeout needs seconds (> 0)"));
                 config.policy.options = ConnectOptions::all(Duration::from_secs(secs));
             }
+            "--data-dir" => {
+                config.data_dir = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--data-dir needs a directory path"))
+                        .into(),
+                );
+            }
+            "--wal-max-bytes" => {
+                config.wal_max_bytes = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n: &u64| n > 0)
+                        .unwrap_or_else(|| die("--wal-max-bytes needs a positive byte count")),
+                );
+            }
             "--faults" => {
                 let spec = args.next().unwrap_or_else(|| die("--faults needs a spec"));
                 faults = Some(
@@ -91,22 +106,37 @@ fn parse_args() -> (RouterConfig, Topology) {
                     "usage: ksjq-routerd --shard HOST:PORT[,HOST:PORT…] [--shard …] \n\
                      \x20                   [--addr HOST:PORT] [--cache-entries N]\n\
                      \x20                   [--fetch-batch N] [--check-batch N]\n\
+                     \x20                   [--data-dir PATH] [--wal-max-bytes N]\n\
                      \x20                   [--attempts N] [--timeout SECS] [--faults SPEC]\n\
                      \x20 --shard          one shard's replica set; repeat per shard (order = shard index)\n\
                      \x20 --addr           listen address (default 127.0.0.1:7979; port 0 = ephemeral)\n\
                      \x20 --cache-entries  result-cache capacity (default 128; 0 disables)\n\
                      \x20 --fetch-batch    round-2 FETCH pairs per request (default 256)\n\
                      \x20 --check-batch    round-2 CHECK probe rows per request (default 64)\n\
+                     \x20 --data-dir       two-phase decision WAL here: a restart replays it and\n\
+                     \x20                  resolves in-doubt LOAD/APPENDs before accepting traffic\n\
+                     \x20 --wal-max-bytes  seal the decision WAL into a segment past N bytes and\n\
+                     \x20                  compact closed history (default: startup-only)\n\
                      \x20 --attempts       replica-set sweeps before a shard counts as down (default 3)\n\
                      \x20 --timeout        backend connect/read/write timeout in seconds (default 10)\n\
                      \x20 --faults         seeded fault injection on backend connections, e.g.\n\
                      \x20                  seed=7,drop=10,partial=10,delay=20:3 (per-mille); the\n\
-                     \x20                  KSJQ_FAULTS env var is an equivalent spec"
+                     \x20                  KSJQ_FAULTS env var is an equivalent spec\n\
+                     \x20 KSJQ_CRASH_AT=N  crash-test hook: abort() at the Nth two-phase frame\n\
+                     \x20                  boundary (chaos harness; requires --data-dir to matter)"
                 );
                 std::process::exit(0);
             }
             other => die(&format!("unknown flag {other} (try --help)")),
         }
+    }
+    if let Ok(v) = std::env::var("KSJQ_CRASH_AT") {
+        config.crash_at = Some(
+            v.parse::<u64>()
+                .ok()
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| die("KSJQ_CRASH_AT needs a positive integer")),
+        );
     }
     config.policy = DialPolicy {
         // Spread retry jitter across routers started together.

@@ -1,0 +1,598 @@
+//! The router's decision WAL: what makes a two-phase LOAD/APPEND
+//! survive a coordinator crash.
+//!
+//! PR 7's distributed commit is atomic only while the router stays
+//! alive: a crash between backend `COMMIT`s leaves shards split between
+//! staged and committed state, and the shard WALs faithfully *preserve*
+//! that split without being able to *resolve* it — only the coordinator
+//! knew the decision. This module makes the decision durable. Every
+//! two-phase transaction logs, in the same checksummed
+//! `magic|seq|epoch|len|crc32|payload` record format the shard servers
+//! use ([`ksjq_server::durability::record`]):
+//!
+//! | payload line                                 | logged                             |
+//! |----------------------------------------------|------------------------------------|
+//! | `BEGIN <txid> <load\|append> <name>`         | before the first `STAGE` is sent   |
+//! | `DECIDE <txid> <commit\|abort>`              | before the first phase-two frame   |
+//! | `OUTCOME <txid> <shard> <replica> <ok\|failed>` | after that replica's phase-two ack |
+//! | `END <txid>`                                 | once every replica is resolved     |
+//! | `NEXT <txid>`                                | snapshot-only: txid high-water mark |
+//!
+//! The `txid` lives *inside* the payload rather than piggybacking on the
+//! record sequence number: compaction re-stamps sequences, and the
+//! transaction identity must survive it. The `NEXT` record exists for
+//! the same reason — compaction drops every `END`ed transaction, and
+//! without a persisted high-water mark a restart after a quiescent
+//! compaction would hand out txids it had already used.
+//!
+//! On restart, [`DecisionLog::open`] replays the log and returns every
+//! transaction without an `END` — the in-doubt set. The resolution rules
+//! are classic presumed-abort:
+//!
+//! * no `DECIDE` logged → no backend ever saw a `COMMIT` (the decision
+//!   record is forced *before* phase two starts), so abort everywhere —
+//!   `ABORT` is idempotent on the shard side;
+//! * `DECIDE commit` → some replicas may have committed; ask each one
+//!   `STAGED?` and `COMMIT` wherever the name is still pending. A
+//!   replica with nothing staged either already committed or lost its
+//!   stage to its own crash — both are caught up by replica resync;
+//! * `DECIDE abort` → abort everywhere, as above.
+//!
+//! `OUTCOME ok` records let resolution skip replicas that already
+//! acknowledged phase two before the crash.
+//!
+//! Rotation: past `max_bytes` the active log is sealed and — because an
+//! open transaction is fully described by replaying its own records —
+//! immediately compacted into a snapshot holding only the still-open
+//! transactions. A quiescent router's decision log therefore stays a few
+//! records long no matter how many loads it has coordinated.
+
+use ksjq_server::durability::{self, Wal};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Which two-phase mutation a transaction coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnKind {
+    /// A distributed `LOAD` (stage-everywhere, commit-everywhere).
+    Load,
+    /// A distributed `APPEND` (staged deltas, committed everywhere).
+    Append,
+}
+
+impl fmt::Display for TxnKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TxnKind::Load => "load",
+            TxnKind::Append => "append",
+        })
+    }
+}
+
+/// The coordinator's durable verdict on a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Every stage succeeded: commit everywhere.
+    Commit,
+    /// Something failed during staging: abort everywhere.
+    Abort,
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Decision::Commit => "commit",
+            Decision::Abort => "abort",
+        })
+    }
+}
+
+/// One logged transaction's reconstructed state — returned by
+/// [`DecisionLog::open`] for every transaction without an `END` record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Txn {
+    /// Payload-embedded transaction id (monotone per log).
+    pub txid: u64,
+    /// `LOAD` or `APPEND`.
+    pub kind: TxnKind,
+    /// The relation name the transaction stages under.
+    pub name: String,
+    /// The logged verdict, if phase two had begun.
+    pub decision: Option<Decision>,
+    /// `(shard, replica)` pairs whose phase-two frame was acknowledged
+    /// (an `OUTCOME … ok` record) — resolution can skip these.
+    pub done: BTreeSet<(usize, usize)>,
+}
+
+/// One parsed decision-log payload line.
+#[derive(Debug, Clone, PartialEq)]
+enum LogLine {
+    Begin {
+        txid: u64,
+        kind: TxnKind,
+        name: String,
+    },
+    Decide {
+        txid: u64,
+        decision: Decision,
+    },
+    Outcome {
+        txid: u64,
+        shard: usize,
+        replica: usize,
+        ok: bool,
+    },
+    End {
+        txid: u64,
+    },
+    Next {
+        txid: u64,
+    },
+}
+
+impl LogLine {
+    /// The smallest `next_txid` consistent with having replayed this
+    /// record.
+    fn txid_floor(&self) -> u64 {
+        match *self {
+            LogLine::Begin { txid, .. }
+            | LogLine::Decide { txid, .. }
+            | LogLine::Outcome { txid, .. }
+            | LogLine::End { txid } => txid + 1,
+            LogLine::Next { txid } => txid,
+        }
+    }
+}
+
+/// Parse one payload line. Public within the crate for the property
+/// tests; malformed lines are typed errors, never panics.
+fn parse_line(line: &str) -> Result<LogLine, String> {
+    let mut words = line.split_whitespace();
+    let verb = words.next().unwrap_or("");
+    let mut int = |what: &str| -> Result<u64, String> {
+        words
+            .next()
+            .ok_or_else(|| format!("decision record {verb:?} is missing its {what}"))?
+            .parse::<u64>()
+            .map_err(|_| format!("decision record {verb:?} has a non-numeric {what}"))
+    };
+    let parsed = match verb {
+        "BEGIN" => {
+            let txid = int("txid")?;
+            let kind = match words.next() {
+                Some("load") => TxnKind::Load,
+                Some("append") => TxnKind::Append,
+                other => return Err(format!("BEGIN kind must be load|append, got {other:?}")),
+            };
+            let name = words.next().ok_or("BEGIN is missing the relation name")?;
+            LogLine::Begin {
+                txid,
+                kind,
+                name: name.to_string(),
+            }
+        }
+        "DECIDE" => {
+            let txid = int("txid")?;
+            let decision = match words.next() {
+                Some("commit") => Decision::Commit,
+                Some("abort") => Decision::Abort,
+                other => return Err(format!("DECIDE must be commit|abort, got {other:?}")),
+            };
+            LogLine::Decide { txid, decision }
+        }
+        "OUTCOME" => {
+            let txid = int("txid")?;
+            let shard = int("shard")? as usize;
+            let replica = int("replica")? as usize;
+            let ok = match words.next() {
+                Some("ok") => true,
+                Some("failed") => false,
+                other => return Err(format!("OUTCOME must be ok|failed, got {other:?}")),
+            };
+            LogLine::Outcome {
+                txid,
+                shard,
+                replica,
+                ok,
+            }
+        }
+        "END" => LogLine::End { txid: int("txid")? },
+        "NEXT" => LogLine::Next { txid: int("txid")? },
+        other => return Err(format!("unknown decision record verb {other:?}")),
+    };
+    if words.next().is_some() {
+        return Err(format!("decision record {verb:?} has trailing words"));
+    }
+    Ok(parsed)
+}
+
+/// Fold one parsed line into the open-transaction map. Records for
+/// unknown txids (an `END` compacted away from under them) are ignored —
+/// replay must accept any clean prefix of its own output.
+fn apply_line(open: &mut BTreeMap<u64, Txn>, line: LogLine) {
+    match line {
+        LogLine::Begin { txid, kind, name } => {
+            open.insert(
+                txid,
+                Txn {
+                    txid,
+                    kind,
+                    name,
+                    decision: None,
+                    done: BTreeSet::new(),
+                },
+            );
+        }
+        LogLine::Decide { txid, decision } => {
+            if let Some(txn) = open.get_mut(&txid) {
+                txn.decision = Some(decision);
+            }
+        }
+        LogLine::Outcome {
+            txid,
+            shard,
+            replica,
+            ok,
+        } => {
+            if let Some(txn) = open.get_mut(&txid) {
+                if ok {
+                    txn.done.insert((shard, replica));
+                } else {
+                    txn.done.remove(&(shard, replica));
+                }
+            }
+        }
+        LogLine::End { txid } => {
+            open.remove(&txid);
+        }
+        // The high-water mark is consumed by `open` via `txid_floor`,
+        // not by the transaction map.
+        LogLine::Next { .. } => {}
+    }
+}
+
+/// Re-serialise the open transactions as payload lines — the decision
+/// log's snapshot format *is* its replay format, exactly like the shard
+/// catalog WAL.
+fn snapshot_lines(open: &BTreeMap<u64, Txn>, next_txid: u64) -> Vec<String> {
+    let mut lines = vec![format!("NEXT {next_txid}")];
+    for txn in open.values() {
+        lines.push(format!("BEGIN {} {} {}", txn.txid, txn.kind, txn.name));
+        if let Some(decision) = txn.decision {
+            lines.push(format!("DECIDE {} {decision}", txn.txid));
+        }
+        for &(shard, replica) in &txn.done {
+            lines.push(format!("OUTCOME {} {shard} {replica} ok", txn.txid));
+        }
+    }
+    lines
+}
+
+/// The router's durable two-phase transaction log.
+#[derive(Debug)]
+pub struct DecisionLog {
+    wal: Wal,
+    dir: PathBuf,
+    /// Seal-and-compact the active log past this many bytes.
+    max_bytes: Option<u64>,
+    next_txid: u64,
+    /// Transactions begun but not yet `END`ed, mirrored in memory so
+    /// rotation can snapshot them without re-reading the log.
+    open: BTreeMap<u64, Txn>,
+    /// Records appended since open (the router's `wal_records=`).
+    records: u64,
+    /// Active-log seals since open (the router's `wal_segments=`).
+    seals: u64,
+}
+
+impl DecisionLog {
+    /// Replay (and compact) the decision log under `dir`, returning the
+    /// log ready for new transactions plus every in-doubt transaction —
+    /// begun but never `END`ed — in txid order. The caller must drive
+    /// each one to committed-everywhere or aborted-everywhere before
+    /// accepting traffic.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures reading or rewriting the log, and corrupt payloads
+    /// that a clean record checksum let through (truncated tails and
+    /// bit flips are already discarded by record-level recovery).
+    pub fn open(dir: &Path, max_bytes: Option<u64>) -> io::Result<(DecisionLog, Vec<Txn>)> {
+        let recovery = durability::recover(dir)?;
+        let mut open = BTreeMap::new();
+        let mut next_txid = 1;
+        for record in &recovery.records {
+            let line = std::str::from_utf8(&record.payload).map_err(|_| {
+                io::Error::other(format!("decision record {} is not UTF-8", record.seq))
+            })?;
+            let parsed = parse_line(line).map_err(|e| {
+                io::Error::other(format!("decision record {} ({line:?}): {e}", record.seq))
+            })?;
+            next_txid = next_txid.max(parsed.txid_floor());
+            apply_line(&mut open, parsed);
+        }
+        let lines = snapshot_lines(&open, next_txid);
+        let wal = durability::compact(dir, &lines, recovery.last_seq, 0)?;
+        let pending = open.values().cloned().collect();
+        Ok((
+            DecisionLog {
+                wal,
+                dir: dir.to_path_buf(),
+                max_bytes,
+                next_txid,
+                open,
+                records: 0,
+                seals: 0,
+            },
+            pending,
+        ))
+    }
+
+    /// Durably open a transaction; returns its txid. Forced to disk
+    /// before this returns, so the first backend `STAGE` is only ever
+    /// sent for a logged transaction.
+    pub fn begin(&mut self, kind: TxnKind, name: &str) -> io::Result<u64> {
+        let txid = self.next_txid;
+        self.next_txid += 1;
+        self.append(&format!("BEGIN {txid} {kind} {name}"))?;
+        self.open.insert(
+            txid,
+            Txn {
+                txid,
+                kind,
+                name: name.to_string(),
+                decision: None,
+                done: BTreeSet::new(),
+            },
+        );
+        Ok(txid)
+    }
+
+    /// Durably record the commit/abort verdict — the linearisation point
+    /// of the whole transaction. Forced to disk before the first
+    /// phase-two frame is sent: a crash before this record presumes
+    /// abort, a crash after it drives the logged decision to completion.
+    pub fn decide(&mut self, txid: u64, decision: Decision) -> io::Result<()> {
+        self.append(&format!("DECIDE {txid} {decision}"))?;
+        if let Some(txn) = self.open.get_mut(&txid) {
+            txn.decision = Some(decision);
+        }
+        Ok(())
+    }
+
+    /// Record one replica's phase-two acknowledgement (or failure), so
+    /// post-crash resolution can skip work that already happened.
+    pub fn outcome(&mut self, txid: u64, shard: usize, replica: usize, ok: bool) -> io::Result<()> {
+        let verdict = if ok { "ok" } else { "failed" };
+        self.append(&format!("OUTCOME {txid} {shard} {replica} {verdict}"))?;
+        if let Some(txn) = self.open.get_mut(&txid) {
+            if ok {
+                txn.done.insert((shard, replica));
+            } else {
+                txn.done.remove(&(shard, replica));
+            }
+        }
+        Ok(())
+    }
+
+    /// Close a fully-resolved transaction and rotate the log if it has
+    /// outgrown `max_bytes`.
+    pub fn end(&mut self, txid: u64) -> io::Result<()> {
+        self.append(&format!("END {txid}"))?;
+        self.open.remove(&txid);
+        self.maybe_rotate();
+        Ok(())
+    }
+
+    /// Records appended since [`open`](DecisionLog::open).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Active-log seals (rotations) since [`open`](DecisionLog::open).
+    pub fn seals(&self) -> u64 {
+        self.seals
+    }
+
+    fn append(&mut self, line: &str) -> io::Result<()> {
+        self.wal.append(0, line.as_bytes())?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Seal and compact once the active log exceeds `max_bytes`. Unlike
+    /// the shard catalog WAL there is no "mid-transaction" obstacle: an
+    /// open transaction is fully described by its own records, so the
+    /// snapshot can always absorb the sealed history immediately.
+    /// Failures are logged and swallowed — the records that triggered
+    /// rotation are already durable in the oversized log.
+    fn maybe_rotate(&mut self) {
+        let Some(limit) = self.max_bytes else {
+            return;
+        };
+        if self.wal.active_bytes() <= limit {
+            return;
+        }
+        match self.wal.seal() {
+            Ok(true) => self.seals += 1,
+            Ok(false) => return,
+            Err(e) => {
+                eprintln!("ksjq-routerd: decision WAL seal failed (rotation skipped): {e}");
+                return;
+            }
+        }
+        let lines = snapshot_lines(&self.open, self.next_txid);
+        let last_seq = self.wal.next_seq().saturating_sub(1);
+        match durability::compact(&self.dir, &lines, last_seq, 0) {
+            Ok(fresh) => self.wal = fresh,
+            Err(e) => {
+                eprintln!("ksjq-routerd: decision WAL compaction failed (segments kept): {e}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ksjq-decision-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn fresh_log_has_no_pending_transactions() {
+        let dir = tempdir("fresh");
+        let (log, pending) = DecisionLog::open(&dir, None).unwrap();
+        assert!(pending.is_empty());
+        assert_eq!((log.records(), log.seals()), (0, 0));
+    }
+
+    #[test]
+    fn ended_transactions_do_not_come_back() {
+        let dir = tempdir("ended");
+        {
+            let (mut log, _) = DecisionLog::open(&dir, None).unwrap();
+            let t = log.begin(TxnKind::Load, "t1").unwrap();
+            log.decide(t, Decision::Commit).unwrap();
+            log.outcome(t, 0, 0, true).unwrap();
+            log.outcome(t, 1, 0, true).unwrap();
+            log.end(t).unwrap();
+        }
+        let (_, pending) = DecisionLog::open(&dir, None).unwrap();
+        assert!(pending.is_empty(), "{pending:?}");
+    }
+
+    #[test]
+    fn open_transactions_replay_with_their_state() {
+        let dir = tempdir("open");
+        {
+            let (mut log, _) = DecisionLog::open(&dir, None).unwrap();
+            let a = log.begin(TxnKind::Load, "left").unwrap();
+            let b = log.begin(TxnKind::Append, "right").unwrap();
+            log.decide(b, Decision::Commit).unwrap();
+            log.outcome(b, 0, 1, true).unwrap();
+            log.outcome(b, 1, 0, false).unwrap();
+            assert_ne!(a, b);
+        }
+        let (mut log, pending) = DecisionLog::open(&dir, None).unwrap();
+        assert_eq!(pending.len(), 2);
+        assert_eq!(pending[0].kind, TxnKind::Load);
+        assert_eq!(pending[0].name, "left");
+        assert_eq!(pending[0].decision, None);
+        assert!(pending[0].done.is_empty());
+        assert_eq!(pending[1].kind, TxnKind::Append);
+        assert_eq!(pending[1].decision, Some(Decision::Commit));
+        // The failed outcome for (1,0) cancelled nothing (never ok) and
+        // (0,1) survives — resolution can skip it.
+        assert_eq!(pending[1].done, BTreeSet::from([(0, 1)]));
+        // txids never repeat across restarts.
+        let next = log.begin(TxnKind::Load, "again").unwrap();
+        assert!(next > pending[1].txid);
+    }
+
+    #[test]
+    fn rotation_compacts_closed_history() {
+        let dir = tempdir("rotate");
+        let (mut log, _) = DecisionLog::open(&dir, Some(256)).unwrap();
+        for i in 0..32 {
+            let t = log.begin(TxnKind::Load, &format!("rel{i}")).unwrap();
+            log.decide(t, Decision::Commit).unwrap();
+            log.outcome(t, 0, 0, true).unwrap();
+            log.end(t).unwrap();
+        }
+        assert!(log.seals() > 0, "256-byte cap must force rotation");
+        assert!(
+            log.wal.active_bytes() <= 256,
+            "active log stays bounded, got {}",
+            log.wal.active_bytes()
+        );
+        // Everything was closed, so nothing replays.
+        drop(log);
+        let (_, pending) = DecisionLog::open(&dir, Some(256)).unwrap();
+        assert!(pending.is_empty());
+    }
+
+    #[test]
+    fn rotation_preserves_open_transactions() {
+        let dir = tempdir("rotate-open");
+        let (mut log, _) = DecisionLog::open(&dir, Some(128)).unwrap();
+        let held = log.begin(TxnKind::Append, "held").unwrap();
+        log.decide(held, Decision::Commit).unwrap();
+        for i in 0..32 {
+            let t = log.begin(TxnKind::Load, &format!("rel{i}")).unwrap();
+            log.decide(t, Decision::Abort).unwrap();
+            log.end(t).unwrap();
+        }
+        assert!(log.seals() > 0);
+        drop(log);
+        let (_, pending) = DecisionLog::open(&dir, None).unwrap();
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].txid, held);
+        assert_eq!(pending[0].decision, Some(Decision::Commit));
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors() {
+        for bad in [
+            "",
+            "FROB 1",
+            "BEGIN x load t1",
+            "BEGIN 1 munge t1",
+            "BEGIN 1 load",
+            "DECIDE 1 maybe",
+            "OUTCOME 1 0 0 shrug",
+            "OUTCOME 1 0 ok",
+            "END",
+            "END 1 extra",
+        ] {
+            assert!(parse_line(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn snapshot_lines_round_trip_through_the_parser() {
+        let mut open = BTreeMap::new();
+        apply_line(&mut open, parse_line("BEGIN 7 append flights").unwrap());
+        apply_line(&mut open, parse_line("DECIDE 7 commit").unwrap());
+        apply_line(&mut open, parse_line("OUTCOME 7 1 2 ok").unwrap());
+        let lines = snapshot_lines(&open, 8);
+        assert_eq!(lines[0], "NEXT 8", "high-water mark leads the snapshot");
+        let mut replayed = BTreeMap::new();
+        let mut floor = 0;
+        for line in &lines {
+            let parsed = parse_line(line).unwrap();
+            floor = floor.max(parsed.txid_floor());
+            apply_line(&mut replayed, parsed);
+        }
+        assert_eq!(open, replayed);
+        assert_eq!(floor, 8);
+    }
+
+    #[test]
+    fn quiescent_compaction_never_reuses_txids() {
+        let dir = tempdir("high-water");
+        let first = {
+            let (mut log, _) = DecisionLog::open(&dir, None).unwrap();
+            let t = log.begin(TxnKind::Load, "t1").unwrap();
+            log.decide(t, Decision::Commit).unwrap();
+            log.end(t).unwrap();
+            t
+        };
+        // Everything ENDed, so reopening compacts the history away —
+        // but the snapshot's NEXT record keeps the txid space moving.
+        let (mut log, pending) = DecisionLog::open(&dir, None).unwrap();
+        assert!(pending.is_empty());
+        let fresh = log.begin(TxnKind::Append, "t2").unwrap();
+        assert!(fresh > first, "txid {fresh} reused after compaction");
+    }
+}

@@ -13,6 +13,10 @@
 //!   preserve global row order, plus the local→global id maps.
 //! * [`dialer`] — pooled backend connections with bounded, jittered
 //!   retries and replica failover.
+//! * [`decision_log`] — the coordinator's durable two-phase WAL
+//!   (`--data-dir`): begin/decide/outcome records that let a restarted
+//!   router drive every in-doubt transaction to committed-everywhere or
+//!   aborted-everywhere before accepting traffic.
 //! * [`merge`] — the deterministic k-way merge of per-shard sorted
 //!   results.
 //! * [`router`] — [`Router`]: two-phase distributed `LOAD`
@@ -41,12 +45,14 @@
 //! println!("{} skyline pairs", rows.pairs.len());
 //! ```
 
+pub mod decision_log;
 pub mod dialer;
 pub mod merge;
 pub mod partition;
 pub mod router;
 pub mod topology;
 
+pub use decision_log::{Decision, DecisionLog, Txn, TxnKind};
 pub use dialer::{DialPolicy, Dialer, FanoutCounters, ShardDialer};
 pub use merge::merge_sorted;
 pub use partition::{

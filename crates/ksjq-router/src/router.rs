@@ -26,6 +26,7 @@
 //!   replica of the shard, with bounded, jittered retries; only when a
 //!   whole replica set is down does the client see `ERR unavailable`.
 
+use crate::decision_log::{Decision, DecisionLog, Txn, TxnKind};
 use crate::dialer::{DialPolicy, Dialer, FanoutCounters, ShardDialer};
 use crate::merge::merge_sorted;
 use crate::partition::{partition_csv, partition_delta, partition_synthetic, PartitionedLoad};
@@ -66,6 +67,21 @@ pub struct RouterConfig {
     /// Round-2 `CHECK` batch size (`--check-batch`): probe rows per
     /// request.
     pub check_batch: usize,
+    /// Decision-WAL directory (`--data-dir`): every two-phase `LOAD` /
+    /// `APPEND` durably logs its begin/decision/outcome records here
+    /// *before* the corresponding backend frame is sent, and a restarted
+    /// router replays the log and drives every in-doubt transaction to
+    /// committed-everywhere or aborted-everywhere before accepting
+    /// traffic. `None` keeps the stateless-coordinator behaviour.
+    pub data_dir: Option<std::path::PathBuf>,
+    /// Seal the active decision WAL into a segment past this many bytes
+    /// and compact the closed history into the snapshot
+    /// (`--wal-max-bytes`; `None` = startup-only compaction).
+    pub wal_max_bytes: Option<u64>,
+    /// Crash-test hook (`KSJQ_CRASH_AT`): `abort()` the process at the
+    /// Nth two-phase frame boundary. The chaos e2e sweeps N to kill the
+    /// router at every edge of the commit protocol. `None` / 0 disables.
+    pub crash_at: Option<u64>,
 }
 
 impl Default for RouterConfig {
@@ -76,6 +92,9 @@ impl Default for RouterConfig {
             policy: DialPolicy::default(),
             fetch_batch: DEFAULT_FETCH_BATCH,
             check_batch: DEFAULT_CHECK_BATCH,
+            data_dir: None,
+            wal_max_bytes: None,
+            crash_at: None,
         }
     }
 }
@@ -128,8 +147,40 @@ struct RouterState {
     /// Requests that died on a `DEADLINE` — locally between rounds or as
     /// an `ERR timeout` relayed from a shard.
     timeouts: AtomicU64,
+    /// The durable two-phase decision WAL (`--data-dir`); `None` for a
+    /// stateless coordinator. Mutation-path appends happen under
+    /// `load_lock`, so record order is decision order.
+    decision_log: Mutex<Option<DecisionLog>>,
+    /// Transactions the decision WAL replayed as in-doubt; drained by
+    /// the resolution thread before the gate opens.
+    pending: Mutex<Vec<Txn>>,
+    /// While set, everything except `HELLO` / `STATS` / `DEADLINE` /
+    /// `CLOSE` answers `ERR recovering`: the router refuses traffic
+    /// until every in-doubt transaction has converged.
+    recovering: AtomicBool,
+    /// In-doubt transactions driven to a terminal state since startup.
+    in_doubt_resolved: AtomicU64,
+    /// Crash-test countdown (`KSJQ_CRASH_AT`): the process aborts when
+    /// this hits its Nth two-phase frame boundary; 0 = disabled.
+    crash_at: AtomicU64,
     rotation: AtomicUsize,
     stop: AtomicBool,
+}
+
+/// One crash-test boundary. With `crash_at = N`, the Nth boundary calls
+/// `std::process::abort()` — the closest in-process stand-in for
+/// `kill -9` (no destructors, no flushes beyond what already fsynced).
+/// Boundaries bracket every backend frame and every decision-WAL record
+/// of the two-phase protocol, so a sweep over N crashes the router at
+/// each edge exactly once.
+fn crash_point(state: &RouterState) {
+    if state.crash_at.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    if state.crash_at.fetch_sub(1, Ordering::SeqCst) == 1 {
+        eprintln!("ksjq-routerd: KSJQ_CRASH_AT boundary reached; aborting");
+        std::process::abort();
+    }
 }
 
 /// The distributed KSJQ front end. Bind, then [`run`](Router::run) (or
@@ -142,8 +193,31 @@ pub struct Router {
 
 impl Router {
     /// Bind the listen socket (connections are accepted by `run`).
+    ///
+    /// With [`RouterConfig::data_dir`] set this also replays the
+    /// decision WAL; transactions that never reached their `END` record
+    /// come back as in-doubt, the recovering gate closes, and
+    /// [`run`](Router::run) drives them to a terminal state before the
+    /// router accepts traffic.
     pub fn bind(topology: Topology, config: &RouterConfig) -> io::Result<Router> {
         let listener = TcpListener::bind(&config.addr)?;
+        let mut pending = Vec::new();
+        let decision_log = match &config.data_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                let (log, in_doubt) = DecisionLog::open(dir, config.wal_max_bytes)?;
+                pending = in_doubt;
+                Some(log)
+            }
+            None => None,
+        };
+        if !pending.is_empty() {
+            println!(
+                "ksjq-routerd: {} in-doubt transaction(s) replayed; gating traffic until resolved",
+                pending.len()
+            );
+        }
+        let recovering = !pending.is_empty();
         let state = Arc::new(RouterState {
             topology,
             policy: config.policy,
@@ -161,6 +235,11 @@ impl Router {
             epoch: AtomicU64::new(0),
             delta_rows: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
+            decision_log: Mutex::new(decision_log),
+            pending: Mutex::new(pending),
+            recovering: AtomicBool::new(recovering),
+            in_doubt_resolved: AtomicU64::new(0),
+            crash_at: AtomicU64::new(config.crash_at.unwrap_or(0)),
             rotation: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
         });
@@ -176,6 +255,13 @@ impl Router {
     /// connection — a router session is long-lived and few in number
     /// next to the shard servers behind it).
     pub fn run(self) -> io::Result<()> {
+        if self.state.recovering.load(Ordering::SeqCst) {
+            // Resolve in-doubt transactions off the accept loop so STATS
+            // and HELLO stay answerable (everything else gets
+            // `ERR recovering` until the gate opens).
+            let state = self.state.clone();
+            thread::spawn(move || resolve_pending(&state));
+        }
         for stream in self.listener.incoming() {
             if self.state.stop.load(Ordering::SeqCst) {
                 break;
@@ -288,6 +374,28 @@ fn handle_conn(state: &RouterState, stream: TcpStream) {
                 continue;
             }
         };
+        // In-doubt resolution gate: until every replayed two-phase
+        // transaction has converged, only the session-management verbs
+        // answer — queries against a half-committed cluster could
+        // observe a relation on some replicas and not others.
+        if state.recovering.load(Ordering::SeqCst)
+            && !matches!(
+                request,
+                Request::Hello { .. } | Request::Stats | Request::Deadline { .. } | Request::Close
+            )
+        {
+            if !send_err(
+                &mut writer,
+                state,
+                RouterError::new(
+                    ErrorCode::Recovering,
+                    "resolving in-doubt transactions from the decision WAL; retry shortly",
+                ),
+            ) {
+                return;
+            }
+            continue;
+        }
         let keep_going = match request {
             Request::Hello { version: v } => {
                 version = v.clamp(1, PROTOCOL_VERSION);
@@ -386,14 +494,15 @@ fn handle_conn(state: &RouterState, stream: TcpStream) {
             | Request::Stage { .. }
             | Request::Commit { .. }
             | Request::Abort { .. }
+            | Request::StagedQuery
             | Request::Fetch { .. }
             | Request::Check { .. } => send_err(
                 &mut writer,
                 state,
                 RouterError::new(
                     ErrorCode::Invalid,
-                    "backend-only command: SYNC/STAGE/COMMIT/ABORT/FETCH/CHECK address one shard \
-                     server, not the router",
+                    "backend-only command: SYNC/STAGE/COMMIT/ABORT/STAGED?/FETCH/CHECK address \
+                     one shard server, not the router",
                 ),
             ),
         };
@@ -535,6 +644,13 @@ fn more(state: &RouterState, version: u32, cursor: Cursor) -> Response {
 /// STATS parser skips.
 fn stats_line(state: &RouterState, sessions: usize) -> String {
     let cache = state.cache.counters();
+    // Catalog durability lives on the shards (`ksjq-serverd
+    // --data-dir`); the router's own WAL counters describe its
+    // two-phase decision log, when one is configured.
+    let (wal_records, wal_segments) = {
+        let log = state.decision_log.lock().unwrap_or_else(|e| e.into_inner());
+        log.as_ref().map_or((0, 0), |l| (l.records(), l.seals()))
+    };
     let stats = ServerStats {
         connections: state.connections.load(Ordering::Relaxed),
         requests: state.requests.load(Ordering::Relaxed),
@@ -562,9 +678,11 @@ fn stats_line(state: &RouterState, sessions: usize) -> String {
         delta_maintained: 0,
         delta_rows: state.delta_rows.load(Ordering::Relaxed),
         timeouts: state.timeouts.load(Ordering::Relaxed),
-        // Durability lives on the shards (`ksjq-serverd --data-dir`);
-        // the router holds no log of its own.
-        wal_records: 0,
+        wal_records,
+        wal_segments,
+        // Worker panic isolation is a shard-server concern; the router
+        // has no kernel checkpoints to inject at.
+        panics: 0,
     };
     let mut out = Response::Stats(stats).to_string();
     let relations = read_lock(&state.relations);
@@ -573,8 +691,11 @@ fn stats_line(state: &RouterState, sessions: usize) -> String {
         out.push_str(&format!(" shard{s}_rows={rows}"));
     }
     out.push_str(&format!(
-        " fetch_batch={} check_batch={}",
-        state.fetch_batch, state.check_batch
+        " fetch_batch={} check_batch={} in_doubt_resolved={} recovering={}",
+        state.fetch_batch,
+        state.check_batch,
+        state.in_doubt_resolved.load(Ordering::Relaxed),
+        u64::from(state.recovering.load(Ordering::SeqCst)),
     ));
     out
 }
@@ -657,6 +778,46 @@ fn remaining_ms(deadline: Option<Instant>) -> Result<Option<u64>, RouterError> {
     Ok(Some(((d - now).as_millis() as u64).max(1)))
 }
 
+// --------------------------------------------------- decision logging
+
+/// A decision-WAL write failed. Fatal for `BEGIN`/`DECIDE` records
+/// (proceeding unlogged would reopen the silent in-doubt window the log
+/// exists to close); `OUTCOME`/`END` records are best-effort, because
+/// losing one only makes post-crash resolution re-probe a replica that
+/// already answered — the protocol is idempotent.
+fn wal_failure(e: io::Error) -> RouterError {
+    RouterError::new(
+        ErrorCode::Internal,
+        format!("decision WAL write failed: {e}"),
+    )
+}
+
+/// Run `f` against the decision log, if one is configured. `Ok(None)`
+/// for a stateless router.
+fn with_log<T>(
+    state: &RouterState,
+    f: impl FnOnce(&mut DecisionLog) -> io::Result<T>,
+) -> Result<Option<T>, RouterError> {
+    let mut guard = state.decision_log.lock().unwrap_or_else(|e| e.into_inner());
+    match guard.as_mut() {
+        Some(log) => f(log).map(Some).map_err(wal_failure),
+        None => Ok(None),
+    }
+}
+
+/// Like [`with_log`], scoped to an already-begun transaction: a no-op
+/// when no log is configured (`txid` is `None`).
+fn with_txn(
+    state: &RouterState,
+    txid: Option<u64>,
+    f: impl FnOnce(&mut DecisionLog, u64) -> io::Result<()>,
+) -> Result<(), RouterError> {
+    match txid {
+        Some(txid) => with_log(state, |log| f(log, txid)).map(|_| ()),
+        None => Ok(()),
+    }
+}
+
 fn load(
     state: &RouterState,
     dialer: &mut Dialer,
@@ -673,6 +834,11 @@ fn load(
     };
     let _guard = state.load_lock.lock().unwrap_or_else(|e| e.into_inner());
     let all_name = format!(".all.{name}");
+    // The BEGIN record is durable before any backend sees a frame: if
+    // the router dies anywhere past this point, a restart replays the
+    // transaction and drives it to a terminal state.
+    let txid = with_log(state, |l| l.begin(TxnKind::Load, name))?;
+    crash_point(state);
 
     // Phase one: stage the slice on every replica of every shard (plus
     // the broadcast copy on shard 0). First failure aborts everywhere —
@@ -682,11 +848,13 @@ fn load(
         let sd = dialer.shard_mut(s);
         for r in 0..sd.n_replicas() {
             let slice = &part.shard_csvs[s];
+            crash_point(state);
             if let Err(e) = sd.call_replica(r, |c| c.stage_csv(name, slice)) {
                 failure = Some(describe(s, e));
                 break 'stage;
             }
             if s == 0 {
+                crash_point(state);
                 if let Err(e) = sd.call_replica(r, |c| c.stage_csv(&all_name, &part.full_csv)) {
                     failure = Some(describe(s, e));
                     break 'stage;
@@ -695,27 +863,43 @@ fn load(
         }
     }
     if let Some(e) = failure {
+        // Presumed abort: replay of a decision-less transaction aborts
+        // anyway, so the records here are advisory — best-effort.
+        let _ = with_txn(state, txid, |l, t| l.decide(t, Decision::Abort));
         abort_everywhere(state, dialer, name, &all_name);
+        let _ = with_txn(state, txid, |l, t| l.end(t));
         return Err(e);
     }
 
+    // The commit decision is durable before the first COMMIT frame goes
+    // out: from here a restarted router finishes the commit instead of
+    // presuming abort.
+    crash_point(state);
+    with_txn(state, txid, |l, t| l.decide(t, Decision::Commit))?;
+    crash_point(state);
+
     // Phase two: every stage parsed, so commit everywhere. A commit can
     // still fail (replica crashed between phases); that leaves the
-    // cluster mixed for this name and is reported as an error — the
-    // client's recovery is to re-issue the LOAD.
+    // cluster mixed for this name — the transaction stays open in the
+    // decision log, so a router restart drives the stragglers to
+    // committed (or the client re-issues the LOAD).
     let mut commit_errors: Vec<String> = Vec::new();
     for s in 0..n_shards {
         let sd = dialer.shard_mut(s);
         for r in 0..sd.n_replicas() {
+            let mut ok = true;
+            crash_point(state);
             if let Err(e) = sd.call_replica(r, |c| c.commit(name)) {
                 commit_errors.push(describe(s, e).message);
-                continue;
-            }
-            if s == 0 {
+                ok = false;
+            } else if s == 0 {
+                crash_point(state);
                 if let Err(e) = sd.call_replica(r, |c| c.commit(&all_name)) {
                     commit_errors.push(describe(s, e).message);
+                    ok = false;
                 }
             }
+            let _ = with_txn(state, txid, |l, t| l.outcome(t, s, r, ok));
         }
     }
     state.cache.invalidate_relation(name);
@@ -723,13 +907,16 @@ fn load(
         return Err(RouterError::new(
             ErrorCode::Unavailable,
             format!(
-                "load partially committed ({} of {} commits failed; re-issue the LOAD): {}",
+                "load partially committed ({} of {} commits failed; re-issue the LOAD, or \
+                 restart the router to resolve from its decision WAL): {}",
                 commit_errors.len(),
                 n_shards,
                 commit_errors.join("; ")
             ),
         ));
     }
+    crash_point(state);
+    let _ = with_txn(state, txid, |l, t| l.end(t));
     let PartitionedLoad {
         id_maps,
         keys,
@@ -768,6 +955,9 @@ fn append(
     let _guard = state.load_lock.lock().unwrap_or_else(|e| e.into_inner());
     let old = meta(state, name)?;
     let all_name = format!(".all.{name}");
+    // As with LOAD: the BEGIN record is durable before the first frame.
+    let txid = with_log(state, |l| l.begin(TxnKind::Append, name))?;
+    crash_point(state);
 
     // Phase one: stage each non-empty slice on every replica of its
     // shard, and the full delta on shard 0's broadcast copy. A failure
@@ -778,12 +968,14 @@ fn append(
         for r in 0..sd.n_replicas() {
             let slice = &delta.shard_csvs[s];
             if !slice.is_empty() {
+                crash_point(state);
                 if let Err(e) = sd.call_replica(r, |c| c.append_stage(name, slice)) {
                     failure = Some(describe(s, e));
                     break 'stage;
                 }
             }
             if s == 0 {
+                crash_point(state);
                 if let Err(e) = sd.call_replica(r, |c| c.append_stage(&all_name, &delta.full_csv)) {
                     failure = Some(describe(s, e));
                     break 'stage;
@@ -792,28 +984,40 @@ fn append(
         }
     }
     if let Some(e) = failure {
+        let _ = with_txn(state, txid, |l, t| l.decide(t, Decision::Abort));
         abort_everywhere(state, dialer, name, &all_name);
+        let _ = with_txn(state, txid, |l, t| l.end(t));
         return Err(e);
     }
 
+    crash_point(state);
+    with_txn(state, txid, |l, t| l.decide(t, Decision::Commit))?;
+    crash_point(state);
+
     // Phase two: commit the staged deltas. As with LOAD, a commit can
-    // still fail mid-flight; the cluster is then mixed for this name and
-    // the client's recovery is to re-issue the whole LOAD.
+    // still fail mid-flight; the cluster is then mixed for this name —
+    // the open decision-log entry drives the stragglers to committed on
+    // the next router restart (or re-issue the whole LOAD).
     let mut commit_errors: Vec<String> = Vec::new();
     for s in 0..n_shards {
         let sd = dialer.shard_mut(s);
         for r in 0..sd.n_replicas() {
+            let mut ok = true;
             if !delta.shard_csvs[s].is_empty() {
+                crash_point(state);
                 if let Err(e) = sd.call_replica(r, |c| c.commit(name)) {
                     commit_errors.push(describe(s, e).message);
-                    continue;
+                    ok = false;
                 }
             }
-            if s == 0 {
+            if ok && s == 0 {
+                crash_point(state);
                 if let Err(e) = sd.call_replica(r, |c| c.commit(&all_name)) {
                     commit_errors.push(describe(s, e).message);
+                    ok = false;
                 }
             }
+            let _ = with_txn(state, txid, |l, t| l.outcome(t, s, r, ok));
         }
     }
     state.cache.invalidate_relation(name);
@@ -821,12 +1025,15 @@ fn append(
         return Err(RouterError::new(
             ErrorCode::Unavailable,
             format!(
-                "append partially committed ({} commits failed; re-issue the LOAD to recover): {}",
+                "append partially committed ({} commits failed; re-issue the LOAD, or restart \
+                 the router to resolve from its decision WAL): {}",
                 commit_errors.len(),
                 commit_errors.join("; ")
             ),
         ));
     }
+    crash_point(state);
+    let _ = with_txn(state, txid, |l, t| l.end(t));
     let mut id_maps = old.id_maps.clone();
     let mut keys = old.keys.clone();
     let old_n = keys.len();
@@ -925,6 +1132,102 @@ fn abort_everywhere(state: &RouterState, dialer: &mut Dialer, name: &str, all_na
                 let _ = sd.call_replica(r, |c| c.abort(all_name));
             }
         }
+    }
+}
+
+// ---------------------------------------------------- in-doubt recovery
+
+/// Drive one replayed in-doubt transaction to a terminal state.
+///
+/// Presumed abort: a transaction with no durable `DECIDE commit` record
+/// is aborted on every replica (the backend treats an `ABORT` of
+/// nothing-staged as a no-op, so this is idempotent). With a commit
+/// decision, each replica is asked `STAGED?` — if the name (or shard
+/// 0's broadcast copy) is still pending there, the replica gets the
+/// `COMMIT` it missed; a replica that already committed reports nothing
+/// staged and is left alone. Replica pairs with a durable `OUTCOME ok`
+/// are skipped outright. Every call rides `call_replica`, so fault
+/// plans apply to recovery traffic like any other.
+fn resolve_txn(state: &RouterState, dialer: &mut Dialer, txn: &Txn) -> Result<(), RouterError> {
+    let name = txn.name.as_str();
+    let all_name = format!(".all.{name}");
+    let commit = matches!(txn.decision, Some(Decision::Commit));
+    for s in 0..state.topology.n_shards() {
+        let sd = dialer.shard_mut(s);
+        for r in 0..sd.n_replicas() {
+            if txn.done.contains(&(s, r)) {
+                continue;
+            }
+            if commit {
+                let staged = sd
+                    .call_replica(r, |c| c.staged_names())
+                    .map_err(|e| describe(s, e))?;
+                if staged.iter().any(|n| n == name) {
+                    sd.call_replica(r, |c| c.commit(name))
+                        .map_err(|e| describe(s, e))?;
+                }
+                if s == 0 && staged.iter().any(|n| n == &all_name) {
+                    sd.call_replica(r, |c| c.commit(&all_name))
+                        .map_err(|e| describe(s, e))?;
+                }
+            } else {
+                sd.call_replica(r, |c| c.abort(name))
+                    .map_err(|e| describe(s, e))?;
+                if s == 0 {
+                    sd.call_replica(r, |c| c.abort(&all_name))
+                        .map_err(|e| describe(s, e))?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The restart-time resolution loop: retry every in-doubt transaction
+/// with backoff until all have converged, then open the recovering
+/// gate. Runs on its own thread so `HELLO` / `STATS` stay answerable
+/// while shards come back up.
+fn resolve_pending(state: &RouterState) {
+    let mut dialer = Dialer::new(&state.topology, 0, state.policy, state.fanout.clone());
+    let mut backoff = Duration::from_millis(100);
+    loop {
+        let pending = std::mem::take(&mut *state.pending.lock().unwrap_or_else(|e| e.into_inner()));
+        let mut unresolved = Vec::new();
+        for txn in pending {
+            match resolve_txn(state, &mut dialer, &txn) {
+                Ok(()) => {
+                    let _ = with_txn(state, Some(txn.txid), |l, t| l.end(t));
+                    state.in_doubt_resolved.fetch_add(1, Ordering::Relaxed);
+                    let verdict = match txn.decision {
+                        Some(Decision::Commit) => "committed everywhere",
+                        Some(Decision::Abort) => "aborted everywhere",
+                        None => "aborted everywhere (no durable decision)",
+                    };
+                    println!(
+                        "ksjq-routerd: resolved in-doubt {} {:?} (txid {}): {verdict}",
+                        txn.kind, txn.name, txn.txid
+                    );
+                }
+                Err(e) => {
+                    eprintln!(
+                        "ksjq-routerd: in-doubt {} {:?} (txid {}) unresolved: {}",
+                        txn.kind, txn.name, txn.txid, e.message
+                    );
+                    unresolved.push(txn);
+                }
+            }
+        }
+        if unresolved.is_empty() {
+            state.recovering.store(false, Ordering::SeqCst);
+            println!("ksjq-routerd: in-doubt resolution complete; accepting traffic");
+            return;
+        }
+        *state.pending.lock().unwrap_or_else(|e| e.into_inner()) = unresolved;
+        if state.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        thread::sleep(backoff);
+        backoff = (backoff * 2).min(Duration::from_secs(5));
     }
 }
 

@@ -1,0 +1,397 @@
+//! Chaos tests over the real `ksjq-routerd` binary: crash the router at
+//! *every* two-phase frame boundary of a distributed `LOAD` and an
+//! `APPEND` (the `KSJQ_CRASH_AT` sweep — each boundary calls `abort()`,
+//! the in-process stand-in for `kill -9`), restart it on the same
+//! `--data-dir`, and the decision-WAL resolution protocol must drive
+//! every shard replica to committed-everywhere or aborted-everywhere —
+//! never a split. Afterwards the cluster must still answer queries
+//! byte-identical to a single-node oracle.
+
+use ksjq_datagen::{paper_flights, relation_to_csv};
+use ksjq_router::shard_of;
+use ksjq_server::{ErrorCode, KsjqClient, PlanSpec, RunningServer, Server, ServerConfig};
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const N_SHARDS: usize = 2;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ksjq-router-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn backend() -> RunningServer {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        cache_entries: 16,
+        ..ServerConfig::default()
+    };
+    Server::start(ksjq_core::Engine::new(), &config).unwrap()
+}
+
+/// A live `ksjq-routerd` child process (killed on drop).
+struct RouterD {
+    child: Child,
+    addr: String,
+}
+
+fn spawn_routerd(dir: &str, shards: &[String], crash_at: Option<u64>) -> RouterD {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ksjq-routerd"));
+    cmd.args(["--addr", "127.0.0.1:0", "--data-dir", dir]);
+    for shard in shards {
+        cmd.args(["--shard", shard]);
+    }
+    if let Some(n) = crash_at {
+        cmd.env("KSJQ_CRASH_AT", n.to_string());
+    }
+    let mut child = cmd
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn ksjq-routerd");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("ksjq-routerd exited before listening")
+            .expect("readable stdout");
+        if let Some(rest) = line.strip_prefix("ksjq-routerd listening on ") {
+            break rest
+                .split_whitespace()
+                .next()
+                .expect("address token")
+                .to_owned();
+        }
+    };
+    std::thread::spawn(move || lines.for_each(drop));
+    RouterD { child, addr }
+}
+
+impl RouterD {
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// True once the child has exited on its own (the `abort()` fired).
+    fn wait_exit(&mut self) -> bool {
+        for _ in 0..250 {
+            if matches!(self.child.try_wait(), Ok(Some(_))) {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        false
+    }
+}
+
+impl Drop for RouterD {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+fn connect(addr: &str) -> KsjqClient {
+    for _ in 0..250 {
+        if let Ok(client) = KsjqClient::connect(addr) {
+            return client;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("ksjq-routerd at {addr} never accepted");
+}
+
+/// Poll STATS until the recovering gate opens; returns the final line.
+/// STATS is one of the few verbs a recovering router answers, so this
+/// also exercises the `ERR recovering` gate staying out of its way.
+fn await_ready(addr: &str) -> String {
+    for _ in 0..500 {
+        if let Ok(mut client) = KsjqClient::connect(addr) {
+            if let Ok(line) = client.raw("STATS") {
+                if line.contains(" recovering=0") {
+                    return line;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("ksjq-routerd at {addr} never finished in-doubt resolution");
+}
+
+/// Parse an integer STATS token like `in_doubt_resolved=3`.
+fn token(stats: &str, key: &str) -> u64 {
+    let at = stats
+        .find(key)
+        .unwrap_or_else(|| panic!("{key} missing from {stats}"));
+    stats[at + key.len()..]
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap()
+}
+
+/// `n` join keys that the placement function sends to `shard`.
+fn bucket_keys(shard: usize, n: usize) -> Vec<String> {
+    (0..)
+        .map(|i| format!("K{i}"))
+        .filter(|k| shard_of(k, N_SHARDS) == shard)
+        .take(n)
+        .collect()
+}
+
+/// A relation whose base load and delta both touch every shard, so the
+/// crash sweep exercises every per-shard frame of both two-phase ops.
+fn volatile_csvs() -> (String, String) {
+    let mut base = String::from("city,a,b\n");
+    let mut delta = String::new();
+    for shard in 0..N_SHARDS {
+        let keys = bucket_keys(shard, 5);
+        for (i, key) in keys[..3].iter().enumerate() {
+            base.push_str(&format!("{key},{},{}\n", i + 1, 9 - i));
+        }
+        for (i, key) in keys[3..].iter().enumerate() {
+            delta.push_str(&format!("{key},{},{}\n", i + 4, 6 - i));
+        }
+    }
+    (base, delta)
+}
+
+/// The canonical single-node export of the volatile relation after a
+/// clean LOAD (and optionally the APPEND) — what a committed broadcast
+/// copy must be byte-identical to.
+fn canonical(base: &str, delta: Option<&str>) -> String {
+    let server = backend();
+    let mut client = KsjqClient::connect(server.addr()).unwrap();
+    client.load_csv("volatile", base).unwrap();
+    if let Some(rows) = delta {
+        client.append_rows("volatile", rows).unwrap();
+    }
+    let out = client.sync_relation("volatile").unwrap();
+    client.close().unwrap();
+    server.stop().unwrap();
+    out
+}
+
+/// Data rows in a SYNC export (first line is the header).
+fn rows_in(csv: &str) -> usize {
+    csv.lines().count().saturating_sub(1)
+}
+
+fn paper_csvs() -> (String, String) {
+    let pf = paper_flights(false);
+    (
+        relation_to_csv(&pf.outbound, "city", Some(&pf.cities)).unwrap(),
+        relation_to_csv(&pf.inbound, "city", Some(&pf.cities)).unwrap(),
+    )
+}
+
+#[test]
+fn crash_at_every_two_phase_boundary_converges() {
+    let (base, delta) = volatile_csvs();
+    let ref_base = canonical(&base, None);
+    let ref_appended = canonical(&base, Some(&delta));
+    let (out_csv, in_csv) = paper_csvs();
+    let ks = [5usize, 7];
+    let expected: Vec<Vec<(u32, u32)>> = {
+        let server = backend();
+        let mut client = KsjqClient::connect(server.addr()).unwrap();
+        client.load_csv("outbound", &out_csv).unwrap();
+        client.load_csv("inbound", &in_csv).unwrap();
+        let answers = ks
+            .iter()
+            .map(|&k| {
+                client
+                    .query(&PlanSpec::new("outbound", "inbound").k(k))
+                    .unwrap()
+                    .pairs
+            })
+            .collect();
+        client.close().unwrap();
+        server.stop().unwrap();
+        answers
+    };
+
+    let (mut load_crashes, mut append_crashes) = (0u32, 0u32);
+    let mut completed = false;
+    for n in 1..=64u64 {
+        let dir = tmpdir(&format!("sweep-{n}"));
+        let dir_arg = dir.to_str().unwrap().to_owned();
+        let backends: Vec<RunningServer> = (0..N_SHARDS).map(|_| backend()).collect();
+        let shard_args: Vec<String> = backends.iter().map(|b| b.addr().to_string()).collect();
+
+        // The armed router aborts at its n-th two-phase boundary,
+        // somewhere inside the LOAD or the APPEND (or not at all, once
+        // n walks past the last boundary — which ends the sweep).
+        let mut armed = spawn_routerd(&dir_arg, &shard_args, Some(n));
+        let mut client = connect(&armed.addr);
+        let load_res = client.load_csv("volatile", &base);
+        let append_res = match &load_res {
+            Ok(_) => Some(client.append_rows("volatile", &delta)),
+            Err(_) => None,
+        };
+        let crashed = load_res.is_err() || matches!(&append_res, Some(Err(_)));
+        drop(client);
+        if crashed {
+            if load_res.is_err() {
+                load_crashes += 1;
+            } else {
+                append_crashes += 1;
+            }
+            assert!(
+                armed.wait_exit(),
+                "n={n}: request failed but routerd is still alive"
+            );
+        }
+        // One decision log, one writer: the armed router must be gone
+        // before its successor opens the directory.
+        armed.kill();
+
+        let revived = spawn_routerd(&dir_arg, &shard_args, None);
+        let stats = await_ready(&revived.addr);
+        if crashed {
+            // Every crash past the BEGIN record leaves an in-doubt
+            // transaction, and the BEGIN is durable before boundary 1.
+            assert!(
+                token(&stats, "in_doubt_resolved=") >= 1,
+                "n={n}: nothing resolved after a crash: {stats}"
+            );
+        }
+
+        // Committed-everywhere or aborted-everywhere: the name is
+        // visible on every shard plus the shard-0 broadcast copy, or on
+        // none of them — and nothing is left staged anywhere.
+        let mut names: Vec<Vec<String>> = Vec::new();
+        for (s, b) in backends.iter().enumerate() {
+            let mut c = KsjqClient::connect(b.addr()).unwrap();
+            assert!(
+                c.staged_names().unwrap().is_empty(),
+                "n={n} shard {s}: staged leftovers after resolution"
+            );
+            names.push(c.sync_names().unwrap());
+            c.close().unwrap();
+        }
+        let has = |s: usize, name: &str| names[s].iter().any(|x| x == name);
+        let visible = [
+            has(0, "volatile"),
+            has(1, "volatile"),
+            has(0, ".all.volatile"),
+        ];
+        if visible.iter().any(|&v| v) {
+            assert!(
+                visible.iter().all(|&v| v),
+                "n={n}: split commit after resolution: {names:?}"
+            );
+            // A committed outcome must be one of the two clean states —
+            // base-only (APPEND aborted) or base+delta — never torn.
+            let mut c0 = KsjqClient::connect(backends[0].addr()).unwrap();
+            let all = c0.sync_relation(".all.volatile").unwrap();
+            c0.close().unwrap();
+            assert!(
+                all == ref_base || all == ref_appended,
+                "n={n}: broadcast copy is neither clean state"
+            );
+            let mut total = 0;
+            for b in &backends {
+                let mut c = KsjqClient::connect(b.addr()).unwrap();
+                total += rows_in(&c.sync_relation("volatile").unwrap());
+                c.close().unwrap();
+            }
+            assert_eq!(
+                total,
+                rows_in(&all),
+                "n={n}: shard slices do not sum to the broadcast copy"
+            );
+        }
+
+        // The recovered cluster still serves byte-identical answers.
+        let mut client = connect(&revived.addr);
+        client.load_csv("outbound", &out_csv).unwrap();
+        client.load_csv("inbound", &in_csv).unwrap();
+        for (&k, want) in ks.iter().zip(&expected) {
+            let rows = client
+                .query(&PlanSpec::new("outbound", "inbound").k(k))
+                .unwrap();
+            assert_eq!(&rows.pairs, want, "n={n} k={k}");
+        }
+        client.close().unwrap();
+        drop(revived);
+        for b in backends {
+            let _ = b.stop();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        if !crashed {
+            completed = true;
+            break;
+        }
+    }
+    assert!(
+        completed,
+        "64 boundaries was not enough to finish a LOAD + APPEND"
+    );
+    assert!(
+        load_crashes > 5 && append_crashes > 5,
+        "sweep barely exercised both ops: {load_crashes} LOAD / {append_crashes} APPEND crashes"
+    );
+    eprintln!("chaos sweep: {load_crashes} crashes in LOAD, {append_crashes} in APPEND");
+}
+
+/// A router restarted with pending in-doubt work but unreachable shards
+/// must gate traffic behind `ERR recovering` (while still answering
+/// STATS), then converge once the shards come back.
+#[test]
+fn recovering_gate_holds_until_shards_return() {
+    let (base, _) = volatile_csvs();
+    let dir = tmpdir("gate");
+    let dir_arg = dir.to_str().unwrap().to_owned();
+    let backends: Vec<RunningServer> = (0..N_SHARDS).map(|_| backend()).collect();
+    let shard_args: Vec<String> = backends.iter().map(|b| b.addr().to_string()).collect();
+
+    // Crash mid-LOAD so the decision WAL holds an in-doubt transaction.
+    let mut armed = spawn_routerd(&dir_arg, &shard_args, Some(3));
+    let mut client = connect(&armed.addr);
+    assert!(client.load_csv("volatile", &base).is_err());
+    drop(client);
+    assert!(armed.wait_exit());
+    armed.kill();
+
+    // Take the whole cluster down before the router comes back: the
+    // revived router cannot resolve anything yet.
+    let dead_args = shard_args.clone();
+    for b in backends {
+        b.stop().unwrap();
+    }
+    let revived = spawn_routerd(&dir_arg, &dead_args, None);
+    let mut client = connect(&revived.addr);
+    let err = client
+        .load_csv("other", "city,a\nX,1\n")
+        .expect_err("mutations must be gated while recovering");
+    assert_eq!(
+        err.code(),
+        Some(ErrorCode::Recovering),
+        "expected ERR recovering, got {err}"
+    );
+    let stats = client.raw("STATS").unwrap();
+    assert!(stats.contains(" recovering=1"), "{stats}");
+    drop(client);
+
+    // The shard addresses are gone for good (ephemeral ports), so the
+    // router can never converge — the gate must still be up after its
+    // retry backoff has cycled a few times.
+    std::thread::sleep(Duration::from_millis(400));
+    let mut client = connect(&revived.addr);
+    let stats = client.raw("STATS").unwrap();
+    assert!(
+        stats.contains(" recovering=1"),
+        "gate dropped with shards still dead: {stats}"
+    );
+    drop(client);
+    drop(revived);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -284,6 +284,7 @@ fn tiny_round2_batches_answer_identically() {
             policy: fast_policy(),
             fetch_batch: 2,
             check_batch: 1,
+            ..RouterConfig::default()
         },
     );
     let mut client = KsjqClient::connect(cl.router.addr()).unwrap();

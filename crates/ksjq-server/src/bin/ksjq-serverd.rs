@@ -98,6 +98,14 @@ fn parse_args() -> (ServerConfig, Seed, Option<Duration>) {
                         .into(),
                 );
             }
+            "--wal-max-bytes" => {
+                config.wal_max_bytes = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n: &u64| n > 0)
+                        .unwrap_or_else(|| die("--wal-max-bytes needs a positive byte count")),
+                );
+            }
             "--query-timeout" => {
                 config.query_timeout = Some(
                     args.next()
@@ -134,8 +142,9 @@ fn parse_args() -> (ServerConfig, Seed, Option<Duration>) {
                 eprintln!(
                     "usage: ksjq-serverd [--addr HOST:PORT] [--workers N] [--cache-entries N]\n\
                      \x20                   [--max-conns N] [--max-inflight N] [--idle-timeout SECS]\n\
-                     \x20                   [--data-dir PATH] [--query-timeout MS] [--faults SPEC]\n\
-                     \x20                   [--no-demo] [--replica-of HOST:PORT] [--resync-interval SECS]\n\
+                     \x20                   [--data-dir PATH] [--wal-max-bytes N] [--query-timeout MS]\n\
+                     \x20                   [--faults SPEC] [--no-demo] [--replica-of HOST:PORT]\n\
+                     \x20                   [--resync-interval SECS]\n\
                      \x20 --addr           listen address (default 127.0.0.1:7878; port 0 = ephemeral)\n\
                      \x20 --workers        worker threads (default 8)\n\
                      \x20 --cache-entries  result-cache capacity (default 128; 0 disables)\n\
@@ -143,6 +152,8 @@ fn parse_args() -> (ServerConfig, Seed, Option<Duration>) {
                      \x20 --max-inflight   per-connection pipelined-request cap (default 32)\n\
                      \x20 --idle-timeout   reap idle connections after SECS (default 300)\n\
                      \x20 --data-dir       durable catalog: WAL + snapshot here; replay on start\n\
+                     \x20 --wal-max-bytes  seal the active WAL into a segment past N bytes and\n\
+                     \x20                  compact live when nothing is staged (default: startup-only)\n\
                      \x20 --query-timeout  cap every query at MS milliseconds (ERR timeout)\n\
                      \x20 --faults         seeded fault injection on accepted connections, e.g.\n\
                      \x20                  seed=7,drop=10,flip=5,partial=10,delay=20:3 (per-mille);\n\
@@ -184,7 +195,11 @@ fn main() {
         }
         Seed::Empty => {}
         Seed::ReplicaOf(primary) => {
-            let opts = ConnectOptions::all(Duration::from_secs(10));
+            // The seed SYNC rides through the same fault wrapper as every
+            // other connection this daemon makes, so a chaos plan also
+            // exercises replica bootstrap.
+            let mut opts = ConnectOptions::all(Duration::from_secs(10));
+            opts.faults = config.faults;
             // Seed the backoff jitter from the pid so replicas launched
             // together spread their retries.
             let jitter_seed = std::process::id() as u64;
@@ -214,7 +229,10 @@ fn main() {
         // result cache and versioned chains along with the old catalog.
         let handle = server.handle().expect("bound server has a handle");
         let primary = primary.clone();
-        let opts = ConnectOptions::all(Duration::from_secs(10));
+        // Resync connections inherit the fault plan too — recovery-time
+        // traffic must not be quietly exempt from chaos.
+        let mut opts = ConnectOptions::all(Duration::from_secs(10));
+        opts.faults = config.faults;
         std::thread::spawn(move || {
             let mut last = synced_epoch;
             loop {

@@ -533,6 +533,20 @@ impl KsjqClient {
         self.expect_ok(&Request::Abort { name: name.into() })
     }
 
+    /// `STAGED?` — every name with a pending staged relation or delta,
+    /// sorted. A recovering router probes this to decide whether an
+    /// in-doubt transaction's `COMMIT` still has anything to commit on
+    /// this replica.
+    pub fn staged_names(&mut self) -> ClientResult<Vec<String>> {
+        match self.request(&Request::StagedQuery)? {
+            Response::Staged { names } => Ok(names),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "expected STAGED, got {other}"
+            ))),
+        }
+    }
+
     /// `APPEND <name> ROWS <csv>` — immediately extend an existing
     /// relation with header-less CSV rows (first cell the join key, then
     /// the relation's `d` values). Rejects CSV containing `';'` for the

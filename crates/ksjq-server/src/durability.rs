@@ -9,140 +9,161 @@
 //! first time. That is what makes recovery *byte-identical*: there is no
 //! second, subtly different apply path to keep in sync.
 //!
-//! On disk a data directory holds two files:
+//! On disk a data directory holds a snapshot plus one or more log files:
 //!
 //! * `snapshot.ksjq` — a compacted base state: one `LOAD` record per
 //!   relation, all stamped with the *seal* sequence number (the highest
 //!   log sequence the snapshot includes). Written atomically
 //!   (tmp + fsync + rename), so a reader either sees the old snapshot or
 //!   the new one, never a torn one.
-//! * `wal.ksjq` — records appended after the snapshot, fsynced before
-//!   the client's `OK` is released. Recovery skips any record whose
-//!   sequence is ≤ the snapshot's seal, so a crash between "snapshot
-//!   renamed" and "log truncated" never double-applies.
+//! * `wal.ksjq` — the *active* log: records appended after the snapshot,
+//!   fsynced before the client's `OK` is released. Recovery skips any
+//!   record whose sequence is ≤ the snapshot's seal, so a crash between
+//!   "snapshot renamed" and "log truncated" never double-applies.
+//! * `wal-<seq>.ksjq` — *sealed* segments: when the active log outgrows
+//!   a size cap ([`Wal::seal`], driven by `--wal-max-bytes`) it is
+//!   renamed to a segment stamped with its first record's sequence and a
+//!   fresh active log starts. Sealed segments are immutable; live
+//!   compaction (a new snapshot mid-flight, not only at startup) deletes
+//!   them once the snapshot covers their records.
 //!
-//! Each record is length-prefixed and checksummed:
+//! Recovery replays `snapshot → sealed segments (sequence order) →
+//! active log`; only the active log can have a torn tail (segments are
+//! fsynced before the rename that seals them), and that tail is
+//! truncated off so the next append starts at a clean boundary.
 //!
-//! ```text
-//! magic u32 | seq u64 | epoch u64 | len u32 | crc32 u32 | payload
-//! ```
-//!
-//! (little-endian; `crc32` is CRC-32/IEEE over the payload). A torn or
-//! bit-flipped tail — the crash case — fails the magic, length or
-//! checksum test; [`read_records`] stops at the first invalid record and
-//! reports how many bytes were valid, and recovery truncates the file
-//! there. Every *prefix* of a log therefore replays to a valid committed
-//! state (proptested in `tests/durability_prop.rs`): a mutation is either
-//! fully durable or it never happened. Staged-but-uncommitted data is
-//! deliberately volatile — recovery replays `STAGE` records (a later
-//! `COMMIT` in the log may need them) and then clears whatever is still
-//! staged, which is exactly the `ABORT` the coordinating router would
-//! issue.
+//! The record format itself lives in [`record`] — it is deliberately
+//! payload-agnostic, and `ksjq-router`'s two-phase decision log reuses
+//! the same codec, file layout and recovery machinery for its own
+//! records. A torn or bit-flipped tail — the crash case — fails the
+//! magic, length or checksum test; [`read_records`] stops at the first
+//! invalid record and reports how many bytes were valid. Every *prefix*
+//! of a log therefore replays to a valid committed state (proptested in
+//! `tests/durability_prop.rs`): a mutation is either fully durable or it
+//! never happened. Staged-but-uncommitted data is deliberately
+//! volatile — recovery replays `STAGE` records (a later `COMMIT` in the
+//! log may need them) and then clears whatever is still staged, which is
+//! exactly the `ABORT` the coordinating router would issue.
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 
-/// Record header marker ("KSJQ" little-endian).
-const MAGIC: u32 = 0x514a_534b;
+pub use record::{crc32, encode_record, read_records, WalRecord, HEADER_BYTES};
 
-/// Header bytes before the payload: magic + seq + epoch + len + crc.
-const HEADER_BYTES: usize = 4 + 8 + 8 + 4 + 4;
+/// The checksummed record codec, shared by the server's mutation WAL and
+/// the router's two-phase decision log.
+///
+/// ```text
+/// magic u32 | seq u64 | epoch u64 | len u32 | crc32 u32 | payload
+/// ```
+///
+/// (little-endian; `crc32` is CRC-32/IEEE over the payload). The codec
+/// knows nothing about what a payload means — callers define that.
+pub mod record {
+    /// Record header marker ("KSJQ" little-endian).
+    pub const MAGIC: u32 = 0x514a_534b;
 
-/// Hard cap on one record's payload, far above any real request line but
-/// small enough that a corrupt length field cannot trigger a huge
-/// allocation before the checksum gets a chance to reject it.
-const MAX_PAYLOAD_BYTES: usize = 256 * 1024 * 1024;
+    /// Header bytes before the payload: magic + seq + epoch + len + crc.
+    pub const HEADER_BYTES: usize = 4 + 8 + 8 + 4 + 4;
 
-/// CRC-32/IEEE (the zlib polynomial), table-driven; the table is built
-/// at compile time so the hot path is one lookup per byte.
-const CRC_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            crc = if crc & 1 != 0 {
-                (crc >> 1) ^ 0xedb8_8320
-            } else {
-                crc >> 1
-            };
-            bit += 1;
+    /// Hard cap on one record's payload, far above any real request line
+    /// but small enough that a corrupt length field cannot trigger a
+    /// huge allocation before the checksum gets a chance to reject it.
+    pub const MAX_PAYLOAD_BYTES: usize = 256 * 1024 * 1024;
+
+    /// CRC-32/IEEE (the zlib polynomial), table-driven; the table is
+    /// built at compile time so the hot path is one lookup per byte.
+    const CRC_TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut crc = i as u32;
+            let mut bit = 0;
+            while bit < 8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xedb8_8320
+                } else {
+                    crc >> 1
+                };
+                bit += 1;
+            }
+            table[i] = crc;
+            i += 1;
         }
-        table[i] = crc;
-        i += 1;
+        table
+    };
+
+    /// CRC-32/IEEE of `bytes`.
+    pub fn crc32(bytes: &[u8]) -> u32 {
+        let mut crc = !0u32;
+        for &b in bytes {
+            crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xff) as usize];
+        }
+        !crc
     }
-    table
-};
 
-/// CRC-32/IEEE of `bytes`.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &b in bytes {
-        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xff) as usize];
+    /// One decoded log record.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct WalRecord {
+        /// Monotone sequence number (1-based across the log's lifetime;
+        /// compaction does not reset it).
+        pub seq: u64,
+        /// The server's `catalog_epoch` *after* this mutation applied —
+        /// recovery restores the counter from the last replayed record.
+        /// (The router's decision log leaves this slot 0.)
+        pub epoch: u64,
+        /// The record body (for the server, a wire request line).
+        pub payload: Vec<u8>,
     }
-    !crc
-}
 
-/// One decoded log record.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct WalRecord {
-    /// Monotone sequence number (1-based across the log's lifetime;
-    /// compaction does not reset it).
-    pub seq: u64,
-    /// The server's `catalog_epoch` *after* this mutation applied —
-    /// recovery restores the counter from the last replayed record.
-    pub epoch: u64,
-    /// The mutation as a wire request line (UTF-8).
-    pub payload: Vec<u8>,
-}
-
-/// Serialise one record.
-pub fn encode_record(seq: u64, epoch: u64, payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
-    out.extend_from_slice(&MAGIC.to_le_bytes());
-    out.extend_from_slice(&seq.to_le_bytes());
-    out.extend_from_slice(&epoch.to_le_bytes());
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&crc32(payload).to_le_bytes());
-    out.extend_from_slice(payload);
-    out
-}
-
-/// Decode records from `bytes`, stopping at the first invalid one (bad
-/// magic, impossible length, short tail, or checksum mismatch — all the
-/// shapes a torn or bit-flipped crash tail takes). Returns the records
-/// and the number of bytes the valid prefix spans, which is where a
-/// recovering server truncates the file.
-pub fn read_records(bytes: &[u8]) -> (Vec<WalRecord>, usize) {
-    let mut records = Vec::new();
-    let mut pos = 0usize;
-    while bytes.len() - pos >= HEADER_BYTES {
-        let at = |o: usize, n: usize| &bytes[pos + o..pos + o + n];
-        let magic = u32::from_le_bytes(at(0, 4).try_into().expect("4 bytes"));
-        if magic != MAGIC {
-            break;
-        }
-        let seq = u64::from_le_bytes(at(4, 8).try_into().expect("8 bytes"));
-        let epoch = u64::from_le_bytes(at(12, 8).try_into().expect("8 bytes"));
-        let len = u32::from_le_bytes(at(20, 4).try_into().expect("4 bytes")) as usize;
-        let crc = u32::from_le_bytes(at(24, 4).try_into().expect("4 bytes"));
-        if len > MAX_PAYLOAD_BYTES || bytes.len() - pos - HEADER_BYTES < len {
-            break;
-        }
-        let payload = &bytes[pos + HEADER_BYTES..pos + HEADER_BYTES + len];
-        if crc32(payload) != crc {
-            break;
-        }
-        records.push(WalRecord {
-            seq,
-            epoch,
-            payload: payload.to_vec(),
-        });
-        pos += HEADER_BYTES + len;
+    /// Serialise one record.
+    pub fn encode_record(seq: u64, epoch: u64, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&seq.to_le_bytes());
+        out.extend_from_slice(&epoch.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+        out
     }
-    (records, pos)
+
+    /// Decode records from `bytes`, stopping at the first invalid one
+    /// (bad magic, impossible length, short tail, or checksum
+    /// mismatch — all the shapes a torn or bit-flipped crash tail
+    /// takes). Returns the records and the number of bytes the valid
+    /// prefix spans, which is where a recovering server truncates the
+    /// file.
+    pub fn read_records(bytes: &[u8]) -> (Vec<WalRecord>, usize) {
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        while bytes.len() - pos >= HEADER_BYTES {
+            let at = |o: usize, n: usize| &bytes[pos + o..pos + o + n];
+            let magic = u32::from_le_bytes(at(0, 4).try_into().expect("4 bytes"));
+            if magic != MAGIC {
+                break;
+            }
+            let seq = u64::from_le_bytes(at(4, 8).try_into().expect("8 bytes"));
+            let epoch = u64::from_le_bytes(at(12, 8).try_into().expect("8 bytes"));
+            let len = u32::from_le_bytes(at(20, 4).try_into().expect("4 bytes")) as usize;
+            let crc = u32::from_le_bytes(at(24, 4).try_into().expect("4 bytes"));
+            if len > MAX_PAYLOAD_BYTES || bytes.len() - pos - HEADER_BYTES < len {
+                break;
+            }
+            let payload = &bytes[pos + HEADER_BYTES..pos + HEADER_BYTES + len];
+            if crc32(payload) != crc {
+                break;
+            }
+            records.push(WalRecord {
+                seq,
+                epoch,
+                payload: payload.to_vec(),
+            });
+            pos += HEADER_BYTES + len;
+        }
+        (records, pos)
+    }
 }
 
 fn snapshot_path(dir: &Path) -> PathBuf {
@@ -151,6 +172,26 @@ fn snapshot_path(dir: &Path) -> PathBuf {
 
 fn wal_path(dir: &Path) -> PathBuf {
     dir.join("wal.ksjq")
+}
+
+/// The name a sealed segment gets: zero-padded hex of its first record's
+/// sequence, so lexical order *is* sequence order.
+fn segment_name(first_seq: u64) -> String {
+    format!("wal-{first_seq:016x}.ksjq")
+}
+
+/// Sealed segment files in `dir`, in sequence (= lexical) order.
+fn segment_paths(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut names: Vec<String> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with("wal-") && name.ends_with(".ksjq") {
+            names.push(name.to_owned());
+        }
+    }
+    names.sort_unstable();
+    Ok(names.into_iter().map(|n| dir.join(n)).collect())
 }
 
 fn read_file(path: &Path) -> io::Result<Vec<u8>> {
@@ -177,8 +218,8 @@ fn sync_dir(dir: &Path) {
 /// Everything recovery learned from a data directory.
 #[derive(Debug)]
 pub struct Recovery {
-    /// Mutations to replay, snapshot first then post-seal log records,
-    /// in commit order.
+    /// Mutations to replay: snapshot, then sealed segments in sequence
+    /// order, then post-seal active-log records — in commit order.
     pub records: Vec<WalRecord>,
     /// Highest sequence seen (0 for a fresh directory); the reopened log
     /// continues from here.
@@ -186,32 +227,56 @@ pub struct Recovery {
     /// The `catalog_epoch` of the last record (0 for a fresh directory);
     /// the server restores its counter to this after replay.
     pub last_epoch: u64,
+    /// Sealed segment files found on disk (they survive until the next
+    /// compaction deletes them).
+    pub segments: u64,
 }
 
-/// Read a data directory back: the snapshot's records, then every log
-/// record past the snapshot's seal. The log's torn/corrupt tail (if any)
-/// is truncated off on disk so the next append starts at a clean
-/// boundary. Creates the directory if it does not exist.
+/// Read a data directory back: the snapshot's records, then every sealed
+/// segment, then every active-log record past the snapshot's seal. The
+/// active log's torn/corrupt tail (if any) is truncated off on disk so
+/// the next append starts at a clean boundary. Creates the directory if
+/// it does not exist.
 pub fn recover(dir: &Path) -> io::Result<Recovery> {
     std::fs::create_dir_all(dir)?;
     let (snapshot, _) = read_records(&read_file(&snapshot_path(dir))?);
     let seal = snapshot.iter().map(|r| r.seq).max().unwrap_or(0);
-    let wal_bytes = read_file(&wal_path(dir))?;
-    let (wal, valid) = read_records(&wal_bytes);
-    if valid < wal_bytes.len() {
-        // Torn or corrupt tail from a crash mid-append: drop it.
-        let f = OpenOptions::new().write(true).open(wal_path(dir))?;
-        f.set_len(valid as u64)?;
-        f.sync_all()?;
+    let mut tail: Vec<WalRecord> = Vec::new();
+    let segments = segment_paths(dir)?;
+    let n_segments = segments.len() as u64;
+    let mut clean = true;
+    for segment in segments {
+        let bytes = read_file(&segment)?;
+        let (records, valid) = read_records(&bytes);
+        tail.extend(records);
+        if valid < bytes.len() {
+            // A sealed segment is fsynced before the rename that seals
+            // it, so a bad tail here is outside corruption, not a crash.
+            // Later records would leave a gap; stop at the valid prefix.
+            clean = false;
+            break;
+        }
+    }
+    if clean {
+        let wal_bytes = read_file(&wal_path(dir))?;
+        let (wal, valid) = read_records(&wal_bytes);
+        if valid < wal_bytes.len() {
+            // Torn or corrupt tail from a crash mid-append: drop it.
+            let f = OpenOptions::new().write(true).open(wal_path(dir))?;
+            f.set_len(valid as u64)?;
+            f.sync_all()?;
+        }
+        tail.extend(wal);
     }
     let mut records = snapshot;
-    records.extend(wal.into_iter().filter(|r| r.seq > seal));
+    records.extend(tail.into_iter().filter(|r| r.seq > seal));
     let last_seq = records.iter().map(|r| r.seq).max().unwrap_or(0);
     let last_epoch = records.last().map(|r| r.epoch).unwrap_or(0);
     Ok(Recovery {
         records,
         last_seq,
         last_epoch,
+        segments: n_segments,
     })
 }
 
@@ -221,16 +286,24 @@ pub fn recover(dir: &Path) -> io::Result<Recovery> {
 #[derive(Debug)]
 pub struct Wal {
     file: File,
+    dir: PathBuf,
     next_seq: u64,
+    /// Sequence the active file's first record carries (names the
+    /// segment [`seal`](Wal::seal) renames it to).
+    first_seq: u64,
+    /// Bytes in the active file — what `--wal-max-bytes` caps.
+    bytes: u64,
 }
 
 impl Wal {
     /// Append one mutation at `epoch`; durable when this returns.
     pub fn append(&mut self, epoch: u64, payload: &[u8]) -> io::Result<u64> {
         let seq = self.next_seq;
-        self.file.write_all(&encode_record(seq, epoch, payload))?;
+        let record = encode_record(seq, epoch, payload);
+        self.file.write_all(&record)?;
         self.file.sync_data()?;
         self.next_seq += 1;
+        self.bytes += record.len() as u64;
         Ok(seq)
     }
 
@@ -238,14 +311,51 @@ impl Wal {
     pub fn next_seq(&self) -> u64 {
         self.next_seq
     }
+
+    /// Bytes in the active log file.
+    pub fn active_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Rotate: rename the active file to an immutable sealed segment
+    /// (`wal-<first seq>.ksjq`) and start a fresh active log. Returns
+    /// `false` (and does nothing) if the active log is empty. Appends
+    /// already fsync per record, so the rename never seals a torn tail.
+    pub fn seal(&mut self) -> io::Result<bool> {
+        if self.bytes == 0 {
+            return Ok(false);
+        }
+        self.file.sync_all()?;
+        std::fs::rename(
+            wal_path(&self.dir),
+            self.dir.join(segment_name(self.first_seq)),
+        )?;
+        self.file = fresh_wal_file(&self.dir)?;
+        sync_dir(&self.dir);
+        self.first_seq = self.next_seq;
+        self.bytes = 0;
+        Ok(true)
+    }
+}
+
+/// Create (or truncate) the active log file, fsynced.
+fn fresh_wal_file(dir: &Path) -> io::Result<File> {
+    let file = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(wal_path(dir))?;
+    file.sync_all()?;
+    Ok(file)
 }
 
 /// Write a fresh snapshot (`lines`, all sealed at `seq`/`epoch`)
-/// atomically, empty the log, and return it reopened for appending.
+/// atomically, empty the active log, delete any sealed segments the
+/// snapshot now covers, and return the log reopened for appending.
 ///
 /// Crash-safe at every step: until the `rename` lands the old snapshot
-/// is intact and the log still holds the records being compacted; after
-/// it, the seal makes any not-yet-truncated log records no-ops.
+/// is intact and the logs still hold the records being compacted; after
+/// it, the seal makes any not-yet-deleted log records no-ops.
 pub fn compact(dir: &Path, lines: &[String], seq: u64, epoch: u64) -> io::Result<Wal> {
     let tmp = dir.join("snapshot.tmp");
     {
@@ -257,16 +367,17 @@ pub fn compact(dir: &Path, lines: &[String], seq: u64, epoch: u64) -> io::Result
     }
     std::fs::rename(&tmp, snapshot_path(dir))?;
     sync_dir(dir);
-    let file = OpenOptions::new()
-        .create(true)
-        .write(true)
-        .truncate(true)
-        .open(wal_path(dir))?;
-    file.sync_all()?;
+    let file = fresh_wal_file(dir)?;
+    for segment in segment_paths(dir)? {
+        std::fs::remove_file(segment)?;
+    }
     sync_dir(dir);
     Ok(Wal {
         file,
+        dir: dir.to_path_buf(),
         next_seq: seq + 1,
+        first_seq: seq + 1,
+        bytes: 0,
     })
 }
 
@@ -340,7 +451,7 @@ mod tests {
         let dir = tmpdir("fresh");
         let r = recover(&dir.join("sub")).unwrap();
         assert!(r.records.is_empty());
-        assert_eq!((r.last_seq, r.last_epoch), (0, 0));
+        assert_eq!((r.last_seq, r.last_epoch, r.segments), (0, 0, 0));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -380,6 +491,41 @@ mod tests {
         let r3 = recover(&dir).unwrap();
         assert_eq!(r3.records.len(), 2);
         assert_eq!((r3.last_seq, r3.last_epoch), (3, 3));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sealed_segments_recover_in_order() {
+        let dir = tmpdir("segments");
+        let mut wal = compact(&dir, &[], 0, 0).unwrap();
+        // Three appends across two seals: every record must come back,
+        // in sequence order, from segment files plus the active log.
+        wal.append(1, b"LOAD a INLINE k,v;x,1").unwrap();
+        assert!(wal.seal().unwrap());
+        assert!(!wal.seal().unwrap(), "an empty active log never seals");
+        wal.append(2, b"APPEND a ROWS y,2").unwrap();
+        wal.append(3, b"APPEND a ROWS z,3").unwrap();
+        assert!(wal.seal().unwrap());
+        wal.append(4, b"APPEND a ROWS w,4").unwrap();
+        assert!(wal.active_bytes() > 0);
+        drop(wal);
+        assert!(dir.join(segment_name(1)).exists());
+        assert!(dir.join(segment_name(2)).exists());
+        let r = recover(&dir).unwrap();
+        assert_eq!(r.segments, 2);
+        assert_eq!(
+            r.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+        assert_eq!((r.last_seq, r.last_epoch), (4, 4));
+        // Live compaction covers the segments and deletes them.
+        let wal = compact(&dir, &["LOAD a INLINE k,v;x,1;y,2;z,3;w,4".into()], 4, 4).unwrap();
+        assert_eq!(wal.next_seq(), 5);
+        assert!(!dir.join(segment_name(1)).exists());
+        assert!(!dir.join(segment_name(2)).exists());
+        let r2 = recover(&dir).unwrap();
+        assert_eq!(r2.segments, 0);
+        assert_eq!(r2.records.len(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -2,7 +2,10 @@
 //!
 //! A [`FaultPlan`] is a seed plus per-mille rates for four transport
 //! misbehaviours — dropped connections, bit-flipped bytes, partial
-//! writes, and injected delays. The plan itself is pure data (`Copy`,
+//! writes, and injected delays — plus one server-side execution fault:
+//! `panic=`, which arms a worker panic at an engine kernel checkpoint
+//! (exercising the `catch_unwind` isolation that must turn any worker
+//! panic into `ERR internal`). The plan itself is pure data (`Copy`,
 //! `Eq`); per-connection decisions come from a [`FaultStream`], a
 //! splitmix64 generator keyed on `seed ^ conn_id`. Re-running a chaos
 //! schedule with the same plan and the same connection order therefore
@@ -42,12 +45,17 @@ pub struct FaultPlan {
     pub delay_pm: u32,
     /// Sleep applied when a delay fires.
     pub delay_ms: u64,
+    /// Per-mille chance a query execution arms a worker panic at one of
+    /// the engine's kernel checkpoints (server-side only — the front end
+    /// cannot panic a remote peer). The worker's `catch_unwind` must turn
+    /// it into `ERR internal` and leave the pool healthy.
+    pub panic_pm: u32,
 }
 
 impl FaultPlan {
     /// True if any fault can ever fire.
     pub fn is_active(&self) -> bool {
-        self.drop_pm | self.flip_pm | self.partial_pm | self.delay_pm != 0
+        self.drop_pm | self.flip_pm | self.partial_pm | self.delay_pm | self.panic_pm != 0
     }
 
     /// The decision stream for one connection. Different connections get
@@ -75,8 +83,14 @@ impl fmt::Display for FaultPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "seed={},drop={},flip={},partial={},delay={}:{}",
-            self.seed, self.drop_pm, self.flip_pm, self.partial_pm, self.delay_pm, self.delay_ms
+            "seed={},drop={},flip={},partial={},delay={}:{},panic={}",
+            self.seed,
+            self.drop_pm,
+            self.flip_pm,
+            self.partial_pm,
+            self.delay_pm,
+            self.delay_ms,
+            self.panic_pm
         )
     }
 }
@@ -116,6 +130,7 @@ impl FromStr for FaultPlan {
                 "drop" => plan.drop_pm = rate(value)?,
                 "flip" => plan.flip_pm = rate(value)?,
                 "partial" => plan.partial_pm = rate(value)?,
+                "panic" => plan.panic_pm = rate(value)?,
                 "delay" => match value.split_once(':') {
                     Some((pm, ms)) => {
                         plan.delay_pm = rate(pm)?;
@@ -212,6 +227,19 @@ impl FaultStream {
         true
     }
 
+    /// Should this query execution arm an injected worker panic? Rolled
+    /// once per execution by the server, before the engine runs.
+    pub fn roll_panic(&mut self) -> bool {
+        self.roll(self.plan.panic_pm)
+    }
+
+    /// How many kernel checkpoints to let pass before the armed panic
+    /// fires — varied so injected panics land in different engine phases
+    /// across executions, not always at the first checkpoint.
+    pub fn panic_after(&mut self) -> u64 {
+        1 + self.next() % 64
+    }
+
     /// A truncation point strictly inside `len` for a `Partial` action.
     pub fn cut_point(&mut self, len: usize) -> usize {
         if len <= 1 {
@@ -240,6 +268,7 @@ mod tests {
                 partial_pm: 10,
                 delay_pm: 20,
                 delay_ms: 3,
+                panic_pm: 0,
             }
         );
         assert_eq!(plan.to_string().parse::<FaultPlan>().unwrap(), plan);
@@ -249,8 +278,32 @@ mod tests {
 
     #[test]
     fn bad_specs_are_rejected() {
-        for bad in ["drop", "drop=1001", "seed=x", "noise=1", "delay=10:x"] {
+        for bad in [
+            "drop",
+            "drop=1001",
+            "seed=x",
+            "noise=1",
+            "delay=10:x",
+            "panic=1001",
+            "panic=x",
+        ] {
             assert!(bad.parse::<FaultPlan>().is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn panic_rate_parses_and_round_trips() {
+        let plan: FaultPlan = "seed=9,panic=250".parse().unwrap();
+        assert_eq!(plan.panic_pm, 250);
+        assert!(plan.is_active());
+        assert_eq!(plan.to_string().parse::<FaultPlan>().unwrap(), plan);
+        let mut s = plan.stream(1);
+        // A 25% rate must fire sometimes and not always over 64 rolls.
+        let fired = (0..64).filter(|_| s.roll_panic()).count();
+        assert!(fired > 0 && fired < 64, "fired={fired}");
+        for _ in 0..32 {
+            let after = s.panic_after();
+            assert!((1..=64).contains(&after));
         }
     }
 

@@ -47,6 +47,7 @@
 //! APPEND <name> STAGE <csv>                         parse + hold a pending delta (two-phase append)
 //! COMMIT <name>                                     atomically publish a staged relation or delta
 //! ABORT <name>                                      drop a staged relation/delta, old binding stays live
+//! STAGED?                                           list names with pending staged data (in-doubt resolution)
 //! FETCH <left> JOIN <right> [AGG f,f…] PAIRS <l:r>;<l:r>…   joined values of given pairs
 //! CHECK <left> JOIN <right> [AGG f,f…] K <k> ROWS <v,v…;v,v…>  is each row k-dominated here?
 //! ```
@@ -64,6 +65,7 @@
 //! RELATION <name> <csv>                             reply to SYNC <name> (rows ';'-separated)
 //! VALS n=<n> <v,v…;v,v…>                            reply to FETCH
 //! CHECKED n=<n> <01…>                               reply to CHECK (one bit per row)
+//! STAGED n=<n> <name> <name> …                      reply to STAGED? (names with pending stages)
 //! ERR <code> <message>
 //! BYE
 //! ```
@@ -433,6 +435,11 @@ pub enum Request {
         /// A previously staged name (idempotent if absent).
         name: String,
     },
+    /// List every name with a pending staged relation or delta — how a
+    /// restarting router resolves in-doubt two-phase transactions: a
+    /// replica whose stage survives gets the logged decision replayed; a
+    /// replica with nothing staged has already resolved.
+    StagedQuery,
     /// Append rows to a registered relation, deriving the next catalog
     /// epoch (live catalogs). Rows are header-less CSV against the
     /// relation's existing schema: first cell the join key, then the
@@ -903,6 +910,12 @@ impl Request {
                     keys,
                 })
             }
+            "STAGED?" => {
+                if !rest.is_empty() {
+                    return Err(format!("unexpected trailing input {rest:?}"));
+                }
+                Ok(Request::StagedQuery)
+            }
             "COMMIT" | "ABORT" => {
                 let (name, trailing) = split_word(rest);
                 validate_name("relation name", name)?;
@@ -985,7 +998,7 @@ impl Request {
                 })
             }
             other => Err(format!(
-                "unknown command {other:?} (expected HELLO, LOAD, PREPARE, EXECUTE, QUERY, MORE, DEADLINE, APPEND, DELETE, EXPLAIN, STATS, SYNC, STAGE, COMMIT, ABORT, FETCH, CHECK or CLOSE)"
+                "unknown command {other:?} (expected HELLO, LOAD, PREPARE, EXECUTE, QUERY, MORE, DEADLINE, APPEND, DELETE, EXPLAIN, STATS, SYNC, STAGE, COMMIT, ABORT, STAGED?, FETCH, CHECK or CLOSE)"
             )),
         }
     }
@@ -1039,6 +1052,7 @@ impl fmt::Display for Request {
             }
             Request::Commit { name } => write!(f, "COMMIT {name}"),
             Request::Abort { name } => write!(f, "ABORT {name}"),
+            Request::StagedQuery => write!(f, "STAGED?"),
             Request::Append { name, rows, staged } => write!(
                 f,
                 "APPEND {name} {} {}",
@@ -1199,6 +1213,13 @@ pub struct ServerStats {
     /// Records appended to the write-ahead log since startup (0 when the
     /// server runs without `--data-dir`).
     pub wal_records: u64,
+    /// WAL rotations since startup: active-log seals driven by
+    /// `--wal-max-bytes` (0 without a size cap).
+    pub wal_segments: u64,
+    /// Worker panics caught and surfaced as `ERR internal` — each one a
+    /// bug (or an injected `panic=` fault) that did *not* take the
+    /// process, the session or the pool down.
+    pub panics: u64,
 }
 
 /// One server reply.
@@ -1239,6 +1260,12 @@ pub enum Response {
     Vals(Vec<Vec<f64>>),
     /// One dominance bit per probe row (reply to `CHECK`), request order.
     Checked(Vec<bool>),
+    /// Names with pending staged data (reply to `STAGED?`), sorted — the
+    /// stage tokens a restarting router matches its decision WAL against.
+    Staged {
+        /// Relation names with a staged relation or delta.
+        names: Vec<String>,
+    },
     /// The request failed; the session stays usable.
     Error {
         /// Machine-readable failure category (the first `ERR` token).
@@ -1401,6 +1428,8 @@ impl Response {
                         "delta_rows" => s.delta_rows = int,
                         "timeouts" => s.timeouts = int,
                         "wal_records" => s.wal_records = int,
+                        "wal_segments" => s.wal_segments = int,
+                        "panics" => s.panics = int,
                         _ => {} // forward compatibility
                     }
                 }
@@ -1489,6 +1518,21 @@ impl Response {
                 }
                 Ok(Response::Checked(bits))
             }
+            "STAGED" => {
+                let (count, rest) = split_word(rest);
+                let n = count
+                    .strip_prefix("n=")
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .ok_or_else(|| format!("STAGED needs n=<count>, got {count:?}"))?;
+                let names: Vec<String> = rest.split_whitespace().map(String::from).collect();
+                if names.len() != n {
+                    return Err(format!(
+                        "STAGED claimed n={n} but carried {} names",
+                        names.len()
+                    ));
+                }
+                Ok(Response::Staged { names })
+            }
             other => Err(format!("unknown response frame {other:?}")),
         }
     }
@@ -1542,7 +1586,7 @@ impl fmt::Display for Response {
                  dom_tests={} attr_cmps={} domgen_us={} shed={} reaped={} peak_buf={} \
                  fanout_queries={} merge_us={} shard_retries={} shard_errors={} \
                  catalog_epoch={} delta_maintained={} delta_rows={} \
-                 timeouts={} wal_records={}",
+                 timeouts={} wal_records={} wal_segments={} panics={}",
                 s.connections,
                 s.requests,
                 s.errors,
@@ -1567,7 +1611,9 @@ impl fmt::Display for Response {
                 s.delta_maintained,
                 s.delta_rows,
                 s.timeouts,
-                s.wal_records
+                s.wal_records,
+                s.wal_segments,
+                s.panics
             ),
             Response::Catalog { epoch, names } => {
                 write!(f, "CATALOG n={} epoch={epoch}", names.len())?;
@@ -1591,6 +1637,13 @@ impl fmt::Display for Response {
                 if !bits.is_empty() {
                     let text: String = bits.iter().map(|&b| if b { '1' } else { '0' }).collect();
                     write!(f, " {text}")?;
+                }
+                Ok(())
+            }
+            Response::Staged { names } => {
+                write!(f, "STAGED n={}", names.len())?;
+                for name in names {
+                    write!(f, " {name}")?;
                 }
                 Ok(())
             }
@@ -1798,6 +1851,8 @@ mod tests {
                 delta_rows: 22,
                 timeouts: 23,
                 wal_records: 24,
+                wal_segments: 25,
+                panics: 26,
             }),
             Response::err(ErrorCode::Invalid, "unknown relation \"nope\""),
             Response::err(ErrorCode::Timeout, "query deadline exceeded"),
@@ -2002,6 +2057,8 @@ mod tests {
             roundtrip_request("ABORT t1"),
             Request::Abort { name: "t1".into() }
         );
+        assert_eq!(roundtrip_request("STAGED?"), Request::StagedQuery);
+        assert_eq!(roundtrip_request("staged?"), Request::StagedQuery);
         assert_eq!(
             roundtrip_request("FETCH a JOIN b PAIRS 0:1;4:2"),
             Request::Fetch {
@@ -2064,6 +2121,7 @@ mod tests {
             "COMMIT",
             "COMMIT t1 trailing",
             "ABORT",
+            "STAGED? t1",
             "FETCH a JOIN b",           // missing PAIRS
             "FETCH a JOIN b PAIRS",     // PAIRS needs a value
             "FETCH a JOIN b PAIRS 0",   // not l:r
@@ -2110,6 +2168,10 @@ mod tests {
             Response::Vals(vec![vec![1.5, -2.0, 3.0], vec![0.0625, 4.0, 5.0]]),
             Response::Checked(vec![]),
             Response::Checked(vec![true, false, true]),
+            Response::Staged { names: vec![] },
+            Response::Staged {
+                names: vec![".all.t1".into(), "t1".into()],
+            },
         ];
         for resp in responses {
             let line = resp.to_string();
@@ -2138,6 +2200,8 @@ mod tests {
             "CHECKED",                // missing n=
             "CHECKED n=2 1",          // count mismatch
             "CHECKED n=1 2",          // not a bit
+            "STAGED",                 // missing n=
+            "STAGED n=2 only",        // count mismatch
         ] {
             assert!(Response::parse(bad).is_err(), "{bad:?} should not parse");
         }

@@ -109,6 +109,11 @@ pub struct ServerConfig {
     /// mutation is WAL-logged (fsynced before its `OK`) and replayed on
     /// restart; when `None` the catalog is memory-only, as before.
     pub data_dir: Option<PathBuf>,
+    /// Rotate the active WAL into a sealed segment once it exceeds this
+    /// many bytes (`--wal-max-bytes`), folding sealed history into the
+    /// snapshot whenever nothing is staged. `None` keeps the pre-rotation
+    /// behaviour: one growing log, compacted only at startup.
+    pub wal_max_bytes: Option<u64>,
     /// Server-wide ceiling on per-query execution time
     /// (`--query-timeout`); combined with any per-session `DEADLINE` by
     /// taking the tighter of the two. `None` means no server-side cap.
@@ -130,6 +135,7 @@ impl Default for ServerConfig {
             stall_timeout: Duration::from_secs(30),
             max_catalog_cells: 500_000_000,
             data_dir: None,
+            wal_max_bytes: None,
             query_timeout: None,
             faults: None,
         }
@@ -229,8 +235,22 @@ struct Shared {
     timeouts: AtomicU64,
     /// WAL records appended since startup (0 when memory-only).
     wal_records: AtomicU64,
+    /// WAL rotations since startup: active-log seals driven by
+    /// `--wal-max-bytes`.
+    wal_segments: AtomicU64,
+    /// Worker panics caught by the pool (each cost its request an
+    /// `ERR internal`, never a worker thread).
+    panics: AtomicU64,
+    /// Seeded decision stream for the `panic=` execution fault; `None`
+    /// when the configured fault plan has no panic rate.
+    exec_faults: Mutex<Option<FaultStream>>,
     shutdown: AtomicBool,
 }
+
+/// Synthetic connection id keying the `panic=` execution-fault stream, so
+/// its decisions decorrelate from every real connection's transport
+/// stream under the same seed.
+const EXEC_FAULT_CONN: u64 = u64::MAX;
 
 /// A bound, not-yet-running KSJQ server. [`run`](Server::run) blocks;
 /// [`start`](Server::start) is the spawn-in-background convenience.
@@ -336,6 +356,10 @@ impl Server {
         config.max_conns = config.max_conns.max(1);
         config.max_inflight = config.max_inflight.max(1);
         let data_dir = config.data_dir.clone();
+        let exec_faults = config
+            .faults
+            .filter(|plan| plan.panic_pm > 0)
+            .map(|plan| plan.stream(EXEC_FAULT_CONN));
         let shared = Arc::new(Shared {
             engine,
             sessions: RwLock::new(HashMap::new()),
@@ -361,6 +385,9 @@ impl Server {
             peak_buf: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
             wal_records: AtomicU64::new(0),
+            wal_segments: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            exec_faults: Mutex::new(exec_faults),
             shutdown: AtomicBool::new(false),
         });
         if let Some(dir) = data_dir {
@@ -475,7 +502,10 @@ fn worker_loop(
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             handle_request(shared, job.version, job.request, job.deadline)
         }))
-        .unwrap_or_else(|_| Outcome::Frame(Response::err(ErrorCode::Internal, "internal error")));
+        .unwrap_or_else(|_| {
+            shared.panics.fetch_add(1, Ordering::Relaxed);
+            Outcome::Frame(Response::err(ErrorCode::Internal, "internal error"))
+        });
         if done.send((job.conn, outcome)).is_err() {
             return; // front end gone: shutdown
         }
@@ -1100,7 +1130,8 @@ fn handle_request(
         _ => None,
     };
     let wire = wire.as_deref();
-    match request {
+    let is_mutation = wire.is_some();
+    let outcome = match request {
         Request::Load { name, source } => Outcome::Frame(load(shared, &name, source, wire)),
         Request::Prepare { id, plan } => Outcome::Frame(prepare(shared, id, &plan)),
         Request::Execute { id } => match lookup(shared, &id) {
@@ -1120,6 +1151,7 @@ fn handle_request(
         Request::Stage { name, csv } => Outcome::Frame(stage(shared, &name, &csv, wire)),
         Request::Commit { name } => Outcome::Frame(commit(shared, &name, wire)),
         Request::Abort { name } => Outcome::Frame(abort(shared, &name, wire)),
+        Request::StagedQuery => Outcome::Frame(staged_query(shared)),
         Request::Append { name, rows, staged } => {
             Outcome::Frame(append(shared, &name, &rows, staged, wire))
         }
@@ -1146,6 +1178,116 @@ fn handle_request(
         Request::More { cursor } => Outcome::Frame(more(shared, version, cursor)),
         Request::Deadline { ms } => Outcome::Frame(Response::Ok(format!("deadline {ms}ms"))),
         Request::Close => Outcome::Frame(Response::Bye),
+    };
+    // Rotation runs after the handler released every lock: `stage`
+    // appends to the WAL while holding the staged map, so sealing from
+    // inside a handler would invert the lock order.
+    if is_mutation {
+        maybe_rotate(shared);
+    }
+    outcome
+}
+
+/// `STAGED?`: every name with a pending staged relation or delta — the
+/// probe a recovering router sends to decide whether an in-doubt
+/// transaction's `COMMIT` still has anything to commit here. Taken under
+/// the mutation lock so the answer is a consistent cut, never half of a
+/// concurrent two-phase exchange.
+fn staged_query(shared: &Shared) -> Response {
+    let _cells = shared
+        .catalog_cells
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    let mut names: Vec<String> = shared
+        .staged
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .keys()
+        .cloned()
+        .collect();
+    names.extend(
+        shared
+            .staged_deltas
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .cloned(),
+    );
+    names.sort_unstable();
+    names.dedup();
+    Response::Staged { names }
+}
+
+/// Seal the active WAL into a segment once it exceeds `--wal-max-bytes`;
+/// when nothing is staged, immediately fold all sealed history into the
+/// snapshot (live compaction) so segments never pile up on a quiescent
+/// two-phase state. With a transaction mid-flight (something staged) the
+/// seal still bounds the active log, but compaction waits: the snapshot
+/// captures only *committed* state, and folding a logged `STAGE` away
+/// before its `COMMIT` lands would break replay.
+///
+/// Rotation failures are logged and swallowed — the mutation that
+/// triggered rotation is already durable in the (possibly oversized)
+/// log, so skipping a rotation never loses data.
+fn maybe_rotate(shared: &Shared) {
+    let Some(limit) = shared.config.wal_max_bytes else {
+        return;
+    };
+    // Lock order: catalog_cells → staged/staged_deltas → wal.
+    let _cells = shared
+        .catalog_cells
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    let quiescent = shared
+        .staged
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .is_empty()
+        && shared
+            .staged_deltas
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty();
+    let mut guard = shared.wal.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(wal) = guard.as_mut() else {
+        return;
+    };
+    if wal.active_bytes() <= limit {
+        return;
+    }
+    match wal.seal() {
+        Ok(true) => {
+            shared.wal_segments.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(false) => return,
+        Err(e) => {
+            eprintln!("ksjq-server: WAL seal failed (rotation skipped): {e}");
+            return;
+        }
+    }
+    if !quiescent {
+        return;
+    }
+    let Some(dir) = shared.config.data_dir.as_ref() else {
+        return;
+    };
+    let lines = match snapshot_lines(shared) {
+        Ok(lines) => lines,
+        Err(e) => {
+            eprintln!("ksjq-server: WAL compaction skipped (snapshot failed): {e}");
+            return;
+        }
+    };
+    let last_seq = wal.next_seq().saturating_sub(1);
+    let epoch = shared.catalog_epoch.load(Ordering::SeqCst);
+    match durability::compact(dir, &lines, last_seq, epoch) {
+        Ok(fresh) => {
+            *wal = fresh;
+        }
+        Err(e) => {
+            // Sealed segments stay on disk; recovery still replays them.
+            eprintln!("ksjq-server: WAL compaction failed (segments kept): {e}");
+        }
     }
 }
 
@@ -1481,8 +1623,36 @@ fn run_session(
     }
     let k = session.prepared.k();
     let epoch = shared.catalog_epoch.load(Ordering::SeqCst);
+    // Roll the `panic=` execution fault: arm an injected panic a few
+    // kernel checkpoints into this execution. If it fires, unwinding
+    // lands in the worker pool's `catch_unwind` (the firing chaos point
+    // disarms itself); if the query finishes first, disarm explicitly so
+    // nothing leaks into this worker's next request.
+    let armed = {
+        let mut stream = shared.exec_faults.lock().unwrap_or_else(|e| e.into_inner());
+        match stream.as_mut() {
+            Some(s) => {
+                if s.roll_panic() {
+                    Some(s.panic_after())
+                } else {
+                    None
+                }
+            }
+            None => None,
+        }
+    };
+    if let Some(points) = armed {
+        // Process-wide, not thread-local: the kernels tick their chaos
+        // points from scoped worker threads, and the panic unwinds back
+        // through the scope join into this worker's `catch_unwind`.
+        ksjq_core::arm_panic_after_process(points);
+    }
     let started = Instant::now();
-    let output = session.prepared.execute_within(deadline)?;
+    let executed = session.prepared.execute_within(deadline);
+    if armed.is_some() {
+        ksjq_core::disarm_panic_process();
+    }
+    let output = executed?;
     let micros = started.elapsed().as_micros() as u64;
     shared
         .dom_tests
@@ -2195,6 +2365,8 @@ fn stats(shared: &Shared) -> ServerStats {
         delta_rows: shared.delta_rows.load(Ordering::Relaxed),
         timeouts: shared.timeouts.load(Ordering::Relaxed),
         wal_records: shared.wal_records.load(Ordering::Relaxed),
+        wal_segments: shared.wal_segments.load(Ordering::Relaxed),
+        panics: shared.panics.load(Ordering::Relaxed),
     }
 }
 
@@ -2279,6 +2451,9 @@ mod tests {
             peak_buf: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
             wal_records: AtomicU64::new(0),
+            wal_segments: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            exec_faults: Mutex::new(None),
             shutdown: AtomicBool::new(false),
         };
         let cursor = Cursor { result: 1, part: 1 };

@@ -326,3 +326,75 @@ fn query_timeout_and_deadline_degrade_to_typed_timeouts() {
     );
     client.close().unwrap();
 }
+
+#[test]
+fn injected_worker_panics_surface_as_typed_errors_not_dead_sessions() {
+    // A seeded `panic` fault rate makes workers panic at kernel chaos
+    // points. Each panic must surface as `ERR internal`, bump the
+    // `panics=` counter, and leave the session (and the pool) healthy —
+    // the server process itself must never die. The cache is disabled so
+    // every query actually runs the kernel, and the plan is chosen so the
+    // dominator kernel's verification loop passes well over 64 chaos
+    // points — every armed countdown actually fires mid-kernel.
+    let spec = |seed| SyntheticSpec {
+        data_type: DataType::AntiCorrelated,
+        n: 300,
+        d: 7,
+        a: 0,
+        g: 5,
+        seed,
+    };
+    let plan = PlanSpec::new("big1", "big2")
+        .k(13)
+        .algorithm(Algorithm::DominatorBased);
+
+    // Fault-free oracle for the expected answer.
+    let oracle = spawn_serverd(&["--addr", "127.0.0.1:0", "--no-demo"]);
+    let mut client = connect(&oracle.addr);
+    client.load_synthetic("big1", spec(7)).unwrap();
+    client.load_synthetic("big2", spec(1007)).unwrap();
+    let want = client.query(&plan).unwrap().pairs;
+    client.close().unwrap();
+
+    let faults = format!("seed={CHAOS_SEED},panic=400");
+    let daemon = spawn_serverd(&[
+        "--addr",
+        "127.0.0.1:0",
+        "--no-demo",
+        "--cache-entries",
+        "0",
+        "--faults",
+        &faults,
+    ]);
+    let mut client = connect(&daemon.addr);
+    client.load_synthetic("big1", spec(7)).unwrap();
+    client.load_synthetic("big2", spec(1007)).unwrap();
+
+    let (mut answered, mut panicked) = (0u64, 0u64);
+    for round in 0..40 {
+        match client.query(&plan) {
+            Ok(rows) => {
+                assert_eq!(rows.pairs, want, "round={round}");
+                answered += 1;
+            }
+            Err(e) => {
+                // The one acceptable failure is the injected panic,
+                // isolated to this query by the pool's `catch_unwind`.
+                assert_eq!(e.code(), Some(ErrorCode::Internal), "round={round}: {e}");
+                panicked += 1;
+            }
+        }
+    }
+    assert!(panicked > 0, "panic=400 never fired across 40 queries");
+    assert!(answered > 0, "no query survived a 40% panic rate");
+    assert_eq!(
+        client.stats().unwrap().panics,
+        panicked,
+        "panics counter drifted"
+    );
+    // Same connection, after every panic: the session still answers
+    // (retrying past any further injected panics).
+    let healthy = (0..40).find_map(|_| client.query(&plan).ok());
+    assert_eq!(healthy.map(|r| r.pairs), Some(want));
+    client.close().unwrap();
+}
